@@ -1,0 +1,132 @@
+"""Experiments E14 / E15 — ablations beyond the paper's theorems.
+
+The paper proves one number per construction (the worst surviving diameter);
+these ablation benches quantify the *costs* each design choice carries and the
+behaviour outside the proved regime:
+
+* **E14 — cost ablation**: on one graph where all single-routing constructions
+  apply (a long cycle), compare route-table size, mean/max route length,
+  stretch, node load and the measured worst surviving diameter across the
+  kernel, circular, small/full tri-circular and bipolar routings.  The shape
+  to reproduce: stronger diameter guarantees are bought with more routes and
+  heavier concentrator machinery, never with longer individual routes.
+* **E15 — graceful degradation (Open Problem 3)**: push the fault count past
+  the connectivity and measure the worst *per-component* surviving diameter.
+  The paper leaves the question open; the measurement shows the concentrator
+  constructions keep serving the surviving components at small diameters well
+  past the proved budget, while the plain kernel routing degrades sooner.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    build_routing,
+    check_tolerance,
+    graceful_degradation_profile,
+    routing_statistics,
+)
+from repro.graphs import generators
+
+
+ABLATION_GRAPH = generators.cycle_graph(45)
+ABLATION_STRATEGIES = [
+    "kernel",
+    "circular",
+    "tricircular-small",
+    "tricircular",
+    "bipolar-uni",
+    "bipolar-bi",
+]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_construction_cost_ablation(benchmark, experiment_log):
+    """E14: guarantee vs route-table cost across all constructions on one graph."""
+
+    def run():
+        rows = []
+        for strategy in ABLATION_STRATEGIES:
+            result = build_routing(ABLATION_GRAPH, strategy=strategy, t=1)
+            stats = routing_statistics(result.routing)
+            report = check_tolerance(
+                result.graph,
+                result.routing,
+                result.guarantee.diameter_bound,
+                result.guarantee.max_faults,
+                exhaustive_limit=50,
+                concentrator=result.concentrator,
+                seed=0,
+            )
+            rows.append(
+                {
+                    "construction": result.scheme,
+                    "guarantee_d": result.guarantee.diameter_bound,
+                    "measured_worst": report.worst_diameter,
+                    "routes": stats.routed_pairs,
+                    "mean_len": round(stats.mean_route_length, 2),
+                    "max_len": stats.max_route_length,
+                    "max_stretch": round(stats.max_stretch, 2),
+                    "max_load": stats.max_node_load,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, caption="E14: construction cost ablation on cycle-45 (t = 1)"))
+    for row in rows:
+        experiment_log(
+            "E14/ablation",
+            f"<= {row['guarantee_d']}",
+            f"{row['measured_worst']} ({row['routes']} routes)",
+            f"cycle-45 / {row['construction']}",
+        )
+        assert row["measured_worst"] <= row["guarantee_d"]
+    by_scheme = {row["construction"]: row for row in rows}
+    # The tri-circular routing (bound 4) stores more routes than the circular
+    # routing (bound 6), which stores more than the kernel routing: the
+    # stronger guarantee is bought with table size.
+    assert by_scheme["tricircular"]["routes"] > by_scheme["circular"]["routes"]
+    assert by_scheme["circular"]["routes"] > by_scheme["kernel"]["routes"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_graceful_degradation_beyond_budget(benchmark, experiment_log):
+    """E15: per-component surviving diameters past the connectivity (Open Problem 3)."""
+    graph = generators.circulant_graph(18, [1, 2])  # kappa = 4, t = 3
+    strategies = ["kernel", "kernel+clique", "multi-kernel"]
+
+    def run():
+        rows = []
+        for strategy in strategies:
+            result = build_routing(graph, strategy=strategy, t=3)
+            profile = graceful_degradation_profile(
+                graph, result.routing, fault_counts=[1, 3, 5, 7], samples=6, seed=2
+            )
+            for point in profile:
+                row = point.as_row()
+                row["construction"] = result.scheme
+                rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["construction", "faults", "samples", "disconnected", "mean_comp_diam", "max_comp_diam"],
+            caption="E15: graceful degradation past the fault budget (circulant-18(1,2), t = 3)",
+        )
+    )
+    for row in rows:
+        experiment_log(
+            "E15/degradation",
+            "finite component diameters",
+            f"{row['max_comp_diam']} at {row['faults']} faults",
+            f"{row['construction']}",
+        )
+        # Within the proved budget nothing disconnects and the bound holds.
+        if row["faults"] <= 3:
+            assert row["disconnected"] == 0.0
+            assert row["max_comp_diam"] != float("inf")

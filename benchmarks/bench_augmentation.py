@@ -1,0 +1,106 @@
+"""Experiment E12 — changing the network (Section 6): kernel + concentrator clique.
+
+Adding at most ``t(t+1)/2`` links to make the kernel's separating set a clique
+yields a ``(3, t)``-tolerant routing on the modified network.  The bench
+verifies both halves of the claim: the added-edge budget and the surviving
+diameter bound, and contrasts the result with the unmodified kernel routing on
+the same graphs (the ablation: what do the extra links buy?).
+"""
+
+import pytest
+
+from repro.analysis import ExperimentRunner, format_table
+from repro.core import clique_augmented_kernel_routing, kernel_routing
+from repro.graphs import generators, synthetic
+
+
+def _workloads():
+    return [
+        ("circulant-10(1,2)", generators.circulant_graph(10, [1, 2]), 3),
+        ("circulant-14(1,2)", generators.circulant_graph(14, [1, 2]), 3),
+        ("kernel-test-t2", synthetic.kernel_test_graph(t=2), 2),
+        ("cycle-16", generators.cycle_graph(16), 1),
+    ]
+
+
+@pytest.mark.benchmark(group="augmentation")
+def test_section6_clique_augmentation_3_t(benchmark, experiment_log):
+    """E12: (3, t)-tolerance of the clique-augmented kernel routing."""
+
+    def run():
+        runner = ExperimentRunner(exhaustive_limit=800, seed=0)
+        budgets = []
+        for name, graph, t in _workloads():
+            result = clique_augmented_kernel_routing(graph, t=t)
+            budgets.append(
+                {
+                    "graph": name,
+                    "t": t,
+                    "added_edges": result.details["added_edge_count"],
+                    "budget t(t+1)/2": result.details["added_edge_bound"],
+                }
+            )
+            runner.run(
+                "E12/clique",
+                graph,
+                lambda g, t=t: clique_augmented_kernel_routing(g, t=t),
+                max_faults=t,
+                diameter_bound=3,
+            )
+        return runner, budgets
+
+    runner, budgets = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(runner.rows(), caption="E12 / Section 6: clique-augmented kernel routing"))
+    print(format_table(budgets, caption="E12: added-edge budgets"))
+    for record, budget in zip(runner.records, budgets):
+        experiment_log(
+            "E12/clique",
+            "<= 3 (and <= t(t+1)/2 edges)",
+            f"{record.measured_worst} ({budget['added_edges']} edges)",
+            record.graph_name,
+        )
+        assert record.holds, record.as_row()
+        assert budget["added_edges"] <= budget["budget t(t+1)/2"]
+
+
+@pytest.mark.benchmark(group="augmentation")
+def test_augmentation_ablation_vs_plain_kernel(benchmark, experiment_log):
+    """E12b (ablation): the added clique improves the worst case vs the plain kernel."""
+
+    def run():
+        rows = []
+        for name, graph, t in _workloads():
+            plain = ExperimentRunner(exhaustive_limit=800, seed=0)
+            plain_record = plain.run(
+                "kernel", graph, lambda g, t=t: kernel_routing(g, t=t),
+                max_faults=t, diameter_bound=max(2 * t, 4),
+            )
+            augmented = ExperimentRunner(exhaustive_limit=800, seed=0)
+            augmented_record = augmented.run(
+                "kernel+clique", graph,
+                lambda g, t=t: clique_augmented_kernel_routing(g, t=t),
+                max_faults=t, diameter_bound=3,
+            )
+            rows.append(
+                {
+                    "graph": name,
+                    "t": t,
+                    "kernel worst": plain_record.measured_worst,
+                    "kernel+clique worst": augmented_record.measured_worst,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, caption="E12b: ablation — plain kernel vs clique-augmented kernel"))
+    for row in rows:
+        experiment_log(
+            "E12b/ablation",
+            "clique <= kernel",
+            f"{row['kernel+clique worst']} vs {row['kernel worst']}",
+            row["graph"],
+        )
+        assert row["kernel+clique worst"] <= 3
+        assert row["kernel+clique worst"] <= row["kernel worst"]

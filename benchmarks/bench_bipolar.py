@@ -1,0 +1,102 @@
+"""Experiments E06 / E07 — the bipolar routings (Theorems 20 and 23).
+
+* **Theorem 20**: any graph with the two-trees property has a unidirectional
+  ``(4, t)``-tolerant bipolar routing.
+* **Theorem 23**: the same hypothesis yields a bidirectional ``(5, t)``-tolerant
+  routing.
+
+Workloads: cycles (the simplest two-trees graphs), the synthetic two-trees
+graphs at ``t = 1, 2, 3``, and a sparse random graph from the Theorem 25
+regime that happens to satisfy the property.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentRunner, format_table
+from repro.core import bidirectional_bipolar_routing, unidirectional_bipolar_routing
+from repro.graphs import generators, has_two_trees_property, synthetic
+
+
+def _bipolar_workloads():
+    workloads = [
+        ("cycle-14", generators.cycle_graph(14), 1, None),
+    ]
+    for t in (1, 2, 3):
+        graph, r1, r2 = synthetic.two_trees_graph(t=t)
+        workloads.append((f"two-trees-t{t}", graph, t, (r1, r2)))
+    # A sparse random graph in the Lemma 24 regime; only added if the sampled
+    # instance actually has the property (it does w.h.p. for these parameters).
+    sparse = generators.gnp_random_graph(60, 0.035, seed=20)
+    from repro.graphs import is_connected, node_connectivity
+
+    if is_connected(sparse) and node_connectivity(sparse) >= 2 and has_two_trees_property(sparse):
+        workloads.append(("gnp-60-sparse", sparse, node_connectivity(sparse) - 1, None))
+    return workloads
+
+
+@pytest.mark.benchmark(group="bipolar")
+def test_theorem20_unidirectional_4_t(benchmark, experiment_log):
+    """E06: unidirectional bipolar routing, worst surviving diameter <= 4."""
+
+    def run():
+        runner = ExperimentRunner(exhaustive_limit=600, seed=0)
+        for name, graph, t, roots in _bipolar_workloads():
+            runner.run(
+                "E06/Theorem20",
+                graph,
+                lambda g, t=t, r=roots: unidirectional_bipolar_routing(g, t=t, roots=r),
+                max_faults=t,
+                diameter_bound=4,
+            )
+        return runner
+
+    runner = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(runner.rows(), caption="E06 / Theorem 20: unidirectional bipolar routing"))
+    for record in runner.records:
+        experiment_log(
+            "E06/Theorem20",
+            "<= 4",
+            record.measured_worst,
+            record.graph_name,
+            "exhaustive" if record.exhaustive else "adversarial battery",
+        )
+        assert record.holds, record.as_row()
+
+
+@pytest.mark.benchmark(group="bipolar")
+def test_theorem23_bidirectional_5_t(benchmark, experiment_log):
+    """E07: bidirectional bipolar routing, worst surviving diameter <= 5."""
+
+    def run():
+        runner = ExperimentRunner(exhaustive_limit=600, seed=0)
+        for name, graph, t, roots in _bipolar_workloads():
+            runner.run(
+                "E07/Theorem23",
+                graph,
+                lambda g, t=t, r=roots: bidirectional_bipolar_routing(g, t=t, roots=r),
+                max_faults=t,
+                diameter_bound=5,
+            )
+        return runner
+
+    runner = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(runner.rows(), caption="E07 / Theorem 23: bidirectional bipolar routing"))
+    for record in runner.records:
+        experiment_log(
+            "E07/Theorem23",
+            "<= 5",
+            record.measured_worst,
+            record.graph_name,
+            "exhaustive" if record.exhaustive else "adversarial battery",
+        )
+        assert record.holds, record.as_row()
+
+
+@pytest.mark.benchmark(group="bipolar")
+def test_bipolar_construction_cost(benchmark):
+    """Construction-cost microbenchmark for the unidirectional bipolar routing."""
+    graph, r1, r2 = synthetic.two_trees_graph(t=2)
+    result = benchmark(lambda: unidirectional_bipolar_routing(graph, t=2, roots=(r1, r2)))
+    assert result.scheme == "bipolar-uni"

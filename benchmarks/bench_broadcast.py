@@ -1,0 +1,77 @@
+"""Experiment E13 — route-counter broadcast rounds vs the surviving diameter (Section 1).
+
+Section 1 claims that the number of broadcast rounds needed to recompute a
+routing table after failures is bounded by the diameter of the surviving route
+graph, using the route-counter protocol.  The bench runs the protocol from
+every surviving node on several constructions and fault sets and checks the
+measured maximum number of rounds against (a) the surviving diameter of the
+concrete instance and (b) the construction's proven diameter bound.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    circular_routing,
+    kernel_routing,
+    surviving_diameter,
+    tricircular_routing,
+    unidirectional_bipolar_routing,
+)
+from repro.graphs import generators, synthetic
+from repro.network import broadcast_rounds_from_all
+
+
+def _scenarios():
+    flower, flowers = synthetic.flower_graph(t=1, k=15)
+    two_trees, r1, r2 = synthetic.two_trees_graph(t=2)
+    circulant = generators.circulant_graph(12, [1, 2])
+    cycle = generators.cycle_graph(16)
+    return [
+        ("kernel / circulant-12", circulant, kernel_routing(circulant), [set(), {0}, {0, 6}]),
+        ("circular / cycle-16", cycle, circular_routing(cycle), [set(), {3}]),
+        ("tricircular / flower-t1", flower, tricircular_routing(flower, t=1, concentrator=flowers), [set(), {flowers[0]}]),
+        (
+            "bipolar-uni / two-trees-t2",
+            two_trees,
+            unidirectional_bipolar_routing(two_trees, t=2, roots=(r1, r2)),
+            [set(), {("branch", 1, 0)}],
+        ),
+    ]
+
+
+@pytest.mark.benchmark(group="broadcast")
+def test_broadcast_rounds_bounded_by_surviving_diameter(benchmark, experiment_log):
+    """E13: max broadcast rounds <= surviving diameter <= proven bound."""
+    scenarios = _scenarios()
+
+    def run():
+        rows = []
+        for label, graph, result, fault_sets in scenarios:
+            for faults in fault_sets:
+                diam = surviving_diameter(graph, result.routing, faults)
+                rounds = broadcast_rounds_from_all(graph, result.routing, faults=faults)
+                rows.append(
+                    {
+                        "scenario": label,
+                        "faults": len(faults),
+                        "max_rounds": max(rounds.values()),
+                        "surviving_diam": diam,
+                        "proven_bound": result.guarantee.diameter_bound,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, caption="E13 / Section 1: broadcast rounds vs surviving diameter"))
+    for row in rows:
+        experiment_log(
+            "E13/broadcast",
+            f"rounds <= diam <= {row['proven_bound']}",
+            f"{row['max_rounds']} <= {row['surviving_diam']}",
+            row["scenario"],
+        )
+        assert row["max_rounds"] <= row["surviving_diam"]
+        if row["faults"] <= 0 or row["faults"] <= row["proven_bound"]:
+            assert row["surviving_diam"] <= row["proven_bound"]

@@ -1,0 +1,66 @@
+"""Experiment E03 — the circular routing (Theorem 10).
+
+Theorem 10: any ``(t+1)``-connected graph with a neighbourhood set of size
+``t + 1`` (``t`` even) or ``t + 2`` (``t`` odd) has a bidirectional
+``(6, t)``-tolerant circular routing.  The bench covers cycles (``t = 1``),
+flower graphs with designated concentrators (``t = 2, 3``) and the
+``K = 2t + 1`` "wide" variant of Lemmas 6/7.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentRunner, format_table
+from repro.core import circular_routing
+from repro.graphs import generators, synthetic
+
+
+def _circular_workloads():
+    flower2, flowers2 = synthetic.flower_graph(t=2, k=5)
+    flower3, flowers3 = synthetic.flower_graph(t=3, k=6)
+    return [
+        ("cycle-12", generators.cycle_graph(12), 1, None, False),
+        ("cycle-24", generators.cycle_graph(24), 1, None, False),
+        ("flower-t2-k5", flower2, 2, flowers2, False),
+        ("flower-t3-k6", flower3, 3, flowers3, False),
+        ("flower-t2-k5 (wide)", flower2, 2, flowers2, True),
+    ]
+
+
+@pytest.mark.benchmark(group="circular")
+def test_theorem10_circular_6_t(benchmark, experiment_log):
+    """E03: worst surviving diameter <= 6 for |F| <= t."""
+
+    def run():
+        runner = ExperimentRunner(exhaustive_limit=800, seed=0)
+        for name, graph, t, concentrator, wide in _circular_workloads():
+            runner.run(
+                "E03/Theorem10",
+                graph,
+                lambda g, t=t, c=concentrator, w=wide: circular_routing(
+                    g, t=t, concentrator=c, wide=w
+                ),
+                max_faults=t,
+                diameter_bound=6,
+            )
+        return runner
+
+    runner = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(runner.rows(), caption="E03 / Theorem 10: circular routing, |F| <= t"))
+    for record in runner.records:
+        experiment_log(
+            "E03/Theorem10",
+            "<= 6",
+            record.measured_worst,
+            record.graph_name,
+            "exhaustive" if record.exhaustive else "adversarial battery",
+        )
+        assert record.holds, record.as_row()
+
+
+@pytest.mark.benchmark(group="circular")
+def test_circular_construction_cost(benchmark):
+    """Construction-cost microbenchmark for the circular routing."""
+    graph, flowers = synthetic.flower_graph(t=2, k=5)
+    result = benchmark(lambda: circular_routing(graph, t=2, concentrator=flowers))
+    assert result.scheme == "circular"

@@ -1,0 +1,173 @@
+"""Figures F1 / F2 / F3 — structural reproduction of the paper's three figures.
+
+The paper's figures are schematic diagrams of the three main constructions:
+
+* **Figure 1** — the circular routing: every outside node sends tree routings
+  into every ``Gamma_i``; every ``Gamma_i`` node sends tree routings forward
+  around the circle.
+* **Figure 2** — the tri-circular routing: three circular components with
+  forward routings inside each and cross routings to the next component.
+* **Figure 3** — the unidirectional bipolar routing: tree routings towards
+  ``M1`` and ``M2`` and from each concentrator node into its side's
+  neighbourhood sets.
+
+Since the figures carry structural (not numeric) information, the benches
+reproduce them as *component inventories*: for a concrete graph they count,
+for every component of the construction, how many routes it contributed, and
+assert the counts match what the definitions demand (e.g. every outside node
+really has ``t + 1`` routes into every ``Gamma_i``).  The printed tables are
+the textual analogue of the figures.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import circular_routing, tricircular_routing, unidirectional_bipolar_routing
+from repro.graphs import generators, synthetic
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure1_circular_structure(benchmark, experiment_log):
+    """F1: component inventory of the circular routing."""
+    graph, flowers = synthetic.flower_graph(t=2, k=5)
+
+    result = benchmark.pedantic(
+        lambda: circular_routing(graph, t=2, concentrator=flowers), rounds=1, iterations=1
+    )
+    routing = result.routing
+    members = result.concentrator
+    t = result.t
+    k = result.details["k"]
+    gammas = {m: graph.neighbors(m) for m in members}
+    gamma_union = set().union(*gammas.values())
+
+    rows = []
+    # CIRC 1: every node outside Gamma has t+1 routes into every Gamma_i.
+    outside = [x for x in graph.nodes() if x not in gamma_union]
+    circ1_ok = all(
+        sum(1 for y in gammas[m] if routing.has_route(x, y)) >= t + 1
+        for x in outside
+        for m in members[:k]
+    )
+    rows.append({"component": "CIRC 1", "sources": len(outside), "targets": f"all {k} Gamma_i", "ok": circ1_ok})
+    # CIRC 2: every Gamma node routes forward to ceil(K/2)-1 sets.
+    forward = math.ceil(k / 2) - 1
+    circ2_ok = True
+    for x in sorted(gamma_union, key=repr):
+        reached_sets = sum(
+            1
+            for m in members[:k]
+            if x not in gammas[m]
+            and sum(1 for y in gammas[m] if routing.has_route(x, y)) >= t + 1
+        )
+        if reached_sets < forward:
+            circ2_ok = False
+    rows.append({"component": "CIRC 2", "sources": len(gamma_union), "targets": f"{forward} forward sets", "ok": circ2_ok})
+    # CIRC 3: all edges have direct routes.
+    circ3_ok = all(routing.get_route(u, v) == (u, v) for u, v in graph.edges())
+    rows.append({"component": "CIRC 3", "sources": graph.number_of_edges(), "targets": "direct edges", "ok": circ3_ok})
+
+    print()
+    print(format_table(rows, caption="F1 / Figure 1: circular routing component inventory"))
+    experiment_log("F1/Figure1", "all components present", all(r["ok"] for r in rows), graph.name)
+    assert all(row["ok"] for row in rows)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure2_tricircular_structure(benchmark, experiment_log):
+    """F2: component inventory of the tri-circular routing."""
+    graph, flowers = synthetic.flower_graph(t=1, k=15)
+
+    result = benchmark.pedantic(
+        lambda: tricircular_routing(graph, t=1, concentrator=flowers), rounds=1, iterations=1
+    )
+    routing = result.routing
+    t = result.t
+    components = result.details["components"]
+    third = result.details["component_size"]
+    gammas = {m: graph.neighbors(m) for comp in components for m in comp}
+    gamma_union = set().union(*gammas.values())
+
+    def routes_into(x, member):
+        return sum(1 for y in gammas[member] if routing.has_route(x, y))
+
+    rows = []
+    outside = [x for x in graph.nodes() if x not in gamma_union]
+    tcirc1_ok = all(
+        routes_into(x, m) >= t + 1 for x in outside for comp in components for m in comp
+    )
+    rows.append({"component": "T-CIRC 1", "sources": len(outside), "targets": "all K sets", "ok": tcirc1_ok})
+
+    offsets = result.details["t_circ2_offsets"]
+    tcirc2_ok = True
+    tcirc3_ok = True
+    index_of = {}
+    for j, comp in enumerate(components):
+        for i, m in enumerate(comp):
+            for x in gammas[m]:
+                index_of[x] = (j, i)
+    for x in sorted(gamma_union, key=repr):
+        j, i = index_of[x]
+        for offset in offsets:
+            center = components[j][(i + offset) % third]
+            if routes_into(x, center) < t + 1:
+                tcirc2_ok = False
+        for center in components[(j + 1) % 3]:
+            if routes_into(x, center) < t + 1:
+                tcirc3_ok = False
+    rows.append({"component": "T-CIRC 2", "sources": len(gamma_union), "targets": f"offsets {offsets}", "ok": tcirc2_ok})
+    rows.append({"component": "T-CIRC 3", "sources": len(gamma_union), "targets": "next component", "ok": tcirc3_ok})
+    tcirc4_ok = all(routing.get_route(u, v) == (u, v) for u, v in graph.edges())
+    rows.append({"component": "T-CIRC 4", "sources": graph.number_of_edges(), "targets": "direct edges", "ok": tcirc4_ok})
+
+    print()
+    print(format_table(rows, caption="F2 / Figure 2: tri-circular routing component inventory"))
+    experiment_log("F2/Figure2", "all components present", all(r["ok"] for r in rows), graph.name)
+    assert all(row["ok"] for row in rows)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure3_bipolar_structure(benchmark, experiment_log):
+    """F3: component inventory of the unidirectional bipolar routing."""
+    graph, r1, r2 = synthetic.two_trees_graph(t=2)
+
+    result = benchmark.pedantic(
+        lambda: unidirectional_bipolar_routing(graph, t=2, roots=(r1, r2)),
+        rounds=1,
+        iterations=1,
+    )
+    routing = result.routing
+    t = result.t
+    m1, m2 = result.details["m1"], result.details["m2"]
+
+    rows = []
+    bpol1_ok = all(
+        sum(1 for m in m1 if routing.has_route(x, m)) >= t + 1
+        for x in graph.nodes()
+        if x not in set(m1)
+    )
+    rows.append({"component": "B-POL 1", "description": "x -> M1 tree routings", "ok": bpol1_ok})
+    bpol2_ok = all(
+        sum(1 for m in m2 if routing.has_route(x, m)) >= t + 1
+        for x in graph.nodes()
+        if x not in set(m2)
+    )
+    rows.append({"component": "B-POL 2", "description": "x -> M2 tree routings", "ok": bpol2_ok})
+    bpol34_ok = all(
+        sum(1 for y in graph.neighbors(center) if routing.has_route(member, y)) >= t + 1
+        for side in (m1, m2)
+        for member in side
+        for center in side
+    )
+    rows.append({"component": "B-POL 3/4", "description": "M -> Gamma tree routings", "ok": bpol34_ok})
+    bpol5_ok = all(routing.has_route(b, a) for (a, b) in routing.pairs())
+    rows.append({"component": "B-POL 5", "description": "reverse directions filled", "ok": bpol5_ok})
+    bpol6_ok = all(routing.get_route(u, v) == (u, v) for u, v in graph.edges())
+    rows.append({"component": "B-POL 6", "description": "direct edges", "ok": bpol6_ok})
+
+    print()
+    print(format_table(rows, caption="F3 / Figure 3: unidirectional bipolar routing component inventory"))
+    experiment_log("F3/Figure3", "all components present", all(r["ok"] for r in rows), graph.name)
+    assert all(row["ok"] for row in rows)

@@ -1,0 +1,95 @@
+"""Experiments E01 / E02 — the kernel routing (Theorems 3 and 4).
+
+* **Theorem 3** (Dolev et al.): the kernel routing on a ``(t+1)``-connected
+  graph is ``(2t, t)``-tolerant (quoted as ``max(2t, 4)`` for small ``t``).
+* **Theorem 4** (this paper): the same routing is ``(4, floor(t/2))``-tolerant.
+
+The bench sweeps cycles (``t = 1``), the synthetic kernel-test graphs
+(``t = 2, 3``) and a circulant (``t = 3``), searches fault sets exhaustively
+where feasible and with the combined adversarial battery otherwise, and checks
+the measured worst surviving diameter against both bounds.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentRunner, format_table
+from repro.core import kernel_routing
+from repro.graphs import generators, synthetic
+
+
+def _kernel_workloads():
+    return [
+        ("cycle-12", generators.cycle_graph(12), 1),
+        ("cycle-20", generators.cycle_graph(20), 1),
+        ("kernel-test-t2", synthetic.kernel_test_graph(t=2), 2),
+        ("kernel-test-t3", synthetic.kernel_test_graph(t=3), 3),
+        ("circulant-14(1,2)", generators.circulant_graph(14, [1, 2]), 3),
+    ]
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_theorem3_kernel_2t_t(benchmark, experiment_log):
+    """E01: worst surviving diameter <= max(2t, 4) for |F| <= t."""
+
+    def run():
+        runner = ExperimentRunner(exhaustive_limit=3000, seed=0)
+        for name, graph, t in _kernel_workloads():
+            runner.run(
+                "E01/Theorem3",
+                graph,
+                lambda g, t=t: kernel_routing(g, t=t),
+                max_faults=t,
+                diameter_bound=max(2 * t, 4),
+            )
+        return runner
+
+    runner = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(runner.rows(), caption="E01 / Theorem 3: kernel routing, |F| <= t"))
+    for record in runner.records:
+        experiment_log(
+            "E01/Theorem3",
+            f"<= {record.paper_bound}",
+            record.measured_worst,
+            record.graph_name,
+            "exhaustive" if record.exhaustive else "adversarial battery",
+        )
+        assert record.holds, record.as_row()
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_theorem4_kernel_4_halft(benchmark, experiment_log):
+    """E02: worst surviving diameter <= 4 for |F| <= floor(t/2)."""
+
+    def run():
+        runner = ExperimentRunner(exhaustive_limit=3000, seed=0)
+        for name, graph, t in _kernel_workloads():
+            runner.run(
+                "E02/Theorem4",
+                graph,
+                lambda g, t=t: kernel_routing(g, t=t),
+                max_faults=t // 2,
+                diameter_bound=4,
+            )
+        return runner
+
+    runner = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(runner.rows(), caption="E02 / Theorem 4: kernel routing, |F| <= floor(t/2)"))
+    for record in runner.records:
+        experiment_log(
+            "E02/Theorem4",
+            "<= 4",
+            record.measured_worst,
+            record.graph_name,
+            "exhaustive" if record.exhaustive else "adversarial battery",
+        )
+        assert record.holds, record.as_row()
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_kernel_construction_cost(benchmark):
+    """Construction-cost microbenchmark: building the kernel routing itself."""
+    graph = synthetic.kernel_test_graph(t=2)
+    result = benchmark(lambda: kernel_routing(graph, t=2))
+    assert result.scheme == "kernel"

@@ -1,0 +1,103 @@
+"""Experiment E11 — multiroutings (Section 6, observations 1-3).
+
+* ``t + 1`` parallel routes everywhere          -> surviving diameter 1;
+* ``t + 1`` parallel routes inside the kernel   -> surviving diameter 3;
+* at most two parallel routes (single tree)     -> small constant diameter
+  (we check the bipolar-style bound of 4 and report the measured value).
+
+The bench also reports the route-table sizes, the trade-off the paper's
+miserly model is about.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentRunner, format_table
+from repro.core import (
+    full_multirouting,
+    kernel_multirouting,
+    single_tree_multirouting,
+)
+from repro.graphs import generators, synthetic
+
+
+def _workloads():
+    return [
+        ("circulant-10(1,2)", generators.circulant_graph(10, [1, 2]), 3),
+        ("circulant-12(1,2)", generators.circulant_graph(12, [1, 2]), 3),
+        ("kernel-test-t2", synthetic.kernel_test_graph(t=2), 2),
+        ("cycle-12", generators.cycle_graph(12), 1),
+    ]
+
+
+_SCHEMES = [
+    ("multi-full", full_multirouting, 1),
+    ("multi-kernel", kernel_multirouting, 3),
+    ("multi-single-tree", single_tree_multirouting, 4),
+]
+
+
+@pytest.mark.benchmark(group="multirouting")
+def test_section6_multiroutings(benchmark, experiment_log):
+    """E11: surviving diameters 1 / 3 / <=4 for the three multirouting variants."""
+
+    def run():
+        runner = ExperimentRunner(exhaustive_limit=800, seed=0)
+        table_sizes = {}
+        for scheme_name, factory, bound in _SCHEMES:
+            for name, graph, t in _workloads():
+                record = runner.run(
+                    f"E11/{scheme_name}",
+                    graph,
+                    lambda g, t=t, f=factory: f(g, t=t),
+                    max_faults=t,
+                    diameter_bound=bound,
+                )
+                result = factory(graph, t=t)
+                table_sizes[(scheme_name, name)] = result.routing.route_count()
+        return runner, table_sizes
+
+    runner, table_sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = runner.rows()
+    for row in rows:
+        row["route_table"] = table_sizes.get((row["experiment"].split("/")[1], row["graph"]), "")
+    print()
+    print(format_table(rows, caption="E11 / Section 6: multiroutings"))
+    for record in runner.records:
+        experiment_log(
+            record.experiment,
+            f"<= {record.paper_bound}",
+            record.measured_worst,
+            record.graph_name,
+            "exhaustive" if record.exhaustive else "adversarial battery",
+        )
+        assert record.holds, record.as_row()
+    # The paper's observation (1): the full multirouting achieves diameter exactly 1.
+    for record in runner.records:
+        if record.experiment.endswith("multi-full"):
+            assert record.measured_worst == 1
+
+
+@pytest.mark.benchmark(group="multirouting")
+def test_multirouting_table_size_tradeoff(benchmark, experiment_log):
+    """E11b: the diameter-1 guarantee costs a quadratic route table."""
+    graph = generators.circulant_graph(12, [1, 2])
+
+    def run():
+        return {
+            "multi-full": full_multirouting(graph).routing.route_count(),
+            "multi-kernel": kernel_multirouting(graph).routing.route_count(),
+            "multi-single-tree": single_tree_multirouting(graph).routing.route_count(),
+        }
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"scheme": scheme, "routes_stored": count} for scheme, count in sizes.items()]
+    print()
+    print(format_table(rows, caption="E11b: route-table sizes on circulant-12(1,2)"))
+    experiment_log(
+        "E11b/table-size",
+        "full >> concentrator-based",
+        f"{sizes['multi-full']} vs {sizes['multi-kernel']}",
+        "circulant-12(1,2)",
+    )
+    assert sizes["multi-full"] > sizes["multi-kernel"]
+    assert sizes["multi-full"] > sizes["multi-single-tree"]

@@ -1,0 +1,98 @@
+"""Experiments E04 / E05 — the tri-circular routing (Theorem 13 and Remark 14).
+
+* **Theorem 13**: a neighbourhood set of ``6t + 9`` nodes yields a
+  ``(4, t)``-tolerant bidirectional routing.
+* **Remark 14**: ``3t + 3`` / ``3t + 6`` nodes suffice for a ``(5, t)``-tolerant
+  variant.
+
+Workloads: long cycles (whose natural spacing provides large neighbourhood
+sets) and flower graphs with designated concentrators.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentRunner, format_table
+from repro.core import tricircular_routing
+from repro.graphs import generators, synthetic
+
+
+@pytest.mark.benchmark(group="tricircular")
+def test_theorem13_tricircular_4_t(benchmark, experiment_log):
+    """E04: worst surviving diameter <= 4 for |F| <= t (K = 6t + 9)."""
+    flower, flowers = synthetic.flower_graph(t=1, k=15)
+    workloads = [
+        ("cycle-45", generators.cycle_graph(45), 1, None),
+        ("flower-t1-k15", flower, 1, flowers),
+    ]
+
+    def run():
+        runner = ExperimentRunner(exhaustive_limit=100, seed=0)
+        for name, graph, t, concentrator in workloads:
+            runner.run(
+                "E04/Theorem13",
+                graph,
+                lambda g, t=t, c=concentrator: tricircular_routing(g, t=t, concentrator=c),
+                max_faults=t,
+                diameter_bound=4,
+            )
+        return runner
+
+    runner = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(runner.rows(), caption="E04 / Theorem 13: tri-circular routing (K = 6t+9)"))
+    for record in runner.records:
+        experiment_log(
+            "E04/Theorem13",
+            "<= 4",
+            record.measured_worst,
+            record.graph_name,
+            "exhaustive" if record.exhaustive else "adversarial battery",
+        )
+        assert record.holds, record.as_row()
+
+
+@pytest.mark.benchmark(group="tricircular")
+def test_remark14_small_tricircular_5_t(benchmark, experiment_log):
+    """E05: worst surviving diameter <= 5 for |F| <= t (K = 3t+3 / 3t+6)."""
+    flower1, flowers1 = synthetic.flower_graph(t=1, k=9)
+    flower2, flowers2 = synthetic.flower_graph(t=2, k=9)
+    workloads = [
+        ("cycle-27", generators.cycle_graph(27), 1, None),
+        ("flower-t1-k9", flower1, 1, flowers1),
+        ("flower-t2-k9", flower2, 2, flowers2),
+    ]
+
+    def run():
+        runner = ExperimentRunner(exhaustive_limit=150, seed=0)
+        for name, graph, t, concentrator in workloads:
+            runner.run(
+                "E05/Remark14",
+                graph,
+                lambda g, t=t, c=concentrator: tricircular_routing(
+                    g, t=t, concentrator=c, small=True
+                ),
+                max_faults=t,
+                diameter_bound=5,
+            )
+        return runner
+
+    runner = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(runner.rows(), caption="E05 / Remark 14: small tri-circular routing"))
+    for record in runner.records:
+        experiment_log(
+            "E05/Remark14",
+            "<= 5",
+            record.measured_worst,
+            record.graph_name,
+            "exhaustive" if record.exhaustive else "adversarial battery",
+        )
+        assert record.holds, record.as_row()
+
+
+@pytest.mark.benchmark(group="tricircular")
+def test_tricircular_construction_cost(benchmark):
+    """Construction-cost microbenchmark for the tri-circular routing."""
+    graph, flowers = synthetic.flower_graph(t=1, k=15)
+    result = benchmark(lambda: tricircular_routing(graph, t=1, concentrator=flowers))
+    assert result.scheme == "tricircular"

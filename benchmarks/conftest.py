@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark corresponds to one experiment row of DESIGN.md / EXPERIMENTS.md
+(a theorem, remark, lemma or figure of the paper).  Benchmarks use
+pytest-benchmark to time the expensive step (constructing the routing and/or
+searching fault sets) and then *assert* that the measured worst surviving
+diameter respects the paper's bound, so `pytest benchmarks/ --benchmark-only`
+doubles as the reproduction's verification run.
+
+Run with ``-s`` to see the per-experiment tables printed by each bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import format_table
+
+#: Collected "paper vs measured" rows, printed at the end of the session.
+_SUMMARY_ROWS: List[Dict[str, object]] = []
+
+
+def record_experiment(
+    experiment: str,
+    paper_bound: object,
+    measured: object,
+    graph_name: str,
+    notes: str = "",
+) -> None:
+    """Register one experiment outcome for the end-of-session summary."""
+    _SUMMARY_ROWS.append(
+        {
+            "experiment": experiment,
+            "graph": graph_name,
+            "paper_bound": paper_bound,
+            "measured": measured,
+            "notes": notes,
+        }
+    )
+
+
+@pytest.fixture
+def experiment_log():
+    """Fixture exposing :func:`record_experiment` to individual benches."""
+    return record_experiment
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _SUMMARY_ROWS:
+        print()
+        print(format_table(_SUMMARY_ROWS, caption="=== Paper vs measured (all experiments) ==="))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Interconnection networks: comparing constructions on hypercube-family graphs.
+
+The paper motivates its constructions with the interconnection networks used
+in distributed systems — the hypercube and its bounded-degree realisations,
+the cube-connected cycles (CCC) and the butterfly ("d-way shuffle").  This
+example builds every applicable construction on each of those networks, then
+reports, per construction,
+
+* the proven ``(d, f)`` guarantee,
+* the route-table size (the cost of the routing), and
+* the measured worst surviving diameter over an adversarial battery of fault
+  sets of the admissible size,
+
+so you can see the trade-off the paper is about: stronger constructions need
+stronger structural properties but promise smaller surviving diameters.
+
+Run with::
+
+    python examples/hypercube_fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import applicable_strategies, build_routing, check_tolerance
+from repro.graphs import generators, node_connectivity
+
+
+NETWORKS = [
+    ("hypercube Q3", generators.hypercube_graph(3)),
+    ("hypercube Q4", generators.hypercube_graph(4)),
+    ("CCC(3)", generators.cube_connected_cycles_graph(3)),
+    ("wrapped butterfly(3)", generators.butterfly_graph(3, wrapped=True)),
+    ("torus 4x4", generators.torus_graph(4, 4)),
+]
+
+
+def main() -> None:
+    rows = []
+    for name, graph in NETWORKS:
+        t = node_connectivity(graph) - 1
+        strategies = applicable_strategies(graph, t=t)
+        print(f"{name}: n={graph.number_of_nodes()}, kappa={t + 1}, "
+              f"applicable constructions: {strategies}")
+        for strategy in strategies:
+            result = build_routing(graph, strategy=strategy, t=t)
+            report = check_tolerance(
+                result.graph,
+                result.routing,
+                result.guarantee.diameter_bound,
+                result.guarantee.max_faults,
+                exhaustive_limit=300,
+                concentrator=result.concentrator,
+                seed=0,
+            )
+            rows.append(
+                {
+                    "network": name,
+                    "n": graph.number_of_nodes(),
+                    "t": t,
+                    "construction": result.scheme,
+                    "guarantee": str(result.guarantee),
+                    "routes": len(result.routing),
+                    "measured_worst": report.worst_diameter,
+                    "mode": "exhaustive" if report.exhaustive else "adversarial",
+                }
+            )
+
+    print()
+    print(
+        format_table(
+            rows,
+            caption="Fault-tolerant routings on the paper's interconnection networks",
+        )
+    )
+    print()
+    print("Reading the table: 'measured_worst' never exceeds the bound inside")
+    print("'guarantee'; the kernel fallback applies everywhere, while the")
+    print("circular / bipolar constructions need the structural properties of")
+    print("Sections 4 and 5 (hypercubes lack them at these sizes - their girth")
+    print("is 4 and their neighbourhood sets are small - which is exactly why")
+    print("the paper highlights sparse, high-girth networks).")
+
+
+if __name__ == "__main__":
+    main()

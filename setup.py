@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools/wheel combination cannot perform PEP 660
+editable installs (pip then falls back to the legacy ``setup.py develop``
+path, which needs this file).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro — fault-tolerant routings for general networks.
+
+A production-quality reproduction of
+
+    David Peleg and Barbara Simons,
+    "On Fault Tolerant Routings in General Networks",
+    PODC 1986 / Information and Computation 74:33-49 (1987).
+
+The package is organised as follows:
+
+* :mod:`repro.graphs`   — self-contained graph substrate (graphs, connectivity,
+  disjoint paths, separators, structural properties, generators);
+* :mod:`repro.core`     — the paper's constructions: kernel, circular,
+  tri-circular and bipolar routings, multiroutings, network augmentation,
+  surviving route graphs and ``(d, f)``-tolerance checking;
+* :mod:`repro.faults`   — fault models, adversarial fault-set search and
+  Monte-Carlo fault-injection campaigns;
+* :mod:`repro.network`  — a small discrete-event message-passing simulator
+  that runs the routings as a real network would (fixed source routes,
+  endpoint services, route-counter broadcast for table recomputation);
+* :mod:`repro.analysis` — experiment runners and report formatting used by
+  the benchmark suite and the examples.
+
+Quickstart::
+
+    from repro import build_routing, surviving_diameter
+    from repro.graphs import generators
+
+    graph = generators.hypercube_graph(4)
+    result = build_routing(graph)            # picks the strongest construction
+    print(result.describe())
+    print(surviving_diameter(graph, result.routing, faults={0, 3, 5}))
+"""
+
+from repro.core import (
+    ConstructionResult,
+    Guarantee,
+    MultiRouting,
+    Routing,
+    ToleranceReport,
+    bidirectional_bipolar_routing,
+    build_routing,
+    check_tolerance,
+    circular_routing,
+    clique_augmented_kernel_routing,
+    full_multirouting,
+    kernel_multirouting,
+    kernel_routing,
+    single_tree_multirouting,
+    surviving_diameter,
+    surviving_route_graph,
+    tricircular_routing,
+    unidirectional_bipolar_routing,
+    verify_construction,
+)
+from repro.graphs import Graph, DiGraph
+from repro.faults import FaultSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstructionResult",
+    "Guarantee",
+    "MultiRouting",
+    "Routing",
+    "ToleranceReport",
+    "bidirectional_bipolar_routing",
+    "build_routing",
+    "check_tolerance",
+    "circular_routing",
+    "clique_augmented_kernel_routing",
+    "full_multirouting",
+    "kernel_multirouting",
+    "kernel_routing",
+    "single_tree_multirouting",
+    "surviving_diameter",
+    "surviving_route_graph",
+    "tricircular_routing",
+    "unidirectional_bipolar_routing",
+    "verify_construction",
+    "Graph",
+    "DiGraph",
+    "FaultSet",
+    "__version__",
+]

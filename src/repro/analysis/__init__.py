@@ -1,0 +1,38 @@
+"""Experiment runners, sweeps and report formatting for the benchmarks."""
+
+from repro.analysis.experiments import ExperimentRecord, ExperimentRunner
+from repro.analysis.degree_bounds import (
+    CIRCULAR_CONSTANT,
+    TRICIRCULAR_CONSTANT,
+    DegreeBoundRecord,
+    evaluate_degree_bounds,
+    minimum_size_for_circular,
+    minimum_size_for_tricircular,
+)
+from repro.analysis.random_graphs import (
+    TwoTreesSample,
+    fixed_pair_is_good,
+    lemma24_bad_probability_bound,
+    sample_two_trees_probability,
+    sweep_two_trees,
+)
+from repro.analysis.reporting import bullet_list, format_comparison, format_table
+
+__all__ = [
+    "ExperimentRecord",
+    "ExperimentRunner",
+    "CIRCULAR_CONSTANT",
+    "TRICIRCULAR_CONSTANT",
+    "DegreeBoundRecord",
+    "evaluate_degree_bounds",
+    "minimum_size_for_circular",
+    "minimum_size_for_tricircular",
+    "TwoTreesSample",
+    "fixed_pair_is_good",
+    "lemma24_bad_probability_bound",
+    "sample_two_trees_probability",
+    "sweep_two_trees",
+    "bullet_list",
+    "format_comparison",
+    "format_table",
+]

@@ -1,0 +1,135 @@
+"""Degree-threshold analysis (Lemma 15, Theorem 16, Corollary 17).
+
+Corollary 17 states that every ``(t + 1)``-connected graph with maximal degree
+``d < 0.79 * n^(1/3)`` admits the ``(6, t)``-tolerant circular routing, and
+every one with ``d < 0.46 * n^(1/3)`` admits the ``(4, t)``-tolerant
+tri-circular routing.  The mechanism is purely counting: Lemma 15's greedy
+algorithm always finds a neighbourhood set of at least ``ceil(n / (d^2 + 1))``
+nodes, and under the degree threshold that guaranteed size exceeds the ``K``
+the construction needs (``t + 2`` and ``6t + 9`` respectively, with
+``t + 1 <= d``).
+
+This module evaluates both sides of that inequality for concrete graphs so
+the corresponding benchmark can tabulate: the paper's threshold, the graph's
+actual maximal degree, the guaranteed and the actually-found neighbourhood-set
+sizes, and whether the construction's requirement is met.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.concentrators import (
+    greedy_neighborhood_set,
+    lemma15_lower_bound,
+    required_neighborhood_set_size,
+)
+from repro.graphs.graph import Graph
+
+#: Corollary 17 constants.
+CIRCULAR_CONSTANT = 0.79
+TRICIRCULAR_CONSTANT = 0.46
+
+
+@dataclasses.dataclass
+class DegreeBoundRecord:
+    """Evaluation of the degree-threshold machinery on one graph."""
+
+    graph_name: str
+    n: int
+    max_degree: int
+    t: int
+    circular_threshold: float
+    tricircular_threshold: float
+    within_circular_bound: bool
+    within_tricircular_bound: bool
+    lemma15_guarantee: int
+    greedy_found: int
+    circular_required: int
+    tricircular_required: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the record as a table row."""
+        return {
+            "graph": self.graph_name,
+            "n": self.n,
+            "max_deg": self.max_degree,
+            "t": self.t,
+            "0.79*n^(1/3)": round(self.circular_threshold, 2),
+            "0.46*n^(1/3)": round(self.tricircular_threshold, 2),
+            "circ_bound_ok": "yes" if self.within_circular_bound else "no",
+            "tricirc_bound_ok": "yes" if self.within_tricircular_bound else "no",
+            "lemma15>=": self.lemma15_guarantee,
+            "greedy_found": self.greedy_found,
+            "circ_needs_K": self.circular_required,
+            "tricirc_needs_K": self.tricircular_required,
+        }
+
+    @property
+    def circular_applicable(self) -> bool:
+        """``True`` when the greedy set is large enough for the circular routing."""
+        return self.greedy_found >= self.circular_required
+
+    @property
+    def tricircular_applicable(self) -> bool:
+        """``True`` when the greedy set is large enough for the tri-circular routing."""
+        return self.greedy_found >= self.tricircular_required
+
+
+def evaluate_degree_bounds(graph: Graph, t: Optional[int] = None) -> DegreeBoundRecord:
+    """Evaluate Lemma 15 / Corollary 17 quantities on ``graph``.
+
+    ``t`` defaults to ``max_degree - 1`` *upper-bounding* the connectivity-based
+    parameter (the corollary's inequality ``t + 1 <= d`` is what the proof
+    uses), so the record is meaningful even for graphs whose exact
+    connectivity has not been computed; pass the true ``t`` for sharper
+    numbers.
+    """
+    n = graph.number_of_nodes()
+    d = graph.max_degree()
+    if t is None:
+        t = max(d - 1, 0)
+    circular_threshold = CIRCULAR_CONSTANT * n ** (1.0 / 3.0)
+    tricircular_threshold = TRICIRCULAR_CONSTANT * n ** (1.0 / 3.0)
+    greedy = greedy_neighborhood_set(graph)
+    return DegreeBoundRecord(
+        graph_name=graph.name or "G",
+        n=n,
+        max_degree=d,
+        t=t,
+        circular_threshold=circular_threshold,
+        tricircular_threshold=tricircular_threshold,
+        within_circular_bound=d < circular_threshold,
+        within_tricircular_bound=d < tricircular_threshold,
+        lemma15_guarantee=lemma15_lower_bound(graph),
+        greedy_found=len(greedy),
+        circular_required=required_neighborhood_set_size(t, "circular"),
+        tricircular_required=required_neighborhood_set_size(t, "tricircular"),
+    )
+
+
+def minimum_size_for_circular(max_degree: int, t: int) -> int:
+    """Return the smallest ``n`` for which Theorem 16's counting argument closes.
+
+    The circular routing needs ``ceil(n / (d^2 + 1)) >= t + 2``; since
+    ``t + 1 <= d`` it suffices that ``n >= (d + 1)(d^2 + 1)`` — the quantity
+    returned here (the ``d^3 + d^2 + d + 1`` of the proof of Theorem 16).
+    """
+    if max_degree < 1:
+        raise ValueError("max_degree must be positive")
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    d = max_degree
+    return d ** 3 + d ** 2 + d + 1
+
+
+def minimum_size_for_tricircular(max_degree: int, t: int) -> int:
+    """Return the ``n`` threshold of Theorem 16(2): ``6d^3 + 3d^2 + 6d + 3``."""
+    if max_degree < 1:
+        raise ValueError("max_degree must be positive")
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    d = max_degree
+    return 6 * d ** 3 + 3 * d ** 2 + 6 * d + 3

@@ -1,0 +1,156 @@
+"""Empirical study of the two-trees property in sparse random graphs.
+
+Lemma 24 shows that for ``G(n, p)`` with ``p <= c * n^eps / n`` and
+``eps < 1/4``, the probability that the graph *lacks* the two-trees property
+is ``O(n^{-delta})`` for some ``delta > 0`` — i.e. almost every sparse random
+graph admits the bipolar routings of Theorem 25.  The proof works through
+three "bad" events for a fixed labelled pair of vertices (1 and 2): either
+vertex lies on a cycle of length at most 4, or they are at distance less than
+4 (any *good* pair witnesses the property).
+
+This module measures both quantities empirically:
+
+* the fraction of samples in which the *fixed pair* ``(0, 1)`` is good
+  (the event the lemma actually bounds), and
+* the fraction in which *some* pair is good (the event Theorem 25 needs),
+
+together with the lemma's analytic upper bound on the bad-pair probability,
+so the benchmark can show the measured curve sitting below the bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random as _random
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.graphs.generators import gnp_random_graph
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    has_two_trees_property,
+    lies_on_short_cycle,
+    satisfies_two_trees_property,
+)
+from repro.graphs.traversal import bfs_distances
+
+RandomLike = Union[int, _random.Random, None]
+
+
+@dataclasses.dataclass
+class TwoTreesSample:
+    """Empirical two-trees statistics for one ``(n, p)`` point."""
+
+    n: int
+    p: float
+    samples: int
+    fixed_pair_good: float
+    some_pair_good: float
+    bad_event_bound: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the sample as a table row."""
+        return {
+            "n": self.n,
+            "p": round(self.p, 5),
+            "samples": self.samples,
+            "fixed_pair_good": round(self.fixed_pair_good, 3),
+            "some_pair_good": round(self.some_pair_good, 3),
+            "lemma24_bad_bound": round(self.bad_event_bound, 3),
+        }
+
+
+def fixed_pair_is_good(graph: Graph, first=0, second=1) -> bool:
+    """Return ``True`` if the fixed pair is "good" in Lemma 24's sense.
+
+    Good means: neither vertex lies on a cycle of length at most 4 and their
+    distance is at least 4.  Every good pair witnesses the two-trees property.
+    """
+    if not graph.has_node(first) or not graph.has_node(second):
+        return False
+    if lies_on_short_cycle(graph, first, 4) or lies_on_short_cycle(graph, second, 4):
+        return False
+    distance = bfs_distances(graph, first).get(second, float("inf"))
+    if distance < 4:
+        return False
+    return satisfies_two_trees_property(graph, first, second)
+
+
+def lemma24_bad_probability_bound(n: int, p: float) -> float:
+    """Evaluate Lemma 24's explicit upper bound on ``P(bad)``.
+
+    The proof bounds the probability of the union of the three bad events by
+
+        ``2 * (n^2/2 * p^3 + n^3/2 * 3p^4)            (short cycles at 1 or 2)``
+        ``+ n^3 p^4 + n^2 p^3 + n p^2 + p             (distance < 4)``
+
+    (using the crude ``binom(n-1, 2) <= n^2/2`` style estimates of the paper).
+    The bound can exceed 1 for dense graphs; it is only informative in the
+    sparse regime the lemma addresses.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    cycle_bound = (n ** 2 / 2.0) * p ** 3 + (n ** 3 / 2.0) * 3 * p ** 4
+    distance_bound = n ** 3 * p ** 4 + n ** 2 * p ** 3 + n * p ** 2 + p
+    return min(1.0, 2 * cycle_bound + distance_bound)
+
+
+def sample_two_trees_probability(
+    n: int,
+    p: float,
+    samples: int = 20,
+    seed: RandomLike = None,
+    search_all_pairs: bool = True,
+) -> TwoTreesSample:
+    """Estimate the two-trees probabilities for ``G(n, p)`` by sampling.
+
+    Parameters
+    ----------
+    search_all_pairs:
+        When ``True`` (default) also record whether *any* pair of vertices
+        witnesses the property (the quantity Theorem 25 cares about); the
+        search is the expensive part, so large sweeps may disable it and rely
+        on the fixed-pair estimate, which is a lower bound.
+    """
+    rng = _random.Random(seed) if not isinstance(seed, _random.Random) else seed
+    fixed_good = 0
+    any_good = 0
+    for _ in range(samples):
+        graph = gnp_random_graph(n, p, seed=rng)
+        if fixed_pair_is_good(graph):
+            fixed_good += 1
+            any_good += 1
+        elif search_all_pairs and has_two_trees_property(graph):
+            any_good += 1
+    return TwoTreesSample(
+        n=n,
+        p=p,
+        samples=samples,
+        fixed_pair_good=fixed_good / samples,
+        some_pair_good=(any_good / samples) if search_all_pairs else float("nan"),
+        bad_event_bound=lemma24_bad_probability_bound(n, p),
+    )
+
+
+def sweep_two_trees(
+    sizes: Sequence[int],
+    c: float = 1.0,
+    eps: float = 0.2,
+    samples: int = 20,
+    seed: RandomLike = 0,
+    search_all_pairs: bool = True,
+) -> List[TwoTreesSample]:
+    """Sweep ``G(n, p)`` with ``p = c * n^eps / n`` over the given sizes.
+
+    ``eps < 1/4`` keeps the sweep inside the regime of Lemma 24 / Theorem 25.
+    """
+    if not 0 <= eps:
+        raise ValueError("eps must be non-negative")
+    results = []
+    for n in sizes:
+        p = min(1.0, c * (n ** eps) / n)
+        results.append(
+            sample_two_trees_probability(
+                n, p, samples=samples, seed=seed, search_all_pairs=search_all_pairs
+            )
+        )
+    return results

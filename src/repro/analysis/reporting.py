@@ -1,0 +1,81 @@
+"""Plain-text table formatting for experiment reports.
+
+The paper has no numeric tables of its own (it is a theory paper), so the
+reproduction's "tables" are the per-theorem verification tables printed by the
+benchmarks and examples.  This module renders them consistently: fixed-width
+columns, a header rule, and a caption line naming the experiment and the
+paper result it corresponds to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    caption: str = "",
+) -> str:
+    """Render a list of dict rows as a fixed-width text table.
+
+    Parameters
+    ----------
+    rows:
+        The table body; every row is a mapping from column name to value.
+    columns:
+        Optional explicit column order (defaults to the keys of the first row
+        in insertion order).
+    caption:
+        Optional caption printed above the table.
+    """
+    if not rows:
+        return caption + "\n(no rows)" if caption else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            if value == float("inf"):
+                return "inf"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    widths = {column: len(column) for column in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [render(row.get(column, "")) for column in columns]
+        rendered_rows.append(rendered)
+        for column, cell in zip(columns, rendered):
+            widths[column] = max(widths[column], len(cell))
+
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    rule = "  ".join("-" * widths[column] for column in columns)
+    body = [
+        "  ".join(cell.ljust(widths[column]) for column, cell in zip(columns, rendered))
+        for rendered in rendered_rows
+    ]
+    lines = []
+    if caption:
+        lines.append(caption)
+    lines.extend([header, rule])
+    lines.extend(body)
+    return "\n".join(lines)
+
+
+def format_comparison(
+    experiment: str,
+    paper_value: object,
+    measured_value: object,
+    note: str = "",
+) -> str:
+    """Render a one-line "paper vs measured" comparison used in EXPERIMENTS.md."""
+    line = f"{experiment}: paper bound = {paper_value}, measured worst = {measured_value}"
+    if note:
+        line += f" ({note})"
+    return line
+
+
+def bullet_list(items: Iterable[str], indent: str = "  ") -> str:
+    """Render an indented bullet list."""
+    return "\n".join(f"{indent}* {item}" for item in items)

@@ -1,0 +1,239 @@
+"""Command-line interface: build, verify, inspect and export routings.
+
+The CLI wraps the library's main entry points so that the reproduction can be
+driven without writing Python:
+
+* ``python -m repro build --graph cycle:24 --strategy auto --output routing.json``
+  builds a routing for a generated graph and optionally saves it;
+* ``python -m repro verify --graph cycle:24 --strategy circular``
+  builds and then checks the construction's ``(d, f)`` guarantee;
+* ``python -m repro stats --graph hypercube:4 --strategy kernel``
+  prints the routing-table statistics (lengths, stretch, load);
+* ``python -m repro simulate --graph cycle:16 --faults 3,7 --messages 5``
+  runs the network simulator over the routing with the given failed nodes;
+* ``python -m repro graphs``
+  lists the graph specifications the ``--graph`` option accepts.
+
+Graph specifications have the form ``name:arg1,arg2`` — e.g. ``cycle:24``,
+``hypercube:4``, ``circulant:16,1,2``, ``gnp:40,0.08,7`` (n, p, seed),
+``flower:2,5`` (t, k) and ``two-trees:2`` (t).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis import format_table
+from repro.core import build_routing, verify_construction
+from repro.core.statistics import concentrator_load_share, routing_statistics
+from repro.core.builder import available_strategies
+from repro.exceptions import ReproError
+from repro.graphs import generators, synthetic
+from repro.graphs.graph import Graph
+from repro.network import NetworkSimulator, XorEncryptionService
+from repro.serialization import construction_to_dict, save_json
+
+
+# ----------------------------------------------------------------------
+# Graph specification parsing
+# ----------------------------------------------------------------------
+def _spec_int(values: Sequence[str], index: int, default: Optional[int] = None) -> int:
+    try:
+        return int(values[index])
+    except IndexError:
+        if default is not None:
+            return default
+        raise ValueError("missing integer argument") from None
+
+
+GRAPH_FACTORIES: Dict[str, Callable[[List[str]], Graph]] = {
+    "cycle": lambda args: generators.cycle_graph(_spec_int(args, 0, 12)),
+    "path": lambda args: generators.path_graph(_spec_int(args, 0, 12)),
+    "complete": lambda args: generators.complete_graph(_spec_int(args, 0, 6)),
+    "hypercube": lambda args: generators.hypercube_graph(_spec_int(args, 0, 3)),
+    "ccc": lambda args: generators.cube_connected_cycles_graph(_spec_int(args, 0, 3)),
+    "butterfly": lambda args: generators.butterfly_graph(_spec_int(args, 0, 3)),
+    "grid": lambda args: generators.grid_graph(_spec_int(args, 0, 4), _spec_int(args, 1, 4)),
+    "torus": lambda args: generators.torus_graph(_spec_int(args, 0, 4), _spec_int(args, 1, 4)),
+    "circulant": lambda args: generators.circulant_graph(
+        _spec_int(args, 0, 12), [int(value) for value in args[1:]] or [1, 2]
+    ),
+    "petersen": lambda args: generators.petersen_graph(),
+    "gnp": lambda args: generators.gnp_random_graph(
+        _spec_int(args, 0, 30), float(args[1]) if len(args) > 1 else 0.1, seed=_spec_int(args, 2, 0)
+    ),
+    "harary": lambda args: generators.harary_graph(_spec_int(args, 0, 3), _spec_int(args, 1, 10)),
+    "flower": lambda args: synthetic.flower_graph(_spec_int(args, 0, 1), _spec_int(args, 1, 5))[0],
+    "two-trees": lambda args: synthetic.two_trees_graph(_spec_int(args, 0, 1))[0],
+    "kernel-test": lambda args: synthetic.kernel_test_graph(_spec_int(args, 0, 1)),
+}
+
+
+def parse_graph_spec(spec: str) -> Graph:
+    """Parse a ``name:arg1,arg2`` graph specification into a graph."""
+    name, _, argument_text = spec.partition(":")
+    name = name.strip().lower()
+    if name not in GRAPH_FACTORIES:
+        raise ValueError(
+            f"unknown graph family {name!r}; available: {sorted(GRAPH_FACTORIES)}"
+        )
+    arguments = [item.strip() for item in argument_text.split(",") if item.strip()]
+    try:
+        return GRAPH_FACTORIES[name](arguments)
+    except (ValueError, TypeError) as exc:
+        raise ValueError(f"invalid arguments for graph family {name!r}: {exc}") from exc
+
+
+def _parse_faults(text: Optional[str], graph: Graph) -> List:
+    """Parse a comma-separated fault list, matching integer labels where possible."""
+    if not text:
+        return []
+    faults = []
+    labels = {str(node): node for node in graph.nodes()}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token in labels:
+            faults.append(labels[token])
+        else:
+            raise ValueError(f"node {token!r} is not in the graph")
+    return faults
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_graphs(_args: argparse.Namespace) -> int:
+    rows = [{"family": name, "example": f"{name}:..."} for name in sorted(GRAPH_FACTORIES)]
+    print(format_table(rows, caption="Available graph families (--graph name:args)"))
+    return 0
+
+
+def _build(args: argparse.Namespace):
+    graph = parse_graph_spec(args.graph)
+    result = build_routing(graph, strategy=args.strategy, t=args.t)
+    return graph, result
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    _graph, result = _build(args)
+    print(result.describe())
+    if args.output:
+        save_json(construction_to_dict(result), args.output)
+        print(f"\nrouting written to {args.output}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    _graph, result = _build(args)
+    report = verify_construction(result, exhaustive_limit=args.exhaustive_limit)
+    print(result.describe())
+    print()
+    print(report)
+    return 0 if report.holds else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    _graph, result = _build(args)
+    stats = routing_statistics(result.routing)
+    print(result.describe())
+    print()
+    print(format_table([stats.as_row()], caption="Routing-table statistics"))
+    if result.concentrator:
+        share = concentrator_load_share(result.routing, result.concentrator)
+        print(f"\nconcentrator load share: {share:.0%}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph, result = _build(args)
+    faults = _parse_faults(args.faults, graph)
+    simulator = NetworkSimulator(graph, result.routing, service=XorEncryptionService())
+    simulator.fail_nodes(faults)
+    alive = [node for node in graph.nodes() if node not in set(faults)]
+    rng = random.Random(args.seed)
+    rows = []
+    for index in range(args.messages):
+        origin, destination = rng.sample(alive, 2)
+        receipt = simulator.send(origin, destination, f"message-{index}")
+        rows.append(
+            {
+                "from": str(origin),
+                "to": str(destination),
+                "delivered": "yes" if receipt.delivered else "NO",
+                "route_segments": receipt.routes_used,
+                "hops": receipt.hops,
+            }
+        )
+    print(result.describe())
+    print()
+    print(format_table(rows, caption=f"Simulated deliveries with faults {faults}"))
+    print(f"\n{simulator.describe()}")
+    return 0 if all(row["delivered"] == "yes" for row in rows) else 1
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant routings for general networks (Peleg & Simons, 1986)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--graph", required=True, help="graph spec, e.g. cycle:24 or circulant:16,1,2")
+        sub.add_argument(
+            "--strategy",
+            default="auto",
+            choices=available_strategies(),
+            help="construction to use (default: auto)",
+        )
+        sub.add_argument("--t", type=int, default=None, help="fault parameter override")
+
+    sub_build = subparsers.add_parser("build", help="build a routing and print its summary")
+    add_common(sub_build)
+    sub_build.add_argument("--output", help="write the construction to this JSON file")
+    sub_build.set_defaults(handler=_cmd_build)
+
+    sub_verify = subparsers.add_parser("verify", help="build a routing and verify its guarantee")
+    add_common(sub_verify)
+    sub_verify.add_argument("--exhaustive-limit", type=int, default=20000)
+    sub_verify.set_defaults(handler=_cmd_verify)
+
+    sub_stats = subparsers.add_parser("stats", help="print routing-table statistics")
+    add_common(sub_stats)
+    sub_stats.set_defaults(handler=_cmd_stats)
+
+    sub_simulate = subparsers.add_parser("simulate", help="simulate deliveries under faults")
+    add_common(sub_simulate)
+    sub_simulate.add_argument("--faults", default="", help="comma-separated failed nodes, e.g. 3,7")
+    sub_simulate.add_argument("--messages", type=int, default=5)
+    sub_simulate.add_argument("--seed", type=int, default=0)
+    sub_simulate.set_defaults(handler=_cmd_simulate)
+
+    sub_graphs = subparsers.add_parser("graphs", help="list available graph families")
+    sub_graphs.set_defaults(handler=_cmd_graphs)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""The bipolar constructions (Section 5, Theorems 20 and 23).
+
+A graph has the *two-trees property* when there are two roots ``r1, r2``
+whose depth-2 neighbourhoods form two disjoint trees: the sets
+``M1 = Gamma(r1)``, ``M2 = Gamma(r2)``, ``Gamma(x) - {r1}`` for ``x`` in
+``M1`` and ``Gamma(x) - {r2}`` for ``x`` in ``M2`` are all pairwise disjoint.
+The concentrator is ``M = M1 | M2``; ``Gamma_1`` / ``Gamma_2`` denote the
+unions of the neighbour sets of the ``M1`` / ``M2`` nodes.
+
+Two routings are defined:
+
+* the **unidirectional bipolar routing** (Theorem 20, ``(4, t)``-tolerant) —
+  components B-POL 1–6: tree routings from every node outside ``M1`` to
+  ``M1`` and outside ``M2`` to ``M2`` (directed towards the concentrator),
+  tree routings from each ``M1`` / ``M2`` node to each ``Gamma^1_j`` /
+  ``Gamma^2_j`` set (directed away from the concentrator), reverse routes
+  filled in along the same paths where only one direction was specified, and
+  direct edge routes;
+* the **bidirectional bipolar routing** (Theorem 23, ``(5, t)``-tolerant) —
+  components 2B-POL 1–5, which restrict the tree routings towards ``M1`` /
+  ``M2`` to nodes outside ``Gamma_1`` / ``Gamma_2`` so that the symmetric
+  closure never assigns two different paths to the same pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.concentrators import (
+    two_trees_concentrator,
+    two_trees_concentrator_for_roots,
+)
+from repro.core.construction import ConstructionResult, Guarantee
+from repro.core.routing import Routing
+from repro.core.tree_routing import tree_routing, tree_routing_to_neighborhood
+from repro.exceptions import ConstructionError
+from repro.graphs.connectivity import connectivity_parameter
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+def _bipolar_structure(
+    graph: Graph, roots: Optional[Tuple[Node, Node]]
+) -> Tuple[Node, Node, List[Node], List[Node], Set[Node], Set[Node]]:
+    """Resolve roots, concentrator halves and the ``Gamma_1`` / ``Gamma_2`` unions."""
+    if roots is None:
+        r1, r2, m1, m2 = two_trees_concentrator(graph)
+    else:
+        r1, r2, m1, m2 = two_trees_concentrator_for_roots(graph, roots[0], roots[1])
+    gamma1: Set[Node] = set()
+    for member in m1:
+        gamma1 |= graph.neighbors(member)
+    gamma2: Set[Node] = set()
+    for member in m2:
+        gamma2 |= graph.neighbors(member)
+    return r1, r2, m1, m2, gamma1, gamma2
+
+
+def unidirectional_bipolar_routing(
+    graph: Graph,
+    t: Optional[int] = None,
+    roots: Optional[Tuple[Node, Node]] = None,
+) -> ConstructionResult:
+    """Construct the unidirectional bipolar routing (Theorem 20, ``(4, t)``-tolerant).
+
+    Parameters
+    ----------
+    graph:
+        The underlying ``(t + 1)``-connected network with the two-trees
+        property.
+    t:
+        Fault parameter; defaults to ``kappa(G) - 1``.
+    roots:
+        Optional explicit pair of roots; verified against the two-trees
+        property.  When omitted a pair is searched for automatically.
+    """
+    if t is None:
+        t = connectivity_parameter(graph)
+    if t < 0:
+        raise ConstructionError("t must be non-negative")
+    width = t + 1
+    r1, r2, m1, m2, gamma1, gamma2 = _bipolar_structure(graph, roots)
+    m1_set, m2_set = set(m1), set(m2)
+    if len(m1_set) < width or len(m2_set) < width:
+        raise ConstructionError(
+            "two-trees roots must have degree at least t + 1 for the bipolar routing"
+        )
+
+    routing = Routing(graph, bidirectional=False, name="bipolar-uni")
+
+    # Component B-POL 1: tree routing from each node outside M1 to M1
+    # (direction: towards the concentrator).
+    for node in graph.nodes():
+        if node in m1_set:
+            continue
+        routes = tree_routing(graph, node, m1_set, width, anchor=r1 if node != r1 else None)
+        for endpoint, path in routes.items():
+            routing.set_route(node, endpoint, path)
+
+    # Component B-POL 2: likewise towards M2.
+    for node in graph.nodes():
+        if node in m2_set:
+            continue
+        routes = tree_routing(graph, node, m2_set, width, anchor=r2 if node != r2 else None)
+        for endpoint, path in routes.items():
+            routing.set_route(node, endpoint, path)
+
+    # Components B-POL 3 and B-POL 4: tree routings from each concentrator
+    # node towards every neighbourhood set on its own side (direction: away
+    # from the concentrator).
+    for member in m1:
+        for center in m1:
+            routes = tree_routing_to_neighborhood(graph, member, center, width)
+            for endpoint, path in routes.items():
+                routing.set_route(member, endpoint, path)
+    for member in m2:
+        for center in m2:
+            routes = tree_routing_to_neighborhood(graph, member, center, width)
+            for endpoint, path in routes.items():
+                routing.set_route(member, endpoint, path)
+
+    # Component B-POL 5: wherever only one direction is defined, define the
+    # other direction along the same path.
+    for (source, target), path in list(routing.items()):
+        if not routing.has_route(target, source):
+            routing.set_route(target, source, tuple(reversed(path)))
+
+    # Component B-POL 6: direct edge routes (both directions).
+    routing.add_all_edge_routes()
+
+    guarantee = Guarantee(diameter_bound=4, max_faults=t, source="Theorem 20")
+    return ConstructionResult(
+        routing=routing,
+        scheme="bipolar-uni",
+        t=t,
+        guarantee=guarantee,
+        concentrator=list(m1) + list(m2),
+        details=_details(r1, r2, m1, m2, gamma1, gamma2),
+    )
+
+
+def bidirectional_bipolar_routing(
+    graph: Graph,
+    t: Optional[int] = None,
+    roots: Optional[Tuple[Node, Node]] = None,
+) -> ConstructionResult:
+    """Construct the bidirectional bipolar routing (Theorem 23, ``(5, t)``-tolerant).
+
+    The components mirror the unidirectional construction but exclude the
+    nodes of ``Gamma_1`` (resp. ``Gamma_2``) from the tree routings towards
+    ``M1`` (resp. ``M2``): under the symmetric closure those nodes would
+    otherwise receive a second, conflicting route from the concentrator-side
+    tree routings of components 2B-POL 3 / 2B-POL 4.
+    """
+    if t is None:
+        t = connectivity_parameter(graph)
+    if t < 0:
+        raise ConstructionError("t must be non-negative")
+    width = t + 1
+    r1, r2, m1, m2, gamma1, gamma2 = _bipolar_structure(graph, roots)
+    m1_set, m2_set = set(m1), set(m2)
+    m_union = m1_set | m2_set
+    if len(m1_set) < width or len(m2_set) < width:
+        raise ConstructionError(
+            "two-trees roots must have degree at least t + 1 for the bipolar routing"
+        )
+
+    routing = Routing(graph, bidirectional=True, name="bipolar-bi")
+    routing.add_all_edge_routes()
+
+    # Component 2B-POL 1: tree routing to M1 from every node outside M and
+    # outside Gamma_1.
+    for node in graph.nodes():
+        if node in m_union or node in gamma1:
+            continue
+        routes = tree_routing(graph, node, m1_set, width, anchor=r1 if node != r1 else None)
+        for endpoint, path in routes.items():
+            routing.set_route(node, endpoint, path)
+
+    # Component 2B-POL 2: tree routing to M2 from every node outside M2 and
+    # outside Gamma_2 (this covers the M1 nodes, giving Property 2B-POL 3).
+    for node in graph.nodes():
+        if node in m2_set or node in gamma2:
+            continue
+        routes = tree_routing(graph, node, m2_set, width, anchor=r2 if node != r2 else None)
+        for endpoint, path in routes.items():
+            routing.set_route(node, endpoint, path)
+
+    # Components 2B-POL 3 and 2B-POL 4: concentrator-side tree routings.
+    for member in m1:
+        for center in m1:
+            routes = tree_routing_to_neighborhood(graph, member, center, width)
+            for endpoint, path in routes.items():
+                routing.set_route(member, endpoint, path)
+    for member in m2:
+        for center in m2:
+            routes = tree_routing_to_neighborhood(graph, member, center, width)
+            for endpoint, path in routes.items():
+                routing.set_route(member, endpoint, path)
+
+    guarantee = Guarantee(diameter_bound=5, max_faults=t, source="Theorem 23")
+    return ConstructionResult(
+        routing=routing,
+        scheme="bipolar-bi",
+        t=t,
+        guarantee=guarantee,
+        concentrator=list(m1) + list(m2),
+        details=_details(r1, r2, m1, m2, gamma1, gamma2),
+    )
+
+
+def _details(
+    r1: Node,
+    r2: Node,
+    m1: Sequence[Node],
+    m2: Sequence[Node],
+    gamma1: Set[Node],
+    gamma2: Set[Node],
+) -> Dict[str, object]:
+    return {
+        "root1": r1,
+        "root2": r2,
+        "m1": list(m1),
+        "m2": list(m2),
+        "gamma1_size": len(gamma1),
+        "gamma2_size": len(gamma2),
+    }

@@ -1,0 +1,158 @@
+"""High-level facade: pick and build the best applicable routing for a graph.
+
+``build_routing(G)`` inspects the graph and applies the strongest construction
+whose structural requirement the graph satisfies, in the order the paper's
+results would suggest:
+
+1. **tri-circular** (Theorem 13, surviving diameter 4) if a neighbourhood set
+   of ``6t + 9`` nodes exists;
+2. **unidirectional / bidirectional bipolar** (Theorems 20 / 23, diameters
+   4 / 5) if the graph has the two-trees property;
+3. **small tri-circular** (Remark 14, diameter 5) if a neighbourhood set of
+   ``3t + 3`` / ``3t + 6`` nodes exists;
+4. **circular** (Theorem 10, diameter 6) if a neighbourhood set of ``t + 1``
+   / ``t + 2`` nodes exists;
+5. **kernel** (Theorems 3 / 4) as the universal fallback — it applies to any
+   ``(t + 1)``-connected non-complete graph.
+
+Callers who know what they want can request a specific strategy by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.augmentation import clique_augmented_kernel_routing
+from repro.core.bipolar import bidirectional_bipolar_routing, unidirectional_bipolar_routing
+from repro.core.circular import circular_routing
+from repro.core.concentrators import (
+    neighborhood_set,
+    required_neighborhood_set_size,
+)
+from repro.core.construction import ConstructionResult
+from repro.core.kernel import kernel_routing
+from repro.core.multirouting import (
+    full_multirouting,
+    kernel_multirouting,
+    single_tree_multirouting,
+)
+from repro.core.tricircular import tricircular_routing
+from repro.exceptions import ConstructionError, PropertyNotSatisfiedError, ReproError
+from repro.graphs.connectivity import connectivity_parameter
+from repro.graphs.graph import Graph
+from repro.graphs.properties import has_two_trees_property
+
+Node = Hashable
+
+#: Strategy names accepted by :func:`build_routing`.
+STRATEGIES: Dict[str, Callable[..., ConstructionResult]] = {
+    "kernel": kernel_routing,
+    "circular": circular_routing,
+    "tricircular": tricircular_routing,
+    "tricircular-small": lambda graph, t=None, **kwargs: tricircular_routing(
+        graph, t=t, small=True, **kwargs
+    ),
+    "bipolar-uni": unidirectional_bipolar_routing,
+    "bipolar-bi": bidirectional_bipolar_routing,
+    "multi-full": full_multirouting,
+    "multi-kernel": kernel_multirouting,
+    "multi-single-tree": single_tree_multirouting,
+    "kernel+clique": clique_augmented_kernel_routing,
+}
+
+#: Preference order used by the automatic strategy (strongest bound first).
+AUTO_ORDER: List[str] = [
+    "tricircular",
+    "bipolar-uni",
+    "tricircular-small",
+    "bipolar-bi",
+    "circular",
+    "kernel",
+]
+
+
+def available_strategies() -> List[str]:
+    """Return the names accepted by :func:`build_routing`'s ``strategy`` argument."""
+    return sorted(STRATEGIES) + ["auto"]
+
+
+def applicable_strategies(graph: Graph, t: Optional[int] = None) -> List[str]:
+    """Return the single-routing strategies applicable to ``graph`` (best first).
+
+    The check is structural only (neighbourhood-set size / two-trees
+    property); it does not build the routings.
+    """
+    if t is None:
+        t = connectivity_parameter(graph)
+    result: List[str] = []
+    two_trees = has_two_trees_property(graph)
+    for name in AUTO_ORDER:
+        if name in ("bipolar-uni", "bipolar-bi"):
+            if two_trees:
+                result.append(name)
+            continue
+        if name == "kernel":
+            result.append(name)
+            continue
+        variant = {
+            "tricircular": "tricircular",
+            "tricircular-small": "tricircular-small",
+            "circular": "circular",
+        }[name]
+        needed = required_neighborhood_set_size(t, variant)
+        try:
+            neighborhood_set(graph, needed)
+        except PropertyNotSatisfiedError:
+            continue
+        result.append(name)
+    return result
+
+
+def build_routing(
+    graph: Graph, strategy: str = "auto", t: Optional[int] = None, **kwargs
+) -> ConstructionResult:
+    """Build a fault-tolerant routing for ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The underlying network; must be connected (and at least
+        2-connected for any non-trivial tolerance).
+    strategy:
+        ``"auto"`` (default) tries the constructions in order of decreasing
+        strength and returns the first that applies, or one of
+        :data:`STRATEGIES`.
+    t:
+        Optional fault parameter override (defaults to ``kappa(G) - 1``).
+    kwargs:
+        Passed through to the selected construction (e.g. ``concentrator=``,
+        ``roots=``, ``separating_set=``).
+
+    Raises
+    ------
+    ConstructionError
+        If the requested strategy (or, for ``"auto"``, every strategy) cannot
+        be applied to the graph.
+    """
+    if strategy != "auto":
+        try:
+            factory = STRATEGIES[strategy]
+        except KeyError:
+            raise ConstructionError(
+                f"unknown strategy {strategy!r}; available: {available_strategies()}"
+            ) from None
+        return factory(graph, t=t, **kwargs)
+
+    if t is None:
+        t = connectivity_parameter(graph)
+    errors: List[Tuple[str, str]] = []
+    for name in AUTO_ORDER:
+        factory = STRATEGIES[name]
+        try:
+            return factory(graph, t=t, **kwargs)
+        except (ReproError, ValueError) as exc:
+            # ValueError covers substrate-level refusals such as "complete
+            # graphs have no separating set".
+            errors.append((name, str(exc)))
+    summary = "; ".join(f"{name}: {message}" for name, message in errors)
+    raise ConstructionError(f"no construction applies to this graph ({summary})")

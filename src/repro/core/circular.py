@@ -1,0 +1,179 @@
+"""The circular construction (Section 4, Theorem 10).
+
+The circular routing is defined on any ``(t + 1)``-connected graph possessing
+a *neighbourhood set* ``M = {m_0, ..., m_{K-1}}`` (independent nodes with
+pairwise disjoint neighbour sets).  Writing ``Gamma_i`` for the neighbour set
+of ``m_i`` and ``Gamma`` for their union, the routing's components are
+
+* CIRC 1 — tree routings from every node ``x`` outside ``Gamma`` to every set
+  ``Gamma_i``;
+* CIRC 2 — tree routings from every node ``x`` in ``Gamma_i`` to the sets
+  ``Gamma_{(i+j) mod K}`` for ``1 <= j <= ceil(K/2) - 1`` (the range
+  restriction prevents two nodes of ``Gamma`` from acquiring conflicting
+  routes);
+* CIRC 3 — direct edge routes between all adjacent pairs.
+
+With ``K >= t + 1`` (``t`` even) or ``K >= t + 2`` (``t`` odd) the routing is
+``(6, t)``-tolerant (Theorem 10); the same holds for the ``K = 2t + 1``
+variant analysed through Properties CIRC 1 / CIRC 2 (Lemmas 6 and 7).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
+
+from repro.core.concentrators import neighborhood_set, required_neighborhood_set_size
+from repro.core.construction import ConstructionResult, Guarantee
+from repro.core.routing import Routing
+from repro.core.tree_routing import tree_routing_to_neighborhood
+from repro.exceptions import ConstructionError, PropertyNotSatisfiedError
+from repro.graphs.connectivity import connectivity_parameter
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_neighborhood_set
+
+Node = Hashable
+
+
+def circular_component_range(k: int) -> range:
+    """Return the CIRC 2 offset range ``1 .. ceil(K/2) - 1`` for concentrator size ``k``.
+
+    The upper limit guarantees that for no pair of indices ``i != i'`` both
+    ``i' - i`` and ``i - i'`` (mod ``K``) fall in the range, which is what
+    rules out conflicting route assignments between two ``Gamma`` nodes.
+    """
+    if k < 1:
+        raise ValueError("concentrator size must be positive")
+    return range(1, math.ceil(k / 2))
+
+
+def circular_routing(
+    graph: Graph,
+    t: Optional[int] = None,
+    k: Optional[int] = None,
+    concentrator: Optional[Sequence[Node]] = None,
+    wide: bool = False,
+) -> ConstructionResult:
+    """Construct the bidirectional circular routing on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The underlying ``(t + 1)``-connected network.
+    t:
+        Fault parameter; defaults to ``kappa(G) - 1``.
+    k:
+        Concentrator size ``K``.  Defaults to Theorem 10's requirement
+        (``t + 1`` for even ``t``, ``t + 2`` for odd ``t``), or to ``2t + 1``
+        when ``wide`` is set (the Lemma 7 variant).
+    concentrator:
+        Optional explicit neighbourhood set (its order fixes the circular
+        order ``m_0, ..., m_{K-1}``).  When omitted one is constructed with
+        the greedy algorithm of Lemma 15.
+    wide:
+        Select the ``K = 2t + 1`` variant when ``k`` is not given explicitly.
+
+    Raises
+    ------
+    PropertyNotSatisfiedError
+        If no neighbourhood set of the required size exists / can be found.
+    ConstructionError
+        If the connectivity assumption fails while building tree routings.
+    """
+    if t is None:
+        t = connectivity_parameter(graph)
+    if t < 0:
+        raise ConstructionError("t must be non-negative")
+    if k is None:
+        variant = "circular-wide" if wide else "circular"
+        k = required_neighborhood_set_size(t, variant)
+    if k < 2:
+        raise ConstructionError("the circular routing needs a concentrator of size >= 2")
+
+    members = _resolve_concentrator(graph, k, concentrator)
+    gammas = [graph.neighbors(member) for member in members]
+    gamma_union: Set[Node] = set()
+    for gamma in gammas:
+        gamma_union |= gamma
+    index_of = _gamma_index(members, gammas)
+
+    width = t + 1
+    routing = Routing(graph, bidirectional=True, name="circular")
+    routing.add_all_edge_routes()
+
+    # Component CIRC 1: nodes outside Gamma route to every Gamma_i.
+    for node in graph.nodes():
+        if node in gamma_union:
+            continue
+        for center in members:
+            routes = tree_routing_to_neighborhood(graph, node, center, width)
+            for endpoint, path in routes.items():
+                routing.set_route(node, endpoint, path)
+
+    # Component CIRC 2: nodes of Gamma_i route "forward" around the circle.
+    offsets = circular_component_range(k)
+    for node in sorted(gamma_union, key=repr):
+        i = index_of[node]
+        for offset in offsets:
+            center = members[(i + offset) % k]
+            routes = tree_routing_to_neighborhood(graph, node, center, width)
+            for endpoint, path in routes.items():
+                routing.set_route(node, endpoint, path)
+
+    guarantee = Guarantee(diameter_bound=6, max_faults=t, source="Theorem 10")
+    return ConstructionResult(
+        routing=routing,
+        scheme="circular",
+        t=t,
+        guarantee=guarantee,
+        concentrator=list(members),
+        details={
+            "k": k,
+            "wide": wide,
+            "gamma_sizes": [len(gamma) for gamma in gammas],
+            "gamma_union_size": len(gamma_union),
+            "circ2_offsets": list(offsets),
+        },
+    )
+
+
+def _resolve_concentrator(
+    graph: Graph, k: int, concentrator: Optional[Sequence[Node]]
+) -> List[Node]:
+    """Validate a supplied concentrator or construct one of size ``k``."""
+    if concentrator is not None:
+        members = list(concentrator)
+        if len(members) < k:
+            raise ConstructionError(
+                f"concentrator has {len(members)} nodes; {k} are required"
+            )
+        members = members[:k]
+        if len(set(members)) != len(members):
+            raise ConstructionError("concentrator contains repeated nodes")
+        if not is_neighborhood_set(graph, members):
+            raise PropertyNotSatisfiedError(
+                "the supplied concentrator is not a neighbourhood set "
+                "(nodes must be independent with pairwise disjoint neighbourhoods)"
+            )
+        return members
+    return list(neighborhood_set(graph, k))[:k]
+
+
+def _gamma_index(members: Sequence[Node], gammas: Sequence[Set[Node]]) -> Dict[Node, int]:
+    """Map every node of ``Gamma`` to the index of the (unique) set containing it."""
+    index_of: Dict[Node, int] = {}
+    for i, gamma in enumerate(gammas):
+        for node in gamma:
+            if node in index_of:
+                raise PropertyNotSatisfiedError(
+                    f"node {node!r} belongs to two Gamma sets; the concentrator "
+                    "is not a neighbourhood set"
+                )
+            index_of[node] = i
+    for member in members:
+        if member in index_of:
+            raise PropertyNotSatisfiedError(
+                f"concentrator node {member!r} lies in another member's "
+                "neighbourhood; the concentrator is not independent"
+            )
+    return index_of

@@ -1,0 +1,147 @@
+"""Behaviour beyond the connectivity budget (Open Problem 3).
+
+The theorems only speak about fault sets smaller than the connectivity: larger
+fault sets may disconnect the underlying graph, making the surviving route
+graph's diameter infinite.  Open Problem 3 of the paper asks for routings that
+remain "well behaved" in that regime: the diameter should stay small *inside
+each connected component* of the surviving network.
+
+This module provides the measurement tools for exploring that question:
+
+* :func:`surviving_components` — the connected components of the underlying
+  graph after removing the faults (the best any routing could hope to serve);
+* :func:`component_diameters` — for each such component, the diameter of the
+  surviving route graph restricted to it (``inf`` if the routing fails to keep
+  the component internally connected even though the underlying graph does);
+* :func:`graceful_degradation_profile` — a sweep over increasing fault counts
+  reporting how the per-component diameters grow, which the ablation benchmark
+  uses to compare how gracefully the different constructions degrade.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random as _random
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Union
+
+from repro.core.routing import MultiRouting, Routing
+from repro.core.surviving import surviving_route_graph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances, connected_components
+
+Node = Hashable
+AnyRouting = Union[Routing, MultiRouting]
+RandomLike = Union[int, _random.Random, None]
+
+
+def surviving_components(graph: Graph, faults: Iterable[Node]) -> List[List[Node]]:
+    """Return the connected components of ``G - F`` (each as a sorted node list)."""
+    remaining = graph.without_nodes(set(faults))
+    return [sorted(component, key=repr) for component in connected_components(remaining)]
+
+
+def component_diameters(
+    graph: Graph, routing: AnyRouting, faults: Iterable[Node]
+) -> List[Dict[str, object]]:
+    """Return per-component diameters of the surviving route graph.
+
+    For every connected component ``C`` of the underlying graph minus the
+    faults, the entry records the component size and the diameter of the
+    surviving route graph *restricted to C* — the quantity Open Problem 3 asks
+    to keep small.  A diameter of ``inf`` means the routing leaves two nodes
+    of the component unable to communicate even though the underlying network
+    still connects them (routes may leave the component and hit faults).
+    """
+    fault_set = set(faults)
+    surviving = surviving_route_graph(graph, routing, fault_set)
+    results: List[Dict[str, object]] = []
+    for component in surviving_components(graph, fault_set):
+        restricted = surviving.subgraph(component)
+        worst = 0.0
+        for node in component:
+            distances = bfs_distances(restricted, node)
+            if len(distances) != len(component):
+                worst = float("inf")
+                break
+            if len(component) > 1:
+                worst = max(worst, max(distances.values()))
+        results.append({"size": len(component), "diameter": worst, "nodes": component})
+    return results
+
+
+def worst_component_diameter(
+    graph: Graph, routing: AnyRouting, faults: Iterable[Node]
+) -> float:
+    """Return the largest per-component surviving diameter (0 for no components)."""
+    entries = component_diameters(graph, routing, faults)
+    if not entries:
+        return 0.0
+    return max(entry["diameter"] for entry in entries)
+
+
+@dataclasses.dataclass
+class DegradationPoint:
+    """One point of a graceful-degradation sweep."""
+
+    faults: int
+    samples: int
+    disconnected_fraction: float
+    mean_worst_component_diameter: float
+    max_worst_component_diameter: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the point as a table row."""
+        return {
+            "faults": self.faults,
+            "samples": self.samples,
+            "disconnected": round(self.disconnected_fraction, 2),
+            "mean_comp_diam": self.mean_worst_component_diameter
+            if self.mean_worst_component_diameter == float("inf")
+            else round(self.mean_worst_component_diameter, 2),
+            "max_comp_diam": self.max_worst_component_diameter,
+        }
+
+
+def graceful_degradation_profile(
+    graph: Graph,
+    routing: AnyRouting,
+    fault_counts: Sequence[int],
+    samples: int = 10,
+    seed: RandomLike = 0,
+) -> List[DegradationPoint]:
+    """Sweep fault counts (possibly beyond the connectivity) and measure degradation.
+
+    For each fault count the sweep samples random fault sets, splits the
+    remaining network into components, and records the worst per-component
+    surviving diameter — finite values mean the routing still serves every
+    surviving component internally, which is exactly the "well behaved"
+    property Open Problem 3 asks about.
+    """
+    rng = _random.Random(seed) if not isinstance(seed, _random.Random) else seed
+    nodes = graph.nodes()
+    points: List[DegradationPoint] = []
+    for count in fault_counts:
+        worst_values: List[float] = []
+        disconnected = 0
+        for _ in range(samples):
+            if count > len(nodes):
+                break
+            faults = set(rng.sample(nodes, count))
+            components = surviving_components(graph, faults)
+            if len(components) > 1:
+                disconnected += 1
+            worst_values.append(worst_component_diameter(graph, routing, faults))
+        finite = [value for value in worst_values if value != float("inf")]
+        mean_value = (
+            sum(finite) / len(finite) if finite else float("inf")
+        )
+        points.append(
+            DegradationPoint(
+                faults=count,
+                samples=len(worst_values),
+                disconnected_fraction=(disconnected / len(worst_values)) if worst_values else 0.0,
+                mean_worst_component_diameter=mean_value,
+                max_worst_component_diameter=max(worst_values) if worst_values else 0.0,
+            )
+        )
+    return points

@@ -1,0 +1,223 @@
+"""Concentrator construction: neighbourhood sets and two-trees roots.
+
+Every routing in the paper is organised around a *concentrator*: a set of
+nodes ``M`` such that every pair of surviving nodes can communicate quickly
+through some member of ``M``.  Three kinds of concentrators appear:
+
+* a minimal *separating set* (kernel routing, Section 3) — provided by
+  :func:`repro.graphs.separators.minimum_separator`;
+* a *neighbourhood set* — independent nodes with pairwise disjoint
+  neighbourhoods (circular and tri-circular routings, Section 4); Lemma 15's
+  greedy algorithm guarantees one of size ``ceil(n / (d^2 + 1))``;
+* the neighbour sets of two *two-trees roots* (bipolar routings, Section 5).
+
+This module implements the constructions and the associated size guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import PropertyNotSatisfiedError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    find_two_trees_roots,
+    is_neighborhood_set,
+    satisfies_two_trees_property,
+)
+
+Node = Hashable
+
+
+def greedy_neighborhood_set(
+    graph: Graph, limit: Optional[int] = None, order: Optional[Sequence[Node]] = None
+) -> List[Node]:
+    """Construct a neighbourhood set with the greedy algorithm of Lemma 15.
+
+    Starting from the full candidate set, repeatedly pick a candidate node,
+    add it to ``M`` and discard every node within distance 2 of it.  Each step
+    removes at most ``1 + d + d(d - 1) = d^2 + 1`` candidates, so the result
+    has at least ``ceil(n / (d^2 + 1))`` members — the bound the degree
+    threshold theorems rely on.
+
+    Parameters
+    ----------
+    graph:
+        The underlying graph.
+    limit:
+        Optional cap: stop once ``limit`` members have been selected (the
+        constructions only need ``K`` members, so there is no point computing
+        more).
+    order:
+        Optional candidate ordering.  The default prefers low-degree nodes
+        (smaller neighbourhoods knock out fewer candidates, which empirically
+        produces larger sets); experiments may pass an explicit order to make
+        the greedy choice deterministic in other ways.
+
+    Returns
+    -------
+    list of nodes forming a neighbourhood set (independent, pairwise disjoint
+    neighbourhoods), in selection order.
+    """
+    if order is None:
+        candidates_order = sorted(graph.nodes(), key=lambda node: (graph.degree(node), repr(node)))
+    else:
+        candidates_order = list(order)
+    available: Set[Node] = set(graph.nodes())
+    selected: List[Node] = []
+    for node in candidates_order:
+        if limit is not None and len(selected) >= limit:
+            break
+        if node not in available:
+            continue
+        selected.append(node)
+        blocked = graph.neighborhood_at_distance(node, 2) | {node}
+        available -= blocked
+    return selected
+
+
+def lemma15_lower_bound(graph: Graph) -> int:
+    """Return Lemma 15's guaranteed neighbourhood-set size ``ceil(n/(d^2+1))``."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0
+    d = graph.max_degree()
+    return math.ceil(n / (d * d + 1))
+
+
+def neighborhood_set(
+    graph: Graph, size: int, exhaustive_threshold: int = 18
+) -> List[Node]:
+    """Return a neighbourhood set of at least ``size`` nodes, or raise.
+
+    The greedy algorithm of Lemma 15 is tried first (with a couple of
+    alternative candidate orderings); for small graphs where greedy falls
+    short an exhaustive branch-and-bound search is attempted before giving up.
+
+    Raises
+    ------
+    PropertyNotSatisfiedError
+        If no neighbourhood set of the requested size could be found.  Note
+        that for graphs within the degree bound of Theorem 16 the greedy
+        algorithm always succeeds.
+    """
+    if size <= 0:
+        return []
+    orderings: List[Optional[Sequence[Node]]] = [None]
+    # Insertion order often reflects a natural layout of the graph (e.g. the
+    # numeric order around a cycle or circulant), where a straight sweep packs
+    # the set optimally.
+    orderings.append(list(graph.nodes()))
+    orderings.append(sorted(graph.nodes(), key=lambda node: (-graph.degree(node), repr(node))))
+    orderings.append(sorted(graph.nodes(), key=repr))
+    best: List[Node] = []
+    for order in orderings:
+        candidate = greedy_neighborhood_set(graph, limit=None, order=order)
+        if len(candidate) > len(best):
+            best = candidate
+        if len(best) >= size:
+            return best[:size]
+
+    if graph.number_of_nodes() <= exhaustive_threshold:
+        exact = _exhaustive_neighborhood_set(graph, size)
+        if exact is not None:
+            return exact
+
+    raise PropertyNotSatisfiedError(
+        f"could not find a neighbourhood set of size {size} "
+        f"(best found: {len(best)}); the graph does not satisfy the "
+        "requirement of this construction"
+    )
+
+
+def _exhaustive_neighborhood_set(graph: Graph, size: int) -> Optional[List[Node]]:
+    """Branch-and-bound search for a neighbourhood set of exactly ``size`` nodes."""
+    nodes = sorted(graph.nodes(), key=repr)
+
+    def expand(selected: List[Node], banned: Set[Node], start: int) -> Optional[List[Node]]:
+        if len(selected) >= size:
+            return selected
+        if len(selected) + (len(nodes) - start) < size:
+            return None
+        for index in range(start, len(nodes)):
+            node = nodes[index]
+            if node in banned:
+                continue
+            blocked = graph.neighborhood_at_distance(node, 2) | {node}
+            result = expand(selected + [node], banned | blocked, index + 1)
+            if result is not None:
+                return result
+        return None
+
+    return expand([], set(), 0)
+
+
+def verify_neighborhood_set(graph: Graph, nodes: Iterable[Node]) -> bool:
+    """Return ``True`` if ``nodes`` is a valid neighbourhood set (paper's sense)."""
+    return is_neighborhood_set(graph, list(nodes))
+
+
+def required_neighborhood_set_size(t: int, variant: str) -> int:
+    """Return the neighbourhood-set size required by a circular-family construction.
+
+    Parameters
+    ----------
+    t:
+        The fault-tolerance parameter (connectivity is ``t + 1``).
+    variant:
+        One of ``"circular"`` (Theorem 10: ``t+1`` for even ``t``, ``t+2`` for
+        odd), ``"circular-wide"`` (the ``2t+1`` variant of Lemma 7),
+        ``"tricircular"`` (Theorem 13: ``6t+9``) or ``"tricircular-small"``
+        (Remark 14: ``3t+3`` for even ``t``, ``3t+6`` for odd ``t``).
+    """
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    if variant == "circular":
+        return t + 1 if t % 2 == 0 else t + 2
+    if variant == "circular-wide":
+        return 2 * t + 1
+    if variant == "tricircular":
+        return 6 * t + 9
+    if variant == "tricircular-small":
+        return 3 * (t + 1) if t % 2 == 0 else 3 * (t + 2)
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def two_trees_concentrator(graph: Graph) -> Tuple[Node, Node, List[Node], List[Node]]:
+    """Return ``(r1, r2, M1, M2)`` for the bipolar constructions.
+
+    ``r1`` and ``r2`` are roots witnessing the two-trees property and ``M1``,
+    ``M2`` their neighbour sets (the concentrator is ``M1 | M2``).
+
+    Raises
+    ------
+    PropertyNotSatisfiedError
+        If the graph has no pair of roots with the two-trees property.
+    """
+    roots = find_two_trees_roots(graph)
+    if roots is None:
+        raise PropertyNotSatisfiedError(
+            "graph does not satisfy the two-trees property; the bipolar "
+            "constructions are not applicable"
+        )
+    r1, r2 = roots
+    m1 = sorted(graph.neighbors(r1), key=repr)
+    m2 = sorted(graph.neighbors(r2), key=repr)
+    return r1, r2, m1, m2
+
+
+def two_trees_concentrator_for_roots(
+    graph: Graph, r1: Node, r2: Node
+) -> Tuple[Node, Node, List[Node], List[Node]]:
+    """Like :func:`two_trees_concentrator` but with caller-chosen roots.
+
+    The supplied roots are verified against the two-trees property.
+    """
+    if not satisfies_two_trees_property(graph, r1, r2):
+        raise PropertyNotSatisfiedError(
+            f"nodes {r1!r} and {r2!r} do not witness the two-trees property"
+        )
+    m1 = sorted(graph.neighbors(r1), key=repr)
+    m2 = sorted(graph.neighbors(r2), key=repr)
+    return r1, r2, m1, m2

@@ -1,0 +1,96 @@
+"""Common result container for the routing constructions.
+
+Every construction in the library (kernel, circular, tri-circular, bipolar,
+multirouting, augmented) returns a :class:`ConstructionResult`: the routing
+itself together with the structural data the construction was built from (the
+concentrator, the fault-tolerance parameter ``t``) and the paper's proven
+``(d, f)`` guarantee, so that experiment code can check measured worst-case
+diameters against the right bound without re-deriving it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
+
+from repro.core.routing import MultiRouting, Routing
+
+Node = Hashable
+
+
+@dataclasses.dataclass
+class Guarantee:
+    """A proven ``(d, f)``-tolerance guarantee.
+
+    ``diameter_bound`` is the constant ``d`` (worst surviving diameter) and
+    ``max_faults`` the number of faults ``f`` up to which it holds.  The
+    ``source`` string records which theorem / lemma of the paper proves it.
+    """
+
+    diameter_bound: int
+    max_faults: int
+    source: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" [{self.source}]" if self.source else ""
+        return f"({self.diameter_bound}, {self.max_faults})-tolerant{suffix}"
+
+
+@dataclasses.dataclass
+class ConstructionResult:
+    """A constructed routing plus the data needed to audit and benchmark it.
+
+    Attributes
+    ----------
+    routing:
+        The constructed :class:`Routing` (or :class:`MultiRouting` for the
+        Section 6 variants).
+    scheme:
+        Construction name, e.g. ``"kernel"``, ``"circular"``, ``"bipolar-uni"``.
+    t:
+        The fault parameter the construction was built for (the underlying
+        graph is assumed ``(t+1)``-connected).
+    guarantee:
+        The paper's proven tolerance for this construction and ``t``.
+    concentrator:
+        The concentrator node list ``M`` (ordering is meaningful for the
+        circular family).
+    details:
+        Construction-specific extras: the ``Gamma_i`` sets, the two-trees
+        roots, the partition into three circular components, added edges for
+        the augmented construction, and so on.
+    """
+
+    routing: Union[Routing, MultiRouting]
+    scheme: str
+    t: int
+    guarantee: Guarantee
+    concentrator: List[Node] = dataclasses.field(default_factory=list)
+    details: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def graph(self):
+        """The underlying graph the routing was built on."""
+        return self.routing.graph
+
+    def describe(self) -> str:
+        """Return a short human-readable summary of the construction."""
+        lines = [
+            f"scheme        : {self.scheme}",
+            f"graph         : {self.graph!r}",
+            f"t (faults)    : {self.t}",
+            f"guarantee     : {self.guarantee}",
+            f"concentrator  : {len(self.concentrator)} nodes",
+            f"routed pairs  : {len(self.routing)}",
+        ]
+        for key in sorted(self.details):
+            value = self.details[key]
+            rendering = value if isinstance(value, (int, float, str)) else type(value).__name__
+            lines.append(f"{key:<14}: {rendering}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConstructionResult scheme={self.scheme!r} t={self.t} "
+            f"guarantee={self.guarantee} routes={len(self.routing)}>"
+        )

@@ -1,0 +1,284 @@
+"""The routing model: fixed simple paths assigned to ordered node pairs.
+
+Following Section 2 of the paper, a *routing* ``rho`` is a partial function
+assigning to ordered pairs ``(x, y)`` of distinct nodes a fixed simple path
+from ``x`` to ``y`` in the underlying graph.  A *bidirectional* routing uses
+the same path for ``(x, y)`` and ``(y, x)``.
+
+The model is "miserly": at most one route per ordered pair.  The constructions
+in the paper are stitched together from several components (tree routings,
+edge routes, ...) and the paper is careful that the components never assign
+two *different* paths to the same pair; :class:`Routing` enforces exactly that
+invariant — re-assigning an identical path is a no-op, re-assigning a
+different path raises :class:`~repro.exceptions.ConflictingRouteError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ConflictingRouteError, InvalidRouteError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import is_simple_path
+
+Node = Hashable
+Pair = Tuple[Node, Node]
+Path = Tuple[Node, ...]
+
+
+def _as_path(path: Sequence[Node]) -> Path:
+    """Normalise a node sequence into the internal tuple representation."""
+    return tuple(path)
+
+
+class Routing:
+    """A routing ``rho`` over an underlying graph.
+
+    Parameters
+    ----------
+    graph:
+        The underlying network.  Routes are validated against it: every route
+        must be a simple path of the graph with the correct endpoints.
+    bidirectional:
+        When ``True`` (the default for the paper's main constructions except
+        the unidirectional bipolar routing), assigning a route to ``(x, y)``
+        implicitly assigns the reversed path to ``(y, x)``, and a conflict on
+        either direction is an error.
+    name:
+        Optional identifier used in reports (e.g. ``"kernel"``,
+        ``"tri-circular"``).
+
+    Notes
+    -----
+    The class stores one path per *ordered* pair.  For bidirectional routings
+    both orientations are materialised so that lookups never need to know the
+    orientation convention.
+    """
+
+    def __init__(self, graph: Graph, bidirectional: bool = True, name: str = "") -> None:
+        self.graph = graph
+        self.bidirectional = bidirectional
+        self.name = name
+        self._routes: Dict[Pair, Path] = {}
+
+    # ------------------------------------------------------------------
+    # Route assignment
+    # ------------------------------------------------------------------
+    def _validate(self, source: Node, target: Node, path: Path) -> None:
+        if source == target:
+            raise InvalidRouteError("routes require distinct endpoints")
+        if len(path) < 2:
+            raise InvalidRouteError(f"route {path!r} is too short")
+        if path[0] != source or path[-1] != target:
+            raise InvalidRouteError(
+                f"route {path!r} does not join {source!r} to {target!r}"
+            )
+        if not is_simple_path(self.graph, path):
+            raise InvalidRouteError(
+                f"route {path!r} is not a simple path of the underlying graph"
+            )
+
+    def set_route(self, source: Node, target: Node, path: Sequence[Node]) -> None:
+        """Assign the route ``rho(source, target) = path``.
+
+        Assigning the path already stored for the pair is a no-op (the paper's
+        constructions legitimately re-derive the same route from different
+        components, e.g. the direct edge to a shared root).  Assigning a
+        *different* path raises :class:`ConflictingRouteError`, because the
+        miserly model allows at most one route per pair.
+
+        For bidirectional routings the reversed path is assigned to the
+        reversed pair as well, with the same conflict rule.
+        """
+        normalized = _as_path(path)
+        self._validate(source, target, normalized)
+        self._store(source, target, normalized)
+        if self.bidirectional:
+            self._store(target, source, tuple(reversed(normalized)))
+
+    def _store(self, source: Node, target: Node, path: Path) -> None:
+        existing = self._routes.get((source, target))
+        if existing is None:
+            self._routes[(source, target)] = path
+        elif existing != path:
+            raise ConflictingRouteError(
+                f"pair ({source!r}, {target!r}) already routed via {existing!r}; "
+                f"refusing to overwrite with {path!r}"
+            )
+
+    def set_edge_route(self, u: Node, v: Node) -> None:
+        """Assign the direct edge route between adjacent nodes ``u`` and ``v``."""
+        if not self.graph.has_edge(u, v):
+            raise InvalidRouteError(f"{u!r} and {v!r} are not adjacent")
+        self.set_route(u, v, (u, v))
+
+    def add_all_edge_routes(self) -> None:
+        """Assign a direct edge route between every pair of adjacent nodes.
+
+        This is the "Component ... : a direct edge route between any two
+        neighbouring nodes in G" clause shared by every construction in the
+        paper.  Pairs that already carry the direct edge are left untouched;
+        pairs that carry a different route would be a conflict, which the
+        constructions avoid by the tree-routing shortcut rule.
+        """
+        for u, v in self.graph.edges():
+            self.set_route(u, v, (u, v))
+            if not self.bidirectional:
+                self.set_route(v, u, (v, u))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get_route(self, source: Node, target: Node) -> Optional[Path]:
+        """Return ``rho(source, target)`` or ``None`` when undefined."""
+        return self._routes.get((source, target))
+
+    def has_route(self, source: Node, target: Node) -> bool:
+        """Return ``True`` if a route is defined for the ordered pair."""
+        return (source, target) in self._routes
+
+    def pairs(self) -> List[Pair]:
+        """Return every ordered pair that carries a route."""
+        return list(self._routes)
+
+    def routes(self) -> Dict[Pair, Path]:
+        """Return a copy of the full route table."""
+        return dict(self._routes)
+
+    def items(self) -> Iterator[Tuple[Pair, Path]]:
+        """Iterate over ``((source, target), path)`` entries."""
+        return iter(list(self._routes.items()))
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._routes
+
+    # ------------------------------------------------------------------
+    # Whole-table predicates
+    # ------------------------------------------------------------------
+    def is_total(self) -> bool:
+        """Return ``True`` if every ordered pair of distinct nodes has a route."""
+        n = self.graph.number_of_nodes()
+        return len(self._routes) == n * (n - 1)
+
+    def is_symmetric(self) -> bool:
+        """Return ``True`` if ``rho(x, y)`` is always the reverse of ``rho(y, x)``.
+
+        Bidirectional routings are symmetric by construction; a unidirectional
+        routing may or may not be.
+        """
+        for (source, target), path in self._routes.items():
+            other = self._routes.get((target, source))
+            if other is None or other != tuple(reversed(path)):
+                return False
+        return True
+
+    def max_route_length(self) -> int:
+        """Return the number of edges of the longest route (0 if empty)."""
+        if not self._routes:
+            return 0
+        return max(len(path) - 1 for path in self._routes.values())
+
+    def total_route_length(self) -> int:
+        """Return the summed number of edges over all routes."""
+        return sum(len(path) - 1 for path in self._routes.values())
+
+    def routed_pairs_from(self, source: Node) -> List[Node]:
+        """Return the targets ``y`` such that ``rho(source, y)`` is defined."""
+        return [target for (src, target) in self._routes if src == source]
+
+    def nodes_on_route(self, source: Node, target: Node) -> Set[Node]:
+        """Return the set of nodes appearing on ``rho(source, target)``.
+
+        Raises ``KeyError`` if the pair carries no route.
+        """
+        path = self._routes.get((source, target))
+        if path is None:
+            raise KeyError((source, target))
+        return set(path)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "Routing":
+        """Return a deep copy bound to the same graph object."""
+        clone = Routing(self.graph, bidirectional=self.bidirectional, name=self.name)
+        clone._routes = dict(self._routes)
+        return clone
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        kind = "bidirectional" if self.bidirectional else "unidirectional"
+        return f"<Routing{label} {kind} routes={len(self._routes)}>"
+
+
+class MultiRouting:
+    """A multirouting: up to ``r`` parallel routes per ordered pair (Section 6).
+
+    Section 6 of the paper relaxes the miserly model and allows several
+    parallel routes between a pair of nodes.  The surviving graph then has an
+    edge ``x -> y`` whenever *at least one* of the routes assigned to
+    ``(x, y)`` survives the faults.
+    """
+
+    def __init__(self, graph: Graph, bidirectional: bool = True, name: str = "") -> None:
+        self.graph = graph
+        self.bidirectional = bidirectional
+        self.name = name
+        self._routes: Dict[Pair, List[Path]] = {}
+
+    def add_route(self, source: Node, target: Node, path: Sequence[Node]) -> None:
+        """Append a parallel route for ``(source, target)`` (duplicates ignored)."""
+        normalized = _as_path(path)
+        if source == target:
+            raise InvalidRouteError("routes require distinct endpoints")
+        if normalized[0] != source or normalized[-1] != target:
+            raise InvalidRouteError(
+                f"route {normalized!r} does not join {source!r} to {target!r}"
+            )
+        if not is_simple_path(self.graph, normalized):
+            raise InvalidRouteError(
+                f"route {normalized!r} is not a simple path of the underlying graph"
+            )
+        self._append(source, target, normalized)
+        if self.bidirectional:
+            self._append(target, source, tuple(reversed(normalized)))
+
+    def _append(self, source: Node, target: Node, path: Path) -> None:
+        bucket = self._routes.setdefault((source, target), [])
+        if path not in bucket:
+            bucket.append(path)
+
+    def get_routes(self, source: Node, target: Node) -> List[Path]:
+        """Return the (possibly empty) list of routes for the ordered pair."""
+        return list(self._routes.get((source, target), []))
+
+    def has_route(self, source: Node, target: Node) -> bool:
+        """Return ``True`` if at least one route is defined for the pair."""
+        return bool(self._routes.get((source, target)))
+
+    def pairs(self) -> List[Pair]:
+        """Return every ordered pair carrying at least one route."""
+        return list(self._routes)
+
+    def max_parallelism(self) -> int:
+        """Return the largest number of parallel routes on any pair."""
+        if not self._routes:
+            return 0
+        return max(len(bucket) for bucket in self._routes.values())
+
+    def route_count(self) -> int:
+        """Return the total number of stored routes (over all pairs)."""
+        return sum(len(bucket) for bucket in self._routes.values())
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<MultiRouting{label} pairs={len(self._routes)} "
+            f"routes={self.route_count()}>"
+        )

@@ -1,0 +1,161 @@
+"""Routing-table statistics: length, stretch, load and table size.
+
+The paper evaluates routings by one number — the worst surviving diameter —
+but a systems designer choosing between the constructions also cares about
+secondary costs:
+
+* **route length**: how many links a single route traverses (the hop latency
+  of one segment);
+* **stretch**: route length divided by the graph distance of its endpoints
+  (how much longer the fixed path is than the best possible path);
+* **node load**: how many routes pass through each node — concentrator-based
+  designs deliberately funnel traffic through the concentrator, and the load
+  statistics quantify that hot-spotting;
+* **table size**: how many (pairs, routes) a node has to store.
+
+:func:`routing_statistics` computes all of these for any :class:`Routing` or
+:class:`MultiRouting`; the hypercube example and the ablation bench use it to
+compare constructions beyond their ``(d, f)`` guarantees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics as _statistics
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+from repro.core.routing import MultiRouting, Routing
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+
+Node = Hashable
+AnyRouting = Union[Routing, MultiRouting]
+
+
+@dataclasses.dataclass
+class RoutingStatistics:
+    """Aggregate statistics of a routing table."""
+
+    routed_pairs: int
+    stored_routes: int
+    total_route_edges: int
+    mean_route_length: float
+    max_route_length: int
+    mean_stretch: float
+    max_stretch: float
+    mean_node_load: float
+    max_node_load: int
+    max_load_node: Optional[Node]
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the statistics as a flat table row."""
+        return {
+            "pairs": self.routed_pairs,
+            "routes": self.stored_routes,
+            "mean_len": round(self.mean_route_length, 2),
+            "max_len": self.max_route_length,
+            "mean_stretch": round(self.mean_stretch, 2),
+            "max_stretch": round(self.max_stretch, 2),
+            "mean_load": round(self.mean_node_load, 1),
+            "max_load": self.max_node_load,
+        }
+
+
+def _iter_routes(routing: AnyRouting) -> List[Tuple[Tuple[Node, Node], Tuple[Node, ...]]]:
+    """Flatten a routing / multirouting into ``((source, target), path)`` entries."""
+    entries: List[Tuple[Tuple[Node, Node], Tuple[Node, ...]]] = []
+    if isinstance(routing, MultiRouting):
+        for pair in routing.pairs():
+            for path in routing.get_routes(*pair):
+                entries.append((pair, tuple(path)))
+    else:
+        for pair, path in routing.items():
+            entries.append((pair, tuple(path)))
+    return entries
+
+
+def node_loads(routing: AnyRouting) -> Dict[Node, int]:
+    """Return, for every node of the underlying graph, how many routes visit it.
+
+    Endpoints count as visits: a node "handles" the routes it originates and
+    terminates as well as the ones it forwards.
+    """
+    loads: Dict[Node, int] = {node: 0 for node in routing.graph.nodes()}
+    for _pair, path in _iter_routes(routing):
+        for node in path:
+            loads[node] += 1
+    return loads
+
+
+def route_lengths(routing: AnyRouting) -> List[int]:
+    """Return the edge-count of every stored route."""
+    return [len(path) - 1 for _pair, path in _iter_routes(routing)]
+
+
+def route_stretches(routing: AnyRouting) -> List[float]:
+    """Return the stretch (route length / graph distance) of every stored route.
+
+    Routes between adjacent nodes have stretch 1 by the direct-edge invariant;
+    a stretch of 2.5 means the fixed path is 2.5 times longer than a shortest
+    path between its endpoints.
+    """
+    graph = routing.graph
+    distance_cache: Dict[Node, Dict[Node, int]] = {}
+    stretches: List[float] = []
+    for (source, target), path in _iter_routes(routing):
+        if source not in distance_cache:
+            distance_cache[source] = bfs_distances(graph, source)
+        shortest = distance_cache[source].get(target)
+        if not shortest:
+            continue
+        stretches.append((len(path) - 1) / shortest)
+    return stretches
+
+
+def routing_statistics(routing: AnyRouting) -> RoutingStatistics:
+    """Compute the full :class:`RoutingStatistics` for a routing table."""
+    entries = _iter_routes(routing)
+    lengths = [len(path) - 1 for _pair, path in entries]
+    stretches = route_stretches(routing)
+    loads = node_loads(routing)
+    max_load_node = max(loads, key=lambda node: loads[node]) if loads else None
+    pairs = len(set(pair for pair, _path in entries))
+    return RoutingStatistics(
+        routed_pairs=pairs,
+        stored_routes=len(entries),
+        total_route_edges=sum(lengths),
+        mean_route_length=_statistics.fmean(lengths) if lengths else 0.0,
+        max_route_length=max(lengths) if lengths else 0,
+        mean_stretch=_statistics.fmean(stretches) if stretches else 0.0,
+        max_stretch=max(stretches) if stretches else 0.0,
+        mean_node_load=_statistics.fmean(loads.values()) if loads else 0.0,
+        max_node_load=max(loads.values()) if loads else 0,
+        max_load_node=max_load_node,
+    )
+
+
+def concentrator_load_share(routing: AnyRouting, concentrator: List[Node]) -> float:
+    """Return the fraction of total route-visits handled by the concentrator.
+
+    A value of 0.4 means 40% of all (route, node) incidences fall on
+    concentrator nodes — a direct measure of how much the construction funnels
+    traffic through its concentrator.
+    """
+    loads = node_loads(routing)
+    total = sum(loads.values())
+    if total == 0:
+        return 0.0
+    member_set = set(concentrator)
+    return sum(load for node, load in loads.items() if node in member_set) / total
+
+
+def per_node_table_sizes(routing: AnyRouting) -> Dict[Node, int]:
+    """Return, per node, the number of routes for which it is the source.
+
+    In the paper's model the source attaches the route to the message, so this
+    is the size of the forwarding table each node must store.
+    """
+    sizes: Dict[Node, int] = {node: 0 for node in routing.graph.nodes()}
+    for (source, _target), _path in _iter_routes(routing):
+        sizes[source] += 1
+    return sizes

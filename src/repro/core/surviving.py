@@ -1,0 +1,153 @@
+"""The surviving route graph ``R(G, rho)/F`` and its diameter.
+
+Given a routing ``rho`` on a graph ``G`` and a set of faulty nodes ``F``, the
+surviving route graph has the non-faulty nodes of ``G`` as its vertices and a
+directed edge ``x -> y`` precisely when ``rho(x, y)`` exists and none of its
+nodes is faulty.  Its diameter measures the worst-case number of route
+traversals needed to deliver a message after the faults, which is the quantity
+every theorem in the paper bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.core.routing import MultiRouting, Routing
+from repro.exceptions import FaultModelError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import INFINITY, bfs_distances, diameter as graph_diameter
+
+Node = Hashable
+AnyRouting = Union[Routing, MultiRouting]
+
+
+def _check_faults(graph: Graph, faults: Iterable[Node]) -> Set[Node]:
+    fault_set = set(faults)
+    for node in fault_set:
+        if not graph.has_node(node):
+            raise FaultModelError(f"faulty node {node!r} is not a node of the graph")
+    return fault_set
+
+
+def route_survives(path: Iterable[Node], faults: Set[Node]) -> bool:
+    """Return ``True`` if no node of ``path`` is faulty.
+
+    The paper says a route is *affected* by a fault if the fault is contained
+    in it; edge faults are modelled by letting one endpoint of the edge be
+    faulty, so node faults are the only fault type we need.
+    """
+    return not any(node in faults for node in path)
+
+
+def surviving_route_graph(
+    graph: Graph, routing: AnyRouting, faults: Iterable[Node]
+) -> DiGraph:
+    """Build the surviving route graph ``R(G, rho)/F``.
+
+    The result is always represented as a :class:`DiGraph`; for a
+    bidirectional routing the arc set is symmetric, so the directed diameter
+    coincides with the undirected one and no information is lost.
+
+    Parameters
+    ----------
+    graph:
+        The underlying network ``G``.
+    routing:
+        Either a :class:`Routing` (the miserly model) or a
+        :class:`MultiRouting` (Section 6); for the latter an arc appears when
+        *any* of the parallel routes survives.
+    faults:
+        The set ``F`` of faulty nodes (must all belong to ``G``).
+    """
+    fault_set = _check_faults(graph, faults)
+    surviving = DiGraph(name=f"R({graph.name or 'G'})/F")
+    for node in graph.nodes():
+        if node not in fault_set:
+            surviving.add_node(node)
+
+    if isinstance(routing, MultiRouting):
+        for (source, target) in routing.pairs():
+            if source in fault_set or target in fault_set:
+                continue
+            for path in routing.get_routes(source, target):
+                if route_survives(path, fault_set):
+                    surviving.add_edge(source, target)
+                    break
+        return surviving
+
+    for (source, target), path in routing.items():
+        if source in fault_set or target in fault_set:
+            continue
+        if route_survives(path, fault_set):
+            surviving.add_edge(source, target)
+    return surviving
+
+
+def surviving_diameter(
+    graph: Graph, routing: AnyRouting, faults: Iterable[Node]
+) -> float:
+    """Return the diameter of the surviving route graph (``inf`` if disconnected)."""
+    return graph_diameter(surviving_route_graph(graph, routing, faults))
+
+
+def surviving_distance(
+    graph: Graph,
+    routing: AnyRouting,
+    faults: Iterable[Node],
+    source: Node,
+    target: Node,
+) -> float:
+    """Return ``dist(source, target)`` in the surviving route graph."""
+    surviving = surviving_route_graph(graph, routing, faults)
+    if not surviving.has_node(source) or not surviving.has_node(target):
+        raise FaultModelError("distance endpoints must be non-faulty nodes of G")
+    distances = bfs_distances(surviving, source)
+    return distances.get(target, INFINITY)
+
+
+def surviving_eccentricities(
+    graph: Graph, routing: AnyRouting, faults: Iterable[Node]
+) -> Dict[Node, float]:
+    """Return the eccentricity of every surviving node in ``R(G, rho)/F``."""
+    surviving = surviving_route_graph(graph, routing, faults)
+    total = surviving.number_of_nodes()
+    result: Dict[Node, float] = {}
+    for node in surviving.nodes():
+        distances = bfs_distances(surviving, node)
+        if len(distances) != total:
+            result[node] = INFINITY
+        else:
+            result[node] = max(distances.values()) if total > 1 else 0
+    return result
+
+
+def routes_affected_by(routing: Routing, faults: Iterable[Node]) -> List[Tuple[Node, Node]]:
+    """Return the ordered pairs whose route is affected (destroyed) by ``faults``.
+
+    Pairs whose endpoints themselves are faulty are included: those routes are
+    unusable too, although their endpoints also drop out of the surviving
+    graph.  Mainly a diagnostic / reporting helper.
+    """
+    fault_set = set(faults)
+    affected: List[Tuple[Node, Node]] = []
+    for (source, target), path in routing.items():
+        if any(node in fault_set for node in path):
+            affected.append((source, target))
+    return affected
+
+
+def broadcast_round_bound(
+    graph: Graph, routing: AnyRouting, faults: Iterable[Node]
+) -> float:
+    """Return the paper's bound on broadcast rounds for route-table recomputation.
+
+    Section 1 observes that a node can broadcast to all others by attaching a
+    "route counter" to the message and discarding it once the counter exceeds
+    the diameter of the surviving route graph, so the number of broadcast
+    rounds is bounded by that diameter.  This helper simply exposes the bound
+    under the name used in the systems discussion; the actual protocol is
+    implemented (and compared against this bound) in
+    :mod:`repro.network.broadcast`.
+    """
+    return surviving_diameter(graph, routing, faults)

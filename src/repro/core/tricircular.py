@@ -1,0 +1,178 @@
+"""The tri-circular construction (Section 4, Theorem 13 and Remark 14).
+
+The tri-circular routing strengthens the circular routing so that *every* two
+surviving nodes share a surviving concentrator member at distance at most 2
+from both (Property T-CIRC), which brings the surviving diameter down from 6
+to 4.  It needs a larger neighbourhood set: ``K = 6t + 9`` for the
+``(4, t)``-tolerant routing of Theorem 13, or ``K = 3t + 3`` / ``3t + 6``
+(``t`` even / odd) for the ``(5, t)``-tolerant variant of Remark 14.
+
+The concentrator is split into three "circular components" ``M^0, M^1, M^2``
+of ``K/3`` nodes each.  Components of the routing:
+
+* T-CIRC 1 — tree routings from every node outside ``Gamma`` to every set
+  ``Gamma^j_i``;
+* T-CIRC 2 — tree routings from every node of ``Gamma^j_i`` forward inside
+  its own circular component, to ``Gamma^j_{(i+k) mod K/3}`` for
+  ``1 <= k <= t + 1`` (Theorem 13) or ``1 <= k <= ceil((K/3)/2) - 1``
+  (Remark 14's smaller variant);
+* T-CIRC 3 — tree routings from every node of ``Gamma^j_i`` to every set of
+  the *next* component ``Gamma^{(j+1) mod 3}_l``;
+* T-CIRC 4 — direct edge routes between all adjacent pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.circular import circular_component_range
+from repro.core.concentrators import neighborhood_set, required_neighborhood_set_size
+from repro.core.construction import ConstructionResult, Guarantee
+from repro.core.routing import Routing
+from repro.core.tree_routing import tree_routing_to_neighborhood
+from repro.exceptions import ConstructionError, PropertyNotSatisfiedError
+from repro.graphs.connectivity import connectivity_parameter
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_neighborhood_set
+
+Node = Hashable
+
+
+def tricircular_routing(
+    graph: Graph,
+    t: Optional[int] = None,
+    concentrator: Optional[Sequence[Node]] = None,
+    small: bool = False,
+) -> ConstructionResult:
+    """Construct the bidirectional tri-circular routing on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The underlying ``(t + 1)``-connected network.
+    t:
+        Fault parameter; defaults to ``kappa(G) - 1``.
+    concentrator:
+        Optional explicit neighbourhood set of size (at least) ``K``; its
+        order determines the partition into the three circular components
+        (first ``K/3`` nodes form ``M^0`` and so on).
+    small:
+        When ``True`` build Remark 14's smaller variant (``K = 3t + 3`` or
+        ``3t + 6``) whose guarantee is ``(5, t)``; otherwise Theorem 13's
+        ``K = 6t + 9`` variant with guarantee ``(4, t)``.
+
+    Raises
+    ------
+    PropertyNotSatisfiedError
+        If no neighbourhood set of the required size exists / can be found.
+    """
+    if t is None:
+        t = connectivity_parameter(graph)
+    if t < 0:
+        raise ConstructionError("t must be non-negative")
+
+    variant = "tricircular-small" if small else "tricircular"
+    k = required_neighborhood_set_size(t, variant)
+    if k % 3 != 0:
+        raise ConstructionError(f"internal error: tri-circular K={k} is not divisible by 3")
+    third = k // 3
+
+    members = _resolve_concentrator(graph, k, concentrator)
+    components: List[List[Node]] = [
+        members[j * third : (j + 1) * third] for j in range(3)
+    ]
+    gammas: Dict[Tuple[int, int], Set[Node]] = {}
+    index_of: Dict[Node, Tuple[int, int]] = {}
+    gamma_union: Set[Node] = set()
+    for j in range(3):
+        for i, member in enumerate(components[j]):
+            gamma = graph.neighbors(member)
+            gammas[(j, i)] = gamma
+            for node in gamma:
+                if node in index_of:
+                    raise PropertyNotSatisfiedError(
+                        f"node {node!r} belongs to two Gamma sets; the concentrator "
+                        "is not a neighbourhood set"
+                    )
+                index_of[node] = (j, i)
+            gamma_union |= gamma
+
+    width = t + 1
+    routing = Routing(graph, bidirectional=True, name="tri-circular")
+    routing.add_all_edge_routes()
+
+    # Component T-CIRC 1: nodes outside Gamma route to every Gamma^j_i.
+    for node in graph.nodes():
+        if node in gamma_union:
+            continue
+        for j in range(3):
+            for member in components[j]:
+                routes = tree_routing_to_neighborhood(graph, node, member, width)
+                for endpoint, path in routes.items():
+                    routing.set_route(node, endpoint, path)
+
+    # Offsets for T-CIRC 2 inside a circular component.
+    if small:
+        offsets = list(circular_component_range(third))
+    else:
+        offsets = list(range(1, t + 2))
+        if max(offsets, default=0) >= third:
+            raise ConstructionError(
+                "T-CIRC 2 offsets would wrap around the component; K is too small"
+            )
+
+    for node in sorted(gamma_union, key=repr):
+        j, i = index_of[node]
+        # Component T-CIRC 2: forward inside the own circular component.
+        for offset in offsets:
+            center = components[j][(i + offset) % third]
+            routes = tree_routing_to_neighborhood(graph, node, center, width)
+            for endpoint, path in routes.items():
+                routing.set_route(node, endpoint, path)
+        # Component T-CIRC 3: to every set of the next circular component.
+        next_component = components[(j + 1) % 3]
+        for center in next_component:
+            routes = tree_routing_to_neighborhood(graph, node, center, width)
+            for endpoint, path in routes.items():
+                routing.set_route(node, endpoint, path)
+
+    if small:
+        guarantee = Guarantee(diameter_bound=5, max_faults=t, source="Remark 14")
+    else:
+        guarantee = Guarantee(diameter_bound=4, max_faults=t, source="Theorem 13")
+    return ConstructionResult(
+        routing=routing,
+        scheme="tricircular-small" if small else "tricircular",
+        t=t,
+        guarantee=guarantee,
+        concentrator=list(members),
+        details={
+            "k": k,
+            "component_size": third,
+            "components": components,
+            "t_circ2_offsets": offsets,
+            "gamma_union_size": len(gamma_union),
+        },
+    )
+
+
+def _resolve_concentrator(
+    graph: Graph, k: int, concentrator: Optional[Sequence[Node]]
+) -> List[Node]:
+    """Validate a supplied concentrator or construct one of size ``k``."""
+    if concentrator is not None:
+        members = list(concentrator)
+        if len(members) < k:
+            raise ConstructionError(
+                f"concentrator has {len(members)} nodes; {k} are required"
+            )
+        members = members[:k]
+        if len(set(members)) != len(members):
+            raise ConstructionError("concentrator contains repeated nodes")
+        if not is_neighborhood_set(graph, members):
+            raise PropertyNotSatisfiedError(
+                "the supplied concentrator is not a neighbourhood set"
+            )
+        return members
+    return list(neighborhood_set(graph, k))[:k]

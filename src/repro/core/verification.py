@@ -1,0 +1,207 @@
+"""Independent verifiers for the structural properties the proofs rely on.
+
+Each theorem in the paper is proved by establishing a small set of named
+properties of the surviving route graph (CIRC 1 / CIRC 2, T-CIRC, B-POL 1–4,
+2B-POL 1–3) and then a short case analysis.  The functions here check those
+properties *directly* on a concrete surviving graph for a concrete fault set.
+They serve two purposes: they give much sharper diagnostics than a bare
+"diameter exceeded the bound" failure, and they provide an independent
+implementation against which the property-based tests cross-validate the
+constructions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.construction import ConstructionResult
+from repro.core.routing import Routing
+from repro.core.surviving import surviving_route_graph
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+
+Node = Hashable
+
+
+def _distance(surviving: DiGraph, source: Node, target: Node) -> float:
+    return bfs_distances(surviving, source).get(target, float("inf"))
+
+
+def _surviving(result: ConstructionResult, faults: Iterable[Node]) -> Tuple[DiGraph, Set[Node]]:
+    fault_set = set(faults)
+    surviving = surviving_route_graph(result.graph, result.routing, fault_set)
+    return surviving, fault_set
+
+
+# ----------------------------------------------------------------------
+# Circular routing properties (Lemmas 6-9)
+# ----------------------------------------------------------------------
+def check_circ_properties(
+    result: ConstructionResult, faults: Iterable[Node]
+) -> List[str]:
+    """Check Properties CIRC 1 and CIRC 2 for a circular construction.
+
+    Property CIRC 1: every surviving node outside ``M`` is within distance 2
+    of some surviving ``M`` node.  Property CIRC 2: every two surviving ``M``
+    nodes are within distance 2 of each other.  Returns a list of violation
+    descriptions (empty when both properties hold).
+    """
+    surviving, fault_set = _surviving(result, faults)
+    members = [m for m in result.concentrator if m not in fault_set]
+    problems: List[str] = []
+    member_set = set(result.concentrator)
+
+    for node in surviving.nodes():
+        if node in member_set:
+            continue
+        distances = bfs_distances(surviving, node)
+        if not any(distances.get(m, float("inf")) <= 2 for m in members):
+            problems.append(
+                f"CIRC 1 violated: {node!r} has no surviving concentrator node "
+                f"within distance 2 (faults: {sorted(map(repr, fault_set))})"
+            )
+    for i, first in enumerate(members):
+        distances = bfs_distances(surviving, first)
+        for second in members[i + 1 :]:
+            if distances.get(second, float("inf")) > 2:
+                problems.append(
+                    f"CIRC 2 violated: dist({first!r}, {second!r}) > 2 in the surviving graph"
+                )
+    return problems
+
+
+def check_tcirc_property(
+    result: ConstructionResult, faults: Iterable[Node], radius: int = 2
+) -> List[str]:
+    """Check Property T-CIRC (or Property CIRC with ``radius=3``).
+
+    Every two surviving nodes must share some surviving concentrator member
+    within distance ``radius`` of both (2 for the tri-circular routing of
+    Theorem 13, 3 for the ``K = t+1 / t+2`` circular routing of Lemma 9).
+    """
+    surviving, fault_set = _surviving(result, faults)
+    members = [m for m in result.concentrator if m not in fault_set]
+    distances_from_member: Dict[Node, Dict[Node, int]] = {
+        m: bfs_distances(surviving, m) for m in members
+    }
+    nodes = surviving.nodes()
+    problems: List[str] = []
+    for i, x in enumerate(nodes):
+        for y in nodes[i + 1 :]:
+            ok = False
+            for m in members:
+                dist_map = distances_from_member[m]
+                if dist_map.get(x, float("inf")) <= radius and dist_map.get(y, float("inf")) <= radius:
+                    ok = True
+                    break
+            if not ok:
+                problems.append(
+                    f"T-CIRC violated (radius {radius}): {x!r} and {y!r} share no "
+                    "surviving concentrator member"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Bipolar routing properties (Lemmas 18-22)
+# ----------------------------------------------------------------------
+def check_bipolar_properties(
+    result: ConstructionResult, faults: Iterable[Node]
+) -> List[str]:
+    """Check Properties B-POL 1–4 for a unidirectional bipolar construction."""
+    surviving, fault_set = _surviving(result, faults)
+    m1 = [m for m in result.details["m1"] if m not in fault_set]
+    m2 = [m for m in result.details["m2"] if m not in fault_set]
+    m_all = set(result.details["m1"]) | set(result.details["m2"])
+    problems: List[str] = []
+
+    for node in surviving.nodes():
+        successors = surviving.successors(node)
+        predecessors = surviving.predecessors(node)
+        if node not in set(result.details["m1"]):
+            if not any(m in successors for m in m1):
+                problems.append(f"B-POL 1 violated for {node!r}: no surviving M1 out-neighbour")
+        if node not in set(result.details["m2"]):
+            if not any(m in successors for m in m2):
+                problems.append(f"B-POL 2 violated for {node!r}: no surviving M2 out-neighbour")
+        if node not in m_all:
+            if not any(m in predecessors for m in m1 + m2):
+                problems.append(f"B-POL 3 violated for {node!r}: no surviving M in-neighbour")
+
+    problems.extend(_check_pairwise(surviving, m1, 2, "B-POL 4 (M1)"))
+    problems.extend(_check_pairwise(surviving, m2, 2, "B-POL 4 (M2)"))
+    return problems
+
+
+def check_bidirectional_bipolar_properties(
+    result: ConstructionResult, faults: Iterable[Node]
+) -> List[str]:
+    """Check Properties 2B-POL 1–3 for a bidirectional bipolar construction."""
+    surviving, fault_set = _surviving(result, faults)
+    m1 = [m for m in result.details["m1"] if m not in fault_set]
+    m2 = [m for m in result.details["m2"] if m not in fault_set]
+    m_all = set(result.details["m1"]) | set(result.details["m2"])
+    problems: List[str] = []
+
+    for node in surviving.nodes():
+        if node in m_all:
+            continue
+        successors = surviving.successors(node)
+        if not any(m in successors for m in m1 + m2):
+            problems.append(f"2B-POL 1 violated for {node!r}: no surviving M neighbour")
+
+    problems.extend(_check_pairwise(surviving, m1, 2, "2B-POL 2 (M1)"))
+    problems.extend(_check_pairwise(surviving, m2, 2, "2B-POL 2 (M2)"))
+
+    for node in m1:
+        successors = surviving.successors(node)
+        if not any(m in successors for m in m2):
+            problems.append(f"2B-POL 3 violated for {node!r}: no surviving M2 neighbour")
+    return problems
+
+
+def _check_pairwise(
+    surviving: DiGraph, members: Sequence[Node], bound: int, label: str
+) -> List[str]:
+    problems: List[str] = []
+    for i, first in enumerate(members):
+        distances = bfs_distances(surviving, first)
+        for second in members[i + 1 :]:
+            if distances.get(second, float("inf")) > bound:
+                problems.append(
+                    f"{label} violated: dist({first!r}, {second!r}) > {bound}"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Routing sanity checks (model invariants)
+# ----------------------------------------------------------------------
+def check_routing_model(routing: Routing) -> List[str]:
+    """Check the basic model invariants of a routing.
+
+    1. every route is a simple path of the underlying graph with matching
+       endpoints (enforced on insertion, re-checked here for safety);
+    2. for bidirectional routings, ``rho(x, y)`` is the reverse of
+       ``rho(y, x)`` wherever both exist;
+    3. adjacent pairs that carry a route carry the direct edge whenever the
+       route's endpoints are adjacent *and* some component required it —
+       we check the weaker universal invariant that a route between adjacent
+       nodes defined by the paper's constructions is the direct edge.
+    """
+    from repro.graphs.traversal import is_simple_path
+
+    problems: List[str] = []
+    for (source, target), path in routing.items():
+        if path[0] != source or path[-1] != target:
+            problems.append(f"route for ({source!r}, {target!r}) has wrong endpoints")
+        if not is_simple_path(routing.graph, path):
+            problems.append(f"route for ({source!r}, {target!r}) is not a simple path")
+        if routing.graph.has_edge(source, target) and len(path) != 2:
+            problems.append(
+                f"route for adjacent pair ({source!r}, {target!r}) is not the direct edge"
+            )
+    if routing.bidirectional and not routing.is_symmetric():
+        problems.append("bidirectional routing is not symmetric")
+    return problems

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node referenced by an operation is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by an operation is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation requiring a connected graph received a disconnected one."""
+
+
+class RoutingError(ReproError):
+    """Base class for errors raised while building or validating routings."""
+
+
+class InvalidRouteError(RoutingError):
+    """A route violates the model (not simple, wrong endpoints, not in G)."""
+
+
+class ConflictingRouteError(RoutingError):
+    """Two different routes were assigned to the same ordered pair of nodes."""
+
+
+class ConstructionError(RoutingError):
+    """A routing construction cannot be applied to the supplied graph.
+
+    Raised, for instance, when the circular routing is requested for a graph
+    that has no sufficiently large neighbourhood set, or when the bipolar
+    routing is requested for a graph without the two-trees property.
+    """
+
+
+class PropertyNotSatisfiedError(ConstructionError):
+    """The structural property required by a construction does not hold."""
+
+
+class FaultModelError(ReproError):
+    """Errors in fault-set specification (e.g. faulting a missing node)."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event network simulator."""
+
+
+class DeliveryError(SimulationError):
+    """A message could not be delivered (no surviving route sequence)."""

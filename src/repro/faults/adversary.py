@@ -1,0 +1,236 @@
+"""Fault-set generation strategies: exhaustive, random, targeted, greedy.
+
+The tolerance theorems are worst-case statements over *all* fault sets of
+bounded size.  Exhaustive enumeration is exact but only feasible for small
+graphs and small ``f``; for larger instances the library combines
+
+* random sampling (an unbiased but weak adversary),
+* *targeted* fault sets aimed at the structures the constructions rely on —
+  subsets of the concentrator, subsets of a single node's neighbourhood,
+  subsets of the nodes on one node's tree routing — which in practice are the
+  fault patterns that realise the worst surviving diameters, and
+* a greedy adversarial search that grows a fault set one node at a time,
+  always picking the node whose failure increases the surviving diameter the
+  most.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random as _random
+from typing import Callable, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+from repro.core.routing import MultiRouting, Routing
+from repro.core.surviving import surviving_diameter
+from repro.faults.models import FaultSet
+from repro.graphs.graph import Graph
+
+Node = Hashable
+AnyRouting = Union[Routing, MultiRouting]
+RandomLike = Union[int, _random.Random, None]
+
+
+def _rng(seed: RandomLike) -> _random.Random:
+    if isinstance(seed, _random.Random):
+        return seed
+    return _random.Random(seed)
+
+
+# ----------------------------------------------------------------------
+# Exhaustive enumeration
+# ----------------------------------------------------------------------
+def all_fault_sets(
+    nodes: Iterable[Node], max_size: int, include_smaller: bool = True
+) -> Iterator[FaultSet]:
+    """Yield every fault set of size at most (or exactly) ``max_size``.
+
+    The surviving diameter is *not* monotone in the fault set (removing an
+    extra node may delete the very pair of nodes realising the worst
+    distance), so a sound exhaustive check must consider all sizes up to the
+    bound, which is the default.
+    """
+    node_list = sorted(nodes, key=repr)
+    sizes = range(0, max_size + 1) if include_smaller else range(max_size, max_size + 1)
+    for size in sizes:
+        for combo in itertools.combinations(node_list, size):
+            yield FaultSet(combo, description=f"exhaustive size {size}")
+
+
+def count_fault_sets(n: int, max_size: int, include_smaller: bool = True) -> int:
+    """Return how many fault sets :func:`all_fault_sets` would yield."""
+    import math
+
+    sizes = range(0, max_size + 1) if include_smaller else [max_size]
+    return sum(math.comb(n, size) for size in sizes)
+
+
+# ----------------------------------------------------------------------
+# Random sampling
+# ----------------------------------------------------------------------
+def random_fault_sets(
+    nodes: Iterable[Node],
+    size: int,
+    count: int,
+    seed: RandomLike = None,
+    exclude: Iterable[Node] = (),
+) -> Iterator[FaultSet]:
+    """Yield ``count`` uniformly random fault sets of exactly ``size`` nodes."""
+    pool = [node for node in sorted(nodes, key=repr) if node not in set(exclude)]
+    if size > len(pool):
+        return
+    rng = _rng(seed)
+    for index in range(count):
+        yield FaultSet(rng.sample(pool, size), description=f"random #{index}")
+
+
+# ----------------------------------------------------------------------
+# Targeted (structure-aware) fault sets
+# ----------------------------------------------------------------------
+def targeted_fault_sets(
+    graph: Graph,
+    size: int,
+    concentrator: Sequence[Node] = (),
+    routing: Optional[AnyRouting] = None,
+    per_target_limit: int = 64,
+) -> Iterator[FaultSet]:
+    """Yield fault sets aimed at the routing's weak points.
+
+    Three families of candidates are produced (each capped at
+    ``per_target_limit`` sets to keep the total manageable):
+
+    1. subsets of the concentrator ``M`` — killing concentrator members
+       stresses Properties CIRC 2 / T-CIRC / B-POL 4;
+    2. subsets of a single node's neighbour set — killing a node's neighbours
+       is how an adversary isolates it, the situation Lemma 1 defends against;
+    3. for a given routing, subsets of the nodes appearing on some node's
+       routes (excluding the node itself), which attacks its tree routing.
+    """
+    emitted = 0
+    concentrator_list = [node for node in concentrator if graph.has_node(node)]
+    if len(concentrator_list) >= size and size > 0:
+        for combo in itertools.islice(
+            itertools.combinations(sorted(concentrator_list, key=repr), size),
+            per_target_limit,
+        ):
+            yield FaultSet(combo, description="targeted: concentrator subset")
+            emitted += 1
+
+    if size > 0:
+        by_degree = sorted(graph.nodes(), key=lambda n: (-graph.degree(n), repr(n)))
+        for victim in by_degree[:per_target_limit]:
+            neighbors = sorted(graph.neighbors(victim), key=repr)
+            if len(neighbors) < size:
+                continue
+            yield FaultSet(
+                neighbors[:size], description=f"targeted: neighbours of {victim!r}"
+            )
+
+    if routing is not None and size > 0:
+        pairs = routing.pairs()
+        seen_sources: Set[Node] = set()
+        for source, target in pairs:
+            if source in seen_sources:
+                continue
+            seen_sources.add(source)
+            if len(seen_sources) > per_target_limit:
+                break
+            on_routes: Set[Node] = set()
+            if isinstance(routing, MultiRouting):
+                for path in routing.get_routes(source, target):
+                    on_routes.update(path)
+            else:
+                path = routing.get_route(source, target)
+                if path:
+                    on_routes.update(path)
+            on_routes.discard(source)
+            candidates = sorted(on_routes, key=repr)
+            if len(candidates) >= size:
+                yield FaultSet(
+                    candidates[:size], description=f"targeted: routes of {source!r}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Greedy adversarial search
+# ----------------------------------------------------------------------
+def greedy_adversarial_fault_set(
+    graph: Graph,
+    routing: AnyRouting,
+    size: int,
+    candidate_limit: int = 40,
+    seed: RandomLike = None,
+) -> FaultSet:
+    """Grow a fault set greedily, maximising the surviving diameter at each step.
+
+    At every step the candidate nodes (a random subset of the non-faulty
+    nodes, capped at ``candidate_limit`` for tractability) are evaluated by
+    the surviving diameter they would produce if added; the best one is kept.
+    Disconnecting fault sets (infinite diameter) are preferred last among
+    candidates of equal finite diameter only when ``size`` exceeds the
+    connectivity — for sizes below the connectivity they cannot occur.
+
+    This is a heuristic lower bound on the true worst case, useful for larger
+    graphs where exhaustive enumeration is infeasible.
+    """
+    rng = _rng(seed)
+    faults: Set[Node] = set()
+    for _ in range(size):
+        remaining = [node for node in graph.nodes() if node not in faults]
+        if not remaining:
+            break
+        if len(remaining) > candidate_limit:
+            candidates = rng.sample(remaining, candidate_limit)
+        else:
+            candidates = remaining
+        best_node = None
+        best_diameter = -1.0
+        for node in candidates:
+            trial = faults | {node}
+            diam = surviving_diameter(graph, routing, trial)
+            if diam == float("inf"):
+                # Prefer the largest *finite* diameter; remember an infinite
+                # one only if nothing finite shows up.
+                diam_key = -0.5
+            else:
+                diam_key = diam
+            if diam_key > best_diameter:
+                best_diameter = diam_key
+                best_node = node
+        if best_node is None:
+            break
+        faults.add(best_node)
+    return FaultSet(faults, description="greedy adversarial")
+
+
+def combined_fault_sets(
+    graph: Graph,
+    routing: AnyRouting,
+    size: int,
+    concentrator: Sequence[Node] = (),
+    random_count: int = 50,
+    seed: RandomLike = None,
+    include_greedy: bool = True,
+) -> List[FaultSet]:
+    """Return a deduplicated battery of fault sets mixing all strategies.
+
+    This is the default adversary used by the benchmarks when exhaustive
+    enumeration is too expensive: targeted sets, random sets, and one greedy
+    adversarial set, all of exactly ``size`` faults (plus the empty set as a
+    baseline).
+    """
+    battery: List[FaultSet] = [FaultSet((), description="no faults")]
+    seen: Set[frozenset] = {frozenset()}
+
+    def push(fault_set: FaultSet) -> None:
+        key = fault_set.nodes()
+        if key not in seen and len(key) <= size:
+            seen.add(key)
+            battery.append(fault_set)
+
+    for fault_set in targeted_fault_sets(graph, size, concentrator, routing):
+        push(fault_set)
+    for fault_set in random_fault_sets(graph.nodes(), size, random_count, seed=seed):
+        push(fault_set)
+    if include_greedy and size > 0:
+        push(greedy_adversarial_fault_set(graph, routing, size, seed=seed))
+    return battery

@@ -1,0 +1,121 @@
+"""Fault models: fault sets and the edge-fault-to-node-fault convention.
+
+The paper considers node faults only and handles a faulty edge "by assuming
+that one of the endpoints of the faulty edge is a faulty node" (a pessimistic
+but safe convention).  :class:`FaultSet` is a thin immutable wrapper around a
+frozen set of faulty nodes that keeps a human-readable description of how the
+set was produced (exhaustive enumeration, random sampling, adversarial
+search, converted edge faults ...), which makes experiment reports and test
+failure messages much easier to interpret.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.exceptions import FaultModelError
+from repro.graphs.graph import Graph
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class FaultSet:
+    """An immutable set of faulty nodes with provenance metadata."""
+
+    __slots__ = ("_nodes", "description")
+
+    def __init__(self, nodes: Iterable[Node] = (), description: str = "") -> None:
+        self._nodes: FrozenSet[Node] = frozenset(nodes)
+        self.description = description
+
+    # ------------------------------------------------------------------
+    # Set-like behaviour
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FaultSet):
+            return self._nodes == other._nodes
+        if isinstance(other, (set, frozenset)):
+            return self._nodes == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._nodes)
+
+    def nodes(self) -> FrozenSet[Node]:
+        """Return the underlying frozen set of faulty nodes."""
+        return self._nodes
+
+    def union(self, other: Iterable[Node]) -> "FaultSet":
+        """Return a new fault set with the extra nodes added."""
+        return FaultSet(self._nodes | set(other), description=self.description)
+
+    def __repr__(self) -> str:
+        label = f" {self.description!r}" if self.description else ""
+        preview = sorted(map(repr, self._nodes))[:6]
+        suffix = ", ..." if len(self._nodes) > 6 else ""
+        return f"<FaultSet{label} size={len(self._nodes)} nodes=[{', '.join(preview)}{suffix}]>"
+
+    # ------------------------------------------------------------------
+    # Validation / construction helpers
+    # ------------------------------------------------------------------
+    def validate(self, graph: Graph) -> None:
+        """Raise :class:`FaultModelError` if a faulty node is not in ``graph``."""
+        for node in self._nodes:
+            if not graph.has_node(node):
+                raise FaultModelError(f"faulty node {node!r} is not a node of the graph")
+
+    def leaves_connected(self, graph: Graph) -> bool:
+        """Return ``True`` if removing the faults leaves ``graph`` connected.
+
+        The theorems only bound the surviving diameter for fault sets that do
+        not disconnect the underlying graph (otherwise it is trivially
+        infinite); fault sets smaller than the connectivity never disconnect
+        it, but experiment code uses this predicate for larger, exploratory
+        fault sets.
+        """
+        from repro.graphs.traversal import is_connected
+
+        remaining = graph.without_nodes(self._nodes)
+        if remaining.number_of_nodes() == 0:
+            return False
+        return is_connected(remaining)
+
+    @classmethod
+    def from_edge_faults(
+        cls, graph: Graph, edges: Iterable[Edge], prefer_lower_degree: bool = True
+    ) -> "FaultSet":
+        """Convert edge faults into node faults per the paper's convention.
+
+        For each faulty edge one endpoint is declared faulty.  By default the
+        endpoint of lower degree is chosen (failing the "smaller" node weakens
+        the network the least, giving the most favourable — but still sound —
+        interpretation of the convention); pass ``prefer_lower_degree=False``
+        to pick the higher-degree endpoint instead for a pessimistic model.
+        """
+        chosen: Set[Node] = set()
+        for u, v in edges:
+            if not graph.has_edge(u, v):
+                raise FaultModelError(f"edge ({u!r}, {v!r}) is not in the graph")
+            if u in chosen or v in chosen:
+                continue  # the edge is already covered by an earlier choice
+            du, dv = graph.degree(u), graph.degree(v)
+            if prefer_lower_degree:
+                chosen.add(u if du <= dv else v)
+            else:
+                chosen.add(u if du >= dv else v)
+        return cls(chosen, description="edge faults (endpoint convention)")
+
+
+def empty_fault_set() -> FaultSet:
+    """Return the empty fault set (the no-failures baseline)."""
+    return FaultSet((), description="no faults")

@@ -1,0 +1,123 @@
+"""Monte-Carlo fault-injection campaigns and summary statistics.
+
+While the theorems are worst-case statements, a systems designer also cares
+about the *typical* surviving diameter under random failures.  This module
+runs randomised fault-injection campaigns over a constructed routing and
+aggregates the results (mean / max diameter, fraction of disconnecting fault
+sets, distribution over fault-set sizes), which the examples and a couple of
+benchmarks report alongside the worst-case numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random as _random
+import statistics
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Union
+
+from repro.core.routing import MultiRouting, Routing
+from repro.core.surviving import surviving_diameter
+from repro.faults.adversary import random_fault_sets
+from repro.faults.models import FaultSet
+from repro.graphs.graph import Graph
+
+Node = Hashable
+AnyRouting = Union[Routing, MultiRouting]
+RandomLike = Union[int, _random.Random, None]
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Aggregated outcome of a fault-injection campaign at one fault-set size."""
+
+    fault_size: int
+    samples: int
+    mean_diameter: float
+    max_diameter: float
+    min_diameter: float
+    disconnected_fraction: float
+    worst_fault_set: Optional[FaultSet] = None
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the result as a flat dict (one table row)."""
+        return {
+            "faults": self.fault_size,
+            "samples": self.samples,
+            "mean_diam": round(self.mean_diameter, 3),
+            "max_diam": self.max_diameter,
+            "min_diam": self.min_diameter,
+            "disconnected": round(self.disconnected_fraction, 3),
+        }
+
+
+def run_campaign(
+    graph: Graph,
+    routing: AnyRouting,
+    fault_size: int,
+    samples: int = 100,
+    seed: RandomLike = None,
+    fault_sets: Optional[Iterable[FaultSet]] = None,
+) -> CampaignResult:
+    """Inject ``samples`` random fault sets of the given size and summarise.
+
+    Parameters
+    ----------
+    fault_sets:
+        Optional explicit fault sets to evaluate instead of random sampling
+        (e.g. the output of :func:`repro.faults.adversary.combined_fault_sets`).
+    """
+    if fault_sets is None:
+        fault_sets = list(
+            random_fault_sets(graph.nodes(), fault_size, samples, seed=seed)
+        )
+    else:
+        fault_sets = list(fault_sets)
+    if not fault_sets:
+        raise ValueError("no fault sets to evaluate")
+
+    diameters: List[float] = []
+    disconnected = 0
+    worst: Optional[FaultSet] = None
+    worst_diameter = -1.0
+    for fault_set in fault_sets:
+        diam = surviving_diameter(graph, routing, fault_set)
+        if diam == float("inf"):
+            disconnected += 1
+        else:
+            diameters.append(diam)
+        key = float("inf") if diam == float("inf") else diam
+        if key > worst_diameter or worst is None:
+            worst_diameter = key if key != float("inf") else worst_diameter
+            worst = fault_set if diam != float("inf") or worst is None else worst
+
+    finite = diameters or [float("inf")]
+    return CampaignResult(
+        fault_size=fault_size,
+        samples=len(fault_sets),
+        mean_diameter=statistics.fmean(finite) if diameters else float("inf"),
+        max_diameter=max(finite),
+        min_diameter=min(finite),
+        disconnected_fraction=disconnected / len(fault_sets),
+        worst_fault_set=worst,
+    )
+
+
+def sweep_fault_sizes(
+    graph: Graph,
+    routing: AnyRouting,
+    sizes: Sequence[int],
+    samples: int = 50,
+    seed: RandomLike = None,
+) -> List[CampaignResult]:
+    """Run one campaign per fault-set size and return the results in order."""
+    rng = _rng_instance(seed)
+    return [
+        run_campaign(graph, routing, size, samples=samples, seed=rng)
+        for size in sizes
+    ]
+
+
+def _rng_instance(seed: RandomLike) -> _random.Random:
+    if isinstance(seed, _random.Random):
+        return seed
+    return _random.Random(seed)

@@ -1,0 +1,112 @@
+"""Graph substrate for the fault-tolerant routing library.
+
+Everything in this subpackage is self-contained (no third-party dependencies):
+an undirected :class:`Graph`, a directed :class:`DiGraph`, traversal and
+shortest-path routines, max-flow based connectivity / disjoint-path / separator
+computations, structural property predicates (neighbourhood sets, two-trees
+property), and generators for the graph families discussed in the paper.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import (
+    INFINITY,
+    all_pairs_distances,
+    bfs_distances,
+    bfs_tree,
+    connected_components,
+    diameter,
+    distance,
+    eccentricity,
+    is_connected,
+    is_simple_path,
+    is_strongly_connected,
+    path_length,
+    radius,
+    shortest_path,
+)
+from repro.graphs.connectivity import (
+    connectivity_parameter,
+    edge_connectivity,
+    is_k_connected,
+    local_edge_connectivity,
+    local_node_connectivity,
+    node_connectivity,
+)
+from repro.graphs.disjoint_paths import (
+    are_internally_disjoint,
+    truncate_paths_at_set,
+    vertex_disjoint_paths,
+)
+from repro.graphs.separators import (
+    is_separating_set,
+    minimal_separating_set,
+    minimum_pair_separator,
+    minimum_separator,
+    separates,
+)
+from repro.graphs.properties import (
+    degree_histogram,
+    find_two_trees_roots,
+    girth,
+    has_two_trees_property,
+    have_disjoint_neighborhoods,
+    is_independent_set,
+    is_neighborhood_set,
+    is_regular,
+    lies_on_short_cycle,
+    max_degree_threshold,
+    pairwise_distance_at_least,
+    satisfies_circular_degree_bound,
+    satisfies_two_trees_property,
+)
+from repro.graphs import generators, operations, synthetic
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "INFINITY",
+    "all_pairs_distances",
+    "bfs_distances",
+    "bfs_tree",
+    "connected_components",
+    "diameter",
+    "distance",
+    "eccentricity",
+    "is_connected",
+    "is_simple_path",
+    "is_strongly_connected",
+    "path_length",
+    "radius",
+    "shortest_path",
+    "connectivity_parameter",
+    "edge_connectivity",
+    "is_k_connected",
+    "local_edge_connectivity",
+    "local_node_connectivity",
+    "node_connectivity",
+    "are_internally_disjoint",
+    "truncate_paths_at_set",
+    "vertex_disjoint_paths",
+    "is_separating_set",
+    "minimal_separating_set",
+    "minimum_pair_separator",
+    "minimum_separator",
+    "separates",
+    "degree_histogram",
+    "find_two_trees_roots",
+    "girth",
+    "has_two_trees_property",
+    "have_disjoint_neighborhoods",
+    "is_independent_set",
+    "is_neighborhood_set",
+    "is_regular",
+    "lies_on_short_cycle",
+    "max_degree_threshold",
+    "pairwise_distance_at_least",
+    "satisfies_circular_degree_bound",
+    "satisfies_two_trees_property",
+    "generators",
+    "operations",
+    "synthetic",
+]

@@ -1,0 +1,231 @@
+"""Directed simple graph implementation.
+
+Directed graphs appear in two places in the reproduction:
+
+* the *surviving route graph* ``R(G, rho)/F`` of a unidirectional routing is a
+  directed graph (an edge ``x -> y`` exists when the route from ``x`` to ``y``
+  survives the faults);
+* the flow networks used to compute vertex connectivity and vertex-disjoint
+  paths (node-splitting transformation) are directed.
+
+Like :class:`repro.graphs.graph.Graph` this is a dependency-free adjacency-set
+implementation with a networkx-like surface for easy cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+
+Node = Hashable
+Arc = Tuple[Node, Node]
+
+
+class DiGraph:
+    """A directed simple graph backed by successor / predecessor sets.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v)`` arcs used to populate the graph.
+    nodes:
+        Optional iterable of nodes to add up front.
+    name:
+        Optional human-readable name.
+    """
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[Arc]] = None,
+        nodes: Optional[Iterable[Node]] = None,
+        name: str = "",
+    ) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self.name = name
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Node operations
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (no-op if already present)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident arcs."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        for succ in self._succ[node]:
+            self._pred[succ].discard(node)
+        for pred in self._pred[node]:
+            self._succ[pred].discard(node)
+        del self._succ[node]
+        del self._pred[node]
+
+    def has_node(self, node: Node) -> bool:
+        """Return ``True`` if ``node`` is in the graph."""
+        return node in self._succ
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def nodes(self) -> List[Node]:
+        """Return a list of all nodes (insertion order)."""
+        return list(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def number_of_nodes(self) -> int:
+        """Return the number of nodes."""
+        return len(self._succ)
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    # ------------------------------------------------------------------
+    # Arc operations
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the arc ``u -> v`` (endpoints added if missing)."""
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (node {u!r})")
+        self.add_node(u)
+        self.add_node(v)
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+
+    def add_edges_from(self, edges: Iterable[Arc]) -> None:
+        """Add every arc in ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the arc ``u -> v``."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return ``True`` if the arc ``u -> v`` is present."""
+        return u in self._succ and v in self._succ[u]
+
+    def edges(self) -> List[Arc]:
+        """Return all arcs as ``(u, v)`` tuples."""
+        return [(u, v) for u in self._succ for v in self._succ[u]]
+
+    def number_of_edges(self) -> int:
+        """Return the number of arcs."""
+        return sum(len(succ) for succ in self._succ.values())
+
+    # ------------------------------------------------------------------
+    # Neighbourhood queries
+    # ------------------------------------------------------------------
+    def successors(self, node: Node) -> Set[Node]:
+        """Return the out-neighbour set of ``node``."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        return set(self._succ[node])
+
+    def predecessors(self, node: Node) -> Set[Node]:
+        """Return the in-neighbour set of ``node``."""
+        if node not in self._pred:
+            raise NodeNotFoundError(node)
+        return set(self._pred[node])
+
+    def out_degree(self, node: Node) -> int:
+        """Return the out-degree of ``node``."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        """Return the in-degree of ``node``."""
+        if node not in self._pred:
+            raise NodeNotFoundError(node)
+        return len(self._pred[node])
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        """Return a deep structural copy."""
+        clone = DiGraph(name=self.name)
+        for node in self._succ:
+            clone.add_node(node)
+        for u, v in self.edges():
+            clone.add_edge(u, v)
+        return clone
+
+    def reverse(self) -> "DiGraph":
+        """Return a copy with every arc reversed."""
+        rev = DiGraph(name=self.name)
+        for node in self._succ:
+            rev.add_node(node)
+        for u, v in self.edges():
+            rev.add_edge(v, u)
+        return rev
+
+    def to_undirected(self) -> "object":
+        """Return the underlying undirected :class:`~repro.graphs.graph.Graph`.
+
+        Each arc becomes an undirected edge (arc direction is forgotten).
+        """
+        from repro.graphs.graph import Graph
+
+        undirected = Graph(name=self.name)
+        for node in self._succ:
+            undirected.add_node(node)
+        for u, v in self.edges():
+            undirected.add_edge(u, v)
+        return undirected
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """Return the subgraph induced by ``nodes`` (missing nodes ignored)."""
+        keep = {node for node in nodes if node in self._succ}
+        sub = DiGraph(name=self.name)
+        for node in keep:
+            sub.add_node(node)
+        for node in keep:
+            for succ in self._succ[node]:
+                if succ in keep:
+                    sub.add_edge(node, succ)
+        return sub
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        if set(self._succ) != set(other._succ):
+            return False
+        return all(self._succ[node] == other._succ[node] for node in self._succ)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<DiGraph{label} |V|={self.number_of_nodes()} "
+            f"|A|={self.number_of_edges()}>"
+        )

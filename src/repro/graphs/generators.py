@@ -1,0 +1,455 @@
+"""Graph family generators.
+
+The paper motivates its constructions on the interconnection networks used in
+distributed systems: the hypercube, its bounded-degree realisations (the
+cube-connected cycles and the butterfly / d-way shuffle), planar networks, and
+sparse random graphs ``G(n, p)``.  This module generates all of those families
+plus a collection of standard graphs used in tests (cycles, grids, tori,
+circulants, complete and complete-bipartite graphs, the Petersen graph,
+random regular graphs, wheels, barbells).
+
+Every generator returns a :class:`repro.graphs.graph.Graph` and sets a
+descriptive ``name`` so experiment reports stay readable.
+
+Randomised generators accept either a seed or a ``random.Random`` instance so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random as _random
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import is_connected
+
+Node = Hashable
+RandomLike = Union[int, _random.Random, None]
+
+
+def _rng(seed: RandomLike) -> _random.Random:
+    """Normalise a seed / Random instance / None into a ``random.Random``."""
+    if isinstance(seed, _random.Random):
+        return seed
+    return _random.Random(seed)
+
+
+# ----------------------------------------------------------------------
+# Deterministic families
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> Graph:
+    """Return the path ``P_n`` on nodes ``0 .. n-1``."""
+    if n < 1:
+        raise ValueError("path graph needs at least one node")
+    graph = Graph(nodes=range(n), name=f"path-{n}")
+    graph.add_edges_from((i, i + 1) for i in range(n - 1))
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle ``C_n`` on nodes ``0 .. n-1`` (connectivity 2)."""
+    if n < 3:
+        raise ValueError("cycle graph needs at least three nodes")
+    graph = Graph(nodes=range(n), name=f"cycle-{n}")
+    graph.add_edges_from((i, (i + 1) % n) for i in range(n))
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """Return the complete graph ``K_n`` (connectivity ``n - 1``)."""
+    if n < 1:
+        raise ValueError("complete graph needs at least one node")
+    graph = Graph(nodes=range(n), name=f"complete-{n}")
+    graph.add_edges_from(itertools.combinations(range(n), 2))
+    return graph
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """Return ``K_{a,b}`` with parts ``('a', i)`` and ``('b', j)``."""
+    if a < 1 or b < 1:
+        raise ValueError("both parts must be non-empty")
+    graph = Graph(name=f"complete-bipartite-{a}-{b}")
+    left = [("a", i) for i in range(a)]
+    right = [("b", j) for j in range(b)]
+    graph.add_nodes_from(left)
+    graph.add_nodes_from(right)
+    graph.add_edges_from((u, v) for u in left for v in right)
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """Return the star with centre 0 and ``n`` leaves ``1 .. n``."""
+    if n < 1:
+        raise ValueError("star graph needs at least one leaf")
+    graph = Graph(nodes=range(n + 1), name=f"star-{n}")
+    graph.add_edges_from((0, i) for i in range(1, n + 1))
+    return graph
+
+
+def wheel_graph(n: int) -> Graph:
+    """Return the wheel: a cycle on ``1 .. n`` plus a hub 0 joined to all."""
+    if n < 3:
+        raise ValueError("wheel graph needs a rim of at least three nodes")
+    graph = cycle_graph(n)
+    relabeled = Graph(name=f"wheel-{n}")
+    for u, v in graph.edges():
+        relabeled.add_edge(u + 1, v + 1)
+    for i in range(1, n + 1):
+        relabeled.add_edge(0, i)
+    return relabeled
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Return the ``rows x cols`` grid with nodes ``(r, c)`` (planar)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    graph = Graph(name=f"grid-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node((r, c))
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1))
+    return graph
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """Return the ``rows x cols`` torus (grid with wraparound, 4-regular)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus dimensions must be at least 3 to stay simple")
+    graph = Graph(name=f"torus-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_edge((r, c), ((r + 1) % rows, c))
+            graph.add_edge((r, c), (r, (c + 1) % cols))
+    return graph
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """Return the ``dimension``-dimensional hypercube ``Q_d``.
+
+    Nodes are integers ``0 .. 2**d - 1``; two nodes are adjacent when their
+    binary labels differ in exactly one bit.  ``Q_d`` is ``d``-regular and
+    ``d``-connected — the family for which Dolev et al. obtained bound 3 / 2
+    routings and which motivates the paper's general constructions.
+    """
+    if dimension < 1:
+        raise ValueError("hypercube dimension must be positive")
+    size = 1 << dimension
+    graph = Graph(nodes=range(size), name=f"hypercube-{dimension}")
+    for node in range(size):
+        for bit in range(dimension):
+            neighbor = node ^ (1 << bit)
+            if neighbor > node:
+                graph.add_edge(node, neighbor)
+    return graph
+
+
+def cube_connected_cycles_graph(dimension: int) -> Graph:
+    """Return the cube-connected cycles network ``CCC_d``.
+
+    Each hypercube node ``w`` is replaced by a cycle of ``d`` nodes
+    ``(w, 0) .. (w, d-1)``; node ``(w, i)`` is joined to its cycle neighbours
+    and across the cube dimension ``i`` to ``(w ^ 2**i, i)``.  ``CCC_d`` is
+    3-regular (for ``d >= 3``) and 3-connected — one of the bounded-degree
+    hypercube realisations the paper cites.
+    """
+    if dimension < 3:
+        raise ValueError("cube-connected cycles need dimension at least 3")
+    graph = Graph(name=f"ccc-{dimension}")
+    size = 1 << dimension
+    for w in range(size):
+        for i in range(dimension):
+            graph.add_edge((w, i), (w, (i + 1) % dimension))
+            neighbor = w ^ (1 << i)
+            if neighbor > w:
+                graph.add_edge((w, i), (neighbor, i))
+    return graph
+
+
+def butterfly_graph(dimension: int, wrapped: bool = True) -> Graph:
+    """Return the (wrapped) butterfly network of the given ``dimension``.
+
+    Nodes are pairs ``(level, w)`` with ``level`` in ``0 .. d-1`` (wrapped) or
+    ``0 .. d`` (unwrapped) and ``w`` an integer in ``0 .. 2**d - 1``.  Node
+    ``(level, w)`` connects to ``(level+1, w)`` and ``(level+1, w ^ 2**level)``.
+    The wrapped butterfly identifies level ``d`` with level 0 and is the
+    paper's "d-way shuffle (or, extended butterfly)" bounded-degree network.
+    """
+    if dimension < 2:
+        raise ValueError("butterfly dimension must be at least 2")
+    size = 1 << dimension
+    graph = Graph(name=f"butterfly-{dimension}{'-wrapped' if wrapped else ''}")
+    levels = dimension if wrapped else dimension + 1
+    for level in range(dimension if wrapped else dimension):
+        next_level = (level + 1) % levels if wrapped else level + 1
+        for w in range(size):
+            graph.add_edge((level, w), (next_level, w))
+            graph.add_edge((level, w), (next_level, w ^ (1 << level)))
+    return graph
+
+
+def de_bruijn_graph(base: int, dimension: int) -> Graph:
+    """Return the undirected de Bruijn graph ``B(base, dimension)``.
+
+    Nodes are the ``base**dimension`` strings of length ``dimension`` over a
+    ``base``-letter alphabet (encoded as integers); node ``w`` is adjacent to
+    every node obtained by shifting in one symbol on either side.  Self-loops
+    and parallel edges of the directed de Bruijn graph are dropped, giving a
+    simple graph of maximum degree ``2 * base`` — one of the classical
+    bounded-degree interconnection networks alongside the CCC and butterfly.
+    """
+    if base < 2 or dimension < 1:
+        raise ValueError("de Bruijn graphs need base >= 2 and dimension >= 1")
+    size = base ** dimension
+    graph = Graph(nodes=range(size), name=f"debruijn-{base}-{dimension}")
+    for node in range(size):
+        for symbol in range(base):
+            successor = (node * base + symbol) % size
+            if successor != node:
+                graph.add_edge(node, successor)
+    return graph
+
+
+def shuffle_exchange_graph(dimension: int) -> Graph:
+    """Return the shuffle-exchange network on ``2**dimension`` nodes.
+
+    Node ``w`` is adjacent to ``w`` with its last bit flipped (exchange edge)
+    and to the cyclic left/right shifts of its bit string (shuffle edges).
+    Together with the CCC and the butterfly this is one of the bounded-degree
+    "shuffle-like" realisations of the hypercube the paper alludes to.
+    """
+    if dimension < 2:
+        raise ValueError("shuffle-exchange graphs need dimension >= 2")
+    size = 1 << dimension
+    mask = size - 1
+    graph = Graph(nodes=range(size), name=f"shuffle-exchange-{dimension}")
+    for node in range(size):
+        exchange = node ^ 1
+        if exchange != node:
+            graph.add_edge(node, exchange)
+        shuffle = ((node << 1) | (node >> (dimension - 1))) & mask
+        if shuffle != node:
+            graph.add_edge(node, shuffle)
+    return graph
+
+
+def circulant_graph(n: int, offsets: Sequence[int]) -> Graph:
+    """Return the circulant graph ``C_n(offsets)``.
+
+    Node ``i`` is adjacent to ``i +- o (mod n)`` for every offset ``o``.
+    Circulants give an easy dial for connectivity: ``C_n(1..k)`` is
+    ``2k``-connected (for ``n > 2k``), which is how the benchmarks sweep ``t``.
+    """
+    if n < 3:
+        raise ValueError("circulant graphs need at least three nodes")
+    cleaned = sorted({abs(int(o)) % n for o in offsets} - {0})
+    if not cleaned:
+        raise ValueError("at least one non-zero offset is required")
+    graph = Graph(nodes=range(n), name=f"circulant-{n}-{cleaned}")
+    for i in range(n):
+        for offset in cleaned:
+            graph.add_edge(i, (i + offset) % n)
+    return graph
+
+
+def harary_graph(k: int, n: int) -> Graph:
+    """Return the Harary graph ``H_{k,n}``: a k-connected graph with few edges.
+
+    For even ``k`` this is the circulant ``C_n(1..k/2)``.  For odd ``k`` the
+    circulant ``C_n(1..(k-1)/2)`` is augmented with "diameter" edges joining
+    ``i`` to ``i + n/2``; ``n`` must then be even.
+    """
+    if k < 2:
+        raise ValueError("Harary graphs are defined for k >= 2")
+    if n <= k:
+        raise ValueError("Harary graphs require n > k")
+    if k % 2 == 0:
+        graph = circulant_graph(n, range(1, k // 2 + 1))
+    else:
+        if n % 2 != 0:
+            raise ValueError("odd k requires even n for the Harary construction")
+        graph = circulant_graph(n, range(1, (k - 1) // 2 + 1))
+        for i in range(n // 2):
+            graph.add_edge(i, i + n // 2)
+    graph.name = f"harary-{k}-{n}"
+    return graph
+
+
+def petersen_graph() -> Graph:
+    """Return the Petersen graph (3-regular, 3-connected, girth 5)."""
+    graph = Graph(name="petersen")
+    for i in range(5):
+        graph.add_edge(("outer", i), ("outer", (i + 1) % 5))
+        graph.add_edge(("inner", i), ("inner", (i + 2) % 5))
+        graph.add_edge(("outer", i), ("inner", i))
+    return graph
+
+
+def barbell_graph(clique_size: int, path_length: int) -> Graph:
+    """Return two ``K_{clique_size}`` cliques joined by a path of ``path_length`` nodes."""
+    if clique_size < 3:
+        raise ValueError("barbell cliques need at least three nodes")
+    if path_length < 0:
+        raise ValueError("path length must be non-negative")
+    graph = Graph(name=f"barbell-{clique_size}-{path_length}")
+    left = [("left", i) for i in range(clique_size)]
+    right = [("right", i) for i in range(clique_size)]
+    graph.add_edges_from(itertools.combinations(left, 2))
+    graph.add_edges_from(itertools.combinations(right, 2))
+    bridge = [("bridge", i) for i in range(path_length)]
+    chain = [left[0]] + bridge + [right[0]]
+    graph.add_edges_from(zip(chain, chain[1:]))
+    return graph
+
+
+def tree_graph(branching: int, depth: int) -> Graph:
+    """Return the complete ``branching``-ary tree of the given ``depth``."""
+    if branching < 1 or depth < 0:
+        raise ValueError("branching must be >= 1 and depth >= 0")
+    graph = Graph(name=f"tree-{branching}-{depth}")
+    graph.add_node(0)
+    frontier = [0]
+    next_label = 1
+    for _ in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                graph.add_edge(parent, next_label)
+                new_frontier.append(next_label)
+                next_label += 1
+        frontier = new_frontier
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Random families
+# ----------------------------------------------------------------------
+def gnp_random_graph(n: int, p: float, seed: RandomLike = None) -> Graph:
+    """Return an Erdos-Renyi ``G(n, p)`` sample.
+
+    Lemma 24 / Theorem 25 study ``G(n, p)`` with ``p < c * n**eps / n`` for
+    ``eps < 1/4``; :mod:`repro.analysis.random_graphs` sweeps this generator.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    rng = _rng(seed)
+    graph = Graph(nodes=range(n), name=f"gnp-{n}-{p:g}")
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_regular_graph(degree: int, n: int, seed: RandomLike = None, max_tries: int = 200) -> Graph:
+    """Return a random ``degree``-regular simple graph on ``n`` nodes.
+
+    Uses the configuration model with rejection of self-loops and multi-edges,
+    retrying up to ``max_tries`` times.  ``degree * n`` must be even.
+    """
+    if degree < 0 or n < 0:
+        raise ValueError("degree and n must be non-negative")
+    if degree >= n:
+        raise ValueError("degree must be smaller than n")
+    if (degree * n) % 2 != 0:
+        raise ValueError("degree * n must be even")
+    rng = _rng(seed)
+    for _ in range(max_tries):
+        stubs = [node for node in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or (u, v) in edges or (v, u) in edges:
+                ok = False
+                break
+            edges.add((u, v))
+        if ok:
+            graph = Graph(nodes=range(n), name=f"random-regular-{degree}-{n}")
+            graph.add_edges_from(edges)
+            return graph
+    raise RuntimeError(
+        f"failed to sample a simple {degree}-regular graph on {n} nodes "
+        f"after {max_tries} attempts"
+    )
+
+
+def random_connected_graph(n: int, extra_edge_probability: float = 0.1, seed: RandomLike = None) -> Graph:
+    """Return a connected random graph: a random spanning tree plus extra edges.
+
+    Useful for tests that need arbitrary connected inputs without worrying
+    about the connectivity of a raw ``G(n, p)`` sample.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = _rng(seed)
+    graph = Graph(nodes=range(n), name=f"random-connected-{n}")
+    order = list(range(n))
+    rng.shuffle(order)
+    for index in range(1, n):
+        parent = order[rng.randrange(index)]
+        graph.add_edge(order[index], parent)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not graph.has_edge(u, v) and rng.random() < extra_edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_k_connected_graph(
+    n: int, k: int, extra_edge_probability: float = 0.05, seed: RandomLike = None, max_tries: int = 50
+) -> Graph:
+    """Return a random graph that is (verified) at least ``k``-connected.
+
+    The sample starts from the Harary graph ``H_{k,n}`` (minimally
+    ``k``-connected) with randomly relabelled nodes and adds random extra
+    edges; the result is always at least ``k``-connected because adding edges
+    never decreases connectivity.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if k % 2 == 1 and n % 2 == 1:
+        n += 1  # Harary construction for odd k needs even n.
+    rng = _rng(seed)
+    base = harary_graph(k, n)
+    labels = list(range(n))
+    rng.shuffle(labels)
+    mapping = dict(zip(range(n), labels))
+    graph = Graph(nodes=range(n), name=f"random-{k}connected-{n}")
+    for u, v in base.edges():
+        graph.add_edge(mapping[u], mapping[v])
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not graph.has_edge(u, v) and rng.random() < extra_edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+#: Registry of parameterless "named" small graphs used in tests and examples.
+NAMED_SMALL_GRAPHS = {
+    "petersen": petersen_graph,
+    "q3": lambda: hypercube_graph(3),
+    "q4": lambda: hypercube_graph(4),
+    "ccc3": lambda: cube_connected_cycles_graph(3),
+    "torus-4x4": lambda: torus_graph(4, 4),
+    "grid-4x4": lambda: grid_graph(4, 4),
+    "k5": lambda: complete_graph(5),
+    "cycle-8": lambda: cycle_graph(8),
+}
+
+
+def by_name(name: str) -> Graph:
+    """Return one of the :data:`NAMED_SMALL_GRAPHS` by name."""
+    try:
+        factory = NAMED_SMALL_GRAPHS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown graph name {name!r}; available: {sorted(NAMED_SMALL_GRAPHS)}"
+        ) from None
+    return factory()

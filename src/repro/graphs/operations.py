@@ -1,0 +1,136 @@
+"""Graph operations: union, product, complement, relabelling, augmentation.
+
+These are small building blocks used by the generators (cartesian products
+give tori and hypercubes), by the Section 6 "changing the network" experiment
+(adding a clique on the concentrator), and by tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+def relabel(graph: Graph, mapping: Dict[Node, Node]) -> Graph:
+    """Return a copy of ``graph`` with nodes renamed through ``mapping``.
+
+    Nodes missing from ``mapping`` keep their labels.  The mapping must be
+    injective on the node set, otherwise distinct nodes would merge.
+    """
+    targets = [mapping.get(node, node) for node in graph.nodes()]
+    if len(set(targets)) != len(targets):
+        raise ValueError("relabelling mapping is not injective on the node set")
+    renamed = Graph(name=graph.name)
+    for node in graph.nodes():
+        renamed.add_node(mapping.get(node, node))
+    for u, v in graph.edges():
+        renamed.add_edge(mapping.get(u, u), mapping.get(v, v))
+    return renamed
+
+
+def convert_node_labels_to_integers(graph: Graph) -> Tuple[Graph, Dict[Node, int]]:
+    """Relabel nodes to ``0 .. n-1`` and return the new graph plus the mapping."""
+    mapping = {node: index for index, node in enumerate(graph.nodes())}
+    return relabel(graph, mapping), mapping
+
+
+def disjoint_union(first: Graph, second: Graph) -> Graph:
+    """Return the disjoint union; nodes are tagged ``(0, node)`` / ``(1, node)``."""
+    union = Graph(name=f"union({first.name},{second.name})")
+    for node in first.nodes():
+        union.add_node((0, node))
+    for node in second.nodes():
+        union.add_node((1, node))
+    for u, v in first.edges():
+        union.add_edge((0, u), (0, v))
+    for u, v in second.edges():
+        union.add_edge((1, u), (1, v))
+    return union
+
+
+def graph_union(first: Graph, second: Graph) -> Graph:
+    """Return the union of two graphs sharing a label space (nodes merge)."""
+    union = Graph(name=f"merge({first.name},{second.name})")
+    for node in first.nodes():
+        union.add_node(node)
+    for node in second.nodes():
+        union.add_node(node)
+    for u, v in first.edges():
+        union.add_edge(u, v)
+    for u, v in second.edges():
+        union.add_edge(u, v)
+    return union
+
+
+def cartesian_product(first: Graph, second: Graph) -> Graph:
+    """Return the cartesian product ``first x second``.
+
+    Nodes are pairs ``(a, b)``; ``(a, b)`` is adjacent to ``(a', b')`` when
+    either ``a = a'`` and ``b ~ b'`` or ``b = b'`` and ``a ~ a'``.  The
+    hypercube ``Q_d`` is the ``d``-fold product of ``K_2``, a fact used as a
+    generator cross-check in the tests.
+    """
+    product = Graph(name=f"product({first.name},{second.name})")
+    for a in first.nodes():
+        for b in second.nodes():
+            product.add_node((a, b))
+    for a in first.nodes():
+        for u, v in second.edges():
+            product.add_edge((a, u), (a, v))
+    for b in second.nodes():
+        for u, v in first.edges():
+            product.add_edge((u, b), (v, b))
+    return product
+
+
+def complement(graph: Graph) -> Graph:
+    """Return the complement graph on the same node set."""
+    nodes = graph.nodes()
+    comp = Graph(nodes=nodes, name=f"complement({graph.name})")
+    for u, v in itertools.combinations(nodes, 2):
+        if not graph.has_edge(u, v):
+            comp.add_edge(u, v)
+    return comp
+
+
+def add_clique(graph: Graph, nodes: Iterable[Node]) -> Tuple[Graph, List[Tuple[Node, Node]]]:
+    """Return a copy of ``graph`` with all edges among ``nodes`` added.
+
+    Returns the augmented graph and the list of newly added edges.  This is
+    the Section 6 "changing the network" operation: making the concentrator a
+    clique at the cost of at most ``t(t+1)/2`` new links.
+    """
+    node_list = list(nodes)
+    for node in node_list:
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+    augmented = graph.copy()
+    added: List[Tuple[Node, Node]] = []
+    for u, v in itertools.combinations(node_list, 2):
+        if not augmented.has_edge(u, v):
+            augmented.add_edge(u, v)
+            added.append((u, v))
+    return augmented, added
+
+
+def edge_subdivision(graph: Graph, u: Node, v: Node, new_node: Node) -> Graph:
+    """Return a copy with the edge ``{u, v}`` subdivided through ``new_node``."""
+    if not graph.has_edge(u, v):
+        raise NodeNotFoundError((u, v))
+    if graph.has_node(new_node):
+        raise ValueError(f"node {new_node!r} already exists")
+    divided = graph.copy()
+    divided.remove_edge(u, v)
+    divided.add_edge(u, new_node)
+    divided.add_edge(new_node, v)
+    return divided
+
+
+def map_nodes(graph: Graph, function: Callable[[Node], Node]) -> Graph:
+    """Relabel every node through ``function`` (must stay injective)."""
+    return relabel(graph, {node: function(node) for node in graph.nodes()})

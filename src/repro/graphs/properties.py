@@ -1,0 +1,247 @@
+"""Structural graph properties used by the routing constructions.
+
+The circular and tri-circular constructions need *neighbourhood sets*
+(independent nodes with pairwise disjoint neighbourhoods); the bipolar
+construction needs the *two-trees property* (two roots far apart and locally
+tree-like).  The predicates in this module express those requirements, plus
+girth / short-cycle detection and simple degree statistics used by the
+degree-threshold experiments (Lemma 15, Theorem 16, Corollary 17).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+
+Node = Hashable
+
+
+# ----------------------------------------------------------------------
+# Independence and neighbourhood disjointness
+# ----------------------------------------------------------------------
+def is_independent_set(graph: Graph, nodes: Iterable[Node]) -> bool:
+    """Return ``True`` if no two nodes of ``nodes`` are adjacent."""
+    node_list = list(nodes)
+    for node in node_list:
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+    node_set = set(node_list)
+    return all(not (graph.neighbors(node) & node_set) for node in node_set)
+
+
+def have_disjoint_neighborhoods(graph: Graph, nodes: Iterable[Node]) -> bool:
+    """Return ``True`` if the neighbour sets of ``nodes`` are pairwise disjoint."""
+    seen: Set[Node] = set()
+    for node in nodes:
+        neighborhood = graph.neighbors(node)
+        if neighborhood & seen:
+            return False
+        seen |= neighborhood
+    return True
+
+
+def is_neighborhood_set(graph: Graph, nodes: Iterable[Node]) -> bool:
+    """Return ``True`` if ``nodes`` is a *neighbourhood set* in the paper's sense.
+
+    A neighbourhood set is a set of independent nodes whose neighbour sets are
+    pairwise disjoint.  Equivalently, all selected nodes are at pairwise
+    distance at least 3.
+    """
+    node_list = list(nodes)
+    return is_independent_set(graph, node_list) and have_disjoint_neighborhoods(
+        graph, node_list
+    )
+
+
+def pairwise_distance_at_least(graph: Graph, nodes: Sequence[Node], minimum: int) -> bool:
+    """Return ``True`` if every pair of ``nodes`` is at distance >= ``minimum``."""
+    node_list = list(nodes)
+    node_set = set(node_list)
+    for node in node_list:
+        distances = bfs_distances(graph, node)
+        for other in node_set:
+            if other == node:
+                continue
+            if distances.get(other, float("inf")) < minimum:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Short cycles and girth
+# ----------------------------------------------------------------------
+def lies_on_short_cycle(graph: Graph, node: Node, max_length: int = 4) -> bool:
+    """Return ``True`` if ``node`` lies on a cycle of length <= ``max_length``.
+
+    Only lengths 3 and 4 are relevant to the two-trees property (the paper's
+    "bad" events are a root lying on a cycle of length < 5), so the check is
+    specialised and exact for ``max_length`` in {3, 4}; larger values fall
+    back to a local BFS argument.
+    """
+    if not graph.has_node(node):
+        raise NodeNotFoundError(node)
+    if max_length < 3:
+        return False
+    neighbors = sorted(graph.neighbors(node), key=repr)
+    # Triangle: two neighbours adjacent to each other.
+    for u, v in itertools.combinations(neighbors, 2):
+        if graph.has_edge(u, v):
+            return True
+    if max_length == 3:
+        return False
+    # 4-cycle through `node`: two neighbours with a common neighbour != node.
+    for u, v in itertools.combinations(neighbors, 2):
+        common = (graph.neighbors(u) & graph.neighbors(v)) - {node}
+        if common:
+            return True
+    if max_length == 4:
+        return False
+    # Generic (rarely used): look for any cycle through `node` of bounded
+    # length by doing BFS from each neighbour in the graph without `node`.
+    reduced = graph.without_nodes([node])
+    for u, v in itertools.combinations(neighbors, 2):
+        distances = bfs_distances(reduced, u)
+        if distances.get(v, float("inf")) + 2 <= max_length:
+            return True
+    return False
+
+
+def girth(graph: Graph) -> float:
+    """Return the length of a shortest cycle; ``inf`` for forests.
+
+    Uses BFS from every node; when a visited node is re-encountered the cycle
+    length through the BFS tree gives an upper bound which is tight when
+    minimised over all roots.
+    """
+    best = float("inf")
+    for root in graph.nodes():
+        distances: Dict[Node, int] = {root: 0}
+        parents: Dict[Node, Optional[Node]] = {root: None}
+        queue: List[Node] = [root]
+        head = 0
+        while head < len(queue):
+            current = queue[head]
+            head += 1
+            for neighbor in graph.neighbors(current):
+                if neighbor not in distances:
+                    distances[neighbor] = distances[current] + 1
+                    parents[neighbor] = current
+                    queue.append(neighbor)
+                elif parents[current] != neighbor:
+                    cycle_length = distances[current] + distances[neighbor] + 1
+                    best = min(best, cycle_length)
+        if best == 3:
+            return 3
+    return best
+
+
+# ----------------------------------------------------------------------
+# Two-trees property (Section 5)
+# ----------------------------------------------------------------------
+def satisfies_two_trees_property(graph: Graph, root1: Node, root2: Node) -> bool:
+    """Check whether ``root1`` and ``root2`` witness the two-trees property.
+
+    Following the paper (Section 5), the two roots must be such that the sets
+
+    * ``M1 = Gamma(root1)``, ``M2 = Gamma(root2)``,
+    * ``Gamma(x) - {root1}`` for every ``x`` in ``M1``, and
+    * ``Gamma(x) - {root2}`` for every ``x`` in ``M2``
+
+    are **all pairwise disjoint** (and disjoint from ``{root1, root2}``), i.e.
+    the depth-2 neighbourhoods of the two roots form two disjoint trees.  An
+    equivalent characterisation used in Lemma 24 is: neither root lies on a
+    cycle of length 3 or 4, and the two roots are at distance at least 4 (the
+    paper requires distance greater than 4 in the random-graph argument; the
+    structural sets above are the authoritative definition and the one we
+    implement).
+    """
+    if root1 == root2:
+        return False
+    if not graph.has_node(root1):
+        raise NodeNotFoundError(root1)
+    if not graph.has_node(root2):
+        raise NodeNotFoundError(root2)
+
+    m1 = graph.neighbors(root1)
+    m2 = graph.neighbors(root2)
+    groups: List[Set[Node]] = [m1, m2]
+    for x in sorted(m1, key=repr):
+        groups.append(graph.neighbors(x) - {root1})
+    for x in sorted(m2, key=repr):
+        groups.append(graph.neighbors(x) - {root2})
+
+    roots = {root1, root2}
+    seen: Set[Node] = set()
+    for group in groups:
+        if group & roots:
+            return False
+        if group & seen:
+            return False
+        seen |= group
+    return True
+
+
+def find_two_trees_roots(graph: Graph) -> Optional[Tuple[Node, Node]]:
+    """Search for a pair of roots witnessing the two-trees property.
+
+    The search first filters out nodes lying on a 3- or 4-cycle (they can
+    never be roots because their depth-2 neighbourhood is not a tree), then
+    tests candidate pairs at distance >= 4 ordered by increasing degree, so
+    that sparse regions of the graph are explored first.
+
+    Returns ``None`` when no pair exists.
+    """
+    candidates = [
+        node for node in graph.nodes() if not lies_on_short_cycle(graph, node, 4)
+    ]
+    candidates.sort(key=lambda node: (graph.degree(node), repr(node)))
+    for index, root1 in enumerate(candidates):
+        distances = bfs_distances(graph, root1)
+        for root2 in candidates[index + 1 :]:
+            if distances.get(root2, float("inf")) < 4:
+                continue
+            if satisfies_two_trees_property(graph, root1, root2):
+                return root1, root2
+    return None
+
+
+def has_two_trees_property(graph: Graph) -> bool:
+    """Return ``True`` if some pair of nodes witnesses the two-trees property."""
+    return find_two_trees_roots(graph) is not None
+
+
+# ----------------------------------------------------------------------
+# Degree statistics
+# ----------------------------------------------------------------------
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Return a mapping ``degree -> number of nodes with that degree``."""
+    histogram: Dict[int, int] = {}
+    for degree in graph.degrees().values():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def is_regular(graph: Graph) -> bool:
+    """Return ``True`` if every node has the same degree (vacuously for empty)."""
+    degrees = set(graph.degrees().values())
+    return len(degrees) <= 1
+
+
+def max_degree_threshold(n: int, constant: float) -> float:
+    """Return the paper's degree threshold ``constant * n**(1/3)``.
+
+    Corollary 17 uses ``constant = 0.79`` for the circular routing and
+    ``constant = 0.46`` for the tri-circular routing.
+    """
+    if n < 0:
+        raise ValueError("graph size must be non-negative")
+    return constant * (n ** (1.0 / 3.0))
+
+
+def satisfies_circular_degree_bound(graph: Graph, constant: float = 0.79) -> bool:
+    """Return ``True`` if ``max degree < constant * n**(1/3)`` (Corollary 17)."""
+    return graph.max_degree() < max_degree_threshold(graph.number_of_nodes(), constant)

@@ -1,0 +1,147 @@
+"""Synthetic benchmark graphs tailored to the paper's structural requirements.
+
+The constructions are parameterised by structural properties — "has a
+neighbourhood set of ``K`` independent, neighbourhood-disjoint nodes", "has
+two roots with the two-trees property" — and the natural graph families only
+exhibit them at particular sizes.  To benchmark each construction at a chosen
+fault parameter ``t`` without blowing up the graph size, this module builds
+minimal synthetic graphs that provably satisfy the requirements:
+
+* :func:`flower_graph` — a ``(t+1)``-connected graph containing a designated
+  neighbourhood set of exactly ``K`` nodes (used for the circular and
+  tri-circular benches);
+* :func:`two_trees_graph` — a ``(t+1)``-connected graph with two designated
+  roots witnessing the two-trees property (used for the bipolar benches).
+
+Both return the graph together with the designated structure so benchmarks
+can pass it straight to the constructions (skipping the search) and tests can
+verify the search finds an equally good structure on its own.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, List, Tuple
+
+from repro.graphs.generators import circulant_graph
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+def flower_graph(t: int, k: int, petal_slack: int = 1) -> Tuple[Graph, List[Node]]:
+    """Build a ``(t+1)``-connected graph with a designated neighbourhood set of size ``k``.
+
+    Construction: a "stem" ring of ``k * (t + 1 + petal_slack)`` nodes wired
+    as the circulant ``C_n(1, ..., ceil((t+1)/2))`` (which is at least
+    ``(t+1)``-connected), plus ``k`` "flower" nodes; flower ``i`` is joined to
+    ``t + 1`` consecutive ring nodes starting at position
+    ``i * (t + 1 + petal_slack)``.  Because consecutive groups are separated
+    by ``petal_slack >= 1`` unused ring nodes, the flowers are independent and
+    their neighbour sets are pairwise disjoint — a neighbourhood set of
+    exactly ``k`` nodes.  Every flower has degree ``t + 1``, so the overall
+    connectivity is exactly ``t + 1``.
+
+    Returns
+    -------
+    (graph, flowers):
+        The graph and the list of flower nodes (labelled ``("flower", i)``)
+        in circular order, ready to be used as the concentrator.
+    """
+    if t < 1:
+        raise ValueError("flower graphs require t >= 1")
+    if k < 2:
+        raise ValueError("at least two flowers are required")
+    if petal_slack < 1:
+        raise ValueError("petal_slack must be at least 1 to keep neighbourhoods disjoint")
+
+    group = t + 1 + petal_slack
+    ring_size = k * group
+    offsets = range(1, (t + 1 + 1) // 2 + 1)  # ceil((t+1)/2)
+    ring = circulant_graph(ring_size, offsets)
+
+    graph = Graph(name=f"flower-t{t}-k{k}")
+    for u, v in ring.edges():
+        graph.add_edge(("ring", u), ("ring", v))
+    flowers: List[Node] = []
+    for i in range(k):
+        flower = ("flower", i)
+        flowers.append(flower)
+        start = i * group
+        for j in range(t + 1):
+            graph.add_edge(flower, ("ring", start + j))
+    return graph, flowers
+
+
+def two_trees_graph(t: int, core_slack: int = 2) -> Tuple[Graph, Node, Node]:
+    """Build a ``(t+1)``-connected graph with two designated two-trees roots.
+
+    Construction: two roots ``r1`` and ``r2``; root ``rX`` has ``t + 1``
+    private "branch" nodes; every branch node additionally connects to ``t``
+    private "core" nodes (so branch degree is ``t + 1``).  All core nodes,
+    plus ``core_slack * (t + 1)`` filler nodes, are wired into a circulant
+    ring of connectivity at least ``t + 1``.  The depth-2 neighbourhoods of
+    the two roots are disjoint by construction (each branch node and each core
+    node is private to one root), so ``(r1, r2)`` witness the two-trees
+    property, and every node has degree at least ``t + 1``.
+
+    Returns
+    -------
+    (graph, r1, r2)
+    """
+    if t < 1:
+        raise ValueError("two-trees graphs require t >= 1")
+    if core_slack < 0:
+        raise ValueError("core_slack must be non-negative")
+
+    branches_per_root = t + 1
+    cores_per_branch = t
+    core_count = 2 * branches_per_root * cores_per_branch + core_slack * (t + 1)
+    # The circulant ring needs enough nodes to realise the required offsets.
+    min_ring = 2 * ((t + 2) // 2) + 3
+    core_count = max(core_count, min_ring)
+
+    offsets = range(1, (t + 1 + 1) // 2 + 1)  # ceil((t+1)/2) => ring >= (t+1)-connected
+    ring = circulant_graph(core_count, offsets)
+    graph = Graph(name=f"two-trees-t{t}")
+    for u, v in ring.edges():
+        graph.add_edge(("core", u), ("core", v))
+
+    r1: Node = ("root", 1)
+    r2: Node = ("root", 2)
+    core_cursor = 0
+    for root_index, root in ((1, r1), (2, r2)):
+        for b in range(branches_per_root):
+            branch = ("branch", root_index, b)
+            graph.add_edge(root, branch)
+            for _ in range(cores_per_branch):
+                graph.add_edge(branch, ("core", core_cursor))
+                core_cursor += 1
+    return graph, r1, r2
+
+
+def kernel_test_graph(t: int, side: int = 0) -> Graph:
+    """Build a ``(t+1)``-connected graph with an obvious small separating set.
+
+    Two circulant "islands" of ``(t + 1) * (3 + side)`` nodes each are joined
+    through a shared cut of ``t + 1`` bridge nodes: every bridge node connects
+    to ``t + 1`` consecutive nodes of each island.  The bridge is a minimal
+    separating set, making this the natural stress graph for the kernel
+    construction (Theorems 3 and 4).
+    """
+    if t < 1:
+        raise ValueError("kernel test graphs require t >= 1")
+    island_size = (t + 1) * (3 + max(side, 0))
+    offsets = range(1, (t + 1 + 1) // 2 + 1)
+    island = circulant_graph(island_size, offsets)
+
+    graph = Graph(name=f"kernel-test-t{t}")
+    for label in ("left", "right"):
+        for u, v in island.edges():
+            graph.add_edge((label, u), (label, v))
+    for b in range(t + 1):
+        bridge = ("bridge", b)
+        for j in range(t + 1):
+            graph.add_edge(bridge, ("left", (b * (t + 1) + j) % island_size))
+            graph.add_edge(bridge, ("right", (b * (t + 1) + j) % island_size))
+    return graph

@@ -1,0 +1,240 @@
+"""Graph traversal primitives: BFS/DFS, shortest paths, distances, diameter.
+
+These routines work on both :class:`repro.graphs.graph.Graph` (undirected) and
+:class:`repro.graphs.digraph.DiGraph` (directed) instances.  Directionality is
+abstracted through a single ``_out_neighbors`` helper: for undirected graphs it
+returns the neighbour set, for directed graphs the successor set.
+
+The paper's central quantity is the *diameter* of the surviving route graph,
+so :func:`diameter` and :func:`eccentricity` are the workhorses of the whole
+reproduction; they are plain BFS from every node, which is exact and fast
+enough for the graph sizes involved (hundreds to a few thousands of nodes).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+Node = Hashable
+AnyGraph = Union[Graph, DiGraph]
+
+#: Conventional value returned for unreachable distances / infinite diameters.
+INFINITY = float("inf")
+
+
+def _out_neighbors(graph: AnyGraph, node: Node) -> Set[Node]:
+    """Return the set of nodes reachable from ``node`` in one hop."""
+    if isinstance(graph, DiGraph):
+        return graph.successors(node)
+    return graph.neighbors(node)
+
+
+def bfs_distances(graph: AnyGraph, source: Node) -> Dict[Node, int]:
+    """Return hop distances from ``source`` to every reachable node.
+
+    Unreachable nodes are absent from the returned mapping.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    distances: Dict[Node, int] = {source: 0}
+    queue = collections.deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in _out_neighbors(graph, current):
+            if neighbor not in distances:
+                distances[neighbor] = distances[current] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def bfs_tree(graph: AnyGraph, source: Node) -> Dict[Node, Optional[Node]]:
+    """Return a BFS predecessor map rooted at ``source``.
+
+    The source maps to ``None``; every other reachable node maps to its parent
+    on some shortest path from the source.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    parents: Dict[Node, Optional[Node]] = {source: None}
+    queue = collections.deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in _out_neighbors(graph, current):
+            if neighbor not in parents:
+                parents[neighbor] = current
+                queue.append(neighbor)
+    return parents
+
+
+def shortest_path(graph: AnyGraph, source: Node, target: Node) -> Optional[List[Node]]:
+    """Return one shortest path from ``source`` to ``target``, or ``None``.
+
+    The path is returned as a list of nodes including both endpoints.  When
+    ``source == target`` the single-node path ``[source]`` is returned.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    if source == target:
+        return [source]
+    parents = bfs_tree(graph, source)
+    if target not in parents:
+        return None
+    path = [target]
+    while path[-1] != source:
+        parent = parents[path[-1]]
+        assert parent is not None  # source is the only node with parent None
+        path.append(parent)
+    path.reverse()
+    return path
+
+
+def distance(graph: AnyGraph, source: Node, target: Node) -> float:
+    """Return ``dist(source, target, graph)``; ``inf`` when unreachable.
+
+    This is the paper's ``dist(x, y, G)``.
+    """
+    distances = bfs_distances(graph, source)
+    return distances.get(target, INFINITY)
+
+
+def dfs_preorder(graph: AnyGraph, source: Node) -> List[Node]:
+    """Return nodes reachable from ``source`` in depth-first preorder."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    visited: Set[Node] = set()
+    order: List[Node] = []
+    stack = [source]
+    while stack:
+        current = stack.pop()
+        if current in visited:
+            continue
+        visited.add(current)
+        order.append(current)
+        # Reversed for a deterministic left-to-right exploration of sorted
+        # neighbour lists when nodes are comparable; falls back gracefully.
+        neighbors = list(_out_neighbors(graph, current) - visited)
+        try:
+            neighbors.sort(reverse=True)
+        except TypeError:
+            pass
+        stack.extend(neighbors)
+    return order
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """Return the connected components of an undirected graph."""
+    remaining = set(graph.nodes())
+    components: List[Set[Node]] = []
+    while remaining:
+        root = next(iter(remaining))
+        component = set(bfs_distances(graph, root))
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return ``True`` if the undirected graph is connected and non-empty."""
+    nodes = graph.nodes()
+    if not nodes:
+        return False
+    reachable = bfs_distances(graph, nodes[0])
+    return len(reachable) == len(nodes)
+
+
+def is_strongly_connected(graph: DiGraph) -> bool:
+    """Return ``True`` if the directed graph is strongly connected and non-empty."""
+    nodes = graph.nodes()
+    if not nodes:
+        return False
+    root = nodes[0]
+    if len(bfs_distances(graph, root)) != len(nodes):
+        return False
+    return len(bfs_distances(graph.reverse(), root)) == len(nodes)
+
+
+def eccentricity(graph: AnyGraph, node: Node) -> float:
+    """Return the eccentricity of ``node``: max distance to any other node.
+
+    Returns ``inf`` if some node is unreachable from ``node``.
+    """
+    distances = bfs_distances(graph, node)
+    if len(distances) != graph.number_of_nodes():
+        return INFINITY
+    if len(distances) == 1:
+        return 0
+    return max(distances.values())
+
+
+def diameter(graph: AnyGraph) -> float:
+    """Return the diameter: the maximum distance over all ordered node pairs.
+
+    Returns ``inf`` for disconnected (or not strongly connected) graphs, and
+    ``0`` for graphs with a single node.  The empty graph has diameter ``inf``
+    by convention (there is no finite bound on communication).
+    """
+    nodes = graph.nodes()
+    if not nodes:
+        return INFINITY
+    worst = 0.0
+    for node in nodes:
+        ecc = eccentricity(graph, node)
+        if ecc == INFINITY:
+            return INFINITY
+        worst = max(worst, ecc)
+    return worst
+
+
+def radius(graph: AnyGraph) -> float:
+    """Return the radius: the minimum eccentricity over all nodes."""
+    nodes = graph.nodes()
+    if not nodes:
+        return INFINITY
+    return min(eccentricity(graph, node) for node in nodes)
+
+
+def all_pairs_distances(graph: AnyGraph) -> Dict[Node, Dict[Node, int]]:
+    """Return BFS distances from every node (``source -> target -> hops``)."""
+    return {node: bfs_distances(graph, node) for node in graph.nodes()}
+
+
+def path_length(path: Sequence[Node]) -> int:
+    """Return the number of edges of a node-sequence path."""
+    if not path:
+        raise ValueError("empty path has no length")
+    return len(path) - 1
+
+
+def is_simple_path(graph: AnyGraph, path: Sequence[Node]) -> bool:
+    """Return ``True`` if ``path`` is a simple path existing in ``graph``.
+
+    A simple path visits each node at most once and every consecutive pair of
+    nodes must be joined by an edge (arc, for directed graphs).  A single-node
+    path is simple provided the node exists.
+    """
+    if not path:
+        return False
+    if len(set(path)) != len(path):
+        return False
+    if not all(graph.has_node(node) for node in path):
+        return False
+    if isinstance(graph, DiGraph):
+        return all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+    return all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+
+def induced_path_exists(graph: AnyGraph, path: Sequence[Node], forbidden: Iterable[Node]) -> bool:
+    """Return ``True`` if ``path`` avoids every node in ``forbidden``.
+
+    This is the "route is unaffected by the faults" predicate: the paper says a
+    route is *affected* by a fault if the fault is contained in it.
+    """
+    forbidden_set = set(forbidden)
+    return not any(node in forbidden_set for node in path)

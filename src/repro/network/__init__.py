@@ -1,0 +1,36 @@
+"""Discrete-event network simulator running the fixed routings under faults."""
+
+from repro.network.events import EventQueue
+from repro.network.messages import DeliveryReceipt, Message
+from repro.network.node import NetworkNode, NodeStats
+from repro.network.services import (
+    ChecksumService,
+    EndpointService,
+    NullService,
+    StackedService,
+    XorEncryptionService,
+)
+from repro.network.simulator import NetworkSimulator, SimulatorStats
+from repro.network.broadcast import (
+    BroadcastResult,
+    broadcast_rounds_from_all,
+    route_counter_broadcast,
+)
+
+__all__ = [
+    "EventQueue",
+    "DeliveryReceipt",
+    "Message",
+    "NetworkNode",
+    "NodeStats",
+    "ChecksumService",
+    "EndpointService",
+    "NullService",
+    "StackedService",
+    "XorEncryptionService",
+    "NetworkSimulator",
+    "SimulatorStats",
+    "BroadcastResult",
+    "broadcast_rounds_from_all",
+    "route_counter_broadcast",
+]

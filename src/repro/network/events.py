@@ -1,0 +1,110 @@
+"""A minimal discrete-event engine for the network simulator.
+
+The simulator in :mod:`repro.network.simulator` schedules message hops and
+protocol steps as timestamped events.  The engine here is intentionally tiny:
+an event is a callback plus a firing time, the queue is a binary heap, and
+ties are broken by insertion order so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.exceptions import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclasses.dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry; ordering is (time, sequence number)."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = dataclasses.field(compare=False)
+    label: str = dataclasses.field(compare=False, default="")
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+
+class EventQueue:
+    """A deterministic discrete-event queue.
+
+    Events scheduled for the same time fire in scheduling order.  The queue
+    keeps track of the current simulation time; scheduling an event in the
+    past raises :class:`~repro.exceptions.SimulationError`.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Return the current simulation time."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Return the number of events processed so far."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> _ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Returns the scheduled event, which can be passed to :meth:`cancel`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        event = _ScheduledEvent(
+            time=self._now + delay,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (no-op if it already fired)."""
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns ``False`` if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or the cap hits.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        return processed

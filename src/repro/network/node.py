@@ -1,0 +1,88 @@
+"""Network node processes for the fixed-route simulator.
+
+A :class:`NetworkNode` is deliberately dumb, matching the paper's model: when
+it holds a message that is *not* at the end of its attached route, it simply
+forwards it to the next node named in the route (no routing computation); when
+the message reaches a route endpoint, control returns to the simulator, which
+performs the endpoint processing and decides whether another route segment is
+needed to make further progress towards the final destination.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.exceptions import SimulationError
+from repro.network.messages import Message
+
+Node = Hashable
+
+
+@dataclasses.dataclass
+class NodeStats:
+    """Per-node counters collected during a simulation run."""
+
+    forwarded: int = 0
+    received: int = 0
+    originated: int = 0
+    dropped: int = 0
+
+
+class NetworkNode:
+    """A single node of the simulated network."""
+
+    def __init__(self, node_id: Node) -> None:
+        self.node_id = node_id
+        self.alive = True
+        self.stats = NodeStats()
+        #: Messages whose final destination is this node, after endpoint processing.
+        self.delivered: List[Message] = []
+        #: Payloads delivered to the application layer on this node.
+        self.application_inbox: List[Any] = []
+
+    def fail(self) -> None:
+        """Mark the node as failed; it silently drops anything it is handed."""
+        self.alive = False
+
+    def repair(self) -> None:
+        """Bring the node back (used by the repair / reconfiguration examples)."""
+        self.alive = True
+
+    def can_forward(self, message: Message) -> bool:
+        """Return ``True`` if this node is able to forward the message."""
+        return self.alive
+
+    def forward(self, message: Message) -> Optional[Node]:
+        """Forward the message one hop along its attached route.
+
+        Returns the next node's identifier, or ``None`` when the message is at
+        the end of its route (the simulator then performs endpoint
+        processing).  Dead nodes drop messages silently, which is reported by
+        raising :class:`SimulationError` so the simulator can account for it.
+        """
+        if not self.alive:
+            self.stats.dropped += 1
+            raise SimulationError(f"node {self.node_id!r} is failed and dropped the message")
+        if message.current_node != self.node_id:
+            raise SimulationError(
+                f"message {message.message_id} routed to {self.node_id!r} but its "
+                f"route position is {message.current_node!r}"
+            )
+        if message.at_segment_end:
+            self.stats.received += 1
+            return None
+        self.stats.forwarded += 1
+        return message.next_node
+
+    def deliver(self, message: Message, payload: Any) -> None:
+        """Hand a fully delivered message to the application layer."""
+        if not self.alive:
+            self.stats.dropped += 1
+            raise SimulationError(f"node {self.node_id!r} is failed; cannot deliver")
+        self.delivered.append(message)
+        self.application_inbox.append(payload)
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "FAILED"
+        return f"<NetworkNode {self.node_id!r} {status} fwd={self.stats.forwarded}>"

@@ -1,0 +1,273 @@
+"""The fixed-route network simulator.
+
+:class:`NetworkSimulator` runs a constructed routing the way the paper's
+motivating systems would:
+
+* every message carries its precomputed source route; intermediate nodes
+  forward blindly along it (one event per hop, each costing ``hop_latency``);
+* endpoint services (encryption, checksums) run at the endpoints of every
+  route segment and dominate the cost (``service.cost`` per endpoint);
+* when nodes have failed, a single route may no longer reach the destination;
+  the simulator then delivers the message across a *sequence* of surviving
+  routes, exactly the re-routing behaviour whose length the surviving route
+  graph's diameter bounds.
+
+The route-sequence planner uses BFS over the surviving route graph — the
+"ideal" plan whose length is ``dist(x, y, R(G, rho)/F)``; the broadcast module
+implements the paper's decentralised route-counter protocol that needs no such
+global knowledge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple, Union
+
+from repro.core.routing import MultiRouting, Routing
+from repro.core.surviving import surviving_route_graph
+from repro.exceptions import DeliveryError, SimulationError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_tree
+from repro.network.events import EventQueue
+from repro.network.messages import DeliveryReceipt, Message
+from repro.network.node import NetworkNode
+from repro.network.services import EndpointService, NullService
+
+Node = Hashable
+AnyRouting = Union[Routing, MultiRouting]
+
+
+@dataclasses.dataclass
+class SimulatorStats:
+    """Aggregate counters for a simulation run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_failed: int = 0
+    total_hops: int = 0
+    total_routes_used: int = 0
+
+    def delivery_ratio(self) -> float:
+        """Return the fraction of sent messages that were delivered."""
+        if self.messages_sent == 0:
+            return 1.0
+        return self.messages_delivered / self.messages_sent
+
+
+class NetworkSimulator:
+    """Simulate point-to-point delivery over a fixed routing with faults.
+
+    Parameters
+    ----------
+    graph:
+        The underlying network.
+    routing:
+        A constructed routing (or multirouting) over ``graph``.
+    service:
+        Endpoint service applied at the endpoints of every route segment
+        (defaults to no processing).
+    hop_latency:
+        Simulated time per link traversal.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        routing: AnyRouting,
+        service: Optional[EndpointService] = None,
+        hop_latency: float = 0.1,
+    ) -> None:
+        self.graph = graph
+        self.routing = routing
+        self.service = service if service is not None else NullService()
+        self.hop_latency = hop_latency
+        self.events = EventQueue()
+        self.nodes: Dict[Node, NetworkNode] = {
+            node: NetworkNode(node) for node in graph.nodes()
+        }
+        self.stats = SimulatorStats()
+        self._surviving_cache: Optional[DiGraph] = None
+
+    # ------------------------------------------------------------------
+    # Fault management
+    # ------------------------------------------------------------------
+    def failed_nodes(self) -> List[Node]:
+        """Return the currently failed nodes."""
+        return [node_id for node_id, node in self.nodes.items() if not node.alive]
+
+    def fail_node(self, node_id: Node) -> None:
+        """Fail a node (it drops everything it is handed from now on)."""
+        if node_id not in self.nodes:
+            raise SimulationError(f"unknown node {node_id!r}")
+        self.nodes[node_id].fail()
+        self._surviving_cache = None
+
+    def fail_nodes(self, node_ids: Iterable[Node]) -> None:
+        """Fail several nodes at once."""
+        for node_id in node_ids:
+            self.fail_node(node_id)
+
+    def repair_node(self, node_id: Node) -> None:
+        """Repair a previously failed node."""
+        if node_id not in self.nodes:
+            raise SimulationError(f"unknown node {node_id!r}")
+        self.nodes[node_id].repair()
+        self._surviving_cache = None
+
+    # ------------------------------------------------------------------
+    # Surviving route graph bookkeeping
+    # ------------------------------------------------------------------
+    def surviving_graph(self) -> DiGraph:
+        """Return (and cache) the surviving route graph for the current faults."""
+        if self._surviving_cache is None:
+            self._surviving_cache = surviving_route_graph(
+                self.graph, self.routing, self.failed_nodes()
+            )
+        return self._surviving_cache
+
+    def plan_route_sequence(self, origin: Node, destination: Node) -> List[Tuple[Node, Node]]:
+        """Return the sequence of route segments used to deliver a message.
+
+        Each element is an ordered pair (segment source, segment destination)
+        for which the routing defines a surviving route.  Raises
+        :class:`DeliveryError` when the destination is unreachable in the
+        surviving route graph (more faults than the routing tolerates, or a
+        faulty endpoint).
+        """
+        surviving = self.surviving_graph()
+        if not surviving.has_node(origin):
+            raise DeliveryError(f"origin {origin!r} is failed or unknown")
+        if not surviving.has_node(destination):
+            raise DeliveryError(f"destination {destination!r} is failed or unknown")
+        if origin == destination:
+            return []
+        parents = bfs_tree(surviving, origin)
+        if destination not in parents:
+            raise DeliveryError(
+                f"no sequence of surviving routes connects {origin!r} to {destination!r}"
+            )
+        chain: List[Node] = [destination]
+        while chain[-1] != origin:
+            parent = parents[chain[-1]]
+            assert parent is not None
+            chain.append(parent)
+        chain.reverse()
+        return list(zip(chain, chain[1:]))
+
+    def _segment_path(self, source: Node, target: Node) -> Tuple[Node, ...]:
+        """Return a surviving route path for one segment of the plan."""
+        failed = set(self.failed_nodes())
+        if isinstance(self.routing, MultiRouting):
+            for path in self.routing.get_routes(source, target):
+                if not any(node in failed for node in path):
+                    return tuple(path)
+            raise DeliveryError(f"all parallel routes {source!r}->{target!r} are faulty")
+        path = self.routing.get_route(source, target)
+        if path is None or any(node in failed for node in path):
+            raise DeliveryError(f"route {source!r}->{target!r} is missing or faulty")
+        return tuple(path)
+
+    # ------------------------------------------------------------------
+    # Message delivery
+    # ------------------------------------------------------------------
+    def send(self, origin: Node, destination: Node, payload: Any) -> DeliveryReceipt:
+        """Deliver ``payload`` from ``origin`` to ``destination`` and return a receipt.
+
+        The delivery is simulated hop by hop through the event queue; the
+        returned receipt records the number of route segments used (which the
+        theorems bound by the surviving diameter), the total hop count, and
+        the simulated latency including endpoint-service processing.
+        """
+        self.stats.messages_sent += 1
+        message = Message(origin=origin, final_destination=destination, payload=payload)
+        message.trace.append(origin)
+        start_time = self.events.now
+
+        try:
+            plan = self.plan_route_sequence(origin, destination)
+        except DeliveryError as exc:
+            self.stats.messages_failed += 1
+            return DeliveryReceipt(
+                message=message,
+                delivered=False,
+                routes_used=0,
+                hops=0,
+                latency=0.0,
+                failure_reason=str(exc),
+            )
+
+        self.nodes[origin].stats.originated += 1
+        hops = 0
+        current_payload = payload
+        try:
+            for segment_source, segment_target in plan:
+                path = self._segment_path(segment_source, segment_target)
+                wire_payload = self.service.on_send(
+                    current_payload, segment_source, segment_target
+                )
+                self.events.schedule(self.service.cost, lambda: None, label="endpoint-send")
+                message.payload = wire_payload
+                message.attach_route(path)
+                hops += self._run_segment(message)
+                current_payload = self.service.on_receive(
+                    wire_payload, segment_source, segment_target
+                )
+                self.events.schedule(self.service.cost, lambda: None, label="endpoint-recv")
+            self.events.run()
+        except (SimulationError, DeliveryError) as exc:
+            self.stats.messages_failed += 1
+            return DeliveryReceipt(
+                message=message,
+                delivered=False,
+                routes_used=message.route_counter,
+                hops=hops,
+                latency=self.events.now - start_time,
+                failure_reason=str(exc),
+            )
+
+        self.nodes[destination].deliver(message, current_payload)
+        self.stats.messages_delivered += 1
+        self.stats.total_hops += hops
+        self.stats.total_routes_used += message.route_counter
+        return DeliveryReceipt(
+            message=message,
+            delivered=True,
+            routes_used=message.route_counter,
+            hops=hops,
+            latency=self.events.now - start_time,
+        )
+
+    def _run_segment(self, message: Message) -> int:
+        """Forward the message hop by hop along its attached route."""
+        hops = 0
+        while True:
+            current = self.nodes[message.current_node]
+            next_node = current.forward(message)
+            if next_node is None:
+                return hops
+            self.events.schedule(self.hop_latency, lambda: None, label="hop")
+            self.events.run()
+            if not self.nodes[next_node].alive:
+                raise SimulationError(
+                    f"message {message.message_id} reached failed node {next_node!r}"
+                )
+            message.advance()
+            hops += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Return a one-paragraph summary of the simulator state."""
+        failed = self.failed_nodes()
+        return (
+            f"NetworkSimulator over {self.graph!r} with routing "
+            f"{getattr(self.routing, 'name', '?')!r}: "
+            f"{len(failed)} failed nodes, "
+            f"{self.stats.messages_delivered}/{self.stats.messages_sent} delivered, "
+            f"avg routes/message="
+            f"{(self.stats.total_routes_used / self.stats.messages_delivered):.2f}"
+            if self.stats.messages_delivered
+            else f"NetworkSimulator over {self.graph!r}: no deliveries yet"
+        )

@@ -1,0 +1,249 @@
+"""JSON (de)serialisation of graphs, routings and construction results.
+
+In the system the paper envisions, the routing table is computed once
+(offline, with as much effort as needed) and then *installed* on the network's
+nodes.  This module provides the install format: a plain-JSON encoding of
+graphs and route tables, plus loaders that reconstruct fully functional
+:class:`~repro.graphs.graph.Graph` / :class:`~repro.core.routing.Routing`
+objects, so a routing built by this library can be persisted, shipped and
+audited independently of the code that produced it.
+
+Node labels may be arbitrary hashable values in memory; on disk they are
+encoded through a small tagging scheme (ints, strings, floats, booleans,
+``None`` and — recursively — tuples of those), which covers every label the
+library's generators produce.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, IO, List, Optional, Union
+
+from repro.core.construction import ConstructionResult, Guarantee
+from repro.core.routing import MultiRouting, Routing
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+#: Format identifier embedded in every document this module writes.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Raised when a document cannot be encoded or decoded."""
+
+
+# ----------------------------------------------------------------------
+# Node label encoding
+# ----------------------------------------------------------------------
+def encode_node(node: Node) -> Any:
+    """Encode a node label into a JSON-compatible tagged value."""
+    if isinstance(node, bool) or node is None or isinstance(node, (int, float, str)):
+        return node
+    if isinstance(node, tuple):
+        return {"__tuple__": [encode_node(item) for item in node]}
+    raise SerializationError(
+        f"node label {node!r} of type {type(node).__name__} cannot be serialised; "
+        "supported labels are ints, floats, strings, booleans, None and tuples thereof"
+    )
+
+
+def decode_node(value: Any) -> Node:
+    """Decode a node label written by :func:`encode_node`."""
+    if isinstance(value, dict):
+        if "__tuple__" not in value:
+            raise SerializationError(f"unrecognised node encoding: {value!r}")
+        return tuple(decode_node(item) for item in value["__tuple__"])
+    return value
+
+
+# ----------------------------------------------------------------------
+# Graphs
+# ----------------------------------------------------------------------
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """Encode a graph as a JSON-compatible dictionary."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "graph",
+        "name": graph.name,
+        "nodes": [encode_node(node) for node in graph.nodes()],
+        "edges": [[encode_node(u), encode_node(v)] for u, v in graph.edges()],
+    }
+
+
+def graph_from_dict(document: Dict[str, Any]) -> Graph:
+    """Reconstruct a graph from :func:`graph_to_dict` output."""
+    _check(document, "graph")
+    graph = Graph(name=document.get("name", ""))
+    for encoded in document.get("nodes", []):
+        graph.add_node(decode_node(encoded))
+    for encoded_u, encoded_v in document.get("edges", []):
+        graph.add_edge(decode_node(encoded_u), decode_node(encoded_v))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Routings
+# ----------------------------------------------------------------------
+def routing_to_dict(routing: Union[Routing, MultiRouting]) -> Dict[str, Any]:
+    """Encode a routing (or multirouting) together with its underlying graph."""
+    if isinstance(routing, MultiRouting):
+        routes = [
+            {
+                "source": encode_node(source),
+                "target": encode_node(target),
+                "paths": [[encode_node(node) for node in path] for path in routing.get_routes(source, target)],
+            }
+            for source, target in routing.pairs()
+        ]
+        kind = "multirouting"
+    else:
+        routes = [
+            {
+                "source": encode_node(source),
+                "target": encode_node(target),
+                "paths": [[encode_node(node) for node in path]],
+            }
+            for (source, target), path in routing.items()
+        ]
+        kind = "routing"
+    return {
+        "format": FORMAT_VERSION,
+        "kind": kind,
+        "name": routing.name,
+        "bidirectional": routing.bidirectional,
+        "graph": graph_to_dict(routing.graph),
+        "routes": routes,
+    }
+
+
+def routing_from_dict(document: Dict[str, Any], graph: Optional[Graph] = None) -> Union[Routing, MultiRouting]:
+    """Reconstruct a routing from :func:`routing_to_dict` output.
+
+    Parameters
+    ----------
+    graph:
+        Optional pre-built graph to bind the routing to (must match the node /
+        edge set recorded in the document); when omitted the embedded graph is
+        used.
+    """
+    kind = document.get("kind")
+    if kind not in ("routing", "multirouting"):
+        raise SerializationError(f"document is not a routing (kind={kind!r})")
+    _check(document, kind)
+    underlying = graph if graph is not None else graph_from_dict(document["graph"])
+
+    if kind == "multirouting":
+        routing: Union[Routing, MultiRouting] = MultiRouting(
+            underlying, bidirectional=False, name=document.get("name", "")
+        )
+    else:
+        routing = Routing(underlying, bidirectional=False, name=document.get("name", ""))
+    # Routes were materialised per ordered pair at save time (the symmetric
+    # closure is already explicit), so the reconstruction is always stored as
+    # unidirectional entries and the original bidirectional flag is restored
+    # afterwards for metadata purposes.
+    for entry in document.get("routes", []):
+        source = decode_node(entry["source"])
+        target = decode_node(entry["target"])
+        for encoded_path in entry["paths"]:
+            path = [decode_node(node) for node in encoded_path]
+            if isinstance(routing, MultiRouting):
+                routing.add_route(source, target, path)
+            else:
+                routing.set_route(source, target, path)
+    routing.bidirectional = bool(document.get("bidirectional", False))
+    return routing
+
+
+# ----------------------------------------------------------------------
+# Construction results
+# ----------------------------------------------------------------------
+def construction_to_dict(result: ConstructionResult) -> Dict[str, Any]:
+    """Encode a construction result (routing + guarantee + concentrator).
+
+    Only JSON-encodable details are preserved (numbers, strings, lists of node
+    labels); complex detail values such as embedded graphs are dropped.
+    """
+    details: Dict[str, Any] = {}
+    for key, value in result.details.items():
+        try:
+            details[key] = _encode_detail(value)
+        except SerializationError:
+            continue
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "construction",
+        "scheme": result.scheme,
+        "t": result.t,
+        "guarantee": {
+            "diameter_bound": result.guarantee.diameter_bound,
+            "max_faults": result.guarantee.max_faults,
+            "source": result.guarantee.source,
+        },
+        "concentrator": [encode_node(node) for node in result.concentrator],
+        "details": details,
+        "routing": routing_to_dict(result.routing),
+    }
+
+
+def construction_from_dict(document: Dict[str, Any]) -> ConstructionResult:
+    """Reconstruct a construction result from :func:`construction_to_dict` output."""
+    _check(document, "construction")
+    routing = routing_from_dict(document["routing"])
+    guarantee_doc = document.get("guarantee", {})
+    return ConstructionResult(
+        routing=routing,
+        scheme=document.get("scheme", "unknown"),
+        t=int(document.get("t", 0)),
+        guarantee=Guarantee(
+            diameter_bound=guarantee_doc.get("diameter_bound", 0),
+            max_faults=guarantee_doc.get("max_faults", 0),
+            source=guarantee_doc.get("source", ""),
+        ),
+        concentrator=[decode_node(node) for node in document.get("concentrator", [])],
+        details=document.get("details", {}),
+    )
+
+
+def _encode_detail(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_encode_detail(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _encode_detail(item) for key, item in value.items()}
+    raise SerializationError(f"detail value {value!r} is not JSON-encodable")
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+def save_json(document: Dict[str, Any], target: Union[str, IO[str]]) -> None:
+    """Write a document produced by the ``*_to_dict`` functions to a file or stream."""
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+    else:
+        json.dump(document, target, indent=2, sort_keys=True)
+
+
+def load_json(source: Union[str, IO[str]]) -> Dict[str, Any]:
+    """Read a document previously written by :func:`save_json`."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    return json.load(source)
+
+
+def _check(document: Dict[str, Any], expected_kind: str) -> None:
+    if document.get("format") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {document.get('format')!r} "
+            f"(this library writes version {FORMAT_VERSION})"
+        )
+    if document.get("kind") != expected_kind:
+        raise SerializationError(
+            f"expected a {expected_kind!r} document, found {document.get('kind')!r}"
+        )

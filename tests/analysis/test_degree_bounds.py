@@ -1,0 +1,93 @@
+"""Unit tests for the degree-threshold analysis (Lemma 15 / Corollary 17)."""
+
+import pytest
+
+from repro.analysis import (
+    CIRCULAR_CONSTANT,
+    TRICIRCULAR_CONSTANT,
+    evaluate_degree_bounds,
+    minimum_size_for_circular,
+    minimum_size_for_tricircular,
+)
+from repro.graphs import generators, synthetic
+
+
+class TestEvaluateDegreeBounds:
+    def test_long_cycle_within_bounds(self):
+        record = evaluate_degree_bounds(generators.cycle_graph(100), t=1)
+        assert record.max_degree == 2
+        assert record.within_circular_bound
+        assert record.within_tricircular_bound
+        assert record.greedy_found >= record.lemma15_guarantee
+        assert record.circular_applicable
+        assert record.tricircular_applicable
+
+    def test_small_dense_graph_outside_bounds(self):
+        record = evaluate_degree_bounds(generators.complete_graph(8), t=7)
+        assert not record.within_circular_bound
+        assert not record.within_tricircular_bound
+        assert not record.circular_applicable
+
+    def test_default_t_uses_max_degree(self):
+        record = evaluate_degree_bounds(generators.cycle_graph(30))
+        assert record.t == 1  # max degree 2 minus 1
+
+    def test_thresholds_use_published_constants(self):
+        graph = generators.cycle_graph(64)
+        record = evaluate_degree_bounds(graph, t=1)
+        assert record.circular_threshold == pytest.approx(CIRCULAR_CONSTANT * 4)
+        assert record.tricircular_threshold == pytest.approx(TRICIRCULAR_CONSTANT * 4)
+
+    def test_as_row(self):
+        record = evaluate_degree_bounds(generators.cycle_graph(30), t=1)
+        row = record.as_row()
+        assert row["graph"] == "cycle-30"
+        assert row["circ_bound_ok"] == "yes"
+
+    def test_flower_graph_applicability(self):
+        graph, _ = synthetic.flower_graph(t=1, k=15)
+        record = evaluate_degree_bounds(graph, t=1)
+        # The flower graph is engineered to have a 15-node neighbourhood set,
+        # which is what the tri-circular routing needs for t=1.
+        assert record.greedy_found >= record.tricircular_required
+
+    def test_guarantee_vs_corollary_implication(self):
+        """Whenever the Lemma 15 guarantee alone exceeds the required K, the
+        greedy set must be large enough too (the corollary's mechanism)."""
+        for graph, t in [
+            (generators.cycle_graph(200), 1),
+            (generators.grid_graph(12, 12), 1),
+            (generators.torus_graph(10, 10), 3),
+        ]:
+            record = evaluate_degree_bounds(graph, t=t)
+            if record.lemma15_guarantee >= record.circular_required:
+                assert record.circular_applicable
+            if record.lemma15_guarantee >= record.tricircular_required:
+                assert record.tricircular_applicable
+
+
+class TestThresholdFormulas:
+    def test_circular_minimum_size(self):
+        assert minimum_size_for_circular(2, 1) == 8 + 4 + 2 + 1
+
+    def test_tricircular_minimum_size(self):
+        assert minimum_size_for_tricircular(2, 1) == 6 * 8 + 3 * 4 + 6 * 2 + 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_size_for_circular(0, 1)
+        with pytest.raises(ValueError):
+            minimum_size_for_circular(2, -1)
+        with pytest.raises(ValueError):
+            minimum_size_for_tricircular(0, 1)
+        with pytest.raises(ValueError):
+            minimum_size_for_tricircular(2, -1)
+
+    def test_corollary17_consistency(self):
+        """For n above the Theorem 16 threshold the counting argument closes:
+        ceil(n/(d^2+1)) >= d + 1 >= t + 2."""
+        import math
+
+        d, t = 3, 2
+        n = minimum_size_for_circular(d, t)
+        assert math.ceil(n / (d * d + 1)) >= t + 2

@@ -1,0 +1,82 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.analysis import ExperimentRunner
+from repro.core import kernel_routing, circular_routing
+from repro.faults import FaultSet
+from repro.graphs import generators
+
+
+class TestExperimentRunner:
+    def test_single_run_record_fields(self):
+        runner = ExperimentRunner()
+        graph = generators.cycle_graph(10)
+        record = runner.run("E01", graph, lambda g: kernel_routing(g))
+        assert record.experiment == "E01"
+        assert record.graph_name == "cycle-10"
+        assert record.nodes == 10
+        assert record.scheme == "kernel"
+        assert record.holds
+        assert record.elapsed_seconds >= 0
+        assert runner.records == [record]
+
+    def test_bound_override(self):
+        runner = ExperimentRunner()
+        graph = generators.cycle_graph(10)
+        record = runner.run(
+            "E01/Theorem3",
+            graph,
+            lambda g: kernel_routing(g),
+            max_faults=1,
+            diameter_bound=4,
+        )
+        assert record.max_faults == 1
+        assert record.paper_bound == 4
+        assert record.holds
+
+    def test_explicit_fault_sets(self):
+        runner = ExperimentRunner()
+        graph = generators.cycle_graph(10)
+        record = runner.run(
+            "E03",
+            graph,
+            lambda g: circular_routing(g),
+            fault_sets=[FaultSet(()), FaultSet({0})],
+        )
+        assert record.fault_sets_evaluated == 2
+        assert not record.exhaustive
+
+    def test_rows_and_all_hold(self):
+        runner = ExperimentRunner()
+        graph = generators.cycle_graph(10)
+        runner.run("A", graph, lambda g: kernel_routing(g))
+        runner.run("B", graph, lambda g: circular_routing(g))
+        rows = runner.rows()
+        assert len(rows) == 2
+        assert {row["experiment"] for row in rows} == {"A", "B"}
+        assert runner.all_hold()
+
+    def test_violation_detected(self):
+        runner = ExperimentRunner()
+        graph = generators.cycle_graph(10)
+        record = runner.run(
+            "impossible",
+            graph,
+            lambda g: kernel_routing(g),
+            diameter_bound=1,
+            max_faults=1,
+        )
+        assert not record.holds
+        assert not runner.all_hold()
+        assert record.as_row()["ok"] == "NO"
+
+    def test_worst_by_experiment(self):
+        runner = ExperimentRunner()
+        graph_small = generators.cycle_graph(9)
+        graph_large = generators.cycle_graph(13)
+        runner.run("same-id", graph_small, lambda g: kernel_routing(g))
+        runner.run("same-id", graph_large, lambda g: kernel_routing(g))
+        worst = runner.worst_by_experiment()
+        assert set(worst) == {"same-id"}
+        assert worst["same-id"] >= 1

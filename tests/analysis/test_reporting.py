@@ -1,0 +1,61 @@
+"""Unit tests for the report formatting helpers."""
+
+from repro.analysis import bullet_list, format_comparison, format_table
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        rows = [
+            {"graph": "cycle-12", "n": 12, "worst": 3},
+            {"graph": "hypercube-4", "n": 16, "worst": 4},
+        ]
+        text = format_table(rows, caption="Experiment E01")
+        lines = text.splitlines()
+        assert lines[0] == "Experiment E01"
+        assert "graph" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "cycle-12" in text
+        assert "hypercube-4" in text
+
+    def test_column_order_respected(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], caption="cap").startswith("cap")
+
+    def test_float_rendering(self):
+        rows = [{"value": 3.14159}, {"value": float("inf")}, {"value": 2.0}]
+        text = format_table(rows)
+        assert "3.142" in text
+        assert "inf" in text
+        assert "2" in text
+
+    def test_missing_cell_rendered_empty(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert "3" in text
+
+    def test_alignment_widths(self):
+        rows = [{"name": "x", "value": 123456}]
+        lines = format_table(rows).splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+
+class TestOtherFormatters:
+    def test_format_comparison(self):
+        line = format_comparison("Theorem 4", 4, 3, note="exhaustive")
+        assert "Theorem 4" in line
+        assert "paper bound = 4" in line
+        assert "measured worst = 3" in line
+        assert "exhaustive" in line
+
+    def test_format_comparison_no_note(self):
+        assert "(" not in format_comparison("X", 1, 1)
+
+    def test_bullet_list(self):
+        text = bullet_list(["one", "two"])
+        assert text.splitlines() == ["  * one", "  * two"]

@@ -1,0 +1,136 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (constructed routings on the synthetic benchmark graphs) are
+session-scoped so the many tests that inspect them do not pay the construction
+cost repeatedly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    bidirectional_bipolar_routing,
+    circular_routing,
+    kernel_routing,
+    tricircular_routing,
+    unidirectional_bipolar_routing,
+)
+from repro.graphs import generators, synthetic
+
+
+# ----------------------------------------------------------------------
+# Small graphs
+# ----------------------------------------------------------------------
+@pytest.fixture
+def cycle12():
+    """A 12-cycle: 2-connected, two-trees property, neighbourhood sets galore."""
+    return generators.cycle_graph(12)
+
+
+@pytest.fixture
+def petersen():
+    """The Petersen graph: 3-regular, 3-connected, girth 5, diameter 2."""
+    return generators.petersen_graph()
+
+
+@pytest.fixture
+def q3():
+    """The 3-dimensional hypercube: 3-regular, 3-connected."""
+    return generators.hypercube_graph(3)
+
+
+@pytest.fixture
+def grid44():
+    """A 4x4 grid: planar, 2-connected."""
+    return generators.grid_graph(4, 4)
+
+
+@pytest.fixture
+def k5():
+    """The complete graph on 5 nodes."""
+    return generators.complete_graph(5)
+
+
+@pytest.fixture
+def circulant_10_2():
+    """The circulant C_10(1, 2): 4-regular and 4-connected."""
+    return generators.circulant_graph(10, [1, 2])
+
+
+# ----------------------------------------------------------------------
+# Synthetic construction-specific graphs (session scoped: reused a lot)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def flower_t2_k5():
+    """Flower graph with t=2 and 5 flowers (circular routing test bed)."""
+    return synthetic.flower_graph(t=2, k=5)
+
+
+@pytest.fixture(scope="session")
+def flower_t1_k15():
+    """Flower graph with t=1 and 15 flowers (tri-circular test bed)."""
+    return synthetic.flower_graph(t=1, k=15)
+
+
+@pytest.fixture(scope="session")
+def two_trees_t2():
+    """Two-trees graph with t=2 (bipolar routing test bed)."""
+    return synthetic.two_trees_graph(t=2)
+
+
+@pytest.fixture(scope="session")
+def kernel_graph_t2():
+    """Kernel test graph with t=2 (explicit small separating set)."""
+    return synthetic.kernel_test_graph(t=2)
+
+
+# ----------------------------------------------------------------------
+# Constructed routings (session scoped)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def kernel_on_cycle():
+    """Kernel routing on a 12-cycle (t = 1)."""
+    graph = generators.cycle_graph(12)
+    return kernel_routing(graph)
+
+
+@pytest.fixture(scope="session")
+def kernel_on_kernel_graph(kernel_graph_t2):
+    """Kernel routing on the synthetic kernel test graph (t = 2)."""
+    return kernel_routing(kernel_graph_t2, t=2)
+
+
+@pytest.fixture(scope="session")
+def circular_on_flower(flower_t2_k5):
+    """Circular routing on the t=2 flower graph using the designated concentrator."""
+    graph, flowers = flower_t2_k5
+    return circular_routing(graph, t=2, concentrator=flowers)
+
+
+@pytest.fixture(scope="session")
+def tricircular_on_flower(flower_t1_k15):
+    """Tri-circular routing on the t=1 flower graph (K = 15)."""
+    graph, flowers = flower_t1_k15
+    return tricircular_routing(graph, t=1, concentrator=flowers)
+
+
+@pytest.fixture(scope="session")
+def bipolar_uni_on_two_trees(two_trees_t2):
+    """Unidirectional bipolar routing on the t=2 two-trees graph."""
+    graph, r1, r2 = two_trees_t2
+    return unidirectional_bipolar_routing(graph, t=2, roots=(r1, r2))
+
+
+@pytest.fixture(scope="session")
+def bipolar_bi_on_two_trees(two_trees_t2):
+    """Bidirectional bipolar routing on the t=2 two-trees graph."""
+    graph, r1, r2 = two_trees_t2
+    return bidirectional_bipolar_routing(graph, t=2, roots=(r1, r2))
+
+
+@pytest.fixture(scope="session")
+def circular_on_cycle():
+    """Circular routing on a 12-cycle (t = 1, auto-found concentrator)."""
+    graph = generators.cycle_graph(12)
+    return circular_routing(graph)

@@ -1,0 +1,86 @@
+"""Unit tests for the Section 6 network-change construction (kernel + clique)."""
+
+import pytest
+
+from repro.core import (
+    added_edge_cost,
+    clique_augmented_kernel_routing,
+    surviving_diameter,
+    verify_construction,
+)
+from repro.exceptions import ConstructionError
+from repro.graphs import generators, synthetic
+
+
+@pytest.fixture(scope="module")
+def augmented_on_circulant():
+    return clique_augmented_kernel_routing(generators.circulant_graph(10, [1, 2]))
+
+
+class TestAugmentedConstruction:
+    def test_scheme_and_guarantee(self, augmented_on_circulant):
+        assert augmented_on_circulant.scheme == "kernel+clique"
+        assert augmented_on_circulant.guarantee.diameter_bound == 3
+        assert augmented_on_circulant.guarantee.max_faults == augmented_on_circulant.t
+
+    def test_concentrator_is_clique_in_augmented_graph(self, augmented_on_circulant):
+        augmented = augmented_on_circulant.details["augmented_graph"]
+        members = augmented_on_circulant.concentrator
+        for i, first in enumerate(members):
+            for second in members[i + 1 :]:
+                assert augmented.has_edge(first, second)
+
+    def test_added_edge_count_within_bound(self, augmented_on_circulant):
+        t = augmented_on_circulant.t
+        added = augmented_on_circulant.details["added_edge_count"]
+        assert added <= added_edge_cost(t)
+        assert added == len(augmented_on_circulant.details["added_edges"])
+
+    def test_original_graph_unmodified(self, augmented_on_circulant):
+        original = augmented_on_circulant.details["original_graph"]
+        augmented = augmented_on_circulant.details["augmented_graph"]
+        assert augmented.number_of_edges() >= original.number_of_edges()
+        for u, v in augmented_on_circulant.details["added_edges"]:
+            assert not original.has_edge(u, v)
+
+    def test_routing_lives_on_augmented_graph(self, augmented_on_circulant):
+        assert augmented_on_circulant.graph is augmented_on_circulant.details["augmented_graph"]
+
+    def test_tolerance_diameter_three(self, augmented_on_circulant):
+        report = verify_construction(augmented_on_circulant)
+        assert report.exhaustive
+        assert report.holds
+        assert report.worst_diameter <= 3
+
+    def test_on_kernel_test_graph(self):
+        graph = synthetic.kernel_test_graph(t=2)
+        result = clique_augmented_kernel_routing(graph, t=2)
+        report = verify_construction(result, exhaustive_limit=2000)
+        assert report.holds
+
+    def test_on_cycle(self):
+        graph = generators.cycle_graph(10)
+        result = clique_augmented_kernel_routing(graph)
+        assert result.details["added_edge_count"] <= 1
+        assert surviving_diameter(result.graph, result.routing, ()) <= 3
+
+    def test_explicit_separating_set_validation(self):
+        graph = generators.cycle_graph(10)
+        with pytest.raises(ConstructionError):
+            clique_augmented_kernel_routing(graph, separating_set={0, 1})
+
+    def test_negative_t(self):
+        with pytest.raises(ConstructionError):
+            clique_augmented_kernel_routing(generators.cycle_graph(8), t=-1)
+
+
+class TestAddedEdgeCost:
+    def test_formula(self):
+        assert added_edge_cost(0) == 0
+        assert added_edge_cost(1) == 1
+        assert added_edge_cost(3) == 6
+        assert added_edge_cost(10) == 55
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            added_edge_cost(-1)

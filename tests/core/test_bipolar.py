@@ -1,0 +1,153 @@
+"""Unit tests for the bipolar constructions (Theorems 20 and 23)."""
+
+import pytest
+
+from repro.core import (
+    bidirectional_bipolar_routing,
+    check_bidirectional_bipolar_properties,
+    check_bipolar_properties,
+    check_routing_model,
+    surviving_diameter,
+    unidirectional_bipolar_routing,
+    verify_construction,
+)
+from repro.core.tolerance import check_tolerance
+from repro.exceptions import ConstructionError, PropertyNotSatisfiedError
+from repro.faults import all_fault_sets
+from repro.graphs import generators, synthetic
+
+
+class TestUnidirectionalBipolar:
+    def test_scheme_and_guarantee(self, bipolar_uni_on_two_trees):
+        assert bipolar_uni_on_two_trees.scheme == "bipolar-uni"
+        assert bipolar_uni_on_two_trees.guarantee.diameter_bound == 4
+        assert bipolar_uni_on_two_trees.guarantee.max_faults == 2
+        assert not bipolar_uni_on_two_trees.routing.bidirectional
+
+    def test_concentrator_halves(self, bipolar_uni_on_two_trees):
+        details = bipolar_uni_on_two_trees.details
+        m1, m2 = details["m1"], details["m2"]
+        assert len(m1) == 3 and len(m2) == 3
+        assert not (set(m1) & set(m2))
+        graph = bipolar_uni_on_two_trees.graph
+        assert set(m1) == graph.neighbors(details["root1"])
+        assert set(m2) == graph.neighbors(details["root2"])
+
+    def test_routing_model_invariants(self, bipolar_uni_on_two_trees):
+        assert check_routing_model(bipolar_uni_on_two_trees.routing) == []
+
+    def test_every_pair_direction_covered(self, bipolar_uni_on_two_trees):
+        """Component B-POL 5 guarantees: if (x,y) is routed then so is (y,x)."""
+        routing = bipolar_uni_on_two_trees.routing
+        for source, target in routing.pairs():
+            assert routing.has_route(target, source)
+
+    def test_bipolar_properties_fault_free(self, bipolar_uni_on_two_trees):
+        assert check_bipolar_properties(bipolar_uni_on_two_trees, set()) == []
+
+    def test_bipolar_properties_under_faults(self, bipolar_uni_on_two_trees):
+        m1 = bipolar_uni_on_two_trees.details["m1"]
+        faults = {m1[0], m1[1]}
+        assert check_bipolar_properties(bipolar_uni_on_two_trees, faults) == []
+
+    def test_theorem20_exhaustive_single_faults(self, bipolar_uni_on_two_trees):
+        graph = bipolar_uni_on_two_trees.graph
+        report = check_tolerance(
+            graph,
+            bipolar_uni_on_two_trees.routing,
+            diameter_bound=4,
+            max_faults=1,
+            fault_sets=all_fault_sets(graph.nodes(), 1),
+        )
+        assert report.holds
+
+    def test_theorem20_battery_two_faults(self, bipolar_uni_on_two_trees):
+        report = verify_construction(bipolar_uni_on_two_trees, exhaustive_limit=500)
+        assert report.exhaustive
+        assert report.holds
+
+    def test_cycle_roots_autodetected(self):
+        graph = generators.cycle_graph(12)
+        result = unidirectional_bipolar_routing(graph)
+        assert result.t == 1
+        report = verify_construction(result, exhaustive_limit=100)
+        assert report.holds
+
+    def test_missing_two_trees_property(self):
+        with pytest.raises(PropertyNotSatisfiedError):
+            unidirectional_bipolar_routing(generators.hypercube_graph(3))
+
+    def test_invalid_roots_rejected(self):
+        graph = generators.cycle_graph(12)
+        with pytest.raises(PropertyNotSatisfiedError):
+            unidirectional_bipolar_routing(graph, roots=(0, 2))
+
+    def test_negative_t(self):
+        with pytest.raises(ConstructionError):
+            unidirectional_bipolar_routing(generators.cycle_graph(12), t=-1)
+
+
+class TestBidirectionalBipolar:
+    def test_scheme_and_guarantee(self, bipolar_bi_on_two_trees):
+        assert bipolar_bi_on_two_trees.scheme == "bipolar-bi"
+        assert bipolar_bi_on_two_trees.guarantee.diameter_bound == 5
+        assert bipolar_bi_on_two_trees.routing.bidirectional
+
+    def test_symmetry(self, bipolar_bi_on_two_trees):
+        assert bipolar_bi_on_two_trees.routing.is_symmetric()
+
+    def test_routing_model_invariants(self, bipolar_bi_on_two_trees):
+        assert check_routing_model(bipolar_bi_on_two_trees.routing) == []
+
+    def test_2bpol_properties_fault_free(self, bipolar_bi_on_two_trees):
+        assert check_bidirectional_bipolar_properties(bipolar_bi_on_two_trees, set()) == []
+
+    def test_2bpol_properties_under_faults(self, bipolar_bi_on_two_trees):
+        m2 = bipolar_bi_on_two_trees.details["m2"]
+        faults = {m2[0], m2[-1]}
+        assert (
+            check_bidirectional_bipolar_properties(bipolar_bi_on_two_trees, faults) == []
+        )
+
+    def test_theorem23_battery(self, bipolar_bi_on_two_trees):
+        report = verify_construction(bipolar_bi_on_two_trees, exhaustive_limit=500)
+        assert report.exhaustive
+        assert report.holds
+
+    def test_theorem23_on_cycle(self):
+        graph = generators.cycle_graph(14)
+        result = bidirectional_bipolar_routing(graph)
+        report = verify_construction(result, exhaustive_limit=200)
+        assert report.holds
+
+    def test_m1_routes_to_m2(self, bipolar_bi_on_two_trees):
+        """Component 2B-POL 2 gives every M1 node routes to t+1 nodes of M2."""
+        routing = bipolar_bi_on_two_trees.routing
+        m1 = bipolar_bi_on_two_trees.details["m1"]
+        m2 = set(bipolar_bi_on_two_trees.details["m2"])
+        for member in m1:
+            targets = {other for other in m2 if routing.has_route(member, other)}
+            assert len(targets) >= bipolar_bi_on_two_trees.t + 1
+
+    def test_missing_two_trees_property(self):
+        with pytest.raises(PropertyNotSatisfiedError):
+            bidirectional_bipolar_routing(generators.grid_graph(4, 4))
+
+    def test_negative_t(self):
+        with pytest.raises(ConstructionError):
+            bidirectional_bipolar_routing(generators.cycle_graph(12), t=-1)
+
+
+class TestBipolarComparison:
+    def test_unidirectional_has_no_worse_bound(self, bipolar_uni_on_two_trees, bipolar_bi_on_two_trees):
+        assert (
+            bipolar_uni_on_two_trees.guarantee.diameter_bound
+            <= bipolar_bi_on_two_trees.guarantee.diameter_bound
+        )
+
+    def test_fault_free_diameters(self, bipolar_uni_on_two_trees, bipolar_bi_on_two_trees):
+        for result in (bipolar_uni_on_two_trees, bipolar_bi_on_two_trees):
+            assert (
+                surviving_diameter(result.graph, result.routing, ())
+                <= result.guarantee.diameter_bound
+            )

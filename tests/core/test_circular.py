@@ -1,0 +1,145 @@
+"""Unit tests for the circular construction (Theorem 10)."""
+
+import pytest
+
+from repro.core import (
+    check_circ_properties,
+    check_routing_model,
+    check_tcirc_property,
+    circular_component_range,
+    circular_routing,
+    surviving_diameter,
+    verify_construction,
+)
+from repro.core.tolerance import check_tolerance
+from repro.exceptions import ConstructionError, PropertyNotSatisfiedError
+from repro.faults import all_fault_sets
+from repro.graphs import generators, is_neighborhood_set, synthetic
+
+
+class TestComponentRange:
+    def test_odd_k(self):
+        assert list(circular_component_range(5)) == [1, 2]
+        assert list(circular_component_range(7)) == [1, 2, 3]
+
+    def test_even_k(self):
+        assert list(circular_component_range(6)) == [1, 2]
+        assert list(circular_component_range(4)) == [1]
+
+    def test_small_k(self):
+        assert list(circular_component_range(1)) == []
+        assert list(circular_component_range(2)) == []
+        assert list(circular_component_range(3)) == [1]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            circular_component_range(0)
+
+    def test_no_conflicting_offsets(self):
+        # For no pair of indices may both (j) and (K - j) lie in the range.
+        for k in range(3, 30):
+            offsets = set(circular_component_range(k))
+            assert not any((k - j) in offsets for j in offsets)
+
+
+class TestCircularConstruction:
+    def test_scheme_and_guarantee(self, circular_on_flower):
+        assert circular_on_flower.scheme == "circular"
+        assert circular_on_flower.guarantee.diameter_bound == 6
+        assert circular_on_flower.guarantee.max_faults == 2
+
+    def test_concentrator_is_neighborhood_set(self, circular_on_flower):
+        assert is_neighborhood_set(
+            circular_on_flower.graph, circular_on_flower.concentrator
+        )
+
+    def test_routing_model_invariants(self, circular_on_flower):
+        assert check_routing_model(circular_on_flower.routing) == []
+
+    def test_default_k_for_even_and_odd_t(self):
+        graph, flowers = synthetic.flower_graph(t=2, k=5)
+        result = circular_routing(graph, t=2, concentrator=flowers)
+        assert result.details["k"] == 3  # t even -> t + 1
+        graph1 = generators.cycle_graph(12)
+        result1 = circular_routing(graph1)  # t = 1, odd -> t + 2 = 3
+        assert result1.details["k"] == 3
+
+    def test_wide_variant_k(self):
+        graph, flowers = synthetic.flower_graph(t=1, k=5)
+        result = circular_routing(graph, t=1, concentrator=flowers, wide=True)
+        assert result.details["k"] == 3  # 2t + 1
+
+    def test_explicit_k(self):
+        graph, flowers = synthetic.flower_graph(t=1, k=5)
+        result = circular_routing(graph, t=1, concentrator=flowers, k=5)
+        assert len(result.concentrator) == 5
+
+    def test_auto_concentrator(self, circular_on_cycle):
+        assert len(circular_on_cycle.concentrator) == 3
+        assert is_neighborhood_set(
+            circular_on_cycle.graph, circular_on_cycle.concentrator
+        )
+
+    def test_invalid_concentrator_rejected(self):
+        graph = generators.cycle_graph(12)
+        with pytest.raises(PropertyNotSatisfiedError):
+            circular_routing(graph, concentrator=[0, 1, 2])
+        with pytest.raises(ConstructionError):
+            circular_routing(graph, concentrator=[0])
+        with pytest.raises(ConstructionError):
+            circular_routing(graph, concentrator=[0, 0, 0])
+
+    def test_no_neighborhood_set_raises(self):
+        # K_5 has no independent pair at distance >= 3.
+        with pytest.raises(PropertyNotSatisfiedError):
+            circular_routing(generators.complete_graph(5), k=2)
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ConstructionError):
+            circular_routing(generators.cycle_graph(12), t=-1)
+
+    def test_gamma_metadata(self, circular_on_flower):
+        details = circular_on_flower.details
+        assert details["gamma_union_size"] == sum(details["gamma_sizes"])
+        assert all(size == 3 for size in details["gamma_sizes"])
+
+
+class TestCircularTolerance:
+    def test_theorem10_exhaustive_on_cycle(self, circular_on_cycle):
+        graph = circular_on_cycle.graph
+        report = check_tolerance(
+            graph,
+            circular_on_cycle.routing,
+            diameter_bound=6,
+            max_faults=1,
+            fault_sets=all_fault_sets(graph.nodes(), 1),
+        )
+        assert report.holds
+
+    def test_theorem10_exhaustive_on_flower(self, circular_on_flower):
+        report = verify_construction(circular_on_flower, exhaustive_limit=400)
+        assert report.exhaustive
+        assert report.holds
+
+    def test_circ_properties_hold_under_faults(self, circular_on_flower):
+        graph = circular_on_flower.graph
+        members = circular_on_flower.concentrator
+        # Kill two concentrator members (the worst structural attack).
+        faults = set(members[:2])
+        assert check_circ_properties(circular_on_flower, faults) == []
+
+    def test_property_circ_radius3(self, circular_on_cycle):
+        # The K = t+1/t+2 variant satisfies Property CIRC (common member within 3).
+        assert check_tcirc_property(circular_on_cycle, {4}, radius=3) == []
+
+    def test_fault_free_diameter(self, circular_on_flower):
+        assert (
+            surviving_diameter(circular_on_flower.graph, circular_on_flower.routing, ())
+            <= 6
+        )
+
+    def test_wide_variant_tolerance(self):
+        graph, flowers = synthetic.flower_graph(t=1, k=3)
+        result = circular_routing(graph, t=1, concentrator=flowers, wide=True)
+        report = verify_construction(result, exhaustive_limit=100)
+        assert report.holds

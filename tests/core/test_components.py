@@ -1,0 +1,100 @@
+"""Unit tests for the beyond-connectivity analysis (Open Problem 3)."""
+
+import pytest
+
+from repro.core import (
+    Routing,
+    component_diameters,
+    graceful_degradation_profile,
+    kernel_routing,
+    surviving_components,
+    worst_component_diameter,
+)
+from repro.graphs import generators
+
+
+@pytest.fixture(scope="module")
+def circulant_kernel():
+    graph = generators.circulant_graph(12, [1, 2])
+    return graph, kernel_routing(graph)
+
+
+class TestSurvivingComponents:
+    def test_no_faults_single_component(self, circulant_kernel):
+        graph, _result = circulant_kernel
+        components = surviving_components(graph, set())
+        assert len(components) == 1
+        assert len(components[0]) == 12
+
+    def test_disconnecting_faults_split(self):
+        graph = generators.cycle_graph(10)
+        components = surviving_components(graph, {0, 5})
+        assert len(components) == 2
+        assert sorted(len(c) for c in components) == [4, 4]
+
+    def test_all_faulty(self):
+        graph = generators.cycle_graph(4)
+        assert surviving_components(graph, {0, 1, 2, 3}) == []
+
+
+class TestComponentDiameters:
+    def test_within_budget_single_finite_component(self, circulant_kernel):
+        graph, result = circulant_kernel
+        entries = component_diameters(graph, result.routing, {0})
+        assert len(entries) == 1
+        assert entries[0]["size"] == 11
+        assert entries[0]["diameter"] <= 2 * result.t
+
+    def test_disconnected_cycle_edge_routing(self):
+        graph = generators.cycle_graph(10)
+        routing = Routing(graph)
+        routing.add_all_edge_routes()
+        entries = component_diameters(graph, routing, {0, 5})
+        assert len(entries) == 2
+        # Each component is a path of 4 nodes served by its edge routes only:
+        # internal diameter 3 (finite even though the whole graph split).
+        assert all(entry["diameter"] == 3 for entry in entries)
+
+    def test_routing_can_fail_inside_component(self):
+        # Routes that leave the component die with the faults: a routing with
+        # only "long way round" routes serves nothing once the cycle is cut.
+        graph = generators.cycle_graph(6)
+        routing = Routing(graph, bidirectional=False)
+        routing.set_route(1, 2, [1, 0, 5, 4, 3, 2])
+        entries = component_diameters(graph, routing, {0, 3})
+        sizes = sorted(entry["size"] for entry in entries)
+        assert sizes == [2, 2]
+        assert any(entry["diameter"] == float("inf") for entry in entries)
+
+    def test_worst_component_diameter(self, circulant_kernel):
+        graph, result = circulant_kernel
+        assert worst_component_diameter(graph, result.routing, {0}) <= 2 * result.t
+        assert worst_component_diameter(graph, result.routing, set(graph.nodes())) == 0.0
+
+
+class TestGracefulDegradation:
+    def test_profile_shape(self, circulant_kernel):
+        graph, result = circulant_kernel
+        points = graceful_degradation_profile(
+            graph, result.routing, fault_counts=[0, 1, 3, 5], samples=4, seed=0
+        )
+        assert [point.faults for point in points] == [0, 1, 3, 5]
+        assert points[0].disconnected_fraction == 0.0
+        assert points[0].max_worst_component_diameter <= 2 * result.t
+        for point in points:
+            assert point.samples == 4
+            row = point.as_row()
+            assert row["faults"] == point.faults
+
+    def test_within_budget_never_disconnects(self, circulant_kernel):
+        graph, result = circulant_kernel
+        points = graceful_degradation_profile(
+            graph, result.routing, fault_counts=[result.t], samples=6, seed=1
+        )
+        assert points[0].disconnected_fraction == 0.0
+
+    def test_reproducible(self, circulant_kernel):
+        graph, result = circulant_kernel
+        first = graceful_degradation_profile(graph, result.routing, [2], samples=5, seed=9)
+        second = graceful_degradation_profile(graph, result.routing, [2], samples=5, seed=9)
+        assert first[0].as_row() == second[0].as_row()

@@ -1,0 +1,142 @@
+"""Unit tests for concentrator construction (neighbourhood sets, two-trees roots)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    greedy_neighborhood_set,
+    lemma15_lower_bound,
+    neighborhood_set,
+    required_neighborhood_set_size,
+    two_trees_concentrator,
+    two_trees_concentrator_for_roots,
+)
+from repro.exceptions import PropertyNotSatisfiedError
+from repro.graphs import Graph, is_neighborhood_set
+from repro.graphs import generators, synthetic
+
+
+class TestGreedyNeighborhoodSet:
+    def test_cycle(self):
+        graph = generators.cycle_graph(12)
+        selected = greedy_neighborhood_set(graph)
+        assert is_neighborhood_set(graph, selected)
+        assert len(selected) == 4  # n / (d^2 + 1) = 12/5 -> greedy does better: 4
+
+    def test_lemma15_bound_holds(self):
+        for graph in (
+            generators.cycle_graph(20),
+            generators.hypercube_graph(4),
+            generators.grid_graph(5, 5),
+            generators.petersen_graph(),
+            generators.torus_graph(5, 5),
+        ):
+            selected = greedy_neighborhood_set(graph)
+            assert is_neighborhood_set(graph, selected)
+            assert len(selected) >= lemma15_lower_bound(graph)
+
+    def test_limit_respected(self):
+        graph = generators.cycle_graph(30)
+        selected = greedy_neighborhood_set(graph, limit=3)
+        assert len(selected) == 3
+        assert is_neighborhood_set(graph, selected)
+
+    def test_explicit_order(self):
+        graph = generators.cycle_graph(9)
+        selected = greedy_neighborhood_set(graph, order=[0, 3, 6, 1, 2])
+        assert selected == [0, 3, 6]
+
+    def test_empty_graph(self):
+        assert greedy_neighborhood_set(Graph()) == []
+        assert lemma15_lower_bound(Graph()) == 0
+
+    def test_lemma15_formula(self):
+        graph = generators.cycle_graph(12)
+        assert lemma15_lower_bound(graph) == math.ceil(12 / 5)
+
+
+class TestNeighborhoodSetSearch:
+    def test_finds_requested_size(self):
+        graph = generators.cycle_graph(15)
+        members = neighborhood_set(graph, 5)
+        assert len(members) == 5
+        assert is_neighborhood_set(graph, members)
+
+    def test_zero_size(self):
+        assert neighborhood_set(generators.cycle_graph(6), 0) == []
+
+    def test_too_large_raises(self):
+        graph = generators.cycle_graph(9)
+        with pytest.raises(PropertyNotSatisfiedError):
+            neighborhood_set(graph, 4)  # only 3 fit in C_9
+
+    def test_complete_graph_has_singleton_only(self):
+        graph = generators.complete_graph(5)
+        assert len(neighborhood_set(graph, 1)) == 1
+        with pytest.raises(PropertyNotSatisfiedError):
+            neighborhood_set(graph, 2)
+
+    def test_exhaustive_fallback_small_graph(self):
+        # A graph where the low-degree-first greedy can be suboptimal but an
+        # exhaustive search still finds 2 nodes at distance >= 3.
+        graph = generators.path_graph(7)
+        members = neighborhood_set(graph, 2)
+        assert len(members) == 2
+        assert is_neighborhood_set(graph, members)
+
+    def test_flower_graph_designated_set_found(self):
+        graph, flowers = synthetic.flower_graph(t=2, k=5)
+        members = neighborhood_set(graph, 5)
+        assert len(members) == 5
+        assert is_neighborhood_set(graph, members)
+
+
+class TestRequiredSizes:
+    def test_circular_sizes(self):
+        assert required_neighborhood_set_size(2, "circular") == 3
+        assert required_neighborhood_set_size(3, "circular") == 5
+        assert required_neighborhood_set_size(0, "circular") == 1
+
+    def test_wide_circular(self):
+        assert required_neighborhood_set_size(2, "circular-wide") == 5
+
+    def test_tricircular_sizes(self):
+        assert required_neighborhood_set_size(1, "tricircular") == 15
+        assert required_neighborhood_set_size(2, "tricircular") == 21
+
+    def test_tricircular_small_sizes(self):
+        assert required_neighborhood_set_size(2, "tricircular-small") == 9
+        assert required_neighborhood_set_size(3, "tricircular-small") == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_neighborhood_set_size(-1, "circular")
+        with pytest.raises(ValueError):
+            required_neighborhood_set_size(1, "unknown")
+
+
+class TestTwoTreesConcentrator:
+    def test_automatic_roots_on_cycle(self):
+        graph = generators.cycle_graph(12)
+        r1, r2, m1, m2 = two_trees_concentrator(graph)
+        assert r1 != r2
+        assert set(m1) == graph.neighbors(r1)
+        assert set(m2) == graph.neighbors(r2)
+
+    def test_missing_property_raises(self):
+        with pytest.raises(PropertyNotSatisfiedError):
+            two_trees_concentrator(generators.hypercube_graph(3))
+
+    def test_explicit_roots(self):
+        graph, r1, r2 = synthetic.two_trees_graph(t=2)
+        root1, root2, m1, m2 = two_trees_concentrator_for_roots(graph, r1, r2)
+        assert (root1, root2) == (r1, r2)
+        assert len(m1) == 3
+        assert len(m2) == 3
+        assert not (set(m1) & set(m2))
+
+    def test_explicit_roots_validation(self):
+        graph = generators.cycle_graph(12)
+        with pytest.raises(PropertyNotSatisfiedError):
+            two_trees_concentrator_for_roots(graph, 0, 2)

@@ -1,0 +1,61 @@
+"""Unit tests for the ConstructionResult / Guarantee containers."""
+
+import pytest
+
+from repro.core import ConstructionResult, Guarantee, Routing
+from repro.graphs import generators
+
+
+class TestGuarantee:
+    def test_str_with_source(self):
+        guarantee = Guarantee(4, 2, source="Theorem 13")
+        assert "(4, 2)-tolerant" in str(guarantee)
+        assert "Theorem 13" in str(guarantee)
+
+    def test_str_without_source(self):
+        assert str(Guarantee(6, 1)) == "(6, 1)-tolerant"
+
+    def test_fields(self):
+        guarantee = Guarantee(diameter_bound=5, max_faults=3)
+        assert guarantee.diameter_bound == 5
+        assert guarantee.max_faults == 3
+
+
+class TestConstructionResult:
+    @pytest.fixture
+    def result(self):
+        graph = generators.cycle_graph(6)
+        routing = Routing(graph, name="demo")
+        routing.add_all_edge_routes()
+        return ConstructionResult(
+            routing=routing,
+            scheme="demo",
+            t=1,
+            guarantee=Guarantee(6, 1, "Lemma X"),
+            concentrator=[0, 3],
+            details={"k": 2, "extra": [1, 2, 3]},
+        )
+
+    def test_graph_property(self, result):
+        assert result.graph is result.routing.graph
+
+    def test_describe_mentions_key_fields(self, result):
+        text = result.describe()
+        assert "demo" in text
+        assert "(6, 1)-tolerant" in text
+        assert "concentrator" in text
+        assert "k" in text
+
+    def test_repr(self, result):
+        text = repr(result)
+        assert "demo" in text
+        assert "t=1" in text
+
+    def test_defaults(self):
+        graph = generators.cycle_graph(4)
+        routing = Routing(graph)
+        result = ConstructionResult(
+            routing=routing, scheme="bare", t=0, guarantee=Guarantee(1, 0)
+        )
+        assert result.concentrator == []
+        assert result.details == {}

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for routing-model and theorem invariants.
+
+These tests sample random graphs and random fault sets and check the
+invariants that the paper's proofs rest on:
+
+* routes never conflict and always follow the miserly model;
+* the surviving route graph is monotone under fault-set inclusion (arc-wise);
+* the constructions' guarantees hold for randomly sampled admissible fault
+  sets (a randomised complement to the exhaustive checks elsewhere).
+"""
+
+import random as _random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    build_routing,
+    kernel_routing,
+    surviving_diameter,
+    surviving_route_graph,
+)
+from repro.core.verification import check_routing_model
+from repro.graphs import generators, node_connectivity
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def two_connected_graph(draw):
+    """A random graph guaranteed to be at least 2-connected (Harary + extras)."""
+    n = draw(st.integers(min_value=8, max_value=16))
+    k = draw(st.sampled_from([2, 3]))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    extra = draw(st.floats(min_value=0.0, max_value=0.1))
+    return generators.random_k_connected_graph(n, k, extra_edge_probability=extra, seed=seed)
+
+
+@st.composite
+def cycle_with_faults(draw):
+    """A cycle plus a random admissible fault (|F| <= t = 1).
+
+    The minimum size is 10 because shorter cycles lack the two-trees property
+    (the depth-2 neighbourhoods of any two nodes overlap).
+    """
+    n = draw(st.integers(min_value=10, max_value=20))
+    fault = draw(st.integers(min_value=0, max_value=n - 1))
+    return generators.cycle_graph(n), {fault}
+
+
+class TestRoutingModelInvariants:
+    @SETTINGS
+    @given(two_connected_graph())
+    def test_kernel_routing_is_well_formed(self, graph):
+        result = kernel_routing(graph)
+        assert check_routing_model(result.routing) == []
+        # every non-kernel node keeps t+1 disjoint-route targets in M
+        kernel_set = set(result.concentrator)
+        for node in graph.nodes():
+            if node in kernel_set:
+                continue
+            targets = [m for m in kernel_set if result.routing.has_route(node, m)]
+            assert len(targets) >= result.t + 1
+
+    @SETTINGS
+    @given(two_connected_graph(), st.integers(min_value=0, max_value=10 ** 6))
+    def test_surviving_graph_monotone_under_fault_inclusion(self, graph, seed):
+        result = kernel_routing(graph)
+        rng = _random.Random(seed)
+        nodes = graph.nodes()
+        small = set(rng.sample(nodes, 1))
+        large = small | set(rng.sample(nodes, 2))
+        surviving_small = surviving_route_graph(graph, result.routing, small)
+        surviving_large = surviving_route_graph(graph, result.routing, large)
+        # Every arc of the more-faulty graph also exists with fewer faults.
+        for u, v in surviving_large.edges():
+            assert surviving_small.has_edge(u, v)
+
+    @SETTINGS
+    @given(two_connected_graph())
+    def test_fault_free_surviving_graph_contains_underlying_edges(self, graph):
+        result = kernel_routing(graph)
+        surviving = surviving_route_graph(graph, result.routing, ())
+        for u, v in graph.edges():
+            assert surviving.has_edge(u, v)
+            assert surviving.has_edge(v, u)
+
+
+class TestTheoremInvariantsRandomised:
+    @SETTINGS
+    @given(two_connected_graph(), st.integers(min_value=0, max_value=10 ** 6))
+    def test_theorem3_random_fault_sets(self, graph, seed):
+        """Kernel routing: (2t, t) for random admissible fault sets."""
+        result = kernel_routing(graph)
+        t = result.t
+        rng = _random.Random(seed)
+        faults = set(rng.sample(graph.nodes(), t)) if t > 0 else set()
+        bound = max(2 * t, 4)
+        assert surviving_diameter(graph, result.routing, faults) <= bound
+
+    @SETTINGS
+    @given(cycle_with_faults())
+    def test_circular_on_cycles_random_fault(self, graph_and_fault):
+        graph, faults = graph_and_fault
+        result = build_routing(graph, strategy="circular")
+        assert surviving_diameter(graph, result.routing, faults) <= 6
+
+    @SETTINGS
+    @given(cycle_with_faults())
+    def test_bipolar_on_cycles_random_fault(self, graph_and_fault):
+        graph, faults = graph_and_fault
+        result = build_routing(graph, strategy="bipolar-uni")
+        assert surviving_diameter(graph, result.routing, faults) <= 4
+
+    @SETTINGS
+    @given(two_connected_graph(), st.integers(min_value=0, max_value=10 ** 6))
+    def test_theorem4_random_fault_sets(self, graph, seed):
+        """Kernel routing: diameter <= 4 for |F| <= floor(t/2)."""
+        result = kernel_routing(graph)
+        budget = result.t // 2
+        rng = _random.Random(seed)
+        faults = set(rng.sample(graph.nodes(), budget)) if budget else set()
+        assert surviving_diameter(graph, result.routing, faults) <= 4

@@ -1,0 +1,150 @@
+"""Unit tests for the kernel construction (Theorems 3 and 4)."""
+
+import pytest
+
+from repro.core import (
+    check_routing_model,
+    kernel_guarantees,
+    kernel_routing,
+    surviving_diameter,
+    verify_construction,
+)
+from repro.core.tolerance import check_tolerance
+from repro.exceptions import ConstructionError
+from repro.faults import all_fault_sets
+from repro.graphs import generators, is_separating_set, synthetic
+
+
+class TestKernelConstruction:
+    def test_scheme_and_guarantee(self, kernel_on_cycle):
+        assert kernel_on_cycle.scheme == "kernel"
+        assert kernel_on_cycle.t == 1
+        assert kernel_on_cycle.guarantee.diameter_bound == 4
+        assert kernel_on_cycle.guarantee.max_faults == 0  # floor(1/2)
+
+    def test_concentrator_is_separating_set(self, kernel_on_cycle):
+        graph = kernel_on_cycle.graph
+        assert is_separating_set(graph, set(kernel_on_cycle.concentrator))
+        assert len(kernel_on_cycle.concentrator) == kernel_on_cycle.t + 1
+
+    def test_routing_model_invariants(self, kernel_on_cycle):
+        assert check_routing_model(kernel_on_cycle.routing) == []
+
+    def test_every_non_kernel_node_has_t_plus_1_kernel_routes(self, kernel_on_cycle):
+        routing = kernel_on_cycle.routing
+        kernel_set = set(kernel_on_cycle.concentrator)
+        t = kernel_on_cycle.t
+        for node in kernel_on_cycle.graph.nodes():
+            if node in kernel_set:
+                continue
+            targets = {m for m in kernel_set if routing.has_route(node, m)}
+            assert len(targets) >= t + 1
+
+    def test_edge_routes_present(self, kernel_on_cycle):
+        routing = kernel_on_cycle.routing
+        for u, v in kernel_on_cycle.graph.edges():
+            assert routing.get_route(u, v) == (u, v)
+
+    def test_bidirectional(self, kernel_on_cycle):
+        assert kernel_on_cycle.routing.bidirectional
+        assert kernel_on_cycle.routing.is_symmetric()
+
+    def test_explicit_separating_set(self):
+        graph = generators.cycle_graph(10)
+        result = kernel_routing(graph, separating_set={0, 5})
+        assert sorted(result.concentrator) == [0, 5]
+
+    def test_explicit_separating_set_validation(self):
+        graph = generators.cycle_graph(10)
+        with pytest.raises(ConstructionError):
+            kernel_routing(graph, separating_set={0, 1})  # does not separate
+        with pytest.raises(ConstructionError):
+            kernel_routing(graph, separating_set={3})  # too small for t+1=2
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ConstructionError):
+            kernel_routing(generators.cycle_graph(6), t=-1)
+
+    def test_t_larger_than_connectivity_rejected(self):
+        graph = generators.cycle_graph(8)
+        with pytest.raises(ConstructionError):
+            kernel_routing(graph, t=3)
+
+
+class TestKernelTolerance:
+    def test_theorem4_exhaustive_on_cycle(self):
+        """Theorem 4: (4, floor(t/2))-tolerant; for t=2 graphs that is 1 fault."""
+        graph = synthetic.kernel_test_graph(t=2)
+        result = kernel_routing(graph, t=2)
+        report = check_tolerance(
+            graph,
+            result.routing,
+            diameter_bound=4,
+            max_faults=1,
+            fault_sets=all_fault_sets(graph.nodes(), 1),
+        )
+        assert report.holds
+
+    def test_theorem3_exhaustive_on_cycle(self):
+        """Theorem 3: (2t, t)-tolerant; verified exhaustively for t=1 on C_10."""
+        graph = generators.cycle_graph(10)
+        result = kernel_routing(graph)
+        report = check_tolerance(
+            graph,
+            result.routing,
+            diameter_bound=max(2 * result.t, 4),
+            max_faults=result.t,
+            fault_sets=all_fault_sets(graph.nodes(), result.t),
+        )
+        assert report.holds
+        assert report.exhaustive is False  # explicit fault sets supplied
+
+    def test_theorem3_on_kernel_graph(self, kernel_on_kernel_graph):
+        graph = kernel_on_kernel_graph.graph
+        report = check_tolerance(
+            graph,
+            kernel_on_kernel_graph.routing,
+            diameter_bound=2 * kernel_on_kernel_graph.t,
+            max_faults=kernel_on_kernel_graph.t,
+            exhaustive_limit=3000,
+        )
+        assert report.holds
+
+    def test_verify_construction_default_guarantee(self, kernel_on_kernel_graph):
+        report = verify_construction(kernel_on_kernel_graph, exhaustive_limit=2000)
+        assert report.holds
+
+    def test_fault_free_diameter_small(self, kernel_on_cycle):
+        assert (
+            surviving_diameter(kernel_on_cycle.graph, kernel_on_cycle.routing, ())
+            <= 4
+        )
+
+    def test_hypercube_kernel(self):
+        graph = generators.hypercube_graph(3)
+        result = kernel_routing(graph)
+        report = verify_construction(result, exhaustive_limit=200)
+        assert report.holds
+        assert result.t == 2
+
+
+class TestKernelGuarantees:
+    def test_guarantee_pair(self):
+        guarantees = kernel_guarantees(3)
+        assert guarantees[0].diameter_bound == 6
+        assert guarantees[0].max_faults == 3
+        assert guarantees[1].diameter_bound == 4
+        assert guarantees[1].max_faults == 1
+
+    def test_small_t_floor(self):
+        guarantees = kernel_guarantees(1)
+        assert guarantees[0].diameter_bound == 4  # max(2t, 4)
+        assert guarantees[1].max_faults == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_guarantees(-1)
+
+    def test_details_record_theorem3(self, kernel_on_cycle):
+        theorem3 = kernel_on_cycle.details["theorem3_guarantee"]
+        assert theorem3.max_faults == kernel_on_cycle.t

@@ -1,0 +1,144 @@
+"""Unit tests for the Section 6 multiroutings."""
+
+import pytest
+
+from repro.core import (
+    MultiRouting,
+    full_multirouting,
+    kernel_multirouting,
+    single_tree_multirouting,
+    surviving_diameter,
+    verify_construction,
+)
+from repro.exceptions import ConstructionError
+from repro.faults import all_fault_sets
+from repro.graphs import generators, synthetic
+
+
+@pytest.fixture(scope="module")
+def circulant():
+    """C_10(1,2): 4-connected, small enough for exhaustive checks."""
+    return generators.circulant_graph(10, [1, 2])
+
+
+@pytest.fixture(scope="module")
+def full_on_circulant(circulant):
+    return full_multirouting(circulant)
+
+
+@pytest.fixture(scope="module")
+def kernel_multi_on_circulant(circulant):
+    return kernel_multirouting(circulant)
+
+
+@pytest.fixture(scope="module")
+def single_tree_on_circulant(circulant):
+    return single_tree_multirouting(circulant)
+
+
+class TestFullMultirouting:
+    def test_scheme_and_guarantee(self, full_on_circulant):
+        assert full_on_circulant.scheme == "multi-full"
+        assert full_on_circulant.guarantee.diameter_bound == 1
+        assert full_on_circulant.guarantee.max_faults == 3
+
+    def test_routes_per_pair(self, full_on_circulant, circulant):
+        routing = full_on_circulant.routing
+        assert isinstance(routing, MultiRouting)
+        n = circulant.number_of_nodes()
+        assert len(routing) == n * (n - 1)
+        assert routing.max_parallelism() == 4
+
+    def test_diameter_one_under_faults(self, full_on_circulant, circulant):
+        for faults in ({0}, {0, 5}, {1, 4, 8}):
+            assert surviving_diameter(circulant, full_on_circulant.routing, faults) == 1
+
+    def test_exhaustive_verification(self, full_on_circulant):
+        report = verify_construction(full_on_circulant)
+        assert report.exhaustive
+        assert report.worst_diameter == 1
+
+    def test_insufficient_connectivity_rejected(self):
+        with pytest.raises(ConstructionError):
+            full_multirouting(generators.cycle_graph(8), t=2)
+
+    def test_negative_t(self):
+        with pytest.raises(ConstructionError):
+            full_multirouting(generators.cycle_graph(8), t=-1)
+
+
+class TestKernelMultirouting:
+    def test_scheme_and_guarantee(self, kernel_multi_on_circulant):
+        assert kernel_multi_on_circulant.scheme == "multi-kernel"
+        assert kernel_multi_on_circulant.guarantee.diameter_bound == 3
+
+    def test_concentrator_pairs_have_parallel_routes(self, kernel_multi_on_circulant):
+        routing = kernel_multi_on_circulant.routing
+        members = kernel_multi_on_circulant.concentrator
+        t = kernel_multi_on_circulant.t
+        for i, first in enumerate(members):
+            for second in members[i + 1 :]:
+                assert len(routing.get_routes(first, second)) >= t + 1
+
+    def test_diameter_bound_three(self, kernel_multi_on_circulant, circulant):
+        report = verify_construction(kernel_multi_on_circulant)
+        assert report.exhaustive
+        assert report.holds
+        assert report.worst_diameter <= 3
+
+    def test_explicit_separating_set(self, circulant):
+        from repro.graphs import minimum_separator
+
+        separator = minimum_separator(circulant)
+        result = kernel_multirouting(circulant, separating_set=separator)
+        assert set(result.concentrator) == set(separator)
+
+    def test_bad_separating_set(self, circulant):
+        with pytest.raises(ConstructionError):
+            kernel_multirouting(circulant, separating_set={0, 1})
+
+
+class TestSingleTreeMultirouting:
+    def test_scheme(self, single_tree_on_circulant):
+        assert single_tree_on_circulant.scheme == "multi-single-tree"
+
+    def test_parallel_routes_bounded_by_two(self, single_tree_on_circulant):
+        # The paper's point: at most two parallel routes per pair suffice.
+        assert single_tree_on_circulant.routing.max_parallelism() <= 2
+
+    def test_tolerance(self, single_tree_on_circulant):
+        report = verify_construction(single_tree_on_circulant)
+        assert report.exhaustive
+        assert report.holds
+
+    def test_on_kernel_test_graph(self):
+        graph = synthetic.kernel_test_graph(t=1)
+        result = single_tree_multirouting(graph, t=1)
+        report = verify_construction(result, exhaustive_limit=500)
+        assert report.holds
+
+    def test_bad_separating_set(self, circulant):
+        with pytest.raises(ConstructionError):
+            single_tree_multirouting(circulant, separating_set={0, 1})
+
+
+class TestComparisons:
+    def test_route_table_sizes_ordering(
+        self, full_on_circulant, kernel_multi_on_circulant, single_tree_on_circulant
+    ):
+        """The full multirouting pays for its diameter-1 guarantee with a much
+        larger route table than the concentrator-based variants."""
+        full_routes = full_on_circulant.routing.route_count()
+        kernel_routes = kernel_multi_on_circulant.routing.route_count()
+        single_routes = single_tree_on_circulant.routing.route_count()
+        assert full_routes > kernel_routes
+        assert full_routes > single_routes
+
+    def test_guarantee_ordering(
+        self, full_on_circulant, kernel_multi_on_circulant, single_tree_on_circulant
+    ):
+        assert (
+            full_on_circulant.guarantee.diameter_bound
+            <= kernel_multi_on_circulant.guarantee.diameter_bound
+            <= single_tree_on_circulant.guarantee.diameter_bound
+        )

@@ -1,0 +1,212 @@
+"""Unit tests for the Routing / MultiRouting model classes."""
+
+import pytest
+
+from repro.core import MultiRouting, Routing
+from repro.exceptions import ConflictingRouteError, InvalidRouteError
+from repro.graphs import generators
+
+
+@pytest.fixture
+def cycle6():
+    return generators.cycle_graph(6)
+
+
+class TestRouteAssignment:
+    def test_set_and_get(self, cycle6):
+        routing = Routing(cycle6)
+        routing.set_route(0, 2, [0, 1, 2])
+        assert routing.get_route(0, 2) == (0, 1, 2)
+        assert routing.has_route(0, 2)
+
+    def test_bidirectional_closure(self, cycle6):
+        routing = Routing(cycle6, bidirectional=True)
+        routing.set_route(0, 2, [0, 1, 2])
+        assert routing.get_route(2, 0) == (2, 1, 0)
+
+    def test_unidirectional_no_closure(self, cycle6):
+        routing = Routing(cycle6, bidirectional=False)
+        routing.set_route(0, 2, [0, 1, 2])
+        assert routing.get_route(2, 0) is None
+
+    def test_missing_route_is_none(self, cycle6):
+        routing = Routing(cycle6)
+        assert routing.get_route(0, 3) is None
+        assert not routing.has_route(0, 3)
+
+    def test_identical_reassignment_is_noop(self, cycle6):
+        routing = Routing(cycle6)
+        routing.set_route(0, 2, [0, 1, 2])
+        routing.set_route(0, 2, [0, 1, 2])
+        assert len(routing) == 2  # both directions
+
+    def test_conflicting_reassignment_rejected(self, cycle6):
+        routing = Routing(cycle6)
+        routing.set_route(0, 2, [0, 1, 2])
+        with pytest.raises(ConflictingRouteError):
+            routing.set_route(0, 2, [0, 5, 4, 3, 2])
+
+    def test_conflict_detected_via_closure(self, cycle6):
+        routing = Routing(cycle6, bidirectional=True)
+        routing.set_route(0, 2, [0, 1, 2])
+        with pytest.raises(ConflictingRouteError):
+            routing.set_route(2, 0, [2, 3, 4, 5, 0])
+
+    def test_route_must_be_simple_path(self, cycle6):
+        routing = Routing(cycle6)
+        with pytest.raises(InvalidRouteError):
+            routing.set_route(0, 2, [0, 3, 2])  # 0-3 not an edge
+
+    def test_route_must_match_endpoints(self, cycle6):
+        routing = Routing(cycle6)
+        with pytest.raises(InvalidRouteError):
+            routing.set_route(0, 2, [0, 1])
+
+    def test_route_needs_two_nodes(self, cycle6):
+        routing = Routing(cycle6)
+        with pytest.raises(InvalidRouteError):
+            routing.set_route(0, 2, [0])
+
+    def test_route_rejects_same_endpoints(self, cycle6):
+        routing = Routing(cycle6)
+        with pytest.raises(InvalidRouteError):
+            routing.set_route(0, 0, [0, 1, 0])
+
+    def test_set_edge_route(self, cycle6):
+        routing = Routing(cycle6)
+        routing.set_edge_route(0, 1)
+        assert routing.get_route(0, 1) == (0, 1)
+        assert routing.get_route(1, 0) == (1, 0)
+
+    def test_set_edge_route_nonadjacent(self, cycle6):
+        routing = Routing(cycle6)
+        with pytest.raises(InvalidRouteError):
+            routing.set_edge_route(0, 3)
+
+    def test_add_all_edge_routes_bidirectional(self, cycle6):
+        routing = Routing(cycle6)
+        routing.add_all_edge_routes()
+        assert len(routing) == 2 * cycle6.number_of_edges()
+        for u, v in cycle6.edges():
+            assert routing.get_route(u, v) == (u, v)
+            assert routing.get_route(v, u) == (v, u)
+
+    def test_add_all_edge_routes_unidirectional(self, cycle6):
+        routing = Routing(cycle6, bidirectional=False)
+        routing.add_all_edge_routes()
+        assert len(routing) == 2 * cycle6.number_of_edges()
+
+
+class TestTableQueries:
+    def test_pairs_and_items(self, cycle6):
+        routing = Routing(cycle6)
+        routing.set_route(0, 2, [0, 1, 2])
+        assert set(routing.pairs()) == {(0, 2), (2, 0)}
+        items = dict(routing.items())
+        assert items[(0, 2)] == (0, 1, 2)
+
+    def test_routes_returns_copy(self, cycle6):
+        routing = Routing(cycle6)
+        routing.set_route(0, 2, [0, 1, 2])
+        table = routing.routes()
+        table[(0, 3)] = (0, 1, 2, 3)
+        assert not routing.has_route(0, 3)
+
+    def test_contains(self, cycle6):
+        routing = Routing(cycle6)
+        routing.set_route(0, 2, [0, 1, 2])
+        assert (0, 2) in routing
+        assert (0, 4) not in routing
+
+    def test_is_total(self, cycle6):
+        routing = Routing(generators.complete_graph(3))
+        assert not routing.is_total()
+        routing.add_all_edge_routes()
+        assert routing.is_total()
+
+    def test_is_symmetric(self, cycle6):
+        routing = Routing(cycle6, bidirectional=False)
+        routing.set_route(0, 2, [0, 1, 2])
+        assert not routing.is_symmetric()
+        routing.set_route(2, 0, [2, 1, 0])
+        assert routing.is_symmetric()
+
+    def test_max_and_total_route_length(self, cycle6):
+        routing = Routing(cycle6)
+        assert routing.max_route_length() == 0
+        routing.set_route(0, 3, [0, 1, 2, 3])
+        routing.set_route(0, 1, [0, 1])
+        assert routing.max_route_length() == 3
+        assert routing.total_route_length() == 2 * (3 + 1)
+
+    def test_routed_pairs_from(self, cycle6):
+        routing = Routing(cycle6)
+        routing.set_route(0, 2, [0, 1, 2])
+        routing.set_route(0, 3, [0, 1, 2, 3])
+        assert set(routing.routed_pairs_from(0)) == {2, 3}
+
+    def test_nodes_on_route(self, cycle6):
+        routing = Routing(cycle6)
+        routing.set_route(0, 3, [0, 1, 2, 3])
+        assert routing.nodes_on_route(0, 3) == {0, 1, 2, 3}
+        with pytest.raises(KeyError):
+            routing.nodes_on_route(3, 5)
+
+    def test_copy_independent(self, cycle6):
+        routing = Routing(cycle6, name="orig")
+        routing.set_route(0, 2, [0, 1, 2])
+        clone = routing.copy()
+        clone.set_route(0, 3, [0, 1, 2, 3])
+        assert not routing.has_route(0, 3)
+        assert clone.name == "orig"
+
+    def test_repr(self, cycle6):
+        routing = Routing(cycle6, name="kernel")
+        assert "kernel" in repr(routing)
+        assert "bidirectional" in repr(routing)
+
+
+class TestMultiRouting:
+    def test_add_and_get(self, cycle6):
+        multi = MultiRouting(cycle6)
+        multi.add_route(0, 3, [0, 1, 2, 3])
+        multi.add_route(0, 3, [0, 5, 4, 3])
+        assert len(multi.get_routes(0, 3)) == 2
+        assert len(multi.get_routes(3, 0)) == 2  # bidirectional
+
+    def test_duplicates_ignored(self, cycle6):
+        multi = MultiRouting(cycle6)
+        multi.add_route(0, 3, [0, 1, 2, 3])
+        multi.add_route(0, 3, [0, 1, 2, 3])
+        assert len(multi.get_routes(0, 3)) == 1
+
+    def test_unidirectional(self, cycle6):
+        multi = MultiRouting(cycle6, bidirectional=False)
+        multi.add_route(0, 3, [0, 1, 2, 3])
+        assert multi.get_routes(3, 0) == []
+
+    def test_invalid_path_rejected(self, cycle6):
+        multi = MultiRouting(cycle6)
+        with pytest.raises(InvalidRouteError):
+            multi.add_route(0, 3, [0, 2, 3])
+        with pytest.raises(InvalidRouteError):
+            multi.add_route(0, 3, [0, 1, 2])
+        with pytest.raises(InvalidRouteError):
+            multi.add_route(0, 0, [0])
+
+    def test_counts(self, cycle6):
+        multi = MultiRouting(cycle6)
+        assert multi.max_parallelism() == 0
+        multi.add_route(0, 3, [0, 1, 2, 3])
+        multi.add_route(0, 3, [0, 5, 4, 3])
+        multi.add_route(1, 2, [1, 2])
+        assert multi.max_parallelism() == 2
+        assert multi.route_count() == 2 * 3  # both directions
+        assert len(multi) == 4
+        assert multi.has_route(0, 3)
+        assert not multi.has_route(0, 4)
+        assert set(multi.pairs()) == {(0, 3), (3, 0), (1, 2), (2, 1)}
+
+    def test_repr(self, cycle6):
+        multi = MultiRouting(cycle6, name="full")
+        assert "full" in repr(multi)

@@ -1,0 +1,115 @@
+"""Unit tests for routing-table statistics (length, stretch, load)."""
+
+import pytest
+
+from repro.core import (
+    Routing,
+    concentrator_load_share,
+    full_multirouting,
+    kernel_routing,
+    node_loads,
+    per_node_table_sizes,
+    route_lengths,
+    route_stretches,
+    routing_statistics,
+)
+from repro.graphs import generators
+
+
+@pytest.fixture
+def chord_routing():
+    """Edge routes on C_8 plus one long chord route 0..4 (length 4)."""
+    graph = generators.cycle_graph(8)
+    routing = Routing(graph, name="chords")
+    routing.add_all_edge_routes()
+    routing.set_route(0, 4, [0, 1, 2, 3, 4])
+    return graph, routing
+
+
+class TestBasicStatistics:
+    def test_route_lengths(self, chord_routing):
+        _graph, routing = chord_routing
+        lengths = route_lengths(routing)
+        assert len(lengths) == len(routing)
+        assert max(lengths) == 4
+        assert min(lengths) == 1
+
+    def test_route_stretches(self, chord_routing):
+        _graph, routing = chord_routing
+        stretches = route_stretches(routing)
+        # The chord 0->4 has graph distance 4, so its stretch is exactly 1;
+        # every edge route also has stretch 1.
+        assert max(stretches) == 1.0
+
+    def test_stretch_greater_than_one(self):
+        graph = generators.cycle_graph(8)
+        routing = Routing(graph)
+        routing.set_route(0, 2, [0, 7, 6, 5, 4, 3, 2])  # the long way round
+        stretches = route_stretches(routing)
+        assert max(stretches) == pytest.approx(3.0)
+
+    def test_node_loads(self, chord_routing):
+        graph, routing = chord_routing
+        loads = node_loads(routing)
+        assert set(loads) == set(graph.nodes())
+        # Node 2 lies on the chord (both directions) plus its 4 edge routes.
+        assert loads[2] == 4 + 2
+        assert loads[6] == 4
+
+    def test_per_node_table_sizes(self, chord_routing):
+        _graph, routing = chord_routing
+        sizes = per_node_table_sizes(routing)
+        assert sizes[0] == 2 + 1  # two edge routes + the chord
+        assert sizes[6] == 2
+
+    def test_statistics_aggregate(self, chord_routing):
+        _graph, routing = chord_routing
+        stats = routing_statistics(routing)
+        assert stats.routed_pairs == len(routing)
+        assert stats.stored_routes == len(routing)
+        assert stats.max_route_length == 4
+        assert stats.mean_route_length > 1
+        assert stats.max_stretch == 1.0
+        assert stats.max_node_load >= stats.mean_node_load
+        assert stats.max_load_node is not None
+        row = stats.as_row()
+        assert row["pairs"] == len(routing)
+
+    def test_empty_routing(self):
+        graph = generators.cycle_graph(5)
+        stats = routing_statistics(Routing(graph))
+        assert stats.stored_routes == 0
+        assert stats.mean_route_length == 0.0
+        assert stats.max_node_load == 0
+
+
+class TestConstructionStatistics:
+    def test_kernel_routing_statistics(self):
+        graph = generators.circulant_graph(12, [1, 2])
+        result = kernel_routing(graph)
+        stats = routing_statistics(result.routing)
+        assert stats.routed_pairs == len(result.routing)
+        assert stats.max_stretch >= 1.0
+        # Adjacent pairs use direct edges, so minimum stretch is exactly 1.
+        assert min(route_stretches(result.routing)) == 1.0
+
+    def test_concentrator_load_share(self):
+        graph = generators.circulant_graph(12, [1, 2])
+        result = kernel_routing(graph)
+        share = concentrator_load_share(result.routing, result.concentrator)
+        assert 0.0 < share < 1.0
+        # The share is exactly the concentrator's fraction of all route visits.
+        loads = node_loads(result.routing)
+        expected = sum(loads[m] for m in result.concentrator) / sum(loads.values())
+        assert share == pytest.approx(expected)
+
+    def test_concentrator_load_share_empty(self):
+        graph = generators.cycle_graph(6)
+        assert concentrator_load_share(Routing(graph), [0]) == 0.0
+
+    def test_multirouting_statistics(self):
+        graph = generators.circulant_graph(8, [1, 2])
+        result = full_multirouting(graph)
+        stats = routing_statistics(result.routing)
+        assert stats.stored_routes > stats.routed_pairs  # parallel routes
+        assert stats.max_stretch >= 1.0

@@ -1,0 +1,148 @@
+"""Unit tests for the surviving route graph and its diameter."""
+
+import pytest
+
+from repro.core import (
+    MultiRouting,
+    Routing,
+    broadcast_round_bound,
+    route_survives,
+    routes_affected_by,
+    surviving_diameter,
+    surviving_distance,
+    surviving_eccentricities,
+    surviving_route_graph,
+)
+from repro.exceptions import FaultModelError
+from repro.graphs import DiGraph, generators
+
+
+@pytest.fixture
+def cycle6_routing():
+    """A hand-built bidirectional routing on C_6: edges plus two chords via paths."""
+    graph = generators.cycle_graph(6)
+    routing = Routing(graph, bidirectional=True, name="hand")
+    routing.add_all_edge_routes()
+    routing.set_route(0, 3, [0, 1, 2, 3])
+    routing.set_route(1, 4, [1, 2, 3, 4])
+    return graph, routing
+
+
+class TestRouteSurvives:
+    def test_no_faults(self):
+        assert route_survives([0, 1, 2], set())
+
+    def test_internal_fault(self):
+        assert not route_survives([0, 1, 2], {1})
+
+    def test_endpoint_fault(self):
+        assert not route_survives([0, 1, 2], {2})
+
+    def test_unrelated_fault(self):
+        assert route_survives([0, 1, 2], {7})
+
+
+class TestSurvivingGraph:
+    def test_no_faults_has_all_routes(self, cycle6_routing):
+        graph, routing = cycle6_routing
+        surviving = surviving_route_graph(graph, routing, ())
+        assert isinstance(surviving, DiGraph)
+        assert surviving.number_of_nodes() == 6
+        assert surviving.has_edge(0, 3)
+        assert surviving.has_edge(3, 0)
+        assert surviving.has_edge(0, 1)
+
+    def test_faulty_nodes_removed(self, cycle6_routing):
+        graph, routing = cycle6_routing
+        surviving = surviving_route_graph(graph, routing, {2})
+        assert not surviving.has_node(2)
+        assert surviving.number_of_nodes() == 5
+
+    def test_routes_through_fault_removed(self, cycle6_routing):
+        graph, routing = cycle6_routing
+        surviving = surviving_route_graph(graph, routing, {2})
+        # Route 0-1-2-3 passes through the faulty node 2.
+        assert not surviving.has_edge(0, 3)
+        # The edge routes not involving 2 survive.
+        assert surviving.has_edge(0, 1)
+        assert surviving.has_edge(4, 5)
+
+    def test_bidirectional_symmetry(self, cycle6_routing):
+        graph, routing = cycle6_routing
+        surviving = surviving_route_graph(graph, routing, {2})
+        for u, v in surviving.edges():
+            assert surviving.has_edge(v, u)
+
+    def test_unknown_fault_rejected(self, cycle6_routing):
+        graph, routing = cycle6_routing
+        with pytest.raises(FaultModelError):
+            surviving_route_graph(graph, routing, {"ghost"})
+
+    def test_unidirectional_routing_gives_asymmetric_graph(self):
+        graph = generators.cycle_graph(4)
+        routing = Routing(graph, bidirectional=False)
+        routing.set_route(0, 1, [0, 1])
+        surviving = surviving_route_graph(graph, routing, ())
+        assert surviving.has_edge(0, 1)
+        assert not surviving.has_edge(1, 0)
+
+    def test_multirouting_any_survivor_counts(self):
+        graph = generators.cycle_graph(6)
+        multi = MultiRouting(graph)
+        multi.add_route(0, 3, [0, 1, 2, 3])
+        multi.add_route(0, 3, [0, 5, 4, 3])
+        surviving = surviving_route_graph(graph, multi, {1})
+        assert surviving.has_edge(0, 3)
+        surviving2 = surviving_route_graph(graph, multi, {1, 4})
+        assert not surviving2.has_edge(0, 3)
+
+
+class TestSurvivingDiameter:
+    def test_fault_free_diameter(self, cycle6_routing):
+        graph, routing = cycle6_routing
+        # With only edge routes + the two chords {0,3} and {1,4}, the node 2
+        # still needs three route traversals to reach 5.
+        assert surviving_diameter(graph, routing, ()) == 3
+
+    def test_faults_can_increase_diameter(self, cycle6_routing):
+        graph, routing = cycle6_routing
+        assert surviving_diameter(graph, routing, {1}) >= surviving_diameter(graph, routing, ())
+
+    def test_disconnection_gives_infinity(self):
+        graph = generators.cycle_graph(6)
+        routing = Routing(graph)
+        routing.add_all_edge_routes()
+        assert surviving_diameter(graph, routing, {0, 3}) == float("inf")
+
+    def test_distance_and_eccentricities(self, cycle6_routing):
+        graph, routing = cycle6_routing
+        assert surviving_distance(graph, routing, (), 0, 3) == 1
+        assert surviving_distance(graph, routing, {2}, 0, 3) == 3
+        eccentricities = surviving_eccentricities(graph, routing, ())
+        assert set(eccentricities) == set(range(6))
+        assert max(eccentricities.values()) == surviving_diameter(graph, routing, ())
+
+    def test_distance_faulty_endpoint_rejected(self, cycle6_routing):
+        graph, routing = cycle6_routing
+        with pytest.raises(FaultModelError):
+            surviving_distance(graph, routing, {3}, 0, 3)
+
+    def test_broadcast_round_bound_equals_diameter(self, cycle6_routing):
+        graph, routing = cycle6_routing
+        assert broadcast_round_bound(graph, routing, {2}) == surviving_diameter(
+            graph, routing, {2}
+        )
+
+
+class TestRoutesAffectedBy:
+    def test_affected_pairs(self, cycle6_routing):
+        graph, routing = cycle6_routing
+        affected = routes_affected_by(routing, {2})
+        assert (0, 3) in affected
+        assert (3, 0) in affected
+        assert (1, 2) in affected  # endpoint faulty counts too
+        assert (4, 5) not in affected
+
+    def test_no_faults_nothing_affected(self, cycle6_routing):
+        _graph, routing = cycle6_routing
+        assert routes_affected_by(routing, set()) == []

@@ -1,0 +1,108 @@
+"""Unit tests for the tri-circular construction (Theorem 13 and Remark 14)."""
+
+import pytest
+
+from repro.core import (
+    check_routing_model,
+    check_tcirc_property,
+    surviving_diameter,
+    tricircular_routing,
+    verify_construction,
+)
+from repro.core.tolerance import check_tolerance
+from repro.exceptions import ConstructionError, PropertyNotSatisfiedError
+from repro.faults import FaultSet, targeted_fault_sets
+from repro.graphs import generators, is_neighborhood_set, synthetic
+
+
+class TestTricircularConstruction:
+    def test_scheme_and_guarantee(self, tricircular_on_flower):
+        assert tricircular_on_flower.scheme == "tricircular"
+        assert tricircular_on_flower.guarantee.diameter_bound == 4
+        assert tricircular_on_flower.guarantee.max_faults == 1
+        assert tricircular_on_flower.details["k"] == 15
+
+    def test_concentrator_partition(self, tricircular_on_flower):
+        components = tricircular_on_flower.details["components"]
+        assert len(components) == 3
+        assert all(len(component) == 5 for component in components)
+        flat = [m for component in components for m in component]
+        assert flat == tricircular_on_flower.concentrator
+
+    def test_concentrator_is_neighborhood_set(self, tricircular_on_flower):
+        assert is_neighborhood_set(
+            tricircular_on_flower.graph, tricircular_on_flower.concentrator
+        )
+
+    def test_routing_model_invariants(self, tricircular_on_flower):
+        assert check_routing_model(tricircular_on_flower.routing) == []
+
+    def test_offsets_standard_variant(self, tricircular_on_flower):
+        # Theorem 13 uses offsets 1 .. t+1 inside each circular component.
+        assert tricircular_on_flower.details["t_circ2_offsets"] == [1, 2]
+
+    def test_small_variant(self):
+        graph, flowers = synthetic.flower_graph(t=1, k=9)
+        result = tricircular_routing(graph, t=1, concentrator=flowers, small=True)
+        assert result.scheme == "tricircular-small"
+        assert result.guarantee.diameter_bound == 5
+        assert result.details["k"] == 9
+        assert result.details["component_size"] == 3
+
+    def test_missing_neighborhood_set_raises(self):
+        # C_12 only has neighbourhood sets of size 4 < 15.
+        with pytest.raises(PropertyNotSatisfiedError):
+            tricircular_routing(generators.cycle_graph(12), t=1)
+
+    def test_invalid_concentrator(self):
+        graph, flowers = synthetic.flower_graph(t=1, k=15)
+        with pytest.raises(ConstructionError):
+            tricircular_routing(graph, t=1, concentrator=flowers[:5])
+        with pytest.raises(PropertyNotSatisfiedError):
+            tricircular_routing(
+                graph, t=1, concentrator=[("ring", i) for i in range(15)]
+            )
+
+    def test_negative_t(self):
+        with pytest.raises(ConstructionError):
+            tricircular_routing(generators.cycle_graph(12), t=-1)
+
+
+class TestTricircularTolerance:
+    def test_theorem13_single_faults_exhaustive(self, tricircular_on_flower):
+        report = verify_construction(tricircular_on_flower, exhaustive_limit=100)
+        assert report.exhaustive
+        assert report.holds
+        assert report.worst_diameter <= 4
+
+    def test_tcirc_property_under_concentrator_attack(self, tricircular_on_flower):
+        members = tricircular_on_flower.concentrator
+        assert check_tcirc_property(tricircular_on_flower, {members[0]}, radius=2) == []
+
+    def test_targeted_attacks(self, tricircular_on_flower):
+        graph = tricircular_on_flower.graph
+        routing = tricircular_on_flower.routing
+        for fault_set in targeted_fault_sets(
+            graph, 1, tricircular_on_flower.concentrator, routing, per_target_limit=10
+        ):
+            assert surviving_diameter(graph, routing, fault_set) <= 4
+
+    def test_small_variant_tolerance(self):
+        graph, flowers = synthetic.flower_graph(t=1, k=9)
+        result = tricircular_routing(graph, t=1, concentrator=flowers, small=True)
+        report = verify_construction(result, exhaustive_limit=100)
+        assert report.exhaustive
+        assert report.holds
+        assert report.worst_diameter <= 5
+
+    def test_fault_free_diameter(self, tricircular_on_flower):
+        assert (
+            surviving_diameter(
+                tricircular_on_flower.graph, tricircular_on_flower.routing, ()
+            )
+            <= 4
+        )
+
+    def test_tricircular_beats_circular_bound(self, tricircular_on_flower):
+        """The tri-circular guarantee (4) is strictly stronger than circular (6)."""
+        assert tricircular_on_flower.guarantee.diameter_bound < 6

@@ -1,0 +1,109 @@
+"""Unit tests for the independent property verifiers."""
+
+import pytest
+
+from repro.core import (
+    Routing,
+    check_bidirectional_bipolar_properties,
+    check_bipolar_properties,
+    check_circ_properties,
+    check_routing_model,
+    check_tcirc_property,
+)
+from repro.core.construction import ConstructionResult, Guarantee
+from repro.graphs import generators
+
+
+def _edge_only_result(graph, concentrator, details=None):
+    routing = Routing(graph, name="edges-only")
+    routing.add_all_edge_routes()
+    return ConstructionResult(
+        routing=routing,
+        scheme="edges-only",
+        t=1,
+        guarantee=Guarantee(99, 1, "test"),
+        concentrator=list(concentrator),
+        details=details or {},
+    )
+
+
+class TestCheckRoutingModel:
+    def test_valid_routing(self):
+        graph = generators.cycle_graph(6)
+        routing = Routing(graph)
+        routing.add_all_edge_routes()
+        routing.set_route(0, 2, [0, 1, 2])
+        assert check_routing_model(routing) == []
+
+    def test_detects_non_edge_route_between_adjacent_nodes(self):
+        graph = generators.cycle_graph(6)
+        routing = Routing(graph, bidirectional=False)
+        routing.set_route(0, 1, [0, 5, 4, 3, 2, 1])
+        problems = check_routing_model(routing)
+        assert any("direct edge" in p for p in problems)
+
+    def test_detects_asymmetric_bidirectional(self):
+        graph = generators.cycle_graph(6)
+        routing = Routing(graph, bidirectional=True)
+        routing.set_route(0, 2, [0, 1, 2])
+        # Force asymmetry through the private table (simulating a bug).
+        routing._routes[(2, 0)] = (2, 3, 4, 5, 0)
+        problems = check_routing_model(routing)
+        assert any("symmetric" in p for p in problems)
+
+
+class TestCircPropertyChecker:
+    def test_circular_routing_passes(self, circular_on_cycle):
+        assert check_circ_properties(circular_on_cycle, set()) == []
+
+    def test_edge_only_routing_fails_circ2(self):
+        # With only edge routes the concentrator members 0 and 6 of C_12 are
+        # 6 hops apart, violating Property CIRC 2.
+        graph = generators.cycle_graph(12)
+        result = _edge_only_result(graph, concentrator=[0, 4, 8])
+        problems = check_circ_properties(result, set())
+        assert any("CIRC 2" in p for p in problems)
+
+    def test_circ1_violation_detected(self):
+        graph = generators.cycle_graph(12)
+        result = _edge_only_result(graph, concentrator=[0])
+        problems = check_circ_properties(result, set())
+        assert any("CIRC 1" in p for p in problems)
+
+    def test_tcirc_radius2_fails_for_edge_only(self):
+        graph = generators.cycle_graph(12)
+        result = _edge_only_result(graph, concentrator=[0, 6])
+        problems = check_tcirc_property(result, set(), radius=2)
+        assert problems
+
+    def test_tcirc_passes_for_tricircular(self, tricircular_on_flower):
+        members = tricircular_on_flower.concentrator
+        assert check_tcirc_property(tricircular_on_flower, {members[3]}, radius=2) == []
+
+
+class TestBipolarPropertyCheckers:
+    def test_unidirectional_passes(self, bipolar_uni_on_two_trees):
+        assert check_bipolar_properties(bipolar_uni_on_two_trees, set()) == []
+
+    def test_bidirectional_passes(self, bipolar_bi_on_two_trees):
+        assert check_bidirectional_bipolar_properties(bipolar_bi_on_two_trees, set()) == []
+
+    def test_edge_only_routing_fails_bpol(self):
+        graph = generators.cycle_graph(12)
+        result = _edge_only_result(
+            graph,
+            concentrator=[11, 1, 5, 7],
+            details={"m1": [11, 1], "m2": [5, 7], "root1": 0, "root2": 6},
+        )
+        problems = check_bipolar_properties(result, set())
+        assert problems  # nodes far from the roots have no M neighbour
+
+    def test_edge_only_routing_fails_2bpol(self):
+        graph = generators.cycle_graph(12)
+        result = _edge_only_result(
+            graph,
+            concentrator=[11, 1, 5, 7],
+            details={"m1": [11, 1], "m2": [5, 7], "root1": 0, "root2": 6},
+        )
+        problems = check_bidirectional_bipolar_properties(result, set())
+        assert problems

@@ -1,0 +1,136 @@
+"""Unit tests for fault-set generation strategies (exhaustive, random, targeted, greedy)."""
+
+import math
+
+import pytest
+
+from repro.core import Routing, kernel_routing, surviving_diameter
+from repro.faults import (
+    all_fault_sets,
+    combined_fault_sets,
+    count_fault_sets,
+    greedy_adversarial_fault_set,
+    random_fault_sets,
+    targeted_fault_sets,
+)
+from repro.graphs import generators
+
+
+@pytest.fixture(scope="module")
+def cycle_routing():
+    graph = generators.cycle_graph(10)
+    return graph, kernel_routing(graph)
+
+
+class TestExhaustiveEnumeration:
+    def test_all_sizes_up_to_bound(self):
+        sets = list(all_fault_sets(range(5), 2))
+        assert len(sets) == 1 + 5 + 10
+        sizes = {len(fault_set) for fault_set in sets}
+        assert sizes == {0, 1, 2}
+
+    def test_exact_size_only(self):
+        sets = list(all_fault_sets(range(5), 2, include_smaller=False))
+        assert len(sets) == 10
+        assert all(len(fault_set) == 2 for fault_set in sets)
+
+    def test_count_matches_enumeration(self):
+        assert count_fault_sets(5, 2) == 16
+        assert count_fault_sets(5, 2, include_smaller=False) == math.comb(5, 2)
+        assert count_fault_sets(10, 0) == 1
+
+    def test_deterministic_order(self):
+        first = [fs.nodes() for fs in all_fault_sets(range(4), 1)]
+        second = [fs.nodes() for fs in all_fault_sets(range(4), 1)]
+        assert first == second
+
+
+class TestRandomFaultSets:
+    def test_size_and_count(self):
+        sets = list(random_fault_sets(range(20), 3, 7, seed=1))
+        assert len(sets) == 7
+        assert all(len(fault_set) == 3 for fault_set in sets)
+
+    def test_reproducible_with_seed(self):
+        first = [fs.nodes() for fs in random_fault_sets(range(20), 3, 5, seed=42)]
+        second = [fs.nodes() for fs in random_fault_sets(range(20), 3, 5, seed=42)]
+        assert first == second
+
+    def test_exclude(self):
+        sets = list(random_fault_sets(range(10), 2, 20, seed=0, exclude=[0, 1, 2]))
+        for fault_set in sets:
+            assert not (set(fault_set) & {0, 1, 2})
+
+    def test_too_large_size_yields_nothing(self):
+        assert list(random_fault_sets(range(3), 5, 10, seed=0)) == []
+
+
+class TestTargetedFaultSets:
+    def test_concentrator_subsets_present(self, cycle_routing):
+        graph, result = cycle_routing
+        sets = list(
+            targeted_fault_sets(graph, 1, concentrator=result.concentrator, routing=result.routing)
+        )
+        concentrator_sets = [
+            fs for fs in sets if "concentrator" in fs.description
+        ]
+        assert concentrator_sets
+        for fault_set in concentrator_sets:
+            assert set(fault_set) <= set(result.concentrator)
+
+    def test_neighbourhood_attacks_present(self, cycle_routing):
+        graph, result = cycle_routing
+        sets = list(targeted_fault_sets(graph, 2, routing=result.routing))
+        neighbour_sets = [fs for fs in sets if "neighbours" in fs.description]
+        assert neighbour_sets
+        for fault_set in neighbour_sets:
+            assert len(fault_set) == 2
+
+    def test_route_attacks_present(self, cycle_routing):
+        graph, result = cycle_routing
+        sets = list(targeted_fault_sets(graph, 1, routing=result.routing))
+        assert any("routes of" in fs.description for fs in sets)
+
+    def test_zero_size_yields_nothing(self, cycle_routing):
+        graph, result = cycle_routing
+        assert list(targeted_fault_sets(graph, 0, concentrator=result.concentrator)) == []
+
+
+class TestGreedyAdversary:
+    def test_respects_size(self, cycle_routing):
+        graph, result = cycle_routing
+        fault_set = greedy_adversarial_fault_set(graph, result.routing, 2, seed=0)
+        assert len(fault_set) == 2
+        assert fault_set.description == "greedy adversarial"
+
+    def test_at_least_as_bad_as_no_faults(self, cycle_routing):
+        graph, result = cycle_routing
+        fault_set = greedy_adversarial_fault_set(graph, result.routing, 1, seed=0)
+        assert surviving_diameter(graph, result.routing, fault_set) >= surviving_diameter(
+            graph, result.routing, ()
+        )
+
+    def test_zero_size(self, cycle_routing):
+        graph, result = cycle_routing
+        assert len(greedy_adversarial_fault_set(graph, result.routing, 0, seed=0)) == 0
+
+
+class TestCombinedBattery:
+    def test_includes_baseline_and_unique_sets(self, cycle_routing):
+        graph, result = cycle_routing
+        battery = combined_fault_sets(
+            graph, result.routing, 1, concentrator=result.concentrator, random_count=10, seed=3
+        )
+        assert battery[0].nodes() == frozenset()
+        keys = [fs.nodes() for fs in battery]
+        assert len(keys) == len(set(keys))
+
+    def test_sizes_bounded(self, cycle_routing):
+        graph, result = cycle_routing
+        battery = combined_fault_sets(graph, result.routing, 2, seed=1)
+        assert all(len(fs) <= 2 for fs in battery)
+
+    def test_greedy_can_be_disabled(self, cycle_routing):
+        graph, result = cycle_routing
+        battery = combined_fault_sets(graph, result.routing, 1, include_greedy=False, seed=1)
+        assert all(fs.description != "greedy adversarial" for fs in battery)

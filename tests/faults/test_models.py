@@ -1,0 +1,101 @@
+"""Unit tests for fault-set models and the edge-fault convention."""
+
+import pytest
+
+from repro.exceptions import FaultModelError
+from repro.faults import FaultSet, empty_fault_set
+from repro.graphs import generators
+
+
+class TestFaultSetBasics:
+    def test_construction_and_iteration(self):
+        fault_set = FaultSet([1, 2, 3], description="demo")
+        assert len(fault_set) == 3
+        assert set(fault_set) == {1, 2, 3}
+        assert 2 in fault_set
+        assert 9 not in fault_set
+        assert fault_set.description == "demo"
+
+    def test_equality_with_sets_and_fault_sets(self):
+        assert FaultSet([1, 2]) == FaultSet([2, 1])
+        assert FaultSet([1, 2]) == {1, 2}
+        assert FaultSet([1]) != FaultSet([2])
+        assert FaultSet([1]) != "not a set"
+
+    def test_hashable(self):
+        collection = {FaultSet([1, 2]), FaultSet([2, 1]), FaultSet([3])}
+        assert len(collection) == 2
+
+    def test_union(self):
+        fault_set = FaultSet([1], description="seed")
+        bigger = fault_set.union([2, 3])
+        assert set(bigger) == {1, 2, 3}
+        assert bigger.description == "seed"
+        assert set(fault_set) == {1}
+
+    def test_nodes_frozenset(self):
+        assert FaultSet([1, 2]).nodes() == frozenset({1, 2})
+
+    def test_repr_preview(self):
+        fault_set = FaultSet(range(10), description="big")
+        text = repr(fault_set)
+        assert "big" in text
+        assert "size=10" in text
+        assert "..." in text
+
+    def test_empty_fault_set(self):
+        empty = empty_fault_set()
+        assert len(empty) == 0
+        assert empty.description == "no faults"
+
+
+class TestValidation:
+    def test_validate_ok(self):
+        graph = generators.cycle_graph(6)
+        FaultSet([0, 3]).validate(graph)
+
+    def test_validate_unknown_node(self):
+        graph = generators.cycle_graph(6)
+        with pytest.raises(FaultModelError):
+            FaultSet([99]).validate(graph)
+
+    def test_leaves_connected(self):
+        graph = generators.cycle_graph(6)
+        assert FaultSet([0]).leaves_connected(graph)
+        assert not FaultSet([0, 3]).leaves_connected(graph)
+
+    def test_leaves_connected_everything_removed(self):
+        graph = generators.cycle_graph(3)
+        assert not FaultSet([0, 1, 2]).leaves_connected(graph)
+
+
+class TestEdgeFaultConversion:
+    def test_lower_degree_endpoint_chosen(self):
+        graph = generators.star_graph(4)
+        fault_set = FaultSet.from_edge_faults(graph, [(0, 1)])
+        assert set(fault_set) == {1}  # the leaf, not the hub
+
+    def test_higher_degree_endpoint_chosen(self):
+        graph = generators.star_graph(4)
+        fault_set = FaultSet.from_edge_faults(graph, [(0, 1)], prefer_lower_degree=False)
+        assert set(fault_set) == {0}
+
+    def test_edge_already_covered(self):
+        graph = generators.cycle_graph(6)
+        fault_set = FaultSet.from_edge_faults(graph, [(0, 1), (1, 2)])
+        # One node can cover two incident edge faults.
+        assert len(fault_set) <= 2
+        for u, v in [(0, 1), (1, 2)]:
+            assert u in fault_set or v in fault_set
+
+    def test_unknown_edge_rejected(self):
+        graph = generators.cycle_graph(6)
+        with pytest.raises(FaultModelError):
+            FaultSet.from_edge_faults(graph, [(0, 3)])
+
+    def test_coverage_of_many_edges(self):
+        graph = generators.cycle_graph(10)
+        edges = [(0, 1), (4, 5), (7, 8)]
+        fault_set = FaultSet.from_edge_faults(graph, edges)
+        for u, v in edges:
+            assert u in fault_set or v in fault_set

@@ -1,0 +1,82 @@
+"""Unit tests for Monte-Carlo fault-injection campaigns."""
+
+import pytest
+
+from repro.core import kernel_routing
+from repro.faults import FaultSet, run_campaign, sweep_fault_sizes
+from repro.graphs import generators
+
+
+@pytest.fixture(scope="module")
+def routing_under_test():
+    graph = generators.circulant_graph(12, [1, 2])
+    return graph, kernel_routing(graph)
+
+
+class TestRunCampaign:
+    def test_basic_statistics(self, routing_under_test):
+        graph, result = routing_under_test
+        campaign = run_campaign(graph, result.routing, fault_size=2, samples=20, seed=0)
+        assert campaign.samples == 20
+        assert campaign.fault_size == 2
+        assert campaign.min_diameter <= campaign.mean_diameter <= campaign.max_diameter
+        assert 0.0 <= campaign.disconnected_fraction <= 1.0
+
+    def test_reproducible(self, routing_under_test):
+        graph, result = routing_under_test
+        first = run_campaign(graph, result.routing, 2, samples=10, seed=7)
+        second = run_campaign(graph, result.routing, 2, samples=10, seed=7)
+        assert first.mean_diameter == second.mean_diameter
+        assert first.max_diameter == second.max_diameter
+
+    def test_zero_faults_matches_fault_free_diameter(self, routing_under_test):
+        graph, result = routing_under_test
+        from repro.core import surviving_diameter
+
+        campaign = run_campaign(graph, result.routing, 0, samples=3, seed=1)
+        assert campaign.max_diameter == surviving_diameter(graph, result.routing, ())
+        assert campaign.disconnected_fraction == 0.0
+
+    def test_explicit_fault_sets(self, routing_under_test):
+        graph, result = routing_under_test
+        campaign = run_campaign(
+            graph,
+            result.routing,
+            fault_size=1,
+            fault_sets=[FaultSet({0}), FaultSet({5})],
+        )
+        assert campaign.samples == 2
+
+    def test_empty_fault_sets_rejected(self, routing_under_test):
+        graph, result = routing_under_test
+        with pytest.raises(ValueError):
+            run_campaign(graph, result.routing, 1, fault_sets=[])
+
+    def test_as_row(self, routing_under_test):
+        graph, result = routing_under_test
+        campaign = run_campaign(graph, result.routing, 1, samples=5, seed=2)
+        row = campaign.as_row()
+        assert row["faults"] == 1
+        assert row["samples"] == 5
+        assert "mean_diam" in row
+
+    def test_worst_fault_set_recorded(self, routing_under_test):
+        graph, result = routing_under_test
+        campaign = run_campaign(graph, result.routing, 2, samples=10, seed=3)
+        assert campaign.worst_fault_set is not None
+        assert len(campaign.worst_fault_set) <= 2
+
+
+class TestSweep:
+    def test_sweep_sizes(self, routing_under_test):
+        graph, result = routing_under_test
+        campaigns = sweep_fault_sizes(graph, result.routing, sizes=[0, 1, 2], samples=5, seed=0)
+        assert [c.fault_size for c in campaigns] == [0, 1, 2]
+
+    def test_disconnection_appears_beyond_connectivity(self, routing_under_test):
+        graph, result = routing_under_test
+        # With far more faults than the connectivity the graph often
+        # disconnects; the campaign must report it rather than crash.
+        campaign = run_campaign(graph, result.routing, 8, samples=20, seed=5)
+        assert campaign.samples == 20
+        assert campaign.disconnected_fraction >= 0.0

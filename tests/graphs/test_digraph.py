@@ -1,0 +1,140 @@
+"""Unit tests for the directed DiGraph class."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.graphs import DiGraph, Graph
+
+
+class TestNodeOperations:
+    def test_empty(self):
+        digraph = DiGraph()
+        assert digraph.number_of_nodes() == 0
+        assert digraph.number_of_edges() == 0
+
+    def test_add_and_remove_node(self):
+        digraph = DiGraph()
+        digraph.add_node("x")
+        assert digraph.has_node("x")
+        digraph.remove_node("x")
+        assert not digraph.has_node("x")
+
+    def test_remove_node_cleans_arcs(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 2), (2, 0)])
+        digraph.remove_node(1)
+        assert digraph.edges() == [(2, 0)]
+
+    def test_remove_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            DiGraph().remove_node(0)
+
+    def test_iteration_and_len(self):
+        digraph = DiGraph(nodes=range(4))
+        assert len(digraph) == 4
+        assert sorted(digraph) == [0, 1, 2, 3]
+        assert 2 in digraph
+
+
+class TestArcOperations:
+    def test_arcs_are_directed(self):
+        digraph = DiGraph(edges=[(0, 1)])
+        assert digraph.has_edge(0, 1)
+        assert not digraph.has_edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph().add_edge(1, 1)
+
+    def test_remove_edge(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 0)])
+        digraph.remove_edge(0, 1)
+        assert not digraph.has_edge(0, 1)
+        assert digraph.has_edge(1, 0)
+
+    def test_remove_missing_edge(self):
+        with pytest.raises(EdgeNotFoundError):
+            DiGraph(edges=[(0, 1)]).remove_edge(1, 0)
+
+    def test_number_of_edges_counts_both_directions(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 0), (1, 2)])
+        assert digraph.number_of_edges() == 3
+
+    def test_edges_list(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 2)])
+        assert set(digraph.edges()) == {(0, 1), (1, 2)}
+
+
+class TestNeighborhoods:
+    def test_successors_predecessors(self):
+        digraph = DiGraph(edges=[(0, 1), (0, 2), (3, 0)])
+        assert digraph.successors(0) == {1, 2}
+        assert digraph.predecessors(0) == {3}
+
+    def test_degrees(self):
+        digraph = DiGraph(edges=[(0, 1), (0, 2), (3, 0)])
+        assert digraph.out_degree(0) == 2
+        assert digraph.in_degree(0) == 1
+
+    def test_missing_node_queries(self):
+        digraph = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            digraph.successors(0)
+        with pytest.raises(NodeNotFoundError):
+            digraph.predecessors(0)
+        with pytest.raises(NodeNotFoundError):
+            digraph.out_degree(0)
+        with pytest.raises(NodeNotFoundError):
+            digraph.in_degree(0)
+
+    def test_successors_returns_copy(self):
+        digraph = DiGraph(edges=[(0, 1)])
+        succ = digraph.successors(0)
+        succ.add(99)
+        assert digraph.successors(0) == {1}
+
+
+class TestDerived:
+    def test_copy(self):
+        digraph = DiGraph(edges=[(0, 1)], name="d")
+        clone = digraph.copy()
+        clone.add_edge(1, 2)
+        assert not digraph.has_node(2)
+        assert clone.name == "d"
+
+    def test_reverse(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 2)])
+        reversed_graph = digraph.reverse()
+        assert reversed_graph.has_edge(1, 0)
+        assert reversed_graph.has_edge(2, 1)
+        assert not reversed_graph.has_edge(0, 1)
+
+    def test_reverse_preserves_isolated_nodes(self):
+        digraph = DiGraph(nodes=["solo"], edges=[(0, 1)])
+        assert reversed_has_node(digraph.reverse(), "solo")
+
+    def test_to_undirected(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 0), (1, 2)])
+        undirected = digraph.to_undirected()
+        assert isinstance(undirected, Graph)
+        assert undirected.number_of_edges() == 2
+        assert undirected.has_edge(2, 1)
+
+    def test_subgraph(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 2), (2, 3)])
+        sub = digraph.subgraph([1, 2, 99])
+        assert set(sub.nodes()) == {1, 2}
+        assert sub.has_edge(1, 2)
+
+    def test_equality(self):
+        assert DiGraph(edges=[(0, 1)]) == DiGraph(edges=[(0, 1)])
+        assert DiGraph(edges=[(0, 1)]) != DiGraph(edges=[(1, 0)])
+        assert DiGraph() != "not a digraph"
+
+    def test_repr(self):
+        digraph = DiGraph(edges=[(0, 1)], name="srg")
+        assert "srg" in repr(digraph)
+        assert "|A|=1" in repr(digraph)
+
+
+def reversed_has_node(digraph, node):
+    return digraph.has_node(node)

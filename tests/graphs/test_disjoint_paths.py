@@ -1,0 +1,139 @@
+"""Unit tests for vertex-disjoint path extraction (the Menger machinery)."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs import (
+    Graph,
+    are_internally_disjoint,
+    is_simple_path,
+    local_node_connectivity,
+    truncate_paths_at_set,
+    vertex_disjoint_paths,
+)
+from repro.graphs import generators
+
+
+def assert_valid_disjoint_paths(graph, paths, source, target):
+    """All paths are simple graph paths from source to target, internally disjoint."""
+    assert paths, "expected at least one path"
+    for path in paths:
+        assert path[0] == source
+        assert path[-1] == target
+        assert is_simple_path(graph, path)
+    assert are_internally_disjoint(paths)
+
+
+class TestVertexDisjointPaths:
+    def test_cycle_two_paths(self):
+        graph = generators.cycle_graph(8)
+        paths = vertex_disjoint_paths(graph, 0, 4)
+        assert len(paths) == 2
+        assert_valid_disjoint_paths(graph, paths, 0, 4)
+
+    def test_adjacent_pair_includes_direct_edge(self):
+        graph = generators.cycle_graph(6)
+        paths = vertex_disjoint_paths(graph, 0, 1)
+        assert [0, 1] in paths
+        assert len(paths) == 2
+        assert_valid_disjoint_paths(graph, paths, 0, 1)
+
+    def test_count_matches_menger(self):
+        graph = generators.hypercube_graph(3)
+        for target in (3, 5, 7):
+            paths = vertex_disjoint_paths(graph, 0, target)
+            assert len(paths) == local_node_connectivity(graph, 0, target)
+            assert_valid_disjoint_paths(graph, paths, 0, target)
+
+    def test_complete_graph(self):
+        graph = generators.complete_graph(6)
+        paths = vertex_disjoint_paths(graph, 0, 5)
+        assert len(paths) == 5
+        assert_valid_disjoint_paths(graph, paths, 0, 5)
+
+    def test_petersen(self, petersen):
+        nodes = petersen.nodes()
+        source, target = nodes[0], nodes[7]
+        paths = vertex_disjoint_paths(petersen, source, target)
+        assert len(paths) == 3
+        assert_valid_disjoint_paths(petersen, paths, source, target)
+
+    def test_k_cap(self):
+        graph = generators.complete_graph(6)
+        paths = vertex_disjoint_paths(graph, 0, 5, k=2)
+        assert len(paths) == 2
+        assert_valid_disjoint_paths(graph, paths, 0, 5)
+
+    def test_k_cap_one_adjacent(self):
+        graph = generators.complete_graph(4)
+        paths = vertex_disjoint_paths(graph, 0, 1, k=1)
+        assert paths == [[0, 1]]
+
+    def test_no_path(self):
+        graph = Graph(edges=[(0, 1)], nodes=[2])
+        assert vertex_disjoint_paths(graph, 0, 2) == []
+
+    def test_same_node_rejected(self):
+        graph = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            vertex_disjoint_paths(graph, 1, 1)
+
+    def test_missing_node_rejected(self):
+        graph = generators.path_graph(3)
+        with pytest.raises(NodeNotFoundError):
+            vertex_disjoint_paths(graph, 0, 77)
+
+    def test_torus_four_paths(self):
+        graph = generators.torus_graph(4, 4)
+        paths = vertex_disjoint_paths(graph, (0, 0), (2, 2))
+        assert len(paths) == 4
+        assert_valid_disjoint_paths(graph, paths, (0, 0), (2, 2))
+
+    def test_circulant_paths(self):
+        graph = generators.circulant_graph(12, [1, 2, 3])
+        paths = vertex_disjoint_paths(graph, 0, 6)
+        assert len(paths) == 6
+        assert_valid_disjoint_paths(graph, paths, 0, 6)
+
+    def test_original_graph_untouched(self):
+        graph = generators.cycle_graph(6)
+        edges_before = sorted(map(sorted, graph.edges()))
+        vertex_disjoint_paths(graph, 0, 1)
+        assert sorted(map(sorted, graph.edges())) == edges_before
+
+
+class TestAreInternallyDisjoint:
+    def test_disjoint(self):
+        assert are_internally_disjoint([[0, 1, 2], [0, 3, 2]])
+
+    def test_shared_internal(self):
+        assert not are_internally_disjoint([[0, 1, 2], [0, 1, 3]])
+
+    def test_shared_endpoints_only(self):
+        assert are_internally_disjoint([[0, 1, 5], [0, 2, 5], [0, 5]])
+
+    def test_empty(self):
+        assert are_internally_disjoint([])
+
+
+class TestTruncatePathsAtSet:
+    def test_basic_truncation(self):
+        paths = [[0, 1, 2, 3], [0, 4, 5, 3]]
+        truncated = truncate_paths_at_set(paths, {2, 5})
+        assert truncated == [[0, 1, 2], [0, 4, 5]]
+
+    def test_path_missing_set_dropped(self):
+        paths = [[0, 1, 2], [0, 4, 5]]
+        truncated = truncate_paths_at_set(paths, {2})
+        assert truncated == [[0, 1, 2]]
+
+    def test_source_in_set_not_counted(self):
+        # The source (index 0) never counts as the "first occurrence".
+        paths = [[2, 1, 3]]
+        truncated = truncate_paths_at_set(paths, {2, 3})
+        assert truncated == [[2, 1, 3]]
+
+    def test_truncation_stops_at_first_occurrence(self):
+        paths = [[0, 1, 2, 3, 4]]
+        truncated = truncate_paths_at_set(paths, {2, 4})
+        assert truncated == [[0, 1, 2]]

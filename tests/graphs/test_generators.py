@@ -1,0 +1,268 @@
+"""Unit tests for the graph family generators."""
+
+import pytest
+
+from repro.graphs import Graph, diameter, is_connected, is_regular, node_connectivity
+from repro.graphs import generators
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        graph = generators.path_graph(6)
+        assert graph.number_of_nodes() == 6
+        assert graph.number_of_edges() == 5
+        assert graph.degree(0) == 1
+
+    def test_path_requires_nodes(self):
+        with pytest.raises(ValueError):
+            generators.path_graph(0)
+
+    def test_cycle(self):
+        graph = generators.cycle_graph(7)
+        assert graph.number_of_edges() == 7
+        assert is_regular(graph)
+        assert graph.degree(0) == 2
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_complete(self):
+        graph = generators.complete_graph(6)
+        assert graph.number_of_edges() == 15
+        assert diameter(graph) == 1
+
+    def test_complete_bipartite(self):
+        graph = generators.complete_bipartite_graph(2, 3)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 6
+
+    def test_complete_bipartite_validation(self):
+        with pytest.raises(ValueError):
+            generators.complete_bipartite_graph(0, 3)
+
+    def test_star(self):
+        graph = generators.star_graph(6)
+        assert graph.degree(0) == 6
+        assert graph.number_of_edges() == 6
+
+    def test_wheel(self):
+        graph = generators.wheel_graph(5)
+        assert graph.number_of_nodes() == 6
+        assert graph.degree(0) == 5
+        assert node_connectivity(graph) == 3
+
+    def test_grid(self):
+        graph = generators.grid_graph(3, 4)
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 3 * 3 + 2 * 4
+        assert graph.degree((0, 0)) == 2
+        assert graph.degree((1, 1)) == 4
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            generators.grid_graph(0, 3)
+
+    def test_torus(self):
+        graph = generators.torus_graph(4, 5)
+        assert graph.number_of_nodes() == 20
+        assert is_regular(graph)
+        assert graph.degree((0, 0)) == 4
+
+    def test_torus_validation(self):
+        with pytest.raises(ValueError):
+            generators.torus_graph(2, 5)
+
+
+class TestInterconnectionNetworks:
+    def test_hypercube_structure(self):
+        graph = generators.hypercube_graph(4)
+        assert graph.number_of_nodes() == 16
+        assert graph.number_of_edges() == 4 * 16 // 2
+        assert is_regular(graph)
+        assert diameter(graph) == 4
+
+    def test_hypercube_adjacency_is_bitflip(self):
+        graph = generators.hypercube_graph(3)
+        assert graph.has_edge(0b000, 0b100)
+        assert not graph.has_edge(0b000, 0b011)
+
+    def test_hypercube_validation(self):
+        with pytest.raises(ValueError):
+            generators.hypercube_graph(0)
+
+    def test_ccc_structure(self):
+        graph = generators.cube_connected_cycles_graph(3)
+        assert graph.number_of_nodes() == 3 * 8
+        assert is_regular(graph)
+        assert graph.degree((0, 0)) == 3
+        assert is_connected(graph)
+
+    def test_ccc_connectivity(self):
+        assert node_connectivity(generators.cube_connected_cycles_graph(3)) == 3
+
+    def test_ccc_validation(self):
+        with pytest.raises(ValueError):
+            generators.cube_connected_cycles_graph(2)
+
+    def test_butterfly_wrapped(self):
+        graph = generators.butterfly_graph(3, wrapped=True)
+        assert graph.number_of_nodes() == 3 * 8
+        assert is_connected(graph)
+        assert graph.max_degree() == 4
+
+    def test_butterfly_unwrapped(self):
+        graph = generators.butterfly_graph(3, wrapped=False)
+        assert graph.number_of_nodes() == 4 * 8
+        assert is_connected(graph)
+
+    def test_butterfly_validation(self):
+        with pytest.raises(ValueError):
+            generators.butterfly_graph(1)
+
+    def test_circulant(self):
+        graph = generators.circulant_graph(10, [1, 2])
+        assert is_regular(graph)
+        assert graph.degree(0) == 4
+        assert node_connectivity(graph) == 4
+
+    def test_circulant_normalises_offsets(self):
+        first = generators.circulant_graph(10, [1, 2])
+        second = generators.circulant_graph(10, [-1, 2, 12, 1])
+        assert first == second
+
+    def test_circulant_validation(self):
+        with pytest.raises(ValueError):
+            generators.circulant_graph(10, [0])
+        with pytest.raises(ValueError):
+            generators.circulant_graph(2, [1])
+
+    def test_harary_even(self):
+        graph = generators.harary_graph(4, 9)
+        assert node_connectivity(graph) == 4
+
+    def test_harary_odd(self):
+        graph = generators.harary_graph(3, 8)
+        assert node_connectivity(graph) == 3
+
+    def test_harary_validation(self):
+        with pytest.raises(ValueError):
+            generators.harary_graph(1, 5)
+        with pytest.raises(ValueError):
+            generators.harary_graph(3, 3)
+        with pytest.raises(ValueError):
+            generators.harary_graph(3, 9)
+
+    def test_de_bruijn(self):
+        graph = generators.de_bruijn_graph(2, 3)
+        assert graph.number_of_nodes() == 8
+        assert is_connected(graph)
+        assert graph.max_degree() <= 4
+        # Shift adjacency: 010 (2) shifts to 101 (5) and 100 (4).
+        assert graph.has_edge(0b010, 0b101)
+        assert graph.has_edge(0b010, 0b100)
+
+    def test_de_bruijn_base3(self):
+        graph = generators.de_bruijn_graph(3, 2)
+        assert graph.number_of_nodes() == 9
+        assert is_connected(graph)
+        assert graph.max_degree() <= 6
+
+    def test_de_bruijn_validation(self):
+        with pytest.raises(ValueError):
+            generators.de_bruijn_graph(1, 3)
+        with pytest.raises(ValueError):
+            generators.de_bruijn_graph(2, 0)
+
+    def test_shuffle_exchange(self):
+        graph = generators.shuffle_exchange_graph(3)
+        assert graph.number_of_nodes() == 8
+        assert is_connected(graph)
+        assert graph.max_degree() <= 3
+        # Exchange edge flips the last bit; shuffle edge rotates the bits.
+        assert graph.has_edge(0b010, 0b011)
+        assert graph.has_edge(0b011, 0b110)
+
+    def test_shuffle_exchange_validation(self):
+        with pytest.raises(ValueError):
+            generators.shuffle_exchange_graph(1)
+
+    def test_petersen(self):
+        graph = generators.petersen_graph()
+        assert graph.number_of_nodes() == 10
+        assert graph.number_of_edges() == 15
+        assert is_regular(graph)
+
+    def test_barbell(self):
+        graph = generators.barbell_graph(4, 2)
+        assert graph.number_of_nodes() == 10
+        assert is_connected(graph)
+
+    def test_barbell_validation(self):
+        with pytest.raises(ValueError):
+            generators.barbell_graph(2, 1)
+
+    def test_tree(self):
+        graph = generators.tree_graph(2, 3)
+        assert graph.number_of_nodes() == 1 + 2 + 4 + 8
+        assert graph.number_of_edges() == graph.number_of_nodes() - 1
+
+
+class TestRandomFamilies:
+    def test_gnp_reproducible(self):
+        first = generators.gnp_random_graph(30, 0.2, seed=7)
+        second = generators.gnp_random_graph(30, 0.2, seed=7)
+        assert first == second
+
+    def test_gnp_extremes(self):
+        empty = generators.gnp_random_graph(10, 0.0, seed=1)
+        full = generators.gnp_random_graph(10, 1.0, seed=1)
+        assert empty.number_of_edges() == 0
+        assert full.number_of_edges() == 45
+
+    def test_gnp_validation(self):
+        with pytest.raises(ValueError):
+            generators.gnp_random_graph(-1, 0.5)
+        with pytest.raises(ValueError):
+            generators.gnp_random_graph(5, 1.5)
+
+    def test_random_regular(self):
+        graph = generators.random_regular_graph(3, 12, seed=3)
+        assert is_regular(graph)
+        assert graph.degree(0) == 3
+
+    def test_random_regular_validation(self):
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(3, 3, seed=1)
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(3, 7, seed=1)
+
+    def test_random_connected(self):
+        graph = generators.random_connected_graph(25, seed=5)
+        assert is_connected(graph)
+        assert graph.number_of_nodes() == 25
+
+    def test_random_connected_reproducible(self):
+        assert generators.random_connected_graph(20, seed=2) == generators.random_connected_graph(20, seed=2)
+
+    def test_random_k_connected(self):
+        graph = generators.random_k_connected_graph(20, 3, seed=11)
+        assert node_connectivity(graph) >= 3
+
+    def test_random_k_connected_validation(self):
+        with pytest.raises(ValueError):
+            generators.random_k_connected_graph(20, 1, seed=1)
+
+
+class TestNamedRegistry:
+    def test_by_name(self):
+        graph = generators.by_name("petersen")
+        assert graph.number_of_nodes() == 10
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            generators.by_name("no-such-graph")
+
+    def test_all_named_graphs_connected(self):
+        for name in generators.NAMED_SMALL_GRAPHS:
+            assert is_connected(generators.by_name(name)), name

@@ -1,0 +1,248 @@
+"""Unit tests for the undirected Graph class."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.graphs import Graph
+
+
+class TestNodeOperations:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.number_of_nodes() == 0
+        assert graph.number_of_edges() == 0
+        assert graph.nodes() == []
+
+    def test_add_node(self):
+        graph = Graph()
+        graph.add_node("a")
+        assert graph.has_node("a")
+        assert graph.number_of_nodes() == 1
+
+    def test_add_node_idempotent(self):
+        graph = Graph()
+        graph.add_node(1)
+        graph.add_node(1)
+        assert graph.number_of_nodes() == 1
+
+    def test_add_nodes_from(self):
+        graph = Graph()
+        graph.add_nodes_from(range(5))
+        assert graph.number_of_nodes() == 5
+
+    def test_constructor_nodes_and_edges(self):
+        graph = Graph(edges=[(0, 1)], nodes=[5])
+        assert graph.has_node(5)
+        assert graph.has_edge(0, 1)
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        graph.remove_node(1)
+        assert not graph.has_node(1)
+        assert not graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2)
+        assert graph.number_of_edges() == 1
+
+    def test_remove_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node("missing")
+
+    def test_remove_nodes_from(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        graph.remove_nodes_from([0, 3])
+        assert set(graph.nodes()) == {1, 2}
+
+    def test_contains_and_iter(self):
+        graph = Graph(nodes=[1, 2, 3])
+        assert 2 in graph
+        assert 9 not in graph
+        assert sorted(graph) == [1, 2, 3]
+
+    def test_len(self):
+        graph = Graph(nodes=range(7))
+        assert len(graph) == 7
+
+    def test_hashable_node_types(self):
+        graph = Graph()
+        graph.add_edge(("a", 1), frozenset({2}))
+        assert graph.has_edge(frozenset({2}), ("a", 1))
+
+
+class TestEdgeOperations:
+    def test_add_edge_adds_endpoints(self):
+        graph = Graph()
+        graph.add_edge(0, 1)
+        assert graph.has_node(0)
+        assert graph.has_node(1)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+
+    def test_add_edge_rejects_self_loop(self):
+        graph = Graph()
+        with pytest.raises(ValueError):
+            graph.add_edge(3, 3)
+
+    def test_add_edge_idempotent(self):
+        graph = Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        assert graph.number_of_edges() == 1
+
+    def test_remove_edge(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.has_node(0)
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(edges=[(0, 1)])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(0, 2)
+
+    def test_remove_edges_from(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        graph.remove_edges_from([(0, 1), (2, 3)])
+        assert graph.number_of_edges() == 1
+
+    def test_edges_listed_once(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        edges = graph.edges()
+        assert len(edges) == 3
+        normalized = {frozenset(edge) for edge in edges}
+        assert normalized == {frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})}
+
+    def test_number_of_edges(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(9)])
+        assert graph.number_of_edges() == 9
+
+
+class TestNeighborhoods:
+    def test_neighbors(self):
+        graph = Graph(edges=[(0, 1), (0, 2), (3, 4)])
+        assert graph.neighbors(0) == {1, 2}
+        assert graph.neighbors(4) == {3}
+
+    def test_neighbors_returns_copy(self):
+        graph = Graph(edges=[(0, 1)])
+        neighbors = graph.neighbors(0)
+        neighbors.add(99)
+        assert graph.neighbors(0) == {1}
+
+    def test_neighbors_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(NodeNotFoundError):
+            graph.neighbors("nope")
+
+    def test_degree(self):
+        graph = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert graph.degree(0) == 3
+        assert graph.degree(1) == 1
+
+    def test_degrees_mapping(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        assert graph.degrees() == {0: 1, 1: 2, 2: 1}
+
+    def test_max_min_average_degree(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (1, 3)])
+        assert graph.max_degree() == 3
+        assert graph.min_degree() == 1
+        assert graph.average_degree() == pytest.approx(2 * 3 / 4)
+
+    def test_degree_stats_empty_graph(self):
+        graph = Graph()
+        assert graph.max_degree() == 0
+        assert graph.min_degree() == 0
+        assert graph.average_degree() == 0.0
+
+    def test_closed_neighborhood(self):
+        graph = Graph(edges=[(0, 1), (0, 2)])
+        assert graph.closed_neighborhood(0) == {0, 1, 2}
+
+    def test_neighborhood_at_distance_radius1(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert graph.neighborhood_at_distance(0, 1) == {1}
+
+    def test_neighborhood_at_distance_radius2(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert graph.neighborhood_at_distance(0, 2) == {1, 2}
+
+    def test_neighborhood_at_distance_radius0(self):
+        graph = Graph(edges=[(0, 1)])
+        assert graph.neighborhood_at_distance(0, 0) == set()
+
+    def test_neighborhood_at_distance_negative_radius(self):
+        graph = Graph(edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            graph.neighborhood_at_distance(0, -1)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        graph = Graph(edges=[(0, 1)], name="orig")
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert not graph.has_node(2)
+        assert clone.name == "orig"
+
+    def test_copy_equality(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        assert graph.copy() == graph
+
+    def test_subgraph_induced(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        sub = graph.subgraph([0, 1, 2])
+        assert set(sub.nodes()) == {0, 1, 2}
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(2, 3)
+
+    def test_subgraph_ignores_missing_nodes(self):
+        graph = Graph(edges=[(0, 1)])
+        sub = graph.subgraph([0, 1, 99])
+        assert set(sub.nodes()) == {0, 1}
+
+    def test_without_nodes(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        reduced = graph.without_nodes([1])
+        assert set(reduced.nodes()) == {0, 2, 3}
+        assert reduced.has_edge(2, 3)
+        assert not reduced.has_edge(1, 2)
+
+    def test_without_nodes_leaves_original(self):
+        graph = Graph(edges=[(0, 1)])
+        graph.without_nodes([0])
+        assert graph.has_node(0)
+
+
+class TestEqualityAndRepr:
+    def test_equality_same_structure(self):
+        first = Graph(edges=[(0, 1), (1, 2)])
+        second = Graph(edges=[(1, 2), (0, 1)])
+        assert first == second
+
+    def test_inequality_different_edges(self):
+        first = Graph(edges=[(0, 1)])
+        second = Graph(edges=[(0, 2)])
+        assert first != second
+
+    def test_inequality_different_nodes(self):
+        first = Graph(nodes=[0, 1])
+        second = Graph(nodes=[0, 1, 2])
+        assert first != second
+
+    def test_equality_with_non_graph(self):
+        assert Graph() != 42
+
+    def test_repr_contains_counts(self):
+        graph = Graph(edges=[(0, 1)], name="tiny")
+        text = repr(graph)
+        assert "tiny" in text
+        assert "|V|=2" in text
+        assert "|E|=1" in text
+
+    def test_adjacency_copy(self):
+        graph = Graph(edges=[(0, 1)])
+        adjacency = graph.adjacency()
+        adjacency[0].add(9)
+        assert graph.neighbors(0) == {1}

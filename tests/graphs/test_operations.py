@@ -1,0 +1,150 @@
+"""Unit tests for graph operations (products, unions, relabelling, augmentation)."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs import Graph, diameter, is_connected, node_connectivity
+from repro.graphs import generators
+from repro.graphs.operations import (
+    add_clique,
+    cartesian_product,
+    complement,
+    convert_node_labels_to_integers,
+    disjoint_union,
+    edge_subdivision,
+    graph_union,
+    map_nodes,
+    relabel,
+)
+
+
+class TestRelabel:
+    def test_relabel_basic(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        renamed = relabel(graph, {0: "a", 1: "b", 2: "c"})
+        assert renamed.has_edge("a", "b")
+        assert renamed.has_edge("b", "c")
+        assert not renamed.has_node(0)
+
+    def test_relabel_partial(self):
+        graph = Graph(edges=[(0, 1)])
+        renamed = relabel(graph, {0: "zero"})
+        assert renamed.has_edge("zero", 1)
+
+    def test_relabel_non_injective_rejected(self):
+        graph = Graph(edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            relabel(graph, {0: "x", 1: "x"})
+
+    def test_convert_to_integers(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c")])
+        converted, mapping = convert_node_labels_to_integers(graph)
+        assert set(converted.nodes()) == {0, 1, 2}
+        assert converted.number_of_edges() == 2
+        assert set(mapping) == {"a", "b", "c"}
+
+    def test_map_nodes(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        doubled = map_nodes(graph, lambda node: node * 10)
+        assert doubled.has_edge(0, 10)
+        assert doubled.has_edge(10, 20)
+
+
+class TestUnions:
+    def test_disjoint_union_sizes(self):
+        a = generators.cycle_graph(4)
+        b = generators.path_graph(3)
+        union = disjoint_union(a, b)
+        assert union.number_of_nodes() == 7
+        assert union.number_of_edges() == 4 + 2
+        assert not is_connected(union)
+
+    def test_graph_union_merges(self):
+        a = Graph(edges=[(0, 1)])
+        b = Graph(edges=[(1, 2)])
+        union = graph_union(a, b)
+        assert union.number_of_nodes() == 3
+        assert union.has_edge(0, 1)
+        assert union.has_edge(1, 2)
+
+
+class TestCartesianProduct:
+    def test_product_sizes(self):
+        a = generators.path_graph(2)
+        b = generators.path_graph(3)
+        product = cartesian_product(a, b)
+        assert product.number_of_nodes() == 6
+        assert product.number_of_edges() == 2 * 2 + 3 * 1
+
+    def test_hypercube_as_product_of_edges(self):
+        k2 = generators.path_graph(2)
+        q2 = cartesian_product(k2, k2)
+        # Q2 is the 4-cycle.
+        assert q2.number_of_nodes() == 4
+        assert q2.number_of_edges() == 4
+        assert diameter(q2) == 2
+
+    def test_product_connectivity(self):
+        c4 = generators.cycle_graph(4)
+        torus_like = cartesian_product(c4, c4)
+        assert node_connectivity(torus_like) == 4
+
+
+class TestComplement:
+    def test_complement_of_complete_is_empty(self):
+        comp = complement(generators.complete_graph(5))
+        assert comp.number_of_edges() == 0
+
+    def test_complement_involution(self):
+        graph = generators.cycle_graph(6)
+        assert complement(complement(graph)) == graph
+
+    def test_complement_edge_count(self):
+        graph = generators.path_graph(5)
+        comp = complement(graph)
+        assert graph.number_of_edges() + comp.number_of_edges() == 10
+
+
+class TestAddClique:
+    def test_add_clique_edges(self):
+        graph = generators.cycle_graph(6)
+        augmented, added = add_clique(graph, [0, 2, 4])
+        assert len(added) == 3
+        assert augmented.has_edge(0, 2)
+        assert augmented.has_edge(2, 4)
+        assert augmented.has_edge(0, 4)
+        # Original untouched.
+        assert not graph.has_edge(0, 2)
+
+    def test_add_clique_skips_existing_edges(self):
+        graph = generators.cycle_graph(6)
+        augmented, added = add_clique(graph, [0, 1, 3])
+        assert len(added) == 2  # (0,1) already exists
+        assert augmented.number_of_edges() == graph.number_of_edges() + 2
+
+    def test_add_clique_unknown_node(self):
+        with pytest.raises(NodeNotFoundError):
+            add_clique(generators.cycle_graph(4), [0, 99])
+
+    def test_add_clique_improves_connectivity(self):
+        graph = generators.cycle_graph(8)
+        augmented, _ = add_clique(graph, [0, 2, 4, 6])
+        assert node_connectivity(augmented) >= node_connectivity(graph)
+
+
+class TestSubdivision:
+    def test_subdivision(self):
+        graph = generators.cycle_graph(4)
+        divided = edge_subdivision(graph, 0, 1, "mid")
+        assert not divided.has_edge(0, 1)
+        assert divided.has_edge(0, "mid")
+        assert divided.has_edge("mid", 1)
+        assert divided.number_of_nodes() == 5
+
+    def test_subdivision_missing_edge(self):
+        with pytest.raises(NodeNotFoundError):
+            edge_subdivision(generators.cycle_graph(4), 0, 2, "mid")
+
+    def test_subdivision_existing_node(self):
+        with pytest.raises(ValueError):
+            edge_subdivision(generators.cycle_graph(4), 0, 1, 3)

@@ -1,0 +1,188 @@
+"""Unit tests for structural property predicates (neighbourhood sets, two-trees, girth)."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs import (
+    Graph,
+    degree_histogram,
+    find_two_trees_roots,
+    girth,
+    has_two_trees_property,
+    have_disjoint_neighborhoods,
+    is_independent_set,
+    is_neighborhood_set,
+    is_regular,
+    lies_on_short_cycle,
+    max_degree_threshold,
+    pairwise_distance_at_least,
+    satisfies_circular_degree_bound,
+    satisfies_two_trees_property,
+)
+from repro.graphs import generators, synthetic
+
+
+class TestIndependence:
+    def test_independent_set(self):
+        graph = generators.cycle_graph(6)
+        assert is_independent_set(graph, [0, 2, 4])
+        assert not is_independent_set(graph, [0, 1])
+
+    def test_empty_set_is_independent(self):
+        assert is_independent_set(generators.cycle_graph(5), [])
+
+    def test_missing_node_rejected(self):
+        with pytest.raises(NodeNotFoundError):
+            is_independent_set(generators.cycle_graph(5), [99])
+
+    def test_disjoint_neighborhoods(self):
+        graph = generators.cycle_graph(9)
+        assert have_disjoint_neighborhoods(graph, [0, 3, 6])
+        assert not have_disjoint_neighborhoods(graph, [0, 2])
+
+    def test_neighborhood_set_requires_both(self):
+        graph = generators.cycle_graph(9)
+        assert is_neighborhood_set(graph, [0, 3, 6])
+        # Distance 2 apart: independent but neighbourhoods overlap.
+        assert not is_neighborhood_set(graph, [0, 2])
+        # Adjacent: not even independent.
+        assert not is_neighborhood_set(graph, [0, 1])
+
+    def test_neighborhood_set_is_distance3(self):
+        graph = generators.cycle_graph(12)
+        members = [0, 3, 6, 9]
+        assert is_neighborhood_set(graph, members)
+        assert pairwise_distance_at_least(graph, members, 3)
+
+    def test_pairwise_distance(self):
+        graph = generators.path_graph(10)
+        assert pairwise_distance_at_least(graph, [0, 5, 9], 4)
+        assert not pairwise_distance_at_least(graph, [0, 2], 4)
+
+
+class TestShortCycles:
+    def test_triangle_detection(self):
+        graph = generators.complete_graph(4)
+        assert lies_on_short_cycle(graph, 0, 3)
+
+    def test_square_detection(self):
+        graph = generators.grid_graph(2, 2)
+        assert not lies_on_short_cycle(graph, (0, 0), 3)
+        assert lies_on_short_cycle(graph, (0, 0), 4)
+
+    def test_long_cycle_not_detected(self):
+        graph = generators.cycle_graph(8)
+        assert not lies_on_short_cycle(graph, 0, 4)
+
+    def test_generic_bound(self):
+        graph = generators.cycle_graph(6)
+        assert lies_on_short_cycle(graph, 0, 6)
+        assert not lies_on_short_cycle(graph, 0, 5)
+
+    def test_tree_has_no_cycles(self):
+        graph = generators.tree_graph(2, 3)
+        assert not lies_on_short_cycle(graph, 0, 4)
+
+    def test_max_length_below_three(self):
+        graph = generators.complete_graph(3)
+        assert not lies_on_short_cycle(graph, 0, 2)
+
+    def test_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            lies_on_short_cycle(generators.cycle_graph(5), 99)
+
+
+class TestGirth:
+    def test_cycle_girth(self):
+        assert girth(generators.cycle_graph(7)) == 7
+
+    def test_complete_graph_girth(self):
+        assert girth(generators.complete_graph(5)) == 3
+
+    def test_petersen_girth(self, petersen):
+        assert girth(petersen) == 5
+
+    def test_hypercube_girth(self):
+        assert girth(generators.hypercube_graph(3)) == 4
+
+    def test_tree_girth_infinite(self):
+        assert girth(generators.tree_graph(2, 3)) == float("inf")
+
+    def test_grid_girth(self):
+        assert girth(generators.grid_graph(3, 3)) == 4
+
+
+class TestTwoTrees:
+    def test_cycle_has_property(self):
+        graph = generators.cycle_graph(12)
+        assert has_two_trees_property(graph)
+        roots = find_two_trees_roots(graph)
+        assert roots is not None
+        assert satisfies_two_trees_property(graph, *roots)
+
+    def test_cycle_explicit_roots(self):
+        graph = generators.cycle_graph(12)
+        assert satisfies_two_trees_property(graph, 0, 6)
+
+    def test_cycle_close_roots_fail(self):
+        graph = generators.cycle_graph(12)
+        assert not satisfies_two_trees_property(graph, 0, 2)
+        assert not satisfies_two_trees_property(graph, 0, 3)
+
+    def test_same_root_fails(self):
+        graph = generators.cycle_graph(12)
+        assert not satisfies_two_trees_property(graph, 0, 0)
+
+    def test_small_cycle_fails(self):
+        # In C_7 every pair is within distance 3, so depth-2 trees overlap.
+        graph = generators.cycle_graph(7)
+        assert not has_two_trees_property(graph)
+
+    def test_hypercube_fails(self):
+        # Q_3 has girth 4: every node lies on a 4-cycle.
+        assert not has_two_trees_property(generators.hypercube_graph(3))
+
+    def test_petersen_fails(self, petersen):
+        # Girth 5 but diameter 2 < 4.
+        assert not has_two_trees_property(petersen)
+
+    def test_grid_fails(self):
+        assert not has_two_trees_property(generators.grid_graph(3, 3))
+
+    def test_synthetic_two_trees_graph(self):
+        graph, r1, r2 = synthetic.two_trees_graph(t=2)
+        assert satisfies_two_trees_property(graph, r1, r2)
+        assert has_two_trees_property(graph)
+
+    def test_long_path_has_property(self):
+        graph = generators.path_graph(12)
+        assert satisfies_two_trees_property(graph, 2, 9)
+
+    def test_missing_node(self):
+        graph = generators.cycle_graph(10)
+        with pytest.raises(NodeNotFoundError):
+            satisfies_two_trees_property(graph, 0, 99)
+
+
+class TestDegreeStatistics:
+    def test_degree_histogram(self):
+        graph = generators.star_graph(4)
+        assert degree_histogram(graph) == {4: 1, 1: 4}
+
+    def test_is_regular(self):
+        assert is_regular(generators.cycle_graph(6))
+        assert is_regular(generators.hypercube_graph(3))
+        assert not is_regular(generators.star_graph(3))
+        assert is_regular(Graph())
+
+    def test_max_degree_threshold(self):
+        assert max_degree_threshold(1000, 0.79) == pytest.approx(7.9)
+        assert max_degree_threshold(0, 0.5) == 0
+        with pytest.raises(ValueError):
+            max_degree_threshold(-1, 0.5)
+
+    def test_satisfies_circular_degree_bound(self):
+        # A long cycle has max degree 2 << 0.79 * n^(1/3) for large n.
+        assert satisfies_circular_degree_bound(generators.cycle_graph(50))
+        # A star's hub degree dwarfs the threshold.
+        assert not satisfies_circular_degree_bound(generators.star_graph(30))

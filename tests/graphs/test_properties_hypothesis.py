@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for the graph substrate invariants."""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    are_internally_disjoint,
+    bfs_distances,
+    connected_components,
+    diameter,
+    is_connected,
+    is_neighborhood_set,
+    local_node_connectivity,
+    node_connectivity,
+    shortest_path,
+    vertex_disjoint_paths,
+)
+from repro.graphs.generators import gnp_random_graph
+from repro.core.concentrators import greedy_neighborhood_set, lemma15_lower_bound
+
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_graph(draw, min_nodes=2, max_nodes=16):
+    """A random G(n, p) sample with hypothesis-controlled n, p and seed."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    p = draw(st.floats(min_value=0.0, max_value=0.9))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    return gnp_random_graph(n, p, seed=seed)
+
+
+@st.composite
+def connected_graph(draw, min_nodes=3, max_nodes=14):
+    """A connected random graph (spanning tree plus random extras)."""
+    from repro.graphs.generators import random_connected_graph
+
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    extra = draw(st.floats(min_value=0.0, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    return random_connected_graph(n, extra_edge_probability=extra, seed=seed)
+
+
+class TestBasicInvariants:
+    @SETTINGS
+    @given(random_graph())
+    def test_handshake_lemma(self, graph):
+        assert sum(graph.degrees().values()) == 2 * graph.number_of_edges()
+
+    @SETTINGS
+    @given(random_graph())
+    def test_components_partition_nodes(self, graph):
+        components = connected_components(graph)
+        seen = set()
+        for component in components:
+            assert not (component & seen)
+            seen |= component
+        assert seen == set(graph.nodes())
+
+    @SETTINGS
+    @given(random_graph())
+    def test_copy_equals_original(self, graph):
+        assert graph.copy() == graph
+
+    @SETTINGS
+    @given(random_graph(), st.integers(min_value=0, max_value=10 ** 6))
+    def test_subgraph_monotone(self, graph, seed):
+        import random as _random
+
+        nodes = graph.nodes()
+        rng = _random.Random(seed)
+        keep = [node for node in nodes if rng.random() < 0.5]
+        sub = graph.subgraph(keep)
+        assert set(sub.nodes()) <= set(nodes)
+        for u, v in sub.edges():
+            assert graph.has_edge(u, v)
+
+
+class TestDistanceInvariants:
+    @SETTINGS
+    @given(connected_graph())
+    def test_bfs_distance_symmetry(self, graph):
+        nodes = graph.nodes()
+        first, last = nodes[0], nodes[-1]
+        forward = bfs_distances(graph, first).get(last)
+        backward = bfs_distances(graph, last).get(first)
+        assert forward == backward
+
+    @SETTINGS
+    @given(connected_graph())
+    def test_triangle_inequality_through_any_node(self, graph):
+        nodes = graph.nodes()
+        if len(nodes) < 3:
+            return
+        a, b, c = nodes[0], nodes[len(nodes) // 2], nodes[-1]
+        dist = lambda x, y: bfs_distances(graph, x).get(y, float("inf"))
+        assert dist(a, c) <= dist(a, b) + dist(b, c)
+
+    @SETTINGS
+    @given(connected_graph())
+    def test_shortest_path_length_matches_distance(self, graph):
+        nodes = graph.nodes()
+        path = shortest_path(graph, nodes[0], nodes[-1])
+        assert path is not None
+        assert len(path) - 1 == bfs_distances(graph, nodes[0])[nodes[-1]]
+
+    @SETTINGS
+    @given(connected_graph())
+    def test_diameter_bounds_every_distance(self, graph):
+        diam = diameter(graph)
+        nodes = graph.nodes()
+        distances = bfs_distances(graph, nodes[0])
+        assert max(distances.values()) <= diam
+
+
+class TestConnectivityInvariants:
+    @SETTINGS
+    @given(connected_graph())
+    def test_connectivity_le_min_degree(self, graph):
+        assert node_connectivity(graph) <= graph.min_degree()
+
+    @SETTINGS
+    @given(connected_graph())
+    def test_menger_pathcount_matches_local_connectivity(self, graph):
+        nodes = graph.nodes()
+        if len(nodes) < 2:
+            return
+        source, target = nodes[0], nodes[-1]
+        kappa = local_node_connectivity(graph, source, target)
+        paths = vertex_disjoint_paths(graph, source, target)
+        assert len(paths) == kappa
+        assert are_internally_disjoint(paths)
+
+    @SETTINGS
+    @given(connected_graph())
+    def test_removing_fewer_than_kappa_nodes_keeps_connectivity(self, graph):
+        kappa = node_connectivity(graph)
+        if kappa <= 1:
+            return
+        victims = graph.nodes()[: kappa - 1]
+        remaining = graph.without_nodes(victims)
+        assert is_connected(remaining)
+
+
+class TestNeighborhoodSetInvariants:
+    @SETTINGS
+    @given(random_graph(min_nodes=3, max_nodes=20))
+    def test_greedy_set_is_valid_and_large_enough(self, graph):
+        selected = greedy_neighborhood_set(graph)
+        assert is_neighborhood_set(graph, selected)
+        assert len(selected) >= lemma15_lower_bound(graph)
+
+    @SETTINGS
+    @given(random_graph(min_nodes=3, max_nodes=20), st.integers(min_value=1, max_value=5))
+    def test_greedy_set_respects_limit(self, graph, limit):
+        selected = greedy_neighborhood_set(graph, limit=limit)
+        assert len(selected) <= limit
+        assert is_neighborhood_set(graph, selected)

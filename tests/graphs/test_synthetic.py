@@ -1,0 +1,86 @@
+"""Unit tests for the synthetic benchmark graphs (flower, two-trees, kernel-test)."""
+
+import pytest
+
+from repro.graphs import (
+    is_connected,
+    is_neighborhood_set,
+    is_separating_set,
+    node_connectivity,
+    satisfies_two_trees_property,
+)
+from repro.graphs import synthetic
+
+
+class TestFlowerGraph:
+    @pytest.mark.parametrize("t,k", [(1, 3), (1, 9), (2, 5), (3, 4)])
+    def test_connectivity_is_t_plus_1(self, t, k):
+        graph, _flowers = synthetic.flower_graph(t=t, k=k)
+        assert node_connectivity(graph) == t + 1
+
+    @pytest.mark.parametrize("t,k", [(1, 5), (2, 5), (3, 4)])
+    def test_flowers_form_neighborhood_set(self, t, k):
+        graph, flowers = synthetic.flower_graph(t=t, k=k)
+        assert len(flowers) == k
+        assert is_neighborhood_set(graph, flowers)
+
+    def test_flower_degrees(self):
+        graph, flowers = synthetic.flower_graph(t=2, k=4)
+        for flower in flowers:
+            assert graph.degree(flower) == 3
+
+    def test_size_formula(self):
+        t, k = 2, 5
+        graph, _ = synthetic.flower_graph(t=t, k=k)
+        assert graph.number_of_nodes() == k * (t + 2) + k
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic.flower_graph(t=0, k=3)
+        with pytest.raises(ValueError):
+            synthetic.flower_graph(t=1, k=1)
+        with pytest.raises(ValueError):
+            synthetic.flower_graph(t=1, k=3, petal_slack=0)
+
+
+class TestTwoTreesGraph:
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_connectivity(self, t):
+        graph, _r1, _r2 = synthetic.two_trees_graph(t=t)
+        assert node_connectivity(graph) == t + 1
+
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_roots_witness_two_trees(self, t):
+        graph, r1, r2 = synthetic.two_trees_graph(t=t)
+        assert satisfies_two_trees_property(graph, r1, r2)
+
+    def test_root_degrees(self):
+        graph, r1, r2 = synthetic.two_trees_graph(t=2)
+        assert graph.degree(r1) == 3
+        assert graph.degree(r2) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic.two_trees_graph(t=0)
+        with pytest.raises(ValueError):
+            synthetic.two_trees_graph(t=1, core_slack=-1)
+
+
+class TestKernelTestGraph:
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_connectivity(self, t):
+        graph = synthetic.kernel_test_graph(t=t)
+        assert node_connectivity(graph) == t + 1
+
+    @pytest.mark.parametrize("t", [1, 2])
+    def test_bridge_is_separating_set(self, t):
+        graph = synthetic.kernel_test_graph(t=t)
+        bridges = {("bridge", b) for b in range(t + 1)}
+        assert is_separating_set(graph, bridges)
+
+    def test_connected(self):
+        assert is_connected(synthetic.kernel_test_graph(t=2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic.kernel_test_graph(t=0)

@@ -1,0 +1,208 @@
+"""Unit tests for BFS/DFS traversal, distances and diameters."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs import DiGraph, Graph
+from repro.graphs import (
+    INFINITY,
+    all_pairs_distances,
+    bfs_distances,
+    bfs_tree,
+    connected_components,
+    diameter,
+    distance,
+    eccentricity,
+    is_connected,
+    is_simple_path,
+    is_strongly_connected,
+    path_length,
+    radius,
+    shortest_path,
+)
+from repro.graphs.traversal import dfs_preorder, induced_path_exists
+from repro.graphs import generators
+
+
+class TestBfs:
+    def test_bfs_distances_path(self):
+        graph = generators.path_graph(5)
+        assert bfs_distances(graph, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_distances_unreachable_omitted(self):
+        graph = Graph(edges=[(0, 1)], nodes=[2])
+        assert 2 not in bfs_distances(graph, 0)
+
+    def test_bfs_distances_missing_source(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(Graph(), 0)
+
+    def test_bfs_tree_parents(self):
+        graph = generators.path_graph(4)
+        parents = bfs_tree(graph, 0)
+        assert parents[0] is None
+        assert parents[1] == 0
+        assert parents[3] == 2
+
+    def test_bfs_directed_respects_orientation(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 2)])
+        assert bfs_distances(digraph, 0) == {0: 0, 1: 1, 2: 2}
+        assert bfs_distances(digraph, 2) == {2: 0}
+
+
+class TestShortestPath:
+    def test_path_endpoints(self):
+        graph = generators.cycle_graph(6)
+        path = shortest_path(graph, 0, 3)
+        assert path[0] == 0
+        assert path[-1] == 3
+        assert len(path) == 4
+
+    def test_path_same_node(self):
+        graph = generators.path_graph(3)
+        assert shortest_path(graph, 1, 1) == [1]
+
+    def test_path_unreachable(self):
+        graph = Graph(edges=[(0, 1)], nodes=[2])
+        assert shortest_path(graph, 0, 2) is None
+
+    def test_path_missing_nodes(self):
+        graph = generators.path_graph(2)
+        with pytest.raises(NodeNotFoundError):
+            shortest_path(graph, 0, 99)
+        with pytest.raises(NodeNotFoundError):
+            shortest_path(graph, 99, 0)
+
+    def test_distance_matches_path_length(self):
+        graph = generators.grid_graph(3, 3)
+        path = shortest_path(graph, (0, 0), (2, 2))
+        assert distance(graph, (0, 0), (2, 2)) == len(path) - 1
+
+    def test_distance_unreachable_is_infinite(self):
+        graph = Graph(edges=[(0, 1)], nodes=[2])
+        assert distance(graph, 0, 2) == INFINITY
+
+
+class TestDfs:
+    def test_dfs_preorder_visits_component(self):
+        graph = generators.cycle_graph(5)
+        order = dfs_preorder(graph, 0)
+        assert set(order) == set(range(5))
+        assert order[0] == 0
+
+    def test_dfs_preorder_missing_source(self):
+        with pytest.raises(NodeNotFoundError):
+            dfs_preorder(Graph(), 7)
+
+
+class TestConnectivityPredicates:
+    def test_connected_components(self):
+        graph = Graph(edges=[(0, 1), (2, 3)], nodes=[4])
+        components = connected_components(graph)
+        assert sorted(len(c) for c in components) == [1, 2, 2]
+
+    def test_is_connected_true(self, cycle12):
+        assert is_connected(cycle12)
+
+    def test_is_connected_false(self):
+        assert not is_connected(Graph(edges=[(0, 1)], nodes=[2]))
+
+    def test_is_connected_empty(self):
+        assert not is_connected(Graph())
+
+    def test_strongly_connected_cycle(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 2), (2, 0)])
+        assert is_strongly_connected(digraph)
+
+    def test_strongly_connected_false_for_dag(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 2)])
+        assert not is_strongly_connected(digraph)
+
+    def test_strongly_connected_empty(self):
+        assert not is_strongly_connected(DiGraph())
+
+
+class TestDiameterAndRadius:
+    def test_path_diameter(self):
+        assert diameter(generators.path_graph(7)) == 6
+
+    def test_cycle_diameter(self):
+        assert diameter(generators.cycle_graph(8)) == 4
+
+    def test_complete_graph_diameter(self):
+        assert diameter(generators.complete_graph(6)) == 1
+
+    def test_single_node_diameter(self):
+        assert diameter(Graph(nodes=["only"])) == 0
+
+    def test_disconnected_diameter_infinite(self):
+        assert diameter(Graph(edges=[(0, 1)], nodes=[2])) == INFINITY
+
+    def test_empty_graph_diameter_infinite(self):
+        assert diameter(Graph()) == INFINITY
+
+    def test_directed_diameter(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 2), (2, 0)])
+        assert diameter(digraph) == 2
+
+    def test_directed_not_strongly_connected(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 2)])
+        assert diameter(digraph) == INFINITY
+
+    def test_eccentricity(self):
+        graph = generators.path_graph(5)
+        assert eccentricity(graph, 0) == 4
+        assert eccentricity(graph, 2) == 2
+
+    def test_radius_le_diameter(self, petersen):
+        assert radius(petersen) <= diameter(petersen)
+
+    def test_petersen_diameter(self, petersen):
+        assert diameter(petersen) == 2
+
+    def test_hypercube_diameter_equals_dimension(self):
+        for d in (2, 3, 4):
+            assert diameter(generators.hypercube_graph(d)) == d
+
+    def test_all_pairs_distances(self):
+        graph = generators.cycle_graph(5)
+        table = all_pairs_distances(graph)
+        assert table[0][2] == 2
+        assert len(table) == 5
+
+
+class TestPathPredicates:
+    def test_path_length(self):
+        assert path_length([1, 2, 3]) == 2
+        assert path_length([7]) == 0
+
+    def test_path_length_empty_raises(self):
+        with pytest.raises(ValueError):
+            path_length([])
+
+    def test_is_simple_path_true(self, cycle12):
+        assert is_simple_path(cycle12, [0, 1, 2, 3])
+
+    def test_is_simple_path_repeated_node(self, cycle12):
+        assert not is_simple_path(cycle12, [0, 1, 0])
+
+    def test_is_simple_path_nonedge(self, cycle12):
+        assert not is_simple_path(cycle12, [0, 2])
+
+    def test_is_simple_path_missing_node(self, cycle12):
+        assert not is_simple_path(cycle12, [0, "ghost"])
+
+    def test_is_simple_path_single_node(self, cycle12):
+        assert is_simple_path(cycle12, [5])
+
+    def test_is_simple_path_empty(self, cycle12):
+        assert not is_simple_path(cycle12, [])
+
+    def test_is_simple_path_directed(self):
+        digraph = DiGraph(edges=[(0, 1), (1, 2)])
+        assert is_simple_path(digraph, [0, 1, 2])
+        assert not is_simple_path(digraph, [2, 1, 0])
+
+    def test_induced_path_exists(self):
+        assert induced_path_exists(Graph(edges=[(0, 1)]), [0, 1], forbidden=[5])
+        assert not induced_path_exists(Graph(edges=[(0, 1)]), [0, 1], forbidden=[1])

@@ -1,0 +1,123 @@
+"""End-to-end integration tests: graph family -> routing -> faults -> delivery.
+
+These tests exercise the whole stack the way the examples do: pick a network
+from the families the paper names, build a routing through the public facade,
+inject admissible faults, and check that (a) the surviving diameter respects
+the construction's guarantee and (b) the network simulator actually delivers
+messages across the faults within that many route traversals.
+"""
+
+import pytest
+
+from repro import build_routing, surviving_diameter
+from repro.core import verify_construction
+from repro.faults import FaultSet, random_fault_sets
+from repro.graphs import generators, node_connectivity, synthetic
+from repro.network import (
+    NetworkSimulator,
+    XorEncryptionService,
+    broadcast_rounds_from_all,
+    route_counter_broadcast,
+)
+
+
+FAMILIES = [
+    ("cycle-16", lambda: generators.cycle_graph(16)),
+    ("hypercube-3", lambda: generators.hypercube_graph(3)),
+    ("ccc-3", lambda: generators.cube_connected_cycles_graph(3)),
+    ("torus-4x4", lambda: generators.torus_graph(4, 4)),
+    ("circulant-12", lambda: generators.circulant_graph(12, [1, 2])),
+    ("grid-4x4", lambda: generators.grid_graph(4, 4)),
+]
+
+
+@pytest.mark.parametrize("name,factory", FAMILIES, ids=[name for name, _ in FAMILIES])
+class TestAutoRoutingOnNamedFamilies:
+    def test_build_and_verify(self, name, factory):
+        graph = factory()
+        result = build_routing(graph)
+        assert result.t == node_connectivity(graph) - 1
+        report = verify_construction(result, exhaustive_limit=300, seed=1)
+        assert report.holds, f"{name}: {report}"
+
+    def test_delivery_under_random_faults(self, name, factory):
+        graph = factory()
+        result = build_routing(graph)
+        t = result.t
+        fault_sets = list(random_fault_sets(graph.nodes(), t, 3, seed=5))
+        for fault_set in fault_sets:
+            simulator = NetworkSimulator(graph, result.routing)
+            simulator.fail_nodes(fault_set)
+            alive = [node for node in graph.nodes() if node not in fault_set]
+            origin, destination = alive[0], alive[-1]
+            receipt = simulator.send(origin, destination, payload=f"probe-{name}")
+            assert receipt.delivered
+            assert receipt.routes_used <= result.guarantee.diameter_bound
+
+
+class TestFullStackScenario:
+    def test_flower_graph_tricircular_scenario(self, flower_t1_k15, tricircular_on_flower):
+        graph, flowers = flower_t1_k15
+        result = tricircular_on_flower
+        faults = {flowers[0]}
+
+        # 1. the guarantee holds for this fault set
+        assert surviving_diameter(graph, result.routing, faults) <= 4
+
+        # 2. encrypted delivery succeeds across the fault
+        simulator = NetworkSimulator(graph, result.routing, service=XorEncryptionService())
+        simulator.fail_nodes(faults)
+        receipt = simulator.send(("ring", 1), ("ring", 30), "secret payload")
+        assert receipt.delivered
+        assert receipt.routes_used <= 4
+        assert simulator.nodes[("ring", 30)].application_inbox == ["secret payload"]
+
+        # 3. the route-counter broadcast recomputes tables within the bound
+        outcome = route_counter_broadcast(
+            graph, result.routing, ("ring", 1), faults=faults, counter_limit=4
+        )
+        assert outcome.coverage() == 1.0
+
+    def test_two_trees_bipolar_scenario(self, two_trees_t2, bipolar_uni_on_two_trees):
+        graph, r1, r2 = two_trees_t2
+        result = bipolar_uni_on_two_trees
+        m1 = result.details["m1"]
+        faults = {m1[0], m1[1]}  # attack one root's neighbourhood
+
+        assert surviving_diameter(graph, result.routing, faults) <= 4
+        rounds = broadcast_rounds_from_all(graph, result.routing, faults=faults)
+        assert max(rounds.values()) <= 4
+
+    def test_kernel_graph_comparison_of_schemes(self, kernel_graph_t2):
+        graph = kernel_graph_t2
+        kernel = build_routing(graph, strategy="kernel", t=2)
+        clique = build_routing(graph, strategy="kernel+clique", t=2)
+        faults = FaultSet({("bridge", 0)})
+        kernel_diam = surviving_diameter(graph, kernel.routing, faults)
+        clique_diam = surviving_diameter(clique.graph, clique.routing, faults)
+        assert clique_diam <= 3
+        assert kernel_diam <= 2 * kernel.t
+        assert clique_diam <= kernel_diam
+
+    def test_edge_faults_convention(self):
+        graph = generators.circulant_graph(12, [1, 2])
+        result = build_routing(graph, strategy="kernel")
+        edge_faults = [(0, 1), (5, 6)]
+        fault_set = FaultSet.from_edge_faults(graph, edge_faults)
+        assert len(fault_set) <= result.t + 1
+        diam = surviving_diameter(graph, result.routing, fault_set)
+        assert diam != float("inf")
+
+
+class TestRepairScenario:
+    def test_fail_then_repair_restores_diameter(self):
+        graph = generators.cycle_graph(12)
+        result = build_routing(graph, strategy="circular")
+        simulator = NetworkSimulator(graph, result.routing)
+        baseline = simulator.surviving_graph().number_of_edges()
+        simulator.fail_node(4)
+        degraded = simulator.surviving_graph().number_of_edges()
+        simulator.repair_node(4)
+        restored = simulator.surviving_graph().number_of_edges()
+        assert degraded < baseline
+        assert restored == baseline

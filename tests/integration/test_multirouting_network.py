@@ -1,0 +1,89 @@
+"""Integration tests: multiroutings and broadcast running through the simulator.
+
+The Section 6 multiroutings change the surviving-graph semantics (an arc
+survives if *any* parallel route does); these tests make sure the network
+simulator and the broadcast protocol honour that semantics end to end.
+"""
+
+import pytest
+
+from repro.core import (
+    full_multirouting,
+    kernel_multirouting,
+    single_tree_multirouting,
+    surviving_diameter,
+)
+from repro.graphs import generators
+from repro.network import NetworkSimulator, broadcast_rounds_from_all, route_counter_broadcast
+
+
+@pytest.fixture(scope="module")
+def circulant():
+    return generators.circulant_graph(10, [1, 2])
+
+
+class TestFullMultiroutingNetwork:
+    def test_single_segment_deliveries_under_max_faults(self, circulant):
+        result = full_multirouting(circulant)
+        simulator = NetworkSimulator(circulant, result.routing)
+        simulator.fail_nodes([1, 4, 8])  # t = 3 faults
+        alive = [node for node in circulant.nodes() if node not in {1, 4, 8}]
+        for origin, destination in zip(alive[:-1], alive[1:]):
+            receipt = simulator.send(origin, destination, "x")
+            assert receipt.delivered
+            assert receipt.routes_used == 1
+
+    def test_broadcast_single_round(self, circulant):
+        result = full_multirouting(circulant)
+        outcome = route_counter_broadcast(circulant, result.routing, 0, faults={3, 7})
+        assert outcome.rounds_used == 1
+        assert outcome.coverage() == 1.0
+
+
+class TestKernelMultiroutingNetwork:
+    def test_deliveries_within_three_segments(self, circulant):
+        result = kernel_multirouting(circulant)
+        simulator = NetworkSimulator(circulant, result.routing)
+        faults = list(result.concentrator)[:2]
+        simulator.fail_nodes(faults)
+        alive = [node for node in circulant.nodes() if node not in set(faults)]
+        for origin, destination in [(alive[0], alive[-1]), (alive[1], alive[-2])]:
+            receipt = simulator.send(origin, destination, "payload")
+            assert receipt.delivered
+            assert receipt.routes_used <= 3
+
+    def test_broadcast_rounds_bounded(self, circulant):
+        result = kernel_multirouting(circulant)
+        faults = {result.concentrator[0]}
+        rounds = broadcast_rounds_from_all(circulant, result.routing, faults=faults)
+        assert max(rounds.values()) <= surviving_diameter(circulant, result.routing, faults)
+        assert max(rounds.values()) <= 3
+
+
+class TestSingleTreeMultiroutingNetwork:
+    def test_deliveries_survive_concentrator_attack(self, circulant):
+        result = single_tree_multirouting(circulant)
+        simulator = NetworkSimulator(circulant, result.routing)
+        faults = list(result.concentrator)[: result.t]
+        simulator.fail_nodes(faults)
+        alive = [node for node in circulant.nodes() if node not in set(faults)]
+        receipt = simulator.send(alive[0], alive[-1], "payload")
+        assert receipt.delivered
+        assert receipt.routes_used <= 4
+
+    def test_parallel_route_fallback(self, circulant):
+        """If one of the two parallel routes dies, the other still carries the arc."""
+        result = single_tree_multirouting(circulant)
+        routing = result.routing
+        # Find a pair with two distinct parallel routes.
+        pair = next(
+            (p for p in routing.pairs() if len(routing.get_routes(*p)) == 2), None
+        )
+        if pair is None:
+            pytest.skip("no doubly-routed pair on this instance")
+        first, second = routing.get_routes(*pair)
+        only_on_first = [node for node in first if node not in second and node not in pair]
+        if not only_on_first:
+            pytest.skip("routes overlap everywhere except endpoints")
+        surviving = surviving_diameter(circulant, routing, {only_on_first[0]})
+        assert surviving != float("inf")

@@ -1,0 +1,119 @@
+"""Integration tests sweeping each theorem over several graphs / fault levels.
+
+Each test here is a miniature version of the corresponding benchmark: it
+constructs the routing on a couple of graphs satisfying the theorem's
+hypothesis and checks the proven diameter bound against exhaustively or
+adversarially searched fault sets.  The benchmarks run the same sweeps on
+larger instances and print the full tables.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentRunner
+from repro.core import (
+    bidirectional_bipolar_routing,
+    circular_routing,
+    clique_augmented_kernel_routing,
+    full_multirouting,
+    kernel_multirouting,
+    kernel_routing,
+    tricircular_routing,
+    unidirectional_bipolar_routing,
+)
+from repro.faults import all_fault_sets
+from repro.graphs import generators, synthetic
+
+
+class TestTheorem3And4Kernel:
+    @pytest.mark.parametrize("n", [9, 12, 15])
+    def test_cycles(self, n):
+        graph = generators.cycle_graph(n)
+        result = kernel_routing(graph)
+        runner = ExperimentRunner()
+        theorem3 = runner.run(
+            "theorem3", graph, lambda g: kernel_routing(g),
+            max_faults=1, diameter_bound=4,
+        )
+        theorem4 = runner.run(
+            "theorem4", graph, lambda g: kernel_routing(g),
+            max_faults=0, diameter_bound=4,
+        )
+        assert theorem3.holds and theorem4.holds
+        assert result.t == 1
+
+    def test_t2_graph_half_faults(self, kernel_graph_t2):
+        result = kernel_routing(kernel_graph_t2, t=2)
+        runner = ExperimentRunner(exhaustive_limit=1000)
+        record = runner.run(
+            "theorem4", kernel_graph_t2, lambda g: kernel_routing(g, t=2),
+            max_faults=1, diameter_bound=4,
+        )
+        assert record.exhaustive
+        assert record.holds
+
+
+class TestTheorem10Circular:
+    @pytest.mark.parametrize("n", [12, 18, 24])
+    def test_cycles_exhaustive(self, n):
+        graph = generators.cycle_graph(n)
+        result = circular_routing(graph)
+        report_faults = list(all_fault_sets(graph.nodes(), 1))
+        from repro.core import check_tolerance
+
+        report = check_tolerance(graph, result.routing, 6, 1, fault_sets=report_faults)
+        assert report.holds
+
+    def test_flower_t2(self, circular_on_flower):
+        from repro.core import verify_construction
+
+        report = verify_construction(circular_on_flower, exhaustive_limit=400)
+        assert report.exhaustive and report.holds
+
+
+class TestTheorem13AndRemark14Tricircular:
+    def test_standard_variant(self, tricircular_on_flower):
+        from repro.core import verify_construction
+
+        report = verify_construction(tricircular_on_flower, exhaustive_limit=100)
+        assert report.holds
+        assert report.worst_diameter <= 4
+
+    def test_small_variant(self):
+        graph, flowers = synthetic.flower_graph(t=1, k=9)
+        result = tricircular_routing(graph, t=1, concentrator=flowers, small=True)
+        from repro.core import verify_construction
+
+        report = verify_construction(result, exhaustive_limit=100)
+        assert report.holds
+        assert report.worst_diameter <= 5
+
+
+class TestTheorems20And23Bipolar:
+    @pytest.mark.parametrize("n", [11, 14])
+    def test_cycles(self, n):
+        graph = generators.cycle_graph(n)
+        uni = unidirectional_bipolar_routing(graph)
+        bi = bidirectional_bipolar_routing(graph)
+        from repro.core import check_tolerance
+
+        fault_sets = list(all_fault_sets(graph.nodes(), 1))
+        assert check_tolerance(graph, uni.routing, 4, 1, fault_sets=fault_sets).holds
+        assert check_tolerance(graph, bi.routing, 5, 1, fault_sets=fault_sets).holds
+
+    def test_synthetic_two_trees(self, bipolar_uni_on_two_trees, bipolar_bi_on_two_trees):
+        from repro.core import verify_construction
+
+        assert verify_construction(bipolar_uni_on_two_trees, exhaustive_limit=500).holds
+        assert verify_construction(bipolar_bi_on_two_trees, exhaustive_limit=500).holds
+
+
+class TestSection6:
+    def test_multiroutings_and_augmentation(self):
+        graph = generators.circulant_graph(10, [1, 2])
+        from repro.core import verify_construction
+
+        assert verify_construction(full_multirouting(graph)).worst_diameter == 1
+        assert verify_construction(kernel_multirouting(graph)).worst_diameter <= 3
+        augmented = clique_augmented_kernel_routing(graph)
+        assert verify_construction(augmented).worst_diameter <= 3
+        assert augmented.details["added_edge_count"] <= augmented.t * (augmented.t + 1) // 2

@@ -1,0 +1,86 @@
+"""Unit tests for the route-counter broadcast protocol (Section 1)."""
+
+import pytest
+
+from repro.core import circular_routing, kernel_routing, surviving_diameter
+from repro.exceptions import SimulationError
+from repro.graphs import generators
+from repro.network import broadcast_rounds_from_all, route_counter_broadcast
+
+
+@pytest.fixture(scope="module")
+def cycle_setup():
+    graph = generators.cycle_graph(12)
+    return graph, circular_routing(graph)
+
+
+class TestRouteCounterBroadcast:
+    def test_fault_free_full_coverage(self, cycle_setup):
+        graph, result = cycle_setup
+        outcome = route_counter_broadcast(graph, result.routing, 0)
+        assert outcome.coverage() == 1.0
+        assert outcome.reached == set(graph.nodes())
+        assert outcome.rounds_used <= surviving_diameter(graph, result.routing, ())
+
+    def test_rounds_bounded_by_surviving_diameter(self, cycle_setup):
+        graph, result = cycle_setup
+        faults = {3}
+        diam = surviving_diameter(graph, result.routing, faults)
+        outcome = route_counter_broadcast(graph, result.routing, 0, faults=faults)
+        assert outcome.coverage() == 1.0
+        assert outcome.rounds_used <= diam
+
+    def test_counter_limit_at_diameter_still_covers(self, cycle_setup):
+        graph, result = cycle_setup
+        faults = {5}
+        diam = int(surviving_diameter(graph, result.routing, faults))
+        outcome = route_counter_broadcast(
+            graph, result.routing, 0, faults=faults, counter_limit=diam
+        )
+        assert outcome.coverage() == 1.0
+
+    def test_counter_limit_too_small_truncates(self, cycle_setup):
+        graph, result = cycle_setup
+        outcome = route_counter_broadcast(graph, result.routing, 0, counter_limit=1)
+        # With a limit of one round only direct route targets are reached.
+        assert outcome.rounds_used <= 1
+        assert outcome.coverage() < 1.0 or outcome.rounds_used == 1
+
+    def test_faulty_origin_rejected(self, cycle_setup):
+        graph, result = cycle_setup
+        with pytest.raises(SimulationError):
+            route_counter_broadcast(graph, result.routing, 0, faults={0})
+
+    def test_unknown_origin_rejected(self, cycle_setup):
+        graph, result = cycle_setup
+        with pytest.raises(SimulationError):
+            route_counter_broadcast(graph, result.routing, "ghost")
+
+    def test_messages_counted(self, cycle_setup):
+        graph, result = cycle_setup
+        outcome = route_counter_broadcast(graph, result.routing, 0)
+        assert outcome.messages_sent > 0
+        assert outcome.discarded == 0
+
+    def test_repr(self, cycle_setup):
+        graph, result = cycle_setup
+        outcome = route_counter_broadcast(graph, result.routing, 0)
+        assert "rounds" in repr(outcome)
+
+
+class TestBroadcastFromAll:
+    def test_max_rounds_bounded_by_diameter(self, cycle_setup):
+        graph, result = cycle_setup
+        faults = {7}
+        diam = surviving_diameter(graph, result.routing, faults)
+        rounds = broadcast_rounds_from_all(graph, result.routing, faults=faults)
+        assert set(rounds) == set(graph.nodes()) - faults
+        assert max(rounds.values()) <= diam
+
+    def test_kernel_routing_broadcast(self):
+        graph = generators.circulant_graph(10, [1, 2])
+        result = kernel_routing(graph)
+        faults = {result.concentrator[0]}
+        diam = surviving_diameter(graph, result.routing, faults)
+        rounds = broadcast_rounds_from_all(graph, result.routing, faults=faults)
+        assert max(rounds.values()) <= diam

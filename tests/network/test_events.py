@@ -1,0 +1,99 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network import EventQueue
+
+
+class TestScheduling:
+    def test_schedule_and_step(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(0.5, lambda: fired.append("b"))
+        assert len(queue) == 2
+        assert queue.step()
+        assert fired == ["b"]
+        assert queue.now == 0.5
+
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        fired = []
+        for label in "abc":
+            queue.schedule(1.0, lambda label=label: fired.append(label))
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-0.1, lambda: None)
+
+    def test_step_empty_queue(self):
+        assert not EventQueue().step()
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        queue.schedule(0.1, lambda: None)
+        queue.schedule(0.2, lambda: None)
+        queue.run()
+        assert queue.processed == 2
+
+
+class TestRun:
+    def test_run_until(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        queue.schedule(2.0, lambda: fired.append(2))
+        queue.schedule(3.0, lambda: fired.append(3))
+        processed = queue.run(until=2.0)
+        assert processed == 2
+        assert fired == [1, 2]
+        assert len(queue) == 1
+
+    def test_run_max_events(self):
+        queue = EventQueue()
+        for _ in range(5):
+            queue.schedule(1.0, lambda: None)
+        assert queue.run(max_events=3) == 3
+        assert len(queue) == 2
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def cascade():
+            fired.append("first")
+            queue.schedule(1.0, lambda: fired.append("second"))
+
+        queue.schedule(1.0, cascade)
+        queue.run()
+        assert fired == ["first", "second"]
+        assert queue.now == 2.0
+
+    def test_time_advances_monotonically(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(3.0, lambda: times.append(queue.now))
+        queue.schedule(1.0, lambda: times.append(queue.now))
+        queue.schedule(2.0, lambda: times.append(queue.now))
+        queue.run()
+        assert times == sorted(times)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, lambda: fired.append("x"))
+        queue.cancel(event)
+        queue.run()
+        assert fired == []
+        assert len(queue) == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        queue = EventQueue()
+        event = queue.schedule(0.5, lambda: None)
+        queue.run()
+        queue.cancel(event)  # must not raise

@@ -1,0 +1,72 @@
+"""Unit tests for the NetworkNode process."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network import Message, NetworkNode
+
+
+def make_message(route):
+    message = Message(origin=route[0], final_destination=route[-1], payload="x")
+    message.attach_route(route)
+    return message
+
+
+class TestForwarding:
+    def test_forward_returns_next_hop(self):
+        node = NetworkNode("a")
+        message = make_message(["a", "b", "c"])
+        assert node.forward(message) == "b"
+        assert node.stats.forwarded == 1
+
+    def test_forward_at_segment_end_returns_none(self):
+        node = NetworkNode("c")
+        message = make_message(["a", "b", "c"])
+        message.advance()
+        message.advance()
+        assert node.forward(message) is None
+        assert node.stats.received == 1
+
+    def test_forward_wrong_position_rejected(self):
+        node = NetworkNode("z")
+        message = make_message(["a", "b"])
+        with pytest.raises(SimulationError):
+            node.forward(message)
+
+    def test_failed_node_drops(self):
+        node = NetworkNode("a")
+        node.fail()
+        message = make_message(["a", "b"])
+        with pytest.raises(SimulationError):
+            node.forward(message)
+        assert node.stats.dropped == 1
+
+    def test_can_forward_reflects_liveness(self):
+        node = NetworkNode("a")
+        message = make_message(["a", "b"])
+        assert node.can_forward(message)
+        node.fail()
+        assert not node.can_forward(message)
+        node.repair()
+        assert node.can_forward(message)
+
+
+class TestDelivery:
+    def test_deliver_to_application(self):
+        node = NetworkNode("b")
+        message = make_message(["a", "b"])
+        node.deliver(message, "payload")
+        assert node.application_inbox == ["payload"]
+        assert node.delivered == [message]
+
+    def test_failed_node_cannot_deliver(self):
+        node = NetworkNode("b")
+        node.fail()
+        with pytest.raises(SimulationError):
+            node.deliver(make_message(["a", "b"]), "payload")
+
+    def test_repr_shows_status(self):
+        node = NetworkNode("b")
+        assert "up" in repr(node)
+        node.fail()
+        assert "FAILED" in repr(node)

@@ -1,0 +1,95 @@
+"""Unit tests for endpoint services (encryption, checksums, stacking)."""
+
+import pytest
+
+from repro.network import (
+    ChecksumService,
+    EndpointService,
+    NullService,
+    StackedService,
+    XorEncryptionService,
+)
+
+
+class TestNullAndBase:
+    def test_base_service_is_passthrough(self):
+        service = EndpointService()
+        assert service.on_send("payload", 0, 1) == "payload"
+        assert service.on_receive("payload", 0, 1) == "payload"
+        assert service.cost == 1.0
+
+    def test_null_service_zero_cost(self):
+        service = NullService()
+        assert service.cost == 0.0
+        assert service.on_send({"a": 1}, 0, 1) == {"a": 1}
+
+
+class TestXorEncryption:
+    def test_round_trip_string(self):
+        service = XorEncryptionService()
+        wire = service.on_send("secret message", "a", "b")
+        assert wire != "secret message"
+        assert "ciphertext" in wire
+        assert service.on_receive(wire, "a", "b") == "secret message"
+
+    def test_round_trip_bytes(self):
+        service = XorEncryptionService(key=b"k")
+        wire = service.on_send(b"\x00\x01\x02", "a", "b")
+        assert service.on_receive(wire, "a", "b") == b"\x00\x01\x02"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        service = XorEncryptionService()
+        wire = service.on_send("hello", "a", "b")
+        assert wire["ciphertext"] != b"hello"
+
+    def test_unencrypted_payload_passthrough(self):
+        service = XorEncryptionService()
+        assert service.on_receive("plain", "a", "b") == "plain"
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            XorEncryptionService(key=b"")
+
+    def test_cost_positive(self):
+        assert XorEncryptionService().cost > 0
+
+
+class TestChecksum:
+    def test_round_trip(self):
+        service = ChecksumService()
+        wire = service.on_send("important", "a", "b")
+        assert wire["checksum"]
+        assert service.on_receive(wire, "a", "b") == "important"
+
+    def test_corruption_detected(self):
+        service = ChecksumService()
+        wire = service.on_send("important", "a", "b")
+        wire["data"] = "tampered"
+        with pytest.raises(ValueError):
+            service.on_receive(wire, "a", "b")
+
+    def test_bytes_payload(self):
+        service = ChecksumService()
+        wire = service.on_send(b"\x01\x02", "a", "b")
+        assert service.on_receive(wire, "a", "b") == b"\x01\x02"
+
+    def test_passthrough_for_untagged(self):
+        assert ChecksumService().on_receive(123, "a", "b") == 123
+
+
+class TestStackedService:
+    def test_round_trip_through_stack(self):
+        # Encrypt first, then checksum the ciphertext envelope (the usual
+        # encrypt-then-MAC layering); receive reverses the order.
+        service = StackedService(XorEncryptionService(), ChecksumService())
+        wire = service.on_send("layered", "a", "b")
+        assert service.on_receive(wire, "a", "b") == "layered"
+
+    def test_cost_is_sum(self):
+        checksum = ChecksumService()
+        xor = XorEncryptionService()
+        assert StackedService(checksum, xor).cost == checksum.cost + xor.cost
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            StackedService()

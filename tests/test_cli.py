@@ -1,0 +1,121 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import GRAPH_FACTORIES, build_parser, main, parse_graph_spec
+from repro.serialization import construction_from_dict, load_json
+
+
+class TestGraphSpecParsing:
+    def test_cycle_spec(self):
+        graph = parse_graph_spec("cycle:10")
+        assert graph.number_of_nodes() == 10
+
+    def test_circulant_spec_with_offsets(self):
+        graph = parse_graph_spec("circulant:12,1,3")
+        assert graph.degree(0) == 4
+
+    def test_grid_spec(self):
+        graph = parse_graph_spec("grid:3,4")
+        assert graph.number_of_nodes() == 12
+
+    def test_gnp_spec(self):
+        graph = parse_graph_spec("gnp:20,0.2,3")
+        assert graph.number_of_nodes() == 20
+
+    def test_flower_and_two_trees(self):
+        assert parse_graph_spec("flower:1,5").number_of_nodes() == 5 * 3 + 5
+        assert parse_graph_spec("two-trees:1").number_of_nodes() > 0
+
+    def test_defaults_when_args_missing(self):
+        graph = parse_graph_spec("hypercube")
+        assert graph.number_of_nodes() == 8
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            parse_graph_spec("klein-bottle:3")
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            parse_graph_spec("gnp:20,not-a-float")
+
+    def test_every_registered_family_builds(self):
+        for name in GRAPH_FACTORIES:
+            graph = parse_graph_spec(name)
+            assert graph.number_of_nodes() > 0
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build", "--graph", "cycle:10"])
+        assert args.strategy == "auto"
+        assert args.t is None
+
+
+class TestCommands:
+    def test_graphs_command(self, capsys):
+        assert main(["graphs"]) == 0
+        output = capsys.readouterr().out
+        assert "cycle" in output
+        assert "hypercube" in output
+
+    def test_build_command(self, capsys):
+        assert main(["build", "--graph", "cycle:12", "--strategy", "kernel"]) == 0
+        output = capsys.readouterr().out
+        assert "scheme" in output
+        assert "kernel" in output
+
+    def test_build_with_output(self, tmp_path, capsys):
+        target = str(tmp_path / "routing.json")
+        code = main(["build", "--graph", "cycle:10", "--strategy", "circular", "--output", target])
+        assert code == 0
+        document = load_json(target)
+        restored = construction_from_dict(document)
+        assert restored.scheme == "circular"
+
+    def test_verify_command_success(self, capsys):
+        assert main(["verify", "--graph", "cycle:12", "--strategy", "circular"]) == 0
+        assert "holds" in capsys.readouterr().out
+
+    def test_stats_command(self, capsys):
+        assert main(["stats", "--graph", "circulant:10,1,2", "--strategy", "kernel"]) == 0
+        output = capsys.readouterr().out
+        assert "mean_len" in output
+        assert "concentrator load share" in output
+
+    def test_simulate_command(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--graph", "cycle:12",
+                "--strategy", "circular",
+                "--faults", "3",
+                "--messages", "4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Simulated deliveries" in output
+        assert "delivered" in output
+
+    def test_simulate_unknown_fault_node(self, capsys):
+        code = main(
+            ["simulate", "--graph", "cycle:12", "--faults", "99", "--messages", "1"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_error_exit_code_on_bad_graph(self, capsys):
+        assert main(["build", "--graph", "nonsense:1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_error_on_inapplicable_strategy(self, capsys):
+        # The hypercube lacks the two-trees property; requesting bipolar fails cleanly.
+        code = main(["build", "--graph", "hypercube:3", "--strategy", "bipolar-uni"])
+        assert code == 2

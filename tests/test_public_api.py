@@ -1,0 +1,84 @@
+"""Smoke tests for the public API surface.
+
+A downstream user should be able to rely on everything exported through
+``repro.__all__`` and the subpackage ``__all__`` lists; these tests pin that
+surface so accidental removals show up as failures rather than as import
+errors in user code.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PUBLIC_SUBPACKAGES = [
+    "repro.graphs",
+    "repro.core",
+    "repro.faults",
+    "repro.network",
+    "repro.analysis",
+    "repro.serialization",
+    "repro.cli",
+]
+
+
+class TestTopLevelApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") >= 1
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_entry_points_importable(self):
+        assert callable(repro.build_routing)
+        assert callable(repro.surviving_diameter)
+        assert callable(repro.kernel_routing)
+        assert callable(repro.tricircular_routing)
+
+    def test_docstring_mentions_paper(self):
+        assert "Peleg" in repro.__doc__
+        assert "Simons" in repro.__doc__
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_SUBPACKAGES)
+class TestSubpackages:
+    def test_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    def test_all_lists_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestConstructionRegistry:
+    def test_every_strategy_maps_to_callable(self):
+        from repro.core import STRATEGIES
+
+        for name, factory in STRATEGIES.items():
+            assert callable(factory), name
+
+    def test_auto_order_complete(self):
+        from repro.core import AUTO_ORDER, STRATEGIES
+
+        # Every single-routing scheme that can be auto-selected is present.
+        assert set(AUTO_ORDER) <= set(STRATEGIES)
+        assert "kernel" in AUTO_ORDER  # the universal fallback stays last
+        assert AUTO_ORDER[-1] == "kernel"
+
+    def test_exception_hierarchy(self):
+        from repro import exceptions
+
+        assert issubclass(exceptions.GraphError, exceptions.ReproError)
+        assert issubclass(exceptions.RoutingError, exceptions.ReproError)
+        assert issubclass(exceptions.ConstructionError, exceptions.RoutingError)
+        assert issubclass(exceptions.PropertyNotSatisfiedError, exceptions.ConstructionError)
+        assert issubclass(exceptions.FaultModelError, exceptions.ReproError)
+        assert issubclass(exceptions.SimulationError, exceptions.ReproError)
+        assert issubclass(exceptions.DeliveryError, exceptions.SimulationError)
+        assert issubclass(exceptions.NodeNotFoundError, KeyError)

@@ -1,0 +1,156 @@
+"""Unit tests for JSON serialisation of graphs, routings and constructions."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import (
+    MultiRouting,
+    Routing,
+    full_multirouting,
+    kernel_routing,
+    surviving_diameter,
+)
+from repro.graphs import generators, synthetic
+from repro.serialization import (
+    SerializationError,
+    construction_from_dict,
+    construction_to_dict,
+    decode_node,
+    encode_node,
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    routing_from_dict,
+    routing_to_dict,
+    save_json,
+)
+
+
+class TestNodeEncoding:
+    def test_scalars_roundtrip(self):
+        for node in (0, -5, 3.5, "name", True, None):
+            assert decode_node(encode_node(node)) == node
+
+    def test_tuples_roundtrip(self):
+        for node in (("ring", 3), ("a", ("b", 1)), (1, 2, 3)):
+            assert decode_node(encode_node(node)) == node
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_node(object())
+
+    def test_bad_document_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_node({"not-a-tuple": []})
+
+
+class TestGraphRoundtrip:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            generators.cycle_graph(8),
+            generators.hypercube_graph(3),
+            generators.grid_graph(3, 3),
+            synthetic.flower_graph(t=1, k=3)[0],
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_roundtrip_preserves_structure(self, graph):
+        document = graph_to_dict(graph)
+        restored = graph_from_dict(document)
+        assert restored == graph
+        assert restored.name == graph.name
+
+    def test_document_is_json_serialisable(self):
+        document = graph_to_dict(generators.grid_graph(2, 3))
+        json.dumps(document)
+
+    def test_wrong_kind_rejected(self):
+        document = graph_to_dict(generators.cycle_graph(4))
+        document["kind"] = "routing"
+        with pytest.raises(SerializationError):
+            graph_from_dict(document)
+
+    def test_wrong_version_rejected(self):
+        document = graph_to_dict(generators.cycle_graph(4))
+        document["format"] = 99
+        with pytest.raises(SerializationError):
+            graph_from_dict(document)
+
+
+class TestRoutingRoundtrip:
+    def test_bidirectional_routing(self):
+        graph = generators.cycle_graph(10)
+        result = kernel_routing(graph)
+        document = routing_to_dict(result.routing)
+        restored = routing_from_dict(document)
+        assert len(restored) == len(result.routing)
+        assert restored.bidirectional
+        for pair, path in result.routing.items():
+            assert restored.get_route(*pair) == path
+
+    def test_restored_routing_behaves_identically(self):
+        graph = generators.cycle_graph(10)
+        result = kernel_routing(graph)
+        restored = routing_from_dict(routing_to_dict(result.routing))
+        for faults in (set(), {0}, {3}):
+            assert surviving_diameter(restored.graph, restored, faults) == surviving_diameter(
+                graph, result.routing, faults
+            )
+
+    def test_multirouting_roundtrip(self):
+        graph = generators.circulant_graph(8, [1, 2])
+        result = full_multirouting(graph)
+        restored = routing_from_dict(routing_to_dict(result.routing))
+        assert isinstance(restored, MultiRouting)
+        assert restored.route_count() == result.routing.route_count()
+
+    def test_bind_to_existing_graph(self):
+        graph = generators.cycle_graph(6)
+        routing = Routing(graph)
+        routing.add_all_edge_routes()
+        restored = routing_from_dict(routing_to_dict(routing), graph=graph)
+        assert restored.graph is graph
+
+    def test_wrong_kind_rejected(self):
+        document = graph_to_dict(generators.cycle_graph(4))
+        with pytest.raises(SerializationError):
+            routing_from_dict(document)
+
+
+class TestConstructionRoundtrip:
+    def test_roundtrip(self):
+        graph = generators.cycle_graph(12)
+        result = kernel_routing(graph)
+        restored = construction_from_dict(construction_to_dict(result))
+        assert restored.scheme == result.scheme
+        assert restored.t == result.t
+        assert restored.guarantee.diameter_bound == result.guarantee.diameter_bound
+        assert restored.guarantee.max_faults == result.guarantee.max_faults
+        assert restored.concentrator == result.concentrator
+        assert len(restored.routing) == len(result.routing)
+
+    def test_non_serialisable_details_dropped(self):
+        graph = generators.cycle_graph(12)
+        result = kernel_routing(graph)
+        result.details["weird"] = object()
+        document = construction_to_dict(result)
+        assert "weird" not in document["details"]
+        json.dumps(document)
+
+
+class TestFileHelpers:
+    def test_save_and_load_path(self, tmp_path):
+        graph = generators.cycle_graph(6)
+        path = str(tmp_path / "graph.json")
+        save_json(graph_to_dict(graph), path)
+        assert graph_from_dict(load_json(path)) == graph
+
+    def test_save_and_load_stream(self):
+        graph = generators.cycle_graph(5)
+        buffer = io.StringIO()
+        save_json(graph_to_dict(graph), buffer)
+        buffer.seek(0)
+        assert graph_from_dict(load_json(buffer)) == graph

@@ -1,0 +1,86 @@
+"""Property-based round-trip tests for the serialisation layer."""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Routing, kernel_routing, surviving_diameter
+from repro.graphs.generators import gnp_random_graph, random_k_connected_graph
+from repro.serialization import (
+    decode_node,
+    encode_node,
+    graph_from_dict,
+    graph_to_dict,
+    routing_from_dict,
+    routing_to_dict,
+)
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+node_labels = st.recursive(
+    st.one_of(
+        st.integers(min_value=-10 ** 6, max_value=10 ** 6),
+        st.text(max_size=12),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.tuples(children, children),
+    max_leaves=4,
+)
+
+
+class TestNodeLabelRoundtrip:
+    @SETTINGS
+    @given(node_labels)
+    def test_roundtrip(self, label):
+        assert decode_node(encode_node(label)) == label
+
+
+class TestGraphRoundtrip:
+    @SETTINGS
+    @given(
+        st.integers(min_value=0, max_value=18),
+        st.floats(min_value=0.0, max_value=0.6),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_random_graph_roundtrip(self, n, p, seed):
+        graph = gnp_random_graph(n, p, seed=seed)
+        assert graph_from_dict(graph_to_dict(graph)) == graph
+
+
+class TestRoutingRoundtrip:
+    @SETTINGS
+    @given(
+        st.integers(min_value=8, max_value=14),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_kernel_routing_roundtrip_preserves_surviving_diameter(self, n, seed):
+        graph = random_k_connected_graph(n, 2, seed=seed)
+        result = kernel_routing(graph)
+        restored = routing_from_dict(routing_to_dict(result.routing))
+        nodes = graph.nodes()
+        fault = {nodes[seed % len(nodes)]}
+        assert surviving_diameter(restored.graph, restored, fault) == surviving_diameter(
+            graph, result.routing, fault
+        )
+
+    @SETTINGS
+    @given(
+        st.integers(min_value=5, max_value=12),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_edge_routing_roundtrip_is_exact(self, n, seed):
+        graph = random_k_connected_graph(n, 2, seed=seed)
+        routing = Routing(graph, name="edges")
+        routing.add_all_edge_routes()
+        restored = routing_from_dict(routing_to_dict(routing))
+        assert set(restored.pairs()) == set(routing.pairs())
+        for pair in routing.pairs():
+            assert restored.get_route(*pair) == routing.get_route(*pair)
