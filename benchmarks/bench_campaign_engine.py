@@ -1,0 +1,175 @@
+"""Throughput benchmark: naive vs indexed vs parallel fault-campaign engines.
+
+For each graph family the same fault battery is evaluated three ways:
+
+* **naive** — the per-fault-set path that re-walks every route
+  (:func:`repro.core.surviving.surviving_diameter` without an index);
+* **indexed** — :class:`repro.faults.engine.CampaignEngine` with one worker,
+  i.e. the :class:`~repro.core.route_index.RouteIndex` subtraction path;
+* **parallel** — the same engine sharded over a process pool.
+
+All three must produce identical outcomes (asserted); the table reports the
+wall-clock ratio.  The acceptance target for the engine is a >= 3x speedup
+of the indexed path over the naive path on the 200-node battery, which this
+script checks and records in its output.
+
+Run directly (no pytest needed)::
+
+    python benchmarks/bench_campaign_engine.py          # full suite
+    python benchmarks/bench_campaign_engine.py --quick  # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List
+
+if __package__ in (None, ""):  # allow running as a plain script from anywhere
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.analysis import format_table
+from repro.core import (
+    clique_augmented_kernel_routing,
+    kernel_routing,
+    surviving_diameter,
+)
+from repro.faults import CampaignEngine, random_fault_sets
+from repro.graphs import generators
+
+#: The acceptance threshold for the indexed engine on the 200-node battery.
+TARGET_SPEEDUP = 3.0
+
+
+def _workloads(quick: bool):
+    """Yield ``(name, graph, construct, fault_size, samples, is_target)``."""
+    if quick:
+        yield ("hypercube-16", generators.hypercube_graph(4), kernel_routing, 2, 8, False)
+        yield (
+            "random-regular-20",
+            generators.random_regular_graph(4, 20, seed=7),
+            kernel_routing,
+            2,
+            8,
+            False,
+        )
+        yield (
+            "clique-kernel-16",
+            generators.cycle_graph(16),
+            clique_augmented_kernel_routing,
+            1,
+            8,
+            False,
+        )
+        return
+    yield ("hypercube-64", generators.hypercube_graph(6), kernel_routing, 3, 30, False)
+    yield (
+        "random-regular-100",
+        generators.random_regular_graph(4, 100, seed=7),
+        kernel_routing,
+        3,
+        30,
+        False,
+    )
+    yield (
+        "clique-kernel-60",
+        generators.cycle_graph(60),
+        clique_augmented_kernel_routing,
+        1,
+        30,
+        False,
+    )
+    yield (
+        "circulant-200",
+        generators.circulant_graph(200, [1, 2]),
+        kernel_routing,
+        3,
+        40,
+        True,
+    )
+
+
+def run(quick: bool, workers: int) -> int:
+    rows: List[dict] = []
+    target_speedups: List[float] = []
+    for name, graph, construct, fault_size, samples, is_target in _workloads(quick):
+        result = construct(graph)
+        battery = list(
+            random_fault_sets(graph.nodes(), fault_size, samples, seed=13)
+        )
+
+        start = time.perf_counter()
+        naive = [
+            surviving_diameter(graph, result.routing, fault_set)
+            for fault_set in battery
+        ]
+        naive_seconds = time.perf_counter() - start
+
+        engine = CampaignEngine(graph, result.routing, workers=1)
+        start = time.perf_counter()
+        indexed = [diam for _, diam in engine.evaluate(battery)]
+        indexed_seconds = time.perf_counter() - start
+
+        pool_engine = CampaignEngine(graph, result.routing, workers=workers)
+        start = time.perf_counter()
+        parallel = [diam for _, diam in pool_engine.evaluate(battery)]
+        parallel_seconds = time.perf_counter() - start
+
+        assert naive == indexed == parallel, f"engine outcomes diverged on {name}"
+        speedup = naive_seconds / indexed_seconds if indexed_seconds else float("inf")
+        if is_target:
+            target_speedups.append(speedup)
+        rows.append(
+            {
+                "family": name,
+                "n": graph.number_of_nodes(),
+                "faults": fault_size,
+                "battery": len(battery),
+                "naive_s": round(naive_seconds, 3),
+                "indexed_s": round(indexed_seconds, 3),
+                f"parallel_s(w={workers})": round(parallel_seconds, 3),
+                "indexed_speedup": f"{speedup:.1f}x",
+            }
+        )
+
+    print(
+        format_table(
+            rows,
+            caption="Campaign engine throughput: naive vs indexed vs parallel",
+        )
+    )
+    if quick:
+        print("\nquick mode: equivalence checked, speedup target not enforced")
+        return 0
+    worst = min(target_speedups)
+    status = "PASS" if worst >= TARGET_SPEEDUP else "FAIL"
+    print(
+        f"\n200-node battery indexed speedup: {worst:.1f}x "
+        f"(target >= {TARGET_SPEEDUP:.0f}x) -> {status}"
+    )
+    return 0 if worst >= TARGET_SPEEDUP else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small graphs only (CI smoke run; no speedup target)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(2, min(4, os.cpu_count() or 1)),
+        help="worker processes for the parallel run",
+    )
+    args = parser.parse_args(argv)
+    return run(args.quick, args.workers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

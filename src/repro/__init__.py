@@ -12,9 +12,17 @@ The package is organised as follows:
   disjoint paths, separators, structural properties, generators);
 * :mod:`repro.core`     — the paper's constructions: kernel, circular,
   tri-circular and bipolar routings, multiroutings, network augmentation,
-  surviving route graphs and ``(d, f)``-tolerance checking;
-* :mod:`repro.faults`   — fault models, adversarial fault-set search and
-  Monte-Carlo fault-injection campaigns;
+  surviving route graphs, ``(d, f)``-tolerance checking, and
+  :class:`~repro.core.route_index.RouteIndex`, the precomputed inverted
+  index (``node -> routes through it`` plus a cached base route graph) that
+  turns each fault-set evaluation into an incremental subtraction instead of
+  a full re-walk of all ``n^2`` routes;
+* :mod:`repro.faults`   — fault models, adversarial fault-set search,
+  Monte-Carlo fault-injection campaigns, and
+  :class:`~repro.faults.engine.CampaignEngine`, the indexed campaign runner
+  that shards fault batteries across a ``multiprocessing`` pool with
+  deterministic per-shard seeding (same seed => same rows for any worker
+  count) and streaming, bounded-memory aggregation;
 * :mod:`repro.network`  — a small discrete-event message-passing simulator
   that runs the routings as a real network would (fixed source routes,
   endpoint services, route-counter broadcast for table recomputation);
@@ -30,12 +38,22 @@ Quickstart::
     result = build_routing(graph)            # picks the strongest construction
     print(result.describe())
     print(surviving_diameter(graph, result.routing, faults={0, 3, 5}))
+
+Campaigns at scale go through the engine (``repro campaign`` on the command
+line)::
+
+    from repro import CampaignEngine
+
+    engine = CampaignEngine(graph, result.routing, workers=4)
+    for row in engine.sweep_fault_sizes([1, 2, 3], samples=200, seed=0):
+        print(row.as_row())
 """
 
 from repro.core import (
     ConstructionResult,
     Guarantee,
     MultiRouting,
+    RouteIndex,
     Routing,
     ToleranceReport,
     bidirectional_bipolar_routing,
@@ -54,7 +72,7 @@ from repro.core import (
     verify_construction,
 )
 from repro.graphs import Graph, DiGraph
-from repro.faults import FaultSet
+from repro.faults import CampaignEngine, CampaignResult, FaultSet
 
 __version__ = "1.0.0"
 
@@ -62,6 +80,7 @@ __all__ = [
     "ConstructionResult",
     "Guarantee",
     "MultiRouting",
+    "RouteIndex",
     "Routing",
     "ToleranceReport",
     "bidirectional_bipolar_routing",
@@ -80,6 +99,8 @@ __all__ = [
     "verify_construction",
     "Graph",
     "DiGraph",
+    "CampaignEngine",
+    "CampaignResult",
     "FaultSet",
     "__version__",
 ]

@@ -63,11 +63,19 @@ class ExperimentRecord:
 
 
 class ExperimentRunner:
-    """Run "construct + attack + compare" experiments and collect records."""
+    """Run "construct + attack + compare" experiments and collect records.
 
-    def __init__(self, exhaustive_limit: int = 20000, seed: int = 0) -> None:
+    Fault batteries are evaluated through the indexed campaign engine; set
+    ``workers > 1`` to shard each battery across a process pool (results are
+    identical for any worker count).
+    """
+
+    def __init__(
+        self, exhaustive_limit: int = 20000, seed: int = 0, workers: int = 1
+    ) -> None:
         self.exhaustive_limit = exhaustive_limit
         self.seed = seed
+        self.workers = workers
         self.records: List[ExperimentRecord] = []
 
     def run(
@@ -110,6 +118,7 @@ class ExperimentRunner:
             exhaustive_limit=self.exhaustive_limit,
             concentrator=result.concentrator,
             seed=self.seed,
+            workers=self.workers,
         )
         elapsed = time.perf_counter() - start
         record = ExperimentRecord(

@@ -11,6 +11,10 @@ driven without writing Python:
   prints the routing-table statistics (lengths, stretch, load);
 * ``python -m repro simulate --graph cycle:16 --faults 3,7 --messages 5``
   runs the network simulator over the routing with the given failed nodes;
+* ``python -m repro campaign --graph circulant:24,1,2 --sizes 1,2,3 --samples 100``
+  runs indexed Monte-Carlo fault campaigns (one per fault-set size) through
+  the :class:`~repro.faults.engine.CampaignEngine`, optionally sharded over
+  ``--workers`` processes (same seed => same rows for any worker count);
 * ``python -m repro graphs``
   lists the graph specifications the ``--graph`` option accepts.
 
@@ -31,6 +35,7 @@ from repro.core import build_routing, verify_construction
 from repro.core.statistics import concentrator_load_share, routing_statistics
 from repro.core.builder import available_strategies
 from repro.exceptions import ReproError
+from repro.faults import CampaignEngine
 from repro.graphs import generators, synthetic
 from repro.graphs.graph import Graph
 from repro.network import NetworkSimulator, XorEncryptionService
@@ -176,6 +181,45 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if all(row["delivered"] == "yes" for row in rows) else 1
 
 
+def _parse_sizes(text: str) -> List[int]:
+    sizes = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        value = int(token)
+        if value < 0:
+            raise ValueError(f"fault-set size must be non-negative, got {value}")
+        sizes.append(value)
+    if not sizes:
+        raise ValueError("no fault-set sizes given (e.g. --sizes 1,2,3)")
+    return sizes
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    graph, result = _build(args)
+    sizes = _parse_sizes(args.sizes)
+    engine = CampaignEngine(
+        graph, result.routing, workers=args.workers, chunk_size=args.chunk_size
+    )
+    campaigns = engine.sweep_fault_sizes(sizes, samples=args.samples, seed=args.seed)
+    print(result.describe())
+    print()
+    print(
+        format_table(
+            [campaign.as_row() for campaign in campaigns],
+            caption=(
+                f"Fault campaigns ({args.samples} samples/size, "
+                f"workers={args.workers}, seed={args.seed})"
+            ),
+        )
+    )
+    for campaign in campaigns:
+        if campaign.worst_fault_set is not None and len(campaign.worst_fault_set):
+            print(f"worst at |F|={campaign.fault_size}: {campaign.worst_fault_set}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -217,6 +261,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub_simulate.add_argument("--messages", type=int, default=5)
     sub_simulate.add_argument("--seed", type=int, default=0)
     sub_simulate.set_defaults(handler=_cmd_simulate)
+
+    sub_campaign = subparsers.add_parser(
+        "campaign", help="run indexed Monte-Carlo fault campaigns per fault-set size"
+    )
+    add_common(sub_campaign)
+    sub_campaign.add_argument(
+        "--sizes", default="1,2,3", help="comma-separated fault-set sizes, e.g. 1,2,3"
+    )
+    sub_campaign.add_argument("--samples", type=int, default=100)
+    sub_campaign.add_argument("--seed", type=int, default=0)
+    sub_campaign.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the evaluation"
+    )
+    sub_campaign.add_argument(
+        "--chunk-size", type=int, default=32, help="fault sets per shard"
+    )
+    sub_campaign.set_defaults(handler=_cmd_campaign)
 
     sub_graphs = subparsers.add_parser("graphs", help="list available graph families")
     sub_graphs.set_defaults(handler=_cmd_graphs)

@@ -15,6 +15,7 @@ from repro.core.concentrators import (
     two_trees_concentrator,
     two_trees_concentrator_for_roots,
 )
+from repro.core.route_index import RouteIndex
 from repro.core.surviving import (
     broadcast_round_bound,
     route_survives,
@@ -86,6 +87,7 @@ __all__ = [
     "required_neighborhood_set_size",
     "two_trees_concentrator",
     "two_trees_concentrator_for_roots",
+    "RouteIndex",
     "broadcast_round_bound",
     "route_survives",
     "routes_affected_by",

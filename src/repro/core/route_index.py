@@ -1,0 +1,196 @@
+"""Precomputed route index for incremental surviving-route-graph evaluation.
+
+Evaluating a fault set the naive way (:func:`repro.core.surviving
+.surviving_route_graph`) re-walks every route of the routing — ``O(n^2 *
+route-length)`` work per fault set — even though a typical fault set touches
+only a small fraction of the routes.  :class:`RouteIndex` amortises that work
+across a whole campaign: it is built **once** per ``(graph, routing)`` pair
+and precomputes
+
+* the *base route graph* — the surviving route graph of the empty fault set
+  (an arc per routed pair), stored as plain successor sets;
+* an inverted index ``node -> {(x, y) pairs whose route(s) pass through it}``;
+* for multiroutings, the node sets of every parallel route, so that an
+  affected pair can be re-checked against only its own routes.
+
+A fault set ``F`` is then evaluated by *subtraction*: copy the base successor
+sets minus the faulty nodes (one C-level set difference per node) and delete
+the arcs of the pairs indexed under each fault.  The result is exactly the
+graph the naive path builds — same nodes, same arcs, same diameter — but the
+per-fault-set cost is ``O(n^2 + |F| * affected)`` instead of
+``O(n^2 * route-length)``, independent of route lengths.
+
+:meth:`RouteIndex.surviving_diameter` additionally computes the diameter with
+a frontier-set BFS that advances whole BFS levels with C-level set unions,
+which on the dense surviving route graphs of total routings (diameter 2-4) is
+several times faster than the per-neighbour BFS in
+:mod:`repro.graphs.traversal` while returning the identical value.
+
+The index is read-only with respect to the graph and routing: mutating either
+after building the index invalidates it (build a fresh one instead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Set, Tuple, Union
+
+from repro.core.routing import MultiRouting, Routing
+from repro.exceptions import FaultModelError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import INFINITY
+
+Node = Hashable
+Pair = Tuple[Node, Node]
+AnyRouting = Union[Routing, MultiRouting]
+
+_NO_PAIRS: FrozenSet[Pair] = frozenset()
+
+
+class RouteIndex:
+    """Inverted route index over a fixed ``(graph, routing)`` pair.
+
+    Parameters
+    ----------
+    graph:
+        The underlying network ``G``.
+    routing:
+        A :class:`Routing` or :class:`MultiRouting` over ``graph``.
+
+    Notes
+    -----
+    Building the index costs one pass over every route (the same work as a
+    single naive fault-set evaluation); every subsequent evaluation through
+    the index is incremental.  The index holds only node/pair references, so
+    it is cheap to pickle and ship to worker processes.
+    """
+
+    def __init__(self, graph: Graph, routing: AnyRouting) -> None:
+        self.graph = graph
+        self.routing = routing
+        self._nodes: Tuple[Node, ...] = tuple(graph.nodes())
+        self._node_set: FrozenSet[Node] = frozenset(self._nodes)
+        self._base_succ: Dict[Node, Set[Node]] = {node: set() for node in self._nodes}
+        self._pairs_through: Dict[Node, Set[Pair]] = {}
+        # Only populated for multiroutings: pair -> node sets of its routes.
+        self._pair_routes: Dict[Pair, Tuple[FrozenSet[Node], ...]] = {}
+        self._multi = isinstance(routing, MultiRouting)
+        if self._multi:
+            for pair in routing.pairs():
+                routes = tuple(frozenset(path) for path in routing.get_routes(*pair))
+                if not routes:
+                    continue
+                self._pair_routes[pair] = routes
+                self._base_succ[pair[0]].add(pair[1])
+                for node in frozenset().union(*routes):
+                    self._pairs_through.setdefault(node, set()).add(pair)
+        else:
+            for pair, path in routing.items():
+                self._base_succ[pair[0]].add(pair[1])
+                for node in path:
+                    self._pairs_through.setdefault(node, set()).add(pair)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pairs_through(self, node: Node) -> FrozenSet[Pair]:
+        """Return the ordered pairs whose route(s) traverse ``node``."""
+        return frozenset(self._pairs_through.get(node, _NO_PAIRS))
+
+    def base_route_graph(self) -> DiGraph:
+        """Return a copy of the cached fault-free route graph."""
+        return self._build_digraph(self._surviving_succ(frozenset()))
+
+    def matches(self, graph: Graph, routing: AnyRouting) -> bool:
+        """Return ``True`` when the index was built for exactly these objects."""
+        return graph is self.graph and routing is self.routing
+
+    # ------------------------------------------------------------------
+    # Incremental evaluation
+    # ------------------------------------------------------------------
+    def _check_faults(self, faults: Iterable[Node]) -> FrozenSet[Node]:
+        fault_set = frozenset(faults)
+        if not fault_set <= self._node_set:
+            missing = next(iter(fault_set - self._node_set))
+            raise FaultModelError(
+                f"faulty node {missing!r} is not a node of the graph"
+            )
+        return fault_set
+
+    def _surviving_succ(self, fault_set: FrozenSet[Node]) -> Dict[Node, Set[Node]]:
+        """Successor sets of ``R(G, rho)/F`` by subtraction from the base."""
+        succ: Dict[Node, Set[Node]] = {}
+        if fault_set:
+            for node, base in self._base_succ.items():
+                if node not in fault_set:
+                    succ[node] = base - fault_set
+        else:
+            for node, base in self._base_succ.items():
+                succ[node] = set(base)
+            return succ
+
+        affected: Set[Pair] = set()
+        for fault in fault_set:
+            affected |= self._pairs_through.get(fault, _NO_PAIRS)
+        for source, target in affected:
+            if source in fault_set or target in fault_set:
+                continue
+            if self._multi and any(
+                routes.isdisjoint(fault_set)
+                for routes in self._pair_routes[(source, target)]
+            ):
+                continue
+            succ[source].discard(target)
+        return succ
+
+    def _build_digraph(self, succ: Dict[Node, Set[Node]]) -> DiGraph:
+        surviving = DiGraph(name=f"R({self.graph.name or 'G'})/F")
+        for node in succ:
+            surviving.add_node(node)
+        for source, targets in succ.items():
+            for target in targets:
+                surviving.add_edge(source, target)
+        return surviving
+
+    def surviving_route_graph(self, faults: Iterable[Node]) -> DiGraph:
+        """Return ``R(G, rho)/F`` — identical to the naive construction."""
+        return self._build_digraph(self._surviving_succ(self._check_faults(faults)))
+
+    def surviving_diameter(self, faults: Iterable[Node]) -> float:
+        """Return the diameter of ``R(G, rho)/F`` (``inf`` if disconnected)."""
+        succ = self._surviving_succ(self._check_faults(faults))
+        return _succ_diameter(succ)
+
+
+def _succ_diameter(succ: Dict[Node, Set[Node]]) -> float:
+    """Diameter of the digraph given by successor sets, via level-set BFS.
+
+    Matches the conventions of :func:`repro.graphs.traversal.diameter`:
+    ``inf`` for the empty or non-strongly-connected graph, ``0`` for a single
+    node.  Each BFS level is advanced with whole-set unions, so the inner
+    loop runs in C; on the dense, small-diameter surviving route graphs this
+    dominates the per-node BFS by a large constant factor.
+    """
+    total = len(succ)
+    if total == 0:
+        return INFINITY
+    worst = 0
+    for source in succ:
+        visited = {source}
+        frontier = {source}
+        eccentricity = 0
+        while frontier and len(visited) < total:
+            level: Set[Node] = set()
+            for node in frontier:
+                level |= succ[node]
+            level -= visited
+            if not level:
+                break
+            eccentricity += 1
+            visited |= level
+            frontier = level
+        if len(visited) != total:
+            return INFINITY
+        if eccentricity > worst:
+            worst = eccentricity
+    return worst

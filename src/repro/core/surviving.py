@@ -40,8 +40,15 @@ def route_survives(path: Iterable[Node], faults: Set[Node]) -> bool:
     return not any(node in faults for node in path)
 
 
+def _check_index(graph: Graph, routing: AnyRouting, index) -> None:
+    if not index.matches(graph, routing):
+        raise ValueError(
+            "the supplied RouteIndex was built for a different graph or routing"
+        )
+
+
 def surviving_route_graph(
-    graph: Graph, routing: AnyRouting, faults: Iterable[Node]
+    graph: Graph, routing: AnyRouting, faults: Iterable[Node], index=None
 ) -> DiGraph:
     """Build the surviving route graph ``R(G, rho)/F``.
 
@@ -59,7 +66,15 @@ def surviving_route_graph(
         *any* of the parallel routes survives.
     faults:
         The set ``F`` of faulty nodes (must all belong to ``G``).
+    index:
+        Optional :class:`~repro.core.route_index.RouteIndex` built for this
+        exact ``(graph, routing)`` pair; when given, the graph is derived by
+        subtraction from the cached base instead of re-walking every route.
+        The result is identical to the naive construction.
     """
+    if index is not None:
+        _check_index(graph, routing, index)
+        return index.surviving_route_graph(faults)
     fault_set = _check_faults(graph, faults)
     surviving = DiGraph(name=f"R({graph.name or 'G'})/F")
     for node in graph.nodes():
@@ -85,9 +100,17 @@ def surviving_route_graph(
 
 
 def surviving_diameter(
-    graph: Graph, routing: AnyRouting, faults: Iterable[Node]
+    graph: Graph, routing: AnyRouting, faults: Iterable[Node], index=None
 ) -> float:
-    """Return the diameter of the surviving route graph (``inf`` if disconnected)."""
+    """Return the diameter of the surviving route graph (``inf`` if disconnected).
+
+    When ``index`` (a :class:`~repro.core.route_index.RouteIndex` for this
+    ``(graph, routing)`` pair) is supplied, the fast incremental path is used;
+    it returns exactly the value of the naive computation.
+    """
+    if index is not None:
+        _check_index(graph, routing, index)
+        return index.surviving_diameter(faults)
     return graph_diameter(surviving_route_graph(graph, routing, faults))
 
 

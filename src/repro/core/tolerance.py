@@ -78,22 +78,23 @@ def worst_case_diameter(
     graph: Graph,
     routing: AnyRouting,
     fault_sets: Iterable[FaultSet],
+    index=None,
+    workers: int = 1,
 ) -> tuple:
     """Return ``(worst_diameter, worst_fault_set, evaluated_count)``.
 
     The baseline (no faults) is *not* added automatically; include the empty
     fault set in ``fault_sets`` if the fault-free diameter matters.
+
+    The battery is evaluated through a :class:`~repro.faults.engine
+    .CampaignEngine`: incrementally against a
+    :class:`~repro.core.route_index.RouteIndex` (pass ``index`` to reuse a
+    pre-built one) and, when ``workers > 1``, sharded across a process pool.
     """
-    worst = -1.0
-    worst_set: Optional[FaultSet] = None
-    evaluated = 0
-    for fault_set in fault_sets:
-        evaluated += 1
-        diam = surviving_diameter(graph, routing, fault_set)
-        if diam > worst:
-            worst = diam
-            worst_set = fault_set
-    return worst, worst_set, evaluated
+    from repro.faults.engine import CampaignEngine
+
+    engine = CampaignEngine(graph, routing, workers=workers, index=index)
+    return engine.worst_case(fault_sets)
 
 
 def check_tolerance(
@@ -105,6 +106,8 @@ def check_tolerance(
     exhaustive_limit: int = 20000,
     concentrator: Sequence[Node] = (),
     seed: Optional[int] = 0,
+    index=None,
+    workers: int = 1,
 ) -> ToleranceReport:
     """Check whether ``routing`` is ``(diameter_bound, max_faults)``-tolerant.
 
@@ -112,6 +115,12 @@ def check_tolerance(
     of size at most ``max_faults`` is used if it stays below
     ``exhaustive_limit`` sets; otherwise the combined adversarial battery from
     :func:`repro.faults.adversary.combined_fault_sets` is used.
+
+    The battery is evaluated through the indexed campaign engine; ``index``
+    and ``workers`` are forwarded to :func:`worst_case_diameter` (the same
+    index also accelerates the greedy adversarial battery generation).  The
+    index is only built on the paths that consume it: battery generation and
+    the sequential evaluation (workers build their own copies).
     """
     exhaustive = False
     if fault_sets is None:
@@ -120,13 +129,24 @@ def check_tolerance(
             fault_sets = list(all_fault_sets(graph.nodes(), max_faults))
             exhaustive = True
         else:
+            if index is None:
+                from repro.core.route_index import RouteIndex
+
+                index = RouteIndex(graph, routing)
             fault_sets = combined_fault_sets(
-                graph, routing, max_faults, concentrator=concentrator, seed=seed
+                graph,
+                routing,
+                max_faults,
+                concentrator=concentrator,
+                seed=seed,
+                index=index,
             )
     else:
         fault_sets = list(fault_sets)
 
-    worst, worst_set, evaluated = worst_case_diameter(graph, routing, fault_sets)
+    worst, worst_set, evaluated = worst_case_diameter(
+        graph, routing, fault_sets, index=index, workers=workers
+    )
     return ToleranceReport(
         claimed_diameter=diameter_bound,
         max_faults=max_faults,
@@ -142,12 +162,14 @@ def verify_construction(
     fault_sets: Optional[Iterable[FaultSet]] = None,
     exhaustive_limit: int = 20000,
     seed: Optional[int] = 0,
+    workers: int = 1,
 ) -> ToleranceReport:
     """Check a construction against its own recorded guarantee.
 
     Uses the guarantee stored in ``result.guarantee`` (e.g. ``(4, t)`` for the
     tri-circular routing) and the construction's concentrator to aim the
-    targeted fault sets at the right structures.
+    targeted fault sets at the right structures.  ``workers`` shards the
+    battery evaluation across a process pool.
     """
     return check_tolerance(
         result.graph,
@@ -158,6 +180,7 @@ def verify_construction(
         exhaustive_limit=exhaustive_limit,
         concentrator=result.concentrator,
         seed=seed,
+        workers=workers,
     )
 
 
@@ -165,6 +188,7 @@ def diameter_profile(
     graph: Graph,
     routing: AnyRouting,
     fault_sets: Iterable[FaultSet],
+    index=None,
 ) -> List[tuple]:
     """Return ``(fault_set, surviving_diameter)`` for every supplied fault set.
 
@@ -173,5 +197,7 @@ def diameter_profile(
     """
     profile = []
     for fault_set in fault_sets:
-        profile.append((fault_set, surviving_diameter(graph, routing, fault_set)))
+        profile.append(
+            (fault_set, surviving_diameter(graph, routing, fault_set, index=index))
+        )
     return profile

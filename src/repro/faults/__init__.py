@@ -9,7 +9,13 @@ from repro.faults.adversary import (
     random_fault_sets,
     targeted_fault_sets,
 )
-from repro.faults.simulation import CampaignResult, run_campaign, sweep_fault_sizes
+from repro.faults.simulation import (
+    CampaignResult,
+    aggregate_outcomes,
+    run_campaign,
+    sweep_fault_sizes,
+)
+from repro.faults.engine import CampaignEngine, shard_seed
 
 __all__ = [
     "FaultSet",
@@ -21,6 +27,9 @@ __all__ = [
     "random_fault_sets",
     "targeted_fault_sets",
     "CampaignResult",
+    "aggregate_outcomes",
     "run_campaign",
     "sweep_fault_sizes",
+    "CampaignEngine",
+    "shard_seed",
 ]

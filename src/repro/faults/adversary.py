@@ -159,6 +159,7 @@ def greedy_adversarial_fault_set(
     size: int,
     candidate_limit: int = 40,
     seed: RandomLike = None,
+    index=None,
 ) -> FaultSet:
     """Grow a fault set greedily, maximising the surviving diameter at each step.
 
@@ -170,7 +171,10 @@ def greedy_adversarial_fault_set(
     connectivity — for sizes below the connectivity they cannot occur.
 
     This is a heuristic lower bound on the true worst case, useful for larger
-    graphs where exhaustive enumeration is infeasible.
+    graphs where exhaustive enumeration is infeasible.  Pass ``index`` (a
+    :class:`~repro.core.route_index.RouteIndex` for this pair) to evaluate
+    the candidate diameters incrementally — the greedy search performs
+    ``size * candidate_limit`` evaluations, so the index pays off quickly.
     """
     rng = _rng(seed)
     faults: Set[Node] = set()
@@ -186,7 +190,7 @@ def greedy_adversarial_fault_set(
         best_diameter = -1.0
         for node in candidates:
             trial = faults | {node}
-            diam = surviving_diameter(graph, routing, trial)
+            diam = surviving_diameter(graph, routing, trial, index=index)
             if diam == float("inf"):
                 # Prefer the largest *finite* diameter; remember an infinite
                 # one only if nothing finite shows up.
@@ -210,6 +214,7 @@ def combined_fault_sets(
     random_count: int = 50,
     seed: RandomLike = None,
     include_greedy: bool = True,
+    index=None,
 ) -> List[FaultSet]:
     """Return a deduplicated battery of fault sets mixing all strategies.
 
@@ -232,5 +237,5 @@ def combined_fault_sets(
     for fault_set in random_fault_sets(graph.nodes(), size, random_count, seed=seed):
         push(fault_set)
     if include_greedy and size > 0:
-        push(greedy_adversarial_fault_set(graph, routing, size, seed=seed))
+        push(greedy_adversarial_fault_set(graph, routing, size, seed=seed, index=index))
     return battery

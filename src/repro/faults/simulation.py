@@ -6,6 +6,12 @@ runs randomised fault-injection campaigns over a constructed routing and
 aggregates the results (mean / max diameter, fraction of disconnecting fault
 sets, distribution over fault-set sizes), which the examples and a couple of
 benchmarks report alongside the worst-case numbers.
+
+The evaluation loop itself lives in :class:`repro.faults.engine
+.CampaignEngine`: campaigns are evaluated through a precomputed
+:class:`~repro.core.route_index.RouteIndex` (incremental subtraction instead
+of re-walking every route) and can be sharded across worker processes with
+``workers=N`` — the aggregated rows are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -13,11 +19,9 @@ from __future__ import annotations
 import dataclasses
 import random as _random
 import statistics
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.routing import MultiRouting, Routing
-from repro.core.surviving import surviving_diameter
-from repro.faults.adversary import random_fault_sets
 from repro.faults.models import FaultSet
 from repro.graphs.graph import Graph
 
@@ -50,6 +54,46 @@ class CampaignResult:
         }
 
 
+def aggregate_outcomes(
+    fault_size: int, outcomes: Iterable[Tuple[FaultSet, float]]
+) -> CampaignResult:
+    """Fold a stream of ``(fault_set, diameter)`` outcomes into a result.
+
+    The stream is consumed incrementally (bounded memory for arbitrarily
+    large batteries).  ``worst_fault_set`` is the first fault set realising
+    the strict maximum diameter, with a *disconnecting* fault set (``inf``
+    diameter) dominating every finite one — a campaign that observed a
+    disconnection always reports a disconnecting set as its worst.
+    """
+    diameters: List[float] = []
+    disconnected = 0
+    evaluated = 0
+    worst: Optional[FaultSet] = None
+    worst_diameter = float("-inf")
+    for fault_set, diam in outcomes:
+        evaluated += 1
+        if diam == float("inf"):
+            disconnected += 1
+        else:
+            diameters.append(diam)
+        if worst is None or diam > worst_diameter:
+            worst_diameter = diam
+            worst = fault_set
+    if evaluated == 0:
+        raise ValueError("no fault sets to evaluate")
+
+    finite = diameters or [float("inf")]
+    return CampaignResult(
+        fault_size=fault_size,
+        samples=evaluated,
+        mean_diameter=statistics.fmean(finite) if diameters else float("inf"),
+        max_diameter=max(finite),
+        min_diameter=min(finite),
+        disconnected_fraction=disconnected / evaluated,
+        worst_fault_set=worst,
+    )
+
+
 def run_campaign(
     graph: Graph,
     routing: AnyRouting,
@@ -57,6 +101,8 @@ def run_campaign(
     samples: int = 100,
     seed: RandomLike = None,
     fault_sets: Optional[Iterable[FaultSet]] = None,
+    workers: int = 1,
+    index=None,
 ) -> CampaignResult:
     """Inject ``samples`` random fault sets of the given size and summarise.
 
@@ -65,40 +111,18 @@ def run_campaign(
     fault_sets:
         Optional explicit fault sets to evaluate instead of random sampling
         (e.g. the output of :func:`repro.faults.adversary.combined_fault_sets`).
+    workers:
+        Number of worker processes for the evaluation (default sequential).
+        With an integer seed the result is identical for any worker count.
+    index:
+        Optional pre-built :class:`~repro.core.route_index.RouteIndex` for
+        ``(graph, routing)`` to reuse across calls.
     """
-    if fault_sets is None:
-        fault_sets = list(
-            random_fault_sets(graph.nodes(), fault_size, samples, seed=seed)
-        )
-    else:
-        fault_sets = list(fault_sets)
-    if not fault_sets:
-        raise ValueError("no fault sets to evaluate")
+    from repro.faults.engine import CampaignEngine
 
-    diameters: List[float] = []
-    disconnected = 0
-    worst: Optional[FaultSet] = None
-    worst_diameter = -1.0
-    for fault_set in fault_sets:
-        diam = surviving_diameter(graph, routing, fault_set)
-        if diam == float("inf"):
-            disconnected += 1
-        else:
-            diameters.append(diam)
-        key = float("inf") if diam == float("inf") else diam
-        if key > worst_diameter or worst is None:
-            worst_diameter = key if key != float("inf") else worst_diameter
-            worst = fault_set if diam != float("inf") or worst is None else worst
-
-    finite = diameters or [float("inf")]
-    return CampaignResult(
-        fault_size=fault_size,
-        samples=len(fault_sets),
-        mean_diameter=statistics.fmean(finite) if diameters else float("inf"),
-        max_diameter=max(finite),
-        min_diameter=min(finite),
-        disconnected_fraction=disconnected / len(fault_sets),
-        worst_fault_set=worst,
+    engine = CampaignEngine(graph, routing, workers=workers, index=index)
+    return engine.run_campaign(
+        fault_size, samples=samples, seed=seed, fault_sets=fault_sets
     )
 
 
@@ -108,16 +132,11 @@ def sweep_fault_sizes(
     sizes: Sequence[int],
     samples: int = 50,
     seed: RandomLike = None,
+    workers: int = 1,
+    index=None,
 ) -> List[CampaignResult]:
     """Run one campaign per fault-set size and return the results in order."""
-    rng = _rng_instance(seed)
-    return [
-        run_campaign(graph, routing, size, samples=samples, seed=rng)
-        for size in sizes
-    ]
+    from repro.faults.engine import CampaignEngine
 
-
-def _rng_instance(seed: RandomLike) -> _random.Random:
-    if isinstance(seed, _random.Random):
-        return seed
-    return _random.Random(seed)
+    engine = CampaignEngine(graph, routing, workers=workers, index=index)
+    return engine.sweep_fault_sizes(sizes, samples=samples, seed=seed)

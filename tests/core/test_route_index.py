@@ -1,0 +1,94 @@
+"""Unit tests for the precomputed route index (incremental fast path)."""
+
+import pytest
+
+from repro.core import (
+    RouteIndex,
+    kernel_multirouting,
+    kernel_routing,
+    surviving_diameter,
+    surviving_route_graph,
+)
+from repro.exceptions import FaultModelError
+from repro.graphs import generators
+
+
+@pytest.fixture(scope="module")
+def indexed_routing():
+    graph = generators.circulant_graph(14, [1, 2])
+    result = kernel_routing(graph)
+    return graph, result.routing, RouteIndex(graph, result.routing)
+
+
+class TestRouteIndexBasics:
+    def test_base_route_graph_matches_fault_free_naive(self, indexed_routing):
+        graph, routing, index = indexed_routing
+        assert index.base_route_graph() == surviving_route_graph(graph, routing, ())
+
+    def test_pairs_through_covers_every_route_node(self, indexed_routing):
+        graph, routing, index = indexed_routing
+        for (source, target), path in routing.items():
+            for node in path:
+                assert (source, target) in index.pairs_through(node)
+
+    def test_pairs_through_unused_node_is_empty(self, indexed_routing):
+        graph, routing, index = indexed_routing
+        # Routes only visit graph nodes, so a non-node has no pairs.
+        assert index.pairs_through("not-a-node") == frozenset()
+
+    def test_matches_identity(self, indexed_routing):
+        graph, routing, index = indexed_routing
+        assert index.matches(graph, routing)
+        assert not index.matches(graph, routing.copy())
+
+    def test_unknown_fault_rejected(self, indexed_routing):
+        graph, routing, index = indexed_routing
+        with pytest.raises(FaultModelError):
+            index.surviving_diameter({"ghost"})
+
+    def test_mismatched_index_rejected_by_surviving_helpers(self, indexed_routing):
+        graph, routing, index = indexed_routing
+        other = generators.cycle_graph(14)
+        other_result = kernel_routing(other)
+        with pytest.raises(ValueError):
+            surviving_diameter(other, other_result.routing, (), index=index)
+        with pytest.raises(ValueError):
+            surviving_route_graph(other, other_result.routing, (), index=index)
+
+
+class TestRouteIndexEquivalence:
+    def test_graph_and_diameter_match_naive(self, indexed_routing):
+        graph, routing, index = indexed_routing
+        for faults in [(), {0}, {0, 5}, {1, 6, 9}, set(graph.nodes()[:7])]:
+            faults = set(faults)
+            assert surviving_route_graph(
+                graph, routing, faults, index=index
+            ) == surviving_route_graph(graph, routing, faults)
+            assert surviving_diameter(
+                graph, routing, faults, index=index
+            ) == surviving_diameter(graph, routing, faults)
+
+    def test_all_nodes_faulty(self, indexed_routing):
+        graph, routing, index = indexed_routing
+        everyone = set(graph.nodes())
+        assert index.surviving_diameter(everyone) == float("inf")
+        assert index.surviving_route_graph(everyone).number_of_nodes() == 0
+
+    def test_single_survivor_has_diameter_zero(self, indexed_routing):
+        graph, routing, index = indexed_routing
+        nodes = graph.nodes()
+        faults = set(nodes[1:])
+        assert index.surviving_diameter(faults) == 0
+
+    def test_multirouting_any_route_survival(self):
+        graph = generators.circulant_graph(12, [1, 2])
+        result = kernel_multirouting(graph)
+        index = RouteIndex(graph, result.routing)
+        for faults in [(), {0}, {0, 3}, {2, 5, 8}]:
+            faults = set(faults)
+            assert surviving_route_graph(
+                graph, result.routing, faults, index=index
+            ) == surviving_route_graph(graph, result.routing, faults)
+            assert surviving_diameter(
+                graph, result.routing, faults, index=index
+            ) == surviving_diameter(graph, result.routing, faults)

@@ -1,0 +1,126 @@
+"""Property-based equivalence: the indexed fast path vs the naive path.
+
+For random graphs, routings (single routes and multiroutings) and fault
+sets, the :class:`~repro.core.route_index.RouteIndex` subtraction path must
+reproduce the naive computation *node for node*: the same surviving route
+graph (same node set, same arc set) and the same diameter.  This is the
+contract that lets every campaign, battery and sweep in the library switch
+to the incremental path without changing any observable result.
+"""
+
+import random as _random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import RouteIndex, surviving_diameter, surviving_route_graph
+from repro.core.routing import MultiRouting, Routing
+from repro.graphs import generators
+from repro.graphs.traversal import shortest_path
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _shortest_path_routing(graph, rng):
+    """A total routing assigning one BFS shortest path per ordered pair.
+
+    Built directly (rather than via a paper construction) so the property
+    test exercises arbitrary route shapes, including asymmetric ones: with
+    probability 1/2 the routing is unidirectional and each direction gets an
+    independently discovered path.
+    """
+    bidirectional = rng.random() < 0.5
+    routing = Routing(graph, bidirectional=bidirectional)
+    nodes = graph.nodes()
+    for source in nodes:
+        for target in nodes:
+            if source == target or routing.has_route(source, target):
+                continue
+            path = shortest_path(graph, source, target)
+            if path is not None:
+                routing.set_route(source, target, path)
+    return routing
+
+
+def _random_multirouting(graph, rng):
+    """A multirouting with the shortest path plus occasional detour routes."""
+    routing = MultiRouting(graph, bidirectional=True)
+    nodes = graph.nodes()
+    for source in nodes:
+        for target in nodes:
+            if repr(source) >= repr(target):
+                continue
+            path = shortest_path(graph, source, target)
+            if path is None:
+                continue
+            routing.add_route(source, target, path)
+            if len(path) >= 2 and rng.random() < 0.5:
+                # A detour through a neighbour of the source, when one exists.
+                for middle in sorted(graph.neighbors(source), key=repr):
+                    if middle in (source, target) or middle in path:
+                        continue
+                    tail = shortest_path(graph, middle, target)
+                    if tail and source not in tail and len(set(tail)) == len(tail):
+                        routing.add_route(source, target, [source] + tail)
+                        break
+    return routing
+
+
+@st.composite
+def graph_routing_faults(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    extra = draw(st.floats(min_value=0.0, max_value=0.4))
+    multi = draw(st.booleans())
+    graph = generators.random_connected_graph(n, extra_edge_probability=extra, seed=seed)
+    rng = _random.Random(seed + 1)
+    routing = (
+        _random_multirouting(graph, rng) if multi else _shortest_path_routing(graph, rng)
+    )
+    fault_count = draw(st.integers(min_value=0, max_value=n))
+    faults = set(rng.sample(graph.nodes(), fault_count))
+    return graph, routing, faults
+
+
+class TestIndexedEquivalence:
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_surviving_graph_identical(self, case):
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing)
+        naive = surviving_route_graph(graph, routing, faults)
+        fast = surviving_route_graph(graph, routing, faults, index=index)
+        assert fast == naive
+        assert sorted(map(repr, fast.nodes())) == sorted(map(repr, naive.nodes()))
+        assert sorted(map(repr, fast.edges())) == sorted(map(repr, naive.edges()))
+
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_surviving_diameter_identical(self, case):
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing)
+        assert surviving_diameter(
+            graph, routing, faults, index=index
+        ) == surviving_diameter(graph, routing, faults)
+
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_index_is_reusable_across_fault_sets(self, case):
+        """One index must serve many fault sets without cross-contamination."""
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing)
+        # Evaluate a different fault set first, then the real one.
+        nodes = graph.nodes()
+        other = set(nodes[: min(2, len(nodes))])
+        index.surviving_diameter(other)
+        assert surviving_diameter(
+            graph, routing, faults, index=index
+        ) == surviving_diameter(graph, routing, faults)

@@ -1,0 +1,180 @@
+"""Unit tests for the sharded, indexed campaign engine.
+
+The central contract under test is determinism: the same integer seed must
+produce byte-identical campaign rows no matter how many worker processes
+evaluate the battery, because sharding and per-shard seeding depend only on
+the battery and chunk size — never on the pool.
+"""
+
+import random as _random
+
+import pytest
+
+from repro.core import kernel_routing, worst_case_diameter
+from repro.faults import (
+    CampaignEngine,
+    FaultSet,
+    combined_fault_sets,
+    run_campaign,
+    shard_seed,
+    sweep_fault_sizes,
+)
+from repro.graphs import generators
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = generators.circulant_graph(14, [1, 2])
+    result = kernel_routing(graph)
+    return graph, result.routing
+
+
+def _rows(campaigns):
+    return [
+        (campaign.as_row(), campaign.worst_fault_set and campaign.worst_fault_set.nodes())
+        for campaign in campaigns
+    ]
+
+
+class TestShardSeed:
+    def test_stable_across_calls(self):
+        assert shard_seed(7, "size=3", 2) == shard_seed(7, "size=3", 2)
+
+    def test_distinct_per_shard_and_tag(self):
+        seeds = {shard_seed(7, tag, shard) for tag in ("a", "b") for shard in range(4)}
+        assert len(seeds) == 8
+
+
+class TestEngineDeterminism:
+    def test_run_campaign_same_rows_for_any_worker_count(self, workload):
+        graph, routing = workload
+        sequential = CampaignEngine(graph, routing, workers=1)
+        parallel = CampaignEngine(graph, routing, workers=3)
+        first = sequential.run_campaign(2, samples=40, seed=11)
+        second = parallel.run_campaign(2, samples=40, seed=11)
+        assert first == second
+        assert first.worst_fault_set.nodes() == second.worst_fault_set.nodes()
+
+    def test_sweep_same_rows_for_any_worker_count(self, workload):
+        graph, routing = workload
+        sequential = CampaignEngine(graph, routing, workers=1)
+        parallel = CampaignEngine(graph, routing, workers=2)
+        assert _rows(
+            sequential.sweep_fault_sizes([0, 1, 2, 3], samples=15, seed=5)
+        ) == _rows(parallel.sweep_fault_sizes([0, 1, 2, 3], samples=15, seed=5))
+
+    def test_module_level_wrappers_forward_workers(self, workload):
+        graph, routing = workload
+        assert run_campaign(graph, routing, 2, samples=20, seed=9) == run_campaign(
+            graph, routing, 2, samples=20, seed=9, workers=2
+        )
+        assert _rows(
+            sweep_fault_sizes(graph, routing, [1, 2], samples=10, seed=3)
+        ) == _rows(sweep_fault_sizes(graph, routing, [1, 2], samples=10, seed=3, workers=2))
+
+    def test_explicit_battery_same_for_any_worker_count(self, workload):
+        graph, routing = workload
+        battery = combined_fault_sets(graph, routing, 2, random_count=20, seed=0)
+        sequential = CampaignEngine(graph, routing, workers=1)
+        parallel = CampaignEngine(graph, routing, workers=2)
+        assert list(sequential.evaluate(battery)) == list(parallel.evaluate(battery))
+
+    def test_chunk_size_does_not_change_explicit_outcomes(self, workload):
+        graph, routing = workload
+        battery = combined_fault_sets(graph, routing, 2, random_count=20, seed=1)
+        small = CampaignEngine(graph, routing, chunk_size=3)
+        large = CampaignEngine(graph, routing, chunk_size=500)
+        assert list(small.evaluate(battery)) == list(large.evaluate(battery))
+
+    def test_duplicate_sweep_sizes_draw_independent_batteries(self, workload):
+        """Repeating a size in a sweep must sample fresh fault sets, not
+        replay the first campaign (seeds are derived per position)."""
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing)
+        first, second = engine.sweep_fault_sizes([3, 3], samples=8, seed=0)
+        assert first.worst_fault_set.nodes() != second.worst_fault_set.nodes()
+
+    def test_pool_reused_across_campaigns_and_closeable(self, workload):
+        graph, routing = workload
+        with CampaignEngine(graph, routing, workers=2) as engine:
+            engine.run_campaign(1, samples=5, seed=0)
+            pool = engine._pool
+            assert pool is not None
+            engine.run_campaign(2, samples=5, seed=0)
+            assert engine._pool is pool
+        assert engine._pool is None
+        # Engine remains usable after close (a fresh pool is started).
+        result = engine.run_campaign(1, samples=5, seed=0)
+        assert result.samples == 5
+        engine.close()
+
+    def test_random_instance_seed_keeps_legacy_stream(self, workload):
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing)
+        first = engine.run_campaign(2, samples=10, seed=_random.Random(4))
+        second = engine.run_campaign(2, samples=10, seed=_random.Random(4))
+        assert first == second
+
+
+class TestEngineSemantics:
+    def test_worst_case_matches_tolerance_helper(self, workload):
+        graph, routing = workload
+        battery = combined_fault_sets(graph, routing, 2, random_count=15, seed=2)
+        engine = CampaignEngine(graph, routing)
+        assert engine.worst_case(battery) == worst_case_diameter(graph, routing, battery)
+
+    def test_parallel_worst_case_matches_sequential(self, workload):
+        graph, routing = workload
+        battery = combined_fault_sets(graph, routing, 2, random_count=15, seed=2)
+        assert worst_case_diameter(graph, routing, battery) == worst_case_diameter(
+            graph, routing, battery, workers=2
+        )
+
+    def test_empty_battery_rejected(self, workload):
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing)
+        with pytest.raises(ValueError):
+            engine.run_campaign(1, fault_sets=[])
+
+    def test_oversized_fault_size_rejected(self, workload):
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing)
+        with pytest.raises(ValueError):
+            engine.run_campaign(graph.number_of_nodes() + 1, samples=5, seed=0)
+
+    def test_invalid_parameters_rejected(self, workload):
+        graph, routing = workload
+        with pytest.raises(ValueError):
+            CampaignEngine(graph, routing, workers=0)
+        with pytest.raises(ValueError):
+            CampaignEngine(graph, routing, chunk_size=0)
+
+    def test_mismatched_index_rejected(self, workload):
+        graph, routing = workload
+        other = generators.cycle_graph(10)
+        other_routing = kernel_routing(other).routing
+        from repro.core import RouteIndex
+
+        with pytest.raises(ValueError):
+            CampaignEngine(graph, routing, index=RouteIndex(other, other_routing))
+
+    def test_index_reuse_across_calls(self, workload):
+        graph, routing = workload
+        from repro.core import RouteIndex
+
+        index = RouteIndex(graph, routing)
+        engine = CampaignEngine(graph, routing, index=index)
+        assert engine.index is index
+        engine.run_campaign(1, samples=5, seed=0)
+        assert engine.index is index
+
+    def test_profile_preserves_battery_order(self, workload):
+        graph, routing = workload
+        battery = [FaultSet({0}), FaultSet({1}), FaultSet({2})]
+        profile = CampaignEngine(graph, routing).profile(battery)
+        assert [fault_set.nodes() for fault_set, _ in profile] == [
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({2}),
+        ]
+        assert all(diameter >= 1 for _, diameter in profile)

@@ -66,6 +66,31 @@ class TestRunCampaign:
         assert campaign.worst_fault_set is not None
         assert len(campaign.worst_fault_set) <= 2
 
+    def test_disconnecting_fault_set_dominates_worst(self, routing_under_test):
+        """Regression: a disconnecting set must win even when seen *after* a
+        finite-diameter set (previously it only won when it came first)."""
+        graph, result = routing_under_test
+        from repro.core import surviving_diameter
+
+        finite = FaultSet({0})
+        isolating = FaultSet(set(graph.neighbors(3)), description="isolates 3")
+        assert surviving_diameter(graph, result.routing, finite) < float("inf")
+        assert surviving_diameter(graph, result.routing, isolating) == float("inf")
+        campaign = run_campaign(
+            graph, result.routing, fault_size=4, fault_sets=[finite, isolating]
+        )
+        assert campaign.disconnected_fraction == 0.5
+        assert campaign.worst_fault_set == isolating
+
+    def test_first_of_equal_worst_diameters_wins(self, routing_under_test):
+        graph, result = routing_under_test
+        first = FaultSet({0}, description="first")
+        second = FaultSet({6}, description="second")
+        campaign = run_campaign(
+            graph, result.routing, fault_size=1, fault_sets=[first, second]
+        )
+        assert campaign.worst_fault_set.description == "first"
+
 
 class TestSweep:
     def test_sweep_sizes(self, routing_under_test):

@@ -111,6 +111,41 @@ class TestCommands:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_campaign_command(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--graph", "circulant:12,1,2",
+                "--sizes", "0,1,2",
+                "--samples", "10",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Fault campaigns" in output
+        assert "mean_diam" in output
+
+    def test_campaign_command_worker_count_invariance(self, capsys):
+        argv = [
+            "campaign",
+            "--graph", "circulant:12,1,2",
+            "--sizes", "1,2",
+            "--samples", "12",
+            "--seed", "5",
+        ]
+        assert main(argv) == 0
+        sequential = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # The rows must be identical; only the caption mentions the workers.
+        assert sequential.replace("workers=1", "workers=2") == parallel
+
+    def test_campaign_command_rejects_bad_sizes(self, capsys):
+        code = main(["campaign", "--graph", "cycle:12", "--sizes", "-1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
     def test_error_exit_code_on_bad_graph(self, capsys):
         assert main(["build", "--graph", "nonsense:1"]) == 2
         assert "error" in capsys.readouterr().err
