@@ -1,17 +1,36 @@
-"""Throughput benchmark: naive vs indexed vs parallel fault-campaign engines.
+"""Throughput benchmark: naive vs set-kernel vs bitset fault-campaign engines.
 
-For each graph family the same fault battery is evaluated three ways:
+For each graph family the same fault battery is evaluated four ways:
 
 * **naive** — the per-fault-set path that re-walks every route
   (:func:`repro.core.surviving.surviving_diameter` without an index);
-* **indexed** — :class:`repro.faults.engine.CampaignEngine` with one worker,
-  i.e. the :class:`~repro.core.route_index.RouteIndex` subtraction path;
-* **parallel** — the same engine sharded over a process pool.
+* **sets** — the PR-1 :class:`~repro.core.route_index.RouteIndex` path:
+  incremental subtraction into per-node successor *sets* plus a level-set
+  BFS (``kernel="sets"``);
+* **bitset** — the big-int kernel (PR-2): one adjacency row per node, fault
+  subtraction and BFS level advances as machine-word ``&``/``|`` operations;
+* **parallel** — the engine sharding the battery over a process pool, with
+  the pre-built index shipped to the workers.
 
-All three must produce identical outcomes (asserted); the table reports the
-wall-clock ratio.  The acceptance target for the engine is a >= 3x speedup
-of the indexed path over the naive path on the 200-node battery, which this
-script checks and records in its output.
+All paths must produce identical outcomes (asserted).  Two further
+measurements ride along:
+
+* **greedy adversary end-to-end** — the delta-aware cursor path
+  (:meth:`RouteIndex.cursor` / ``with_added``) against a faithful replica of
+  the PR-1 greedy loop that re-evaluates every candidate from scratch
+  through the set kernel;
+* **worker serialization** — pickling the pre-built index (what the engine
+  now ships to its pool) versus pickling the raw routing and rebuilding the
+  index per worker (what PR 1 did).
+
+Results are persisted as machine-readable JSON (``BENCH_kernel.json`` at the
+repo root by default) so the perf trajectory is tracked across PRs.
+
+Acceptance targets (enforced in full mode): the bitset kernel must be
+>= 3x the set kernel on the 200-node battery, and the cursor-driven greedy
+adversary >= 5x end-to-end.  Quick mode (CI smoke) skips the ratio targets
+but still fails when the bitset path is slower than the set path on the
+smoke instance.
 
 Run directly (no pytest needed)::
 
@@ -22,7 +41,10 @@ Run directly (no pytest needed)::
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import pickle
+import random
 import sys
 import time
 from typing import List
@@ -34,15 +56,21 @@ if __package__ in (None, ""):  # allow running as a plain script from anywhere
 
 from repro.analysis import format_table
 from repro.core import (
+    RouteIndex,
     clique_augmented_kernel_routing,
     kernel_routing,
     surviving_diameter,
 )
-from repro.faults import CampaignEngine, random_fault_sets
+from repro.faults import CampaignEngine, greedy_adversarial_fault_set, random_fault_sets
 from repro.graphs import generators
 
-#: The acceptance threshold for the indexed engine on the 200-node battery.
-TARGET_SPEEDUP = 3.0
+#: Acceptance thresholds on the 200-node target workload.
+TARGET_BITSET_SPEEDUP = 3.0   # bitset kernel vs PR-1 set kernel, same battery
+TARGET_GREEDY_SPEEDUP = 5.0   # cursor greedy vs from-scratch set-kernel greedy
+
+_DEFAULT_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_kernel.json"
+)
 
 
 def _workloads(quick: bool):
@@ -50,20 +78,21 @@ def _workloads(quick: bool):
     if quick:
         yield ("hypercube-16", generators.hypercube_graph(4), kernel_routing, 2, 8, False)
         yield (
-            "random-regular-20",
-            generators.random_regular_graph(4, 20, seed=7),
-            kernel_routing,
-            2,
-            8,
-            False,
-        )
-        yield (
             "clique-kernel-16",
             generators.cycle_graph(16),
             clique_augmented_kernel_routing,
             1,
             8,
             False,
+        )
+        # The smoke gate instance: large enough for stable timings.
+        yield (
+            "circulant-60",
+            generators.circulant_graph(60, [1, 2]),
+            kernel_routing,
+            2,
+            12,
+            True,
         )
         return
     yield ("hypercube-64", generators.hypercube_graph(6), kernel_routing, 3, 30, False)
@@ -93,9 +122,76 @@ def _workloads(quick: bool):
     )
 
 
-def run(quick: bool, workers: int) -> int:
+def _greedy_set_kernel_baseline(graph, routing, size, candidate_limit, seed, index):
+    """Replica of the PR-1 greedy loop: per-candidate set-kernel re-evaluation.
+
+    Kept here (not in the library) purely as the end-to-end baseline for the
+    cursor path: same candidate schedule, but every trial fault set is
+    evaluated from scratch through ``kernel="sets"`` with PR 1's
+    prefer-finite selection rule.
+    """
+    rng = random.Random(seed)
+    faults = set()
+    for _ in range(size):
+        remaining = [node for node in graph.nodes() if node not in faults]
+        if not remaining:
+            break
+        if len(remaining) > candidate_limit:
+            candidates = rng.sample(remaining, candidate_limit)
+        else:
+            candidates = remaining
+        best_node = None
+        best_key = -1.0
+        for node in candidates:
+            diam = index.surviving_diameter(faults | {node}, kernel="sets")
+            key = -0.5 if diam == float("inf") else diam
+            if key > best_key:
+                best_key, best_node = key, node
+        if best_node is None:
+            break
+        faults.add(best_node)
+    return faults
+
+
+def _bench_greedy(graph, routing, index, size, candidate_limit, seed):
+    start = time.perf_counter()
+    _greedy_set_kernel_baseline(graph, routing, size, candidate_limit, seed, index)
+    legacy_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    greedy_adversarial_fault_set(
+        graph, routing, size, candidate_limit=candidate_limit, seed=seed, index=index
+    )
+    cursor_seconds = time.perf_counter() - start
+    return legacy_seconds, cursor_seconds
+
+
+def _bench_serialization(graph, routing, index):
+    """Time the old per-worker payload (raw routing + rebuild) vs the new one."""
+    start = time.perf_counter()
+    raw_payload = pickle.dumps((graph, routing))
+    raw_graph, raw_routing = pickle.loads(raw_payload)
+    RouteIndex(raw_graph, raw_routing)  # what each PR-1 worker had to do
+    raw_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    index_payload = pickle.dumps(index)
+    pickle.loads(index_payload)  # the shipped pre-built index, ready to use
+    index_seconds = time.perf_counter() - start
+    return {
+        "raw_payload_bytes": len(raw_payload),
+        "raw_roundtrip_rebuild_s": round(raw_seconds, 4),
+        "index_payload_bytes": len(index_payload),
+        "index_roundtrip_s": round(index_seconds, 4),
+        "speedup": round(raw_seconds / index_seconds, 2) if index_seconds else None,
+    }
+
+
+def run(quick: bool, workers: int, json_path: str) -> int:
     rows: List[dict] = []
+    json_workloads: List[dict] = []
     target_speedups: List[float] = []
+    smoke_gate_ok = True
+    target_entry = None
     for name, graph, construct, fault_size, samples, is_target in _workloads(quick):
         result = construct(graph)
         battery = list(
@@ -109,20 +205,39 @@ def run(quick: bool, workers: int) -> int:
         ]
         naive_seconds = time.perf_counter() - start
 
-        engine = CampaignEngine(graph, result.routing, workers=1)
+        index = RouteIndex(graph, result.routing)
+        # Warm the lazy set-kernel structures before the timer so both
+        # kernels are measured evaluation-only (the bitset structures are
+        # built in the constructor above, also untimed).
+        index.surviving_diameter(battery[0], kernel="sets")
         start = time.perf_counter()
-        indexed = [diam for _, diam in engine.evaluate(battery)]
-        indexed_seconds = time.perf_counter() - start
+        set_kernel = [
+            index.surviving_diameter(fault_set, kernel="sets")
+            for fault_set in battery
+        ]
+        set_seconds = time.perf_counter() - start
+
+        engine = CampaignEngine(graph, result.routing, workers=1, index=index)
+        start = time.perf_counter()
+        bitset = [diam for _, diam in engine.evaluate(battery)]
+        bitset_seconds = time.perf_counter() - start
 
         pool_engine = CampaignEngine(graph, result.routing, workers=workers)
         start = time.perf_counter()
         parallel = [diam for _, diam in pool_engine.evaluate(battery)]
         parallel_seconds = time.perf_counter() - start
+        pool_engine.close()
 
-        assert naive == indexed == parallel, f"engine outcomes diverged on {name}"
-        speedup = naive_seconds / indexed_seconds if indexed_seconds else float("inf")
+        assert naive == set_kernel == bitset == parallel, (
+            f"engine outcomes diverged on {name}"
+        )
+        vs_naive = naive_seconds / bitset_seconds if bitset_seconds else float("inf")
+        vs_sets = set_seconds / bitset_seconds if bitset_seconds else float("inf")
         if is_target:
-            target_speedups.append(speedup)
+            target_speedups.append(vs_sets)
+            if quick and bitset_seconds > set_seconds:
+                smoke_gate_ok = False
+            target_entry = (name, graph, result, index)
         rows.append(
             {
                 "family": name,
@@ -130,28 +245,110 @@ def run(quick: bool, workers: int) -> int:
                 "faults": fault_size,
                 "battery": len(battery),
                 "naive_s": round(naive_seconds, 3),
-                "indexed_s": round(indexed_seconds, 3),
+                "sets_s": round(set_seconds, 3),
+                "bitset_s": round(bitset_seconds, 3),
                 f"parallel_s(w={workers})": round(parallel_seconds, 3),
-                "indexed_speedup": f"{speedup:.1f}x",
+                "vs_naive": f"{vs_naive:.1f}x",
+                "vs_sets": f"{vs_sets:.1f}x",
+            }
+        )
+        json_workloads.append(
+            {
+                "family": name,
+                "n": graph.number_of_nodes(),
+                "fault_size": fault_size,
+                "battery": len(battery),
+                "naive_s": round(naive_seconds, 4),
+                "set_kernel_s": round(set_seconds, 4),
+                "bitset_s": round(bitset_seconds, 4),
+                "parallel_s": round(parallel_seconds, 4),
+                "parallel_workers": workers,
+                "bitset_vs_naive": round(vs_naive, 2),
+                "bitset_vs_sets": round(vs_sets, 2),
+                "is_target": is_target,
             }
         )
 
     print(
         format_table(
             rows,
-            caption="Campaign engine throughput: naive vs indexed vs parallel",
+            caption="Campaign engine throughput: naive vs set kernel vs bitset vs parallel",
         )
     )
+
+    # Greedy adversary end-to-end + serialization, on the target workload.
+    greedy_entry = None
+    serialization = None
+    if target_entry is not None:
+        name, graph, result, index = target_entry
+        size, candidate_limit = (3, 20) if quick else (5, 40)
+        legacy_s, cursor_s = _bench_greedy(
+            graph, result.routing, index, size, candidate_limit, seed=7
+        )
+        greedy_speedup = legacy_s / cursor_s if cursor_s else float("inf")
+        greedy_entry = {
+            "family": name,
+            "size": size,
+            "candidate_limit": candidate_limit,
+            "set_kernel_from_scratch_s": round(legacy_s, 4),
+            "cursor_s": round(cursor_s, 4),
+            "speedup": round(greedy_speedup, 2),
+        }
+        print(
+            f"\ngreedy adversary on {name} (size={size}, candidates={candidate_limit}): "
+            f"set-kernel from scratch {legacy_s:.3f}s, cursor {cursor_s:.3f}s "
+            f"-> {greedy_speedup:.1f}x"
+        )
+        serialization = _bench_serialization(graph, result.routing, index)
+        print(
+            f"worker payload on {name}: raw routing {serialization['raw_payload_bytes']}B "
+            f"+ rebuild {serialization['raw_roundtrip_rebuild_s']}s vs pre-built index "
+            f"{serialization['index_payload_bytes']}B "
+            f"roundtrip {serialization['index_roundtrip_s']}s "
+            f"-> {serialization['speedup']}x"
+        )
+
+    payload = {
+        "generated_by": "benchmarks/bench_campaign_engine.py",
+        "mode": "quick" if quick else "full",
+        "workloads": json_workloads,
+        "greedy_adversary": greedy_entry,
+        "worker_serialization": serialization,
+        "targets": {
+            "bitset_vs_sets_target": TARGET_BITSET_SPEEDUP,
+            "greedy_cursor_target": TARGET_GREEDY_SPEEDUP,
+        },
+    }
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nresults written to {json_path}")
+
     if quick:
-        print("\nquick mode: equivalence checked, speedup target not enforced")
+        if not smoke_gate_ok:
+            print(
+                "quick mode: FAIL — bitset kernel slower than the set kernel "
+                "on the smoke instance"
+            )
+            return 1
+        print(
+            "quick mode: equivalence checked, bitset >= set kernel on the smoke "
+            "instance; speedup targets not enforced"
+        )
         return 0
+
     worst = min(target_speedups)
-    status = "PASS" if worst >= TARGET_SPEEDUP else "FAIL"
+    battery_ok = worst >= TARGET_BITSET_SPEEDUP
+    greedy_ok = greedy_entry is not None and greedy_entry["speedup"] >= TARGET_GREEDY_SPEEDUP
     print(
-        f"\n200-node battery indexed speedup: {worst:.1f}x "
-        f"(target >= {TARGET_SPEEDUP:.0f}x) -> {status}"
+        f"\n200-node battery bitset-vs-sets speedup: {worst:.1f}x "
+        f"(target >= {TARGET_BITSET_SPEEDUP:.0f}x) -> {'PASS' if battery_ok else 'FAIL'}"
     )
-    return 0 if worst >= TARGET_SPEEDUP else 1
+    print(
+        f"greedy adversary cursor speedup: {greedy_entry['speedup']:.1f}x "
+        f"(target >= {TARGET_GREEDY_SPEEDUP:.0f}x) -> {'PASS' if greedy_ok else 'FAIL'}"
+    )
+    return 0 if (battery_ok and greedy_ok) else 1
 
 
 def main(argv=None) -> int:
@@ -159,7 +356,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small graphs only (CI smoke run; no speedup target)",
+        help="small graphs only (CI smoke run; bitset-vs-sets gate, no ratio targets)",
     )
     parser.add_argument(
         "--workers",
@@ -167,8 +364,14 @@ def main(argv=None) -> int:
         default=max(2, min(4, os.cpu_count() or 1)),
         help="worker processes for the parallel run",
     )
+    parser.add_argument(
+        "--json",
+        default=_DEFAULT_JSON,
+        help="path of the machine-readable results file (default: repo-root "
+        "BENCH_kernel.json)",
+    )
     args = parser.parse_args(argv)
-    return run(args.quick, args.workers)
+    return run(args.quick, args.workers, args.json)
 
 
 if __name__ == "__main__":

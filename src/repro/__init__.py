@@ -13,10 +13,13 @@ The package is organised as follows:
 * :mod:`repro.core`     — the paper's constructions: kernel, circular,
   tri-circular and bipolar routings, multiroutings, network augmentation,
   surviving route graphs, ``(d, f)``-tolerance checking, and
-  :class:`~repro.core.route_index.RouteIndex`, the precomputed inverted
-  index (``node -> routes through it`` plus a cached base route graph) that
-  turns each fault-set evaluation into an incremental subtraction instead of
-  a full re-walk of all ``n^2`` routes;
+  :class:`~repro.core.route_index.RouteIndex`, the bitset evaluation kernel
+  (one big-int adjacency row per node) that turns each fault-set evaluation
+  into machine-word ``&``/``|`` operations, answers bounded-diameter
+  decisions (:func:`~repro.core.surviving.surviving_diameter_at_most`) with
+  early exit, and serves delta-aware
+  :class:`~repro.core.route_index.EvalCursor` snapshots for prefix-sharing
+  fault-set searches;
 * :mod:`repro.faults`   — fault models, adversarial fault-set search,
   Monte-Carlo fault-injection campaigns, and
   :class:`~repro.faults.engine.CampaignEngine`, the indexed campaign runner
@@ -66,6 +69,7 @@ from repro.core import (
     kernel_routing,
     single_tree_multirouting,
     surviving_diameter,
+    surviving_diameter_at_most,
     surviving_route_graph,
     tricircular_routing,
     unidirectional_bipolar_routing,
@@ -93,6 +97,7 @@ __all__ = [
     "kernel_routing",
     "single_tree_multirouting",
     "surviving_diameter",
+    "surviving_diameter_at_most",
     "surviving_route_graph",
     "tricircular_routing",
     "unidirectional_bipolar_routing",

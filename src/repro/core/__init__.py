@@ -15,12 +15,13 @@ from repro.core.concentrators import (
     two_trees_concentrator,
     two_trees_concentrator_for_roots,
 )
-from repro.core.route_index import RouteIndex
+from repro.core.route_index import EvalCursor, RouteIndex
 from repro.core.surviving import (
     broadcast_round_bound,
     route_survives,
     routes_affected_by,
     surviving_diameter,
+    surviving_diameter_at_most,
     surviving_distance,
     surviving_eccentricities,
     surviving_route_graph,
@@ -87,11 +88,13 @@ __all__ = [
     "required_neighborhood_set_size",
     "two_trees_concentrator",
     "two_trees_concentrator_for_roots",
+    "EvalCursor",
     "RouteIndex",
     "broadcast_round_bound",
     "route_survives",
     "routes_affected_by",
     "surviving_diameter",
+    "surviving_diameter_at_most",
     "surviving_distance",
     "surviving_eccentricities",
     "surviving_route_graph",

@@ -41,7 +41,7 @@ def surviving_components(graph: Graph, faults: Iterable[Node]) -> List[List[Node
 
 
 def component_diameters(
-    graph: Graph, routing: AnyRouting, faults: Iterable[Node]
+    graph: Graph, routing: AnyRouting, faults: Iterable[Node], index=None
 ) -> List[Dict[str, object]]:
     """Return per-component diameters of the surviving route graph.
 
@@ -51,9 +51,12 @@ def component_diameters(
     to keep small.  A diameter of ``inf`` means the routing leaves two nodes
     of the component unable to communicate even though the underlying network
     still connects them (routes may leave the component and hit faults).
+    ``index`` — an optional :class:`~repro.core.route_index.RouteIndex` for
+    ``(graph, routing)`` — derives the surviving graph incrementally, which
+    a degradation sweep over many fault sets exploits.
     """
     fault_set = set(faults)
-    surviving = surviving_route_graph(graph, routing, fault_set)
+    surviving = surviving_route_graph(graph, routing, fault_set, index=index)
     results: List[Dict[str, object]] = []
     for component in surviving_components(graph, fault_set):
         restricted = surviving.subgraph(component)
@@ -70,10 +73,10 @@ def component_diameters(
 
 
 def worst_component_diameter(
-    graph: Graph, routing: AnyRouting, faults: Iterable[Node]
+    graph: Graph, routing: AnyRouting, faults: Iterable[Node], index=None
 ) -> float:
     """Return the largest per-component surviving diameter (0 for no components)."""
-    entries = component_diameters(graph, routing, faults)
+    entries = component_diameters(graph, routing, faults, index=index)
     if not entries:
         return 0.0
     return max(entry["diameter"] for entry in entries)
@@ -116,9 +119,16 @@ def graceful_degradation_profile(
     surviving diameter — finite values mean the routing still serves every
     surviving component internally, which is exactly the "well behaved"
     property Open Problem 3 asks about.
+
+    The surviving route graphs are derived through one shared
+    :class:`~repro.core.route_index.RouteIndex` built up front, so the sweep
+    pays the route walk once instead of once per sampled fault set.
     """
+    from repro.core.route_index import RouteIndex
+
     rng = _random.Random(seed) if not isinstance(seed, _random.Random) else seed
     nodes = graph.nodes()
+    index = RouteIndex(graph, routing)
     points: List[DegradationPoint] = []
     for count in fault_counts:
         worst_values: List[float] = []
@@ -130,7 +140,9 @@ def graceful_degradation_profile(
             components = surviving_components(graph, faults)
             if len(components) > 1:
                 disconnected += 1
-            worst_values.append(worst_component_diameter(graph, routing, faults))
+            worst_values.append(
+                worst_component_diameter(graph, routing, faults, index=index)
+            )
         finite = [value for value in worst_values if value != float("inf")]
         mean_value = (
             sum(finite) / len(finite) if finite else float("inf")

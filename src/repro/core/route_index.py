@@ -1,38 +1,71 @@
-"""Precomputed route index for incremental surviving-route-graph evaluation.
+"""Precomputed route index with a bitset surviving-diameter kernel.
 
 Evaluating a fault set the naive way (:func:`repro.core.surviving
 .surviving_route_graph`) re-walks every route of the routing — ``O(n^2 *
 route-length)`` work per fault set — even though a typical fault set touches
 only a small fraction of the routes.  :class:`RouteIndex` amortises that work
 across a whole campaign: it is built **once** per ``(graph, routing)`` pair
-and precomputes
+and evaluates every fault set incrementally.
 
-* the *base route graph* — the surviving route graph of the empty fault set
-  (an arc per routed pair), stored as plain successor sets;
-* an inverted index ``node -> {(x, y) pairs whose route(s) pass through it}``;
-* for multiroutings, the node sets of every parallel route, so that an
-  affected pair can be re-checked against only its own routes.
+Bitset representation
+---------------------
+At build time the nodes are relabelled to ``0 .. n-1`` (in ``graph.nodes()``
+order) and the fault-free *base route graph* is stored as one Python big-int
+**adjacency row per node**: bit ``t`` of ``row[s]`` is set exactly when the
+routing carries a surviving arc ``s -> t`` of the empty fault set.  Sets of
+nodes (fault sets, BFS frontiers, reachability) are likewise single integers
+with one bit per node.  The payoff is that the whole evaluation pipeline runs
+on machine words inside CPython's long-integer kernels:
 
-A fault set ``F`` is then evaluated by *subtraction*: copy the base successor
-sets minus the faulty nodes (one C-level set difference per node) and delete
-the arcs of the pairs indexed under each fault.  The result is exactly the
-graph the naive path builds — same nodes, same arcs, same diameter — but the
-per-fault-set cost is ``O(n^2 + |F| * affected)`` instead of
-``O(n^2 * route-length)``, independent of route lengths.
+* masking out faulty nodes is one ``row & ~fault_mask`` per row instead of a
+  per-node set difference;
+* a BFS level advance is one ``next |= row[u]`` per frontier node and a
+  single ``next & ~visited`` — no hashing, no per-neighbour Python loop;
+* "every node reached" is an integer equality against the alive mask.
 
-:meth:`RouteIndex.surviving_diameter` additionally computes the diameter with
-a frontier-set BFS that advances whole BFS levels with C-level set unions,
-which on the dense surviving route graphs of total routings (diameter 2-4) is
-several times faster than the per-neighbour BFS in
-:mod:`repro.graphs.traversal` while returning the identical value.
+Alongside the rows the index keeps an inverted index ``node id -> {(s, t)
+pairs whose route(s) pass through it}`` so a fault set only re-checks the
+pairs it can actually affect, and — for multiroutings — one bitmask per
+parallel route so "does some route survive" is a ``route_mask & fault_mask``
+test per route.
+
+Decision API
+------------
+:meth:`RouteIndex.surviving_diameter_at_most` answers the question callers
+like ``check_tolerance`` actually ask — "is the surviving diameter at most
+``bound``?" — without always paying for the exact value: each source's BFS is
+abandoned as soon as its eccentricity exceeds the bound, and the first
+violating source short-circuits the whole evaluation.
+:meth:`RouteIndex.surviving_diameter` accepts the same optimisation through
+its ``cap`` parameter (it returns ``inf`` as soon as the cap is exceeded) and
+a ``kernel`` parameter selecting between the bitset kernel (default) and the
+historical set-based kernel, which is kept for equivalence testing and
+benchmarking.
+
+Evaluation cursors
+------------------
+:meth:`RouteIndex.cursor` returns an :class:`EvalCursor` — a snapshot of the
+masked adjacency rows for one fault set ``F``.  ``cursor.with_added(v)``
+derives the cursor for ``F | {v}`` by touching only the rows that index ``v``
+(its surviving predecessors, via a precomputed predecessor mask, plus the
+pairs routed through ``v``) instead of re-masking all ``n`` rows.  Prefix
+sharing callers — the greedy adversary evaluates ``F | {v}`` for hundreds of
+``v`` per step — therefore pay ``O(degree + routes-through-v)`` per candidate
+instead of ``O(n^2)``.  Cursors also memoise their diameter and the witness
+of a disconnection: once a cursor is known to be disconnected by a missing
+target other than ``v``, ``with_added(v)`` propagates the infinite diameter
+without running a single BFS.
 
 The index is read-only with respect to the graph and routing: mutating either
-after building the index invalidates it (build a fresh one instead).
+after building the index invalidates it (build a fresh one instead).  It is
+picklable (plain ints, tuples and dicts), so a pre-built index can be shipped
+to :class:`~repro.faults.engine.CampaignEngine` worker processes instead of
+being rebuilt per worker.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Set, Tuple, Union
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.routing import MultiRouting, Routing
 from repro.exceptions import FaultModelError
@@ -42,9 +75,10 @@ from repro.graphs.traversal import INFINITY
 
 Node = Hashable
 Pair = Tuple[Node, Node]
+IdPair = Tuple[int, int]
 AnyRouting = Union[Routing, MultiRouting]
 
-_NO_PAIRS: FrozenSet[Pair] = frozenset()
+_NO_PAIRS: FrozenSet[IdPair] = frozenset()
 
 
 class RouteIndex:
@@ -61,8 +95,8 @@ class RouteIndex:
     -----
     Building the index costs one pass over every route (the same work as a
     single naive fault-set evaluation); every subsequent evaluation through
-    the index is incremental.  The index holds only node/pair references, so
-    it is cheap to pickle and ship to worker processes.
+    the index is incremental.  See the module docstring for the bitset
+    representation and the cursor API.
     """
 
     def __init__(self, graph: Graph, routing: AnyRouting) -> None:
@@ -70,43 +104,106 @@ class RouteIndex:
         self.routing = routing
         self._nodes: Tuple[Node, ...] = tuple(graph.nodes())
         self._node_set: FrozenSet[Node] = frozenset(self._nodes)
-        self._base_succ: Dict[Node, Set[Node]] = {node: set() for node in self._nodes}
-        self._pairs_through: Dict[Node, Set[Pair]] = {}
-        # Only populated for multiroutings: pair -> node sets of its routes.
-        self._pair_routes: Dict[Pair, Tuple[FrozenSet[Node], ...]] = {}
+        self._id_of: Dict[Node, int] = {
+            node: position for position, node in enumerate(self._nodes)
+        }
+        n = len(self._nodes)
+        self._n = n
+        self._full_mask = (1 << n) - 1
+        # Bit t of _base_rows[s] <=> arc s -> t in the fault-free route graph;
+        # _base_preds is the transpose (bit s of _base_preds[t] <=> s -> t).
+        self._base_rows: List[int] = [0] * n
+        self._base_preds: List[int] = [0] * n
+        # Single routings: per-node *kill masks* — ``_kill_rows[v][s]`` is the
+        # bitmask of targets t whose route ``rho(s, t)`` passes through v, so
+        # failing v is ``rows[s] &= ~mask`` per indexed source (no per-pair
+        # loop; endpoint arcs are covered because v is on its own routes).
+        self._kill_rows: List[Dict[int, int]] = []
+        # Multiroutings: node id -> ordered (source id, target id) pairs
+        # routed through it, plus one node bitmask per parallel route (an arc
+        # survives while any of its route masks avoids the fault mask).
+        self._pairs_through: Dict[int, Set[IdPair]] = {}
+        self._pair_routes: Dict[IdPair, Tuple[int, ...]] = {}
         self._multi = isinstance(routing, MultiRouting)
+        # Set-based kernel structures (PR-1 path), built lazily on first use:
+        # (base successor sets, node -> affected pairs, pair -> route node sets).
+        self._set_kernel = None
+
+        id_of = self._id_of
         if self._multi:
-            for pair in routing.pairs():
-                routes = tuple(frozenset(path) for path in routing.get_routes(*pair))
-                if not routes:
+            for source, target in routing.pairs():
+                sid, tid = id_of[source], id_of[target]
+                masks = []
+                through: Set[int] = set()
+                for path in routing.get_routes(source, target):
+                    mask = 0
+                    for node in path:
+                        mask |= 1 << id_of[node]
+                    masks.append(mask)
+                    through.update(id_of[node] for node in path)
+                if not masks:
                     continue
-                self._pair_routes[pair] = routes
-                self._base_succ[pair[0]].add(pair[1])
-                for node in frozenset().union(*routes):
-                    self._pairs_through.setdefault(node, set()).add(pair)
+                pair = (sid, tid)
+                self._pair_routes[pair] = tuple(masks)
+                self._base_rows[sid] |= 1 << tid
+                self._base_preds[tid] |= 1 << sid
+                for nid in through:
+                    self._pairs_through.setdefault(nid, set()).add(pair)
         else:
-            for pair, path in routing.items():
-                self._base_succ[pair[0]].add(pair[1])
+            self._kill_rows = [{} for _ in range(n)]
+            kill_rows = self._kill_rows
+            for (source, target), path in routing.items():
+                sid, tid = id_of[source], id_of[target]
+                target_bit = 1 << tid
+                self._base_rows[sid] |= target_bit
+                self._base_preds[tid] |= 1 << sid
                 for node in path:
-                    self._pairs_through.setdefault(node, set()).add(pair)
+                    kill = kill_rows[id_of[node]]
+                    kill[sid] = kill.get(sid, 0) | target_bit
+
+    # ------------------------------------------------------------------
+    # Pickling (worker shipping)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # The lazy set-kernel cache is redundant with the routing; dropping it
+        # keeps the pickled payload small when shipping the index to workers.
+        state["_set_kernel"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def pairs_through(self, node: Node) -> FrozenSet[Pair]:
         """Return the ordered pairs whose route(s) traverse ``node``."""
-        return frozenset(self._pairs_through.get(node, _NO_PAIRS))
+        nid = self._id_of.get(node)
+        if nid is None:
+            return frozenset()
+        nodes = self._nodes
+        if self._multi:
+            return frozenset(
+                (nodes[sid], nodes[tid])
+                for sid, tid in self._pairs_through.get(nid, _NO_PAIRS)
+            )
+        pairs = set()
+        for sid, mask in self._kill_rows[nid].items():
+            source = nodes[sid]
+            while mask:
+                bit = mask & -mask
+                pairs.add((source, nodes[bit.bit_length() - 1]))
+                mask ^= bit
+        return frozenset(pairs)
 
     def base_route_graph(self) -> DiGraph:
         """Return a copy of the cached fault-free route graph."""
-        return self._build_digraph(self._surviving_succ(frozenset()))
+        return self._build_digraph(self._base_rows, self._full_mask)
 
     def matches(self, graph: Graph, routing: AnyRouting) -> bool:
         """Return ``True`` when the index was built for exactly these objects."""
         return graph is self.graph and routing is self.routing
 
     # ------------------------------------------------------------------
-    # Incremental evaluation
+    # Fault-set plumbing
     # ------------------------------------------------------------------
     def _check_faults(self, faults: Iterable[Node]) -> FrozenSet[Node]:
         fault_set = frozenset(faults)
@@ -117,59 +214,446 @@ class RouteIndex:
             )
         return fault_set
 
-    def _surviving_succ(self, fault_set: FrozenSet[Node]) -> Dict[Node, Set[Node]]:
-        """Successor sets of ``R(G, rho)/F`` by subtraction from the base."""
+    def _fault_mask(self, fault_set: Iterable[Node]) -> int:
+        id_of = self._id_of
+        mask = 0
+        for node in fault_set:
+            mask |= 1 << id_of[node]
+        return mask
+
+    def _surviving_rows(self, fault_mask: int) -> List[int]:
+        """Masked adjacency rows of ``R(G, rho)/F`` (faulty rows zeroed)."""
+        alive = self._full_mask & ~fault_mask
+        rows = [row & alive for row in self._base_rows]
+        remaining = fault_mask
+        while remaining:
+            bit = remaining & -remaining
+            rows[bit.bit_length() - 1] = 0
+            remaining ^= bit
+        if not fault_mask:
+            return rows
+
+        if not self._multi:
+            kill_rows = self._kill_rows
+            remaining = fault_mask
+            while remaining:
+                bit = remaining & -remaining
+                for sid, mask in kill_rows[bit.bit_length() - 1].items():
+                    rows[sid] &= ~mask
+                remaining ^= bit
+            return rows
+
+        affected: Set[IdPair] = set()
+        pairs_through = self._pairs_through
+        remaining = fault_mask
+        while remaining:
+            bit = remaining & -remaining
+            pairs = pairs_through.get(bit.bit_length() - 1)
+            if pairs:
+                affected |= pairs
+            remaining ^= bit
+        multi_routes = self._pair_routes
+        for sid, tid in affected:
+            if (fault_mask >> sid) & 1 or (fault_mask >> tid) & 1:
+                continue
+            if any(mask & fault_mask == 0 for mask in multi_routes[(sid, tid)]):
+                continue
+            rows[sid] &= ~(1 << tid)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Graph materialisation
+    # ------------------------------------------------------------------
+    def _build_digraph(self, rows: List[int], alive: int) -> DiGraph:
+        surviving = DiGraph(name=f"R({self.graph.name or 'G'})/F")
+        nodes = self._nodes
+        remaining = alive
+        while remaining:
+            bit = remaining & -remaining
+            surviving.add_node(nodes[bit.bit_length() - 1])
+            remaining ^= bit
+        remaining = alive
+        while remaining:
+            bit = remaining & -remaining
+            sid = bit.bit_length() - 1
+            source = nodes[sid]
+            targets = rows[sid]
+            while targets:
+                tbit = targets & -targets
+                surviving.add_edge(source, nodes[tbit.bit_length() - 1])
+                targets ^= tbit
+            remaining ^= bit
+        return surviving
+
+    def surviving_route_graph(self, faults: Iterable[Node]) -> DiGraph:
+        """Return ``R(G, rho)/F`` — identical to the naive construction."""
+        fault_mask = self._fault_mask(self._check_faults(faults))
+        rows = self._surviving_rows(fault_mask)
+        return self._build_digraph(rows, self._full_mask & ~fault_mask)
+
+    # ------------------------------------------------------------------
+    # Diameter evaluation
+    # ------------------------------------------------------------------
+    def surviving_diameter(
+        self,
+        faults: Iterable[Node],
+        cap: Optional[float] = None,
+        kernel: str = "bitset",
+    ) -> float:
+        """Return the diameter of ``R(G, rho)/F`` (``inf`` if disconnected).
+
+        Parameters
+        ----------
+        cap:
+            Optional eccentricity cap: when given, the evaluation returns
+            ``inf`` as soon as some source's eccentricity is proven to exceed
+            ``cap`` (so a finite return value is always the exact diameter,
+            and any return value compares against ``cap`` exactly like the
+            true diameter does).
+        kernel:
+            ``"bitset"`` (default) uses the big-int kernel; ``"sets"`` runs
+            the historical PR-1 set-based kernel, kept for equivalence
+            testing and benchmarking.  Both return identical values.
+        """
+        fault_set = self._check_faults(faults)
+        if kernel == "sets":
+            if cap is not None:
+                raise ValueError("cap is only supported by the bitset kernel")
+            return _succ_diameter(self._set_surviving_succ(fault_set))
+        if kernel != "bitset":
+            raise ValueError(f"unknown kernel {kernel!r}")
+        fault_mask = self._fault_mask(fault_set)
+        rows = self._surviving_rows(fault_mask)
+        return _rows_diameter(rows, self._full_mask & ~fault_mask, cap)
+
+    def surviving_diameter_at_most(
+        self, faults: Iterable[Node], bound: float
+    ) -> bool:
+        """Decide ``surviving_diameter(faults) <= bound`` with early exit.
+
+        Equivalent to computing the diameter and comparing, but each source's
+        BFS is abandoned as soon as its eccentricity exceeds ``bound`` and the
+        first violating source short-circuits the whole evaluation.
+        """
+        if bound != bound:  # NaN: no diameter satisfies the comparison
+            return False
+        if bound == INFINITY:
+            return True
+        return self.surviving_diameter(faults, cap=bound) <= bound
+
+    # ------------------------------------------------------------------
+    # Evaluation cursors
+    # ------------------------------------------------------------------
+    def cursor(self, faults: Iterable[Node] = ()) -> "EvalCursor":
+        """Return an :class:`EvalCursor` caching the evaluation state of ``F``.
+
+        The cursor snapshots the masked adjacency rows for ``faults`` so
+        derived fault sets (``cursor.with_added(v)``) are evaluated by a
+        delta update touching only the rows indexed under ``v``.
+        """
+        fault_mask = self._fault_mask(self._check_faults(faults))
+        rows = self._surviving_rows(fault_mask)
+        return EvalCursor(self, fault_mask, rows)
+
+    # ------------------------------------------------------------------
+    # Historical set-based kernel (equivalence/benchmark reference)
+    # ------------------------------------------------------------------
+    def _ensure_set_kernel(
+        self,
+    ) -> Tuple[
+        Dict[Node, Set[Node]],
+        Dict[Node, Set[Pair]],
+        Dict[Pair, Tuple[FrozenSet[Node], ...]],
+    ]:
+        if self._set_kernel is None:
+            base_succ: Dict[Node, Set[Node]] = {node: set() for node in self._nodes}
+            pairs_through: Dict[Node, Set[Pair]] = {}
+            pair_routes: Dict[Pair, Tuple[FrozenSet[Node], ...]] = {}
+            if self._multi:
+                for pair in self.routing.pairs():
+                    routes = tuple(
+                        frozenset(path) for path in self.routing.get_routes(*pair)
+                    )
+                    if not routes:
+                        continue
+                    pair_routes[pair] = routes
+                    base_succ[pair[0]].add(pair[1])
+                    for node in frozenset().union(*routes):
+                        pairs_through.setdefault(node, set()).add(pair)
+            else:
+                for pair, path in self.routing.items():
+                    base_succ[pair[0]].add(pair[1])
+                    for node in path:
+                        pairs_through.setdefault(node, set()).add(pair)
+            self._set_kernel = (base_succ, pairs_through, pair_routes)
+        return self._set_kernel
+
+    def _set_surviving_succ(self, fault_set: FrozenSet[Node]) -> Dict[Node, Set[Node]]:
+        """Successor sets of ``R(G, rho)/F`` via the PR-1 set-based kernel."""
+        base_succ, pairs_through, pair_routes = self._ensure_set_kernel()
         succ: Dict[Node, Set[Node]] = {}
-        if fault_set:
-            for node, base in self._base_succ.items():
-                if node not in fault_set:
-                    succ[node] = base - fault_set
-        else:
-            for node, base in self._base_succ.items():
+        if not fault_set:
+            for node, base in base_succ.items():
                 succ[node] = set(base)
             return succ
+        for node, base in base_succ.items():
+            if node not in fault_set:
+                succ[node] = base - fault_set
 
         affected: Set[Pair] = set()
         for fault in fault_set:
-            affected |= self._pairs_through.get(fault, _NO_PAIRS)
+            affected |= pairs_through.get(fault, set())
         for source, target in affected:
             if source in fault_set or target in fault_set:
                 continue
             if self._multi and any(
                 routes.isdisjoint(fault_set)
-                for routes in self._pair_routes[(source, target)]
+                for routes in pair_routes[(source, target)]
             ):
                 continue
             succ[source].discard(target)
         return succ
 
-    def _build_digraph(self, succ: Dict[Node, Set[Node]]) -> DiGraph:
-        surviving = DiGraph(name=f"R({self.graph.name or 'G'})/F")
-        for node in succ:
-            surviving.add_node(node)
-        for source, targets in succ.items():
-            for target in targets:
-                surviving.add_edge(source, target)
-        return surviving
 
-    def surviving_route_graph(self, faults: Iterable[Node]) -> DiGraph:
-        """Return ``R(G, rho)/F`` — identical to the naive construction."""
-        return self._build_digraph(self._surviving_succ(self._check_faults(faults)))
+class EvalCursor:
+    """Cached evaluation state for one fault set ``F`` over a :class:`RouteIndex`.
 
-    def surviving_diameter(self, faults: Iterable[Node]) -> float:
-        """Return the diameter of ``R(G, rho)/F`` (``inf`` if disconnected)."""
-        succ = self._surviving_succ(self._check_faults(faults))
-        return _succ_diameter(succ)
+    A cursor owns the masked adjacency rows of ``R(G, rho)/F`` and memoises
+    the diameter (and, for disconnected graphs, a witness of the
+    disconnection).  :meth:`with_added` derives the cursor for ``F | {v}``
+    with a delta update that touches only the rows indexed under ``v``.
+    Cursors are immutable snapshots: deriving a new cursor never changes the
+    parent, so one cursor can seed many trial evaluations.
+    """
+
+    __slots__ = ("_index", "_fault_mask", "_rows", "_alive", "_diameter", "_unreached")
+
+    def __init__(self, index: RouteIndex, fault_mask: int, rows: List[int]) -> None:
+        self._index = index
+        self._fault_mask = fault_mask
+        self._rows = rows
+        self._alive = index._full_mask & ~fault_mask
+        self._diameter: Optional[float] = None
+        # (source bit, unreached mask) witnessing a disconnection, when known.
+        self._unreached: Optional[Tuple[int, int]] = None
+
+    @property
+    def faults(self) -> FrozenSet[Node]:
+        """The cursor's fault set, in original node labels."""
+        nodes = self._index._nodes
+        result = set()
+        remaining = self._fault_mask
+        while remaining:
+            bit = remaining & -remaining
+            result.add(nodes[bit.bit_length() - 1])
+            remaining ^= bit
+        return frozenset(result)
+
+    def surviving_route_graph(self) -> DiGraph:
+        """Materialise ``R(G, rho)/F`` for the cursor's fault set."""
+        return self._index._build_digraph(self._rows, self._alive)
+
+    def diameter(self, cap: Optional[float] = None) -> float:
+        """Return the surviving diameter (memoised; ``cap`` as in the index)."""
+        if self._diameter is None:
+            value, witness = _rows_diameter_witness(self._rows, self._alive, cap)
+            if cap is not None and value == INFINITY and witness is None:
+                # Cap exceeded without a disconnection witness: the exact
+                # value is unknown, so do not memoise it.
+                return INFINITY
+            self._diameter = value
+            self._unreached = witness
+        return self._diameter
+
+    def diameter_at_most(self, bound: float) -> bool:
+        """Decide ``diameter() <= bound`` with the bounded BFS early exit."""
+        if bound != bound:
+            return False
+        if bound == INFINITY:
+            return True
+        if self._diameter is not None:
+            return self._diameter <= bound
+        return self.diameter(cap=bound) <= bound
+
+    def with_added(self, node: Node) -> "EvalCursor":
+        """Return the cursor for ``F | {node}`` via a delta update.
+
+        Only the surviving predecessors of ``node`` and the pairs routed
+        through it are touched; every other row is shared with the parent by
+        value (rows are immutable ints).
+        """
+        index = self._index
+        nid = index._id_of.get(node)
+        if nid is None:
+            raise FaultModelError(
+                f"faulty node {node!r} is not a node of the graph"
+            )
+        bit = 1 << nid
+        if self._fault_mask & bit:
+            return self
+        fault_mask = self._fault_mask | bit
+        rows = list(self._rows)
+        not_bit = ~bit
+        rows[nid] = 0
+        if not index._multi:
+            # Kill masks cover every arc v affects, including arcs into v
+            # (v lies on its own routes), in one AND per indexed source.
+            for sid, mask in index._kill_rows[nid].items():
+                rows[sid] &= ~mask
+        else:
+            # Drop v as a target of its surviving predecessors...
+            preds = index._base_preds[nid] & self._alive
+            while preds:
+                pbit = preds & -preds
+                rows[pbit.bit_length() - 1] &= not_bit
+                preds ^= pbit
+            # ... and kill the arcs of pairs all of whose routes now die.
+            multi_routes = index._pair_routes
+            for sid, tid in index._pairs_through.get(nid, _NO_PAIRS):
+                if (fault_mask >> sid) & 1 or (fault_mask >> tid) & 1:
+                    continue
+                if any(mask & fault_mask == 0 for mask in multi_routes[(sid, tid)]):
+                    continue
+                rows[sid] &= ~(1 << tid)
+        child = EvalCursor(index, fault_mask, rows)
+        # Removing arcs can only shrink reachability: if the parent is
+        # disconnected by a missing target other than v (from a source other
+        # than v), the child is disconnected too — no BFS needed.
+        if self._unreached is not None:
+            source_bit, unreached = self._unreached
+            if source_bit != bit and unreached & not_bit:
+                child._diameter = INFINITY
+                child._unreached = (source_bit, unreached & not_bit)
+        return child
+
+
+def _rows_diameter(rows: List[int], alive: int, cap: Optional[float] = None) -> float:
+    """Diameter of the bitset digraph (``inf`` when > ``cap``, see below)."""
+    value, _witness = _rows_diameter_witness(rows, alive, cap)
+    return value
+
+
+def _rows_diameter_witness(
+    rows: List[int], alive: int, cap: Optional[float] = None
+) -> Tuple[float, Optional[Tuple[int, int]]]:
+    """Diameter of the digraph given by bitset rows.
+
+    Matches the conventions of :func:`repro.graphs.traversal.diameter`:
+    ``inf`` for the empty or non-strongly-connected graph, ``0`` for a single
+    node.  With ``cap`` given, returns ``inf`` as soon as the diameter is
+    proven to exceed the cap (a finite return value is always exact).
+
+    The second component witnesses a disconnection when one was found: a
+    source's bit and the mask of nodes it cannot reach (``None`` when the
+    graph is connected within the cap, or when the cap was exceeded without
+    proving a disconnection).
+
+    Two strategies cover the two shapes surviving route graphs come in.
+    Sparse graphs use *batched propagation*: every node's reachable set is a
+    bitmask and one level advance is a single ``|=`` per surviving arc — all
+    sources progress together, so the cost is ``O(arcs)`` per diameter unit.
+    Dense graphs (where a BFS completes in a level or two and most sources
+    terminate almost immediately) use per-source frontier BFS, which
+    exploits that early exit.  Both return identical values.
+    """
+    if not alive:
+        return INFINITY, None
+    total = alive.bit_count()
+    if total == 1:
+        return 0, None
+    arcs = 0
+    for row in rows:
+        arcs += row.bit_count()
+    if arcs * 8 <= total * total:
+        return _batched_diameter(rows, alive, total, cap)
+    return _per_source_diameter(rows, alive, cap)
+
+
+def _batched_diameter(
+    rows: List[int], alive: int, total: int, cap: Optional[float]
+) -> Tuple[float, Optional[Tuple[int, int]]]:
+    """All-sources reachability propagation (one ``|=`` per arc per level)."""
+    ids: List[int] = []
+    remaining = alive
+    while remaining:
+        bit = remaining & -remaining
+        ids.append(bit.bit_length() - 1)
+        remaining ^= bit
+    succ: List[List[int]] = [[] for _ in rows]
+    for node in ids:
+        row = rows[node]
+        targets = succ[node]
+        while row:
+            bit = row & -row
+            targets.append(bit.bit_length() - 1)
+            row ^= bit
+    # reach[u] = nodes within distance <= k of u; k starts at 1.
+    reach: List[int] = [0] * len(rows)
+    for node in ids:
+        reach[node] = (1 << node) | rows[node]
+    level = 1
+    while True:
+        complete = alive
+        for node in ids:
+            complete &= reach[node]
+        if complete == alive:
+            return level, None
+        if cap is not None and level >= cap:
+            return INFINITY, None
+        advanced: List[int] = [0] * len(rows)
+        changed = False
+        for node in ids:
+            acc = reach[node]
+            for target in succ[node]:
+                acc |= reach[target]
+            advanced[node] = acc
+            if acc != reach[node]:
+                changed = True
+        if not changed:
+            for node in ids:
+                if reach[node] != alive:
+                    return INFINITY, (1 << node, alive & ~reach[node])
+        reach = advanced
+        level += 1
+
+
+def _per_source_diameter(
+    rows: List[int], alive: int, cap: Optional[float]
+) -> Tuple[float, Optional[Tuple[int, int]]]:
+    """Per-source frontier BFS with early completion exit (dense graphs)."""
+    worst = 0
+    sources = alive
+    while sources:
+        source_bit = sources & -sources
+        sources ^= source_bit
+        visited = source_bit
+        frontier = source_bit
+        eccentricity = 0
+        while visited != alive:
+            reach = 0
+            while frontier:
+                fbit = frontier & -frontier
+                reach |= rows[fbit.bit_length() - 1]
+                frontier ^= fbit
+            frontier = reach & ~visited
+            if not frontier:
+                return INFINITY, (source_bit, alive & ~visited)
+            eccentricity += 1
+            if cap is not None and eccentricity > cap:
+                return INFINITY, None
+            visited |= frontier
+        if eccentricity > worst:
+            worst = eccentricity
+    return worst, None
 
 
 def _succ_diameter(succ: Dict[Node, Set[Node]]) -> float:
     """Diameter of the digraph given by successor sets, via level-set BFS.
 
-    Matches the conventions of :func:`repro.graphs.traversal.diameter`:
-    ``inf`` for the empty or non-strongly-connected graph, ``0`` for a single
-    node.  Each BFS level is advanced with whole-set unions, so the inner
-    loop runs in C; on the dense, small-diameter surviving route graphs this
-    dominates the per-node BFS by a large constant factor.
+    The PR-1 set-based kernel, kept as the equivalence/benchmark reference
+    for the bitset kernel.  Matches the conventions of
+    :func:`repro.graphs.traversal.diameter`: ``inf`` for the empty or
+    non-strongly-connected graph, ``0`` for a single node.
     """
     total = len(succ)
     if total == 0:

@@ -114,6 +114,29 @@ def surviving_diameter(
     return graph_diameter(surviving_route_graph(graph, routing, faults))
 
 
+def surviving_diameter_at_most(
+    graph: Graph,
+    routing: AnyRouting,
+    faults: Iterable[Node],
+    bound: float,
+    index=None,
+) -> bool:
+    """Decide ``surviving_diameter(graph, routing, faults) <= bound``.
+
+    With ``index`` supplied this is the fast decision path: the bitset BFS of
+    each source is abandoned as soon as its eccentricity exceeds ``bound``,
+    and the first violating source short-circuits the whole evaluation —
+    much cheaper than the exact diameter when the bound is violated.  Without
+    an index the exact diameter is computed and compared (identical answer).
+    """
+    if index is not None:
+        _check_index(graph, routing, index)
+        return index.surviving_diameter_at_most(faults, bound)
+    if bound != bound:  # NaN
+        return False
+    return surviving_diameter(graph, routing, faults) <= bound
+
+
 def surviving_distance(
     graph: Graph,
     routing: AnyRouting,

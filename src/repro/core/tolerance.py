@@ -16,6 +16,12 @@ Exhaustive enumeration is exact; the adversarial battery yields a certified
 *lower bound* on the worst case together with an upper-bound check (any
 violation found disproves the claimed guarantee; absence of violations over
 the battery is strong — but not exhaustive — evidence).
+
+Both paths run through the campaign engine's bounded-diameter decision scan:
+fault sets are evaluated with the claimed bound as an eccentricity cap and
+the scan short-circuits at the first violation, whose exact diameter becomes
+the report's witness.  Exhaustive enumerations stream through the engine's
+generative shards, so they parallelise like random batteries.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from typing import Hashable, Iterable, List, Optional, Sequence, Union
 from repro.core.construction import ConstructionResult
 from repro.core.routing import MultiRouting, Routing
 from repro.core.surviving import surviving_diameter
-from repro.faults.adversary import all_fault_sets, combined_fault_sets, count_fault_sets
+from repro.faults.adversary import combined_fault_sets, count_fault_sets
 from repro.faults.models import FaultSet
 from repro.graphs.graph import Graph
 
@@ -43,14 +49,20 @@ class ToleranceReport:
     claimed_diameter, max_faults:
         The ``(d, f)`` bound that was checked.
     worst_diameter:
-        The largest surviving diameter observed over the evaluated fault sets.
+        The largest surviving diameter observed over the evaluated fault
+        sets.  When the claimed bound is violated, the evaluation stops at
+        the first violating fault set (the bounded-diameter decision path),
+        so this is the exact diameter of that witness rather than the
+        battery-wide maximum.
     worst_fault_set:
         A fault set realising ``worst_diameter``.
     evaluated:
-        Number of fault sets evaluated.
+        Number of fault sets evaluated (up to and including the violation
+        witness when the bound is violated).
     exhaustive:
-        ``True`` when every fault set of size at most ``max_faults`` was
-        evaluated, making the report a proof rather than evidence.
+        ``True`` when the check enumerated every fault set of size at most
+        ``max_faults`` (stopping early only on a violation), making a
+        holding report a proof rather than evidence.
     """
 
     claimed_diameter: float
@@ -116,36 +128,49 @@ def check_tolerance(
     ``exhaustive_limit`` sets; otherwise the combined adversarial battery from
     :func:`repro.faults.adversary.combined_fault_sets` is used.
 
-    The battery is evaluated through the indexed campaign engine; ``index``
-    and ``workers`` are forwarded to :func:`worst_case_diameter` (the same
-    index also accelerates the greedy adversarial battery generation).  The
-    index is only built on the paths that consume it: battery generation and
-    the sequential evaluation (workers build their own copies).
+    Evaluation goes through the engine's bounded-diameter decision path:
+    every fault set is checked with an eccentricity cap of
+    ``diameter_bound`` (each source's BFS is abandoned the moment it exceeds
+    the cap) and the scan stops at the first violating fault set, whose
+    exact diameter is reported.  Exhaustive enumerations stream through the
+    engine's generative shards (deterministic ``itertools.combinations``
+    offsets), so they shard across the worker pool like random batteries do.
+    ``index`` is reused when given (it also accelerates the greedy
+    adversarial battery generation); with ``workers > 1`` the engine ships
+    its pre-built index to the pool.
     """
+    from repro.faults.engine import CampaignEngine
+
+    engine = CampaignEngine(graph, routing, workers=workers, index=index)
     exhaustive = False
     if fault_sets is None:
         n = graph.number_of_nodes()
         if count_fault_sets(n, max_faults) <= exhaustive_limit:
-            fault_sets = list(all_fault_sets(graph.nodes(), max_faults))
             exhaustive = True
-        else:
-            if index is None:
-                from repro.core.route_index import RouteIndex
-
-                index = RouteIndex(graph, routing)
-            fault_sets = combined_fault_sets(
-                graph,
-                routing,
-                max_faults,
-                concentrator=concentrator,
-                seed=seed,
-                index=index,
+            worst, worst_set, evaluated, _holds = engine.exhaustive_worst_case(
+                max_faults, diameter_bound
             )
+            return ToleranceReport(
+                claimed_diameter=diameter_bound,
+                max_faults=max_faults,
+                worst_diameter=worst,
+                worst_fault_set=worst_set,
+                evaluated=evaluated,
+                exhaustive=exhaustive,
+            )
+        fault_sets = combined_fault_sets(
+            graph,
+            routing,
+            max_faults,
+            concentrator=concentrator,
+            seed=seed,
+            index=engine.index,
+        )
     else:
         fault_sets = list(fault_sets)
 
-    worst, worst_set, evaluated = worst_case_diameter(
-        graph, routing, fault_sets, index=index, workers=workers
+    worst, worst_set, evaluated, _holds = engine.bounded_worst_case(
+        fault_sets, diameter_bound
     )
     return ToleranceReport(
         claimed_diameter=diameter_bound,

@@ -28,9 +28,13 @@ def _distance(surviving: DiGraph, source: Node, target: Node) -> float:
     return bfs_distances(surviving, source).get(target, float("inf"))
 
 
-def _surviving(result: ConstructionResult, faults: Iterable[Node]) -> Tuple[DiGraph, Set[Node]]:
+def _surviving(
+    result: ConstructionResult, faults: Iterable[Node], index=None
+) -> Tuple[DiGraph, Set[Node]]:
     fault_set = set(faults)
-    surviving = surviving_route_graph(result.graph, result.routing, fault_set)
+    surviving = surviving_route_graph(
+        result.graph, result.routing, fault_set, index=index
+    )
     return surviving, fault_set
 
 
@@ -38,16 +42,19 @@ def _surviving(result: ConstructionResult, faults: Iterable[Node]) -> Tuple[DiGr
 # Circular routing properties (Lemmas 6-9)
 # ----------------------------------------------------------------------
 def check_circ_properties(
-    result: ConstructionResult, faults: Iterable[Node]
+    result: ConstructionResult, faults: Iterable[Node], index=None
 ) -> List[str]:
     """Check Properties CIRC 1 and CIRC 2 for a circular construction.
 
     Property CIRC 1: every surviving node outside ``M`` is within distance 2
     of some surviving ``M`` node.  Property CIRC 2: every two surviving ``M``
     nodes are within distance 2 of each other.  Returns a list of violation
-    descriptions (empty when both properties hold).
+    descriptions (empty when both properties hold).  ``index`` — an optional
+    :class:`~repro.core.route_index.RouteIndex` for this construction —
+    derives the surviving graph incrementally when the same construction is
+    checked against many fault sets.
     """
-    surviving, fault_set = _surviving(result, faults)
+    surviving, fault_set = _surviving(result, faults, index=index)
     members = [m for m in result.concentrator if m not in fault_set]
     problems: List[str] = []
     member_set = set(result.concentrator)
@@ -72,7 +79,7 @@ def check_circ_properties(
 
 
 def check_tcirc_property(
-    result: ConstructionResult, faults: Iterable[Node], radius: int = 2
+    result: ConstructionResult, faults: Iterable[Node], radius: int = 2, index=None
 ) -> List[str]:
     """Check Property T-CIRC (or Property CIRC with ``radius=3``).
 
@@ -80,7 +87,7 @@ def check_tcirc_property(
     within distance ``radius`` of both (2 for the tri-circular routing of
     Theorem 13, 3 for the ``K = t+1 / t+2`` circular routing of Lemma 9).
     """
-    surviving, fault_set = _surviving(result, faults)
+    surviving, fault_set = _surviving(result, faults, index=index)
     members = [m for m in result.concentrator if m not in fault_set]
     distances_from_member: Dict[Node, Dict[Node, int]] = {
         m: bfs_distances(surviving, m) for m in members
@@ -107,10 +114,10 @@ def check_tcirc_property(
 # Bipolar routing properties (Lemmas 18-22)
 # ----------------------------------------------------------------------
 def check_bipolar_properties(
-    result: ConstructionResult, faults: Iterable[Node]
+    result: ConstructionResult, faults: Iterable[Node], index=None
 ) -> List[str]:
     """Check Properties B-POL 1–4 for a unidirectional bipolar construction."""
-    surviving, fault_set = _surviving(result, faults)
+    surviving, fault_set = _surviving(result, faults, index=index)
     m1 = [m for m in result.details["m1"] if m not in fault_set]
     m2 = [m for m in result.details["m2"] if m not in fault_set]
     m_all = set(result.details["m1"]) | set(result.details["m2"])
@@ -135,10 +142,10 @@ def check_bipolar_properties(
 
 
 def check_bidirectional_bipolar_properties(
-    result: ConstructionResult, faults: Iterable[Node]
+    result: ConstructionResult, faults: Iterable[Node], index=None
 ) -> List[str]:
     """Check Properties 2B-POL 1–3 for a bidirectional bipolar construction."""
-    surviving, fault_set = _surviving(result, faults)
+    surviving, fault_set = _surviving(result, faults, index=index)
     m1 = [m for m in result.details["m1"] if m not in fault_set]
     m2 = [m for m in result.details["m2"] if m not in fault_set]
     m_all = set(result.details["m1"]) | set(result.details["m2"])

@@ -21,7 +21,6 @@ import random as _random
 from typing import Callable, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Union
 
 from repro.core.routing import MultiRouting, Routing
-from repro.core.surviving import surviving_diameter
 from repro.faults.models import FaultSet
 from repro.graphs.graph import Graph
 
@@ -166,18 +165,29 @@ def greedy_adversarial_fault_set(
     At every step the candidate nodes (a random subset of the non-faulty
     nodes, capped at ``candidate_limit`` for tractability) are evaluated by
     the surviving diameter they would produce if added; the best one is kept.
-    Disconnecting fault sets (infinite diameter) are preferred last among
-    candidates of equal finite diameter only when ``size`` exceeds the
-    connectivity — for sizes below the connectivity they cannot occur.
+    A candidate with the largest *finite* diameter wins as long as it
+    strictly improves on the incumbent diameter; when no finite candidate
+    improves any more, a disconnecting candidate (infinite diameter) is
+    preferred — for ``size`` above the connectivity, ``inf`` is the true
+    worst case and the search must not settle for a finite plateau.
 
     This is a heuristic lower bound on the true worst case, useful for larger
-    graphs where exhaustive enumeration is infeasible.  Pass ``index`` (a
-    :class:`~repro.core.route_index.RouteIndex` for this pair) to evaluate
-    the candidate diameters incrementally — the greedy search performs
-    ``size * candidate_limit`` evaluations, so the index pays off quickly.
+    graphs where exhaustive enumeration is infeasible.  Candidates are
+    evaluated through a delta-aware :class:`~repro.core.route_index
+    .EvalCursor` over ``index`` (built here when not supplied): the cursor
+    for the incumbent fault set is updated per candidate by touching only
+    the rows indexed under that candidate, so the ``size * candidate_limit``
+    prefix-sharing evaluations never rebuild the surviving graph from
+    scratch.
     """
     rng = _rng(seed)
+    if index is None:
+        from repro.core.route_index import RouteIndex
+
+        index = RouteIndex(graph, routing)
     faults: Set[Node] = set()
+    cursor = index.cursor(())
+    incumbent = cursor.diameter()
     for _ in range(size):
         remaining = [node for node in graph.nodes() if node not in faults]
         if not remaining:
@@ -186,23 +196,24 @@ def greedy_adversarial_fault_set(
             candidates = rng.sample(remaining, candidate_limit)
         else:
             candidates = remaining
-        best_node = None
-        best_diameter = -1.0
+        best_node = best_cursor = None
+        best_finite = -1.0
+        inf_node = inf_cursor = None
         for node in candidates:
-            trial = faults | {node}
-            diam = surviving_diameter(graph, routing, trial, index=index)
+            trial = cursor.with_added(node)
+            diam = trial.diameter()
             if diam == float("inf"):
-                # Prefer the largest *finite* diameter; remember an infinite
-                # one only if nothing finite shows up.
-                diam_key = -0.5
-            else:
-                diam_key = diam
-            if diam_key > best_diameter:
-                best_diameter = diam_key
-                best_node = node
-        if best_node is None:
+                if inf_node is None:
+                    inf_node, inf_cursor = node, trial
+            elif diam > best_finite:
+                best_finite, best_node, best_cursor = diam, node, trial
+        if best_node is not None and (best_finite > incumbent or inf_node is None):
+            chosen, cursor, incumbent = best_node, best_cursor, best_finite
+        elif inf_node is not None:
+            chosen, cursor, incumbent = inf_node, inf_cursor, float("inf")
+        else:
             break
-        faults.add(best_node)
+        faults.add(chosen)
     return FaultSet(faults, description="greedy adversarial")
 
 

@@ -77,10 +77,16 @@ def shard_seed(seed: int, tag: str, shard: int) -> int:
 class _Shard:
     """One unit of worker work: explicit fault sets or a generative spec.
 
-    ``fault_sets`` carries an explicit battery slice; when it is ``None`` the
-    shard describes ``count`` random fault sets of size ``fault_size`` drawn
-    from ``random.Random(seed)``, with global sample indices starting at
-    ``start`` (used only for the human-readable descriptions).
+    ``fault_sets`` carries an explicit battery slice.  When it is ``None``
+    the shard is *generative* and regenerated locally by whichever worker
+    receives it:
+
+    * with ``exhaustive_size`` set, the shard covers the combinations of
+      that size with (deterministic) :func:`itertools.combinations` offsets
+      ``start .. start + count`` over the ``repr``-sorted node pool;
+    * otherwise it describes ``count`` random fault sets of size
+      ``fault_size`` drawn from ``random.Random(seed)``, with global sample
+      indices starting at ``start`` (used only for the descriptions).
     """
 
     fault_sets: Optional[Tuple[FaultSet, ...]] = None
@@ -88,12 +94,20 @@ class _Shard:
     count: int = 0
     start: int = 0
     seed: int = 0
+    exhaustive_size: Optional[int] = None
 
     def materialise(self, graph: Graph) -> Tuple[FaultSet, ...]:
         """Return the shard's fault sets, generating them when needed."""
         if self.fault_sets is not None:
             return self.fault_sets
         pool = sorted(graph.nodes(), key=repr)
+        if self.exhaustive_size is not None:
+            return tuple(
+                FaultSet(combo, description=f"exhaustive size {self.exhaustive_size}")
+                for combo in _combinations_slice(
+                    pool, self.exhaustive_size, self.start, self.count
+                )
+            )
         if self.fault_size > len(pool):
             return ()
         rng = _random.Random(self.seed)
@@ -106,26 +120,89 @@ class _Shard:
         )
 
 
+def _combinations_slice(pool, size: int, start: int, count: int):
+    """Yield ``itertools.combinations(pool, size)[start : start + count]``.
+
+    The first combination is *unranked* directly (combinatorial number
+    system, ``O(size * n)``) and successors are stepped lexicographically,
+    so a shard deep into a large enumeration does not re-generate and skip
+    every earlier combination the way ``islice`` would.
+    """
+    import math
+
+    n = len(pool)
+    if size < 0 or size > n or count <= 0:
+        return
+    if size == 0:
+        if start == 0:
+            yield ()
+        return
+    total = math.comb(n, size)
+    if start >= total:
+        return
+    # Unrank the first combination in lexicographic order.
+    indices: List[int] = []
+    rank = start
+    position = 0
+    for remaining in range(size, 0, -1):
+        while math.comb(n - position - 1, remaining - 1) <= rank:
+            rank -= math.comb(n - position - 1, remaining - 1)
+            position += 1
+        indices.append(position)
+        position += 1
+    emitted = 0
+    limit = min(count, total - start)
+    while True:
+        yield tuple(pool[i] for i in indices)
+        emitted += 1
+        if emitted >= limit:
+            return
+        # Lexicographic successor of the index combination.
+        pivot = size - 1
+        while indices[pivot] == n - size + pivot:
+            pivot -= 1
+        indices[pivot] += 1
+        for follow in range(pivot + 1, size):
+            indices[follow] = indices[follow - 1] + 1
+
+
 # ----------------------------------------------------------------------
 # Worker-process plumbing
 # ----------------------------------------------------------------------
-# Each worker builds its RouteIndex once (in the pool initializer) and reuses
-# it for every shard it receives; only shard descriptors and outcome rows
-# cross the process boundary.
-_WORKER_STATE: Optional[Tuple[Graph, AnyRouting, RouteIndex]] = None
+# The engine builds its RouteIndex once in the parent and ships the pre-built
+# (picklable) index to each worker through the pool initializer — workers no
+# longer rebuild the index from the raw routing.  Only shard descriptors and
+# outcome rows cross the process boundary afterwards.
+_WORKER_INDEX: Optional[RouteIndex] = None
 
 
-def _init_worker(graph: Graph, routing: AnyRouting) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = (graph, routing, RouteIndex(graph, routing))
+def _init_worker(index: RouteIndex) -> None:
+    global _WORKER_INDEX
+    _WORKER_INDEX = index
 
 
 def _evaluate_shard(shard: _Shard) -> List[Outcome]:
-    assert _WORKER_STATE is not None, "worker pool was not initialised"
-    graph, _routing, index = _WORKER_STATE
+    index = _WORKER_INDEX
+    assert index is not None, "worker pool was not initialised"
     return [
         (fault_set, index.surviving_diameter(fault_set))
-        for fault_set in shard.materialise(graph)
+        for fault_set in shard.materialise(index.graph)
+    ]
+
+
+def _evaluate_shard_capped(task: Tuple[_Shard, float]) -> List[Outcome]:
+    """Evaluate one shard with an eccentricity cap (bounded decision path).
+
+    Outcomes report the exact diameter when it is at most the cap and
+    ``inf`` otherwise, which is all the early-exit scan needs: any outcome
+    strictly above the cap is a violation witness.
+    """
+    shard, bound = task
+    index = _WORKER_INDEX
+    assert index is not None, "worker pool was not initialised"
+    return [
+        (fault_set, index.surviving_diameter(fault_set, cap=bound))
+        for fault_set in shard.materialise(index.graph)
     ]
 
 
@@ -209,12 +286,38 @@ class CampaignEngine:
                 seed=shard_seed(seed, tag, shard_index),
             )
 
+    def _exhaustive_shards(
+        self, max_faults: int, include_smaller: bool = True
+    ) -> Iterator[_Shard]:
+        """Generative shards covering every fault set of size <= ``max_faults``.
+
+        Shard boundaries are deterministic :func:`itertools.combinations`
+        offsets over the ``repr``-sorted node pool — a pure function of the
+        graph, ``max_faults`` and ``chunk_size`` — so workers regenerate
+        their slice locally and the enumeration order matches
+        :func:`repro.faults.adversary.all_fault_sets` exactly.
+        """
+        import math
+
+        n = self.graph.number_of_nodes()
+        sizes = range(0, max_faults + 1) if include_smaller else [max_faults]
+        for size in sizes:
+            total = math.comb(n, size)
+            for start in range(0, total, self.chunk_size):
+                yield _Shard(
+                    exhaustive_size=size,
+                    start=start,
+                    count=min(self.chunk_size, total - start),
+                )
+
     def _ensure_pool(self):
         """Create (once) and return the engine's worker pool.
 
-        The pool — and with it each worker's RouteIndex — persists for the
-        engine's lifetime, so a sweep over many fault sizes pays the pool
-        start-up and per-worker index build exactly once.
+        The pool — and with it the pre-built RouteIndex shipped to every
+        worker — persists for the engine's lifetime, so a sweep over many
+        fault sizes pays the pool start-up and the index serialisation
+        exactly once (and the index itself is built exactly once, in the
+        parent).
         """
         if self._pool is None:
             import multiprocessing
@@ -222,7 +325,7 @@ class CampaignEngine:
             self._pool = multiprocessing.Pool(
                 self.workers,
                 initializer=_init_worker,
-                initargs=(self.graph, self.routing),
+                initargs=(self.index,),
             )
             self._pool_finalizer = weakref.finalize(
                 self, _shutdown_pool, self._pool
@@ -276,6 +379,103 @@ class CampaignEngine:
                 worst = diameter
                 worst_set = fault_set
         return worst, worst_set, evaluated
+
+    # ------------------------------------------------------------------
+    # Bounded-diameter decision scans
+    # ------------------------------------------------------------------
+    def _bounded_scan(
+        self, shards: Iterable[_Shard], bound: float
+    ) -> Tuple[float, Optional[FaultSet], int, bool]:
+        """Early-exit scan: is every fault set's surviving diameter <= ``bound``?
+
+        Returns ``(worst_diameter, worst_fault_set, evaluated, holds)``.
+        Every fault set is evaluated with an eccentricity cap of ``bound``
+        (each source's BFS is abandoned the moment it exceeds the cap), and
+        the scan stops at the *first* violating fault set in battery order:
+        on a violation ``worst_diameter`` is the exact diameter of that
+        witness and ``evaluated`` counts the sets inspected up to and
+        including it.  When the bound holds, every set was evaluated and
+        ``worst_diameter`` is the exact battery-wide maximum.
+
+        The parallel path submits shards through a sliding window (a few
+        shards per worker) and stops submitting on the first violation, so
+        an early exit leaves at most one window of in-flight shards behind
+        instead of the whole remaining enumeration.
+        """
+        worst = -1.0
+        worst_set: Optional[FaultSet] = None
+        evaluated = 0
+        if self.workers == 1:
+            index = self.index
+            for shard in shards:
+                for fault_set in shard.materialise(self.graph):
+                    evaluated += 1
+                    capped = index.surviving_diameter(fault_set, cap=bound)
+                    if capped > bound:
+                        return (
+                            index.surviving_diameter(fault_set),
+                            fault_set,
+                            evaluated,
+                            False,
+                        )
+                    if capped > worst:
+                        worst = capped
+                        worst_set = fault_set
+            return worst, worst_set, evaluated, True
+
+        import collections
+
+        pool = self._ensure_pool()
+        shard_iterator = iter(shards)
+        window = self.workers * 4
+        pending = collections.deque()
+
+        def refill() -> None:
+            while len(pending) < window:
+                shard = next(shard_iterator, None)
+                if shard is None:
+                    return
+                pending.append(
+                    pool.apply_async(_evaluate_shard_capped, ((shard, bound),))
+                )
+
+        refill()
+        while pending:
+            for fault_set, capped in pending.popleft().get():
+                evaluated += 1
+                if capped > bound:
+                    return (
+                        self.index.surviving_diameter(fault_set),
+                        fault_set,
+                        evaluated,
+                        False,
+                    )
+                if capped > worst:
+                    worst = capped
+                    worst_set = fault_set
+            refill()
+        return worst, worst_set, evaluated, True
+
+    def bounded_worst_case(
+        self, fault_sets: Iterable[FaultSet], bound: float
+    ) -> Tuple[float, Optional[FaultSet], int, bool]:
+        """Early-exit battery scan against ``bound`` (see :meth:`_bounded_scan`)."""
+        return self._bounded_scan(self._explicit_shards(fault_sets), bound)
+
+    def exhaustive_worst_case(
+        self, max_faults: int, bound: float, include_smaller: bool = True
+    ) -> Tuple[float, Optional[FaultSet], int, bool]:
+        """Early-exit exhaustive scan over all fault sets of size <= ``max_faults``.
+
+        The enumeration streams through the engine's generative shards
+        (deterministic :func:`itertools.combinations` offsets), so exhaustive
+        tolerance checks shard across the worker pool exactly like random
+        batteries do — no fault sets cross the process boundary on the way
+        in.
+        """
+        return self._bounded_scan(
+            self._exhaustive_shards(max_faults, include_smaller=include_smaller), bound
+        )
 
     def profile(self, fault_sets: Iterable[FaultSet]) -> List[Outcome]:
         """Return ``(fault_set, surviving_diameter)`` rows for the battery."""

@@ -9,9 +9,10 @@ benchmarks report alongside the worst-case numbers.
 
 The evaluation loop itself lives in :class:`repro.faults.engine
 .CampaignEngine`: campaigns are evaluated through a precomputed
-:class:`~repro.core.route_index.RouteIndex` (incremental subtraction instead
-of re-walking every route) and can be sharded across worker processes with
-``workers=N`` — the aggregated rows are identical for any worker count.
+:class:`~repro.core.route_index.RouteIndex` (bitset subtraction and
+level-mask BFS instead of re-walking every route) and can be sharded across
+worker processes with ``workers=N`` — the engine ships its pre-built index
+to the pool, and the aggregated rows are identical for any worker count.
 """
 
 from __future__ import annotations

@@ -67,6 +67,7 @@ def route_counter_broadcast(
     origin: Node,
     faults: Iterable[Node] = (),
     counter_limit: Optional[int] = None,
+    index=None,
 ) -> BroadcastResult:
     """Run the Section 1 route-counter broadcast from ``origin``.
 
@@ -84,6 +85,12 @@ def route_counter_broadcast(
         passing ``None`` disables discarding, which lets tests confirm that
         the number of rounds needed *without* a limit still never exceeds the
         diameter.
+    index:
+        Optional :class:`~repro.core.route_index.RouteIndex` for ``(graph,
+        routing)``: the surviving route graph driving the protocol is then
+        derived incrementally instead of re-walking every route, which
+        matters when the route tables are recomputed after every failure
+        event.
 
     Returns
     -------
@@ -94,12 +101,23 @@ def route_counter_broadcast(
         counter limit.
     """
     fault_set = set(faults)
+    surviving = surviving_route_graph(graph, routing, fault_set, index=index)
+    return _broadcast_on(surviving, graph, origin, fault_set, counter_limit)
+
+
+def _broadcast_on(
+    surviving,
+    graph: Graph,
+    origin: Node,
+    fault_set: Set[Node],
+    counter_limit: Optional[int],
+) -> BroadcastResult:
+    """Run the route-counter protocol on a pre-built surviving route graph."""
     if origin in fault_set:
         raise SimulationError(f"broadcast origin {origin!r} is faulty")
     if not graph.has_node(origin):
         raise SimulationError(f"broadcast origin {origin!r} is not in the graph")
 
-    surviving = surviving_route_graph(graph, routing, fault_set)
     expected = set(surviving.nodes())
 
     reached: Set[Node] = {origin}
@@ -144,19 +162,21 @@ def broadcast_rounds_from_all(
     routing: AnyRouting,
     faults: Iterable[Node] = (),
     counter_limit: Optional[int] = None,
+    index=None,
 ) -> Dict[Node, int]:
     """Run the broadcast from every surviving node; return rounds used per origin.
 
     The maximum over all origins is the empirical counterpart of the
-    surviving-diameter bound of Section 1.
+    surviving-diameter bound of Section 1.  The surviving route graph is
+    built once (through ``index`` when given) and shared by every origin's
+    run instead of being rebuilt per origin.
     """
     fault_set = set(faults)
+    surviving = surviving_route_graph(graph, routing, fault_set, index=index)
     rounds: Dict[Node, int] = {}
     for node in graph.nodes():
         if node in fault_set:
             continue
-        result = route_counter_broadcast(
-            graph, routing, node, faults=fault_set, counter_limit=counter_limit
-        )
+        result = _broadcast_on(surviving, graph, node, fault_set, counter_limit)
         rounds[node] = result.rounds_used
     return rounds

@@ -71,6 +71,19 @@ class TestComponentDiameters:
         assert worst_component_diameter(graph, result.routing, {0}) <= 2 * result.t
         assert worst_component_diameter(graph, result.routing, set(graph.nodes())) == 0.0
 
+    def test_indexed_evaluation_matches_naive(self, circulant_kernel):
+        from repro.core import RouteIndex
+
+        graph, result = circulant_kernel
+        index = RouteIndex(graph, result.routing)
+        for faults in [set(), {0}, {0, 3, 6}, set(graph.nodes()[:5])]:
+            assert component_diameters(
+                graph, result.routing, faults, index=index
+            ) == component_diameters(graph, result.routing, faults)
+            assert worst_component_diameter(
+                graph, result.routing, faults, index=index
+            ) == worst_component_diameter(graph, result.routing, faults)
+
 
 class TestGracefulDegradation:
     def test_profile_shape(self, circulant_kernel):

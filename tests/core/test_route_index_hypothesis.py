@@ -1,11 +1,16 @@
-"""Property-based equivalence: the indexed fast path vs the naive path.
+"""Property-based equivalence: bitset kernel vs set kernel vs naive path.
 
 For random graphs, routings (single routes and multiroutings) and fault
-sets, the :class:`~repro.core.route_index.RouteIndex` subtraction path must
+sets, the :class:`~repro.core.route_index.RouteIndex` evaluation must
 reproduce the naive computation *node for node*: the same surviving route
-graph (same node set, same arc set) and the same diameter.  This is the
-contract that lets every campaign, battery and sweep in the library switch
-to the incremental path without changing any observable result.
+graph (same node set, same arc set) and the same diameter — through both
+the bitset kernel (the default) and the historical set-based kernel, which
+must agree with each other value-for-value.  The bounded decision API must
+satisfy ``surviving_diameter_at_most(F, b) <=> surviving_diameter(F) <= b``
+for every bound, and delta-derived cursors must equal from-scratch
+evaluations.  This is the contract that lets every campaign, battery and
+sweep in the library ride the fast paths without changing any observable
+result.
 """
 
 import random as _random
@@ -17,7 +22,12 @@ hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import RouteIndex, surviving_diameter, surviving_route_graph
+from repro.core import (
+    RouteIndex,
+    surviving_diameter,
+    surviving_diameter_at_most,
+    surviving_route_graph,
+)
 from repro.core.routing import MultiRouting, Routing
 from repro.graphs import generators
 from repro.graphs.traversal import shortest_path
@@ -124,3 +134,89 @@ class TestIndexedEquivalence:
         assert surviving_diameter(
             graph, routing, faults, index=index
         ) == surviving_diameter(graph, routing, faults)
+
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_bitset_set_and_naive_kernels_agree(self, case):
+        """Three-way equivalence: bitset kernel == set kernel == naive path."""
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing)
+        naive = surviving_diameter(graph, routing, faults)
+        assert index.surviving_diameter(faults, kernel="bitset") == naive
+        assert index.surviving_diameter(faults, kernel="sets") == naive
+
+
+class TestBoundedDecision:
+    @SETTINGS
+    @given(graph_routing_faults(), st.integers(min_value=0, max_value=14))
+    def test_at_most_iff_diameter_leq_bound(self, case, bound):
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing)
+        exact = surviving_diameter(graph, routing, faults)
+        assert index.surviving_diameter_at_most(faults, bound) == (exact <= bound)
+        assert surviving_diameter_at_most(
+            graph, routing, faults, bound, index=index
+        ) == (exact <= bound)
+        assert surviving_diameter_at_most(graph, routing, faults, bound) == (
+            exact <= bound
+        )
+
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_at_most_infinite_bound_always_holds(self, case):
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing)
+        assert index.surviving_diameter_at_most(faults, float("inf"))
+
+    @SETTINGS
+    @given(graph_routing_faults(), st.integers(min_value=0, max_value=14))
+    def test_capped_evaluation_is_exact_within_the_cap(self, case, cap):
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing)
+        exact = surviving_diameter(graph, routing, faults)
+        capped = index.surviving_diameter(faults, cap=cap)
+        if exact <= cap:
+            assert capped == exact
+        else:
+            assert capped > cap
+
+
+class TestCursorEquivalence:
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_cursor_matches_fresh_evaluation(self, case):
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing)
+        cursor = index.cursor(faults)
+        assert cursor.diameter() == surviving_diameter(graph, routing, faults)
+        assert cursor.surviving_route_graph() == surviving_route_graph(
+            graph, routing, faults
+        )
+
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_with_added_matches_from_scratch(self, case):
+        """Delta-derived cursors equal from-scratch evaluation for every node."""
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing)
+        cursor = index.cursor(faults)
+        for node in graph.nodes():
+            derived = cursor.with_added(node)
+            grown = set(faults) | {node}
+            assert derived.diameter() == surviving_diameter(graph, routing, grown)
+            assert derived.surviving_route_graph() == surviving_route_graph(
+                graph, routing, grown
+            )
+
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_with_added_chain_matches_from_scratch(self, case):
+        """A chain of derivations (the greedy adversary's access pattern)."""
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing)
+        cursor = index.cursor(())
+        grown = set()
+        for node in sorted(faults, key=repr):
+            cursor = cursor.with_added(node)
+            grown.add(node)
+            assert cursor.diameter() == surviving_diameter(graph, routing, grown)

@@ -91,6 +91,38 @@ class TestCheckTolerance:
         assert "holds" in text
         assert "exhaustive" in text
 
+    def test_violation_short_circuits_with_exact_witness(self, edge_only_routing):
+        """The decision path stops at the first violating fault set."""
+        graph, routing = edge_only_routing
+        report = check_tolerance(graph, routing, diameter_bound=4, max_faults=1)
+        assert not report.holds
+        # Enumeration order: the empty set (diameter 4, within bound), then
+        # {0} which violates -> exactly two evaluations, exact witness value.
+        assert report.evaluated == 2
+        assert report.worst_fault_set.nodes() == frozenset({0})
+        assert report.worst_diameter == 6
+
+    def test_exhaustive_report_identical_across_worker_counts(self, edge_only_routing):
+        graph, routing = edge_only_routing
+        sequential = check_tolerance(graph, routing, diameter_bound=6, max_faults=2)
+        parallel = check_tolerance(
+            graph, routing, diameter_bound=6, max_faults=2, workers=2
+        )
+        assert sequential.worst_diameter == parallel.worst_diameter
+        assert sequential.evaluated == parallel.evaluated
+        assert sequential.holds == parallel.holds
+
+    def test_infinite_bound_always_holds(self, edge_only_routing):
+        graph, routing = edge_only_routing
+        report = check_tolerance(
+            graph, routing, diameter_bound=float("inf"), max_faults=2
+        )
+        assert report.holds
+        assert report.exhaustive
+        # Disconnecting pairs exist at |F| = 2; with an infinite bound they
+        # are not violations but must still be reported as the worst case.
+        assert report.worst_diameter == float("inf")
+
 
 class TestVerifyConstruction:
     def test_uses_recorded_guarantee(self):

@@ -114,6 +114,40 @@ class TestGreedyAdversary:
         graph, result = cycle_routing
         assert len(greedy_adversarial_fault_set(graph, result.routing, 0, seed=0)) == 0
 
+    def test_prefers_disconnection_when_no_finite_candidate_improves(self):
+        """Above the connectivity, ``inf`` is the true worst case.
+
+        On an edge-only routed cycle, the second fault either shaves the
+        surviving path (finite diameter *smaller* than the incumbent) or
+        disconnects it (``inf``).  The greedy adversary must take the
+        disconnection instead of settling for the finite plateau.
+        """
+        graph = generators.cycle_graph(8)
+        routing = Routing(graph, name="edges-only")
+        routing.add_all_edge_routes()
+        fault_set = greedy_adversarial_fault_set(graph, routing, 2, seed=0)
+        assert len(fault_set) == 2
+        assert surviving_diameter(graph, routing, fault_set) == float("inf")
+
+    def test_keeps_improving_finite_diameters_below_connectivity(self, cycle_routing):
+        """Below the connectivity no candidate disconnects, so the greedy
+        search must still chase the largest finite diameter."""
+        graph, result = cycle_routing
+        fault_set = greedy_adversarial_fault_set(graph, result.routing, 1, seed=0)
+        assert surviving_diameter(graph, result.routing, fault_set) < float("inf")
+
+    def test_matches_index_free_run(self, cycle_routing):
+        """Passing a pre-built index must not change the selected fault set."""
+        from repro.core import RouteIndex
+
+        graph, result = cycle_routing
+        index = RouteIndex(graph, result.routing)
+        with_index = greedy_adversarial_fault_set(
+            graph, result.routing, 2, seed=5, index=index
+        )
+        without = greedy_adversarial_fault_set(graph, result.routing, 2, seed=5)
+        assert with_index.nodes() == without.nodes()
+
 
 class TestCombinedBattery:
     def test_includes_baseline_and_unique_sets(self, cycle_routing):

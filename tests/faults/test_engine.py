@@ -116,6 +116,167 @@ class TestEngineDeterminism:
         assert first == second
 
 
+class TestExhaustiveShards:
+    def test_shards_reproduce_all_fault_sets_order(self, workload):
+        from repro.faults import all_fault_sets
+
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing, chunk_size=7)
+        sharded = [
+            fault_set.nodes()
+            for shard in engine._exhaustive_shards(2)
+            for fault_set in shard.materialise(graph)
+        ]
+        reference = [fs.nodes() for fs in all_fault_sets(graph.nodes(), 2)]
+        assert sharded == reference
+
+    def test_combinations_slice_matches_islice_reference(self):
+        import itertools
+
+        from repro.faults.engine import _combinations_slice
+
+        pool = list(range(9))
+        for size in range(0, 5):
+            reference = list(itertools.combinations(pool, size))
+            for start in range(0, len(reference) + 2):
+                for count in (1, 3, len(reference) + 5):
+                    expected = reference[start : start + count]
+                    assert list(_combinations_slice(pool, size, start, count)) == expected
+
+    def test_shard_boundaries_deterministic(self, workload):
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing, chunk_size=5)
+        first = [
+            (shard.exhaustive_size, shard.start, shard.count)
+            for shard in engine._exhaustive_shards(2)
+        ]
+        second = [
+            (shard.exhaustive_size, shard.start, shard.count)
+            for shard in engine._exhaustive_shards(2)
+        ]
+        assert first == second
+        assert all(size is not None for size, _, _ in first)
+
+    def test_exhaustive_worst_case_matches_explicit_battery(self, workload):
+        from repro.faults import all_fault_sets
+
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing)
+        battery = list(all_fault_sets(graph.nodes(), 2))
+        exact, exact_set, exact_count = engine.worst_case(battery)
+        worst, worst_set, evaluated, holds = engine.exhaustive_worst_case(
+            2, bound=float("inf")
+        )
+        assert holds
+        assert evaluated == exact_count == len(battery)
+        assert worst == exact
+        assert worst_set.nodes() == exact_set.nodes()
+
+    def test_exhaustive_parallel_matches_sequential(self, workload):
+        graph, routing = workload
+        sequential = CampaignEngine(graph, routing, workers=1)
+        with CampaignEngine(graph, routing, workers=2) as parallel:
+            seq = sequential.exhaustive_worst_case(2, bound=float("inf"))
+            par = parallel.exhaustive_worst_case(2, bound=float("inf"))
+        assert seq[0] == par[0]
+        assert seq[1].nodes() == par[1].nodes()
+        assert seq[2:] == par[2:]
+
+
+class TestBoundedScan:
+    def test_holding_bound_evaluates_everything_exactly(self, workload):
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing)
+        battery = combined_fault_sets(graph, routing, 2, random_count=10, seed=4)
+        exact, exact_set, count = engine.worst_case(battery)
+        worst, worst_set, evaluated, holds = engine.bounded_worst_case(
+            battery, bound=exact
+        )
+        assert holds
+        assert evaluated == count
+        assert worst == exact
+        assert worst_set.nodes() == exact_set.nodes()
+
+    def test_violation_stops_at_first_witness(self):
+        from repro.core import Routing
+        from repro.graphs import generators as _generators
+
+        # Edge-routed C_8: diameter 4 fault-free, 6 after any single fault.
+        graph = _generators.cycle_graph(8)
+        routing = Routing(graph, name="edges-only")
+        routing.add_all_edge_routes()
+        engine = CampaignEngine(graph, routing)
+        battery = [FaultSet(()), FaultSet({0}), FaultSet({1}), FaultSet({2})]
+        worst, worst_set, evaluated, holds = engine.bounded_worst_case(battery, 4)
+        assert not holds
+        assert worst_set.nodes() == frozenset({0})
+        assert evaluated == 2  # empty set + the first violating set
+        assert worst == 6  # exact witness diameter, not just "> bound"
+
+    def test_parallel_scan_matches_sequential(self, workload):
+        graph, routing = workload
+        battery = combined_fault_sets(graph, routing, 2, random_count=12, seed=8)
+        sequential = CampaignEngine(graph, routing, workers=1)
+        with CampaignEngine(graph, routing, workers=2) as parallel:
+            for bound in [2, 3, float("inf")]:
+                seq = sequential.bounded_worst_case(battery, bound)
+                par = parallel.bounded_worst_case(battery, bound)
+                assert seq[0] == par[0]
+                assert (seq[1] and seq[1].nodes()) == (par[1] and par[1].nodes())
+                assert seq[2:] == par[2:]
+
+
+class TestIndexShipping:
+    def test_prebuilt_index_is_shipped_to_workers(self, workload):
+        """The pool initializer must receive the engine's own index object."""
+        graph, routing = workload
+        from repro.core import RouteIndex
+        from repro.faults import engine as engine_module
+
+        index = RouteIndex(graph, routing)
+        engine = CampaignEngine(graph, routing, workers=2, index=index)
+        recorded = {}
+
+        class _FakePool:
+            def imap(self, func, iterable):
+                return iter(())
+
+            def terminate(self):
+                pass
+
+            def join(self):
+                pass
+
+        def fake_pool_factory(workers, initializer=None, initargs=()):
+            recorded["initargs"] = initargs
+            initializer(*initargs)
+            return _FakePool()
+
+        import multiprocessing
+
+        original = multiprocessing.Pool
+        multiprocessing.Pool = fake_pool_factory
+        try:
+            engine._ensure_pool()
+        finally:
+            multiprocessing.Pool = original
+            engine.close()
+        assert recorded["initargs"] == (index,)
+        assert engine_module._WORKER_INDEX is index
+        engine_module._WORKER_INDEX = None
+
+    def test_parallel_results_with_prebuilt_index(self, workload):
+        graph, routing = workload
+        from repro.core import RouteIndex
+
+        index = RouteIndex(graph, routing)
+        sequential = CampaignEngine(graph, routing, workers=1, index=index)
+        with CampaignEngine(graph, routing, workers=2, index=index) as parallel:
+            assert sequential.run_campaign(2, samples=20, seed=3) == parallel.run_campaign(
+                2, samples=20, seed=3
+            )
+
+
 class TestEngineSemantics:
     def test_worst_case_matches_tolerance_helper(self, workload):
         graph, routing = workload

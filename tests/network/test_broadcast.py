@@ -84,3 +84,21 @@ class TestBroadcastFromAll:
         diam = surviving_diameter(graph, result.routing, faults)
         rounds = broadcast_rounds_from_all(graph, result.routing, faults=faults)
         assert max(rounds.values()) <= diam
+
+    def test_indexed_recomputation_matches_naive(self, cycle_setup):
+        """Route recomputation through a RouteIndex is observably identical."""
+        from repro.core import RouteIndex
+
+        graph, result = cycle_setup
+        index = RouteIndex(graph, result.routing)
+        faults = {3, 7}
+        naive = route_counter_broadcast(graph, result.routing, 0, faults=faults)
+        fast = route_counter_broadcast(
+            graph, result.routing, 0, faults=faults, index=index
+        )
+        assert fast.reached == naive.reached
+        assert fast.rounds_used == naive.rounds_used
+        assert fast.messages_sent == naive.messages_sent
+        assert broadcast_rounds_from_all(
+            graph, result.routing, faults=faults, index=index
+        ) == broadcast_rounds_from_all(graph, result.routing, faults=faults)
