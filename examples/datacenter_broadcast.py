@@ -92,8 +92,15 @@ def main() -> None:
     print(f"\nworst route segments while degraded: {worst_segments} "
           f"(bound: {result.guarantee.diameter_bound})")
 
-    # Section 1's broadcast: recompute routing tables after the failure.
+    # Section 1's broadcast: recompute routing tables after the failure.  The
+    # counter limit is a diameter bound, so whether it is safe is a bounded
+    # *decision* (early-exit BFS), not an exact diameter evaluation.
+    from repro.network import counter_limit_suffices
+
     simulator.fail_node(victim)
+    limit_ok = counter_limit_suffices(
+        graph, result.routing, result.guarantee.diameter_bound, faults={victim}
+    )
     diameter = surviving_diameter(graph, result.routing, {victim})
     outcome = route_counter_broadcast(
         graph,
@@ -103,6 +110,7 @@ def main() -> None:
         counter_limit=result.guarantee.diameter_bound,
     )
     print(f"\nroute-counter broadcast from {ring_nodes[0]!r} with node {victim!r} down:")
+    print(f"  counter limit safe   : {'yes' if limit_ok else 'NO'} (bounded decision)")
     print(f"  surviving diameter   : {diameter}")
     print(f"  rounds used          : {outcome.rounds_used}")
     print(f"  nodes reached        : {len(outcome.reached)} / {graph.number_of_nodes() - 1}")

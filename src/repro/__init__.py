@@ -29,6 +29,11 @@ The package is organised as follows:
 * :mod:`repro.network`  — a small discrete-event message-passing simulator
   that runs the routings as a real network would (fixed source routes,
   endpoint services, route-counter broadcast for table recomputation);
+* :mod:`repro.scenarios` — named, parameterised, seedable workload specs
+  (``hypercube:d=7/kernel/t=3/random:p=0.1``) and the scenario-suite runner
+  that shards campaigns across scenarios as well as within batteries,
+  rebuilding each workload deterministically in the workers (fingerprints
+  verified cross-process);
 * :mod:`repro.analysis` — experiment runners and report formatting used by
   the benchmark suite and the examples.
 
@@ -76,7 +81,8 @@ from repro.core import (
     verify_construction,
 )
 from repro.graphs import Graph, DiGraph
-from repro.faults import CampaignEngine, CampaignResult, FaultSet
+from repro.faults import CampaignEngine, CampaignResult, DecisionCampaignResult, FaultSet
+from repro.scenarios import Scenario, parse_scenario, run_scenario_suite
 
 __version__ = "1.0.0"
 
@@ -106,6 +112,10 @@ __all__ = [
     "DiGraph",
     "CampaignEngine",
     "CampaignResult",
+    "DecisionCampaignResult",
     "FaultSet",
+    "Scenario",
+    "parse_scenario",
+    "run_scenario_suite",
     "__version__",
 ]

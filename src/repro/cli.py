@@ -15,12 +15,17 @@ driven without writing Python:
   runs indexed Monte-Carlo fault campaigns (one per fault-set size) through
   the :class:`~repro.faults.engine.CampaignEngine`, optionally sharded over
   ``--workers`` processes (same seed => same rows for any worker count);
-* ``python -m repro graphs``
-  lists the graph specifications the ``--graph`` option accepts.
+* ``python -m repro campaign --scenario hypercube:d=4/kernel/sizes:1,2,3 --bound 4``
+  runs whole scenario suites — ``--scenario`` may repeat, each spec names a
+  graph family + strategy + fault model, and ``--bound`` streams pass/fail
+  decisions instead of exact diameters;
+* ``python -m repro graphs`` / ``python -m repro scenarios``
+  list the registered graph families and the scenario grammar.
 
-Graph specifications have the form ``name:arg1,arg2`` — e.g. ``cycle:24``,
-``hypercube:4``, ``circulant:16,1,2``, ``gnp:40,0.08,7`` (n, p, seed),
-``flower:2,5`` (t, k) and ``two-trees:2`` (t).
+Graph specifications come from :mod:`repro.graphs.registry` and accept both
+positional and named arguments — ``cycle:24``, ``hypercube:d=4``,
+``circulant:16,1,2`` (equivalently ``circulant:n=16,offsets=1+2``),
+``gnp:n=40,p=0.08,seed=7``, ``flower:t=2,k=5`` and ``two-trees:t=2``.
 """
 
 from __future__ import annotations
@@ -36,60 +41,29 @@ from repro.core.statistics import concentrator_load_share, routing_statistics
 from repro.core.builder import available_strategies
 from repro.exceptions import ReproError
 from repro.faults import CampaignEngine
-from repro.graphs import generators, synthetic
 from repro.graphs.graph import Graph
+from repro.graphs.registry import GRAPH_FAMILIES, parse_graph_spec
 from repro.network import NetworkSimulator, XorEncryptionService
+from repro.scenarios import FAULT_KINDS, parse_scenario, run_scenario_suite
 from repro.serialization import construction_to_dict, save_json
 
+__all__ = [
+    "GRAPH_FACTORIES",
+    "build_parser",
+    "main",
+    "parse_graph_spec",
+]
 
 # ----------------------------------------------------------------------
 # Graph specification parsing
 # ----------------------------------------------------------------------
-def _spec_int(values: Sequence[str], index: int, default: Optional[int] = None) -> int:
-    try:
-        return int(values[index])
-    except IndexError:
-        if default is not None:
-            return default
-        raise ValueError("missing integer argument") from None
-
-
+# The parsing itself lives in :mod:`repro.graphs.registry` — the single
+# registry every layer shares.  ``GRAPH_FACTORIES`` is kept as a
+# backwards-compatible view (family name -> argument-token factory) for
+# callers that used the CLI's original dict.
 GRAPH_FACTORIES: Dict[str, Callable[[List[str]], Graph]] = {
-    "cycle": lambda args: generators.cycle_graph(_spec_int(args, 0, 12)),
-    "path": lambda args: generators.path_graph(_spec_int(args, 0, 12)),
-    "complete": lambda args: generators.complete_graph(_spec_int(args, 0, 6)),
-    "hypercube": lambda args: generators.hypercube_graph(_spec_int(args, 0, 3)),
-    "ccc": lambda args: generators.cube_connected_cycles_graph(_spec_int(args, 0, 3)),
-    "butterfly": lambda args: generators.butterfly_graph(_spec_int(args, 0, 3)),
-    "grid": lambda args: generators.grid_graph(_spec_int(args, 0, 4), _spec_int(args, 1, 4)),
-    "torus": lambda args: generators.torus_graph(_spec_int(args, 0, 4), _spec_int(args, 1, 4)),
-    "circulant": lambda args: generators.circulant_graph(
-        _spec_int(args, 0, 12), [int(value) for value in args[1:]] or [1, 2]
-    ),
-    "petersen": lambda args: generators.petersen_graph(),
-    "gnp": lambda args: generators.gnp_random_graph(
-        _spec_int(args, 0, 30), float(args[1]) if len(args) > 1 else 0.1, seed=_spec_int(args, 2, 0)
-    ),
-    "harary": lambda args: generators.harary_graph(_spec_int(args, 0, 3), _spec_int(args, 1, 10)),
-    "flower": lambda args: synthetic.flower_graph(_spec_int(args, 0, 1), _spec_int(args, 1, 5))[0],
-    "two-trees": lambda args: synthetic.two_trees_graph(_spec_int(args, 0, 1))[0],
-    "kernel-test": lambda args: synthetic.kernel_test_graph(_spec_int(args, 0, 1)),
+    name: family.build_from_tokens for name, family in GRAPH_FAMILIES.items()
 }
-
-
-def parse_graph_spec(spec: str) -> Graph:
-    """Parse a ``name:arg1,arg2`` graph specification into a graph."""
-    name, _, argument_text = spec.partition(":")
-    name = name.strip().lower()
-    if name not in GRAPH_FACTORIES:
-        raise ValueError(
-            f"unknown graph family {name!r}; available: {sorted(GRAPH_FACTORIES)}"
-        )
-    arguments = [item.strip() for item in argument_text.split(",") if item.strip()]
-    try:
-        return GRAPH_FACTORIES[name](arguments)
-    except (ValueError, TypeError) as exc:
-        raise ValueError(f"invalid arguments for graph family {name!r}: {exc}") from exc
 
 
 def _parse_faults(text: Optional[str], graph: Graph) -> List:
@@ -113,8 +87,48 @@ def _parse_faults(text: Optional[str], graph: Graph) -> List:
 # Subcommands
 # ----------------------------------------------------------------------
 def _cmd_graphs(_args: argparse.Namespace) -> int:
-    rows = [{"family": name, "example": f"{name}:..."} for name in sorted(GRAPH_FACTORIES)]
+    rows = [
+        {
+            "family": name,
+            "example": GRAPH_FAMILIES[name].example(),
+            "description": GRAPH_FAMILIES[name].description,
+        }
+        for name in sorted(GRAPH_FAMILIES)
+    ]
     print(format_table(rows, caption="Available graph families (--graph name:args)"))
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "family": name,
+            "graph spec": GRAPH_FAMILIES[name].example(),
+            "scenario example": f"{GRAPH_FAMILIES[name].example()}/auto/sizes:1,2,3",
+        }
+        for name in sorted(GRAPH_FAMILIES)
+    ]
+    print(
+        format_table(
+            rows,
+            caption="Scenario specs: <graph>/<strategy>/t=<int>/<fault model>",
+        )
+    )
+    print(
+        "\nsegments after the graph spec are optional and order-free:\n"
+        f"  strategy     one of {available_strategies()}\n"
+        "  t=<int>      fault-parameter override (default: connectivity - 1)\n"
+        f"  fault model  one of {list(FAULT_KINDS)}:\n"
+        "               sizes:1,2,3 | random:p=0.1 | exhaustive:f=2\n"
+        "\nexamples:\n"
+        "  repro campaign --scenario hypercube:d=4/kernel/sizes:1,2,3\n"
+        "  repro campaign --scenario circulant:n=60,offsets=1+2/kernel/random:p=0.05 \\\n"
+        "                 --scenario flower:t=2,k=9/circular/exhaustive:f=2 \\\n"
+        "                 --bound 6 --workers 4 --seed 7\n"
+        "\nsame seed => byte-identical rows for any --workers value and any\n"
+        "PYTHONHASHSEED (workers rebuild each scenario from its canonical\n"
+        "string and the parent verifies the routing fingerprints)."
+    )
     return 0
 
 
@@ -197,26 +211,93 @@ def _parse_sizes(text: str) -> List[int]:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.scenario:
+        if args.graph:
+            raise ValueError("--scenario and --graph are mutually exclusive")
+        # Scenario specs carry their own strategy / t / fault model; refuse
+        # the --graph-mode flags instead of silently ignoring them.
+        if args.strategy != "auto":
+            raise ValueError(
+                "--strategy has no effect with --scenario; put the strategy "
+                "in the spec, e.g. hypercube:d=4/kernel"
+            )
+        if args.t is not None:
+            raise ValueError(
+                "--t has no effect with --scenario; put it in the spec, "
+                "e.g. hypercube:d=4/kernel/t=2"
+            )
+        if args.sizes != "1,2,3":
+            raise ValueError(
+                "--sizes has no effect with --scenario; put the fault model "
+                "in the spec, e.g. hypercube:d=4/sizes:1,2,3"
+            )
+        return _run_scenario_campaigns(args)
+    if not args.graph:
+        raise ValueError("one of --graph or --scenario is required")
     graph, result = _build(args)
     sizes = _parse_sizes(args.sizes)
     engine = CampaignEngine(
         graph, result.routing, workers=args.workers, chunk_size=args.chunk_size
     )
-    campaigns = engine.sweep_fault_sizes(sizes, samples=args.samples, seed=args.seed)
+    campaigns = engine.sweep_fault_sizes(
+        sizes, samples=args.samples, seed=args.seed, bound=args.bound
+    )
     print(result.describe())
     print()
+    bound_note = f", bound={args.bound:g}" if args.bound is not None else ""
     print(
         format_table(
             [campaign.as_row() for campaign in campaigns],
             caption=(
                 f"Fault campaigns ({args.samples} samples/size, "
-                f"workers={args.workers}, seed={args.seed})"
+                f"workers={args.workers}, seed={args.seed}{bound_note})"
             ),
         )
     )
+    exit_code = 0
     for campaign in campaigns:
-        if campaign.worst_fault_set is not None and len(campaign.worst_fault_set):
+        if args.bound is not None:
+            if campaign.first_violation is not None:
+                print(
+                    f"first violation at |F|={campaign.fault_size}: "
+                    f"{campaign.first_violation}"
+                )
+                exit_code = 1
+        elif campaign.worst_fault_set is not None and len(campaign.worst_fault_set):
             print(f"worst at |F|={campaign.fault_size}: {campaign.worst_fault_set}")
+    return exit_code
+
+
+def _run_scenario_campaigns(args: argparse.Namespace) -> int:
+    """Run ``repro campaign --scenario ...`` through the suite runner."""
+    scenarios = [parse_scenario(spec) for spec in args.scenario]
+    rows = run_scenario_suite(
+        scenarios,
+        samples=args.samples,
+        seed=args.seed,
+        bound=args.bound,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    bound_note = f", bound={args.bound:g}" if args.bound is not None else ""
+    print(
+        format_table(
+            [row.as_row() for row in rows],
+            caption=(
+                f"Scenario suite ({len(scenarios)} scenarios, "
+                f"{args.samples} samples/campaign, workers={args.workers}, "
+                f"seed={args.seed}{bound_note})"
+            ),
+        )
+    )
+    if args.bound is not None:
+        violated = [row for row in rows if not row.campaign.holds]
+        for row in violated:
+            print(
+                f"bound violated: {row.scenario} at |F|={row.campaign.fault_size} "
+                f"({row.campaign.violations} violations)"
+            )
+        return 1 if violated else 0
     return 0
 
 
@@ -228,11 +309,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fault-tolerant routings for general networks (Peleg & Simons, 1986)",
+        epilog=(
+            "scenario examples:\n"
+            "  repro scenarios\n"
+            "  repro campaign --scenario hypercube:d=4/kernel/sizes:1,2,3 --seed 7\n"
+            "  repro campaign --scenario circulant:n=60,offsets=1+2/kernel/random:p=0.05 \\\n"
+            "                 --scenario flower:t=2,k=9/circular/exhaustive:f=2 \\\n"
+            "                 --bound 6 --workers 4\n"
+            "a scenario spec is <graph>/<strategy>/t=<int>/<fault model>; the\n"
+            "graph spec is mandatory, the other segments are optional and\n"
+            "order-free (see `repro scenarios`)."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--graph", required=True, help="graph spec, e.g. cycle:24 or circulant:16,1,2")
+    def add_common(sub: argparse.ArgumentParser, graph_required: bool = True) -> None:
+        sub.add_argument(
+            "--graph",
+            required=graph_required,
+            default=None,
+            help="graph spec, e.g. cycle:24, hypercube:d=4 or circulant:n=16,offsets=1+2",
+        )
         sub.add_argument(
             "--strategy",
             default="auto",
@@ -263,14 +361,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub_simulate.set_defaults(handler=_cmd_simulate)
 
     sub_campaign = subparsers.add_parser(
-        "campaign", help="run indexed Monte-Carlo fault campaigns per fault-set size"
+        "campaign",
+        help="run indexed fault campaigns (per fault-set size, or whole scenario suites)",
     )
-    add_common(sub_campaign)
+    add_common(sub_campaign, graph_required=False)
+    sub_campaign.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "scenario spec, e.g. hypercube:d=4/kernel/sizes:1,2,3 "
+            "(repeatable; mutually exclusive with --graph)"
+        ),
+    )
     sub_campaign.add_argument(
         "--sizes", default="1,2,3", help="comma-separated fault-set sizes, e.g. 1,2,3"
     )
     sub_campaign.add_argument("--samples", type=int, default=100)
     sub_campaign.add_argument("--seed", type=int, default=0)
+    sub_campaign.add_argument(
+        "--bound",
+        type=float,
+        default=None,
+        help=(
+            "diameter bound: stream bounded pass/fail decisions instead of "
+            "exact diameters (exit code 1 on any violation)"
+        ),
+    )
     sub_campaign.add_argument(
         "--workers", type=int, default=1, help="worker processes for the evaluation"
     )
@@ -281,6 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub_graphs = subparsers.add_parser("graphs", help="list available graph families")
     sub_graphs.set_defaults(handler=_cmd_graphs)
+
+    sub_scenarios = subparsers.add_parser(
+        "scenarios", help="explain the scenario grammar and list example specs"
+    )
+    sub_scenarios.set_defaults(handler=_cmd_scenarios)
 
     return parser
 

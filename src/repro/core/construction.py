@@ -73,6 +73,23 @@ class ConstructionResult:
         """The underlying graph the routing was built on."""
         return self.routing.graph
 
+    def fingerprint(self) -> str:
+        """Return (and record) the routing's canonical SHA-256 fingerprint.
+
+        Delegates to :meth:`repro.core.routing.Routing.fingerprint` and caches
+        the digest under ``details["fingerprint"]``, so serialised results and
+        scenario-campaign rows carry it.  Because the digest hashes the route
+        table in repr-sorted order, two interpreter runs (any
+        ``PYTHONHASHSEED``) built the same routing iff their fingerprints
+        match — the construction-determinism regression tests compare exactly
+        this value across subprocesses.
+        """
+        cached = self.details.get("fingerprint")
+        if cached is None:
+            cached = self.routing.fingerprint()
+            self.details["fingerprint"] = cached
+        return cached
+
     def describe(self) -> str:
         """Return a short human-readable summary of the construction."""
         lines = [

@@ -65,6 +65,7 @@ being rebuilt per worker.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.routing import MultiRouting, Routing
@@ -79,6 +80,37 @@ IdPair = Tuple[int, int]
 AnyRouting = Union[Routing, MultiRouting]
 
 _NO_PAIRS: FrozenSet[IdPair] = frozenset()
+
+#: Default density factor ``k`` in the strategy switch ``k * arcs <= n^2``:
+#: batched all-sources propagation below the threshold, per-source frontier
+#: BFS above it.  Override per index via the ``density_threshold`` constructor
+#: argument or globally via the ``REPRO_BFS_DENSITY_THRESHOLD`` environment
+#: variable (the constructor argument wins).
+DEFAULT_DENSITY_THRESHOLD = 8
+
+#: Strategy labels reported by :meth:`RouteIndex.preferred_strategy`.
+STRATEGY_BATCHED = "batched"
+STRATEGY_PER_SOURCE = "per-source"
+
+
+def _resolve_density_threshold(value: Optional[int]) -> int:
+    """Resolve the density factor: explicit arg > env override > default."""
+    if value is not None:
+        if value < 1:
+            raise ValueError("density_threshold must be at least 1")
+        return value
+    env = os.environ.get("REPRO_BFS_DENSITY_THRESHOLD")
+    if env:
+        try:
+            parsed = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BFS_DENSITY_THRESHOLD must be an integer, got {env!r}"
+            ) from None
+        if parsed < 1:
+            raise ValueError("REPRO_BFS_DENSITY_THRESHOLD must be at least 1")
+        return parsed
+    return DEFAULT_DENSITY_THRESHOLD
 
 
 class RouteIndex:
@@ -99,9 +131,16 @@ class RouteIndex:
     representation and the cursor API.
     """
 
-    def __init__(self, graph: Graph, routing: AnyRouting) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        routing: AnyRouting,
+        density_threshold: Optional[int] = None,
+    ) -> None:
         self.graph = graph
         self.routing = routing
+        # Factor k of the "k * arcs <= n^2" batched-vs-per-source BFS switch.
+        self._density_threshold = _resolve_density_threshold(density_threshold)
         self._nodes: Tuple[Node, ...] = tuple(graph.nodes())
         self._node_set: FrozenSet[Node] = frozenset(self._nodes)
         self._id_of: Dict[Node, int] = {
@@ -202,6 +241,64 @@ class RouteIndex:
         """Return ``True`` when the index was built for exactly these objects."""
         return graph is self.graph and routing is self.routing
 
+    @property
+    def density_threshold(self) -> int:
+        """The factor ``k`` of the ``k * arcs <= n^2`` BFS strategy switch."""
+        return self._density_threshold
+
+    @property
+    def node_pool(self) -> Tuple[Node, ...]:
+        """The graph's nodes in canonical (repr-sorted) order.
+
+        This is the pool random and exhaustive fault batteries draw from;
+        exposing it on the index lets campaign workers regenerate their
+        shards without holding the graph object (see :meth:`slim`).
+        """
+        pool = getattr(self, "_node_pool", None)
+        if pool is None:
+            pool = self._node_pool = tuple(sorted(self._nodes, key=repr))
+        return pool
+
+    def preferred_strategy(self, faults: Iterable[Node] = ()) -> str:
+        """Return which BFS strategy a diameter evaluation of ``faults`` picks.
+
+        ``"batched"`` (all-sources propagation) when ``density_threshold *
+        arcs <= n^2`` on the surviving rows, ``"per-source"`` (frontier BFS
+        with early completion exit) otherwise.  Campaign rows record this so
+        sweeps over workload families can correlate throughput with the
+        strategy actually exercised.
+        """
+        fault_mask = self._fault_mask(self._check_faults(faults))
+        rows = self._surviving_rows(fault_mask)
+        alive = self._full_mask & ~fault_mask
+        total = alive.bit_count()
+        arcs = 0
+        for row in rows:
+            arcs += row.bit_count()
+        if arcs * self._density_threshold <= total * total:
+            return STRATEGY_BATCHED
+        return STRATEGY_PER_SOURCE
+
+    def slim(self) -> "RouteIndex":
+        """Return an evaluation-only copy without the graph and routing.
+
+        The copy shares every bitset structure with ``self`` but replaces the
+        ``graph`` / ``routing`` references with ``None``, which shrinks the
+        pickled payload shipped to campaign workers to the adjacency rows,
+        kill masks and node labels.  The slim index supports the whole
+        evaluation surface (``surviving_diameter`` / ``..._at_most``,
+        cursors, ``surviving_route_graph``, ``node_pool``); only
+        :meth:`matches` (always ``False``) and the lazy set kernel (which
+        needs the routing) are unavailable.
+        """
+        clone = object.__new__(RouteIndex)
+        clone.__dict__.update(self.__dict__)
+        clone.graph = None
+        clone.routing = None
+        clone._set_kernel = None
+        clone._node_pool = self.node_pool  # materialise before shipping
+        return clone
+
     # ------------------------------------------------------------------
     # Fault-set plumbing
     # ------------------------------------------------------------------
@@ -265,7 +362,8 @@ class RouteIndex:
     # Graph materialisation
     # ------------------------------------------------------------------
     def _build_digraph(self, rows: List[int], alive: int) -> DiGraph:
-        surviving = DiGraph(name=f"R({self.graph.name or 'G'})/F")
+        base_name = (self.graph.name if self.graph is not None else "") or "G"
+        surviving = DiGraph(name=f"R({base_name})/F")
         nodes = self._nodes
         remaining = alive
         while remaining:
@@ -324,7 +422,9 @@ class RouteIndex:
             raise ValueError(f"unknown kernel {kernel!r}")
         fault_mask = self._fault_mask(fault_set)
         rows = self._surviving_rows(fault_mask)
-        return _rows_diameter(rows, self._full_mask & ~fault_mask, cap)
+        return _rows_diameter(
+            rows, self._full_mask & ~fault_mask, cap, self._density_threshold
+        )
 
     def surviving_diameter_at_most(
         self, faults: Iterable[Node], bound: float
@@ -456,7 +556,9 @@ class EvalCursor:
     def diameter(self, cap: Optional[float] = None) -> float:
         """Return the surviving diameter (memoised; ``cap`` as in the index)."""
         if self._diameter is None:
-            value, witness = _rows_diameter_witness(self._rows, self._alive, cap)
+            value, witness = _rows_diameter_witness(
+                self._rows, self._alive, cap, self._index._density_threshold
+            )
             if cap is not None and value == INFINITY and witness is None:
                 # Cap exceeded without a disconnection witness: the exact
                 # value is unknown, so do not memoise it.
@@ -527,14 +629,22 @@ class EvalCursor:
         return child
 
 
-def _rows_diameter(rows: List[int], alive: int, cap: Optional[float] = None) -> float:
+def _rows_diameter(
+    rows: List[int],
+    alive: int,
+    cap: Optional[float] = None,
+    threshold: int = DEFAULT_DENSITY_THRESHOLD,
+) -> float:
     """Diameter of the bitset digraph (``inf`` when > ``cap``, see below)."""
-    value, _witness = _rows_diameter_witness(rows, alive, cap)
+    value, _witness = _rows_diameter_witness(rows, alive, cap, threshold)
     return value
 
 
 def _rows_diameter_witness(
-    rows: List[int], alive: int, cap: Optional[float] = None
+    rows: List[int],
+    alive: int,
+    cap: Optional[float] = None,
+    threshold: int = DEFAULT_DENSITY_THRESHOLD,
 ) -> Tuple[float, Optional[Tuple[int, int]]]:
     """Diameter of the digraph given by bitset rows.
 
@@ -564,7 +674,7 @@ def _rows_diameter_witness(
     arcs = 0
     for row in rows:
         arcs += row.bit_count()
-    if arcs * 8 <= total * total:
+    if arcs * threshold <= total * total:
         return _batched_diameter(rows, alive, total, cap)
     return _per_source_diameter(rows, alive, cap)
 

@@ -208,6 +208,21 @@ class Routing:
         clone._routes = dict(self._routes)
         return clone
 
+    def fingerprint(self) -> str:
+        """Return a SHA-256 hex digest of the canonical route table.
+
+        The digest hashes every ``(source, target) -> path`` entry in
+        repr-sorted order, so it identifies the routing's *content*
+        independently of insertion order, interpreter run or
+        ``PYTHONHASHSEED``.  Two routings have equal fingerprints iff their
+        route tables are equal (up to repr collisions), which is what the
+        construction-determinism regression tests compare across processes.
+        """
+        return _fingerprint_entries(
+            (repr((source, target)), repr(path))
+            for (source, target), path in self._routes.items()
+        )
+
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
         kind = "bidirectional" if self.bidirectional else "unidirectional"
@@ -276,9 +291,34 @@ class MultiRouting:
     def __len__(self) -> int:
         return len(self._routes)
 
+    def fingerprint(self) -> str:
+        """Return a SHA-256 hex digest of the canonical multiroute table.
+
+        Same contract as :meth:`Routing.fingerprint`: entries are hashed in
+        repr-sorted order (parallel routes keep their stored order, which is
+        part of the multirouting's identity).
+        """
+        return _fingerprint_entries(
+            (repr((source, target)), repr(bucket))
+            for (source, target), bucket in self._routes.items()
+        )
+
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
         return (
             f"<MultiRouting{label} pairs={len(self._routes)} "
             f"routes={self.route_count()}>"
         )
+
+
+def _fingerprint_entries(entries: Iterable[Tuple[str, str]]) -> str:
+    """Hash ``(pair_repr, routes_repr)`` entries in sorted order (SHA-256)."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for pair_repr, routes_repr in sorted(entries):
+        digest.update(pair_repr.encode("utf-8"))
+        digest.update(b"->")
+        digest.update(routes_repr.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()

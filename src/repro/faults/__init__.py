@@ -11,6 +11,8 @@ from repro.faults.adversary import (
 )
 from repro.faults.simulation import (
     CampaignResult,
+    DecisionCampaignResult,
+    aggregate_decisions,
     aggregate_outcomes,
     run_campaign,
     sweep_fault_sizes,
@@ -27,6 +29,8 @@ __all__ = [
     "random_fault_sets",
     "targeted_fault_sets",
     "CampaignResult",
+    "DecisionCampaignResult",
+    "aggregate_decisions",
     "aggregate_outcomes",
     "run_campaign",
     "sweep_fault_sizes",

@@ -48,13 +48,19 @@ from typing import (
 from repro.core.route_index import RouteIndex
 from repro.core.routing import MultiRouting, Routing
 from repro.faults.models import FaultSet
-from repro.faults.simulation import CampaignResult, aggregate_outcomes
+from repro.faults.simulation import (
+    CampaignResult,
+    DecisionCampaignResult,
+    aggregate_decisions,
+    aggregate_outcomes,
+)
 from repro.graphs.graph import Graph
 
 Node = Hashable
 AnyRouting = Union[Routing, MultiRouting]
 RandomLike = Union[int, _random.Random, None]
 Outcome = Tuple[FaultSet, float]
+CampaignRow = Union[CampaignResult, DecisionCampaignResult]
 
 #: Default number of fault sets per shard.  Sharding depends only on this
 #: value and the battery, never on the worker count, so results are
@@ -96,11 +102,18 @@ class _Shard:
     seed: int = 0
     exhaustive_size: Optional[int] = None
 
-    def materialise(self, graph: Graph) -> Tuple[FaultSet, ...]:
-        """Return the shard's fault sets, generating them when needed."""
+    def materialise(self, pool: Union[Graph, Sequence[Node]]) -> Tuple[FaultSet, ...]:
+        """Return the shard's fault sets, generating them when needed.
+
+        ``pool`` is the canonical repr-sorted node pool (see
+        :attr:`RouteIndex.node_pool`); passing the pool rather than the graph
+        lets workers regenerate shards from the slim, graph-free index.  A
+        :class:`Graph` is also accepted and sorted on the fly.
+        """
         if self.fault_sets is not None:
             return self.fault_sets
-        pool = sorted(graph.nodes(), key=repr)
+        if isinstance(pool, Graph):
+            pool = sorted(pool.nodes(), key=repr)
         if self.exhaustive_size is not None:
             return tuple(
                 FaultSet(combo, description=f"exhaustive size {self.exhaustive_size}")
@@ -169,10 +182,12 @@ def _combinations_slice(pool, size: int, start: int, count: int):
 # ----------------------------------------------------------------------
 # Worker-process plumbing
 # ----------------------------------------------------------------------
-# The engine builds its RouteIndex once in the parent and ships the pre-built
-# (picklable) index to each worker through the pool initializer — workers no
-# longer rebuild the index from the raw routing.  Only shard descriptors and
-# outcome rows cross the process boundary afterwards.
+# The engine builds its RouteIndex once in the parent and ships the *slim*
+# form of the pre-built index (bitset rows + kill masks + node labels, no
+# graph or routing objects — see :meth:`RouteIndex.slim`) to each worker
+# through the pool initializer.  Only shard descriptors and outcome rows
+# cross the process boundary afterwards; shards regenerate their fault sets
+# from the index's canonical node pool.
 _WORKER_INDEX: Optional[RouteIndex] = None
 
 
@@ -186,7 +201,7 @@ def _evaluate_shard(shard: _Shard) -> List[Outcome]:
     assert index is not None, "worker pool was not initialised"
     return [
         (fault_set, index.surviving_diameter(fault_set))
-        for fault_set in shard.materialise(index.graph)
+        for fault_set in shard.materialise(index.node_pool)
     ]
 
 
@@ -194,15 +209,16 @@ def _evaluate_shard_capped(task: Tuple[_Shard, float]) -> List[Outcome]:
     """Evaluate one shard with an eccentricity cap (bounded decision path).
 
     Outcomes report the exact diameter when it is at most the cap and
-    ``inf`` otherwise, which is all the early-exit scan needs: any outcome
-    strictly above the cap is a violation witness.
+    ``inf`` otherwise, which is all either consumer needs: the early-exit
+    scan treats any outcome strictly above the cap as a violation witness,
+    and the streaming decision campaign folds it into a failed row.
     """
     shard, bound = task
     index = _WORKER_INDEX
     assert index is not None, "worker pool was not initialised"
     return [
         (fault_set, index.surviving_diameter(fault_set, cap=bound))
-        for fault_set in shard.materialise(index.graph)
+        for fault_set in shard.materialise(index.node_pool)
     ]
 
 
@@ -313,11 +329,13 @@ class CampaignEngine:
     def _ensure_pool(self):
         """Create (once) and return the engine's worker pool.
 
-        The pool — and with it the pre-built RouteIndex shipped to every
-        worker — persists for the engine's lifetime, so a sweep over many
-        fault sizes pays the pool start-up and the index serialisation
-        exactly once (and the index itself is built exactly once, in the
-        parent).
+        The pool — and with it the slim form of the pre-built RouteIndex
+        shipped to every worker — persists for the engine's lifetime, so a
+        sweep over many fault sizes pays the pool start-up and the index
+        serialisation exactly once (and the index itself is built exactly
+        once, in the parent).  Shipping ``index.slim()`` keeps the payload to
+        the bitset rows, kill masks and node labels: the graph and routing
+        objects never cross the process boundary.
         """
         if self._pool is None:
             import multiprocessing
@@ -325,7 +343,7 @@ class CampaignEngine:
             self._pool = multiprocessing.Pool(
                 self.workers,
                 initializer=_init_worker,
-                initargs=(self.index,),
+                initargs=(self.index.slim(),),
             )
             self._pool_finalizer = weakref.finalize(
                 self, _shutdown_pool, self._pool
@@ -350,11 +368,35 @@ class CampaignEngine:
     def _evaluate_shards(self, shards: Iterable[_Shard]) -> Iterator[Outcome]:
         if self.workers == 1:
             index = self.index
+            pool = index.node_pool
             for shard in shards:
-                for fault_set in shard.materialise(self.graph):
+                for fault_set in shard.materialise(pool):
                     yield fault_set, index.surviving_diameter(fault_set)
             return
         for outcomes in self._ensure_pool().imap(_evaluate_shard, shards):
+            yield from outcomes
+
+    def _evaluate_shards_capped(
+        self, shards: Iterable[_Shard], bound: float
+    ) -> Iterator[Outcome]:
+        """Yield ``(fault_set, capped_diameter)`` in battery order.
+
+        Every fault set is evaluated with an eccentricity cap of ``bound``:
+        the outcome is the exact diameter when it is at most the bound and
+        ``inf`` otherwise.  This is the streaming-decision path — cheaper
+        than exact evaluation because each source's BFS is abandoned the
+        moment it exceeds the cap and the first violating source
+        short-circuits its fault set's whole evaluation.
+        """
+        if self.workers == 1:
+            index = self.index
+            pool = index.node_pool
+            for shard in shards:
+                for fault_set in shard.materialise(pool):
+                    yield fault_set, index.surviving_diameter(fault_set, cap=bound)
+            return
+        tasks = ((shard, bound) for shard in shards)
+        for outcomes in self._ensure_pool().imap(_evaluate_shard_capped, tasks):
             yield from outcomes
 
     # ------------------------------------------------------------------
@@ -407,8 +449,9 @@ class CampaignEngine:
         evaluated = 0
         if self.workers == 1:
             index = self.index
+            pool = index.node_pool
             for shard in shards:
-                for fault_set in shard.materialise(self.graph):
+                for fault_set in shard.materialise(pool):
                     evaluated += 1
                     capped = index.surviving_diameter(fault_set, cap=bound)
                     if capped > bound:
@@ -487,7 +530,8 @@ class CampaignEngine:
         samples: int = 100,
         seed: RandomLike = None,
         fault_sets: Optional[Iterable[FaultSet]] = None,
-    ) -> CampaignResult:
+        bound: Optional[float] = None,
+    ) -> CampaignRow:
         """Run one campaign at ``fault_size`` and aggregate the outcomes.
 
         With an integer (or ``None``) seed the battery is generated with
@@ -495,6 +539,14 @@ class CampaignEngine:
         Passing a :class:`random.Random` instance falls back to drawing the
         whole battery from that stream in the parent (sequential legacy
         semantics); explicit ``fault_sets`` are evaluated as given.
+
+        With ``bound`` given the campaign streams *decisions* instead of
+        exact diameters: every fault set is evaluated with an eccentricity
+        cap of ``bound`` (``surviving_diameter_at_most`` semantics) and the
+        aggregate is a :class:`~repro.faults.simulation
+        .DecisionCampaignResult` of pass/fail rows — much cheaper than exact
+        evaluation when diameters exceed the bound, and all a tolerance
+        table needs.
         """
         if fault_sets is not None:
             shards = self._explicit_shards(fault_sets)
@@ -509,31 +561,45 @@ class CampaignEngine:
             shards = self._random_shards(
                 fault_size, samples, base, tag=f"size={fault_size}"
             )
-        return aggregate_outcomes(fault_size, self._evaluate_shards(shards))
+        strategy = self.index.preferred_strategy()
+        if bound is not None:
+            result: CampaignRow = aggregate_decisions(
+                fault_size, bound, self._evaluate_shards_capped(shards, bound)
+            )
+        else:
+            result = aggregate_outcomes(fault_size, self._evaluate_shards(shards))
+        result.bfs_strategy = strategy
+        return result
 
     def sweep_fault_sizes(
         self,
         sizes: Sequence[int],
         samples: int = 50,
         seed: RandomLike = None,
-    ) -> List[CampaignResult]:
+        bound: Optional[float] = None,
+    ) -> List[CampaignRow]:
         """Run one campaign per fault-set size and return the results in order.
 
         Integer seeds are re-derived per size with :func:`shard_seed`, so
         each size's battery is independent of the others (and of the worker
         count); a shared :class:`random.Random` instance is threaded through
-        sequentially as before.
+        sequentially as before.  ``bound`` selects the streaming-decision
+        path per campaign (see :meth:`run_campaign`).
         """
         if isinstance(seed, _random.Random):
             return [
-                self.run_campaign(size, samples=samples, seed=seed) for size in sizes
+                self.run_campaign(size, samples=samples, seed=seed, bound=bound)
+                for size in sizes
             ]
         base = seed if seed is not None else _random.SystemRandom().getrandbits(64)
         # The position enters the derivation so that a repeated size draws an
         # independent battery (doubling a size doubles the information).
         return [
             self.run_campaign(
-                size, samples=samples, seed=shard_seed(base, f"sweep:{position}", size)
+                size,
+                samples=samples,
+                seed=shard_seed(base, f"sweep:{position}", size),
+                bound=bound,
             )
             for position, size in enumerate(sizes)
         ]

@@ -42,10 +42,14 @@ class CampaignResult:
     min_diameter: float
     disconnected_fraction: float
     worst_fault_set: Optional[FaultSet] = None
+    #: BFS strategy the evaluating index picks on the fault-free rows
+    #: ("batched" / "per-source"); recorded by the engine so sweep tables can
+    #: correlate throughput with the strategy actually exercised.
+    bfs_strategy: Optional[str] = None
 
     def as_row(self) -> Dict[str, object]:
         """Return the result as a flat dict (one table row)."""
-        return {
+        row: Dict[str, object] = {
             "faults": self.fault_size,
             "samples": self.samples,
             "mean_diam": round(self.mean_diameter, 3),
@@ -53,6 +57,57 @@ class CampaignResult:
             "min_diam": self.min_diameter,
             "disconnected": round(self.disconnected_fraction, 3),
         }
+        if self.bfs_strategy is not None:
+            row["bfs"] = self.bfs_strategy
+        return row
+
+
+@dataclasses.dataclass
+class DecisionCampaignResult:
+    """Aggregated pass/fail outcome of a *bounded-decision* campaign.
+
+    Produced by ``run_campaign(bound=...)``: every fault set of the battery
+    is evaluated with an eccentricity cap of ``bound`` (the
+    ``surviving_diameter_at_most`` decision) instead of an exact diameter, so
+    the campaign only learns — and only pays for — which side of the bound
+    each set falls on.  ``worst_diameter`` is the battery-wide maximum of the
+    *capped* outcomes: exact while the bound holds, ``inf`` as soon as any
+    set violates it.
+    """
+
+    fault_size: int
+    samples: int
+    bound: float
+    violations: int
+    worst_diameter: float
+    first_violation: Optional[FaultSet] = None
+    bfs_strategy: Optional[str] = None
+
+    @property
+    def holds(self) -> bool:
+        """``True`` when every evaluated fault set respected the bound."""
+        return self.violations == 0
+
+    @property
+    def pass_fraction(self) -> float:
+        """Fraction of fault sets whose surviving diameter was <= ``bound``."""
+        if self.samples == 0:
+            return 0.0
+        return (self.samples - self.violations) / self.samples
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the result as a flat dict (one table row)."""
+        row: Dict[str, object] = {
+            "faults": self.fault_size,
+            "samples": self.samples,
+            "bound": self.bound,
+            "holds": "yes" if self.holds else "NO",
+            "pass": round(self.pass_fraction, 3),
+            "violations": self.violations,
+        }
+        if self.bfs_strategy is not None:
+            row["bfs"] = self.bfs_strategy
+        return row
 
 
 def aggregate_outcomes(
@@ -95,6 +150,42 @@ def aggregate_outcomes(
     )
 
 
+def aggregate_decisions(
+    fault_size: int, bound: float, outcomes: Iterable[Tuple[FaultSet, float]]
+) -> DecisionCampaignResult:
+    """Fold a stream of *capped* outcomes into a decision-campaign result.
+
+    Each outcome is ``(fault_set, capped_diameter)`` where the diameter was
+    evaluated with an eccentricity cap of ``bound`` — exact when at most the
+    bound, ``inf`` otherwise — so the fold only ever compares against the
+    bound.  The stream is consumed incrementally (bounded memory) and
+    ``first_violation`` records the first fault set in battery order whose
+    surviving diameter exceeded the bound.
+    """
+    evaluated = 0
+    violations = 0
+    worst = float("-inf")
+    first_violation: Optional[FaultSet] = None
+    for fault_set, capped in outcomes:
+        evaluated += 1
+        if capped > bound:
+            violations += 1
+            if first_violation is None:
+                first_violation = fault_set
+        if capped > worst:
+            worst = capped
+    if evaluated == 0:
+        raise ValueError("no fault sets to evaluate")
+    return DecisionCampaignResult(
+        fault_size=fault_size,
+        samples=evaluated,
+        bound=bound,
+        violations=violations,
+        worst_diameter=worst,
+        first_violation=first_violation,
+    )
+
+
 def run_campaign(
     graph: Graph,
     routing: AnyRouting,
@@ -104,7 +195,8 @@ def run_campaign(
     fault_sets: Optional[Iterable[FaultSet]] = None,
     workers: int = 1,
     index=None,
-) -> CampaignResult:
+    bound: Optional[float] = None,
+):
     """Inject ``samples`` random fault sets of the given size and summarise.
 
     Parameters
@@ -118,12 +210,17 @@ def run_campaign(
     index:
         Optional pre-built :class:`~repro.core.route_index.RouteIndex` for
         ``(graph, routing)`` to reuse across calls.
+    bound:
+        Optional diameter bound selecting the streaming-decision path: the
+        campaign then evaluates every fault set with an eccentricity cap of
+        ``bound`` and returns a :class:`DecisionCampaignResult` of pass/fail
+        rows instead of exact-diameter statistics.
     """
     from repro.faults.engine import CampaignEngine
 
     engine = CampaignEngine(graph, routing, workers=workers, index=index)
     return engine.run_campaign(
-        fault_size, samples=samples, seed=seed, fault_sets=fault_sets
+        fault_size, samples=samples, seed=seed, fault_sets=fault_sets, bound=bound
     )
 
 
@@ -135,9 +232,13 @@ def sweep_fault_sizes(
     seed: RandomLike = None,
     workers: int = 1,
     index=None,
-) -> List[CampaignResult]:
-    """Run one campaign per fault-set size and return the results in order."""
+    bound: Optional[float] = None,
+) -> List:
+    """Run one campaign per fault-set size and return the results in order.
+
+    ``bound`` selects the streaming-decision path (see :func:`run_campaign`).
+    """
     from repro.faults.engine import CampaignEngine
 
     engine = CampaignEngine(graph, routing, workers=workers, index=index)
-    return engine.sweep_fault_sizes(sizes, samples=samples, seed=seed)
+    return engine.sweep_fault_sizes(sizes, samples=samples, seed=seed, bound=bound)

@@ -61,6 +61,16 @@ from repro.graphs.properties import (
     satisfies_two_trees_property,
 )
 from repro.graphs import generators, operations, synthetic
+from repro.graphs.registry import (
+    GRAPH_FAMILIES,
+    GraphFamily,
+    Param,
+    canonical_graph_spec,
+    family_by_name,
+    parse_graph_spec,
+    register_family,
+    split_graph_spec,
+)
 
 __all__ = [
     "Graph",
@@ -109,4 +119,12 @@ __all__ = [
     "generators",
     "operations",
     "synthetic",
+    "GRAPH_FAMILIES",
+    "GraphFamily",
+    "Param",
+    "canonical_graph_spec",
+    "family_by_name",
+    "parse_graph_spec",
+    "register_family",
+    "split_graph_spec",
 ]

@@ -118,7 +118,9 @@ def node_connectivity(graph: Graph, cutoff: Optional[int] = None) -> int:
         best = min(best, local_node_connectivity(graph, pivot, other, cutoff=best))
         if best == 0:
             return 0
-    neighbors = sorted(graph.neighbors(pivot), key=graph.degree)
+    neighbors = sorted(
+        graph.neighbors(pivot), key=lambda node: (graph.degree(node), repr(node))
+    )
     for x, y in itertools.combinations(neighbors, 2):
         if not graph.has_edge(x, y):
             best = min(best, local_node_connectivity(graph, x, y, cutoff=best))

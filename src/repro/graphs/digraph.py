@@ -41,8 +41,10 @@ class DiGraph:
         nodes: Optional[Iterable[Node]] = None,
         name: str = "",
     ) -> None:
-        self._succ: Dict[Node, Set[Node]] = {}
-        self._pred: Dict[Node, Set[Node]] = {}
+        # node -> {successor/predecessor: None}; insertion-ordered dicts so
+        # iteration never depends on PYTHONHASHSEED (see graph.Graph).
+        self._succ: Dict[Node, Dict[Node, None]] = {}
+        self._pred: Dict[Node, Dict[Node, None]] = {}
         self.name = name
         if nodes is not None:
             for node in nodes:
@@ -57,8 +59,8 @@ class DiGraph:
     def add_node(self, node: Node) -> None:
         """Add ``node`` to the graph (no-op if already present)."""
         if node not in self._succ:
-            self._succ[node] = set()
-            self._pred[node] = set()
+            self._succ[node] = {}
+            self._pred[node] = {}
 
     def add_nodes_from(self, nodes: Iterable[Node]) -> None:
         """Add every node in ``nodes``."""
@@ -70,9 +72,9 @@ class DiGraph:
         if node not in self._succ:
             raise NodeNotFoundError(node)
         for succ in self._succ[node]:
-            self._pred[succ].discard(node)
+            self._pred[succ].pop(node, None)
         for pred in self._pred[node]:
-            self._succ[pred].discard(node)
+            self._succ[pred].pop(node, None)
         del self._succ[node]
         del self._pred[node]
 
@@ -106,8 +108,8 @@ class DiGraph:
             raise ValueError(f"self-loops are not allowed (node {u!r})")
         self.add_node(u)
         self.add_node(v)
-        self._succ[u].add(v)
-        self._pred[v].add(u)
+        self._succ[u][v] = None
+        self._pred[v][u] = None
 
     def add_edges_from(self, edges: Iterable[Arc]) -> None:
         """Add every arc in ``edges``."""
@@ -118,8 +120,8 @@ class DiGraph:
         """Remove the arc ``u -> v``."""
         if not self.has_edge(u, v):
             raise EdgeNotFoundError(u, v)
-        self._succ[u].discard(v)
-        self._pred[v].discard(u)
+        self._succ[u].pop(v, None)
+        self._pred[v].pop(u, None)
 
     def has_edge(self, u: Node, v: Node) -> bool:
         """Return ``True`` if the arc ``u -> v`` is present."""
@@ -147,6 +149,18 @@ class DiGraph:
         if node not in self._pred:
             raise NodeNotFoundError(node)
         return set(self._pred[node])
+
+    def iter_successors(self, node: Node) -> Iterator[Node]:
+        """Iterate over out-neighbours in insertion order (deterministic)."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        return iter(self._succ[node])
+
+    def iter_predecessors(self, node: Node) -> Iterator[Node]:
+        """Iterate over in-neighbours in insertion order (deterministic)."""
+        if node not in self._pred:
+            raise NodeNotFoundError(node)
+        return iter(self._pred[node])
 
     def out_degree(self, node: Node) -> int:
         """Return the out-degree of ``node``."""
@@ -199,9 +213,12 @@ class DiGraph:
         """Return the subgraph induced by ``nodes`` (missing nodes ignored)."""
         keep = {node for node in nodes if node in self._succ}
         sub = DiGraph(name=self.name)
-        for node in keep:
-            sub.add_node(node)
-        for node in keep:
+        for node in self._succ:
+            if node in keep:
+                sub.add_node(node)
+        for node in self._succ:
+            if node not in keep:
+                continue
             for succ in self._succ[node]:
                 if succ in keep:
                     sub.add_edge(node, succ)

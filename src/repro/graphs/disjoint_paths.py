@@ -52,7 +52,10 @@ def _extract_flow_paths(
     # Flow on arc (a, b) equals the residual capacity of the reverse arc when
     # the original arc had capacity 1; for the big-capacity arcs the flow is
     # original minus residual.  We reconstruct "used" arcs of the split graph.
-    used: Dict[Tuple[Node, str], Set[Tuple[Node, str]]] = {}
+    # Arc lists (not sets): the walk below consumes arcs with ``pop()``, and
+    # list order follows the deterministic node/edge iteration, so the same
+    # flow always decomposes into the same paths.
+    used: Dict[Tuple[Node, str], List[Tuple[Node, str]]] = {}
     big = graph.number_of_nodes() + 1
 
     def flow_on(a: Tuple[Node, str], b: Tuple[Node, str], original: int) -> int:
@@ -61,12 +64,12 @@ def _extract_flow_paths(
     for node in graph.nodes():
         original = big if node in (source, target) else 1
         if flow_on((node, _IN), (node, _OUT), original) > 0:
-            used.setdefault((node, _IN), set()).add((node, _OUT))
+            used.setdefault((node, _IN), []).append((node, _OUT))
     for u, v in graph.edges():
         if flow_on((u, _OUT), (v, _IN), 1) > 0:
-            used.setdefault((u, _OUT), set()).add((v, _IN))
+            used.setdefault((u, _OUT), []).append((v, _IN))
         if flow_on((v, _OUT), (u, _IN), 1) > 0:
-            used.setdefault((v, _OUT), set()).add((u, _IN))
+            used.setdefault((v, _OUT), []).append((u, _IN))
 
     paths: List[List[Node]] = []
     while used.get((source, _OUT)):

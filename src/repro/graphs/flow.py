@@ -31,12 +31,16 @@ class FlowNetwork:
 
     def __init__(self) -> None:
         self._capacity: Dict[Arc, int] = {}
-        self._adjacency: Dict[Node, Set[Node]] = {}
+        # node -> {neighbor: None}: insertion-ordered so BFS level graphs and
+        # DFS augmenting-path choices are reproducible across interpreter
+        # runs — the min cut (and with it separator / disjoint-path choices
+        # downstream) must not depend on PYTHONHASHSEED.
+        self._adjacency: Dict[Node, Dict[Node, None]] = {}
 
     def add_node(self, node: Node) -> None:
         """Ensure ``node`` exists in the network."""
         if node not in self._adjacency:
-            self._adjacency[node] = set()
+            self._adjacency[node] = {}
 
     def add_arc(self, u: Node, v: Node, capacity: int = 1) -> None:
         """Add capacity ``capacity`` on the arc ``u -> v``.
@@ -48,8 +52,8 @@ class FlowNetwork:
             raise ValueError("capacity must be non-negative")
         self.add_node(u)
         self.add_node(v)
-        self._adjacency[u].add(v)
-        self._adjacency[v].add(u)  # residual direction
+        self._adjacency[u][v] = None
+        self._adjacency[v][u] = None  # residual direction
         self._capacity[(u, v)] = self._capacity.get((u, v), 0) + capacity
         self._capacity.setdefault((v, u), 0)
 

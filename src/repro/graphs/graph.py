@@ -11,6 +11,15 @@ The class intentionally mirrors a small subset of the ``networkx.Graph`` API
 (``add_node``, ``add_edge``, ``neighbors``, ``degree`` ...) so that the test
 suite can cross-validate behaviour against networkx, but the implementation is
 completely independent.
+
+Determinism
+-----------
+Adjacency is stored in **insertion-ordered** dictionaries (not hash-ordered
+sets), so every structural iteration — ``nodes()``, ``edges()``,
+``iter_neighbors()``, subgraphs — depends only on the order in which the
+graph was built, never on ``PYTHONHASHSEED``.  Every construction downstream
+(max-flow, disjoint paths, routings) inherits bit-for-bit reproducibility
+from this property.
 """
 
 from __future__ import annotations
@@ -54,7 +63,9 @@ class Graph:
         nodes: Optional[Iterable[Node]] = None,
         name: str = "",
     ) -> None:
-        self._adj: Dict[Node, Set[Node]] = {}
+        # node -> {neighbor: None}; inner dicts act as insertion-ordered sets
+        # so iteration order never depends on PYTHONHASHSEED.
+        self._adj: Dict[Node, Dict[Node, None]] = {}
         self.name = name
         if nodes is not None:
             for node in nodes:
@@ -69,7 +80,7 @@ class Graph:
     def add_node(self, node: Node) -> None:
         """Add ``node`` to the graph.  Adding an existing node is a no-op."""
         if node not in self._adj:
-            self._adj[node] = set()
+            self._adj[node] = {}
 
     def add_nodes_from(self, nodes: Iterable[Node]) -> None:
         """Add every node in ``nodes``."""
@@ -87,7 +98,7 @@ class Graph:
         if node not in self._adj:
             raise NodeNotFoundError(node)
         for neighbor in self._adj[node]:
-            self._adj[neighbor].discard(node)
+            self._adj[neighbor].pop(node, None)
         del self._adj[node]
 
     def remove_nodes_from(self, nodes: Iterable[Node]) -> None:
@@ -129,8 +140,8 @@ class Graph:
             raise ValueError(f"self-loops are not allowed (node {u!r})")
         self.add_node(u)
         self.add_node(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        self._adj[u][v] = None
+        self._adj[v][u] = None
 
     def add_edges_from(self, edges: Iterable[Edge]) -> None:
         """Add every edge in ``edges``."""
@@ -147,8 +158,8 @@ class Graph:
         """
         if not self.has_edge(u, v):
             raise EdgeNotFoundError(u, v)
-        self._adj[u].discard(v)
-        self._adj[v].discard(u)
+        self._adj[u].pop(v, None)
+        self._adj[v].pop(u, None)
 
     def remove_edges_from(self, edges: Iterable[Edge]) -> None:
         """Remove every edge in ``edges`` (each must be present)."""
@@ -191,6 +202,17 @@ class Graph:
         if node not in self._adj:
             raise NodeNotFoundError(node)
         return set(self._adj[node])
+
+    def iter_neighbors(self, node: Node) -> Iterator[Node]:
+        """Iterate over ``Gamma(node)`` in insertion order (deterministic).
+
+        Unlike :meth:`neighbors` this does not copy into a hash-ordered set;
+        traversals that must be reproducible across interpreter runs (BFS
+        trees, shortest paths, flow networks) iterate through here.
+        """
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        return iter(self._adj[node])
 
     def degree(self, node: Node) -> int:
         """Return the degree of ``node``."""
@@ -240,7 +262,7 @@ class Graph:
         for _ in range(radius):
             next_frontier: Set[Node] = set()
             for u in frontier:
-                next_frontier.update(self._adj[u] - visited)
+                next_frontier.update(self._adj[u].keys() - visited)
             visited.update(next_frontier)
             frontier = next_frontier
             if not frontier:
@@ -268,9 +290,14 @@ class Graph:
         """
         keep = {node for node in nodes if node in self._adj}
         sub = Graph(name=self.name)
-        for node in keep:
-            sub.add_node(node)
-        for node in keep:
+        # Iterate the parent's insertion order (not the ``keep`` set) so the
+        # subgraph's node/edge order is independent of PYTHONHASHSEED.
+        for node in self._adj:
+            if node in keep:
+                sub.add_node(node)
+        for node in self._adj:
+            if node not in keep:
+                continue
             for neighbor in self._adj[node]:
                 if neighbor in keep:
                     sub.add_edge(node, neighbor)

@@ -121,7 +121,10 @@ def minimum_separator(graph: Graph) -> Set[Node]:
     for other in graph.nodes():
         if other != pivot and not graph.has_edge(pivot, other):
             candidates_pairs.append((pivot, other))
-    for x, y in itertools.combinations(sorted(graph.neighbors(pivot), key=graph.degree), 2):
+    neighbor_order = sorted(
+        graph.neighbors(pivot), key=lambda node: (graph.degree(node), repr(node))
+    )
+    for x, y in itertools.combinations(neighbor_order, 2):
         if not graph.has_edge(x, y):
             candidates_pairs.append((x, y))
 
@@ -158,11 +161,13 @@ def minimal_separating_set(graph: Graph, size: Optional[int] = None) -> Set[Node
         )
     remaining_components = connected_components(graph.without_nodes(base))
     # Keep at least one node out of two distinct components so the enlarged
-    # set still separates the graph.
-    protected = {next(iter(component)) for component in remaining_components[:2]}
+    # set still separates the graph (repr-minimal choice for determinism).
+    protected = {min(component, key=repr) for component in remaining_components[:2]}
     extras = [
         node
-        for node in sorted(graph.nodes(), key=graph.degree, reverse=True)
+        for node in sorted(
+            graph.nodes(), key=lambda node: (-graph.degree(node), repr(node))
+        )
         if node not in base and node not in protected
     ]
     enlarged = set(base)

@@ -27,11 +27,17 @@ AnyGraph = Union[Graph, DiGraph]
 INFINITY = float("inf")
 
 
-def _out_neighbors(graph: AnyGraph, node: Node) -> Set[Node]:
-    """Return the set of nodes reachable from ``node`` in one hop."""
+def _out_neighbors(graph: AnyGraph, node: Node) -> Iterable[Node]:
+    """Iterate the nodes reachable from ``node`` in one hop.
+
+    Iteration follows the graph's insertion order (``iter_successors`` /
+    ``iter_neighbors``), so every traversal below — and with it BFS trees,
+    shortest-path choices and component orders — is deterministic across
+    interpreter runs.
+    """
     if isinstance(graph, DiGraph):
-        return graph.successors(node)
-    return graph.neighbors(node)
+        return graph.iter_successors(node)
+    return graph.iter_neighbors(node)
 
 
 def bfs_distances(graph: AnyGraph, source: Node) -> Dict[Node, int]:
@@ -119,7 +125,7 @@ def dfs_preorder(graph: AnyGraph, source: Node) -> List[Node]:
         order.append(current)
         # Reversed for a deterministic left-to-right exploration of sorted
         # neighbour lists when nodes are comparable; falls back gracefully.
-        neighbors = list(_out_neighbors(graph, current) - visited)
+        neighbors = [n for n in _out_neighbors(graph, current) if n not in visited]
         try:
             neighbors.sort(reverse=True)
         except TypeError:
@@ -129,14 +135,20 @@ def dfs_preorder(graph: AnyGraph, source: Node) -> List[Node]:
 
 
 def connected_components(graph: Graph) -> List[Set[Node]]:
-    """Return the connected components of an undirected graph."""
-    remaining = set(graph.nodes())
+    """Return the connected components of an undirected graph.
+
+    Components are discovered by scanning ``graph.nodes()`` in order, so the
+    component list (and the implicit choice of each component's BFS root) is
+    deterministic.
+    """
+    seen: Set[Node] = set()
     components: List[Set[Node]] = []
-    while remaining:
-        root = next(iter(remaining))
+    for root in graph.nodes():
+        if root in seen:
+            continue
         component = set(bfs_distances(graph, root))
         components.append(component)
-        remaining -= component
+        seen |= component
     return components
 
 

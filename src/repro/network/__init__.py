@@ -14,6 +14,7 @@ from repro.network.simulator import NetworkSimulator, SimulatorStats
 from repro.network.broadcast import (
     BroadcastResult,
     broadcast_rounds_from_all,
+    counter_limit_suffices,
     route_counter_broadcast,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "SimulatorStats",
     "BroadcastResult",
     "broadcast_rounds_from_all",
+    "counter_limit_suffices",
     "route_counter_broadcast",
 ]

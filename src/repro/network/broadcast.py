@@ -157,6 +157,37 @@ def _broadcast_on(
     return result
 
 
+def counter_limit_suffices(
+    graph: Graph,
+    routing: AnyRouting,
+    counter_limit: float,
+    faults: Iterable[Node] = (),
+    index=None,
+) -> bool:
+    """Decide whether ``counter_limit`` lets every broadcast complete.
+
+    A route-counter broadcast reaches every surviving node from every origin
+    iff the counter limit is at least the diameter of the surviving route
+    graph — counter limits *are* diameter bounds.  This predicate therefore
+    answers the deployment question ("is this limit safe after these
+    faults?") through the bounded *decision* path of
+    :meth:`~repro.core.route_index.RouteIndex.surviving_diameter_at_most`
+    instead of an exact diameter evaluation: each source's BFS is abandoned
+    the moment its eccentricity exceeds the limit and the first violating
+    source short-circuits the whole check.  An index is built on the fly
+    when none is supplied (one pass over the routes — the same cost a single
+    exact evaluation would have paid before its BFS even started).
+    """
+    from repro.core.route_index import RouteIndex
+    from repro.core.surviving import _check_index
+
+    if index is None:
+        index = RouteIndex(graph, routing)
+    else:
+        _check_index(graph, routing, index)
+    return index.surviving_diameter_at_most(faults, counter_limit)
+
+
 def broadcast_rounds_from_all(
     graph: Graph,
     routing: AnyRouting,

@@ -1,0 +1,31 @@
+"""Scenario subsystem: named, parameterised, seedable workload specs.
+
+A *scenario* names a complete workload — graph family, routing strategy,
+fault parameter and fault model — as one canonical string
+(``hypercube:d=7/kernel/t=3/random:p=0.1``) that every layer consumes: the
+CLI, the suite runner, campaign worker processes and benchmark JSON all
+speak the same form, and the deterministic construction pipeline guarantees
+that any process rebuilding a scenario from its string obtains bit-for-bit
+the same routing (verified by fingerprint).
+"""
+
+from repro.scenarios.spec import (
+    DEFAULT_FAULT_MODEL,
+    FAULT_KINDS,
+    FaultModel,
+    Scenario,
+    as_scenarios,
+    parse_scenario,
+)
+from repro.scenarios.suite import ScenarioRow, run_scenario_suite
+
+__all__ = [
+    "DEFAULT_FAULT_MODEL",
+    "FAULT_KINDS",
+    "FaultModel",
+    "Scenario",
+    "ScenarioRow",
+    "as_scenarios",
+    "parse_scenario",
+    "run_scenario_suite",
+]

@@ -1,0 +1,246 @@
+"""Scenario specifications: named, parameterised, seedable workload specs.
+
+A :class:`Scenario` bundles everything needed to reproduce one workload of
+the paper's experiments — *which* network, *which* construction, *which*
+fault process — into a single canonical string that every layer (CLI, suite
+runner, campaign workers, benchmark JSON) consumes and emits:
+
+.. code-block:: text
+
+    hypercube:d=7/kernel/t=3/random:p=0.1
+    circulant:n=200,offsets=1+2/kernel/sizes:1,2,3
+    flower:t=2,k=9/circular/exhaustive:f=2
+
+The string has ``/``-separated segments:
+
+1. a **graph family spec** (mandatory, first) — parsed and canonicalised by
+   :mod:`repro.graphs.registry`;
+2. an optional **routing strategy** — any name accepted by
+   :func:`repro.core.builder.build_routing` (default ``auto``);
+3. an optional **fault parameter** ``t=<int>`` (default: derive from the
+   graph's connectivity);
+4. an optional **fault model** (default ``sizes:1,2,3``):
+
+   * ``sizes:a,b,c`` — one campaign per fault-set size, uniform random sets;
+   * ``random:p=<float>`` — one campaign whose fault sets fail each node
+     independently with probability ``p`` (binomial sizes);
+   * ``exhaustive:f=<int>`` — every fault set of size at most ``f``.
+
+Segments 2–4 may appear in any order; each is recognised by its shape.
+``parse_scenario`` and :meth:`Scenario.canonical` round-trip exactly:
+``parse_scenario(s.canonical()) == s`` for every scenario, and parsing any
+accepted spelling then re-canonicalising is idempotent.  Scenarios are
+hashable values — they carry no graph or routing objects, which is what
+makes them cheap to ship to campaign worker processes (workers rebuild the
+workload deterministically from the string alone).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.core.builder import STRATEGIES, build_routing
+from repro.core.construction import ConstructionResult
+from repro.graphs.graph import Graph
+from repro.graphs.registry import canonical_graph_spec, parse_graph_spec
+
+#: Fault-model kinds understood by the scenario grammar.
+FAULT_KINDS = ("sizes", "random", "exhaustive")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultModel:
+    """The fault process of a scenario (see the module docstring grammar)."""
+
+    kind: str
+    sizes: Tuple[int, ...] = ()
+    p: float = 0.0
+    max_faults: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault model {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.kind == "sizes":
+            if not self.sizes:
+                raise ValueError("fault model 'sizes' needs at least one size")
+            if any(size < 0 for size in self.sizes):
+                raise ValueError("fault-set sizes must be non-negative")
+        if self.kind == "random" and not 0.0 <= self.p <= 1.0:
+            raise ValueError("fault probability p must lie in [0, 1]")
+        if self.kind == "exhaustive" and self.max_faults < 0:
+            raise ValueError("exhaustive fault bound f must be non-negative")
+
+    def canonical(self) -> str:
+        """Render the fault model segment of the canonical scenario string."""
+        if self.kind == "sizes":
+            return "sizes:" + ",".join(str(size) for size in self.sizes)
+        if self.kind == "random":
+            return f"random:p={format(self.p, 'g')}"
+        return f"exhaustive:f={self.max_faults}"
+
+    @staticmethod
+    def parse(segment: str) -> "FaultModel":
+        """Parse one ``kind:args`` fault-model segment."""
+        kind, _, argument_text = segment.partition(":")
+        kind = kind.strip().lower()
+        if kind == "sizes":
+            try:
+                sizes = tuple(
+                    int(token)
+                    for token in argument_text.split(",")
+                    if token.strip()
+                )
+            except ValueError:
+                raise ValueError(
+                    f"fault model 'sizes' expects integers, got {argument_text!r}"
+                ) from None
+            return FaultModel("sizes", sizes=sizes)
+        if kind == "random":
+            key, _, raw = argument_text.partition("=")
+            if key.strip() != "p":
+                raise ValueError(
+                    f"fault model 'random' expects p=<float>, got {argument_text!r}"
+                )
+            try:
+                p = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"fault model 'random' expects p=<float>, got {argument_text!r}"
+                ) from None
+            return FaultModel("random", p=p)
+        if kind == "exhaustive":
+            key, _, raw = argument_text.partition("=")
+            if key.strip() != "f":
+                raise ValueError(
+                    f"fault model 'exhaustive' expects f=<int>, got {argument_text!r}"
+                )
+            try:
+                max_faults = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"fault model 'exhaustive' expects f=<int>, got {argument_text!r}"
+                ) from None
+            return FaultModel("exhaustive", max_faults=max_faults)
+        raise ValueError(f"unknown fault model {kind!r}")
+
+
+#: Default fault model when a scenario omits the segment.
+DEFAULT_FAULT_MODEL = FaultModel("sizes", sizes=(1, 2, 3))
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One fully-specified workload: graph family + construction + faults.
+
+    ``graph_spec`` is always stored in canonical form, so two scenarios are
+    equal iff their canonical strings are equal.
+    """
+
+    graph_spec: str
+    strategy: str = "auto"
+    t: Optional[int] = None
+    faults: FaultModel = DEFAULT_FAULT_MODEL
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "graph_spec", canonical_graph_spec(self.graph_spec)
+        )
+        if self.strategy != "auto" and self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown routing strategy {self.strategy!r}; available: "
+                f"{sorted(STRATEGIES) + ['auto']}"
+            )
+        if self.t is not None and self.t < 0:
+            raise ValueError("fault parameter t must be non-negative")
+
+    def canonical(self) -> str:
+        """Return the canonical scenario string (round-trips via parse)."""
+        segments = [self.graph_spec, self.strategy]
+        if self.t is not None:
+            segments.append(f"t={self.t}")
+        segments.append(self.faults.canonical())
+        return "/".join(segments)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.canonical()
+
+    # ------------------------------------------------------------------
+    # Workload construction
+    # ------------------------------------------------------------------
+    def build_graph(self) -> Graph:
+        """Build the scenario's graph (deterministic for a fixed spec)."""
+        return parse_graph_spec(self.graph_spec)
+
+    def build(self) -> Tuple[Graph, ConstructionResult]:
+        """Build the graph and its routing.
+
+        Construction is bit-for-bit deterministic (hash-seed independent),
+        so any process that builds the same scenario obtains a routing with
+        the same :meth:`~repro.core.construction.ConstructionResult
+        .fingerprint` — campaign workers rely on this to rebuild workloads
+        locally from the canonical string alone.
+        """
+        graph = self.build_graph()
+        result = build_routing(graph, strategy=self.strategy, t=self.t)
+        return graph, result
+
+
+def parse_scenario(text: str) -> Scenario:
+    """Parse a scenario string (see the module docstring for the grammar).
+
+    The graph spec must come first; the strategy, ``t=`` and fault-model
+    segments are recognised by shape and may appear in any order.  Repeated
+    segments of the same kind are an error.
+    """
+    segments = [segment.strip() for segment in text.strip().split("/")]
+    if not segments or not segments[0]:
+        raise ValueError("scenario spec is empty; expected at least a graph spec")
+    graph_spec = segments[0]
+    strategy: Optional[str] = None
+    t: Optional[int] = None
+    faults: Optional[FaultModel] = None
+    for segment in segments[1:]:
+        if not segment:
+            raise ValueError(f"empty segment in scenario spec {text!r}")
+        head = segment.partition(":")[0].strip().lower()
+        if segment.startswith("t=") or segment.startswith("t "):
+            if t is not None:
+                raise ValueError(f"duplicate t= segment in {text!r}")
+            raw = segment.partition("=")[2]
+            try:
+                t = int(raw)
+            except ValueError:
+                raise ValueError(f"t= expects an integer, got {raw!r}") from None
+            continue
+        if head in FAULT_KINDS:
+            if faults is not None:
+                raise ValueError(f"duplicate fault-model segment in {text!r}")
+            faults = FaultModel.parse(segment)
+            continue
+        if segment == "auto" or segment in STRATEGIES:
+            if strategy is not None:
+                raise ValueError(f"duplicate strategy segment in {text!r}")
+            strategy = segment
+            continue
+        raise ValueError(
+            f"unrecognised scenario segment {segment!r}; expected a strategy "
+            f"({sorted(STRATEGIES) + ['auto']}), t=<int>, or a fault model "
+            f"({'/'.join(FAULT_KINDS)})"
+        )
+    return Scenario(
+        graph_spec=graph_spec,
+        strategy=strategy if strategy is not None else "auto",
+        t=t,
+        faults=faults if faults is not None else DEFAULT_FAULT_MODEL,
+    )
+
+
+def as_scenarios(specs: Iterable[Union[str, Scenario]]) -> List[Scenario]:
+    """Normalise a mixed iterable of strings / scenarios into scenarios."""
+    scenarios: List[Scenario] = []
+    for spec in specs:
+        scenarios.append(spec if isinstance(spec, Scenario) else parse_scenario(spec))
+    return scenarios

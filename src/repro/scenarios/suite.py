@@ -1,0 +1,387 @@
+"""Scenario-suite runner: sharded campaigns across whole workload families.
+
+:func:`run_scenario_suite` turns a list of scenarios (canonical strings or
+:class:`~repro.scenarios.spec.Scenario` values) into campaign rows — one row
+per scenario and fault-set size — evaluating every battery through the
+bitset kernel of :class:`~repro.core.route_index.RouteIndex`.
+
+Sharding happens **across scenarios as well as within batteries**: the suite
+is flattened into a deterministic list of shard tasks (scenario spec +
+battery slice descriptor) and a single process pool drains all of them, so a
+suite of many small scenarios parallelises exactly as well as one giant
+battery.  Three design rules keep the rows byte-identical for any worker
+count and any ``PYTHONHASHSEED``:
+
+1. tasks are a pure function of the scenario list, ``samples``, ``seed`` and
+   ``chunk_size`` — never of the worker count — and results are folded in
+   task order;
+2. workers receive only the canonical scenario string and a tiny shard
+   descriptor: they rebuild the graph, routing and index locally (the
+   construction pipeline is bit-for-bit deterministic) and regenerate their
+   battery slice from per-shard SHA-256 seeds;
+3. every worker reports the fingerprint of the routing it rebuilt, and the
+   parent verifies it against its own construction — a corrupted or
+   nondeterministic rebuild fails loudly instead of silently skewing rows.
+
+With ``bound`` given the suite runs *bounded-decision* campaigns: fault sets
+are evaluated with an eccentricity cap (``surviving_diameter_at_most``
+semantics) and rows report pass/fail statistics instead of exact diameters
+— the cheap path for paper-style "does the guarantee hold at scale" tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random as _random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.construction import ConstructionResult
+from repro.core.route_index import RouteIndex
+from repro.faults.engine import DEFAULT_CHUNK_SIZE, _combinations_slice, shard_seed
+from repro.faults.models import FaultSet
+from repro.faults.simulation import (
+    CampaignResult,
+    DecisionCampaignResult,
+    aggregate_decisions,
+    aggregate_outcomes,
+)
+from repro.scenarios.spec import Scenario, as_scenarios
+
+CampaignRow = Union[CampaignResult, DecisionCampaignResult]
+
+
+@dataclasses.dataclass(frozen=True)
+class _SuiteTask:
+    """One worker-sized unit: a battery slice of one scenario campaign.
+
+    ``campaign_key`` identifies the row the outcomes fold into (scenario
+    position, campaign position); shards of one campaign are numbered by
+    ``shard_index`` and generated locally by whichever process runs them.
+    ``mode`` selects the generator: ``"random"`` (uniform sets of
+    ``fault_size``), ``"random-p"`` (binomial per-node failures with
+    probability ``p``) or ``"exhaustive"`` (combinations offsets
+    ``start .. start + count`` at ``fault_size``).
+    """
+
+    spec: str
+    campaign_key: Tuple[int, int]
+    mode: str
+    fault_size: int = 0
+    p: float = 0.0
+    count: int = 0
+    start: int = 0
+    seed: int = 0
+    bound: Optional[float] = None
+
+    def materialise(self, pool: Sequence) -> Tuple[FaultSet, ...]:
+        """Regenerate this task's fault sets from the canonical node pool."""
+        if self.mode == "exhaustive":
+            return tuple(
+                FaultSet(combo, description=f"exhaustive size {self.fault_size}")
+                for combo in _combinations_slice(
+                    pool, self.fault_size, self.start, self.count
+                )
+            )
+        rng = _random.Random(self.seed)
+        if self.mode == "random-p":
+            sets = []
+            for offset in range(self.count):
+                failed = [node for node in pool if rng.random() < self.p]
+                sets.append(
+                    FaultSet(
+                        failed, description=f"random p={self.p} #{self.start + offset}"
+                    )
+                )
+            return tuple(sets)
+        if self.fault_size > len(pool):
+            return ()
+        return tuple(
+            FaultSet(
+                rng.sample(pool, self.fault_size),
+                description=f"random #{self.start + offset}",
+            )
+            for offset in range(self.count)
+        )
+
+
+@dataclasses.dataclass
+class ScenarioRow:
+    """One suite row: a scenario, its construction metadata, and a campaign."""
+
+    scenario: str
+    scheme: str
+    nodes: int
+    edges: int
+    t: int
+    fingerprint: str
+    campaign: CampaignRow
+
+    def as_row(self) -> Dict[str, object]:
+        """Return a flat dict for table rendering / JSON persistence."""
+        row: Dict[str, object] = {
+            "scenario": self.scenario,
+            "scheme": self.scheme,
+            "n": self.nodes,
+            "m": self.edges,
+            "t": self.t,
+        }
+        row.update(self.campaign.as_row())
+        row["fingerprint"] = self.fingerprint[:12]
+        return row
+
+
+# ----------------------------------------------------------------------
+# Worker-side scenario cache
+# ----------------------------------------------------------------------
+# Workers rebuild each scenario exactly once per process: the canonical
+# string is the cache key, the deterministic construction pipeline is the
+# loader.  Holding (index, fingerprint) per spec keeps repeated shards of
+# the same scenario cheap.  The cache is bounded (FIFO) so long-lived
+# processes running many suites do not accumulate every graph and index
+# ever built, and it is cleared in each pool worker at start-up — under the
+# ``fork`` start method workers would otherwise inherit the parent's
+# entries, which would make the cross-process fingerprint verification
+# vacuous (the worker must genuinely rebuild from the canonical string).
+_SCENARIO_CACHE: Dict[str, Tuple[RouteIndex, str]] = {}
+_SCENARIO_CACHE_LIMIT = 8
+
+
+def _reset_worker_cache() -> None:
+    """Pool initializer: force workers to rebuild scenarios from scratch."""
+    _SCENARIO_CACHE.clear()
+
+
+def _cache_workload(spec: str, value: Tuple[RouteIndex, str]) -> None:
+    if spec not in _SCENARIO_CACHE and len(_SCENARIO_CACHE) >= _SCENARIO_CACHE_LIMIT:
+        _SCENARIO_CACHE.pop(next(iter(_SCENARIO_CACHE)))
+    _SCENARIO_CACHE[spec] = value
+
+
+def _scenario_workload(spec: str) -> Tuple[RouteIndex, str]:
+    cached = _SCENARIO_CACHE.get(spec)
+    if cached is None:
+        from repro.scenarios.spec import parse_scenario
+
+        graph, result = parse_scenario(spec).build()
+        cached = (RouteIndex(graph, result.routing), result.fingerprint())
+        _cache_workload(spec, cached)
+    return cached
+
+
+def _eval_suite_task(task: _SuiteTask):
+    """Evaluate one shard; returns (campaign_key, fingerprint, outcomes)."""
+    index, fingerprint = _scenario_workload(task.spec)
+    fault_sets = task.materialise(index.node_pool)
+    if task.bound is not None:
+        outcomes = [
+            (fault_set, index.surviving_diameter(fault_set, cap=task.bound))
+            for fault_set in fault_sets
+        ]
+    else:
+        outcomes = [
+            (fault_set, index.surviving_diameter(fault_set))
+            for fault_set in fault_sets
+        ]
+    return task.campaign_key, fingerprint, outcomes
+
+
+# ----------------------------------------------------------------------
+# Task expansion
+# ----------------------------------------------------------------------
+def _campaign_plans(
+    scenario: Scenario, samples: int, node_count: Optional[int] = None
+) -> List[Tuple[str, int, float, int]]:
+    """Return ``(mode, fault_size, p, total)`` per campaign of a scenario.
+
+    ``node_count`` (needed only by exhaustive models, to size the
+    enumeration) is taken from the caller when already known; otherwise the
+    graph is built deterministically to read it.
+    """
+    model = scenario.faults
+    if model.kind == "sizes":
+        return [("random", size, 0.0, samples) for size in model.sizes]
+    if model.kind == "random":
+        return [("random-p", 0, model.p, samples)]
+    n = (
+        node_count
+        if node_count is not None
+        else scenario.build_graph().number_of_nodes()
+    )
+    return [
+        ("exhaustive", size, 0.0, math.comb(n, size))
+        for size in range(0, model.max_faults + 1)
+    ]
+
+
+def _expand_tasks(
+    scenarios: Sequence[Scenario],
+    samples: int,
+    seed: int,
+    chunk_size: int,
+    bound: Optional[float],
+    node_counts: Optional[Sequence[int]] = None,
+) -> Tuple[List[_SuiteTask], List[Tuple[Tuple[int, int], int]]]:
+    """Flatten the suite into shard tasks plus per-campaign metadata.
+
+    Returns ``(tasks, campaigns)`` where ``campaigns[j] = (campaign_key,
+    fault_size)`` in row order.  Task seeds hash the campaign's *position*
+    (scenario index, plan index) as well as the canonical scenario string,
+    so distinct scenarios — and repeated scenarios or repeated fault sizes
+    within one — always draw independent batteries under one suite seed
+    (mirroring ``CampaignEngine.sweep_fault_sizes``).
+    """
+    tasks: List[_SuiteTask] = []
+    campaigns: List[Tuple[Tuple[int, int], int]] = []
+    for scenario_index, scenario in enumerate(scenarios):
+        spec = scenario.canonical()
+        node_count = node_counts[scenario_index] if node_counts else None
+        for plan_index, (mode, fault_size, p, total) in enumerate(
+            _campaign_plans(scenario, samples, node_count)
+        ):
+            campaign_key = (scenario_index, plan_index)
+            campaigns.append((campaign_key, fault_size))
+            tag = (
+                f"{scenario_index}.{plan_index}|{spec}|{mode}|size={fault_size}"
+            )
+            for shard_index, start in enumerate(range(0, total, chunk_size)):
+                count = min(chunk_size, total - start)
+                tasks.append(
+                    _SuiteTask(
+                        spec=spec,
+                        campaign_key=campaign_key,
+                        mode=mode,
+                        fault_size=fault_size,
+                        p=p,
+                        count=count,
+                        start=start,
+                        seed=shard_seed(seed, tag, shard_index),
+                        bound=bound,
+                    )
+                )
+    return tasks, campaigns
+
+
+# ----------------------------------------------------------------------
+# The suite entry point
+# ----------------------------------------------------------------------
+def run_scenario_suite(
+    scenarios: Iterable[Union[str, Scenario]],
+    samples: int = 50,
+    seed: int = 0,
+    bound: Optional[float] = None,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> List[ScenarioRow]:
+    """Run campaigns for every scenario and return one row per campaign.
+
+    Parameters
+    ----------
+    scenarios:
+        Canonical scenario strings and/or :class:`Scenario` values.
+    samples:
+        Battery size per campaign for the sampled fault models (``sizes`` /
+        ``random:p``); ``exhaustive:f`` ignores it.
+    seed:
+        Suite seed.  Rows are byte-identical for any worker count and any
+        ``PYTHONHASHSEED`` given the same seed.
+    bound:
+        Optional diameter bound: campaigns then stream bounded *decisions*
+        (pass/fail per fault set) instead of exact diameters.
+    workers:
+        Worker processes.  ``1`` evaluates in-process; larger values drain
+        the flattened task list — all scenarios, all batteries — through one
+        pool, so cross-scenario parallelism comes for free.
+    chunk_size:
+        Fault sets per shard (also the streaming granularity).
+
+    Raises
+    ------
+    RuntimeError
+        If a worker's rebuilt routing fingerprint disagrees with the
+        parent's — i.e. the construction pipeline went nondeterministic.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if samples < 1:
+        raise ValueError("samples must be at least 1")
+    scenario_list = as_scenarios(scenarios)
+    if not scenario_list:
+        return []
+
+    # Parent-side builds: row metadata + the reference fingerprints that
+    # worker rebuilds are verified against.  The sequential path shares the
+    # worker-side cache, so each scenario is built exactly once in-process.
+    built: List[Tuple[Scenario, ConstructionResult, int, int, str]] = []
+    for scenario in scenario_list:
+        graph, result = scenario.build()
+        index = RouteIndex(graph, result.routing)
+        _cache_workload(scenario.canonical(), (index, result.fingerprint()))
+        built.append(
+            (
+                scenario,
+                result,
+                graph.number_of_nodes(),
+                graph.number_of_edges(),
+                index.preferred_strategy(),
+            )
+        )
+
+    tasks, campaigns = _expand_tasks(
+        scenario_list,
+        samples,
+        seed,
+        chunk_size,
+        bound,
+        node_counts=[entry[2] for entry in built],
+    )
+
+    # Drain the shard tasks — one pool for the whole suite — and fold the
+    # outcomes per campaign in deterministic task order.  The pool
+    # initializer clears the inherited scenario cache, so workers really do
+    # rebuild every workload from its canonical string (that rebuild is
+    # what the fingerprint verification below checks).
+    outcome_lists: Dict[Tuple[int, int], List] = {}
+    if workers == 1:
+        results_iter = map(_eval_suite_task, tasks)
+    else:
+        import multiprocessing
+
+        pool = multiprocessing.Pool(workers, initializer=_reset_worker_cache)
+        try:
+            results_iter = list(pool.imap(_eval_suite_task, tasks))
+        finally:
+            pool.terminate()
+            pool.join()
+    for (campaign_key, fingerprint, outcomes), task in zip(results_iter, tasks):
+        reference = built[campaign_key[0]][1].fingerprint()
+        if fingerprint != reference:
+            raise RuntimeError(
+                f"worker rebuilt scenario {task.spec!r} with fingerprint "
+                f"{fingerprint[:12]}... but the parent built "
+                f"{reference[:12]}...; the construction pipeline is "
+                "nondeterministic"
+            )
+        outcome_lists.setdefault(campaign_key, []).extend(outcomes)
+
+    rows: List[ScenarioRow] = []
+    for campaign_key, fault_size in campaigns:
+        scenario, result, nodes, edges, strategy = built[campaign_key[0]]
+        outcomes = outcome_lists.get(campaign_key, [])
+        if bound is not None:
+            campaign: CampaignRow = aggregate_decisions(fault_size, bound, outcomes)
+        else:
+            campaign = aggregate_outcomes(fault_size, outcomes)
+        campaign.bfs_strategy = strategy
+        rows.append(
+            ScenarioRow(
+                scenario=scenario.canonical(),
+                scheme=result.scheme,
+                nodes=nodes,
+                edges=edges,
+                t=result.t,
+                fingerprint=result.fingerprint(),
+                campaign=campaign,
+            )
+        )
+    return rows

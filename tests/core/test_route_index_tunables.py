@@ -1,0 +1,97 @@
+"""RouteIndex tunables: the BFS density threshold and strategy introspection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RouteIndex, kernel_routing
+from repro.core.route_index import (
+    DEFAULT_DENSITY_THRESHOLD,
+    STRATEGY_BATCHED,
+    STRATEGY_PER_SOURCE,
+)
+from repro.faults.adversary import random_fault_sets
+from repro.graphs import generators
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = generators.circulant_graph(24, [1, 2])
+    result = kernel_routing(graph)
+    return graph, result.routing
+
+
+class TestDensityThreshold:
+    def test_default_threshold(self, workload):
+        graph, routing = workload
+        index = RouteIndex(graph, routing)
+        assert index.density_threshold == DEFAULT_DENSITY_THRESHOLD
+
+    def test_constructor_override(self, workload):
+        graph, routing = workload
+        index = RouteIndex(graph, routing, density_threshold=3)
+        assert index.density_threshold == 3
+
+    def test_env_override(self, workload, monkeypatch):
+        graph, routing = workload
+        monkeypatch.setenv("REPRO_BFS_DENSITY_THRESHOLD", "5")
+        assert RouteIndex(graph, routing).density_threshold == 5
+        # The constructor argument wins over the environment.
+        assert RouteIndex(graph, routing, density_threshold=2).density_threshold == 2
+
+    def test_invalid_env_value(self, workload, monkeypatch):
+        graph, routing = workload
+        monkeypatch.setenv("REPRO_BFS_DENSITY_THRESHOLD", "not-a-number")
+        with pytest.raises(ValueError, match="REPRO_BFS_DENSITY_THRESHOLD"):
+            RouteIndex(graph, routing)
+
+    def test_invalid_threshold(self, workload):
+        graph, routing = workload
+        with pytest.raises(ValueError):
+            RouteIndex(graph, routing, density_threshold=0)
+
+    def test_threshold_never_changes_values(self, workload):
+        """The strategy switch is a performance knob, not a semantics knob."""
+        graph, routing = workload
+        low = RouteIndex(graph, routing, density_threshold=1)
+        high = RouteIndex(graph, routing, density_threshold=10_000)
+        assert low.preferred_strategy() != high.preferred_strategy()
+        for fault_set in random_fault_sets(graph.nodes(), 3, 10, seed=3):
+            assert low.surviving_diameter(fault_set) == high.surviving_diameter(
+                fault_set
+            )
+            assert low.cursor(fault_set).diameter() == high.cursor(
+                fault_set
+            ).diameter()
+
+
+class TestPreferredStrategy:
+    def test_extremes_select_both_strategies(self, workload):
+        graph, routing = workload
+        # threshold=1: k*arcs <= n^2 easily -> batched; huge threshold ->
+        # per-source.
+        assert (
+            RouteIndex(graph, routing, density_threshold=1).preferred_strategy()
+            == STRATEGY_BATCHED
+        )
+        assert (
+            RouteIndex(graph, routing, density_threshold=10_000).preferred_strategy()
+            == STRATEGY_PER_SOURCE
+        )
+
+    def test_strategy_accepts_fault_sets(self, workload):
+        graph, routing = workload
+        index = RouteIndex(graph, routing)
+        strategy = index.preferred_strategy(faults=[graph.nodes()[0]])
+        assert strategy in (STRATEGY_BATCHED, STRATEGY_PER_SOURCE)
+
+    def test_campaign_rows_record_strategy(self, workload):
+        graph, routing = workload
+        from repro.faults import CampaignEngine
+
+        engine = CampaignEngine(
+            graph, routing, index=RouteIndex(graph, routing, density_threshold=1)
+        )
+        row = engine.run_campaign(1, samples=5, seed=0)
+        assert row.bfs_strategy == STRATEGY_BATCHED
+        assert row.as_row()["bfs"] == STRATEGY_BATCHED

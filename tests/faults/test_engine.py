@@ -228,7 +228,7 @@ class TestBoundedScan:
 
 class TestIndexShipping:
     def test_prebuilt_index_is_shipped_to_workers(self, workload):
-        """The pool initializer must receive the engine's own index object."""
+        """The pool initializer must receive the slim form of the engine's index."""
         graph, routing = workload
         from repro.core import RouteIndex
         from repro.faults import engine as engine_module
@@ -261,8 +261,16 @@ class TestIndexShipping:
         finally:
             multiprocessing.Pool = original
             engine.close()
-        assert recorded["initargs"] == (index,)
-        assert engine_module._WORKER_INDEX is index
+        assert len(recorded["initargs"]) == 1
+        shipped = recorded["initargs"][0]
+        # The slim payload shares the engine index's bitset structures but
+        # drops the graph and routing objects (they never cross the boundary).
+        assert shipped is not index
+        assert shipped.graph is None and shipped.routing is None
+        assert shipped._base_rows is index._base_rows
+        assert shipped._kill_rows is index._kill_rows
+        assert shipped.node_pool == index.node_pool
+        assert engine_module._WORKER_INDEX is shipped
         engine_module._WORKER_INDEX = None
 
     def test_parallel_results_with_prebuilt_index(self, workload):

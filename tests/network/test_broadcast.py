@@ -102,3 +102,52 @@ class TestBroadcastFromAll:
         assert broadcast_rounds_from_all(
             graph, result.routing, faults=faults, index=index
         ) == broadcast_rounds_from_all(graph, result.routing, faults=faults)
+
+
+class TestCounterLimitSuffices:
+    """The counter limit is a diameter bound — decided, not computed."""
+
+    def test_agrees_with_exact_diameter(self, cycle_setup):
+        from repro.network import counter_limit_suffices
+
+        graph, result = cycle_setup
+        for faults in ({}, {3}, {3, 7}):
+            diam = surviving_diameter(graph, result.routing, faults)
+            for limit in (1, 2, 4, 6, 10):
+                assert counter_limit_suffices(
+                    graph, result.routing, limit, faults=faults
+                ) == (diam <= limit)
+
+    def test_sufficient_limit_completes_broadcast(self, cycle_setup):
+        """When the decision says yes, the protocol really reaches everyone."""
+        from repro.network import counter_limit_suffices
+
+        graph, result = cycle_setup
+        faults = {3}
+        limit = result.guarantee.diameter_bound
+        assert counter_limit_suffices(graph, result.routing, limit, faults=faults)
+        outcome = route_counter_broadcast(
+            graph, result.routing, 0, faults=faults, counter_limit=limit
+        )
+        assert outcome.complete
+
+    def test_reuses_supplied_index(self, cycle_setup):
+        from repro.core import RouteIndex
+        from repro.network import counter_limit_suffices
+
+        graph, result = cycle_setup
+        index = RouteIndex(graph, result.routing)
+        assert counter_limit_suffices(
+            graph, result.routing, 6, faults={3}, index=index
+        ) == counter_limit_suffices(graph, result.routing, 6, faults={3})
+
+    def test_rejects_foreign_index(self, cycle_setup):
+        from repro.core import RouteIndex
+        from repro.network import counter_limit_suffices
+
+        graph, result = cycle_setup
+        other_graph = generators.cycle_graph(8)
+        other = kernel_routing(other_graph)
+        foreign = RouteIndex(other_graph, other.routing)
+        with pytest.raises(ValueError):
+            counter_limit_suffices(graph, result.routing, 6, index=foreign)

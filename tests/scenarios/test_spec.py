@@ -1,0 +1,162 @@
+"""Scenario spec parsing/formatting and graph-family registry coverage."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.core.builder import STRATEGIES
+from repro.graphs import generators, synthetic
+from repro.graphs.registry import (
+    GRAPH_FAMILIES,
+    canonical_graph_spec,
+    parse_graph_spec,
+)
+from repro.scenarios import (
+    DEFAULT_FAULT_MODEL,
+    FaultModel,
+    Scenario,
+    as_scenarios,
+    parse_scenario,
+)
+
+
+class TestGraphRegistry:
+    def test_every_family_builds_at_defaults(self):
+        for name, family in GRAPH_FAMILIES.items():
+            graph = family.build()
+            assert graph.number_of_nodes() > 0, name
+
+    def test_positional_and_named_specs_agree(self):
+        pairs = [
+            ("hypercube:4", "hypercube:d=4"),
+            ("circulant:16,1,2", "circulant:n=16,offsets=1+2"),
+            ("grid:3,4", "grid:rows=3,cols=4"),
+            ("gnp:20,0.2,3", "gnp:n=20,p=0.2,seed=3"),
+            ("flower:2,5", "flower:t=2,k=5"),
+        ]
+        for positional, named in pairs:
+            assert canonical_graph_spec(positional) == named
+            assert parse_graph_spec(positional) == parse_graph_spec(named)
+
+    def test_canonical_specs_are_fixed_points(self):
+        for family in GRAPH_FAMILIES.values():
+            canonical = family.example()
+            assert canonical_graph_spec(canonical) == canonical
+
+    def test_registry_covers_every_generator_export(self):
+        """Every public ``*_graph`` generator backs some registered family."""
+        builders = {family.builder for family in GRAPH_FAMILIES.values()}
+        for module in (generators, synthetic):
+            for name, value in vars(module).items():
+                if name.startswith("_") or not inspect.isfunction(value):
+                    continue
+                if value.__module__ != module.__name__:
+                    continue
+                if not name.endswith("_graph"):
+                    continue
+                assert value in builders, (
+                    f"{module.__name__}.{name} is not reachable from the "
+                    "graph-family registry"
+                )
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown graph family"):
+            parse_graph_spec("klein-bottle:3")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            parse_graph_spec("hypercube:q=4")
+
+    def test_repeated_parameter_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            parse_graph_spec("hypercube:d=4,d=5")
+
+    def test_positional_after_named_rejected(self):
+        with pytest.raises(ValueError, match="after named"):
+            parse_graph_spec("grid:rows=3,4")
+
+    def test_too_many_positionals_rejected(self):
+        with pytest.raises(ValueError, match="too many arguments"):
+            parse_graph_spec("hypercube:3,4")
+
+
+class TestScenarioRoundTrip:
+    CANONICAL = [
+        "hypercube:d=4/kernel/t=3/random:p=0.1",
+        "circulant:n=24,offsets=1+2/kernel/sizes:1,2,3",
+        "flower:t=2,k=9/circular/exhaustive:f=2",
+        "petersen/auto/sizes:1,2,3",
+        "two-trees:t=1/bipolar-uni/sizes:1",
+    ]
+
+    @pytest.mark.parametrize("text", CANONICAL)
+    def test_canonical_round_trip(self, text):
+        scenario = parse_scenario(text)
+        assert scenario.canonical() == text
+        assert parse_scenario(scenario.canonical()) == scenario
+
+    def test_defaults_fill_in(self):
+        scenario = parse_scenario("petersen")
+        assert scenario.strategy == "auto"
+        assert scenario.t is None
+        assert scenario.faults == DEFAULT_FAULT_MODEL
+
+    def test_segments_are_order_free(self):
+        a = parse_scenario("hypercube:d=4/kernel/t=3/random:p=0.1")
+        b = parse_scenario("hypercube:d=4/random:p=0.1/t=3/kernel")
+        assert a == b
+
+    def test_graph_spec_is_canonicalised(self):
+        scenario = parse_scenario("circulant:24,1,2/kernel")
+        assert scenario.graph_spec == "circulant:n=24,offsets=1+2"
+
+    def test_every_strategy_name_is_recognised(self):
+        for strategy in STRATEGIES:
+            scenario = parse_scenario(f"petersen/{strategy}")
+            assert scenario.strategy == strategy
+
+    def test_build_produces_fingerprinted_construction(self):
+        graph, result = parse_scenario("hypercube:d=3/kernel").build()
+        assert graph.number_of_nodes() == 8
+        assert len(result.fingerprint()) == 64
+
+    def test_as_scenarios_mixes_strings_and_values(self):
+        values = as_scenarios(["petersen", Scenario("hypercube:d=3")])
+        assert [s.graph_spec for s in values] == ["petersen", "hypercube:d=3"]
+
+
+class TestScenarioErrors:
+    def test_unknown_segment(self):
+        with pytest.raises(ValueError, match="unrecognised scenario segment"):
+            parse_scenario("petersen/zigzag")
+
+    def test_duplicate_strategy(self):
+        with pytest.raises(ValueError, match="duplicate strategy"):
+            parse_scenario("petersen/kernel/circular")
+
+    def test_duplicate_fault_model(self):
+        with pytest.raises(ValueError, match="duplicate fault-model"):
+            parse_scenario("petersen/sizes:1/sizes:2")
+
+    def test_bad_t(self):
+        with pytest.raises(ValueError, match="integer"):
+            parse_scenario("petersen/t=x")
+
+    def test_negative_t(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            parse_scenario("petersen/t=-1")
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError, match=r"p must lie in \[0, 1\]"):
+            parse_scenario("petersen/random:p=1.5")
+
+    def test_empty_sizes(self):
+        with pytest.raises(ValueError, match="at least one size"):
+            parse_scenario("petersen/sizes:")
+
+    def test_fault_model_variants(self):
+        assert FaultModel.parse("sizes:2,4").sizes == (2, 4)
+        assert FaultModel.parse("random:p=0.25").p == 0.25
+        assert FaultModel.parse("exhaustive:f=3").max_faults == 3

@@ -1,0 +1,200 @@
+"""Scenario-suite runner: determinism, worker independence, bounded rows."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.simulation import CampaignResult, DecisionCampaignResult
+from repro.scenarios import parse_scenario, run_scenario_suite
+
+#: Small, fast-to-build scenarios used across the suite tests.
+SMALL_SCENARIOS = [
+    "hypercube:d=3/kernel/sizes:1,2",
+    "petersen/kernel/exhaustive:f=1",
+    "circulant:n=12,offsets=1+2/kernel/random:p=0.1",
+]
+
+
+def _rows(scenarios, **kwargs):
+    return [row.as_row() for row in run_scenario_suite(scenarios, **kwargs)]
+
+
+class TestSuiteBasics:
+    def test_one_row_per_campaign(self):
+        rows = run_scenario_suite(SMALL_SCENARIOS, samples=6, seed=0)
+        # sizes:1,2 -> 2 rows; exhaustive:f=1 -> sizes 0 and 1 -> 2 rows;
+        # random:p -> 1 row.
+        assert len(rows) == 5
+        assert [row.campaign.fault_size for row in rows] == [1, 2, 0, 1, 0]
+
+    def test_rows_carry_scenario_metadata(self):
+        (row,) = run_scenario_suite(["hypercube:d=3/kernel/sizes:2"], samples=4, seed=1)
+        assert row.scenario == "hypercube:d=3/kernel/sizes:2"
+        assert row.scheme == "kernel"
+        assert row.nodes == 8 and row.edges == 12
+        assert len(row.fingerprint) == 64
+        assert row.campaign.bfs_strategy in ("batched", "per-source")
+        flat = row.as_row()
+        assert flat["scenario"] == row.scenario
+        assert flat["fingerprint"] == row.fingerprint[:12]
+
+    def test_same_seed_same_rows(self):
+        first = _rows(SMALL_SCENARIOS, samples=6, seed=9)
+        second = _rows(SMALL_SCENARIOS, samples=6, seed=9)
+        assert first == second
+
+    def test_different_seed_changes_sampled_batteries(self):
+        from repro.scenarios.suite import _expand_tasks
+        from repro.scenarios import as_scenarios
+
+        scenarios = as_scenarios(["circulant:n=16,offsets=1+2/kernel/sizes:3"])
+        pool = list(range(16))
+        tasks_a, _ = _expand_tasks(scenarios, 20, 1, 32, None)
+        tasks_b, _ = _expand_tasks(scenarios, 20, 2, 32, None)
+        battery_a = [fs.nodes() for task in tasks_a for fs in task.materialise(pool)]
+        battery_b = [fs.nodes() for task in tasks_b for fs in task.materialise(pool)]
+        assert len(battery_a) == len(battery_b) == 20
+        assert battery_a != battery_b
+
+    def test_exhaustive_rows_cover_all_sets(self):
+        rows = run_scenario_suite(["petersen/kernel/exhaustive:f=1"], samples=3, seed=0)
+        assert [row.campaign.samples for row in rows] == [1, 10]
+
+    def test_scenario_values_and_strings_mix(self):
+        scenario = parse_scenario("hypercube:d=3/kernel/sizes:1")
+        rows = run_scenario_suite([scenario, "petersen/kernel/sizes:1"], samples=4, seed=0)
+        assert len(rows) == 2
+
+    def test_empty_suite(self):
+        assert run_scenario_suite([], samples=5, seed=0) == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            run_scenario_suite(SMALL_SCENARIOS, samples=0)
+        with pytest.raises(ValueError):
+            run_scenario_suite(SMALL_SCENARIOS, workers=0)
+
+
+class TestBoundedSuite:
+    def test_bounded_rows_are_decisions(self):
+        rows = run_scenario_suite(
+            ["hypercube:d=3/kernel/sizes:1,2"], samples=8, seed=3, bound=4
+        )
+        for row in rows:
+            assert isinstance(row.campaign, DecisionCampaignResult)
+            assert row.campaign.bound == 4
+
+    def test_bounded_and_exact_agree_on_violations(self):
+        """Decision rows flag a violation iff the exact row exceeds the bound."""
+        specs = ["cycle:n=16/kernel/sizes:2,3"]
+        exact = run_scenario_suite(specs, samples=12, seed=5)
+        bounded = run_scenario_suite(specs, samples=12, seed=5, bound=4)
+        for exact_row, bounded_row in zip(exact, bounded):
+            assert isinstance(exact_row.campaign, CampaignResult)
+            # max_diameter tracks finite diameters only; disconnecting sets
+            # (inf) violate any finite bound too.
+            exceeded = (
+                exact_row.campaign.max_diameter > 4
+                or exact_row.campaign.disconnected_fraction > 0
+            )
+            assert bounded_row.campaign.holds == (not exceeded)
+
+
+class TestWorkerIndependence:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        spec=st.sampled_from(SMALL_SCENARIOS),
+        samples=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        bound=st.sampled_from([None, 3, 4.0]),
+        chunk_size=st.sampled_from([2, 5, 32]),
+    )
+    def test_suite_rows_identical_for_1_vs_4_workers(
+        self, spec, samples, seed, bound, chunk_size
+    ):
+        """Suite rows are a pure function of (scenarios, samples, seed, bound)."""
+        sequential = _rows(
+            [spec], samples=samples, seed=seed, bound=bound, chunk_size=chunk_size
+        )
+        parallel = _rows(
+            [spec],
+            samples=samples,
+            seed=seed,
+            bound=bound,
+            chunk_size=chunk_size,
+            workers=4,
+        )
+        assert sequential == parallel
+
+    def test_multi_scenario_suite_identical_for_1_vs_4_workers(self):
+        sequential = _rows(SMALL_SCENARIOS, samples=10, seed=11)
+        parallel = _rows(SMALL_SCENARIOS, samples=10, seed=11, workers=4)
+        assert sequential == parallel
+
+
+class TestSuiteSeedIndependence:
+    def test_repeated_sizes_draw_independent_batteries(self):
+        """sizes:2,2 must not evaluate the same battery twice (seed tags
+        include the campaign position, mirroring sweep_fault_sizes)."""
+        from repro.scenarios import as_scenarios
+        from repro.scenarios.suite import _expand_tasks
+
+        scenarios = as_scenarios(["circulant:n=16,offsets=1+2/kernel/sizes:2,2"])
+        tasks, campaigns = _expand_tasks(scenarios, 20, 0, 32, None)
+        assert len(campaigns) == 2
+        pool = list(range(16))
+        batteries = {}
+        for task in tasks:
+            batteries.setdefault(task.campaign_key, []).extend(
+                fs.nodes() for fs in task.materialise(pool)
+            )
+        first, second = batteries[(0, 0)], batteries[(0, 1)]
+        assert len(first) == len(second) == 20
+        assert first != second
+
+    def test_repeated_scenarios_draw_independent_batteries(self):
+        from repro.scenarios import as_scenarios
+        from repro.scenarios.suite import _expand_tasks
+
+        spec = "circulant:n=16,offsets=1+2/kernel/sizes:2"
+        scenarios = as_scenarios([spec, spec])
+        tasks, _ = _expand_tasks(scenarios, 20, 0, 32, None)
+        pool = list(range(16))
+        batteries = {}
+        for task in tasks:
+            batteries.setdefault(task.campaign_key, []).extend(
+                fs.nodes() for fs in task.materialise(pool)
+            )
+        assert batteries[(0, 0)] != batteries[(1, 0)]
+
+
+class TestScenarioCache:
+    def test_cache_is_bounded(self):
+        from repro.scenarios import suite as suite_module
+
+        suite_module._SCENARIO_CACHE.clear()
+        for i in range(suite_module._SCENARIO_CACHE_LIMIT + 5):
+            suite_module._cache_workload(f"spec-{i}", (None, f"fp-{i}"))
+        assert (
+            len(suite_module._SCENARIO_CACHE)
+            == suite_module._SCENARIO_CACHE_LIMIT
+        )
+        # FIFO: the oldest entries were evicted, the newest survive.
+        assert f"spec-{suite_module._SCENARIO_CACHE_LIMIT + 4}" in (
+            suite_module._SCENARIO_CACHE
+        )
+        assert "spec-0" not in suite_module._SCENARIO_CACHE
+        suite_module._SCENARIO_CACHE.clear()
+
+    def test_worker_reset_clears_cache(self):
+        from repro.scenarios import suite as suite_module
+
+        suite_module._cache_workload("spec-x", (None, "fp"))
+        suite_module._reset_worker_cache()
+        assert suite_module._SCENARIO_CACHE == {}

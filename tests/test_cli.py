@@ -154,3 +154,45 @@ class TestCommands:
         # The hypercube lacks the two-trees property; requesting bipolar fails cleanly.
         code = main(["build", "--graph", "hypercube:3", "--strategy", "bipolar-uni"])
         assert code == 2
+
+
+class TestScenarioCampaignFlags:
+    def test_scenario_rejects_graph_mode_flags(self, capsys):
+        for flags in (
+            ["--strategy", "kernel"],
+            ["--t", "2"],
+            ["--sizes", "4,5"],
+        ):
+            code = main(
+                ["campaign", "--scenario", "petersen/kernel/sizes:1", *flags]
+            )
+            assert code == 2
+            assert "has no effect with --scenario" in capsys.readouterr().err
+
+    def test_scenario_and_graph_are_exclusive(self, capsys):
+        code = main(
+            ["campaign", "--scenario", "petersen", "--graph", "cycle:12"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_scenario_campaign_runs(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--scenario", "hypercube:d=3/kernel/sizes:1",
+                "--samples", "5",
+                "--seed", "3",
+                "--bound", "6",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "hypercube:d=3/kernel/sizes:1" in output
+        assert "fingerprint" in output
+
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "fault model" in output
+        assert "hypercube" in output
