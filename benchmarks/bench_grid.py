@@ -1,0 +1,250 @@
+"""Grid-sweep benchmark: shared worker payloads + resumable result stores.
+
+Two claims are measured and enforced:
+
+1. **Shared slim-index payloads keep parallel suites correct (and cheap).**
+   The same grid suite is run with ``share_index=True`` (the parent
+   broadcasts each scenario's pre-built slim route index through the pool
+   initializer) and with ``share_index=False`` (every worker rebuilds every
+   scenario from its canonical string).  The rows must be byte-identical —
+   the payload is an optimisation, never a semantic change — and both wall
+   times are recorded so regressions in either path show up in the JSON.
+
+2. **Resumed grid campaigns recompute nothing that was stored.**  A grid
+   sweep is persisted to a JSONL result store, the store is truncated
+   mid-row (simulating a kill), and the sweep is resumed.  The gate checks
+   that (a) the resumed store is byte-identical to the uninterrupted one,
+   (b) the resumed run evaluated strictly fewer shard tasks than the full
+   run, and (c) the rendered scaling report matches exactly.
+
+Results are persisted to ``BENCH_grid.json`` at the repo root.
+
+Run directly (no pytest needed)::
+
+    python benchmarks/bench_grid.py          # full suite
+    python benchmarks/bench_grid.py --quick  # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):  # allow running as a plain script from anywhere
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.analysis import format_table, render_scaling_report
+from repro.results import ResultStore, result_frame
+from repro.scenarios import (
+    expand_grids,
+    parse_grid,
+    run_scenario_suite,
+    suite_manifest,
+)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_DEFAULT_JSON = os.path.join(_REPO_ROOT, "BENCH_grid.json")
+
+
+def _grid_workload(quick: bool):
+    """Return ``(grid_spec, samples, workers)`` for the payload gate.
+
+    Few, comparatively large scenarios: exactly the shape the shared
+    payload targets (per-worker rebuild cost dominates small batteries).
+    """
+    if quick:
+        return ("circulant:n=40..48,offsets=1+2/kernel/sizes:2", 8, 2)
+    return ("circulant:n=96..112,offsets=1+2/kernel/sizes:2,4", 24, 4)
+
+
+def _bench_shared_payload(quick: bool) -> dict:
+    grid_spec, samples, workers = _grid_workload(quick)
+    scenarios = expand_grids([grid_spec])
+
+    start = time.perf_counter()
+    shared_rows = run_scenario_suite(
+        scenarios, samples=samples, seed=11, workers=workers, share_index=True
+    )
+    shared_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rebuild_rows = run_scenario_suite(
+        scenarios, samples=samples, seed=11, workers=workers, share_index=False
+    )
+    rebuild_seconds = time.perf_counter() - start
+
+    identical = [row.as_row() for row in shared_rows] == [
+        row.as_row() for row in rebuild_rows
+    ]
+    speedup = rebuild_seconds / shared_seconds if shared_seconds else float("inf")
+    print(
+        format_table(
+            [row.as_row() for row in shared_rows],
+            caption=(
+                f"Grid suite [{grid_spec}] ({len(scenarios)} scenarios, "
+                f"workers={workers}, shared payload)"
+            ),
+        )
+    )
+    print(
+        f"\nshared payload {shared_seconds:.3f}s vs per-worker rebuild "
+        f"{rebuild_seconds:.3f}s -> {speedup:.2f}x "
+        f"(rows {'identical' if identical else 'DIVERGE'})"
+    )
+    return {
+        "grid": grid_spec,
+        "scenarios": len(scenarios),
+        "samples": samples,
+        "workers": workers,
+        "shared_s": round(shared_seconds, 4),
+        "rebuild_s": round(rebuild_seconds, 4),
+        "speedup": round(speedup, 2),
+        "rows_identical": identical,
+    }
+
+
+def _resume_workload(quick: bool):
+    if quick:
+        return ("hypercube:d=3..4/kernel/t=1..2/sizes:1-2", 6)
+    return ("hypercube:d=3..5/kernel/t=1..2/sizes:1-3", 20)
+
+
+def _bench_resume(quick: bool) -> dict:
+    grid_spec, samples = _resume_workload(quick)
+    scenarios = expand_grids([grid_spec])
+    run = suite_manifest(scenarios, samples, 7, None)
+
+    from repro.scenarios import suite as suite_module
+
+    evaluated = []
+    original_eval = suite_module._eval_suite_task
+
+    def counting_eval(task):
+        evaluated.append(task.campaign_key)
+        return original_eval(task)
+
+    suite_module._eval_suite_task = counting_eval
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "rows.jsonl")
+
+            start = time.perf_counter()
+            with ResultStore.open(path, run) as store:
+                full_rows = run_scenario_suite(
+                    scenarios, samples=samples, seed=7, store=store
+                )
+            full_seconds = time.perf_counter() - start
+            full_tasks = len(evaluated)
+            full_text = open(path).read()
+            full_report = render_scaling_report(
+                result_frame(row.record() for row in full_rows), run
+            )
+
+            # Kill simulation: keep the manifest, half the rows, and a
+            # truncated partial line.
+            lines = full_text.splitlines(keepends=True)
+            keep = 1 + (len(lines) - 1) // 2
+            with open(path, "w") as handle:
+                handle.write("".join(lines[:keep]) + lines[keep][:25])
+
+            evaluated.clear()
+            start = time.perf_counter()
+            with ResultStore.open(path, run) as store:
+                resumed_rows = run_scenario_suite(
+                    scenarios, samples=samples, seed=7, store=store
+                )
+            resume_seconds = time.perf_counter() - start
+            resume_tasks = len(evaluated)
+            resumed_text = open(path).read()
+            resumed_report = render_scaling_report(
+                result_frame(row.record() for row in resumed_rows), run
+            )
+    finally:
+        suite_module._eval_suite_task = original_eval
+
+    store_identical = resumed_text == full_text
+    report_identical = resumed_report == full_report
+    print(
+        f"\nresume gate [{grid_spec}]: full run {full_tasks} tasks "
+        f"({full_seconds:.3f}s), resumed run {resume_tasks} tasks "
+        f"({resume_seconds:.3f}s); store "
+        f"{'byte-identical' if store_identical else 'DIVERGES'}, report "
+        f"{'identical' if report_identical else 'DIVERGES'}"
+    )
+    print()
+    print(full_report)
+    return {
+        "grid": grid_spec,
+        "samples": samples,
+        "campaign_rows": len(full_rows),
+        "full_tasks": full_tasks,
+        "resumed_tasks": resume_tasks,
+        "full_s": round(full_seconds, 4),
+        "resume_s": round(resume_seconds, 4),
+        "store_byte_identical": store_identical,
+        "report_identical": report_identical,
+        "skipped_any_work": resume_tasks < full_tasks,
+    }
+
+
+def run(quick: bool, json_path: str) -> int:
+    payload = _bench_shared_payload(quick)
+    resume = _bench_resume(quick)
+
+    document = {
+        "generated_by": "benchmarks/bench_grid.py",
+        "mode": "quick" if quick else "full",
+        "shared_payload": payload,
+        "resume": resume,
+    }
+    with open(json_path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"\nresults written to {json_path}")
+
+    failures = []
+    if not payload["rows_identical"]:
+        failures.append("shared-payload rows diverge from per-worker rebuild rows")
+    if not resume["store_byte_identical"]:
+        failures.append("resumed store is not byte-identical to the full run")
+    if not resume["report_identical"]:
+        failures.append("resumed report differs from the full run's")
+    if not resume["skipped_any_work"]:
+        failures.append("resume recomputed every task (no work was skipped)")
+    if failures:
+        for failure in failures:
+            print(f"FAIL — {failure}")
+        return 1
+    print(
+        f"PASS — payload rows identical ({payload['speedup']:.2f}x), resume "
+        f"skipped {resume['full_tasks'] - resume['resumed_tasks']} of "
+        f"{resume['full_tasks']} tasks with byte-identical store + report"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small instances (CI smoke run)",
+    )
+    parser.add_argument(
+        "--json",
+        default=_DEFAULT_JSON,
+        help="path of the machine-readable results file (default: repo-root "
+        "BENCH_grid.json)",
+    )
+    args = parser.parse_args(argv)
+    return run(args.quick, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,12 @@ The package is organised as follows:
   that shards campaigns across scenarios as well as within batteries,
   rebuilding each workload deterministically in the workers (fingerprints
   verified cross-process);
+* :mod:`repro.results` — the unified columnar result store
+  (:class:`~repro.results.frame.ResultFrame` + JSONL
+  :class:`~repro.results.store.ResultStore` with run manifests): every
+  campaign, suite and experiment emits the same typed records, grid sweeps
+  resume from a stored prefix without recomputing completed rows, and the
+  reporting layer renders paper-style scaling tables straight from a store;
 * :mod:`repro.analysis` — experiment runners and report formatting used by
   the benchmark suite and the examples.
 
@@ -82,7 +88,14 @@ from repro.core import (
 )
 from repro.graphs import Graph, DiGraph
 from repro.faults import CampaignEngine, CampaignResult, DecisionCampaignResult, FaultSet
-from repro.scenarios import Scenario, parse_scenario, run_scenario_suite
+from repro.results import ResultFrame, ResultStore, result_frame
+from repro.scenarios import (
+    Scenario,
+    ScenarioGrid,
+    parse_grid,
+    parse_scenario,
+    run_scenario_suite,
+)
 
 __version__ = "1.0.0"
 
@@ -114,8 +127,13 @@ __all__ = [
     "CampaignResult",
     "DecisionCampaignResult",
     "FaultSet",
+    "ResultFrame",
+    "ResultStore",
     "Scenario",
+    "ScenarioGrid",
+    "parse_grid",
     "parse_scenario",
+    "result_frame",
     "run_scenario_suite",
     "__version__",
 ]

@@ -16,7 +16,15 @@ from repro.analysis.random_graphs import (
     sample_two_trees_probability,
     sweep_two_trees,
 )
-from repro.analysis.reporting import bullet_list, format_comparison, format_table
+from repro.analysis.reporting import (
+    bullet_list,
+    format_comparison,
+    format_table,
+    render_csv_table,
+    render_markdown_table,
+    render_scaling_report,
+    scaling_table,
+)
 
 __all__ = [
     "ExperimentRecord",
@@ -35,4 +43,8 @@ __all__ = [
     "bullet_list",
     "format_comparison",
     "format_table",
+    "render_csv_table",
+    "render_markdown_table",
+    "render_scaling_report",
+    "scaling_table",
 ]

@@ -61,6 +61,31 @@ class ExperimentRecord:
             "ok": "yes" if self.holds else "NO",
         }
 
+    def record(self) -> Dict[str, object]:
+        """Return the unified result record for this experiment.
+
+        The experiment's tolerance check is a bounded decision — "does the
+        worst fault set respect the paper's diameter bound" — so it emits a
+        ``decision`` record: ``bound`` carries the paper bound,
+        ``worst_diam`` the measured worst surviving diameter, and
+        ``violations`` whether the bound held (1 marks at least one
+        violating fault set; the early-exit scan does not count the rest).
+        """
+        return {
+            "source": "experiment",
+            "kind": "decision",
+            "family": self.graph_name,
+            "scheme": self.scheme,
+            "n": self.nodes,
+            "m": self.edges,
+            "t": self.t,
+            "faults": self.max_faults,
+            "samples": self.fault_sets_evaluated,
+            "bound": float(self.paper_bound),
+            "violations": 0 if self.holds else 1,
+            "worst_diam": float(self.measured_worst),
+        }
+
 
 class ExperimentRunner:
     """Run "construct + attack + compare" experiments and collect records.
@@ -141,6 +166,12 @@ class ExperimentRunner:
     def rows(self) -> List[Dict[str, object]]:
         """Return all records as table rows."""
         return [record.as_row() for record in self.records]
+
+    def frame(self):
+        """Return the collected records as a unified result frame."""
+        from repro.results.records import result_frame
+
+        return result_frame(record.record() for record in self.records)
 
     def all_hold(self) -> bool:
         """Return ``True`` when every recorded experiment respects its bound."""

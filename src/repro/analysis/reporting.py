@@ -1,15 +1,27 @@
-"""Plain-text table formatting for experiment reports.
+"""Table formatting and paper-style scaling reports for experiment results.
 
 The paper has no numeric tables of its own (it is a theory paper), so the
 reproduction's "tables" are the per-theorem verification tables printed by the
 benchmarks and examples.  This module renders them consistently: fixed-width
 columns, a header rule, and a caption line naming the experiment and the
 paper result it corresponds to.
+
+On top of the generic :func:`format_table`, the **scaling report** functions
+render the paper's headline artifact — fault tolerance swept across graph
+families and sizes — straight from a stored
+:class:`~repro.results.frame.ResultFrame`: rows are ``family/n``, columns
+are the fault parameter ``t``, and each cell is either the worst surviving
+diameter observed (exact campaigns) or the bound pass rate (bounded-decision
+campaigns).  Markdown and CSV renderings are deterministic functions of the
+frame and the run manifest, so a resumed campaign's report is byte-identical
+to an uninterrupted run's.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+import csv
+import io
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 
 def format_table(
@@ -60,6 +72,135 @@ def format_table(
         lines.append(caption)
     lines.extend([header, rule])
     lines.extend(body)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Scaling tables over a ResultFrame
+# ----------------------------------------------------------------------
+def _render_cell(value: object) -> str:
+    """Render one scaling-table cell (shared by markdown and CSV)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        rendered = f"{value:.3f}".rstrip("0").rstrip(".")
+        return rendered if rendered else "0"
+    return str(value)
+
+
+def scaling_table(frame) -> Tuple[List[Dict[str, object]], List[str], str]:
+    """Pivot a result frame into the paper-style scaling table.
+
+    Returns ``(rows, columns, metric)``: one row per ``(family, n)`` sorted
+    by family then size, one ``t=<k>`` column per fault parameter observed,
+    and the metric name describing the cells.  Exact-campaign frames report
+    the **worst surviving diameter** per cell (``max`` of ``worst_diam``
+    across the group's campaigns — ``inf`` marks a disconnection); frames
+    holding bounded-decision rows report the **pass rate** (``min`` of
+    ``pass_rate`` — the weakest campaign of the cell).
+    """
+    kinds = set(frame.column("kind")) if len(frame) else set()
+    decision = "decision" in kinds
+    if decision:
+        value_column, fold, metric = "pass_rate", "min", "pass rate"
+    else:
+        value_column, fold, metric = "worst_diam", "max", "worst surviving diameter"
+    pivoted, t_values = frame.pivot(("family", "n"), "t", value_column, fold)
+    pivoted.sort(
+        key=lambda row: (
+            str(row["family"]),
+            row["n"] if isinstance(row["n"], int) else -1,
+        )
+    )
+    columns = ["family", "n"] + [f"t={t}" for t in t_values]
+    rows = [
+        {
+            "family": entry["family"],
+            "n": entry["n"],
+            **{f"t={t}": entry[t] for t in t_values},
+        }
+        for entry in pivoted
+    ]
+    return rows, columns, metric
+
+
+def render_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    caption: str = "",
+) -> str:
+    """Render dict rows as a GitHub-flavoured markdown pipe table."""
+    lines: List[str] = []
+    if caption:
+        lines.extend([caption, ""])
+    if not rows:
+        lines.append("(no rows)")
+        return "\n".join(lines)
+    lines.append("| " + " | ".join(str(column) for column in columns) + " |")
+    lines.append("|" + "|".join(" --- " for _ in columns) + "|")
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(_render_cell(row.get(column)) for column in columns)
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_csv_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str]
+) -> str:
+    """Render dict rows as CSV text (header + one line per row)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow([_render_cell(row.get(column)) for column in columns])
+    return buffer.getvalue()
+
+
+def render_scaling_report(
+    frame,
+    run: Optional[Mapping[str, object]] = None,
+    fmt: str = "markdown",
+) -> str:
+    """Render the scaling report for a result frame (markdown or CSV).
+
+    ``run`` is the store's run manifest; in markdown it becomes the header
+    lines naming the swept scenarios and campaign parameters.  The output
+    is a pure function of ``(frame, run)`` — no timestamps, no environment
+    — so reports are comparable across machines and resumptions.
+    """
+    if fmt not in ("markdown", "csv"):
+        raise ValueError(f"unknown report format {fmt!r}; use markdown or csv")
+    rows, columns, metric = scaling_table(frame)
+    if fmt == "csv":
+        return render_csv_table(rows, columns)
+    lines: List[str] = ["# Scaling report", ""]
+    if run:
+        scenarios = run.get("scenarios")
+        if scenarios:
+            lines.append(f"Scenarios ({len(scenarios)}):")
+            lines.extend(f"- `{scenario}`" for scenario in scenarios)
+            lines.append("")
+        details = [
+            f"{key}={run[key]}"
+            for key in ("samples", "seed", "bound", "chunk_size")
+            if run.get(key) is not None
+        ]
+        if details:
+            lines.append("Parameters: " + ", ".join(details))
+            lines.append("")
+    lines.append(
+        f"Cells: {metric} (rows = graph family / size, columns = fault "
+        "parameter t)."
+    )
+    lines.append("")
+    lines.append(render_markdown_table(rows, columns))
+    lines.append("")
+    lines.append(f"Campaign rows: {len(frame)}")
     return "\n".join(lines)
 
 

@@ -19,8 +19,18 @@ driven without writing Python:
   runs whole scenario suites — ``--scenario`` may repeat, each spec names a
   graph family + strategy + fault model, and ``--bound`` streams pass/fail
   decisions instead of exact diameters;
+* ``python -m repro grid "hypercube:d=3..5/kernel/t=1..2/sizes:1-3" \
+  --store results.jsonl`` expands a scenario *grid* (``lo..hi`` ranges over
+  integer graph parameters and ``t``) into a suite, persists one JSONL
+  record per campaign into the result store, and — with ``--resume`` —
+  skips every campaign the store already records, so an interrupted sweep
+  picks up exactly where it was killed;
+* ``python -m repro report --store results.jsonl`` renders the paper-style
+  scaling table (rows = family/size, columns = ``t``, cells = worst
+  surviving diameter or pass rate) from a stored run, as markdown or CSV;
 * ``python -m repro graphs`` / ``python -m repro scenarios``
-  list the registered graph families and the scenario grammar.
+  list the registered graph families and the scenario/grid grammar
+  (``repro scenarios --family hyper`` filters the listing).
 
 Graph specifications come from :mod:`repro.graphs.registry` and accept both
 positional and named arguments — ``cycle:24``, ``hypercube:d=4``,
@@ -35,7 +45,7 @@ import random
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis import format_table
+from repro.analysis import format_table, render_scaling_report
 from repro.core import build_routing, verify_construction
 from repro.core.statistics import concentrator_load_share, routing_statistics
 from repro.core.builder import available_strategies
@@ -44,7 +54,15 @@ from repro.faults import CampaignEngine
 from repro.graphs.graph import Graph
 from repro.graphs.registry import GRAPH_FAMILIES, parse_graph_spec
 from repro.network import NetworkSimulator, XorEncryptionService
-from repro.scenarios import FAULT_KINDS, parse_scenario, run_scenario_suite
+from repro.results import ResultStore, result_frame
+from repro.scenarios import (
+    FAULT_KINDS,
+    expand_grids,
+    parse_grid,
+    parse_scenario,
+    run_scenario_suite,
+    suite_manifest,
+)
 from repro.serialization import construction_to_dict, save_json
 
 __all__ = [
@@ -99,35 +117,51 @@ def _cmd_graphs(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_scenarios(_args: argparse.Namespace) -> int:
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    family_filter = (getattr(args, "family", None) or "").strip().lower()
+    names = sorted(GRAPH_FAMILIES)
+    if family_filter:
+        names = [name for name in names if family_filter in name]
+        if not names:
+            raise ValueError(
+                f"no graph family matches {family_filter!r}; families: "
+                f"{sorted(GRAPH_FAMILIES)}"
+            )
+    # `names` is sorted and unique (the registry is a dict keyed by name),
+    # so the listing is too.
     rows = [
         {
             "family": name,
             "graph spec": GRAPH_FAMILIES[name].example(),
             "scenario example": f"{GRAPH_FAMILIES[name].example()}/auto/sizes:1,2,3",
         }
-        for name in sorted(GRAPH_FAMILIES)
+        for name in names
     ]
-    print(
-        format_table(
-            rows,
-            caption="Scenario specs: <graph>/<strategy>/t=<int>/<fault model>",
-        )
-    )
+    caption = "Scenario specs: <graph>/<strategy>/t=<int>/<fault model>"
+    if family_filter:
+        caption += f" (families matching {family_filter!r})"
+    print(format_table(rows, caption=caption))
     print(
         "\nsegments after the graph spec are optional and order-free:\n"
         f"  strategy     one of {available_strategies()}\n"
         "  t=<int>      fault-parameter override (default: connectivity - 1)\n"
         f"  fault model  one of {list(FAULT_KINDS)}:\n"
         "               sizes:1,2,3 | random:p=0.1 | exhaustive:f=2\n"
+        "\ngrid specs (repro grid) add inclusive integer ranges:\n"
+        "  name=lo..hi  sweeps a named integer graph parameter or t=\n"
+        "  sizes:a-b    expands to the size list a,a+1,...,b\n"
+        "  e.g. hypercube:d=3..8/kernel/t=1..3/sizes:1-5\n"
         "\nexamples:\n"
         "  repro campaign --scenario hypercube:d=4/kernel/sizes:1,2,3\n"
         "  repro campaign --scenario circulant:n=60,offsets=1+2/kernel/random:p=0.05 \\\n"
         "                 --scenario flower:t=2,k=9/circular/exhaustive:f=2 \\\n"
         "                 --bound 6 --workers 4 --seed 7\n"
+        "  repro grid 'hypercube:d=3..5/kernel/t=1..2/sizes:1-3' \\\n"
+        "             --samples 20 --store results.jsonl --resume\n"
+        "  repro report --store results.jsonl --format markdown\n"
         "\nsame seed => byte-identical rows for any --workers value and any\n"
-        "PYTHONHASHSEED (workers rebuild each scenario from its canonical\n"
-        "string and the parent verifies the routing fingerprints)."
+        "PYTHONHASHSEED (the parent broadcasts its built indexes to the pool\n"
+        "and verifies routing fingerprints on every row)."
     )
     return 0
 
@@ -301,6 +335,93 @@ def _run_scenario_campaigns(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_grid(args: argparse.Namespace) -> int:
+    """Run ``repro grid``: expand grid specs, run the suite, store + report."""
+    grids = [parse_grid(spec) for spec in args.spec]
+    scenarios = expand_grids(grids)
+    if not scenarios:
+        raise ValueError("the grid expanded to no scenarios")
+
+    run = suite_manifest(
+        scenarios, args.samples, args.seed, args.bound, args.chunk_size
+    )
+    store = None
+    if args.store:
+        if args.resume:
+            store = ResultStore.open(args.store, run)
+        else:
+            store = ResultStore.create(args.store, run)
+    elif args.resume:
+        raise ValueError("--resume needs --store (the JSONL file to resume)")
+
+    try:
+        already = len(store) if store is not None else 0
+        rows = run_scenario_suite(
+            scenarios,
+            samples=args.samples,
+            seed=args.seed,
+            bound=args.bound,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            store=store,
+        )
+    finally:
+        if store is not None:
+            store.close()
+
+    grid_note = ", ".join(grid.canonical() for grid in grids)
+    bound_note = f", bound={args.bound:g}" if args.bound is not None else ""
+    resume_note = (
+        f", resumed {already} stored rows" if args.resume and already else ""
+    )
+    print(
+        format_table(
+            [row.as_row() for row in rows],
+            caption=(
+                f"Grid sweep [{grid_note}]: {len(scenarios)} scenarios, "
+                f"{len(rows)} campaign rows ({args.samples} samples/campaign, "
+                f"workers={args.workers}, seed={args.seed}{bound_note}"
+                f"{resume_note})"
+            ),
+        )
+    )
+    if args.store:
+        print(f"\nresult store: {args.store} ({len(rows)} rows recorded)")
+
+    frame = result_frame(row.record() for row in rows)
+    report = render_scaling_report(frame, run, fmt=args.format)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"scaling report written to {args.report}")
+    else:
+        print()
+        print(report)
+
+    if args.bound is not None:
+        violated = [row for row in rows if not row.campaign.holds]
+        for row in violated:
+            print(
+                f"bound violated: {row.scenario} at |F|={row.campaign.fault_size} "
+                f"({row.campaign.violations} violations)"
+            )
+        return 1 if violated else 0
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run ``repro report``: render the scaling table from a stored run."""
+    store = ResultStore.load(args.store)
+    report = render_scaling_report(store.frame, store.run, fmt=args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"scaling report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -311,14 +432,21 @@ def build_parser() -> argparse.ArgumentParser:
         description="Fault-tolerant routings for general networks (Peleg & Simons, 1986)",
         epilog=(
             "scenario examples:\n"
-            "  repro scenarios\n"
+            "  repro scenarios --family hyper\n"
             "  repro campaign --scenario hypercube:d=4/kernel/sizes:1,2,3 --seed 7\n"
             "  repro campaign --scenario circulant:n=60,offsets=1+2/kernel/random:p=0.05 \\\n"
             "                 --scenario flower:t=2,k=9/circular/exhaustive:f=2 \\\n"
             "                 --bound 6 --workers 4\n"
+            "grid sweeps and stored reports:\n"
+            "  repro grid 'hypercube:d=3..5/kernel/t=1..2/sizes:1-3' \\\n"
+            "             --samples 20 --store results.jsonl\n"
+            "  repro grid 'hypercube:d=3..5/kernel/t=1..2/sizes:1-3' \\\n"
+            "             --samples 20 --store results.jsonl --resume\n"
+            "  repro report --store results.jsonl --format csv\n"
             "a scenario spec is <graph>/<strategy>/t=<int>/<fault model>; the\n"
             "graph spec is mandatory, the other segments are optional and\n"
-            "order-free (see `repro scenarios`)."
+            "order-free (see `repro scenarios`).  Grid specs add lo..hi ranges\n"
+            "over integer graph parameters and t=, and sizes:a-b shorthand."
         ),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
@@ -397,11 +525,96 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub_campaign.set_defaults(handler=_cmd_campaign)
 
+    sub_grid = subparsers.add_parser(
+        "grid",
+        help="run a scenario-grid sweep (resumable, with stored results)",
+        epilog=(
+            "examples:\n"
+            "  repro grid 'hypercube:d=3..5/kernel/t=1..2/sizes:1-3' --samples 20\n"
+            "  repro grid 'torus:rows=3..5,cols=4/circular' --bound 8 \\\n"
+            "             --store results.jsonl --workers 4\n"
+            "  repro grid 'hypercube:d=3..5/kernel/t=1..2/sizes:1-3' \\\n"
+            "             --store results.jsonl --resume    # skip stored rows\n"
+            "a grid spec is a scenario spec plus inclusive integer ranges:\n"
+            "name=lo..hi sweeps a named graph parameter or t=, sizes:a-b\n"
+            "expands to the size list a..b.  Every campaign row is appended\n"
+            "to --store as soon as it completes, so a killed sweep resumes\n"
+            "with --resume without recomputing finished rows."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub_grid.add_argument(
+        "spec",
+        nargs="+",
+        help="grid spec(s), e.g. hypercube:d=3..5/kernel/t=1..2/sizes:1-3",
+    )
+    sub_grid.add_argument("--samples", type=int, default=50)
+    sub_grid.add_argument("--seed", type=int, default=0)
+    sub_grid.add_argument(
+        "--bound",
+        type=float,
+        default=None,
+        help="diameter bound: stream pass/fail decisions (exit 1 on violation)",
+    )
+    sub_grid.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the evaluation"
+    )
+    sub_grid.add_argument(
+        "--chunk-size", type=int, default=32, help="fault sets per shard"
+    )
+    sub_grid.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="JSONL result store (one record per campaign row + run manifest)",
+    )
+    sub_grid.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run: skip campaigns already in --store",
+    )
+    sub_grid.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the scaling report here instead of printing it",
+    )
+    sub_grid.add_argument(
+        "--format",
+        choices=("markdown", "csv"),
+        default="markdown",
+        help="scaling-report format (default: markdown)",
+    )
+    sub_grid.set_defaults(handler=_cmd_grid)
+
+    sub_report = subparsers.add_parser(
+        "report",
+        help="render the paper-style scaling table from a stored result run",
+    )
+    sub_report.add_argument(
+        "--store", required=True, metavar="PATH", help="JSONL result store to read"
+    )
+    sub_report.add_argument(
+        "--format",
+        choices=("markdown", "csv"),
+        default="markdown",
+        help="output format (default: markdown)",
+    )
+    sub_report.add_argument(
+        "--output", default=None, metavar="PATH", help="write the report to this file"
+    )
+    sub_report.set_defaults(handler=_cmd_report)
+
     sub_graphs = subparsers.add_parser("graphs", help="list available graph families")
     sub_graphs.set_defaults(handler=_cmd_graphs)
 
     sub_scenarios = subparsers.add_parser(
-        "scenarios", help="explain the scenario grammar and list example specs"
+        "scenarios", help="explain the scenario/grid grammar and list example specs"
+    )
+    sub_scenarios.add_argument(
+        "--family",
+        default=None,
+        help="only list graph families whose name contains this substring",
     )
     sub_scenarios.set_defaults(handler=_cmd_scenarios)
 

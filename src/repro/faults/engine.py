@@ -531,6 +531,7 @@ class CampaignEngine:
         seed: RandomLike = None,
         fault_sets: Optional[Iterable[FaultSet]] = None,
         bound: Optional[float] = None,
+        frame=None,
     ) -> CampaignRow:
         """Run one campaign at ``fault_size`` and aggregate the outcomes.
 
@@ -547,6 +548,10 @@ class CampaignEngine:
         .DecisionCampaignResult` of pass/fail rows — much cheaper than exact
         evaluation when diameters exceed the bound, and all a tolerance
         table needs.
+
+        ``frame`` may name a :class:`~repro.results.frame.ResultFrame` built
+        over the unified record schema; the campaign's record is appended to
+        it (the returned view and the frame row are interconvertible).
         """
         if fault_sets is not None:
             shards = self._explicit_shards(fault_sets)
@@ -569,6 +574,8 @@ class CampaignEngine:
         else:
             result = aggregate_outcomes(fault_size, self._evaluate_shards(shards))
         result.bfs_strategy = strategy
+        if frame is not None:
+            frame.append(result.record())
         return result
 
     def sweep_fault_sizes(
@@ -577,6 +584,7 @@ class CampaignEngine:
         samples: int = 50,
         seed: RandomLike = None,
         bound: Optional[float] = None,
+        frame=None,
     ) -> List[CampaignRow]:
         """Run one campaign per fault-set size and return the results in order.
 
@@ -584,11 +592,14 @@ class CampaignEngine:
         each size's battery is independent of the others (and of the worker
         count); a shared :class:`random.Random` instance is threaded through
         sequentially as before.  ``bound`` selects the streaming-decision
-        path per campaign (see :meth:`run_campaign`).
+        path per campaign (see :meth:`run_campaign`); ``frame`` collects one
+        unified record per campaign.
         """
         if isinstance(seed, _random.Random):
             return [
-                self.run_campaign(size, samples=samples, seed=seed, bound=bound)
+                self.run_campaign(
+                    size, samples=samples, seed=seed, bound=bound, frame=frame
+                )
                 for size in sizes
             ]
         base = seed if seed is not None else _random.SystemRandom().getrandbits(64)
@@ -600,6 +611,7 @@ class CampaignEngine:
                 samples=samples,
                 seed=shard_seed(base, f"sweep:{position}", size),
                 bound=bound,
+                frame=frame,
             )
             for position, size in enumerate(sizes)
         ]

@@ -33,7 +33,14 @@ RandomLike = Union[int, _random.Random, None]
 
 @dataclasses.dataclass
 class CampaignResult:
-    """Aggregated outcome of a fault-injection campaign at one fault-set size."""
+    """Aggregated outcome of a fault-injection campaign at one fault-set size.
+
+    A thin view over one unified result record (see
+    :mod:`repro.results.records`): :meth:`record` emits the row this view
+    summarises and :meth:`from_record` reconstructs the view losslessly, so
+    campaigns persist through :class:`~repro.results.store.ResultStore`
+    without a shape of their own.
+    """
 
     fault_size: int
     samples: int
@@ -46,6 +53,25 @@ class CampaignResult:
     #: ("batched" / "per-source"); recorded by the engine so sweep tables can
     #: correlate throughput with the strategy actually exercised.
     bfs_strategy: Optional[str] = None
+    #: Realised fault-set sizes across the battery.  These equal
+    #: ``fault_size`` for fixed-size batteries but carry the real
+    #: distribution for variable-size fault models (``random:p``, explicit
+    #: batteries), whose nominal ``fault_size`` is 0.
+    faults_min: Optional[int] = None
+    faults_mean: Optional[float] = None
+    faults_max: Optional[int] = None
+
+    @property
+    def variable_fault_sizes(self) -> bool:
+        """``True`` when the battery's realised sizes differ from the nominal."""
+        return (
+            self.faults_min is not None
+            and self.faults_max is not None
+            and (
+                self.faults_min != self.faults_max
+                or self.faults_max != self.fault_size
+            )
+        )
 
     def as_row(self) -> Dict[str, object]:
         """Return the result as a flat dict (one table row)."""
@@ -57,9 +83,62 @@ class CampaignResult:
             "min_diam": self.min_diameter,
             "disconnected": round(self.disconnected_fraction, 3),
         }
+        if self.variable_fault_sizes:
+            # random:p batteries have no meaningful nominal size; show the
+            # realised min..max and the mean instead of a misleading 0.
+            row["faults"] = f"{self.faults_min}..{self.faults_max}"
+            row["mean_faults"] = round(self.faults_mean, 2)
         if self.bfs_strategy is not None:
             row["bfs"] = self.bfs_strategy
         return row
+
+    def record(self, **extra: object) -> Dict[str, object]:
+        """Return the unified result record this view summarises."""
+        from repro.results.records import encode_fault_set
+
+        record: Dict[str, object] = {
+            "source": "campaign",
+            "kind": "exact",
+            "faults": self.fault_size,
+            "samples": self.samples,
+            "faults_min": self.faults_min,
+            "faults_mean": self.faults_mean,
+            "faults_max": self.faults_max,
+            "mean_diam": self.mean_diameter,
+            "min_diam": self.min_diameter,
+            "max_diam": self.max_diameter,
+            "disconnected": self.disconnected_fraction,
+            "worst_diam": (
+                float("inf")
+                if self.disconnected_fraction > 0
+                else self.max_diameter
+            ),
+            "bfs": self.bfs_strategy,
+            "worst_faults": encode_fault_set(self.worst_fault_set),
+        }
+        record.update(extra)
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "CampaignResult":
+        """Rebuild the view from a unified result record."""
+        from repro.results.records import decode_fault_set
+
+        return cls(
+            fault_size=record["faults"],
+            samples=record["samples"],
+            mean_diameter=record["mean_diam"],
+            max_diameter=record["max_diam"],
+            min_diameter=record["min_diam"],
+            disconnected_fraction=record["disconnected"],
+            worst_fault_set=decode_fault_set(
+                record.get("worst_faults"), description="worst (from store)"
+            ),
+            bfs_strategy=record.get("bfs"),
+            faults_min=record.get("faults_min"),
+            faults_mean=record.get("faults_mean"),
+            faults_max=record.get("faults_max"),
+        )
 
 
 @dataclasses.dataclass
@@ -82,6 +161,11 @@ class DecisionCampaignResult:
     worst_diameter: float
     first_violation: Optional[FaultSet] = None
     bfs_strategy: Optional[str] = None
+    #: Realised fault-set sizes across the battery (see
+    #: :attr:`CampaignResult.faults_min`).
+    faults_min: Optional[int] = None
+    faults_mean: Optional[float] = None
+    faults_max: Optional[int] = None
 
     @property
     def holds(self) -> bool:
@@ -95,6 +179,18 @@ class DecisionCampaignResult:
             return 0.0
         return (self.samples - self.violations) / self.samples
 
+    @property
+    def variable_fault_sizes(self) -> bool:
+        """``True`` when the battery's realised sizes differ from the nominal."""
+        return (
+            self.faults_min is not None
+            and self.faults_max is not None
+            and (
+                self.faults_min != self.faults_max
+                or self.faults_max != self.fault_size
+            )
+        )
+
     def as_row(self) -> Dict[str, object]:
         """Return the result as a flat dict (one table row)."""
         row: Dict[str, object] = {
@@ -105,9 +201,55 @@ class DecisionCampaignResult:
             "pass": round(self.pass_fraction, 3),
             "violations": self.violations,
         }
+        if self.variable_fault_sizes:
+            row["faults"] = f"{self.faults_min}..{self.faults_max}"
+            row["mean_faults"] = round(self.faults_mean, 2)
         if self.bfs_strategy is not None:
             row["bfs"] = self.bfs_strategy
         return row
+
+    def record(self, **extra: object) -> Dict[str, object]:
+        """Return the unified result record this view summarises."""
+        from repro.results.records import encode_fault_set
+
+        record: Dict[str, object] = {
+            "source": "campaign",
+            "kind": "decision",
+            "faults": self.fault_size,
+            "samples": self.samples,
+            "faults_min": self.faults_min,
+            "faults_mean": self.faults_mean,
+            "faults_max": self.faults_max,
+            "bound": self.bound,
+            "violations": self.violations,
+            "pass_rate": self.pass_fraction,
+            "worst_diam": self.worst_diameter,
+            "bfs": self.bfs_strategy,
+            "worst_faults": encode_fault_set(self.first_violation),
+        }
+        record.update(extra)
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "DecisionCampaignResult":
+        """Rebuild the view from a unified result record."""
+        from repro.results.records import decode_fault_set
+
+        return cls(
+            fault_size=record["faults"],
+            samples=record["samples"],
+            bound=record["bound"],
+            violations=record["violations"],
+            worst_diameter=record["worst_diam"],
+            first_violation=decode_fault_set(
+                record.get("worst_faults"),
+                description="first violation (from store)",
+            ),
+            bfs_strategy=record.get("bfs"),
+            faults_min=record.get("faults_min"),
+            faults_mean=record.get("faults_mean"),
+            faults_max=record.get("faults_max"),
+        )
 
 
 def aggregate_outcomes(
@@ -126,8 +268,15 @@ def aggregate_outcomes(
     evaluated = 0
     worst: Optional[FaultSet] = None
     worst_diameter = float("-inf")
+    size_min: Optional[int] = None
+    size_max: Optional[int] = None
+    size_total = 0
     for fault_set, diam in outcomes:
         evaluated += 1
+        realised = len(fault_set)
+        size_min = realised if size_min is None else min(size_min, realised)
+        size_max = realised if size_max is None else max(size_max, realised)
+        size_total += realised
         if diam == float("inf"):
             disconnected += 1
         else:
@@ -147,6 +296,9 @@ def aggregate_outcomes(
         min_diameter=min(finite),
         disconnected_fraction=disconnected / evaluated,
         worst_fault_set=worst,
+        faults_min=size_min,
+        faults_mean=size_total / evaluated,
+        faults_max=size_max,
     )
 
 
@@ -166,8 +318,15 @@ def aggregate_decisions(
     violations = 0
     worst = float("-inf")
     first_violation: Optional[FaultSet] = None
+    size_min: Optional[int] = None
+    size_max: Optional[int] = None
+    size_total = 0
     for fault_set, capped in outcomes:
         evaluated += 1
+        realised = len(fault_set)
+        size_min = realised if size_min is None else min(size_min, realised)
+        size_max = realised if size_max is None else max(size_max, realised)
+        size_total += realised
         if capped > bound:
             violations += 1
             if first_violation is None:
@@ -183,6 +342,9 @@ def aggregate_decisions(
         violations=violations,
         worst_diameter=worst,
         first_violation=first_violation,
+        faults_min=size_min,
+        faults_mean=size_total / evaluated,
+        faults_max=size_max,
     )
 
 
@@ -196,6 +358,7 @@ def run_campaign(
     workers: int = 1,
     index=None,
     bound: Optional[float] = None,
+    frame=None,
 ):
     """Inject ``samples`` random fault sets of the given size and summarise.
 
@@ -220,7 +383,12 @@ def run_campaign(
 
     engine = CampaignEngine(graph, routing, workers=workers, index=index)
     return engine.run_campaign(
-        fault_size, samples=samples, seed=seed, fault_sets=fault_sets, bound=bound
+        fault_size,
+        samples=samples,
+        seed=seed,
+        fault_sets=fault_sets,
+        bound=bound,
+        frame=frame,
     )
 
 
@@ -233,12 +401,16 @@ def sweep_fault_sizes(
     workers: int = 1,
     index=None,
     bound: Optional[float] = None,
+    frame=None,
 ) -> List:
     """Run one campaign per fault-set size and return the results in order.
 
-    ``bound`` selects the streaming-decision path (see :func:`run_campaign`).
+    ``bound`` selects the streaming-decision path (see :func:`run_campaign`);
+    ``frame`` collects one unified record per campaign.
     """
     from repro.faults.engine import CampaignEngine
 
     engine = CampaignEngine(graph, routing, workers=workers, index=index)
-    return engine.sweep_fault_sizes(sizes, samples=samples, seed=seed, bound=bound)
+    return engine.sweep_fault_sizes(
+        sizes, samples=samples, seed=seed, bound=bound, frame=frame
+    )

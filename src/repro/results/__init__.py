@@ -1,0 +1,42 @@
+"""Unified columnar result store for every experiment layer.
+
+* :class:`~repro.results.frame.ResultFrame` — typed columns, append-only
+  rows, group-by / aggregate / pivot helpers;
+* :data:`~repro.results.records.RESULT_COLUMNS` — the shared experiment
+  record schema that engine campaigns, scenario suites and experiment
+  runners all emit into (the legacy result dataclasses are thin views
+  reconstructed from these records);
+* :class:`~repro.results.store.ResultStore` — JSONL persistence with a run
+  manifest and truncated-write tolerance, the substrate of resumable grid
+  campaigns (``repro grid --resume``) and stored reporting
+  (``repro report``).
+"""
+
+from repro.results.frame import AGGREGATIONS, COLUMN_KINDS, Column, ResultFrame
+from repro.results.records import (
+    RECORD_KINDS,
+    RESULT_COLUMNS,
+    decode_fault_set,
+    encode_fault_set,
+    result_frame,
+    scenario_family,
+    view_from_record,
+)
+from repro.results.store import STORE_FORMAT_VERSION, ResultStore, ResultStoreError
+
+__all__ = [
+    "AGGREGATIONS",
+    "COLUMN_KINDS",
+    "Column",
+    "RECORD_KINDS",
+    "RESULT_COLUMNS",
+    "ResultFrame",
+    "ResultStore",
+    "ResultStoreError",
+    "STORE_FORMAT_VERSION",
+    "decode_fault_set",
+    "encode_fault_set",
+    "result_frame",
+    "scenario_family",
+    "view_from_record",
+]

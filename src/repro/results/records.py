@@ -1,0 +1,115 @@
+"""The shared experiment-record schema every result producer emits.
+
+One row of the unified result store describes one *campaign aggregate*: a
+battery of fault sets evaluated against one workload.  The same columns
+cover all three historical result shapes —
+:class:`~repro.faults.simulation.CampaignResult` (exact diameters),
+:class:`~repro.faults.simulation.DecisionCampaignResult` (bounded pass/fail
+decisions) and :class:`~repro.scenarios.suite.ScenarioRow` (a campaign plus
+its scenario's construction metadata) — which are now thin views over these
+records: each exposes ``record()`` / ``from_record()`` and round-trips
+losslessly through a :class:`~repro.results.frame.ResultFrame` row and its
+JSONL persistence.
+
+Inapplicable columns are ``None`` (e.g. ``bound`` on an exact row, or
+``scenario`` on a bare engine campaign); ``kind`` discriminates the view
+class a record reconstructs into.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Tuple
+
+from repro.results.frame import Column, ResultFrame
+
+#: ``kind`` values a record may carry.
+RECORD_KINDS = ("exact", "decision")
+
+#: The unified experiment-record schema (one row per campaign aggregate).
+RESULT_COLUMNS: Tuple[Column, ...] = (
+    # Provenance: which layer produced the row.
+    Column("source", "str"),      # "campaign" | "suite" | "experiment"
+    Column("kind", "str"),        # "exact" | "decision"
+    # Workload identification (suite/grid rows; None on bare campaigns).
+    Column("scenario", "str"),    # canonical scenario string
+    Column("family", "str"),      # graph family name (scenario prefix)
+    Column("scheme", "str"),      # construction scheme actually built
+    Column("n", "int"),           # nodes
+    Column("m", "int"),           # edges
+    Column("t", "int"),           # fault parameter of the construction
+    Column("fingerprint", "str"),  # full routing fingerprint (64 hex chars)
+    # Battery shape.
+    Column("faults", "int"),      # nominal fault-set size (0 for random:p)
+    Column("samples", "int"),     # fault sets evaluated
+    # Realised fault-set sizes (differ from ``faults`` under random:p).
+    Column("faults_min", "int"),
+    Column("faults_mean", "float"),
+    Column("faults_max", "int"),
+    # Exact-campaign statistics.
+    Column("mean_diam", "float"),
+    Column("min_diam", "float"),
+    Column("max_diam", "float"),
+    Column("disconnected", "float"),
+    # Bounded-decision statistics.
+    Column("bound", "float"),
+    Column("violations", "int"),
+    Column("pass_rate", "float"),
+    # Battery-wide worst outcome, comparable across kinds: the worst
+    # surviving diameter observed, ``inf`` when any fault set disconnected
+    # the surviving graph (exact) or violated the bound (decision).
+    Column("worst_diam", "float"),
+    # Evaluation metadata.
+    Column("bfs", "str"),         # BFS strategy of the evaluating index
+    # Witness fault set (worst set / first violation), encoded with
+    # :func:`repro.serialization.encode_node` per node.
+    Column("worst_faults", "json"),
+)
+
+
+def result_frame(records: Iterable[Mapping[str, object]] = ()) -> ResultFrame:
+    """Return a new :class:`ResultFrame` over the unified schema."""
+    return ResultFrame.from_records(RESULT_COLUMNS, records)
+
+
+def scenario_family(scenario: str) -> Optional[str]:
+    """Extract the graph family name from a canonical scenario string."""
+    if not scenario:
+        return None
+    graph_spec = scenario.split("/", 1)[0]
+    return graph_spec.partition(":")[0] or None
+
+
+def encode_fault_set(fault_set) -> Optional[list]:
+    """Encode a fault set's nodes as a sorted JSON-compatible list."""
+    if fault_set is None:
+        return None
+    from repro.serialization import encode_node
+
+    return [encode_node(node) for node in sorted(fault_set, key=repr)]
+
+
+def decode_fault_set(encoded, description: str = "restored from store"):
+    """Rebuild a :class:`~repro.faults.models.FaultSet` from encoded nodes."""
+    if encoded is None:
+        return None
+    from repro.faults.models import FaultSet
+    from repro.serialization import decode_node
+
+    return FaultSet((decode_node(item) for item in encoded), description=description)
+
+
+def view_from_record(record: Mapping[str, object]):
+    """Reconstruct the typed campaign view a record was emitted from.
+
+    ``kind`` selects between :class:`~repro.faults.simulation.CampaignResult`
+    (``"exact"``) and :class:`~repro.faults.simulation
+    .DecisionCampaignResult` (``"decision"``).
+    """
+    from repro.faults.simulation import CampaignResult, DecisionCampaignResult
+
+    kind = record.get("kind")
+    if kind == "exact":
+        return CampaignResult.from_record(record)
+    if kind == "decision":
+        return DecisionCampaignResult.from_record(record)
+    raise ValueError(f"record kind {kind!r} is not one of {RECORD_KINDS}")

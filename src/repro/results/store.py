@@ -1,0 +1,254 @@
+"""JSONL persistence for result frames: run manifests and resumable stores.
+
+A :class:`ResultStore` is a :class:`~repro.results.frame.ResultFrame` bound
+to an append-only JSONL file.  The first line is the **run manifest** — the
+parameters that make the run reproducible (scenario/grid canonical strings,
+samples, seed, bound, chunk size) plus the column schema — and every later
+line is one keyed result record:
+
+.. code-block:: text
+
+    {"kind": "manifest", "format": 1, "run": {...}, "columns": [...]}
+    {"kind": "row", "key": "hypercube:d=3/kernel/t=1/sizes:1,2,3#0", "record": {...}}
+    {"kind": "row", "key": "hypercube:d=3/kernel/t=1/sizes:1,2,3#1", "record": {...}}
+
+The row ``key`` is a content address (canonical scenario string + campaign
+position), so an interrupted run can be **resumed**: reopening the store
+with the same run parameters loads every completed row, tolerates a
+truncated final line (the telltale of a killed process), and lets the
+runner skip the campaigns whose keys are already recorded — identical rows,
+no recomputation.  Reopening with *different* run parameters is an error:
+mixing rows from two different runs in one file would silently corrupt
+every table rendered from it.
+
+Because rows are appended in deterministic campaign order, a resumed file
+is byte-for-byte identical to the file an uninterrupted run writes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, IO, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+from repro.results.frame import Column, ResultFrame
+from repro.results.records import RESULT_COLUMNS
+
+#: Format identifier embedded in every manifest this module writes.
+STORE_FORMAT_VERSION = 1
+
+
+class ResultStoreError(ReproError):
+    """Raised when a result store cannot be created, read or resumed."""
+
+
+def _dump_line(document: Mapping[str, object]) -> str:
+    # ``allow_nan=True`` (the default) writes ``Infinity`` for unbounded
+    # diameters; Python's ``json.loads`` reads it back exactly.
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _manifest_document(
+    run: Mapping[str, object], columns: Sequence[Column]
+) -> Dict[str, object]:
+    return {
+        "kind": "manifest",
+        "format": STORE_FORMAT_VERSION,
+        "run": dict(run),
+        "columns": [[column.name, column.kind] for column in columns],
+    }
+
+
+class ResultStore:
+    """A result frame bound to an append-only JSONL file (see module doc).
+
+    Use the classmethods: :meth:`create` starts a fresh store (refusing to
+    clobber an existing file), :meth:`open` resumes an existing store or
+    creates a missing one, and :meth:`load` reads a finished store for
+    reporting without opening it for writes.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        run: Mapping[str, object],
+        columns: Sequence[Column] = RESULT_COLUMNS,
+    ) -> None:
+        self.path = path
+        self.run: Dict[str, object] = dict(run)
+        self.frame = ResultFrame(columns)
+        self._keys: Dict[str, int] = {}
+        self._handle: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    # Opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        run: Mapping[str, object],
+        columns: Sequence[Column] = RESULT_COLUMNS,
+    ) -> "ResultStore":
+        """Start a fresh store at ``path`` (error if the file exists)."""
+        if os.path.exists(path):
+            raise ResultStoreError(
+                f"result store {path!r} already exists; resume it or remove it"
+            )
+        store = cls(path, run, columns)
+        store._handle = open(path, "w", encoding="utf-8")
+        store._handle.write(_dump_line(_manifest_document(run, columns)) + "\n")
+        store._handle.flush()
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        run: Mapping[str, object],
+        columns: Sequence[Column] = RESULT_COLUMNS,
+    ) -> "ResultStore":
+        """Resume the store at ``path``, creating it when missing.
+
+        An existing file must carry a manifest whose run parameters equal
+        ``run`` — resuming a store written by a different run is refused.
+        A truncated final line (killed writer) is discarded; every complete
+        row is loaded and its key marked as done.
+        """
+        if not os.path.exists(path):
+            return cls.create(path, run, columns)
+        store = cls(path, run, columns)
+        keep_bytes = store._read_existing(expected_run=run)
+        # Drop a truncated trailing line before appending anything new.
+        with open(path, "r+", encoding="utf-8") as handle:
+            handle.truncate(keep_bytes)
+        store._handle = open(path, "a", encoding="utf-8")
+        return store
+
+    @classmethod
+    def load(
+        cls, path: str, columns: Sequence[Column] = RESULT_COLUMNS
+    ) -> "ResultStore":
+        """Read a store for reporting; the returned store rejects appends."""
+        if not os.path.exists(path):
+            raise ResultStoreError(f"result store {path!r} does not exist")
+        store = cls(path, run={}, columns=columns)
+        store._read_existing(expected_run=None)
+        return store
+
+    def _read_existing(self, expected_run: Optional[Mapping[str, object]]) -> int:
+        """Load manifest and rows from disk; return the clean byte length."""
+        keep = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        lines = raw.split("\n")
+        complete = lines[:-1]  # text after the final "\n" is a partial write
+        trailing = lines[-1]
+        if not complete:
+            raise ResultStoreError(
+                f"result store {self.path!r} has no complete manifest line"
+            )
+        try:
+            manifest = json.loads(complete[0])
+        except json.JSONDecodeError as exc:
+            raise ResultStoreError(
+                f"result store {self.path!r} has a corrupt manifest: {exc}"
+            ) from None
+        if manifest.get("kind") != "manifest":
+            raise ResultStoreError(
+                f"result store {self.path!r} does not start with a manifest line"
+            )
+        if manifest.get("format") != STORE_FORMAT_VERSION:
+            raise ResultStoreError(
+                f"result store {self.path!r} has format "
+                f"{manifest.get('format')!r}; this library writes "
+                f"{STORE_FORMAT_VERSION}"
+            )
+        stored_run = manifest.get("run", {})
+        if expected_run is not None:
+            expected = json.loads(_dump_line(dict(expected_run)))
+            if stored_run != expected:
+                raise ResultStoreError(
+                    f"result store {self.path!r} was written by a different "
+                    f"run: stored {stored_run!r}, requested {expected!r}; "
+                    "use a fresh store path for new parameters"
+                )
+        self.run = dict(stored_run)
+        keep += len(complete[0]) + 1
+        for position, line in enumerate(complete[1:], start=2):
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError:
+                if position == len(complete) and not trailing:
+                    # A malformed *final* complete line is still a truncated
+                    # write (the newline survived the kill); drop it too.
+                    return keep
+                raise ResultStoreError(
+                    f"result store {self.path!r} line {position} is corrupt"
+                ) from None
+            if document.get("kind") != "row":
+                raise ResultStoreError(
+                    f"result store {self.path!r} line {position} is not a row"
+                )
+            key = document.get("key")
+            if not isinstance(key, str):
+                raise ResultStoreError(
+                    f"result store {self.path!r} line {position} has no key"
+                )
+            if key in self._keys:
+                raise ResultStoreError(
+                    f"result store {self.path!r} records key {key!r} twice"
+                )
+            self._keys[key] = self.frame.append(document.get("record", {}))
+            keep += len(line) + 1
+        return keep
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.frame)
+
+    def keys(self) -> Tuple[str, ...]:
+        """Return the recorded row keys in append order."""
+        ordered = sorted(self._keys.items(), key=lambda item: item[1])
+        return tuple(key for key, _ in ordered)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def get(self, key: str) -> Dict[str, object]:
+        """Return the record stored under ``key``."""
+        return self.frame.row(self._keys[key])
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, key: str, record: Mapping[str, object]) -> None:
+        """Record one keyed row: append to the frame and persist the line."""
+        if self._handle is None:
+            raise ResultStoreError(
+                f"result store {self.path!r} is read-only (opened with load())"
+            )
+        if key in self._keys:
+            raise ResultStoreError(f"key {key!r} is already recorded")
+        index = self.frame.append(record)
+        self._keys[key] = index
+        self._handle.write(
+            _dump_line({"kind": "row", "key": key, "record": self.frame.row(index)})
+            + "\n"
+        )
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (reads keep working)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

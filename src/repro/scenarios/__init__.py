@@ -13,19 +13,36 @@ from repro.scenarios.spec import (
     DEFAULT_FAULT_MODEL,
     FAULT_KINDS,
     FaultModel,
+    Range,
     Scenario,
+    ScenarioGrid,
     as_scenarios,
+    expand_grids,
+    parse_grid,
     parse_scenario,
 )
-from repro.scenarios.suite import ScenarioRow, run_scenario_suite
+from repro.scenarios.suite import (
+    ScenarioRow,
+    campaign_row_keys,
+    run_scenario_suite,
+    suite_manifest,
+    suite_row_keys,
+)
 
 __all__ = [
     "DEFAULT_FAULT_MODEL",
     "FAULT_KINDS",
     "FaultModel",
+    "Range",
     "Scenario",
+    "ScenarioGrid",
     "ScenarioRow",
     "as_scenarios",
+    "campaign_row_keys",
+    "expand_grids",
+    "parse_grid",
     "parse_scenario",
     "run_scenario_suite",
+    "suite_manifest",
+    "suite_row_keys",
 ]

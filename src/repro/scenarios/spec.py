@@ -33,17 +33,36 @@ accepted spelling then re-canonicalising is idempotent.  Scenarios are
 hashable values — they carry no graph or routing objects, which is what
 makes them cheap to ship to campaign worker processes (workers rebuild the
 workload deterministically from the string alone).
+
+**Scenario grids** extend the same grammar with inclusive integer ranges,
+so one spec sweeps a whole family (see :class:`ScenarioGrid` /
+:func:`parse_grid`):
+
+.. code-block:: text
+
+    hypercube:d=3..8/kernel/t=1..3/sizes:1-5
+
+``lo..hi`` sweeps named integer graph parameters and ``t``; ``sizes:a-b``
+expands to the size list ``a,a+1,...,b`` within each scenario.  Every plain
+scenario string is a one-scenario grid.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional, Tuple, Union
+import itertools
+import re
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.builder import STRATEGIES, build_routing
 from repro.core.construction import ConstructionResult
 from repro.graphs.graph import Graph
-from repro.graphs.registry import canonical_graph_spec, parse_graph_spec
+from repro.graphs.registry import (
+    GRAPH_FAMILIES,
+    canonical_graph_spec,
+    family_by_name,
+    parse_graph_spec,
+)
 
 #: Fault-model kinds understood by the scenario grammar.
 FAULT_KINDS = ("sizes", "random", "exhaustive")
@@ -243,4 +262,339 @@ def as_scenarios(specs: Iterable[Union[str, Scenario]]) -> List[Scenario]:
     scenarios: List[Scenario] = []
     for spec in specs:
         scenarios.append(spec if isinstance(spec, Scenario) else parse_scenario(spec))
+    return scenarios
+
+
+# ----------------------------------------------------------------------
+# Scenario grids: one spec sweeping whole parameter ranges
+# ----------------------------------------------------------------------
+#: ``lo..hi`` integer range token (both endpoints mandatory and integral).
+_RANGE_RE = re.compile(r"^(-?\d+)\.\.(-?\d+)$")
+#: ``lo-hi`` shorthand inside ``sizes:`` lists (sizes are non-negative).
+_SIZES_RANGE_RE = re.compile(r"^(\d+)-(\d+)$")
+
+
+@dataclasses.dataclass(frozen=True)
+class Range:
+    """An inclusive integer sweep axis ``lo..hi`` of a scenario grid.
+
+    Always a genuine sweep: single-point ranges (``3..3``) collapse to plain
+    values at parse time, so ``lo < hi`` holds for every stored range.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo >= self.hi:
+            raise ValueError(
+                f"range {self.lo}..{self.hi} is not ascending; single values "
+                "should be written plainly"
+            )
+
+    def values(self) -> Tuple[int, ...]:
+        """Return the swept values in ascending order."""
+        return tuple(range(self.lo, self.hi + 1))
+
+    def canonical(self) -> str:
+        return f"{self.lo}..{self.hi}"
+
+
+def _parse_range_token(raw: str, context: str) -> Tuple[int, int]:
+    """Parse one ``lo..hi`` token, rejecting malformed and reversed forms."""
+    match = _RANGE_RE.match(raw)
+    if match is None:
+        raise ValueError(
+            f"{context} has a malformed range {raw!r}; expected lo..hi with "
+            "two integers (e.g. 3..8)"
+        )
+    lo, hi = int(match.group(1)), int(match.group(2))
+    if lo > hi:
+        raise ValueError(
+            f"{context} has a reversed range {raw!r}; write {hi}..{lo}"
+        )
+    return lo, hi
+
+
+def _range_or_value(raw: str, context: str) -> Union[int, Range]:
+    lo, hi = _parse_range_token(raw, context)
+    return lo if lo == hi else Range(lo, hi)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioGrid:
+    """A rectangular sweep of scenarios in one spec string.
+
+    The grid grammar is the scenario grammar plus inclusive integer ranges:
+
+    .. code-block:: text
+
+        hypercube:d=3..8/kernel/t=1..3/sizes:1-5
+        circulant:n=16..24,offsets=1+2/kernel/random:p=0.1
+        torus:rows=3..5,cols=4/circular/t=2
+
+    ``lo..hi`` sweeps any named integer graph parameter and the fault
+    parameter ``t``; ``sizes:a-b`` is list shorthand expanding to
+    ``sizes:a,a+1,...,b`` *within* each scenario (fault-set sizes are rows
+    of one campaign table, not separate grid cells).  A spec without any
+    range is a one-scenario grid, so every valid scenario string is also a
+    valid grid string.
+
+    :meth:`scenarios` expands the axes in declared parameter order with
+    ``t`` varying fastest; the expansion is a pure function of the canonical
+    grid string, which is what makes grid campaigns resumable (row keys are
+    stable across runs).
+    """
+
+    family: str
+    #: Every family parameter in declared order; swept parameters hold a
+    #: :class:`Range`, fixed ones their concrete value.
+    graph_values: Tuple[Tuple[str, object], ...]
+    strategy: str = "auto"
+    t: Union[None, int, Range] = None
+    faults: FaultModel = DEFAULT_FAULT_MODEL
+
+    def axes(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """Return the sweep axes as ``(label, values)`` in expansion order."""
+        axes: List[Tuple[str, Tuple[int, ...]]] = []
+        for name, value in self.graph_values:
+            if isinstance(value, Range):
+                axes.append((name, value.values()))
+        if isinstance(self.t, Range):
+            axes.append(("t", self.t.values()))
+        return axes
+
+    def __len__(self) -> int:
+        total = 1
+        for _, values in self.axes():
+            total *= len(values)
+        return total
+
+    def scenarios(self) -> List[Scenario]:
+        """Expand the grid into its scenario list (deterministic order)."""
+        family = GRAPH_FAMILIES[self.family]
+        graph_axes = [
+            (name, value.values())
+            for name, value in self.graph_values
+            if isinstance(value, Range)
+        ]
+        fixed = {
+            name: value
+            for name, value in self.graph_values
+            if not isinstance(value, Range)
+        }
+        t_values: Tuple[Union[None, int], ...]
+        if isinstance(self.t, Range):
+            t_values = self.t.values()
+        else:
+            t_values = (self.t,)
+        scenarios: List[Scenario] = []
+        for combo in itertools.product(*(values for _, values in graph_axes)):
+            values = dict(fixed)
+            values.update(
+                {name: value for (name, _), value in zip(graph_axes, combo)}
+            )
+            spec = family.canonical(values)
+            for t in t_values:
+                scenarios.append(
+                    Scenario(
+                        graph_spec=spec,
+                        strategy=self.strategy,
+                        t=t,
+                        faults=self.faults,
+                    )
+                )
+        return scenarios
+
+    def canonical(self) -> str:
+        """Return the canonical grid string (idempotent under re-parsing)."""
+        family = GRAPH_FAMILIES[self.family]
+        if family.params:
+            by_name = {param.name: param for param in family.params}
+            rendered = ",".join(
+                f"{name}="
+                + (
+                    value.canonical()
+                    if isinstance(value, Range)
+                    else by_name[name].format(value)
+                )
+                for name, value in self.graph_values
+            )
+            graph = f"{self.family}:{rendered}"
+        else:
+            graph = self.family
+        segments = [graph, self.strategy]
+        if self.t is not None:
+            rendered_t = (
+                self.t.canonical() if isinstance(self.t, Range) else str(self.t)
+            )
+            segments.append(f"t={rendered_t}")
+        segments.append(self.faults.canonical())
+        return "/".join(segments)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.canonical()
+
+
+def _parse_grid_graph_segment(
+    segment: str,
+) -> Tuple[str, Tuple[Tuple[str, object], ...]]:
+    """Parse the graph segment of a grid spec, extracting range axes."""
+    name, _, argument_text = segment.partition(":")
+    family = family_by_name(name.strip().lower())
+    tokens = argument_text.split(",") if argument_text else []
+    ranges: Dict[str, Union[int, Range]] = {}
+    base_tokens: List[str] = []
+    for token in tokens:
+        stripped = token.strip()
+        if ".." in stripped:
+            key, equals, raw = stripped.partition("=")
+            key = key.strip()
+            if not equals or ".." in key:
+                raise ValueError(
+                    f"range token {stripped!r} must use the named form "
+                    "key=lo..hi (e.g. d=3..8)"
+                )
+            value = _range_or_value(
+                raw.strip(), context=f"parameter {key!r} of {family.name!r}"
+            )
+            ranges[key] = value
+            # Substitute the low endpoint so the family parser validates the
+            # parameter name, kind and duplicate use exactly as usual.
+            low = value.lo if isinstance(value, Range) else value
+            base_tokens.append(f"{key}={low}")
+        else:
+            base_tokens.append(token)
+    try:
+        values = family.parse_arguments(base_tokens)
+    except (ValueError, TypeError) as exc:
+        raise ValueError(
+            f"invalid arguments for graph family {family.name!r}: {exc}"
+        ) from exc
+    by_name = {param.name: param for param in family.params}
+    for key in ranges:
+        if by_name[key].kind != "int":
+            raise ValueError(
+                f"parameter {key!r} of {family.name!r} is "
+                f"{by_name[key].kind}; only integer parameters can be swept"
+            )
+    graph_values = tuple(
+        (param.name, ranges.get(param.name, values[param.name]))
+        for param in family.params
+    )
+    return family.name, graph_values
+
+
+def _parse_grid_fault_model(segment: str) -> FaultModel:
+    """Parse a fault-model segment, expanding ``sizes:a-b`` shorthand."""
+    kind = segment.partition(":")[0].strip().lower()
+    if kind != "sizes":
+        return FaultModel.parse(segment)
+    sizes: List[int] = []
+    for token in segment.partition(":")[2].split(","):
+        token = token.strip()
+        if not token:
+            continue
+        match = _SIZES_RANGE_RE.match(token)
+        if match is not None:
+            lo, hi = int(match.group(1)), int(match.group(2))
+            if lo > hi:
+                raise ValueError(
+                    f"sizes range {token!r} is reversed; write {hi}-{lo}"
+                )
+            sizes.extend(range(lo, hi + 1))
+            continue
+        try:
+            sizes.append(int(token))
+        except ValueError:
+            raise ValueError(
+                f"fault model 'sizes' expects integers or lo-hi ranges, "
+                f"got {token!r}"
+            ) from None
+    return FaultModel("sizes", sizes=tuple(sizes))
+
+
+def parse_grid(text: str) -> ScenarioGrid:
+    """Parse a scenario-grid string (see :class:`ScenarioGrid` for the grammar).
+
+    Accepts every plain scenario string (a one-scenario grid) plus
+    ``lo..hi`` ranges on named integer graph parameters and on ``t``, and
+    ``a-b`` shorthand inside ``sizes:`` lists.  Like :func:`parse_scenario`,
+    the graph segment comes first and the strategy / ``t=`` / fault-model
+    segments are recognised by shape in any order.
+    """
+    segments = [segment.strip() for segment in text.strip().split("/")]
+    if not segments or not segments[0]:
+        raise ValueError("grid spec is empty; expected at least a graph spec")
+    family, graph_values = _parse_grid_graph_segment(segments[0])
+    strategy: Optional[str] = None
+    t: Union[None, int, Range] = None
+    faults: Optional[FaultModel] = None
+    for segment in segments[1:]:
+        if not segment:
+            raise ValueError(f"empty segment in grid spec {text!r}")
+        head = segment.partition(":")[0].strip().lower()
+        if segment.startswith("t=") or segment.startswith("t "):
+            if t is not None:
+                raise ValueError(f"duplicate t= segment in {text!r}")
+            raw = segment.partition("=")[2].strip()
+            if ".." in raw:
+                t = _range_or_value(raw, context="t")
+                low = t.lo if isinstance(t, Range) else t
+                if low < 0:
+                    raise ValueError("fault parameter t must be non-negative")
+            else:
+                try:
+                    t = int(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"t= expects an integer or lo..hi range, got {raw!r}"
+                    ) from None
+            continue
+        if head in FAULT_KINDS:
+            if faults is not None:
+                raise ValueError(f"duplicate fault-model segment in {text!r}")
+            faults = _parse_grid_fault_model(segment)
+            continue
+        if segment == "auto" or segment in STRATEGIES:
+            if strategy is not None:
+                raise ValueError(f"duplicate strategy segment in {text!r}")
+            strategy = segment
+            continue
+        raise ValueError(
+            f"unrecognised grid segment {segment!r}; expected a strategy "
+            f"({sorted(STRATEGIES) + ['auto']}), t=<int|lo..hi>, or a fault "
+            f"model ({'/'.join(FAULT_KINDS)})"
+        )
+    grid = ScenarioGrid(
+        family=family,
+        graph_values=graph_values,
+        strategy=strategy if strategy is not None else "auto",
+        t=t,
+        faults=faults if faults is not None else DEFAULT_FAULT_MODEL,
+    )
+    # Validate every concrete scenario eagerly (t >= 0, strategy known, the
+    # graph spec canonicalises) so malformed grids fail at parse time, not
+    # mid-campaign.
+    if isinstance(t, int) and t < 0:
+        raise ValueError("fault parameter t must be non-negative")
+    if grid.strategy != "auto" and grid.strategy not in STRATEGIES:
+        raise ValueError(f"unknown routing strategy {grid.strategy!r}")
+    return grid
+
+
+def expand_grids(specs: Iterable[Union[str, Scenario, ScenarioGrid]]) -> List[Scenario]:
+    """Expand a mixed iterable of grid/scenario specs into one scenario list.
+
+    Order is preserved: each grid contributes its scenarios in expansion
+    order, at its position in the input.
+    """
+    scenarios: List[Scenario] = []
+    for spec in specs:
+        if isinstance(spec, Scenario):
+            scenarios.append(spec)
+        elif isinstance(spec, ScenarioGrid):
+            scenarios.extend(spec.scenarios())
+        else:
+            scenarios.extend(parse_grid(spec).scenarios())
     return scenarios

@@ -15,18 +15,27 @@ count and any ``PYTHONHASHSEED``:
 1. tasks are a pure function of the scenario list, ``samples``, ``seed`` and
    ``chunk_size`` — never of the worker count — and results are folded in
    task order;
-2. workers receive only the canonical scenario string and a tiny shard
-   descriptor: they rebuild the graph, routing and index locally (the
-   construction pipeline is bit-for-bit deterministic) and regenerate their
-   battery slice from per-shard SHA-256 seeds;
-3. every worker reports the fingerprint of the routing it rebuilt, and the
-   parent verifies it against its own construction — a corrupted or
-   nondeterministic rebuild fails loudly instead of silently skewing rows.
+2. workers regenerate their battery slice locally from per-shard SHA-256
+   seeds; the parent builds each scenario exactly once and broadcasts the
+   slim route indexes through the pool initializer (one payload per worker
+   process, as the engine's pools do).  With ``share_index=False`` workers
+   instead rebuild graph, routing and index from the canonical scenario
+   string alone (the construction pipeline is bit-for-bit deterministic);
+3. every worker reports the fingerprint of the routing it used, and the
+   parent verifies it against its own construction — under
+   ``share_index=False`` this is a genuine cross-process determinism check
+   that fails loudly instead of silently skewing rows.
 
 With ``bound`` given the suite runs *bounded-decision* campaigns: fault sets
 are evaluated with an eccentricity cap (``surviving_diameter_at_most``
 semantics) and rows report pass/fail statistics instead of exact diameters
 — the cheap path for paper-style "does the guarantee hold at scale" tables.
+
+With a ``store`` attached (a :class:`~repro.results.store.ResultStore`
+opened against :func:`suite_manifest`), every finished campaign row is
+persisted the moment it completes and already-recorded campaigns are
+skipped on the next run — the substrate of resumable ``repro grid``
+campaigns.
 """
 
 from __future__ import annotations
@@ -107,7 +116,15 @@ class _SuiteTask:
 
 @dataclasses.dataclass
 class ScenarioRow:
-    """One suite row: a scenario, its construction metadata, and a campaign."""
+    """One suite row: a scenario, its construction metadata, and a campaign.
+
+    Like the campaign views it wraps, a :class:`ScenarioRow` is a thin view
+    over one unified result record (:mod:`repro.results.records`):
+    :meth:`record` emits the row the suite persists through
+    :class:`~repro.results.store.ResultStore`, and :meth:`from_record`
+    reconstructs the view — which is how resumed grid campaigns rehydrate
+    their completed rows without recomputing them.
+    """
 
     scenario: str
     scheme: str
@@ -130,6 +147,36 @@ class ScenarioRow:
         row["fingerprint"] = self.fingerprint[:12]
         return row
 
+    def record(self) -> Dict[str, object]:
+        """Return the unified result record for this row."""
+        from repro.results.records import scenario_family
+
+        return self.campaign.record(
+            source="suite",
+            scenario=self.scenario,
+            family=scenario_family(self.scenario),
+            scheme=self.scheme,
+            n=self.nodes,
+            m=self.edges,
+            t=self.t,
+            fingerprint=self.fingerprint,
+        )
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "ScenarioRow":
+        """Rebuild the row (and its campaign view) from a stored record."""
+        from repro.results.records import view_from_record
+
+        return cls(
+            scenario=record["scenario"],
+            scheme=record["scheme"],
+            nodes=record["n"],
+            edges=record["m"],
+            t=record["t"],
+            fingerprint=record["fingerprint"],
+            campaign=view_from_record(record),
+        )
+
 
 # ----------------------------------------------------------------------
 # Worker-side scenario cache
@@ -150,6 +197,24 @@ _SCENARIO_CACHE_LIMIT = 8
 def _reset_worker_cache() -> None:
     """Pool initializer: force workers to rebuild scenarios from scratch."""
     _SCENARIO_CACHE.clear()
+
+
+def _init_suite_worker(payload: Optional[Dict[str, Tuple[RouteIndex, str]]]) -> None:
+    """Pool initializer: seed each worker with the parent's slim indexes.
+
+    ``payload`` maps canonical scenario strings to ``(RouteIndex.slim(),
+    fingerprint)`` pairs built once in the parent — the same broadcast
+    :class:`~repro.faults.engine.CampaignEngine` pools use — so workers
+    skip the per-process scenario rebuild entirely.  With ``payload=None``
+    (``share_index=False``) workers fall back to rebuilding every scenario
+    from its canonical string, which is what makes the parent's fingerprint
+    verification a genuine cross-process determinism check.
+    """
+    _reset_worker_cache()
+    if payload:
+        # Insert directly (no FIFO eviction): the payload is the complete,
+        # read-only working set for this suite run.
+        _SCENARIO_CACHE.update(payload)
 
 
 def _cache_workload(spec: str, value: Tuple[RouteIndex, str]) -> None:
@@ -220,7 +285,8 @@ def _expand_tasks(
     seed: int,
     chunk_size: int,
     bound: Optional[float],
-    node_counts: Optional[Sequence[int]] = None,
+    node_counts: Optional[Sequence[Optional[int]]] = None,
+    skip: Iterable[Tuple[int, int]] = (),
 ) -> Tuple[List[_SuiteTask], List[Tuple[Tuple[int, int], int]]]:
     """Flatten the suite into shard tasks plus per-campaign metadata.
 
@@ -230,7 +296,15 @@ def _expand_tasks(
     so distinct scenarios — and repeated scenarios or repeated fault sizes
     within one — always draw independent batteries under one suite seed
     (mirroring ``CampaignEngine.sweep_fault_sizes``).
+
+    Campaign keys in ``skip`` (already recorded in a resumed result store)
+    stay in ``campaigns`` — the row order is that of an uninterrupted run —
+    but contribute no shard tasks: their rows are rehydrated from the store
+    instead of recomputed.  Because task seeds depend only on positions and
+    canonical strings, the surviving tasks are exactly the ones the
+    uninterrupted run would have evaluated.
     """
+    skipped = set(skip)
     tasks: List[_SuiteTask] = []
     campaigns: List[Tuple[Tuple[int, int], int]] = []
     for scenario_index, scenario in enumerate(scenarios):
@@ -241,6 +315,8 @@ def _expand_tasks(
         ):
             campaign_key = (scenario_index, plan_index)
             campaigns.append((campaign_key, fault_size))
+            if campaign_key in skipped:
+                continue
             tag = (
                 f"{scenario_index}.{plan_index}|{spec}|{mode}|size={fault_size}"
             )
@@ -263,6 +339,65 @@ def _expand_tasks(
 
 
 # ----------------------------------------------------------------------
+# Store keys and manifests
+# ----------------------------------------------------------------------
+def campaign_row_keys(scenario: Scenario, occurrence: int = 0) -> List[str]:
+    """Return a scenario's store row keys, one per campaign, in plan order.
+
+    The key is a content address — the canonical scenario string plus the
+    campaign's plan position — so it is identical across runs, which is what
+    lets a resumed store recognise completed rows.  ``occurrence``
+    disambiguates repeated scenarios within one suite (each repeat draws an
+    independent battery and therefore records distinct rows).
+    """
+    model = scenario.faults
+    if model.kind == "sizes":
+        count = len(model.sizes)
+    elif model.kind == "random":
+        count = 1
+    else:
+        count = model.max_faults + 1
+    spec = scenario.canonical()
+    suffix = f"@{occurrence}" if occurrence else ""
+    return [f"{spec}#{plan_index}{suffix}" for plan_index in range(count)]
+
+
+def suite_row_keys(scenarios: Sequence[Scenario]) -> List[List[str]]:
+    """Return the row keys of every scenario, disambiguating repeats."""
+    occurrences: Dict[str, int] = {}
+    keys: List[List[str]] = []
+    for scenario in scenarios:
+        spec = scenario.canonical()
+        occurrence = occurrences.get(spec, 0)
+        occurrences[spec] = occurrence + 1
+        keys.append(campaign_row_keys(scenario, occurrence))
+    return keys
+
+
+def suite_manifest(
+    scenarios: Iterable[Union[str, Scenario]],
+    samples: int,
+    seed: int,
+    bound: Optional[float] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Dict[str, object]:
+    """Return the result-store run manifest for a suite invocation.
+
+    Two invocations produce the same rows iff they share this manifest,
+    which is exactly the condition :meth:`~repro.results.store.ResultStore
+    .open` enforces before resuming.
+    """
+    return {
+        "experiment": "scenario-suite",
+        "scenarios": [s.canonical() for s in as_scenarios(scenarios)],
+        "samples": samples,
+        "seed": seed,
+        "bound": bound,
+        "chunk_size": chunk_size,
+    }
+
+
+# ----------------------------------------------------------------------
 # The suite entry point
 # ----------------------------------------------------------------------
 def run_scenario_suite(
@@ -272,6 +407,8 @@ def run_scenario_suite(
     bound: Optional[float] = None,
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    store=None,
+    share_index: bool = True,
 ) -> List[ScenarioRow]:
     """Run campaigns for every scenario and return one row per campaign.
 
@@ -294,12 +431,30 @@ def run_scenario_suite(
         pool, so cross-scenario parallelism comes for free.
     chunk_size:
         Fault sets per shard (also the streaming granularity).
+    store:
+        Optional :class:`~repro.results.store.ResultStore` opened with the
+        matching :func:`suite_manifest`.  Every finished campaign row is
+        appended to it the moment its last shard folds, and campaigns whose
+        keys the store already records are **not recomputed**: their rows
+        are rehydrated from the stored records, scenarios with no work left
+        are not even rebuilt, and the returned row list is identical to an
+        uninterrupted run's.
+    share_index:
+        Ship each built scenario's slim route index to the worker pool
+        through the initializer (one payload per worker process, as
+        :class:`~repro.faults.engine.CampaignEngine` pools do) instead of
+        letting every worker rebuild every scenario.  Set to ``False`` to
+        restore the rebuild-and-verify behaviour, which turns the parent's
+        fingerprint comparison into a genuine cross-process determinism
+        check.
 
     Raises
     ------
     RuntimeError
-        If a worker's rebuilt routing fingerprint disagrees with the
-        parent's — i.e. the construction pipeline went nondeterministic.
+        If a worker's routing fingerprint disagrees with the parent's (with
+        ``share_index=False``: the construction pipeline went
+        nondeterministic), or if a resumed store's rows were recorded
+        against a different routing than the one this run builds.
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
@@ -309,23 +464,73 @@ def run_scenario_suite(
     if not scenario_list:
         return []
 
-    # Parent-side builds: row metadata + the reference fingerprints that
-    # worker rebuilds are verified against.  The sequential path shares the
-    # worker-side cache, so each scenario is built exactly once in-process.
-    built: List[Tuple[Scenario, ConstructionResult, int, int, str]] = []
-    for scenario in scenario_list:
+    # Resume bookkeeping: a campaign is complete when its content-addressed
+    # key is already recorded in the store.
+    keys = suite_row_keys(scenario_list)
+    completed: set = set()
+    if store is not None:
+        for scenario_index, scenario_keys in enumerate(keys):
+            for plan_index, key in enumerate(scenario_keys):
+                if key in store:
+                    completed.add((scenario_index, plan_index))
+
+    # Parent-side builds: row metadata + the reference fingerprints worker
+    # results are verified against.  Scenarios whose campaigns are all
+    # already stored are skipped outright — resuming a finished scenario
+    # costs no construction at all.  The sequential path shares the
+    # worker-side cache, so each scenario is built exactly once in-process;
+    # only the *slim* index (when a sharing pool will need it) outlives the
+    # loop, so the suite never holds every full index at once.
+    built: Dict[int, Tuple[Scenario, ConstructionResult, int, int, str]] = {}
+    payload: Optional[Dict[str, Tuple[RouteIndex, str]]] = (
+        {} if workers > 1 and share_index else None
+    )
+    for scenario_index, scenario in enumerate(scenario_list):
+        if all(
+            (scenario_index, plan_index) in completed
+            for plan_index in range(len(keys[scenario_index]))
+        ):
+            continue
         graph, result = scenario.build()
         index = RouteIndex(graph, result.routing)
         _cache_workload(scenario.canonical(), (index, result.fingerprint()))
-        built.append(
-            (
-                scenario,
-                result,
-                graph.number_of_nodes(),
-                graph.number_of_edges(),
-                index.preferred_strategy(),
-            )
+        if payload is not None:
+            payload[scenario.canonical()] = (index.slim(), result.fingerprint())
+        built[scenario_index] = (
+            scenario,
+            result,
+            graph.number_of_nodes(),
+            graph.number_of_edges(),
+            index.preferred_strategy(),
         )
+
+    # A partially-complete scenario is rebuilt for its remaining campaigns;
+    # its stored rows must have been recorded against the same routing.
+    if store is not None:
+        for scenario_index, plan_index in sorted(completed):
+            if scenario_index not in built:
+                continue
+            stored = store.get(keys[scenario_index][plan_index])
+            reference = built[scenario_index][1].fingerprint()
+            if stored.get("fingerprint") != reference:
+                raise RuntimeError(
+                    f"stored row {keys[scenario_index][plan_index]!r} was "
+                    f"recorded against fingerprint "
+                    f"{str(stored.get('fingerprint'))[:12]}... but this run "
+                    f"built {reference[:12]}...; the store belongs to a "
+                    "different construction"
+                )
+
+    # Node counts feed exhaustive-model plan sizing: from the fresh build
+    # when there is one, otherwise from the stored rows.
+    node_counts: List[Optional[int]] = []
+    for scenario_index in range(len(scenario_list)):
+        if scenario_index in built:
+            node_counts.append(built[scenario_index][2])
+        elif store is not None and keys[scenario_index]:
+            node_counts.append(store.get(keys[scenario_index][0]).get("n"))
+        else:
+            node_counts.append(None)
 
     tasks, campaigns = _expand_tasks(
         scenario_list,
@@ -333,55 +538,85 @@ def run_scenario_suite(
         seed,
         chunk_size,
         bound,
-        node_counts=[entry[2] for entry in built],
+        node_counts=node_counts,
+        skip=completed,
     )
+    fault_sizes = dict(campaigns)
 
-    # Drain the shard tasks — one pool for the whole suite — and fold the
-    # outcomes per campaign in deterministic task order.  The pool
-    # initializer clears the inherited scenario cache, so workers really do
-    # rebuild every workload from its canonical string (that rebuild is
-    # what the fingerprint verification below checks).
-    outcome_lists: Dict[Tuple[int, int], List] = {}
-    if workers == 1:
-        results_iter = map(_eval_suite_task, tasks)
-    else:
-        import multiprocessing
+    # Fold the streamed outcomes per campaign in deterministic task order.
+    # Tasks of one campaign are contiguous, so a campaign is finished the
+    # moment the first task of the next one arrives — at which point its
+    # row is aggregated and (when a store is attached) persisted, keeping
+    # the store valid for resumption at every instant of the run.
+    computed: Dict[Tuple[int, int], ScenarioRow] = {}
 
-        pool = multiprocessing.Pool(workers, initializer=_reset_worker_cache)
-        try:
-            results_iter = list(pool.imap(_eval_suite_task, tasks))
-        finally:
+    def _finalise(campaign_key: Tuple[int, int], outcomes: List) -> None:
+        scenario, result, nodes, edges, strategy = built[campaign_key[0]]
+        if bound is not None:
+            campaign: CampaignRow = aggregate_decisions(
+                fault_sizes[campaign_key], bound, outcomes
+            )
+        else:
+            campaign = aggregate_outcomes(fault_sizes[campaign_key], outcomes)
+        campaign.bfs_strategy = strategy
+        row = ScenarioRow(
+            scenario=scenario.canonical(),
+            scheme=result.scheme,
+            nodes=nodes,
+            edges=edges,
+            t=result.t,
+            fingerprint=result.fingerprint(),
+            campaign=campaign,
+        )
+        computed[campaign_key] = row
+        if store is not None:
+            store.append(keys[campaign_key[0]][campaign_key[1]], row.record())
+
+    pool = None
+    try:
+        if workers == 1:
+            results_iter = map(_eval_suite_task, tasks)
+        else:
+            import multiprocessing
+
+            pool = multiprocessing.Pool(
+                workers, initializer=_init_suite_worker, initargs=(payload,)
+            )
+            results_iter = pool.imap(_eval_suite_task, tasks)
+        current_key: Optional[Tuple[int, int]] = None
+        current_outcomes: List = []
+        for (campaign_key, fingerprint, outcomes), task in zip(results_iter, tasks):
+            reference = built[campaign_key[0]][1].fingerprint()
+            if fingerprint != reference:
+                raise RuntimeError(
+                    f"worker rebuilt scenario {task.spec!r} with fingerprint "
+                    f"{fingerprint[:12]}... but the parent built "
+                    f"{reference[:12]}...; the construction pipeline is "
+                    "nondeterministic"
+                )
+            if campaign_key != current_key:
+                if current_key is not None:
+                    _finalise(current_key, current_outcomes)
+                current_key = campaign_key
+                current_outcomes = []
+            current_outcomes.extend(outcomes)
+        if current_key is not None:
+            _finalise(current_key, current_outcomes)
+    finally:
+        if pool is not None:
             pool.terminate()
             pool.join()
-    for (campaign_key, fingerprint, outcomes), task in zip(results_iter, tasks):
-        reference = built[campaign_key[0]][1].fingerprint()
-        if fingerprint != reference:
-            raise RuntimeError(
-                f"worker rebuilt scenario {task.spec!r} with fingerprint "
-                f"{fingerprint[:12]}... but the parent built "
-                f"{reference[:12]}...; the construction pipeline is "
-                "nondeterministic"
-            )
-        outcome_lists.setdefault(campaign_key, []).extend(outcomes)
 
+    # Assemble the rows in campaign order: stored rows for completed
+    # campaigns, freshly computed rows for the rest.
     rows: List[ScenarioRow] = []
-    for campaign_key, fault_size in campaigns:
-        scenario, result, nodes, edges, strategy = built[campaign_key[0]]
-        outcomes = outcome_lists.get(campaign_key, [])
-        if bound is not None:
-            campaign: CampaignRow = aggregate_decisions(fault_size, bound, outcomes)
-        else:
-            campaign = aggregate_outcomes(fault_size, outcomes)
-        campaign.bfs_strategy = strategy
-        rows.append(
-            ScenarioRow(
-                scenario=scenario.canonical(),
-                scheme=result.scheme,
-                nodes=nodes,
-                edges=edges,
-                t=result.t,
-                fingerprint=result.fingerprint(),
-                campaign=campaign,
+    for campaign_key, _fault_size in campaigns:
+        if campaign_key in completed:
+            rows.append(
+                ScenarioRow.from_record(
+                    store.get(keys[campaign_key[0]][campaign_key[1]])
+                )
             )
-        )
+        else:
+            rows.append(computed[campaign_key])
     return rows

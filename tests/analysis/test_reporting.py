@@ -1,6 +1,17 @@
 """Unit tests for the report formatting helpers."""
 
-from repro.analysis import bullet_list, format_comparison, format_table
+import pytest
+
+from repro.analysis import (
+    bullet_list,
+    format_comparison,
+    format_table,
+    render_csv_table,
+    render_markdown_table,
+    render_scaling_report,
+    scaling_table,
+)
+from repro.results import result_frame
 
 
 class TestFormatTable:
@@ -43,6 +54,115 @@ class TestFormatTable:
         rows = [{"name": "x", "value": 123456}]
         lines = format_table(rows).splitlines()
         assert len(lines[0]) == len(lines[1])
+
+
+def _exact_frame():
+    return result_frame(
+        [
+            {"kind": "exact", "family": "hypercube", "n": 8, "t": 1, "worst_diam": 3.0},
+            {"kind": "exact", "family": "hypercube", "n": 8, "t": 2, "worst_diam": 4.0},
+            {"kind": "exact", "family": "hypercube", "n": 16, "t": 1, "worst_diam": 4.0},
+            {"kind": "exact", "family": "torus", "n": 12, "t": 1, "worst_diam": 6.0},
+            # Two campaigns in one cell: the table keeps the worst.
+            {"kind": "exact", "family": "torus", "n": 12, "t": 1, "worst_diam": 7.0},
+        ]
+    )
+
+
+def _decision_frame():
+    return result_frame(
+        [
+            {"kind": "decision", "family": "hypercube", "n": 8, "t": 1, "pass_rate": 1.0},
+            {"kind": "decision", "family": "hypercube", "n": 8, "t": 1, "pass_rate": 0.9},
+            {"kind": "decision", "family": "hypercube", "n": 16, "t": 2, "pass_rate": 0.5},
+        ]
+    )
+
+
+class TestScalingTable:
+    def test_exact_frame_pivots_worst_diameter(self):
+        rows, columns, metric = scaling_table(_exact_frame())
+        assert metric == "worst surviving diameter"
+        assert columns == ["family", "n", "t=1", "t=2"]
+        # Sorted by family then size; cells fold with max.
+        assert rows[0] == {"family": "hypercube", "n": 8, "t=1": 3.0, "t=2": 4.0}
+        assert rows[1] == {"family": "hypercube", "n": 16, "t=1": 4.0, "t=2": None}
+        assert rows[2] == {"family": "torus", "n": 12, "t=1": 7.0, "t=2": None}
+
+    def test_decision_frame_pivots_weakest_pass_rate(self):
+        rows, columns, metric = scaling_table(_decision_frame())
+        assert metric == "pass rate"
+        assert rows[0]["t=1"] == 0.9  # min across the cell's campaigns
+        assert rows[1]["t=2"] == 0.5
+
+    def test_empty_frame(self):
+        rows, columns, metric = scaling_table(result_frame())
+        assert rows == []
+        assert columns == ["family", "n"]
+
+
+class TestRenderers:
+    def test_markdown_table_shape(self):
+        rows, columns, _ = scaling_table(_exact_frame())
+        text = render_markdown_table(rows, columns, caption="Scaling")
+        lines = text.splitlines()
+        assert lines[0] == "Scaling"
+        assert lines[2].startswith("| family | n | t=1 | t=2 |")
+        assert set(lines[3].replace("|", "").split()) == {"---"}
+        assert "| hypercube | 8 | 3 | 4 |" in text
+        assert "| torus | 12 | 7 | - |" in text  # empty cell
+
+    def test_markdown_no_rows(self):
+        assert "(no rows)" in render_markdown_table([], ["a"])
+
+    def test_csv_table(self):
+        rows, columns, _ = scaling_table(_exact_frame())
+        text = render_csv_table(rows, columns)
+        lines = text.splitlines()
+        assert lines[0] == "family,n,t=1,t=2"
+        assert "torus,12,7,-" in lines
+
+    def test_scaling_report_markdown_is_deterministic(self):
+        run = {"scenarios": ["hypercube:d=3/kernel/sizes:1"], "samples": 4, "seed": 7}
+        first = render_scaling_report(_exact_frame(), run)
+        second = render_scaling_report(_exact_frame(), run)
+        assert first == second
+        assert first.startswith("# Scaling report")
+        assert "samples=4" in first
+        assert "worst surviving diameter" in first
+
+    def test_scaling_report_csv_format(self):
+        text = render_scaling_report(_exact_frame(), fmt="csv")
+        assert text.splitlines()[0] == "family,n,t=1,t=2"
+
+    def test_scaling_report_unknown_format(self):
+        with pytest.raises(ValueError):
+            render_scaling_report(_exact_frame(), fmt="html")
+
+    def test_infinite_cells_render_as_inf(self):
+        frame = result_frame(
+            [{"kind": "exact", "family": "x", "n": 4, "t": 1,
+              "worst_diam": float("inf")}]
+        )
+        rows, columns, _ = scaling_table(frame)
+        assert "| inf |" in render_markdown_table(rows, columns)
+
+
+class TestExperimentFrame:
+    def test_experiment_records_fit_the_frame(self):
+        from repro.analysis import ExperimentRunner
+        from repro.core import build_routing
+        from repro.graphs import generators
+
+        runner = ExperimentRunner(seed=0)
+        runner.run("E-test", generators.hypercube_graph(3), build_routing)
+        frame = runner.frame()
+        assert len(frame) == 1
+        row = frame.row(0)
+        assert row["source"] == "experiment"
+        assert row["kind"] == "decision"
+        assert row["violations"] == 0  # the construction holds
+        assert row["worst_diam"] <= row["bound"]
 
 
 class TestOtherFormatters:

@@ -92,6 +92,94 @@ class TestRunCampaign:
         assert campaign.worst_fault_set.description == "first"
 
 
+class TestRealisedFaultSizes:
+    def test_fixed_size_battery_records_constant_sizes(self, routing_under_test):
+        graph, result = routing_under_test
+        campaign = run_campaign(graph, result.routing, 2, samples=10, seed=1)
+        assert campaign.faults_min == campaign.faults_max == 2
+        assert campaign.faults_mean == 2.0
+        assert not campaign.variable_fault_sizes
+
+    def test_variable_battery_surfaces_min_mean_max(self, routing_under_test):
+        graph, result = routing_under_test
+        campaign = run_campaign(
+            graph,
+            result.routing,
+            fault_size=0,
+            fault_sets=[FaultSet(()), FaultSet({0}), FaultSet({1, 5, 7})],
+        )
+        assert campaign.faults_min == 0
+        assert campaign.faults_max == 3
+        assert campaign.faults_mean == pytest.approx(4 / 3)
+        assert campaign.variable_fault_sizes
+        row = campaign.as_row()
+        assert row["faults"] == "0..3"
+        assert row["mean_faults"] == round(campaign.faults_mean, 2)
+
+
+class TestRecordRoundTrip:
+    def test_campaign_result_round_trips(self, routing_under_test):
+        graph, result = routing_under_test
+        campaign = run_campaign(graph, result.routing, 2, samples=10, seed=3)
+        from repro.faults import CampaignResult
+
+        record = campaign.record()
+        assert record["kind"] == "exact"
+        restored = CampaignResult.from_record(record)
+        assert restored == campaign
+
+    def test_decision_result_round_trips(self, routing_under_test):
+        graph, result = routing_under_test
+        campaign = run_campaign(
+            graph, result.routing, 2, samples=10, seed=3, bound=4
+        )
+        from repro.faults import DecisionCampaignResult
+
+        record = campaign.record()
+        assert record["kind"] == "decision"
+        assert record["pass_rate"] == campaign.pass_fraction
+        restored = DecisionCampaignResult.from_record(record)
+        assert restored == campaign
+
+    def test_worst_fault_set_survives_the_round_trip(self, routing_under_test):
+        graph, result = routing_under_test
+        campaign = run_campaign(graph, result.routing, 2, samples=10, seed=5)
+        from repro.faults import CampaignResult
+
+        restored = CampaignResult.from_record(campaign.record())
+        assert restored.worst_fault_set == campaign.worst_fault_set
+
+    def test_disconnection_marks_worst_diam_infinite(self, routing_under_test):
+        graph, result = routing_under_test
+        isolating = FaultSet(set(graph.neighbors(3)))
+        campaign = run_campaign(
+            graph, result.routing, 4, fault_sets=[FaultSet({0}), isolating]
+        )
+        assert campaign.record()["worst_diam"] == float("inf")
+
+    def test_run_campaign_emits_into_frame(self, routing_under_test):
+        graph, result = routing_under_test
+        from repro.results import result_frame
+
+        frame = result_frame()
+        campaign = run_campaign(
+            graph, result.routing, 1, samples=5, seed=2, frame=frame
+        )
+        assert len(frame) == 1
+        assert frame.row(0)["samples"] == campaign.samples
+        assert frame.row(0)["source"] == "campaign"
+
+    def test_sweep_emits_one_record_per_size(self, routing_under_test):
+        graph, result = routing_under_test
+        from repro.results import result_frame
+
+        frame = result_frame()
+        sweep_fault_sizes(
+            graph, result.routing, sizes=[0, 1, 2], samples=5, seed=0, frame=frame
+        )
+        assert frame.column("faults") == (0, 1, 2)
+
+
 class TestSweep:
     def test_sweep_sizes(self, routing_under_test):
         graph, result = routing_under_test

@@ -1,0 +1,170 @@
+"""Unit tests for the columnar ResultFrame."""
+
+import pytest
+
+from repro.results import Column, ResultFrame, result_frame
+from repro.results.records import RESULT_COLUMNS, scenario_family
+
+COLUMNS = (
+    Column("family", "str"),
+    Column("n", "int"),
+    Column("t", "int"),
+    Column("diam", "float"),
+    Column("ok", "bool"),
+    Column("extra", "json"),
+)
+
+
+def make_frame(rows=()):
+    frame = ResultFrame(COLUMNS)
+    frame.extend(rows)
+    return frame
+
+
+class TestFrameBasics:
+    def test_empty_frame(self):
+        frame = make_frame()
+        assert len(frame) == 0
+        assert frame.rows() == []
+        assert frame.column_names == ("family", "n", "t", "diam", "ok", "extra")
+
+    def test_append_fills_missing_with_none(self):
+        frame = make_frame()
+        index = frame.append({"family": "cycle", "n": 12})
+        assert index == 0
+        row = frame.row(0)
+        assert row["family"] == "cycle"
+        assert row["t"] is None
+        assert row["extra"] is None
+
+    def test_append_rejects_unknown_columns(self):
+        frame = make_frame()
+        with pytest.raises(ValueError, match="not in the frame"):
+            frame.append({"family": "cycle", "bogus": 1})
+
+    def test_int_column_coerces_and_validates(self):
+        frame = make_frame()
+        frame.append({"n": 5})
+        assert frame.column("n") == (5,)
+        with pytest.raises(TypeError):
+            frame.append({"n": "five"})
+        with pytest.raises(TypeError):
+            frame.append({"n": 5.0})
+        with pytest.raises(TypeError):
+            frame.append({"n": True})  # bools are not ints here
+
+    def test_float_column_accepts_ints_and_inf(self):
+        frame = make_frame()
+        frame.append({"diam": 3})
+        frame.append({"diam": float("inf")})
+        assert frame.column("diam") == (3.0, float("inf"))
+        with pytest.raises(TypeError):
+            frame.append({"diam": "3"})
+
+    def test_str_and_bool_columns(self):
+        frame = make_frame()
+        frame.append({"family": "torus", "ok": True})
+        with pytest.raises(TypeError):
+            frame.append({"family": 3})
+        with pytest.raises(TypeError):
+            frame.append({"ok": 1})
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(ValueError):
+            ResultFrame((Column("a", "int"), Column("a", "str")))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Column("x", "complex")
+
+    def test_unknown_column_read_raises(self):
+        frame = make_frame()
+        with pytest.raises(KeyError):
+            frame.column("bogus")
+
+    def test_rows_preserve_append_order(self):
+        frame = make_frame(
+            [{"family": "a", "n": 1}, {"family": "b", "n": 2}]
+        )
+        assert [row["family"] for row in frame] == ["a", "b"]
+
+
+class TestRelationalHelpers:
+    def setup_method(self):
+        self.frame = make_frame(
+            [
+                {"family": "hypercube", "n": 8, "t": 1, "diam": 3.0},
+                {"family": "hypercube", "n": 8, "t": 2, "diam": 4.0},
+                {"family": "hypercube", "n": 16, "t": 1, "diam": 4.0},
+                {"family": "torus", "n": 16, "t": 1, "diam": 6.0},
+                {"family": "torus", "n": 16, "t": 1, "diam": 5.0},
+            ]
+        )
+
+    def test_where_equality(self):
+        sub = self.frame.where(family="torus")
+        assert len(sub) == 2
+        assert set(sub.column("diam")) == {5.0, 6.0}
+
+    def test_where_predicate_and_equality_combined(self):
+        sub = self.frame.where(lambda row: row["diam"] >= 4, family="hypercube")
+        assert len(sub) == 2
+
+    def test_where_unknown_column(self):
+        with pytest.raises(KeyError):
+            self.frame.where(bogus=1)
+
+    def test_distinct(self):
+        assert self.frame.distinct("family") == [("hypercube",), ("torus",)]
+        assert self.frame.distinct("family", "n") == [
+            ("hypercube", 8),
+            ("hypercube", 16),
+            ("torus", 16),
+        ]
+
+    def test_group_by(self):
+        groups = dict(self.frame.group_by("family"))
+        assert len(groups[("hypercube",)]) == 3
+        assert len(groups[("torus",)]) == 2
+
+    def test_aggregate_named_functions(self):
+        rows = self.frame.aggregate(
+            ["family"], worst=("diam", "max"), count=("diam", "count")
+        )
+        assert rows == [
+            {"family": "hypercube", "worst": 4.0, "count": 3},
+            {"family": "torus", "worst": 6.0, "count": 2},
+        ]
+
+    def test_aggregate_callable(self):
+        rows = self.frame.aggregate(["family"], span=("diam", lambda v: max(v) - min(v)))
+        assert rows[0]["span"] == 1.0
+
+    def test_aggregate_unknown_aggregation(self):
+        with pytest.raises(ValueError):
+            self.frame.aggregate(["family"], x=("diam", "median"))
+
+    def test_aggregate_skips_none_values(self):
+        frame = make_frame([{"family": "a", "diam": None}, {"family": "a", "diam": 2.0}])
+        rows = frame.aggregate(["family"], worst=("diam", "max"))
+        assert rows == [{"family": "a", "worst": 2.0}]
+
+    def test_pivot_shape(self):
+        rows, columns = self.frame.pivot(("family", "n"), "t", "diam", "max")
+        assert columns == [1, 2]
+        assert rows[0] == {"family": "hypercube", "n": 8, 1: 3.0, 2: 4.0}
+        # torus has no t=2 rows -> empty cell.
+        torus = [row for row in rows if row["family"] == "torus"][0]
+        assert torus[2] is None
+        assert torus[1] == 6.0
+
+
+class TestUnifiedSchema:
+    def test_result_frame_uses_shared_columns(self):
+        frame = result_frame()
+        assert frame.columns == RESULT_COLUMNS
+
+    def test_scenario_family(self):
+        assert scenario_family("hypercube:d=3/kernel/sizes:1") == "hypercube"
+        assert scenario_family("petersen/kernel/sizes:1") == "petersen"
+        assert scenario_family("") is None

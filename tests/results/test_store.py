@@ -1,0 +1,141 @@
+"""Unit tests for the JSONL result store (manifest, resume, truncation)."""
+
+import json
+
+import pytest
+
+from repro.results import Column, ResultStore, ResultStoreError
+
+COLUMNS = (
+    Column("name", "str"),
+    Column("value", "float"),
+)
+
+RUN = {"experiment": "unit", "seed": 7}
+
+
+def make_store(path):
+    return ResultStore.create(str(path), RUN, COLUMNS)
+
+
+class TestCreate:
+    def test_create_writes_manifest_first(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": 1.0})
+        lines = path.read_text().splitlines()
+        manifest = json.loads(lines[0])
+        assert manifest["kind"] == "manifest"
+        assert manifest["run"] == RUN
+        assert manifest["columns"] == [["name", "str"], ["value", "float"]]
+        row = json.loads(lines[1])
+        assert row["kind"] == "row"
+        assert row["key"] == "a"
+        assert row["record"] == {"name": "a", "value": 1.0}
+
+    def test_create_refuses_existing_file(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_text("whatever\n")
+        with pytest.raises(ResultStoreError, match="already exists"):
+            make_store(path)
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        with make_store(tmp_path / "out.jsonl") as store:
+            store.append("a", {"name": "a"})
+            with pytest.raises(ResultStoreError, match="already recorded"):
+                store.append("a", {"name": "a"})
+
+    def test_infinity_round_trips(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": float("inf")})
+        loaded = ResultStore.load(str(path), COLUMNS)
+        assert loaded.get("a")["value"] == float("inf")
+
+
+class TestOpenResume:
+    def test_open_creates_missing_file(self, tmp_path):
+        path = tmp_path / "fresh.jsonl"
+        with ResultStore.open(str(path), RUN, COLUMNS) as store:
+            assert len(store) == 0
+        assert path.exists()
+
+    def test_open_loads_existing_rows(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": 1.0})
+            store.append("b", {"name": "b", "value": 2.0})
+        with ResultStore.open(str(path), RUN, COLUMNS) as resumed:
+            assert len(resumed) == 2
+            assert "a" in resumed and "b" in resumed
+            assert resumed.keys() == ("a", "b")
+            assert resumed.get("b")["value"] == 2.0
+            resumed.append("c", {"name": "c", "value": 3.0})
+        assert len(ResultStore.load(str(path), COLUMNS)) == 3
+
+    def test_open_rejects_different_run(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        make_store(path).close()
+        with pytest.raises(ResultStoreError, match="different .*run"):
+            ResultStore.open(str(path), {"experiment": "unit", "seed": 8}, COLUMNS)
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": 1.0})
+            store.append("b", {"name": "b", "value": 2.0})
+        # Simulate a kill mid-write: chop the final line in half.
+        text = path.read_text()
+        lines = text.splitlines(keepends=True)
+        path.write_text(lines[0] + lines[1] + lines[2][: len(lines[2]) // 2])
+        with ResultStore.open(str(path), RUN, COLUMNS) as resumed:
+            assert resumed.keys() == ("a",)
+            resumed.append("b", {"name": "b", "value": 2.0})
+        # The repaired file is byte-identical to the uninterrupted one.
+        assert path.read_text() == text
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a"})
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0] + "\n{broken\n" + lines[1] + "\n")
+        with pytest.raises(ResultStoreError, match="corrupt"):
+            ResultStore.open(str(path), RUN, COLUMNS)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_text('{"kind":"row","key":"a","record":{}}\n')
+        with pytest.raises(ResultStoreError, match="manifest"):
+            ResultStore.open(str(path), RUN, COLUMNS)
+
+    def test_duplicate_stored_keys_raise(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a"})
+        line = path.read_text().splitlines()[1]
+        with open(path, "a") as handle:
+            handle.write(line + "\n")
+        with pytest.raises(ResultStoreError, match="twice"):
+            ResultStore.open(str(path), RUN, COLUMNS)
+
+
+class TestLoad:
+    def test_load_reads_run_and_rows(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": 1.5})
+        loaded = ResultStore.load(str(path), COLUMNS)
+        assert loaded.run == RUN
+        assert loaded.frame.column("value") == (1.5,)
+
+    def test_load_is_read_only(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        make_store(path).close()
+        loaded = ResultStore.load(str(path), COLUMNS)
+        with pytest.raises(ResultStoreError, match="read-only"):
+            loaded.append("x", {"name": "x"})
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ResultStoreError, match="does not exist"):
+            ResultStore.load(str(tmp_path / "nope.jsonl"), COLUMNS)

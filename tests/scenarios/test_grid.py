@@ -1,0 +1,174 @@
+"""Grid-spec parsing: ranges, edge cases, canonical round-tripping, expansion."""
+
+import pytest
+
+from repro.scenarios import (
+    Range,
+    ScenarioGrid,
+    expand_grids,
+    parse_grid,
+    parse_scenario,
+)
+
+
+class TestRangeParsing:
+    def test_simple_grid(self):
+        grid = parse_grid("hypercube:d=3..5/kernel/t=1..2/sizes:1-3")
+        assert grid.family == "hypercube"
+        assert dict(grid.graph_values)["d"] == Range(3, 5)
+        assert grid.t == Range(1, 2)
+        assert grid.faults.sizes == (1, 2, 3)
+        assert len(grid) == 6
+
+    def test_plain_scenario_is_one_point_grid(self):
+        grid = parse_grid("hypercube:d=4/kernel/sizes:1,2")
+        assert len(grid) == 1
+        (scenario,) = grid.scenarios()
+        assert scenario == parse_scenario("hypercube:d=4/kernel/sizes:1,2")
+
+    def test_single_point_range_collapses(self):
+        grid = parse_grid("hypercube:d=3..3/kernel/t=2..2")
+        assert dict(grid.graph_values)["d"] == 3
+        assert grid.t == 2
+        assert len(grid) == 1
+        assert grid.canonical() == "hypercube:d=3/kernel/t=2/sizes:1,2,3"
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(ValueError, match="reversed"):
+            parse_grid("hypercube:d=5..3/kernel")
+        with pytest.raises(ValueError, match="reversed"):
+            parse_grid("hypercube:d=3/kernel/t=4..2")
+        with pytest.raises(ValueError, match="reversed"):
+            parse_grid("hypercube:d=3/kernel/sizes:5-3")
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "hypercube:d=3../kernel",
+            "hypercube:d=..5/kernel",
+            "hypercube:d=3...5/kernel",
+            "hypercube:d=3..x/kernel",
+            "hypercube:d=../kernel",
+            "hypercube:d=3/kernel/t=1..",
+            "hypercube:d=3/kernel/t=..2",
+        ],
+    )
+    def test_malformed_range_forms_rejected(self, spec):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_grid(spec)
+
+    def test_positional_range_rejected(self):
+        with pytest.raises(ValueError, match="named form"):
+            parse_grid("hypercube:3..5/kernel")
+
+    def test_range_on_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            parse_grid("hypercube:q=3..5/kernel")
+
+    def test_range_on_float_parameter_rejected(self):
+        # gnp's p is a float: sweeping it with an int range must fail loudly
+        # rather than produce a nonsense axis.
+        with pytest.raises(ValueError, match="malformed|only integer"):
+            parse_grid("gnp:p=0.1..0.5/kernel")
+
+    def test_duplicate_range_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            parse_grid("hypercube:d=3..4,d=5..6/kernel")
+
+    def test_range_constructor_requires_ascending(self):
+        with pytest.raises(ValueError):
+            Range(4, 4)
+        with pytest.raises(ValueError):
+            Range(5, 3)
+
+    def test_sizes_mixed_list_and_range(self):
+        grid = parse_grid("petersen/kernel/sizes:1,3-5")
+        assert grid.faults.sizes == (1, 3, 4, 5)
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            parse_grid("hypercube:d=3/t=-1")
+
+    def test_empty_grid_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_grid("  ")
+
+
+class TestCanonicalRoundTrip:
+    SPECS = [
+        "hypercube:d=3..5/kernel/t=1..2/sizes:1-3",
+        "hypercube:d=3..8/kernel",
+        "circulant:n=12..16,offsets=1+2/kernel/random:p=0.1",
+        "torus:rows=3..4,cols=4/circular",
+        "petersen/kernel/exhaustive:f=2",
+        "hypercube:d=4/auto/sizes:2",
+    ]
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_parse_canonical_round_trip(self, spec):
+        grid = parse_grid(spec)
+        again = parse_grid(grid.canonical())
+        assert again == grid
+        assert again.canonical() == grid.canonical()
+
+    def test_canonical_preserves_ranges(self):
+        grid = parse_grid("hypercube:d=3..5/kernel/t=1..2/sizes:1-3")
+        assert grid.canonical() == "hypercube:d=3..5/kernel/t=1..2/sizes:1,2,3"
+
+    def test_one_point_grid_canonical_matches_scenario(self):
+        spec = "hypercube:d=4/kernel/t=2/sizes:1,2"
+        assert parse_grid(spec).canonical() == parse_scenario(spec).canonical()
+
+
+class TestExpansion:
+    def test_expansion_order_t_varies_fastest(self):
+        grid = parse_grid("hypercube:d=3..4/kernel/t=1..2/sizes:1")
+        assert [s.canonical() for s in grid.scenarios()] == [
+            "hypercube:d=3/kernel/t=1/sizes:1",
+            "hypercube:d=3/kernel/t=2/sizes:1",
+            "hypercube:d=4/kernel/t=1/sizes:1",
+            "hypercube:d=4/kernel/t=2/sizes:1",
+        ]
+
+    def test_multi_parameter_product(self):
+        grid = parse_grid("torus:rows=3..4,cols=4..5/circular")
+        specs = [s.graph_spec for s in grid.scenarios()]
+        assert specs == [
+            "torus:rows=3,cols=4",
+            "torus:rows=3,cols=5",
+            "torus:rows=4,cols=4",
+            "torus:rows=4,cols=5",
+        ]
+
+    def test_axes_listing(self):
+        grid = parse_grid("hypercube:d=3..5/kernel/t=1..2")
+        assert grid.axes() == [("d", (3, 4, 5)), ("t", (1, 2))]
+
+    def test_expand_grids_mixes_grids_and_scenarios(self):
+        scenarios = expand_grids(
+            [
+                "hypercube:d=3..4/kernel/sizes:1",
+                parse_scenario("petersen/kernel/sizes:1"),
+                parse_grid("cycle:n=10/kernel/sizes:1"),
+            ]
+        )
+        assert [s.canonical() for s in scenarios] == [
+            "hypercube:d=3/kernel/sizes:1",
+            "hypercube:d=4/kernel/sizes:1",
+            "petersen/kernel/sizes:1",
+            "cycle:n=10/kernel/sizes:1",
+        ]
+
+    def test_grid_scenarios_build(self):
+        grid = parse_grid("hypercube:d=3..4/kernel/t=1..2/sizes:1")
+        for scenario in grid.scenarios():
+            graph, result = scenario.build()
+            assert result.t == scenario.t
+            assert graph.number_of_nodes() in (8, 16)
+
+    def test_grid_is_hashable_value(self):
+        a = parse_grid("hypercube:d=3..5/kernel")
+        b = parse_grid("hypercube:d=3..5/kernel/sizes:1,2,3")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert isinstance(a, ScenarioGrid)

@@ -174,6 +174,181 @@ class TestSuiteSeedIndependence:
         assert batteries[(0, 0)] != batteries[(1, 0)]
 
 
+class TestRecordRoundTrip:
+    def test_scenario_rows_round_trip_through_records(self):
+        for bound in (None, 4):
+            rows = run_scenario_suite(SMALL_SCENARIOS, samples=5, seed=2, bound=bound)
+            for row in rows:
+                from repro.scenarios import ScenarioRow
+
+                restored = ScenarioRow.from_record(row.record())
+                assert restored.as_row() == row.as_row()
+                assert restored.fingerprint == row.fingerprint
+                assert restored.campaign.samples == row.campaign.samples
+
+    def test_records_fit_the_unified_frame(self):
+        from repro.results import result_frame
+
+        rows = run_scenario_suite(SMALL_SCENARIOS, samples=5, seed=2)
+        frame = result_frame(row.record() for row in rows)
+        assert len(frame) == len(rows)
+        assert set(frame.column("source")) == {"suite"}
+        assert all(fp is not None for fp in frame.column("fingerprint"))
+
+
+class TestRealisedFaultSizes:
+    def test_random_p_rows_surface_realised_sizes(self):
+        (row,) = run_scenario_suite(
+            ["circulant:n=12,offsets=1+2/kernel/random:p=0.3"], samples=20, seed=4
+        )
+        campaign = row.campaign
+        assert campaign.fault_size == 0  # nominal
+        assert campaign.faults_max >= 1  # p=0.3 over 12 nodes, 20 samples
+        assert campaign.faults_min <= campaign.faults_mean <= campaign.faults_max
+        flat = row.as_row()
+        assert flat["faults"] == f"{campaign.faults_min}..{campaign.faults_max}"
+        assert flat["mean_faults"] == round(campaign.faults_mean, 2)
+
+    def test_fixed_size_rows_keep_plain_faults_column(self):
+        (row,) = run_scenario_suite(["hypercube:d=3/kernel/sizes:2"], samples=5, seed=0)
+        assert row.campaign.faults_min == row.campaign.faults_max == 2
+        assert row.as_row()["faults"] == 2
+        assert "mean_faults" not in row.as_row()
+
+
+class TestSuiteStoreResume:
+    def _store(self, tmp_path, scenarios, samples, seed, bound=None):
+        from repro.results import ResultStore
+        from repro.scenarios import suite_manifest
+
+        run = suite_manifest(scenarios, samples, seed, bound)
+        return ResultStore.open(str(tmp_path / "rows.jsonl"), run)
+
+    def test_store_records_one_row_per_campaign(self, tmp_path):
+        with self._store(tmp_path, SMALL_SCENARIOS, 6, 0) as store:
+            rows = run_scenario_suite(SMALL_SCENARIOS, samples=6, seed=0, store=store)
+            assert len(store) == len(rows) == 5
+
+    def test_full_store_short_circuits_everything(self, tmp_path, monkeypatch):
+        with self._store(tmp_path, SMALL_SCENARIOS, 6, 0) as store:
+            expected = run_scenario_suite(SMALL_SCENARIOS, samples=6, seed=0, store=store)
+        # Re-running against the complete store must not evaluate any task
+        # nor build any scenario.
+        from repro.scenarios import suite as suite_module
+
+        def fail_eval(task):  # pragma: no cover - must not run
+            raise AssertionError("task evaluated during a fully-resumed run")
+
+        monkeypatch.setattr(suite_module, "_eval_suite_task", fail_eval)
+        build_calls = []
+        original_build = suite_module.Scenario.build
+        monkeypatch.setattr(
+            suite_module.Scenario,
+            "build",
+            lambda self: build_calls.append(self) or original_build(self),
+        )
+        with self._store(tmp_path, SMALL_SCENARIOS, 6, 0) as store:
+            resumed = run_scenario_suite(SMALL_SCENARIOS, samples=6, seed=0, store=store)
+        assert build_calls == []
+        assert [row.as_row() for row in resumed] == [row.as_row() for row in expected]
+
+    def test_partial_store_recomputes_only_missing_rows(self, tmp_path, monkeypatch):
+        from repro.results import ResultStore
+        from repro.scenarios import suite_manifest
+
+        expected = run_scenario_suite(SMALL_SCENARIOS, samples=6, seed=0)
+        path = tmp_path / "rows.jsonl"
+        run = suite_manifest(SMALL_SCENARIOS, 6, 0, None)
+        with ResultStore.open(str(path), run) as store:
+            rows = run_scenario_suite(SMALL_SCENARIOS, samples=6, seed=0, store=store)
+        full_text = path.read_text()
+        # Keep the manifest plus the first two rows: simulates a kill after
+        # two campaigns finished.
+        lines = full_text.splitlines(keepends=True)
+        path.write_text("".join(lines[:3]))
+
+        from repro.scenarios import suite as suite_module
+
+        evaluated = []
+        original_eval = suite_module._eval_suite_task
+
+        def counting_eval(task):
+            evaluated.append(task.campaign_key)
+            return original_eval(task)
+
+        monkeypatch.setattr(suite_module, "_eval_suite_task", counting_eval)
+        with ResultStore.open(str(path), run) as store:
+            resumed = run_scenario_suite(SMALL_SCENARIOS, samples=6, seed=0, store=store)
+        # The two stored campaigns were skipped...
+        assert (0, 0) not in evaluated
+        assert (0, 1) not in evaluated
+        assert evaluated  # ...and the remaining ones genuinely ran.
+        # Rows and the store file match the uninterrupted run exactly.
+        assert [row.as_row() for row in resumed] == [row.as_row() for row in rows]
+        assert [row.as_row() for row in resumed] == [row.as_row() for row in expected]
+        assert path.read_text() == full_text
+
+    def test_repeated_scenarios_get_distinct_keys(self, tmp_path):
+        from repro.scenarios import suite_row_keys, as_scenarios
+
+        spec = "hypercube:d=3/kernel/sizes:1"
+        keys = suite_row_keys(as_scenarios([spec, spec]))
+        assert keys[0] != keys[1]
+        with self._store(tmp_path, [spec, spec], 4, 0) as store:
+            rows = run_scenario_suite([spec, spec], samples=4, seed=0, store=store)
+            assert len(store) == 2
+        # The repeats drew independent batteries, as without a store.
+        plain = run_scenario_suite([spec, spec], samples=4, seed=0)
+        assert [row.as_row() for row in rows] == [row.as_row() for row in plain]
+
+    def test_store_from_other_routing_rejected(self, tmp_path):
+        from repro.results import ResultStore
+        from repro.scenarios import suite_manifest
+
+        specs = ["hypercube:d=3/kernel/sizes:1,2"]
+        path = tmp_path / "rows.jsonl"
+        run = suite_manifest(specs, 6, 0, None)
+        with ResultStore.open(str(path), run) as store:
+            run_scenario_suite(specs, samples=6, seed=0, store=store)
+        # Corrupt the stored fingerprint of the first row, keep the second
+        # missing so the scenario is partially complete and gets rebuilt.
+        lines = path.read_text().splitlines(keepends=True)
+        tampered = lines[1].replace(
+            '"fingerprint":"', '"fingerprint":"0000'
+        )
+        path.write_text(lines[0] + tampered)
+        with ResultStore.open(str(path), run) as store:
+            with pytest.raises(RuntimeError, match="different construction"):
+                run_scenario_suite(specs, samples=6, seed=0, store=store)
+
+
+class TestSharedIndexPayload:
+    def test_shared_payload_rows_match_rebuild_rows(self):
+        shared = _rows(SMALL_SCENARIOS, samples=8, seed=3, workers=2)
+        rebuilt = _rows(
+            SMALL_SCENARIOS, samples=8, seed=3, workers=2, share_index=False
+        )
+        sequential = _rows(SMALL_SCENARIOS, samples=8, seed=3)
+        assert shared == rebuilt == sequential
+
+    def test_initializer_seeds_worker_cache(self):
+        from repro.scenarios import suite as suite_module
+
+        payload = {"spec-a": (object(), "fp-a")}
+        suite_module._init_suite_worker(payload)
+        try:
+            assert suite_module._SCENARIO_CACHE["spec-a"] == payload["spec-a"]
+        finally:
+            suite_module._SCENARIO_CACHE.clear()
+
+    def test_initializer_none_clears_cache(self):
+        from repro.scenarios import suite as suite_module
+
+        suite_module._cache_workload("stale", (None, "fp"))
+        suite_module._init_suite_worker(None)
+        assert suite_module._SCENARIO_CACHE == {}
+
+
 class TestScenarioCache:
     def test_cache_is_bounded(self):
         from repro.scenarios import suite as suite_module

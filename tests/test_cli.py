@@ -196,3 +196,122 @@ class TestScenarioCampaignFlags:
         output = capsys.readouterr().out
         assert "fault model" in output
         assert "hypercube" in output
+
+    def test_scenarios_listing_sorted_and_unique(self, capsys):
+        assert main(["scenarios"]) == 0
+        table = capsys.readouterr().out.split("\n\n")[0]
+        families = [line.split()[0] for line in table.splitlines()[3:]]
+        assert families == sorted(families)
+        assert len(families) == len(set(families))
+        assert len(families) == 25  # every registered family listed once
+
+    def test_scenarios_family_filter(self, capsys):
+        assert main(["scenarios", "--family", "hyper"]) == 0
+        output = capsys.readouterr().out
+        assert "hypercube" in output
+        # Non-matching families are filtered out of the table.
+        table = output.split("\nsegments")[0]
+        assert "torus" not in table
+
+    def test_scenarios_family_filter_no_match(self, capsys):
+        assert main(["scenarios", "--family", "klein-bottle"]) == 2
+        assert "no graph family matches" in capsys.readouterr().err
+
+
+class TestGridCommand:
+    GRID = "hypercube:d=3..4/kernel/t=1..2/sizes:1-2"
+
+    def test_grid_runs_and_prints_scaling_report(self, capsys):
+        assert main(["grid", self.GRID, "--samples", "4", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "Grid sweep" in output
+        assert "4 scenarios" in output
+        assert "# Scaling report" in output
+        assert "| family | n | t=1 | t=2 |" in output
+
+    def test_grid_store_resume_matches_uninterrupted_run(self, tmp_path, capsys):
+        store = str(tmp_path / "rows.jsonl")
+        argv = [
+            "grid", self.GRID, "--samples", "4", "--seed", "7", "--store", store,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        full_text = open(store).read()
+        # Simulate a kill: keep the manifest, two finished rows and half of a
+        # third, then resume.
+        lines = full_text.splitlines(keepends=True)
+        with open(store, "w") as handle:
+            handle.write("".join(lines[:3]) + lines[3][: len(lines[3]) // 2])
+        assert main(argv + ["--resume"]) == 0
+        resumed_output = capsys.readouterr().out
+        assert "resumed 2 stored rows" in resumed_output
+        assert open(store).read() == full_text
+
+    def test_grid_refuses_existing_store_without_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "rows.jsonl")
+        argv = ["grid", "hypercube:d=3/kernel/sizes:1", "--samples", "2",
+                "--store", store]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_grid_resume_requires_store(self, capsys):
+        assert main(["grid", "hypercube:d=3/kernel/sizes:1", "--resume"]) == 2
+        assert "--resume needs --store" in capsys.readouterr().err
+
+    def test_grid_report_file_and_csv(self, tmp_path, capsys):
+        report = str(tmp_path / "report.csv")
+        code = main(
+            [
+                "grid", "hypercube:d=3/kernel/sizes:1", "--samples", "2",
+                "--report", report, "--format", "csv",
+            ]
+        )
+        assert code == 0
+        text = open(report).read()
+        assert text.splitlines()[0].startswith("family,n,t=")
+
+    def test_grid_bound_violation_exit_code(self, capsys):
+        # A diameter bound of 1 is hopeless for a hypercube: every campaign
+        # violates it, so the sweep exits 1 and names the violations.
+        code = main(
+            ["grid", "hypercube:d=3/kernel/sizes:1", "--samples", "2",
+             "--bound", "1"]
+        )
+        assert code == 1
+        assert "bound violated" in capsys.readouterr().out
+
+    def test_grid_bad_spec(self, capsys):
+        assert main(["grid", "hypercube:d=5..3/kernel"]) == 2
+        assert "reversed" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_report_renders_stored_run(self, tmp_path, capsys):
+        store = str(tmp_path / "rows.jsonl")
+        assert main(
+            ["grid", "hypercube:d=3..4/kernel/sizes:1", "--samples", "2",
+             "--store", store]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "# Scaling report" in output
+        assert "hypercube:d=3/kernel/sizes:1" in output
+        assert "| hypercube | 8 |" in output
+        assert "| hypercube | 16 |" in output
+
+    def test_report_csv_to_file(self, tmp_path, capsys):
+        store = str(tmp_path / "rows.jsonl")
+        main(["grid", "hypercube:d=3/kernel/sizes:1", "--samples", "2",
+              "--store", store])
+        capsys.readouterr()
+        out = str(tmp_path / "table.csv")
+        assert main(["report", "--store", store, "--format", "csv",
+                     "--output", out]) == 0
+        assert open(out).read().startswith("family,n,")
+
+    def test_report_missing_store(self, capsys):
+        assert main(["report", "--store", "/nonexistent/rows.jsonl"]) == 2
+        assert "does not exist" in capsys.readouterr().err

@@ -19,6 +19,8 @@ PUBLIC_SUBPACKAGES = [
     "repro.faults",
     "repro.network",
     "repro.analysis",
+    "repro.results",
+    "repro.scenarios",
     "repro.serialization",
     "repro.cli",
 ]
