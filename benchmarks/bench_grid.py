@@ -1,6 +1,6 @@
 """Grid-sweep benchmark: shared worker payloads + resumable result stores.
 
-Two claims are measured and enforced:
+Three claims are measured and enforced:
 
 1. **Shared slim-index payloads keep parallel suites correct (and cheap).**
    The same grid suite is run with ``share_index=True`` (the parent
@@ -16,6 +16,15 @@ Two claims are measured and enforced:
    that (a) the resumed store is byte-identical to the uninterrupted one,
    (b) the resumed run evaluated strictly fewer shard tasks than the full
    run, and (c) the rendered scaling report matches exactly.
+
+3. **Split strategy-comparison runs merge losslessly.**  One
+   ``kernel|circular`` grid is swept whole, then again split per strategy
+   into two separate stores which are merged with
+   :func:`~repro.results.store.merge_result_stores`.  Battery seeds hash
+   scenario identity rather than suite position, so the merged store must
+   hold exactly the combined run's records and the rendered comparison
+   table (strategy × t column groups, mean ± worst cells) must match the
+   combined run's byte for byte.
 
 Results are persisted to ``BENCH_grid.json`` at the repo root.
 
@@ -40,7 +49,7 @@ if __package__ in (None, ""):  # allow running as a plain script from anywhere
         sys.path.insert(0, _SRC)
 
 from repro.analysis import format_table, render_scaling_report
-from repro.results import ResultStore, result_frame
+from repro.results import ResultStore, merge_result_stores, result_frame
 from repro.scenarios import (
     expand_grids,
     parse_grid,
@@ -193,15 +202,98 @@ def _bench_resume(quick: bool) -> dict:
     }
 
 
+def _merge_workload(quick: bool):
+    if quick:
+        return ("cycle:n=10..12/{}/t=1/sizes:1-2", ("kernel", "circular"), 8)
+    return ("cycle:n=16..24/{}/t=1/sizes:1-2", ("kernel", "circular"), 20)
+
+
+def _bench_strategy_merge(quick: bool) -> dict:
+    template, strategies, samples = _merge_workload(quick)
+    combined_spec = template.format("|".join(strategies))
+    combined_scenarios = expand_grids([combined_spec])
+    combined_run = suite_manifest(combined_scenarios, samples, 7, None)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        combined_path = os.path.join(tmp, "combined.jsonl")
+        start = time.perf_counter()
+        with ResultStore.open(combined_path, combined_run) as store:
+            combined_rows = run_scenario_suite(
+                combined_scenarios, samples=samples, seed=7, store=store
+            )
+        combined_seconds = time.perf_counter() - start
+        combined_report = render_scaling_report(
+            result_frame(row.record() for row in combined_rows), combined_run
+        )
+
+        split_paths = []
+        start = time.perf_counter()
+        for strategy in strategies:
+            scenarios = expand_grids([template.format(strategy)])
+            path = os.path.join(tmp, f"{strategy}.jsonl")
+            split_paths.append(path)
+            run = suite_manifest(scenarios, samples, 7, None)
+            with ResultStore.open(path, run) as store:
+                run_scenario_suite(
+                    scenarios, samples=samples, seed=7, store=store
+                )
+        split_seconds = time.perf_counter() - start
+
+        merged = merge_result_stores(split_paths)
+        combined_store = ResultStore.load(combined_path)
+        records_identical = set(combined_store.keys()) == set(
+            merged.keys()
+        ) and all(
+            combined_store.get(key) == merged.get(key) for key in merged.keys()
+        )
+        # Render with the merged store's own manifest — the real
+        # `repro report a b` path.  Headers legitimately differ (the merged
+        # scenario union is in per-store order, the combined run's is in
+        # expansion order); the *table* must match byte for byte.
+        merged_report = render_scaling_report(merged.frame, merged.run)
+
+        def _table_of(report: str) -> str:
+            return report[report.index("| family") :]
+
+        report_identical = _table_of(merged_report) == _table_of(
+            combined_report
+        )
+        comparison_layout = any(
+            f"{strategy} t=" in merged_report for strategy in strategies
+        )
+
+    print(
+        f"\nstrategy-merge gate [{combined_spec}]: combined run "
+        f"{combined_seconds:.3f}s vs split runs {split_seconds:.3f}s; "
+        f"records {'identical' if records_identical else 'DIVERGE'}, "
+        f"merged comparison table "
+        f"{'identical' if report_identical else 'DIVERGES'}"
+    )
+    print()
+    print(merged_report)
+    return {
+        "grid": combined_spec,
+        "samples": samples,
+        "campaign_rows": len(combined_rows),
+        "combined_s": round(combined_seconds, 4),
+        "split_s": round(split_seconds, 4),
+        "records_identical": records_identical,
+        "report_identical": report_identical,
+        "comparison_layout": comparison_layout,
+    }
+
+
 def run(quick: bool, json_path: str) -> int:
     payload = _bench_shared_payload(quick)
     resume = _bench_resume(quick)
+    merge = _bench_strategy_merge(quick)
 
     document = {
         "generated_by": "benchmarks/bench_grid.py",
         "mode": "quick" if quick else "full",
         "shared_payload": payload,
         "resume": resume,
+        "strategy_merge": merge,
     }
     with open(json_path, "w") as handle:
         json.dump(document, handle, indent=2)
@@ -217,6 +309,12 @@ def run(quick: bool, json_path: str) -> int:
         failures.append("resumed report differs from the full run's")
     if not resume["skipped_any_work"]:
         failures.append("resume recomputed every task (no work was skipped)")
+    if not merge["records_identical"]:
+        failures.append("merged split-run records diverge from the combined run")
+    if not merge["report_identical"]:
+        failures.append("merged comparison table differs from the combined run's")
+    if not merge["comparison_layout"]:
+        failures.append("merged report lacks strategy × t column groups")
     if failures:
         for failure in failures:
             print(f"FAIL — {failure}")
@@ -224,7 +322,8 @@ def run(quick: bool, json_path: str) -> int:
     print(
         f"PASS — payload rows identical ({payload['speedup']:.2f}x), resume "
         f"skipped {resume['full_tasks'] - resume['resumed_tasks']} of "
-        f"{resume['full_tasks']} tasks with byte-identical store + report"
+        f"{resume['full_tasks']} tasks with byte-identical store + report, "
+        f"split strategy runs merged to the combined run's table"
     )
     return 0
 

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Strategy comparison: the paper's side-by-side tables in one grid sweep.
+
+Peleg & Simons prove different surviving-diameter bounds per construction
+(kernel: Theorems 3/4; circular: Theorem 10).  This example sweeps both
+strategies over the same workloads with one grid spec and renders the
+comparison table — rows are family/size, column groups are strategy × ``t``,
+cells are ``mean ± worst`` surviving diameter — then shows that splitting
+the sweep per strategy into two stores and merging them reproduces the
+same table byte for byte.
+
+Run with::
+
+    python examples/strategy_comparison.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.analysis import render_scaling_report
+from repro.results import ResultStore, merge_result_stores, result_frame
+from repro.scenarios import expand_grids, run_scenario_suite, suite_manifest
+
+#: One spec, full cross-product: strategies × sizes × t.
+GRID = "cycle:n=10..14/kernel|circular/t=1/sizes:1"
+SAMPLES, SEED = 20, 7
+
+
+def main() -> None:
+    # 1. One combined sweep.  A strategy set expands to one scenario per
+    #    member; inapplicable strategy/graph combinations would simply be
+    #    skipped (empty table cells) with skip_inapplicable=True.
+    scenarios = expand_grids([GRID])
+    run = suite_manifest(scenarios, SAMPLES, SEED)
+    rows = run_scenario_suite(scenarios, samples=SAMPLES, seed=SEED)
+    frame = result_frame(row.record() for row in rows)
+    report = render_scaling_report(frame, run)
+    print(report)
+
+    # 2. The same sweep, split per strategy into separate stores.  Battery
+    #    seeds hash scenario identity — not suite position — so each half
+    #    computes exactly the rows the combined run did.
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        for strategy in ("kernel", "circular"):
+            spec = GRID.replace("kernel|circular", strategy)
+            half = expand_grids([spec])
+            path = os.path.join(tmp, f"{strategy}.jsonl")
+            with ResultStore.open(path, suite_manifest(half, SAMPLES, SEED)) as store:
+                run_scenario_suite(half, samples=SAMPLES, seed=SEED, store=store)
+            paths.append(path)
+
+        # 3. Merge and re-render.  Duplicate keys must agree (a fingerprint
+        #    mismatch would mean different constructions — a hard error);
+        #    the merged table equals the combined run's.
+        merged = merge_result_stores(paths)
+        merged_report = render_scaling_report(merged.frame, run)
+
+    table = report[report.index("| family") :]
+    merged_table = merged_report[merged_report.index("| family") :]
+    print()
+    print(
+        "split-per-strategy stores merged back: table "
+        + ("IDENTICAL to the combined run" if merged_table == table else "DIVERGES")
+    )
+
+
+if __name__ == "__main__":
+    main()

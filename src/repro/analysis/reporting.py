@@ -10,11 +10,17 @@ On top of the generic :func:`format_table`, the **scaling report** functions
 render the paper's headline artifact — fault tolerance swept across graph
 families and sizes — straight from a stored
 :class:`~repro.results.frame.ResultFrame`: rows are ``family/n``, columns
-are the fault parameter ``t``, and each cell is either the worst surviving
-diameter observed (exact campaigns) or the bound pass rate (bounded-decision
-campaigns).  Markdown and CSV renderings are deterministic functions of the
-frame and the run manifest, so a resumed campaign's report is byte-identical
-to an uninterrupted run's.
+are the fault parameter ``t``, and each cell folds the cell's campaigns
+into **two metrics at once** — the mean and the worst outcome, rendered
+``mean ± worst`` (collapsed to one number when they agree).  Exact
+campaigns report surviving diameters, bounded-decision campaigns report
+pass rates.  When the frame holds more than one routing strategy (a
+``kernel|circular`` grid, or several merged single-strategy stores), the
+table switches to the paper's **strategy-comparison layout**: the columns
+become ``strategy × t`` groups, so constructions line up side by side at
+equal fault parameters.  Markdown and CSV renderings are deterministic
+functions of the frame and the run manifest, so a resumed campaign's
+report is byte-identical to an uninterrupted run's.
 """
 
 from __future__ import annotations
@@ -78,8 +84,7 @@ def format_table(
 # ----------------------------------------------------------------------
 # Scaling tables over a ResultFrame
 # ----------------------------------------------------------------------
-def _render_cell(value: object) -> str:
-    """Render one scaling-table cell (shared by markdown and CSV)."""
+def _render_scalar(value: object) -> str:
     if value is None:
         return "-"
     if isinstance(value, float):
@@ -90,36 +95,146 @@ def _render_cell(value: object) -> str:
     return str(value)
 
 
+def _render_cell(value: object) -> str:
+    """Render one scaling-table cell (shared by markdown and CSV).
+
+    Two-metric cells arrive as ``(mean, worst)`` tuples and render
+    ``mean ± worst``; when the two metrics render identically (single
+    campaign, or every campaign agreeing) the cell collapses to the one
+    number.
+    """
+    if isinstance(value, tuple):
+        parts = [_render_scalar(item) for item in value]
+        if len(set(parts)) == 1:
+            return parts[0]
+        return " ± ".join(parts)
+    return _render_scalar(value)
+
+
+def _comparison_strategies(frame) -> List[str]:
+    """Return the distinct effective strategies of a frame (sorted).
+
+    Reads only the two relevant columns — no per-row dict materialisation,
+    so calling it per render stays cheap even on large merged frames.
+    """
+    from repro.results.records import effective_strategy
+
+    names = set(frame.column_names)
+    if "strategy" not in names and "scheme" not in names:
+        return []
+    none_column = (None,) * len(frame)
+    strategy_column = (
+        frame.column("strategy") if "strategy" in names else none_column
+    )
+    scheme_column = frame.column("scheme") if "scheme" in names else none_column
+    strategies = {
+        effective_strategy({"strategy": strategy, "scheme": scheme})
+        for strategy, scheme in zip(strategy_column, scheme_column)
+    } - {None}
+    return sorted(strategies)
+
+
+def _uses_comparison_layout(frame) -> bool:
+    """Whether :func:`scaling_table` picks the strategy-comparison layout.
+
+    One predicate shared by the table builder and the report renderer so
+    the caption can never drift from the layout actually rendered.  The
+    layout re-keys the strategy column, so the frame must have one.
+    """
+    return (
+        len(_comparison_strategies(frame)) > 1
+        and "strategy" in frame.column_names
+    )
+
+
 def scaling_table(frame) -> Tuple[List[Dict[str, object]], List[str], str]:
     """Pivot a result frame into the paper-style scaling table.
 
     Returns ``(rows, columns, metric)``: one row per ``(family, n)`` sorted
-    by family then size, one ``t=<k>`` column per fault parameter observed,
-    and the metric name describing the cells.  Exact-campaign frames report
-    the **worst surviving diameter** per cell (``max`` of ``worst_diam``
-    across the group's campaigns — ``inf`` marks a disconnection); frames
-    holding bounded-decision rows report the **pass rate** (``min`` of
-    ``pass_rate`` — the weakest campaign of the cell).
+    by family then size, one column per fault parameter observed, and the
+    metric name describing the cells.  Every cell folds its campaigns into
+    ``(mean, worst)``: exact-campaign frames report the **surviving
+    diameter** (mean of the campaigns' worst diameters ± the worst overall
+    — ``inf`` marks a disconnection); frames holding bounded-decision rows
+    report the **pass rate** (mean ± the weakest campaign's rate).
+
+    With a single routing strategy in the frame the columns are ``t=<k>``.
+    When the frame's rows span **several strategies** — a strategy-axis
+    grid, or several merged single-strategy stores — the table switches to
+    the comparison layout: one ``<strategy> t=<k>`` column per observed
+    ``(strategy, t)`` pair (strategy groups sorted by name), so the paper's
+    kernel-vs-circular tables come out of the same pivot.  The strategy of
+    a row is the *effective* one: the scheme actually built when the
+    scenario asked for ``auto``.
     """
     kinds = set(frame.column("kind")) if len(frame) else set()
     decision = "decision" in kinds
     if decision:
-        value_column, fold, metric = "pass_rate", "min", "pass rate"
+        value_column, folds = "pass_rate", ("mean", "min")
+        metric = "pass rate, mean ± worst"
     else:
-        value_column, fold, metric = "worst_diam", "max", "worst surviving diameter"
-    pivoted, t_values = frame.pivot(("family", "n"), "t", value_column, fold)
+        value_column, folds = "worst_diam", ("mean", "max")
+        metric = "surviving diameter, mean ± worst"
+    comparison = _uses_comparison_layout(frame)
+    if comparison:
+        from repro.results.frame import ResultFrame
+        from repro.results.records import effective_strategy
+
+        # Re-key the strategy column to the effective strategy so the pivot
+        # groups auto-resolved schemes with explicitly requested ones.  Only
+        # the pivot's own columns are copied — not the full record — and
+        # rows carrying no strategy at all (bare engine campaigns) group
+        # under "unspecified" rather than a literal None label.
+        names = set(frame.column_names)
+        needed = [
+            column
+            for column in frame.columns
+            if column.name in ("family", "n", "strategy", "t", value_column)
+        ]
+        work = ResultFrame(needed)
+        columns_by_name = {
+            name: (
+                frame.column(name)
+                if name in names
+                else (None,) * len(frame)
+            )
+            for name in ("family", "n", "strategy", "scheme", "t", value_column)
+        }
+        for family, size, strategy, scheme, t, value in zip(
+            *(columns_by_name[name]
+              for name in ("family", "n", "strategy", "scheme", "t", value_column))
+        ):
+            effective = effective_strategy(
+                {"strategy": strategy, "scheme": scheme}
+            )
+            work.append(
+                {
+                    "family": family,
+                    "n": size,
+                    "strategy": effective if effective is not None else "unspecified",
+                    "t": t,
+                    value_column: value,
+                }
+            )
+        pivoted, cells = work.pivot(
+            ("family", "n"), ("strategy", "t"), value_column, folds
+        )
+        labels = {cell: f"{cell[0]} t={cell[1]}" for cell in cells}
+    else:
+        pivoted, cells = frame.pivot(("family", "n"), "t", value_column, folds)
+        labels = {cell: f"t={cell}" for cell in cells}
     pivoted.sort(
         key=lambda row: (
             str(row["family"]),
             row["n"] if isinstance(row["n"], int) else -1,
         )
     )
-    columns = ["family", "n"] + [f"t={t}" for t in t_values]
+    columns = ["family", "n"] + [labels[cell] for cell in cells]
     rows = [
         {
             "family": entry["family"],
             "n": entry["n"],
-            **{f"t={t}": entry[t] for t in t_values},
+            **{labels[cell]: entry[cell] for cell in cells},
         }
         for entry in pivoted
     ]
@@ -193,10 +308,16 @@ def render_scaling_report(
         if details:
             lines.append("Parameters: " + ", ".join(details))
             lines.append("")
-    lines.append(
-        f"Cells: {metric} (rows = graph family / size, columns = fault "
-        "parameter t)."
-    )
+    if _uses_comparison_layout(frame):
+        lines.append(
+            f"Cells: {metric} (rows = graph family / size, column groups = "
+            "strategy × fault parameter t)."
+        )
+    else:
+        lines.append(
+            f"Cells: {metric} (rows = graph family / size, columns = fault "
+            "parameter t)."
+        )
     lines.append("")
     lines.append(render_markdown_table(rows, columns))
     lines.append("")

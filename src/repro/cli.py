@@ -25,9 +25,14 @@ driven without writing Python:
   record per campaign into the result store, and — with ``--resume`` —
   skips every campaign the store already records, so an interrupted sweep
   picks up exactly where it was killed;
-* ``python -m repro report --store results.jsonl`` renders the paper-style
-  scaling table (rows = family/size, columns = ``t``, cells = worst
+* ``python -m repro report results.jsonl`` renders the paper-style scaling
+  table (rows = family/size, columns = ``t``, cells = ``mean ± worst``
   surviving diameter or pass rate) from a stored run, as markdown or CSV;
+  several stores merge into one table (duplicate keys must agree — a
+  fingerprint mismatch is a hard error), and a store holding several
+  routing strategies — one grid sweeping ``kernel|circular``, or merged
+  single-strategy stores — renders the strategy-comparison layout
+  (column groups = strategy × ``t``);
 * ``python -m repro graphs`` / ``python -m repro scenarios``
   list the registered graph families and the scenario/grid grammar
   (``repro scenarios --family hyper`` filters the listing).
@@ -54,10 +59,9 @@ from repro.faults import CampaignEngine
 from repro.graphs.graph import Graph
 from repro.graphs.registry import GRAPH_FAMILIES, parse_graph_spec
 from repro.network import NetworkSimulator, XorEncryptionService
-from repro.results import ResultStore, result_frame
+from repro.results import ResultStore, merge_result_stores, result_frame
 from repro.scenarios import (
     FAULT_KINDS,
-    expand_grids,
     parse_grid,
     parse_scenario,
     run_scenario_suite,
@@ -147,10 +151,11 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         "  t=<int>      fault-parameter override (default: connectivity - 1)\n"
         f"  fault model  one of {list(FAULT_KINDS)}:\n"
         "               sizes:1,2,3 | random:p=0.1 | exhaustive:f=2\n"
-        "\ngrid specs (repro grid) add inclusive integer ranges:\n"
+        "\ngrid specs (repro grid) add inclusive ranges and strategy sets:\n"
         "  name=lo..hi  sweeps a named integer graph parameter or t=\n"
+        "  a|b          sweeps routing strategies (e.g. kernel|circular)\n"
         "  sizes:a-b    expands to the size list a,a+1,...,b\n"
-        "  e.g. hypercube:d=3..8/kernel/t=1..3/sizes:1-5\n"
+        "  e.g. hypercube:d=3..8/kernel|circular/t=1..3/sizes:1-5\n"
         "\nexamples:\n"
         "  repro campaign --scenario hypercube:d=4/kernel/sizes:1,2,3\n"
         "  repro campaign --scenario circulant:n=60,offsets=1+2/kernel/random:p=0.05 \\\n"
@@ -158,7 +163,10 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         "                 --bound 6 --workers 4 --seed 7\n"
         "  repro grid 'hypercube:d=3..5/kernel/t=1..2/sizes:1-3' \\\n"
         "             --samples 20 --store results.jsonl --resume\n"
-        "  repro report --store results.jsonl --format markdown\n"
+        "  repro grid 'hypercube:d=3..5/kernel|circular/t=1..2/sizes:1-3' \\\n"
+        "             --store s.jsonl --report -\n"
+        "  repro report results.jsonl --format markdown\n"
+        "  repro report store_kernel.jsonl store_circular.jsonl\n"
         "\nsame seed => byte-identical rows for any --workers value and any\n"
         "PYTHONHASHSEED (the parent broadcasts its built indexes to the pool\n"
         "and verifies routing fingerprints on every row)."
@@ -338,7 +346,23 @@ def _run_scenario_campaigns(args: argparse.Namespace) -> int:
 def _cmd_grid(args: argparse.Namespace) -> int:
     """Run ``repro grid``: expand grid specs, run the suite, store + report."""
     grids = [parse_grid(spec) for spec in args.spec]
-    scenarios = expand_grids(grids)
+    # Strategy axes sweep constructions across families where not every
+    # strategy applies everywhere (e.g. circular on small hypercubes);
+    # inapplicable combinations become empty table cells, not errors.
+    # Eligibility is per suite *position*, not per scenario string, so a
+    # scenario from a single-strategy grid still fails loudly even when a
+    # strategy-set grid in the same invocation sweeps the identical
+    # scenario — unless --skip-inapplicable opts everything in (the
+    # per-strategy halves of a split comparison run).
+    scenarios: List = []
+    skip_inapplicable: set = set()
+    for grid in grids:
+        expanded = grid.scenarios()
+        if args.skip_inapplicable or len(grid.strategies()) > 1:
+            skip_inapplicable.update(
+                range(len(scenarios), len(scenarios) + len(expanded))
+            )
+        scenarios.extend(expanded)
     if not scenarios:
         raise ValueError("the grid expanded to no scenarios")
 
@@ -354,6 +378,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     elif args.resume:
         raise ValueError("--resume needs --store (the JSONL file to resume)")
 
+    skipped: List = []
     try:
         already = len(store) if store is not None else 0
         rows = run_scenario_suite(
@@ -364,10 +389,24 @@ def _cmd_grid(args: argparse.Namespace) -> int:
             workers=args.workers,
             chunk_size=args.chunk_size,
             store=store,
+            skip_inapplicable=skip_inapplicable,
+            skipped=skipped,
         )
     finally:
         if store is not None:
             store.close()
+
+    # With --report - the scaling report owns stdout (pipeable, diffable
+    # against goldens, as `repro report --output -`); the human-oriented
+    # progress output moves to stderr.
+    info = sys.stderr if args.report == "-" else sys.stdout
+    for scenario, reason in skipped:
+        print(
+            f"skipped (strategy not applicable): {scenario.canonical()} — {reason}",
+            file=info,
+        )
+    if skipped:
+        print(file=info)
 
     grid_note = ", ".join(grid.canonical() for grid in grids)
     bound_note = f", bound={args.bound:g}" if args.bound is not None else ""
@@ -383,14 +422,20 @@ def _cmd_grid(args: argparse.Namespace) -> int:
                 f"workers={args.workers}, seed={args.seed}{bound_note}"
                 f"{resume_note})"
             ),
-        )
+        ),
+        file=info,
     )
     if args.store:
-        print(f"\nresult store: {args.store} ({len(rows)} rows recorded)")
+        print(
+            f"\nresult store: {args.store} ({len(rows)} rows recorded)",
+            file=info,
+        )
 
     frame = result_frame(row.record() for row in rows)
     report = render_scaling_report(frame, run, fmt=args.format)
-    if args.report:
+    if args.report == "-":
+        print(report)
+    elif args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
         print(f"scaling report written to {args.report}")
@@ -403,17 +448,41 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         for row in violated:
             print(
                 f"bound violated: {row.scenario} at |F|={row.campaign.fault_size} "
-                f"({row.campaign.violations} violations)"
+                f"({row.campaign.violations} violations)",
+                file=info,
             )
         return 1 if violated else 0
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    """Run ``repro report``: render the scaling table from a stored run."""
-    store = ResultStore.load(args.store)
+    """Run ``repro report``: render the scaling table from stored runs.
+
+    Several stores merge into one table — the road to the paper's
+    strategy-comparison tables when each strategy (or each machine) swept
+    into its own file.  Same key + different fingerprint across stores is a
+    hard error: those stores were built against different constructions.
+    """
+    paths = list(args.stores) + list(args.store or [])
+    if not paths:
+        raise ValueError(
+            "no result store given; pass one or more JSONL paths "
+            "(repro report store_a.jsonl store_b.jsonl)"
+        )
+    if len(paths) == 1:
+        store = ResultStore.load(paths[0])
+    else:
+        store = merge_result_stores(paths)
+        groups = store.group_index()
+        # Diagnostics go to stderr: stdout may be the report itself
+        # (piped CSV/markdown must stay clean).
+        print(
+            f"merged {len(paths)} stores: {len(store)} rows across "
+            f"{len(groups)} (family, n, strategy) groups",
+            file=sys.stderr,
+        )
     report = render_scaling_report(store.frame, store.run, fmt=args.format)
-    if args.output:
+    if args.output and args.output != "-":
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
         print(f"scaling report written to {args.output}")
@@ -531,22 +600,31 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "examples:\n"
             "  repro grid 'hypercube:d=3..5/kernel/t=1..2/sizes:1-3' --samples 20\n"
+            "  repro grid 'hypercube:d=3..5/kernel|circular/t=1..2/sizes:1-3' \\\n"
+            "             --store s.jsonl --report -    # strategy comparison\n"
             "  repro grid 'torus:rows=3..5,cols=4/circular' --bound 8 \\\n"
             "             --store results.jsonl --workers 4\n"
             "  repro grid 'hypercube:d=3..5/kernel/t=1..2/sizes:1-3' \\\n"
             "             --store results.jsonl --resume    # skip stored rows\n"
-            "a grid spec is a scenario spec plus inclusive integer ranges:\n"
-            "name=lo..hi sweeps a named graph parameter or t=, sizes:a-b\n"
-            "expands to the size list a..b.  Every campaign row is appended\n"
-            "to --store as soon as it completes, so a killed sweep resumes\n"
-            "with --resume without recomputing finished rows."
+            "a grid spec is a scenario spec plus inclusive integer ranges and\n"
+            "strategy sets: name=lo..hi sweeps a named graph parameter or t=,\n"
+            "a|b (e.g. kernel|circular) sweeps routing strategies, sizes:a-b\n"
+            "expands to the size list a..b.  Strategy-set sweeps skip\n"
+            "combinations whose construction does not apply (empty table\n"
+            "cells), and the report shows strategy × t column groups with\n"
+            "mean ± worst cells.  Every campaign row is appended to --store\n"
+            "as soon as it completes, so a killed sweep resumes with\n"
+            "--resume without recomputing finished rows."
         ),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub_grid.add_argument(
         "spec",
         nargs="+",
-        help="grid spec(s), e.g. hypercube:d=3..5/kernel/t=1..2/sizes:1-3",
+        help=(
+            "grid spec(s), e.g. hypercube:d=3..5/kernel|circular/t=1..2/"
+            "sizes:1-3"
+        ),
     )
     sub_grid.add_argument("--samples", type=int, default=50)
     sub_grid.add_argument("--seed", type=int, default=0)
@@ -574,10 +652,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted run: skip campaigns already in --store",
     )
     sub_grid.add_argument(
+        "--skip-inapplicable",
+        action="store_true",
+        help=(
+            "drop scenarios whose construction does not apply instead of "
+            "failing (always on for strategy-set grids; use it on the "
+            "single-strategy halves of a split comparison run)"
+        ),
+    )
+    sub_grid.add_argument(
         "--report",
         default=None,
         metavar="PATH",
-        help="write the scaling report here instead of printing it",
+        help="write the scaling report here instead of printing it ('-' for stdout)",
     )
     sub_grid.add_argument(
         "--format",
@@ -589,10 +676,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub_report = subparsers.add_parser(
         "report",
-        help="render the paper-style scaling table from a stored result run",
+        help="render the paper-style scaling table from stored result runs",
+        epilog=(
+            "examples:\n"
+            "  repro report results.jsonl\n"
+            "  repro report store_kernel.jsonl store_circular.jsonl\n"
+            "  repro report results.jsonl --format csv --output table.csv\n"
+            "several stores are merged into one table keyed by the stores'\n"
+            "content addresses: slices of one sweep (e.g. one store per\n"
+            "strategy) recombine exactly, duplicate keys must agree, and a\n"
+            "fingerprint mismatch on a shared key is a hard error (the\n"
+            "stores were built against different constructions).  Frames\n"
+            "holding several strategies render the strategy-comparison\n"
+            "layout (column groups = strategy × t, cells = mean ± worst)."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub_report.add_argument(
-        "--store", required=True, metavar="PATH", help="JSONL result store to read"
+        "stores",
+        nargs="*",
+        metavar="PATH",
+        help="JSONL result store(s) to read; several paths are merged",
+    )
+    sub_report.add_argument(
+        "--store",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="additional store path (repeatable; kept for compatibility)",
     )
     sub_report.add_argument(
         "--format",
@@ -601,7 +712,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: markdown)",
     )
     sub_report.add_argument(
-        "--output", default=None, metavar="PATH", help="write the report to this file"
+        "--output", default=None, metavar="PATH",
+        help="write the report to this file ('-' for stdout)",
     )
     sub_report.set_defaults(handler=_cmd_report)
 

@@ -72,8 +72,12 @@ AUTO_ORDER: List[str] = [
 
 
 def available_strategies() -> List[str]:
-    """Return the names accepted by :func:`build_routing`'s ``strategy`` argument."""
-    return sorted(STRATEGIES) + ["auto"]
+    """Return the names accepted by :func:`build_routing`'s ``strategy`` argument.
+
+    The list is fully sorted (``auto`` included) so every layer that renders
+    it — CLI help, scenario-parser errors — shows the same stable listing.
+    """
+    return sorted([*STRATEGIES, "auto"])
 
 
 def applicable_strategies(graph: Graph, t: Optional[int] = None) -> List[str]:

@@ -17,12 +17,19 @@ from repro.results.records import (
     RECORD_KINDS,
     RESULT_COLUMNS,
     decode_fault_set,
+    effective_strategy,
     encode_fault_set,
     result_frame,
     scenario_family,
+    scenario_strategy,
     view_from_record,
 )
-from repro.results.store import STORE_FORMAT_VERSION, ResultStore, ResultStoreError
+from repro.results.store import (
+    STORE_FORMAT_VERSION,
+    ResultStore,
+    ResultStoreError,
+    merge_result_stores,
+)
 
 __all__ = [
     "AGGREGATIONS",
@@ -35,8 +42,11 @@ __all__ = [
     "ResultStoreError",
     "STORE_FORMAT_VERSION",
     "decode_fault_set",
+    "effective_strategy",
     "encode_fault_set",
+    "merge_result_stores",
     "result_frame",
     "scenario_family",
+    "scenario_strategy",
     "view_from_record",
 ]

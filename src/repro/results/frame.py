@@ -88,6 +88,32 @@ class Column:
             ) from None
 
 
+def _value_sort_key(value: object) -> Tuple[bool, str, object]:
+    """Total order over heterogeneous cell values (``None`` last).
+
+    Python refuses ``int < str``, so a pivoted column holding, say, integer
+    ``t`` values alongside strategy names used to crash the sort.  Values
+    are ordered by type class first — all numbers share one class so
+    ``1 < 2.5 < 3`` keeps numeric order — then by value within the class.
+    """
+    if value is None:
+        return (True, "", 0)
+    if isinstance(value, bool):
+        return (False, "bool", value)
+    if isinstance(value, (int, float)):
+        return (False, "number", value)
+    if isinstance(value, str):
+        return (False, "str", value)
+    return (False, type(value).__name__, repr(value))
+
+
+def _composite_sort_key(value: object) -> Tuple:
+    """Sort key for pivot column values (tuples sort element-wise)."""
+    if isinstance(value, tuple):
+        return tuple(_value_sort_key(item) for item in value)
+    return (_value_sort_key(value),)
+
+
 #: Named aggregation functions accepted by :meth:`ResultFrame.aggregate`.
 AGGREGATIONS: Dict[str, Callable[[Sequence], object]] = {
     "min": lambda values: min(values) if values else None,
@@ -251,14 +277,7 @@ class ResultFrame:
         for name, (column, fn) in outputs.items():
             if column not in self._by_name:
                 raise KeyError(f"no column {column!r}")
-            if isinstance(fn, str):
-                if fn not in AGGREGATIONS:
-                    raise ValueError(
-                        f"unknown aggregation {fn!r}; available: "
-                        f"{sorted(AGGREGATIONS)}"
-                    )
-                fn = AGGREGATIONS[fn]
-            resolved[name] = (column, fn)
+            resolved[name] = (column, self._resolve_aggregation(fn))
         results: List[Dict[str, object]] = []
         for key, group in self.group_by(*by):
             row: Dict[str, object] = dict(zip(by, key))
@@ -268,39 +287,82 @@ class ResultFrame:
             results.append(row)
         return results
 
-    def pivot(
-        self,
-        index: Sequence[str],
-        column: str,
-        value: str,
-        fn: Union[str, Callable[[Sequence], object]] = "max",
-    ) -> Tuple[List[Dict[str, object]], List[object]]:
-        """Cross-tabulate: one output row per distinct ``index`` tuple, one
-        output column per distinct ``column`` value, cells folded with ``fn``.
-
-        Returns ``(rows, column_values)`` where each row dict maps the index
-        columns to their values and each column value to its aggregated cell
-        (``None`` for empty cells).  Column values are emitted in sorted
-        order (``None`` last); this is the shape of the paper's scaling
-        tables (rows = family/size, columns = ``t``).
-        """
+    def _resolve_aggregation(
+        self, fn: Union[str, Callable[[Sequence], object]]
+    ) -> Callable[[Sequence], object]:
+        """Resolve an aggregation name (or pass a callable through) —
+        shared by :meth:`aggregate` and :meth:`pivot`."""
         if isinstance(fn, str):
             if fn not in AGGREGATIONS:
                 raise ValueError(
                     f"unknown aggregation {fn!r}; available: {sorted(AGGREGATIONS)}"
                 )
-            fn = AGGREGATIONS[fn]
+            return AGGREGATIONS[fn]
+        return fn
+
+    def pivot(
+        self,
+        index: Sequence[str],
+        column: Union[str, Sequence[str]],
+        value: str,
+        fn: Union[
+            str,
+            Callable[[Sequence], object],
+            Sequence[Union[str, Callable[[Sequence], object]]],
+        ] = "max",
+    ) -> Tuple[List[Dict[str, object]], List[object]]:
+        """Cross-tabulate: one output row per distinct ``index`` tuple, one
+        output column per distinct ``column`` value, cells folded with ``fn``.
+
+        ``column`` may name one column or a sequence of them — a sequence
+        produces one output column per distinct value *tuple* (the shape of
+        strategy-comparison tables, whose column groups are
+        ``(strategy, t)``).  ``fn`` may likewise be one aggregation or a
+        sequence; a sequence folds every cell into a tuple with one entry
+        per aggregation (e.g. ``("mean", "max")`` for mean-and-worst
+        cells).
+
+        Returns ``(rows, column_values)`` where each row dict maps the index
+        columns to their values and each column value (scalar or tuple) to
+        its aggregated cell (``None`` for empty cells).  Column values are
+        emitted in sorted order (``None`` last) under a total order that
+        tolerates mixed value types — ints and strategy strings may share a
+        pivoted column without crashing the sort.
+        """
+        multi_fn = isinstance(fn, (list, tuple))
+        fns = [self._resolve_aggregation(f) for f in fn] if multi_fn else [
+            self._resolve_aggregation(fn)
+        ]
+        columns = [column] if isinstance(column, str) else list(column)
+        if not columns:
+            raise ValueError("pivot needs at least one column to spread over")
+        for name in columns:
+            if name not in self._by_name:
+                raise KeyError(f"no column {name!r}")
+        composite = not isinstance(column, str)
         column_values = sorted(
-            {v for v in self.column(column)},
-            key=lambda v: (v is None, v),
+            set(self.distinct(*columns))
+            if composite
+            else {v for v in self.column(column)},
+            key=_composite_sort_key,
         )
         rows: List[Dict[str, object]] = []
         for key, group in self.group_by(*index):
             row: Dict[str, object] = dict(zip(index, key))
             for column_value in column_values:
-                cell = group.where(**{column: column_value})
+                match = (
+                    dict(zip(columns, column_value))
+                    if composite
+                    else {column: column_value}
+                )
+                cell = group.where(**match)
                 values = [v for v in cell.column(value) if v is not None]
-                row[column_value] = fn(values) if values else None
+                if not values:
+                    row[column_value] = None
+                elif multi_fn:
+                    row[column_value] = tuple(f(values) for f in fns)
+                else:
+                    row[column_value] = fns[0](values)
             rows.append(row)
         return rows, column_values
 

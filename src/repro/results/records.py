@@ -33,6 +33,7 @@ RESULT_COLUMNS: Tuple[Column, ...] = (
     # Workload identification (suite/grid rows; None on bare campaigns).
     Column("scenario", "str"),    # canonical scenario string
     Column("family", "str"),      # graph family name (scenario prefix)
+    Column("strategy", "str"),    # routing strategy requested ("auto" incl.)
     Column("scheme", "str"),      # construction scheme actually built
     Column("n", "int"),           # nodes
     Column("m", "int"),           # edges
@@ -77,6 +78,40 @@ def scenario_family(scenario: str) -> Optional[str]:
         return None
     graph_spec = scenario.split("/", 1)[0]
     return graph_spec.partition(":")[0] or None
+
+
+def scenario_strategy(scenario: str) -> Optional[str]:
+    """Extract the strategy segment from a canonical scenario string.
+
+    Canonical strings always carry the strategy as their second segment
+    (``family:args/strategy/...``); returns ``None`` for non-scenario
+    strings that lack one.
+    """
+    if not scenario:
+        return None
+    segments = scenario.split("/")
+    if len(segments) < 2:
+        return None
+    strategy = segments[1]
+    if not strategy or "=" in strategy or ":" in strategy:
+        return None
+    return strategy
+
+
+def effective_strategy(record: Mapping[str, object]) -> Optional[str]:
+    """Return the strategy a record's row should be *compared* under.
+
+    The ``strategy`` column keeps the requested segment (``auto``
+    included) for provenance; comparison tables and the store's
+    ``(family, n, strategy)`` index want the construction that actually
+    ran, so ``auto`` — and records from stores predating the column —
+    fall back to the built ``scheme``.
+    """
+    strategy = record.get("strategy")
+    if strategy is None or strategy == "auto":
+        scheme = record.get("scheme")
+        return scheme if scheme is not None else strategy
+    return strategy
 
 
 def encode_fault_set(fault_set) -> Optional[list]:

@@ -15,14 +15,22 @@ line is one keyed result record:
 The row ``key`` is a content address (canonical scenario string + campaign
 position), so an interrupted run can be **resumed**: reopening the store
 with the same run parameters loads every completed row, tolerates a
-truncated final line (the telltale of a killed process), and lets the
-runner skip the campaigns whose keys are already recorded — identical rows,
-no recomputation.  Reopening with *different* run parameters is an error:
+truncated final line (the telltale of a killed process; a zero-byte file or
+a truncated manifest line is simply a fresh store), and lets the runner
+skip the campaigns whose keys are already recorded — identical rows, no
+recomputation.  Reopening with *different* run parameters is an error:
 mixing rows from two different runs in one file would silently corrupt
 every table rendered from it.
 
 Because rows are appended in deterministic campaign order, a resumed file
 is byte-for-byte identical to the file an uninterrupted run writes.
+
+Beyond the primary key index every store maintains a **secondary index by
+``(family, n, strategy)``** — one comparison-table cell block per group —
+and :func:`merge_result_stores` recombines several stores (e.g. the
+per-strategy halves of a split comparison sweep) into one read-only store,
+refusing key collisions whose records disagree: a fingerprint mismatch
+means the stores were built against different constructions.
 """
 
 from __future__ import annotations
@@ -33,10 +41,17 @@ from typing import Dict, IO, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
 from repro.results.frame import Column, ResultFrame
-from repro.results.records import RESULT_COLUMNS
+from repro.results.records import RESULT_COLUMNS, effective_strategy
 
 #: Format identifier embedded in every manifest this module writes.
-STORE_FORMAT_VERSION = 1
+#: Version history:
+#: 1 — PR 4: initial JSONL store (suite battery seeds hashed scenario
+#:     *position*; no ``strategy`` column).
+#: 2 — PR 5: battery seeds hash scenario *identity* (canonical string +
+#:     occurrence + plan) and records carry ``strategy``.  Version-1 stores
+#:     hold rows the new seed scheme can never reproduce, so resuming or
+#:     merging them must refuse loudly instead of silently mixing schemes.
+STORE_FORMAT_VERSION = 2
 
 
 class ResultStoreError(ReproError):
@@ -79,11 +94,30 @@ class ResultStore:
         self.run: Dict[str, object] = dict(run)
         self.frame = ResultFrame(columns)
         self._keys: Dict[str, int] = {}
+        #: Secondary index: ``(family, n, strategy) -> row keys`` in append
+        #: order, so reports and merges can address one comparison cell's
+        #: campaigns directly (the strategy is the *effective* one — the
+        #: scheme actually built when the scenario asked for ``auto``).
+        self._groups: Dict[Tuple[object, object, object], List[str]] = {}
         self._handle: Optional[IO[str]] = None
 
     # ------------------------------------------------------------------
     # Opening
     # ------------------------------------------------------------------
+    @classmethod
+    def _start_fresh(
+        cls,
+        path: str,
+        run: Mapping[str, object],
+        columns: Sequence[Column],
+    ) -> "ResultStore":
+        """Write a new manifest at ``path`` (overwriting whatever is there)."""
+        store = cls(path, run, columns)
+        store._handle = open(path, "w", encoding="utf-8")
+        store._handle.write(_dump_line(_manifest_document(run, columns)) + "\n")
+        store._handle.flush()
+        return store
+
     @classmethod
     def create(
         cls,
@@ -96,11 +130,7 @@ class ResultStore:
             raise ResultStoreError(
                 f"result store {path!r} already exists; resume it or remove it"
             )
-        store = cls(path, run, columns)
-        store._handle = open(path, "w", encoding="utf-8")
-        store._handle.write(_dump_line(_manifest_document(run, columns)) + "\n")
-        store._handle.flush()
-        return store
+        return cls._start_fresh(path, run, columns)
 
     @classmethod
     def open(
@@ -114,10 +144,24 @@ class ResultStore:
         An existing file must carry a manifest whose run parameters equal
         ``run`` — resuming a store written by a different run is refused.
         A truncated final line (killed writer) is discarded; every complete
-        row is loaded and its key marked as done.
+        row is loaded and its key marked as done.  A zero-byte file — or
+        one holding only a prefix of this run's manifest line, the telltale
+        of a writer killed before its first flush completed — is a fresh
+        store, not a parse error.
         """
-        if not os.path.exists(path):
-            return cls.create(path, run, columns)
+        if not os.path.exists(path) or os.path.getsize(path) == 0:
+            return cls._start_fresh(path, run, columns)
+        # A newline-less file that is a strict prefix of this run's manifest
+        # line is a write killed before the first flush completed: start
+        # fresh.  Reading one character past the manifest length bounds the
+        # check — no need to slurp a large store here; anything else
+        # (foreign content, a different run's manifest) falls through to
+        # the normal resume path and its precise errors.
+        manifest_line = _dump_line(_manifest_document(run, columns))
+        with open(path, "r", encoding="utf-8") as handle:
+            prefix = handle.read(len(manifest_line) + 1)
+        if "\n" not in prefix and manifest_line.startswith(prefix):
+            return cls._start_fresh(path, run, columns)
         store = cls(path, run, columns)
         keep_bytes = store._read_existing(expected_run=run)
         # Drop a truncated trailing line before appending anything new.
@@ -200,9 +244,21 @@ class ResultStore:
                 raise ResultStoreError(
                     f"result store {self.path!r} records key {key!r} twice"
                 )
-            self._keys[key] = self.frame.append(document.get("record", {}))
+            self._index_row(key, document.get("record", {}))
             keep += len(line) + 1
         return keep
+
+    def _index_row(
+        self, key: str, record: Mapping[str, object]
+    ) -> Dict[str, object]:
+        """Append a record to the frame and both indexes; return the
+        coerced row (so writers need not rebuild it)."""
+        index = self.frame.append(record)
+        self._keys[key] = index
+        row = self.frame.row(index)
+        group = (row.get("family"), row.get("n"), effective_strategy(row))
+        self._groups.setdefault(group, []).append(key)
+        return row
 
     # ------------------------------------------------------------------
     # Reading
@@ -222,6 +278,23 @@ class ResultStore:
         """Return the record stored under ``key``."""
         return self.frame.row(self._keys[key])
 
+    def group_index(self) -> Dict[Tuple[object, object, object], Tuple[str, ...]]:
+        """Return the ``(family, n, strategy) -> row keys`` secondary index.
+
+        The strategy component is the *effective* one — the scheme actually
+        built when the scenario asked for ``auto``, and the built scheme for
+        records from stores predating the ``strategy`` column — so one group
+        is one cell block of the strategy-comparison tables.  Groups and
+        their keys are in first-seen/append order.
+        """
+        return {group: tuple(keys) for group, keys in self._groups.items()}
+
+    def keys_for(
+        self, family: object, n: object, strategy: object
+    ) -> Tuple[str, ...]:
+        """Return the row keys recorded under one ``(family, n, strategy)``."""
+        return tuple(self._groups.get((family, n, strategy), ()))
+
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
@@ -233,11 +306,9 @@ class ResultStore:
             )
         if key in self._keys:
             raise ResultStoreError(f"key {key!r} is already recorded")
-        index = self.frame.append(record)
-        self._keys[key] = index
+        row = self._index_row(key, record)
         self._handle.write(
-            _dump_line({"kind": "row", "key": key, "record": self.frame.row(index)})
-            + "\n"
+            _dump_line({"kind": "row", "key": key, "record": row}) + "\n"
         )
         self._handle.flush()
 
@@ -252,3 +323,87 @@ class ResultStore:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _merge_runs(runs: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    """Fold several run manifests into one reporting manifest.
+
+    ``scenarios`` lists are unioned in first-seen order (each store holds
+    one slice of the sweep); every other key is kept only when all stores
+    that carry it agree, so a merged report never shows a parameter that
+    was not in fact common to the merged runs.
+    """
+    merged: Dict[str, object] = {}
+    scenarios: List[object] = []
+    seen_scenarios: Dict[object, None] = {}
+    disputed: set = set()
+    for run in runs:
+        for scenario in run.get("scenarios") or ():
+            if scenario not in seen_scenarios:
+                seen_scenarios[scenario] = None
+                scenarios.append(scenario)
+        for key, value in run.items():
+            if key == "scenarios" or key in disputed:
+                continue
+            if key in merged and merged[key] != value:
+                del merged[key]
+                disputed.add(key)
+            elif key not in merged:
+                merged[key] = value
+    if scenarios:
+        merged["scenarios"] = scenarios
+    return merged
+
+
+def merge_result_stores(
+    paths: Sequence[str], columns: Sequence[Column] = RESULT_COLUMNS
+) -> ResultStore:
+    """Load several stores and merge their rows into one read-only store.
+
+    Rows are keyed by the same content addresses the stores use
+    (``scenario#plan``), so slices of one logical sweep — e.g. the
+    ``kernel`` and ``circular`` halves of a strategy comparison run into
+    separate files — recombine exactly.  A key recorded in more than one
+    store must carry the identical record; in particular a **fingerprint
+    mismatch means the stores were built against different constructions
+    and merging them would silently corrupt every table**, so it is a hard
+    error rather than a pick-one merge.  The merged manifest unions the
+    scenario lists and keeps only the campaign parameters all stores agree
+    on (see :func:`_merge_runs`).
+    """
+    if not paths:
+        raise ResultStoreError("no result stores to merge")
+    stores = [ResultStore.load(path, columns) for path in paths]
+    merged = ResultStore(
+        "+".join(paths), _merge_runs([store.run for store in stores]), columns
+    )
+    origin: Dict[str, str] = {}
+    for store in stores:
+        for key in store.keys():
+            record = store.get(key)
+            if key not in merged._keys:
+                merged._index_row(key, record)
+                origin[key] = store.path
+                continue
+            existing = merged.get(key)
+            if existing.get("fingerprint") != record.get("fingerprint"):
+                raise ResultStoreError(
+                    f"stores {origin[key]!r} and {store.path!r} both record "
+                    f"key {key!r} but against different routings "
+                    f"(fingerprints {str(existing.get('fingerprint'))[:12]}... "
+                    f"vs {str(record.get('fingerprint'))[:12]}...); they "
+                    "belong to different constructions and cannot be merged"
+                )
+            if existing != record:
+                differing = sorted(
+                    name
+                    for name in set(existing) | set(record)
+                    if existing.get(name) != record.get(name)
+                )
+                raise ResultStoreError(
+                    f"stores {origin[key]!r} and {store.path!r} both record "
+                    f"key {key!r} with the same fingerprint but differing "
+                    f"values in {differing}; they were produced by different "
+                    "campaign parameters and cannot be merged"
+                )
+    return merged

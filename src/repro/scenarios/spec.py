@@ -34,17 +34,20 @@ hashable values — they carry no graph or routing objects, which is what
 makes them cheap to ship to campaign worker processes (workers rebuild the
 workload deterministically from the string alone).
 
-**Scenario grids** extend the same grammar with inclusive integer ranges,
-so one spec sweeps a whole family (see :class:`ScenarioGrid` /
-:func:`parse_grid`):
+**Scenario grids** extend the same grammar with inclusive integer ranges
+and strategy sets, so one spec sweeps a whole family (see
+:class:`ScenarioGrid` / :func:`parse_grid`):
 
 .. code-block:: text
 
     hypercube:d=3..8/kernel/t=1..3/sizes:1-5
+    hypercube:d=3..5/kernel|circular/t=1..2/sizes:1-3
 
-``lo..hi`` sweeps named integer graph parameters and ``t``; ``sizes:a-b``
-expands to the size list ``a,a+1,...,b`` within each scenario.  Every plain
-scenario string is a one-scenario grid.
+``lo..hi`` sweeps named integer graph parameters and ``t``;
+``kernel|circular`` sweeps routing strategies (the axis of the paper's
+side-by-side comparison tables); ``sizes:a-b`` expands to the size list
+``a,a+1,...,b`` within each scenario.  Every plain scenario string is a
+one-scenario grid.
 """
 
 from __future__ import annotations
@@ -54,7 +57,7 @@ import itertools
 import re
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.core.builder import STRATEGIES, build_routing
+from repro.core.builder import STRATEGIES, available_strategies, build_routing
 from repro.core.construction import ConstructionResult
 from repro.graphs.graph import Graph
 from repro.graphs.registry import (
@@ -66,6 +69,17 @@ from repro.graphs.registry import (
 
 #: Fault-model kinds understood by the scenario grammar.
 FAULT_KINDS = ("sizes", "random", "exhaustive")
+
+
+def _strategy_listing() -> str:
+    """Render the known strategy names for error messages (sorted, with auto).
+
+    One shared helper so the scenario parser, the grid parser and
+    :class:`Scenario` validation all show the identical, cleanly formatted
+    listing (:func:`repro.core.builder.available_strategies` sorts ``auto``
+    into place rather than appending it).
+    """
+    return ", ".join(available_strategies())
 
 
 @dataclasses.dataclass(frozen=True)
@@ -170,7 +184,7 @@ class Scenario:
         if self.strategy != "auto" and self.strategy not in STRATEGIES:
             raise ValueError(
                 f"unknown routing strategy {self.strategy!r}; available: "
-                f"{sorted(STRATEGIES) + ['auto']}"
+                f"{_strategy_listing()}"
             )
         if self.t is not None and self.t < 0:
             raise ValueError("fault parameter t must be non-negative")
@@ -244,10 +258,16 @@ def parse_scenario(text: str) -> Scenario:
                 raise ValueError(f"duplicate strategy segment in {text!r}")
             strategy = segment
             continue
+        if "|" in segment:
+            raise ValueError(
+                f"strategy set {segment!r} is grid syntax; a scenario names "
+                "exactly one strategy — sweep strategy sets with parse_grid "
+                "/ `repro grid`"
+            )
         raise ValueError(
             f"unrecognised scenario segment {segment!r}; expected a strategy "
-            f"({sorted(STRATEGIES) + ['auto']}), t=<int>, or a fault model "
-            f"({'/'.join(FAULT_KINDS)})"
+            f"({_strategy_listing()}), t=<int>, or a fault model "
+            f"({', '.join(FAULT_KINDS)})"
         )
     return Scenario(
         graph_spec=graph_spec,
@@ -325,41 +345,55 @@ def _range_or_value(raw: str, context: str) -> Union[int, Range]:
 class ScenarioGrid:
     """A rectangular sweep of scenarios in one spec string.
 
-    The grid grammar is the scenario grammar plus inclusive integer ranges:
+    The grid grammar is the scenario grammar plus inclusive integer ranges
+    and strategy sets:
 
     .. code-block:: text
 
         hypercube:d=3..8/kernel/t=1..3/sizes:1-5
+        hypercube:d=3..5/kernel|circular/t=1..2/sizes:1-3
         circulant:n=16..24,offsets=1+2/kernel/random:p=0.1
         torus:rows=3..5,cols=4/circular/t=2
 
     ``lo..hi`` sweeps any named integer graph parameter and the fault
-    parameter ``t``; ``sizes:a-b`` is list shorthand expanding to
-    ``sizes:a,a+1,...,b`` *within* each scenario (fault-set sizes are rows
-    of one campaign table, not separate grid cells).  A spec without any
-    range is a one-scenario grid, so every valid scenario string is also a
-    valid grid string.
+    parameter ``t``; ``a|b|c`` in the strategy segment sweeps routing
+    strategies — the axis of the paper's kernel-vs-circular comparison
+    tables — expanding one scenario per strategy in written order (the
+    rendered comparison table sorts its column groups by strategy name);
+    ``sizes:a-b`` is list shorthand expanding to ``sizes:a,a+1,...,b``
+    *within* each scenario (fault-set sizes are rows of one campaign table,
+    not separate grid cells).  A spec without any range is a one-scenario
+    grid, so every valid scenario string is also a valid grid string.
 
     :meth:`scenarios` expands the axes in declared parameter order with
-    ``t`` varying fastest; the expansion is a pure function of the canonical
-    grid string, which is what makes grid campaigns resumable (row keys are
-    stable across runs).
+    ``t`` varying fastest and the strategy axis just above it; the
+    expansion is a pure function of the canonical grid string, which is
+    what makes grid campaigns resumable (row keys are stable across runs).
     """
 
     family: str
     #: Every family parameter in declared order; swept parameters hold a
     #: :class:`Range`, fixed ones their concrete value.
     graph_values: Tuple[Tuple[str, object], ...]
-    strategy: str = "auto"
+    #: One strategy name, or a tuple of them (a swept strategy axis).
+    strategy: Union[str, Tuple[str, ...]] = "auto"
     t: Union[None, int, Range] = None
     faults: FaultModel = DEFAULT_FAULT_MODEL
 
-    def axes(self) -> List[Tuple[str, Tuple[int, ...]]]:
+    def strategies(self) -> Tuple[str, ...]:
+        """Return the strategy axis values (a single strategy is one value)."""
+        if isinstance(self.strategy, tuple):
+            return self.strategy
+        return (self.strategy,)
+
+    def axes(self) -> List[Tuple[str, Tuple[object, ...]]]:
         """Return the sweep axes as ``(label, values)`` in expansion order."""
-        axes: List[Tuple[str, Tuple[int, ...]]] = []
+        axes: List[Tuple[str, Tuple[object, ...]]] = []
         for name, value in self.graph_values:
             if isinstance(value, Range):
                 axes.append((name, value.values()))
+        if isinstance(self.strategy, tuple):
+            axes.append(("strategy", self.strategy))
         if isinstance(self.t, Range):
             axes.append(("t", self.t.values()))
         return axes
@@ -395,15 +429,16 @@ class ScenarioGrid:
                 {name: value for (name, _), value in zip(graph_axes, combo)}
             )
             spec = family.canonical(values)
-            for t in t_values:
-                scenarios.append(
-                    Scenario(
-                        graph_spec=spec,
-                        strategy=self.strategy,
-                        t=t,
-                        faults=self.faults,
+            for strategy in self.strategies():
+                for t in t_values:
+                    scenarios.append(
+                        Scenario(
+                            graph_spec=spec,
+                            strategy=strategy,
+                            t=t,
+                            faults=self.faults,
+                        )
                     )
-                )
         return scenarios
 
     def canonical(self) -> str:
@@ -423,7 +458,7 @@ class ScenarioGrid:
             graph = f"{self.family}:{rendered}"
         else:
             graph = self.family
-        segments = [graph, self.strategy]
+        segments = [graph, "|".join(self.strategies())]
         if self.t is not None:
             rendered_t = (
                 self.t.canonical() if isinstance(self.t, Range) else str(self.t)
@@ -485,6 +520,34 @@ def _parse_grid_graph_segment(
     return family.name, graph_values
 
 
+def _parse_strategy_set(segment: str) -> Tuple[str, ...]:
+    """Parse a ``a|b|c`` strategy-set segment of a grid spec.
+
+    Written order is preserved — it fixes the expansion order and therefore
+    the store row order (comparison-table *columns* are sorted by strategy
+    name at render time); duplicates and unknown names are rejected.
+    """
+    tokens = [token.strip() for token in segment.split("|")]
+    if any(not token for token in tokens):
+        raise ValueError(
+            f"strategy set {segment!r} has an empty member; write e.g. "
+            "kernel|circular"
+        )
+    seen: Dict[str, None] = {}
+    for token in tokens:
+        if token != "auto" and token not in STRATEGIES:
+            raise ValueError(
+                f"unknown routing strategy {token!r} in strategy set "
+                f"{segment!r}; available: {_strategy_listing()}"
+            )
+        if token in seen:
+            raise ValueError(
+                f"strategy set {segment!r} lists {token!r} more than once"
+            )
+        seen[token] = None
+    return tuple(tokens)
+
+
 def _parse_grid_fault_model(segment: str) -> FaultModel:
     """Parse a fault-model segment, expanding ``sizes:a-b`` shorthand."""
     kind = segment.partition(":")[0].strip().lower()
@@ -527,7 +590,7 @@ def parse_grid(text: str) -> ScenarioGrid:
     if not segments or not segments[0]:
         raise ValueError("grid spec is empty; expected at least a graph spec")
     family, graph_values = _parse_grid_graph_segment(segments[0])
-    strategy: Optional[str] = None
+    strategy: Union[None, str, Tuple[str, ...]] = None
     t: Union[None, int, Range] = None
     faults: Optional[FaultModel] = None
     for segment in segments[1:]:
@@ -561,10 +624,16 @@ def parse_grid(text: str) -> ScenarioGrid:
                 raise ValueError(f"duplicate strategy segment in {text!r}")
             strategy = segment
             continue
+        if "|" in segment:
+            if strategy is not None:
+                raise ValueError(f"duplicate strategy segment in {text!r}")
+            strategies = _parse_strategy_set(segment)
+            strategy = strategies if len(strategies) > 1 else strategies[0]
+            continue
         raise ValueError(
             f"unrecognised grid segment {segment!r}; expected a strategy "
-            f"({sorted(STRATEGIES) + ['auto']}), t=<int|lo..hi>, or a fault "
-            f"model ({'/'.join(FAULT_KINDS)})"
+            f"({_strategy_listing()}) or a|b strategy set, t=<int|lo..hi>, "
+            f"or a fault model ({', '.join(FAULT_KINDS)})"
         )
     grid = ScenarioGrid(
         family=family,
@@ -578,8 +647,12 @@ def parse_grid(text: str) -> ScenarioGrid:
     # mid-campaign.
     if isinstance(t, int) and t < 0:
         raise ValueError("fault parameter t must be non-negative")
-    if grid.strategy != "auto" and grid.strategy not in STRATEGIES:
-        raise ValueError(f"unknown routing strategy {grid.strategy!r}")
+    for name in grid.strategies():
+        if name != "auto" and name not in STRATEGIES:
+            raise ValueError(
+                f"unknown routing strategy {name!r}; available: "
+                f"{_strategy_listing()}"
+            )
     return grid
 
 

@@ -14,7 +14,10 @@ count and any ``PYTHONHASHSEED``:
 
 1. tasks are a pure function of the scenario list, ``samples``, ``seed`` and
    ``chunk_size`` — never of the worker count — and results are folded in
-   task order;
+   task order; battery seeds hash each campaign's *identity* (canonical
+   scenario string, occurrence, plan index), not its suite position, so the
+   same scenario yields byte-identical rows in every suite that contains it
+   (split runs merge losslessly via ``repro report store_a store_b``);
 2. workers regenerate their battery slice locally from per-shard SHA-256
    seeds; the parent builds each scenario exactly once and broadcasts the
    slim route indexes through the pool initializer (one payload per worker
@@ -45,8 +48,10 @@ import math
 import random as _random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.builder import build_routing
 from repro.core.construction import ConstructionResult
 from repro.core.route_index import RouteIndex
+from repro.exceptions import ReproError
 from repro.faults.engine import DEFAULT_CHUNK_SIZE, _combinations_slice, shard_seed
 from repro.faults.models import FaultSet
 from repro.faults.simulation import (
@@ -149,12 +154,13 @@ class ScenarioRow:
 
     def record(self) -> Dict[str, object]:
         """Return the unified result record for this row."""
-        from repro.results.records import scenario_family
+        from repro.results.records import scenario_family, scenario_strategy
 
         return self.campaign.record(
             source="suite",
             scenario=self.scenario,
             family=scenario_family(self.scenario),
+            strategy=scenario_strategy(self.scenario),
             scheme=self.scheme,
             n=self.nodes,
             m=self.edges,
@@ -287,28 +293,41 @@ def _expand_tasks(
     bound: Optional[float],
     node_counts: Optional[Sequence[Optional[int]]] = None,
     skip: Iterable[Tuple[int, int]] = (),
+    drop: Iterable[int] = (),
 ) -> Tuple[List[_SuiteTask], List[Tuple[Tuple[int, int], int]]]:
     """Flatten the suite into shard tasks plus per-campaign metadata.
 
     Returns ``(tasks, campaigns)`` where ``campaigns[j] = (campaign_key,
-    fault_size)`` in row order.  Task seeds hash the campaign's *position*
-    (scenario index, plan index) as well as the canonical scenario string,
-    so distinct scenarios — and repeated scenarios or repeated fault sizes
-    within one — always draw independent batteries under one suite seed
-    (mirroring ``CampaignEngine.sweep_fault_sizes``).
+    fault_size)`` in row order.  Task seeds hash the campaign's *identity*
+    — the canonical scenario string, its occurrence number (repeats of one
+    spec in a suite) and the plan index — never the scenario's position in
+    the suite.  Repeated scenarios and repeated fault sizes still draw
+    independent batteries under one suite seed, while the same scenario
+    produces byte-identical rows in *any* suite that contains it: a grid
+    split across several runs/stores and merged back together yields
+    exactly the rows of the combined run (the substrate of the
+    strategy-comparison tables assembled with ``repro report a b``).
 
     Campaign keys in ``skip`` (already recorded in a resumed result store)
     stay in ``campaigns`` — the row order is that of an uninterrupted run —
     but contribute no shard tasks: their rows are rehydrated from the store
-    instead of recomputed.  Because task seeds depend only on positions and
-    canonical strings, the surviving tasks are exactly the ones the
-    uninterrupted run would have evaluated.
+    instead of recomputed.  Scenario indices in ``drop`` (constructions
+    that do not apply under ``skip_inapplicable``) contribute neither tasks
+    nor campaign rows.  Because task seeds depend only on identities, the
+    surviving tasks are exactly the ones the uninterrupted run would have
+    evaluated.
     """
     skipped = set(skip)
+    dropped = set(drop)
+    occurrences: Dict[str, int] = {}
     tasks: List[_SuiteTask] = []
     campaigns: List[Tuple[Tuple[int, int], int]] = []
     for scenario_index, scenario in enumerate(scenarios):
         spec = scenario.canonical()
+        occurrence = occurrences.get(spec, 0)
+        occurrences[spec] = occurrence + 1
+        if scenario_index in dropped:
+            continue
         node_count = node_counts[scenario_index] if node_counts else None
         for plan_index, (mode, fault_size, p, total) in enumerate(
             _campaign_plans(scenario, samples, node_count)
@@ -318,7 +337,7 @@ def _expand_tasks(
             if campaign_key in skipped:
                 continue
             tag = (
-                f"{scenario_index}.{plan_index}|{spec}|{mode}|size={fault_size}"
+                f"{spec}@{occurrence}#{plan_index}|{mode}|size={fault_size}"
             )
             for shard_index, start in enumerate(range(0, total, chunk_size)):
                 count = min(chunk_size, total - start)
@@ -409,6 +428,8 @@ def run_scenario_suite(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     store=None,
     share_index: bool = True,
+    skip_inapplicable: Union[bool, Iterable[Union[str, int]]] = False,
+    skipped: Optional[List[Tuple[Scenario, str]]] = None,
 ) -> List[ScenarioRow]:
     """Run campaigns for every scenario and return one row per campaign.
 
@@ -447,6 +468,26 @@ def run_scenario_suite(
         restore the rebuild-and-verify behaviour, which turns the parent's
         fingerprint comparison into a genuine cross-process determinism
         check.
+    skip_inapplicable:
+        Drop scenarios whose construction does not apply to their graph
+        (e.g. ``circular`` on a hypercube too small for its neighbourhood
+        set) instead of raising.  ``True`` makes every scenario eligible;
+        an iterable restricts dropping to its members — canonical scenario
+        strings, or suite positions (ints) when the same scenario string
+        must be treated differently per occurrence (so one suite can mix
+        strategy-axis scenarios, which skip, with explicitly requested
+        ones, which still fail loudly).  Dropped
+        scenarios contribute no rows and no store records; because
+        construction is deterministic, a resumed run drops exactly the
+        same scenarios, so stores stay byte-exact.  This is how
+        strategy-axis grids sweep ``kernel|circular`` across families
+        where not every strategy applies everywhere.  Graph construction
+        itself is never forgiven: a malformed graph axis raises
+        regardless.
+    skipped:
+        Optional list the suite appends ``(scenario, reason)`` pairs to for
+        every scenario dropped under ``skip_inapplicable`` (in suite
+        order), so callers can surface what the table will not show.
 
     Raises
     ------
@@ -481,7 +522,15 @@ def run_scenario_suite(
     # worker-side cache, so each scenario is built exactly once in-process;
     # only the *slim* index (when a sharing pool will need it) outlives the
     # loop, so the suite never holds every full index at once.
+    if isinstance(skip_inapplicable, bool):
+        may_skip = (
+            set(range(len(scenario_list))) if skip_inapplicable else set()
+        )
+    else:
+        may_skip = set(skip_inapplicable)
+
     built: Dict[int, Tuple[Scenario, ConstructionResult, int, int, str]] = {}
+    dropped: Dict[int, str] = {}
     payload: Optional[Dict[str, Tuple[RouteIndex, str]]] = (
         {} if workers > 1 and share_index else None
     )
@@ -491,7 +540,24 @@ def run_scenario_suite(
             for plan_index in range(len(keys[scenario_index]))
         ):
             continue
-        graph, result = scenario.build()
+        # Graph construction stays outside the applicability guard: a bad
+        # graph axis (e.g. cycle:n=2) is a malformed grid and must fail the
+        # run, not be mislabelled "strategy not applicable" and dropped.
+        graph = scenario.build_graph()
+        try:
+            result = build_routing(graph, strategy=scenario.strategy, t=scenario.t)
+        except (ReproError, ValueError) as exc:
+            # ValueError covers substrate-level refusals such as "complete
+            # graphs have no separating set" (as build_routing's auto mode).
+            if (
+                scenario_index not in may_skip
+                and scenario.canonical() not in may_skip
+            ):
+                raise
+            dropped[scenario_index] = str(exc)
+            if skipped is not None:
+                skipped.append((scenario, str(exc)))
+            continue
         index = RouteIndex(graph, result.routing)
         _cache_workload(scenario.canonical(), (index, result.fingerprint()))
         if payload is not None:
@@ -527,7 +593,11 @@ def run_scenario_suite(
     for scenario_index in range(len(scenario_list)):
         if scenario_index in built:
             node_counts.append(built[scenario_index][2])
-        elif store is not None and keys[scenario_index]:
+        elif (
+            scenario_index not in dropped
+            and store is not None
+            and keys[scenario_index]
+        ):
             node_counts.append(store.get(keys[scenario_index][0]).get("n"))
         else:
             node_counts.append(None)
@@ -540,6 +610,7 @@ def run_scenario_suite(
         bound,
         node_counts=node_counts,
         skip=completed,
+        drop=dropped,
     )
     fault_sizes = dict(campaigns)
 

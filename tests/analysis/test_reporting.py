@@ -80,25 +80,96 @@ def _decision_frame():
 
 
 class TestScalingTable:
-    def test_exact_frame_pivots_worst_diameter(self):
+    def test_exact_frame_pivots_mean_and_worst_diameter(self):
         rows, columns, metric = scaling_table(_exact_frame())
-        assert metric == "worst surviving diameter"
+        assert metric == "surviving diameter, mean ± worst"
         assert columns == ["family", "n", "t=1", "t=2"]
-        # Sorted by family then size; cells fold with max.
-        assert rows[0] == {"family": "hypercube", "n": 8, "t=1": 3.0, "t=2": 4.0}
-        assert rows[1] == {"family": "hypercube", "n": 16, "t=1": 4.0, "t=2": None}
-        assert rows[2] == {"family": "torus", "n": 12, "t=1": 7.0, "t=2": None}
+        # Sorted by family then size; cells fold into (mean, worst).
+        assert rows[0] == {
+            "family": "hypercube", "n": 8, "t=1": (3.0, 3.0), "t=2": (4.0, 4.0)
+        }
+        assert rows[1] == {
+            "family": "hypercube", "n": 16, "t=1": (4.0, 4.0), "t=2": None
+        }
+        assert rows[2] == {
+            "family": "torus", "n": 12, "t=1": (6.5, 7.0), "t=2": None
+        }
 
-    def test_decision_frame_pivots_weakest_pass_rate(self):
+    def test_decision_frame_pivots_mean_and_weakest_pass_rate(self):
         rows, columns, metric = scaling_table(_decision_frame())
-        assert metric == "pass rate"
-        assert rows[0]["t=1"] == 0.9  # min across the cell's campaigns
-        assert rows[1]["t=2"] == 0.5
+        assert metric == "pass rate, mean ± worst"
+        assert rows[0]["t=1"] == (0.95, 0.9)  # mean, min across the cell
+        assert rows[1]["t=2"] == (0.5, 0.5)
 
     def test_empty_frame(self):
         rows, columns, metric = scaling_table(result_frame())
         assert rows == []
         assert columns == ["family", "n"]
+
+    def test_multi_strategy_frame_uses_comparison_layout(self):
+        frame = result_frame(
+            [
+                {"kind": "exact", "family": "cycle", "n": 10, "t": 1,
+                 "strategy": "kernel", "worst_diam": 4.0},
+                {"kind": "exact", "family": "cycle", "n": 10, "t": 1,
+                 "strategy": "kernel", "worst_diam": 6.0},
+                {"kind": "exact", "family": "cycle", "n": 10, "t": 1,
+                 "strategy": "circular", "worst_diam": 5.0},
+                {"kind": "exact", "family": "cycle", "n": 12, "t": 1,
+                 "strategy": "kernel", "worst_diam": 7.0},
+            ]
+        )
+        rows, columns, _ = scaling_table(frame)
+        # Strategy groups sorted by name, each crossed with t.
+        assert columns == ["family", "n", "circular t=1", "kernel t=1"]
+        assert rows[0] == {
+            "family": "cycle", "n": 10,
+            "circular t=1": (5.0, 5.0), "kernel t=1": (5.0, 6.0),
+        }
+        # circular never ran at n=12: an empty comparison cell, not an error.
+        assert rows[1]["circular t=1"] is None
+
+    def test_auto_strategy_compares_under_built_scheme(self):
+        frame = result_frame(
+            [
+                {"kind": "exact", "family": "cycle", "n": 10, "t": 1,
+                 "strategy": "auto", "scheme": "circular", "worst_diam": 5.0},
+                {"kind": "exact", "family": "cycle", "n": 10, "t": 1,
+                 "strategy": "kernel", "scheme": "kernel", "worst_diam": 4.0},
+            ]
+        )
+        rows, columns, _ = scaling_table(frame)
+        assert columns == ["family", "n", "circular t=1", "kernel t=1"]
+
+    def test_strategyless_rows_group_under_unspecified(self):
+        # Bare engine campaigns carry neither strategy nor scheme; in a
+        # comparison frame they group under "unspecified", not None.
+        frame = result_frame(
+            [
+                {"kind": "exact", "family": "cycle", "n": 10, "t": 1,
+                 "strategy": "kernel", "worst_diam": 4.0},
+                {"kind": "exact", "family": "cycle", "n": 10, "t": 1,
+                 "strategy": "circular", "worst_diam": 5.0},
+                {"kind": "exact", "family": "cycle", "n": 10, "t": 1,
+                 "worst_diam": 6.0},
+            ]
+        )
+        _, columns, _ = scaling_table(frame)
+        assert columns == [
+            "family", "n", "circular t=1", "kernel t=1", "unspecified t=1"
+        ]
+
+    def test_single_strategy_frame_keeps_plain_columns(self):
+        frame = result_frame(
+            [
+                {"kind": "exact", "family": "cycle", "n": 10, "t": 1,
+                 "strategy": "kernel", "worst_diam": 4.0},
+                {"kind": "exact", "family": "cycle", "n": 12, "t": 2,
+                 "strategy": "kernel", "worst_diam": 5.0},
+            ]
+        )
+        _, columns, _ = scaling_table(frame)
+        assert columns == ["family", "n", "t=1", "t=2"]
 
 
 class TestRenderers:
@@ -109,8 +180,10 @@ class TestRenderers:
         assert lines[0] == "Scaling"
         assert lines[2].startswith("| family | n | t=1 | t=2 |")
         assert set(lines[3].replace("|", "").split()) == {"---"}
+        # Single-campaign cells collapse to one number; multi-campaign cells
+        # show mean ± worst; missing cells render "-".
         assert "| hypercube | 8 | 3 | 4 |" in text
-        assert "| torus | 12 | 7 | - |" in text  # empty cell
+        assert "| torus | 12 | 6.5 ± 7 | - |" in text
 
     def test_markdown_no_rows(self):
         assert "(no rows)" in render_markdown_table([], ["a"])
@@ -120,7 +193,7 @@ class TestRenderers:
         text = render_csv_table(rows, columns)
         lines = text.splitlines()
         assert lines[0] == "family,n,t=1,t=2"
-        assert "torus,12,7,-" in lines
+        assert "torus,12,6.5 ± 7,-" in lines
 
     def test_scaling_report_markdown_is_deterministic(self):
         run = {"scenarios": ["hypercube:d=3/kernel/sizes:1"], "samples": 4, "seed": 7}
@@ -129,7 +202,7 @@ class TestRenderers:
         assert first == second
         assert first.startswith("# Scaling report")
         assert "samples=4" in first
-        assert "worst surviving diameter" in first
+        assert "surviving diameter, mean ± worst" in first
 
     def test_scaling_report_csv_format(self):
         text = render_scaling_report(_exact_frame(), fmt="csv")

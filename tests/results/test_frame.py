@@ -158,6 +158,47 @@ class TestRelationalHelpers:
         assert torus[2] is None
         assert torus[1] == 6.0
 
+    def test_pivot_mixed_type_column_values_sort_without_crashing(self):
+        # A json column may hold ints alongside strings (e.g. t values next
+        # to strategy names); the column sort must not compare int < str.
+        frame = make_frame(
+            [
+                {"family": "a", "extra": 2, "diam": 1.0},
+                {"family": "a", "extra": "kernel", "diam": 2.0},
+                {"family": "a", "extra": 1, "diam": 3.0},
+                {"family": "a", "extra": None, "diam": 4.0},
+            ]
+        )
+        rows, columns = frame.pivot(("family",), "extra", "diam", "max")
+        # Numbers first (numeric order), then strings, None last.
+        assert columns == [1, 2, "kernel", None]
+        assert rows[0][1] == 3.0 and rows[0]["kernel"] == 2.0
+
+    def test_pivot_multiple_aggregations_fold_cells_into_tuples(self):
+        rows, _ = self.frame.pivot(("family",), "t", "diam", ("mean", "max"))
+        torus = [row for row in rows if row["family"] == "torus"][0]
+        assert torus[1] == (5.5, 6.0)
+        assert torus[2] is None  # empty cells stay None, not (None, None)
+
+    def test_pivot_composite_columns_produce_tuple_values(self):
+        rows, columns = self.frame.pivot(("family",), ("n", "t"), "diam", "max")
+        assert columns == [(8, 1), (8, 2), (16, 1)]
+        hyper = [row for row in rows if row["family"] == "hypercube"][0]
+        assert hyper[(8, 1)] == 3.0
+        assert hyper[(16, 1)] == 4.0
+
+    def test_pivot_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            self.frame.pivot(("family",), "bogus", "diam")
+        with pytest.raises(KeyError):
+            self.frame.pivot(("family",), ("t", "bogus"), "diam")
+
+    def test_pivot_unknown_aggregation_raises(self):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            self.frame.pivot(("family",), "t", "diam", "median")
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            self.frame.pivot(("family",), "t", "diam", ("max", "median"))
+
 
 class TestUnifiedSchema:
     def test_result_frame_uses_shared_columns(self):

@@ -1,10 +1,15 @@
-"""Unit tests for the JSONL result store (manifest, resume, truncation)."""
+"""Unit tests for the JSONL result store (manifest, resume, truncation, merge)."""
 
 import json
 
 import pytest
 
-from repro.results import Column, ResultStore, ResultStoreError
+from repro.results import (
+    Column,
+    ResultStore,
+    ResultStoreError,
+    merge_result_stores,
+)
 
 COLUMNS = (
     Column("name", "str"),
@@ -94,6 +99,41 @@ class TestOpenResume:
         # The repaired file is byte-identical to the uninterrupted one.
         assert path.read_text() == text
 
+    def test_open_treats_zero_byte_file_as_fresh_store(self, tmp_path):
+        # A writer killed before its first flush leaves an empty file; that
+        # is a fresh store, not a parse error.
+        path = tmp_path / "out.jsonl"
+        path.write_text("")
+        with ResultStore.open(str(path), RUN, COLUMNS) as store:
+            assert len(store) == 0
+            store.append("a", {"name": "a", "value": 1.0})
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "manifest"
+        assert json.loads(lines[1])["key"] == "a"
+
+    def test_open_treats_truncated_manifest_as_fresh_store(self, tmp_path):
+        # Kill mid-manifest-write: the file holds a prefix of this run's
+        # manifest line and no newline.  Resume starts fresh.
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": 1.0})
+        full = path.read_text()
+        manifest_line = full.splitlines()[0]
+        path.write_text(manifest_line[: len(manifest_line) // 2])
+        with ResultStore.open(str(path), RUN, COLUMNS) as resumed:
+            assert len(resumed) == 0
+            resumed.append("a", {"name": "a", "value": 1.0})
+        assert path.read_text() == full
+
+    def test_open_refuses_foreign_newline_less_file(self, tmp_path):
+        # A newline-less file that is NOT a prefix of this run's manifest is
+        # somebody else's data; refuse rather than clobber it.
+        path = tmp_path / "out.jsonl"
+        path.write_text("precious non-store content")
+        with pytest.raises(ResultStoreError, match="no complete manifest"):
+            ResultStore.open(str(path), RUN, COLUMNS)
+        assert path.read_text() == "precious non-store content"
+
     def test_corrupt_middle_line_raises(self, tmp_path):
         path = tmp_path / "out.jsonl"
         with make_store(path) as store:
@@ -102,6 +142,27 @@ class TestOpenResume:
         path.write_text(lines[0] + "\n{broken\n" + lines[1] + "\n")
         with pytest.raises(ResultStoreError, match="corrupt"):
             ResultStore.open(str(path), RUN, COLUMNS)
+
+    def test_version_1_store_refused(self, tmp_path):
+        # Format 1 stores were written under the position-hashed battery
+        # seed scheme; resuming one would silently mix rows two schemes can
+        # never reconcile, so the version gate must refuse it loudly.
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": 1.0})
+        lines = path.read_text().splitlines(keepends=True)
+        manifest = json.loads(lines[0])
+        assert manifest["format"] == 2
+        manifest["format"] = 1
+        path.write_text(
+            json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+            + "\n"
+            + "".join(lines[1:])
+        )
+        with pytest.raises(ResultStoreError, match="has format 1"):
+            ResultStore.open(str(path), RUN, COLUMNS)
+        with pytest.raises(ResultStoreError, match="has format 1"):
+            ResultStore.load(str(path), COLUMNS)
 
     def test_missing_manifest_raises(self, tmp_path):
         path = tmp_path / "out.jsonl"
@@ -118,6 +179,156 @@ class TestOpenResume:
             handle.write(line + "\n")
         with pytest.raises(ResultStoreError, match="twice"):
             ResultStore.open(str(path), RUN, COLUMNS)
+
+
+#: Schema exercising the (family, n, strategy) secondary index and merging.
+GROUP_COLUMNS = (
+    Column("family", "str"),
+    Column("n", "int"),
+    Column("strategy", "str"),
+    Column("scheme", "str"),
+    Column("fingerprint", "str"),
+    Column("value", "float"),
+)
+
+
+def _group_store(path, rows, run=RUN):
+    store = ResultStore.create(str(path), run, GROUP_COLUMNS)
+    for key, record in rows:
+        store.append(key, record)
+    store.close()
+    return store
+
+
+class TestGroupIndex:
+    def test_groups_key_family_n_strategy(self, tmp_path):
+        store = _group_store(
+            tmp_path / "out.jsonl",
+            [
+                ("a#0", {"family": "cycle", "n": 10, "strategy": "kernel",
+                         "value": 1.0}),
+                ("a#1", {"family": "cycle", "n": 10, "strategy": "kernel",
+                         "value": 2.0}),
+                ("b#0", {"family": "cycle", "n": 10, "strategy": "circular",
+                         "value": 3.0}),
+            ],
+        )
+        index = store.group_index()
+        assert index[("cycle", 10, "kernel")] == ("a#0", "a#1")
+        assert store.keys_for("cycle", 10, "circular") == ("b#0",)
+        assert store.keys_for("cycle", 99, "kernel") == ()
+
+    def test_auto_strategy_indexed_under_built_scheme(self, tmp_path):
+        store = _group_store(
+            tmp_path / "out.jsonl",
+            [("a#0", {"family": "cycle", "n": 10, "strategy": "auto",
+                      "scheme": "circular", "value": 1.0})],
+        )
+        assert store.keys_for("cycle", 10, "circular") == ("a#0",)
+
+    def test_index_survives_reload(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        _group_store(
+            path,
+            [("a#0", {"family": "cycle", "n": 10, "strategy": "kernel",
+                      "value": 1.0})],
+        )
+        loaded = ResultStore.load(str(path), GROUP_COLUMNS)
+        assert loaded.keys_for("cycle", 10, "kernel") == ("a#0",)
+
+
+class TestMerge:
+    def _row(self, key, strategy, value, fingerprint="f" * 8):
+        return (
+            key,
+            {"family": "cycle", "n": 10, "strategy": strategy,
+             "fingerprint": fingerprint, "value": value},
+        )
+
+    def test_merge_unions_disjoint_stores(self, tmp_path):
+        _group_store(
+            tmp_path / "a.jsonl",
+            [self._row("k#0", "kernel", 1.0)],
+            run={"experiment": "unit", "seed": 7, "scenarios": ["k"]},
+        )
+        _group_store(
+            tmp_path / "b.jsonl",
+            [self._row("c#0", "circular", 2.0)],
+            run={"experiment": "unit", "seed": 7, "scenarios": ["c"]},
+        )
+        merged = merge_result_stores(
+            [str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")],
+            GROUP_COLUMNS,
+        )
+        assert merged.keys() == ("k#0", "c#0")
+        assert merged.get("c#0")["value"] == 2.0
+        # Manifests: scenarios union, agreeing keys kept.
+        assert merged.run["scenarios"] == ["k", "c"]
+        assert merged.run["seed"] == 7
+        # The secondary index spans both stores.
+        assert merged.keys_for("cycle", 10, "kernel") == ("k#0",)
+        assert merged.keys_for("cycle", 10, "circular") == ("c#0",)
+
+    def test_merge_dedupes_identical_records(self, tmp_path):
+        for name in ("a.jsonl", "b.jsonl"):
+            _group_store(tmp_path / name, [self._row("k#0", "kernel", 1.0)])
+        merged = merge_result_stores(
+            [str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")],
+            GROUP_COLUMNS,
+        )
+        assert merged.keys() == ("k#0",)
+
+    def test_merge_conflicting_fingerprints_is_hard_error(self, tmp_path):
+        _group_store(
+            tmp_path / "a.jsonl",
+            [self._row("k#0", "kernel", 1.0, fingerprint="aaaa")],
+        )
+        _group_store(
+            tmp_path / "b.jsonl",
+            [self._row("k#0", "kernel", 1.0, fingerprint="bbbb")],
+        )
+        with pytest.raises(ResultStoreError, match="different constructions"):
+            merge_result_stores(
+                [str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")],
+                GROUP_COLUMNS,
+            )
+
+    def test_merge_same_fingerprint_differing_values_is_error(self, tmp_path):
+        _group_store(tmp_path / "a.jsonl", [self._row("k#0", "kernel", 1.0)])
+        _group_store(tmp_path / "b.jsonl", [self._row("k#0", "kernel", 9.0)])
+        with pytest.raises(ResultStoreError, match="differing values.*value"):
+            merge_result_stores(
+                [str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")],
+                GROUP_COLUMNS,
+            )
+
+    def test_merge_disagreeing_run_parameters_are_dropped(self, tmp_path):
+        _group_store(
+            tmp_path / "a.jsonl",
+            [self._row("k#0", "kernel", 1.0)],
+            run={"experiment": "unit", "seed": 7},
+        )
+        _group_store(
+            tmp_path / "b.jsonl",
+            [self._row("c#0", "circular", 2.0)],
+            run={"experiment": "unit", "seed": 8},
+        )
+        merged = merge_result_stores(
+            [str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")],
+            GROUP_COLUMNS,
+        )
+        assert merged.run["experiment"] == "unit"
+        assert "seed" not in merged.run
+
+    def test_merged_store_is_read_only(self, tmp_path):
+        _group_store(tmp_path / "a.jsonl", [self._row("k#0", "kernel", 1.0)])
+        merged = merge_result_stores([str(tmp_path / "a.jsonl")], GROUP_COLUMNS)
+        with pytest.raises(ResultStoreError, match="read-only"):
+            merged.append("x", {"family": "cycle"})
+
+    def test_merge_no_stores_rejected(self):
+        with pytest.raises(ResultStoreError, match="no result stores"):
+            merge_result_stores([])
 
 
 class TestLoad:

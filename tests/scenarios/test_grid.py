@@ -94,10 +94,82 @@ class TestRangeParsing:
             parse_grid("  ")
 
 
+class TestStrategyAxis:
+    def test_strategy_set_parses(self):
+        grid = parse_grid("hypercube:d=3..5/kernel|circular/t=1..2/sizes:1-3")
+        assert grid.strategy == ("kernel", "circular")
+        assert grid.strategies() == ("kernel", "circular")
+        assert len(grid) == 12
+        assert grid.axes() == [
+            ("d", (3, 4, 5)),
+            ("strategy", ("kernel", "circular")),
+            ("t", (1, 2)),
+        ]
+
+    def test_single_strategy_stays_plain(self):
+        grid = parse_grid("hypercube:d=3..4/kernel")
+        assert grid.strategy == "kernel"
+        assert grid.strategies() == ("kernel",)
+        assert ("strategy", ("kernel",)) not in grid.axes()
+
+    def test_expansion_order_strategy_above_t(self):
+        grid = parse_grid("hypercube:d=3..4/kernel|circular/t=1..2/sizes:1")
+        assert [s.canonical() for s in grid.scenarios()][:4] == [
+            "hypercube:d=3/kernel/t=1/sizes:1",
+            "hypercube:d=3/kernel/t=2/sizes:1",
+            "hypercube:d=3/circular/t=1/sizes:1",
+            "hypercube:d=3/circular/t=2/sizes:1",
+        ]
+
+    def test_written_order_preserved(self):
+        grid = parse_grid("cycle:n=10/circular|kernel/sizes:1")
+        assert grid.strategy == ("circular", "kernel")
+        assert [s.strategy for s in grid.scenarios()] == ["circular", "kernel"]
+
+    def test_auto_allowed_as_member(self):
+        grid = parse_grid("cycle:n=10/auto|kernel/sizes:1")
+        assert grid.strategy == ("auto", "kernel")
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing strategy"):
+            parse_grid("cycle:n=10/kernel|bogus/sizes:1")
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            parse_grid("cycle:n=10/kernel|circular|kernel/sizes:1")
+
+    def test_empty_member_rejected(self):
+        with pytest.raises(ValueError, match="empty member"):
+            parse_grid("cycle:n=10/kernel|/sizes:1")
+
+    def test_duplicate_strategy_segments_rejected(self):
+        with pytest.raises(ValueError, match="duplicate strategy"):
+            parse_grid("cycle:n=10/kernel|circular/auto/sizes:1")
+
+    def test_one_member_set_collapses_to_plain_strategy(self):
+        grid = parse_grid("cycle:n=10/kernel/sizes:1")
+        assert grid == parse_grid("cycle:n=10/kernel/sizes:1")
+        assert grid.strategy == "kernel"
+
+    def test_scenario_parser_rejects_strategy_sets(self):
+        with pytest.raises(ValueError, match="grid syntax"):
+            parse_scenario("cycle:n=10/kernel|circular/sizes:1")
+
+    def test_strategy_set_canonical_round_trip(self):
+        grid = parse_grid("hypercube:d=3..5/kernel|circular/t=1..2/sizes:1-3")
+        assert (
+            grid.canonical()
+            == "hypercube:d=3..5/kernel|circular/t=1..2/sizes:1,2,3"
+        )
+        assert parse_grid(grid.canonical()) == grid
+
+
 class TestCanonicalRoundTrip:
     SPECS = [
         "hypercube:d=3..5/kernel/t=1..2/sizes:1-3",
         "hypercube:d=3..8/kernel",
+        "hypercube:d=3..5/kernel|circular/t=1..2/sizes:1-3",
+        "cycle:n=10..12/circular|kernel/sizes:1",
         "circulant:n=12..16,offsets=1+2/kernel/random:p=0.1",
         "torus:rows=3..4,cols=4/circular",
         "petersen/kernel/exhaustive:f=2",

@@ -322,6 +322,173 @@ class TestSuiteStoreResume:
                 run_scenario_suite(specs, samples=6, seed=0, store=store)
 
 
+class TestStrategyAxisSuite:
+    #: A two-strategy comparison grid where both constructions apply at
+    #: every size (cycles accept kernel and circular at t=1).
+    GRID = "cycle:n=10..12/kernel|circular/t=1/sizes:1"
+
+    def _scenarios(self):
+        from repro.scenarios import expand_grids
+
+        return expand_grids([self.GRID])
+
+    def test_split_runs_match_combined_run(self):
+        """Battery seeds hash scenario identity, not suite position: the
+        per-strategy halves of a comparison grid produce exactly the rows
+        of the combined run (the substrate of store merging)."""
+        from repro.scenarios import expand_grids
+
+        combined = _rows(self._scenarios(), samples=6, seed=9)
+        kernel = _rows(
+            expand_grids(["cycle:n=10..12/kernel/t=1/sizes:1"]),
+            samples=6,
+            seed=9,
+        )
+        circular = _rows(
+            expand_grids(["cycle:n=10..12/circular/t=1/sizes:1"]),
+            samples=6,
+            seed=9,
+        )
+        by_scenario = {row["scenario"]: row for row in kernel + circular}
+        assert combined == [by_scenario[row["scenario"]] for row in combined]
+
+    def test_strategy_axis_resume_is_byte_identical(self, tmp_path, monkeypatch):
+        """Truncate a multi-strategy store mid-run, resume, and require the
+        store and the rendered report to match the uninterrupted run
+        byte for byte (the pytest mirror of CI's grid-smoke job)."""
+        from repro.analysis import render_scaling_report
+        from repro.results import ResultStore, result_frame
+        from repro.scenarios import suite_manifest
+
+        scenarios = self._scenarios()
+        run = suite_manifest(scenarios, 6, 9, None)
+        path = tmp_path / "rows.jsonl"
+        with ResultStore.open(str(path), run) as store:
+            full_rows = run_scenario_suite(
+                scenarios, samples=6, seed=9, store=store
+            )
+        full_text = path.read_text()
+        full_report = render_scaling_report(
+            result_frame(row.record() for row in full_rows), run
+        )
+        assert " t=" in full_report  # strategy column groups present
+
+        # Kill simulation: keep the manifest, two rows of the kernel half,
+        # and half of a third line (a circular row still unwritten).
+        lines = full_text.splitlines(keepends=True)
+        path.write_text("".join(lines[:3]) + lines[3][: len(lines[3]) // 2])
+
+        evaluated = []
+        from repro.scenarios import suite as suite_module
+
+        original_eval = suite_module._eval_suite_task
+
+        def counting_eval(task):
+            evaluated.append(task.campaign_key)
+            return original_eval(task)
+
+        monkeypatch.setattr(suite_module, "_eval_suite_task", counting_eval)
+        with ResultStore.open(str(path), run) as store:
+            resumed_rows = run_scenario_suite(
+                scenarios, samples=6, seed=9, store=store
+            )
+        resumed_report = render_scaling_report(
+            result_frame(row.record() for row in resumed_rows), run
+        )
+        assert (0, 0) not in evaluated and (1, 0) not in evaluated
+        assert evaluated  # the truncated tail genuinely re-ran
+        assert path.read_text() == full_text
+        assert resumed_report == full_report
+
+    def test_inapplicable_scenarios_raise_without_opt_in(self):
+        with pytest.raises(Exception, match="neighbourhood set"):
+            run_scenario_suite(
+                ["hypercube:d=3/circular/sizes:1"], samples=4, seed=0
+            )
+
+    def test_skip_inapplicable_never_swallows_graph_errors(self):
+        # A malformed graph axis (cycle needs n >= 3) is a broken grid, not
+        # an inapplicable strategy: it must raise even under the skip flag.
+        with pytest.raises(Exception, match="at least three nodes"):
+            run_scenario_suite(
+                ["cycle:n=2/kernel/sizes:1"],
+                samples=4,
+                seed=0,
+                skip_inapplicable=True,
+            )
+
+    def test_skip_inapplicable_accepts_per_scenario_eligibility(self):
+        # An iterable of canonical strings restricts dropping: the eligible
+        # scenario is dropped, an inapplicable one outside the set raises.
+        eligible = "hypercube:d=3/circular/sizes:1"
+        skipped = []
+        rows = run_scenario_suite(
+            [eligible, "hypercube:d=3/kernel/sizes:1"],
+            samples=4,
+            seed=0,
+            skip_inapplicable=[eligible],
+            skipped=skipped,
+        )
+        assert [row.scenario for row in rows] == ["hypercube:d=3/kernel/sizes:1"]
+        assert len(skipped) == 1
+        with pytest.raises(Exception, match="neighbourhood set"):
+            run_scenario_suite(
+                [eligible],
+                samples=4,
+                seed=0,
+                skip_inapplicable=["some:other/scenario"],
+            )
+
+    def test_skip_inapplicable_drops_scenarios_and_reports_them(self):
+        skipped = []
+        rows = run_scenario_suite(
+            [
+                "hypercube:d=3/circular/sizes:1",
+                "hypercube:d=3/kernel/sizes:1",
+            ],
+            samples=4,
+            seed=0,
+            skip_inapplicable=True,
+            skipped=skipped,
+        )
+        assert [row.scenario for row in rows] == ["hypercube:d=3/kernel/sizes:1"]
+        assert len(skipped) == 1
+        scenario, reason = skipped[0]
+        assert scenario.canonical() == "hypercube:d=3/circular/sizes:1"
+        assert "neighbourhood set" in reason
+
+    def test_skip_inapplicable_store_resume_stays_byte_identical(self, tmp_path):
+        from repro.results import ResultStore
+        from repro.scenarios import suite_manifest
+
+        specs = [
+            "hypercube:d=3/circular/sizes:1",
+            "hypercube:d=3/kernel/sizes:1",
+        ]
+        run = suite_manifest(specs, 4, 0, None)
+        path = tmp_path / "rows.jsonl"
+        with ResultStore.open(str(path), run) as store:
+            run_scenario_suite(
+                specs, samples=4, seed=0, store=store, skip_inapplicable=True
+            )
+        full_text = path.read_text()
+        # Resume against the complete store: the dropped scenario is
+        # re-dropped (construction is deterministic) and nothing changes.
+        with ResultStore.open(str(path), run) as store:
+            resumed = run_scenario_suite(
+                specs, samples=4, seed=0, store=store, skip_inapplicable=True
+            )
+        assert len(resumed) == 1
+        assert path.read_text() == full_text
+
+    def test_strategy_recorded_in_suite_records(self):
+        rows = run_scenario_suite(
+            self._scenarios(), samples=4, seed=0
+        )
+        strategies = {row.record()["strategy"] for row in rows}
+        assert strategies == {"kernel", "circular"}
+
+
 class TestSharedIndexPayload:
     def test_shared_payload_rows_match_rebuild_rows(self):
         shared = _rows(SMALL_SCENARIOS, samples=8, seed=3, workers=2)

@@ -286,6 +286,127 @@ class TestGridCommand:
         assert main(["grid", "hypercube:d=5..3/kernel"]) == 2
         assert "reversed" in capsys.readouterr().err
 
+    def test_grid_report_dash_prints_clean_report_to_stdout(self, capsys):
+        code = main(
+            ["grid", "hypercube:d=3/kernel/sizes:1", "--samples", "2",
+             "--report", "-"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # stdout is the report alone (pipeable / golden-diffable); the
+        # human-oriented grid table moves to stderr.
+        assert captured.out.startswith("# Scaling report")
+        assert "Grid sweep" not in captured.out
+        assert "Grid sweep" in captured.err
+
+
+class TestStrategyComparisonGrid:
+    GRID = "cycle:n=10..11/kernel|circular/t=1/sizes:1"
+
+    def test_strategy_grid_emits_comparison_table(self, capsys):
+        assert main(["grid", self.GRID, "--samples", "4", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "4 scenarios" in output
+        assert "| family | n | circular t=1 | kernel t=1 |" in output
+        assert "column groups = strategy" in output
+
+    def test_strategy_grid_skips_inapplicable_combos(self, capsys):
+        # circular does not apply to hypercubes below d=5: those cells stay
+        # empty and the sweep reports what it skipped instead of dying.
+        code = main(
+            ["grid", "hypercube:d=3..4/kernel|circular/t=1/sizes:1",
+             "--samples", "2", "--seed", "7"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "skipped (strategy not applicable)" in output
+        assert "hypercube:d=3/circular" in output
+        # Only one strategy survived, so the table keeps the plain layout.
+        assert "| family | n | t=1 |" in output
+
+    def test_single_strategy_grid_still_fails_loudly(self, capsys):
+        assert main(
+            ["grid", "hypercube:d=3/circular/sizes:1", "--samples", "2"]
+        ) == 2
+        assert "neighbourhood set" in capsys.readouterr().err
+
+    def test_skip_eligibility_is_per_grid_in_mixed_invocations(self, capsys):
+        # A strategy-set grid alongside an explicit single-strategy grid:
+        # only the former may drop inapplicable scenarios — the explicit
+        # request still fails loudly.
+        code = main(
+            ["grid", "cycle:n=10/kernel|circular/t=1/sizes:1",
+             "hypercube:d=3/circular/sizes:1", "--samples", "2"]
+        )
+        assert code == 2
+        assert "neighbourhood set" in capsys.readouterr().err
+
+    def test_skip_eligibility_is_positional_for_overlapping_scenarios(self, capsys):
+        # Even when the strategy-set grid sweeps the IDENTICAL scenario,
+        # the explicitly requested copy keeps its fail-loudly contract.
+        code = main(
+            ["grid", "hypercube:d=3..4/kernel|circular/t=1/sizes:1",
+             "hypercube:d=3/circular/t=1/sizes:1", "--samples", "2"]
+        )
+        assert code == 2
+        assert "neighbourhood set" in capsys.readouterr().err
+
+    def test_skip_inapplicable_flag_opts_single_strategy_grids_in(self, capsys):
+        code = main(
+            ["grid", "hypercube:d=3..4/circular/t=1/sizes:1", "--samples", "2",
+             "--skip-inapplicable"]
+        )
+        assert code == 0
+        assert "skipped (strategy not applicable)" in capsys.readouterr().out
+
+    def test_split_stores_merge_to_the_combined_table(self, tmp_path, capsys):
+        """The acceptance path: one grid run whole vs. split per strategy
+        into two stores and merged by `repro report a b` — identical table."""
+        combined = str(tmp_path / "combined.jsonl")
+        assert main(
+            ["grid", self.GRID, "--samples", "4", "--seed", "7",
+             "--store", combined]
+        ) == 0
+        store_a = str(tmp_path / "kernel.jsonl")
+        store_b = str(tmp_path / "circular.jsonl")
+        assert main(
+            ["grid", "cycle:n=10..11/kernel/t=1/sizes:1", "--samples", "4",
+             "--seed", "7", "--store", store_a]
+        ) == 0
+        assert main(
+            ["grid", "cycle:n=10..11/circular/t=1/sizes:1", "--samples", "4",
+             "--seed", "7", "--store", store_b]
+        ) == 0
+        capsys.readouterr()
+        single_csv = str(tmp_path / "single.csv")
+        merged_csv = str(tmp_path / "merged.csv")
+        assert main(["report", combined, "--format", "csv",
+                     "--output", single_csv]) == 0
+        assert main(["report", store_a, store_b, "--format", "csv",
+                     "--output", merged_csv]) == 0
+        captured = capsys.readouterr()
+        # The merge diagnostic goes to stderr so piped stdout stays clean.
+        assert "merged 2 stores" in captured.err
+        assert "merged 2 stores" not in captured.out
+        assert open(merged_csv).read() == open(single_csv).read()
+        assert "circular t=1" in open(merged_csv).read()
+
+    def test_merged_report_stdout_stays_clean_csv(self, tmp_path, capsys):
+        store_a = str(tmp_path / "a.jsonl")
+        store_b = str(tmp_path / "b.jsonl")
+        assert main(
+            ["grid", "cycle:n=10/kernel/t=1/sizes:1", "--samples", "2",
+             "--seed", "7", "--store", store_a]
+        ) == 0
+        assert main(
+            ["grid", "cycle:n=10/circular/t=1/sizes:1", "--samples", "2",
+             "--seed", "7", "--store", store_b]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", store_a, store_b, "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("family,n,")
+
 
 class TestReportCommand:
     def test_report_renders_stored_run(self, tmp_path, capsys):
@@ -311,6 +432,30 @@ class TestReportCommand:
         assert main(["report", "--store", store, "--format", "csv",
                      "--output", out]) == 0
         assert open(out).read().startswith("family,n,")
+
+    def test_report_positional_store_path(self, tmp_path, capsys):
+        store = str(tmp_path / "rows.jsonl")
+        main(["grid", "hypercube:d=3/kernel/sizes:1", "--samples", "2",
+              "--store", store])
+        capsys.readouterr()
+        assert main(["report", store]) == 0
+        assert "# Scaling report" in capsys.readouterr().out
+
+    def test_report_conflicting_stores_error(self, tmp_path, capsys):
+        # The same grid run under two different seeds records the same keys
+        # against different batteries: merging them must be refused.
+        store_a = str(tmp_path / "a.jsonl")
+        store_b = str(tmp_path / "b.jsonl")
+        argv = ["grid", "hypercube:d=3/kernel/sizes:1", "--samples", "2"]
+        assert main(argv + ["--seed", "1", "--store", store_a]) == 0
+        assert main(argv + ["--seed", "2", "--store", store_b]) == 0
+        capsys.readouterr()
+        assert main(["report", store_a, store_b]) == 2
+        assert "cannot be merged" in capsys.readouterr().err
+
+    def test_report_requires_a_store(self, capsys):
+        assert main(["report"]) == 2
+        assert "no result store" in capsys.readouterr().err
 
     def test_report_missing_store(self, capsys):
         assert main(["report", "--store", "/nonexistent/rows.jsonl"]) == 2
