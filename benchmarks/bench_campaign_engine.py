@@ -1,6 +1,6 @@
-"""Throughput benchmark: naive vs set-kernel vs bitset fault-campaign engines.
+"""Throughput benchmark: naive vs set-kernel vs bitset vs numpy engines.
 
-For each graph family the same fault battery is evaluated four ways:
+For each graph family the same fault battery is evaluated five ways:
 
 * **naive** — the per-fault-set path that re-walks every route
   (:func:`repro.core.surviving.surviving_diameter` without an index);
@@ -9,10 +9,15 @@ For each graph family the same fault battery is evaluated four ways:
   BFS (``kernel="sets"``);
 * **bitset** — the big-int kernel (PR-2): one adjacency row per node, fault
   subtraction and BFS level advances as machine-word ``&``/``|`` operations;
+* **numpy** — the packed-uint64 batched kernel
+  (:mod:`repro.core.np_kernel`): the whole battery advances one BFS level
+  per handful of vectorised calls through the
+  :meth:`RouteIndex.surviving_diameters` batch API (column omitted when
+  numpy is not installed);
 * **parallel** — the engine sharding the battery over a process pool, with
   the pre-built index shipped to the workers.
 
-All paths must produce identical outcomes (asserted).  Two further
+All paths must produce identical outcomes (asserted).  Three further
 measurements ride along:
 
 * **greedy adversary end-to-end** — the delta-aware cursor path
@@ -21,16 +26,22 @@ measurements ride along:
   through the set kernel;
 * **worker serialization** — pickling the pre-built index (what the engine
   now ships to its pool) versus pickling the raw routing and rebuilding the
-  index per worker (what PR 1 did).
+  index per worker (what PR 1 did);
+* **2000-node hub battery** (full mode, numpy installed) — a directly-built
+  hub-and-spoke routing far above what the paper constructions reach,
+  checking the numpy backend stays correct and fast at scale.
 
 Results are persisted as machine-readable JSON (``BENCH_kernel.json`` at the
 repo root by default) so the perf trajectory is tracked across PRs.
 
 Acceptance targets (enforced in full mode): the bitset kernel must be
->= 3x the set kernel on the 200-node battery, and the cursor-driven greedy
-adversary >= 5x end-to-end.  Quick mode (CI smoke) skips the ratio targets
-but still fails when the bitset path is slower than the set path on the
-smoke instance.
+>= 3x the set kernel on the 200-node battery, the cursor-driven greedy
+adversary >= 5x end-to-end, and the numpy backend >= 3x the bitset kernel
+on the dense 200-node battery (best-of-3 timings on both sides — the dense
+instance is where batching pays; ratios on sparse batteries are smaller).
+Quick mode (CI smoke) skips the ratio targets but still fails when the
+bitset path is slower than the set path, or the numpy path slower than the
+bitset path, on the smoke instance.
 
 Run directly (no pytest needed)::
 
@@ -61,12 +72,16 @@ from repro.core import (
     kernel_routing,
     surviving_diameter,
 )
+from repro.core.np_kernel import numpy_available
+from repro.core.routing import Routing
 from repro.faults import CampaignEngine, greedy_adversarial_fault_set, random_fault_sets
 from repro.graphs import generators
+from repro.graphs.graph import Graph
 
-#: Acceptance thresholds on the 200-node target workload.
+#: Acceptance thresholds on the 200-node target workloads.
 TARGET_BITSET_SPEEDUP = 3.0   # bitset kernel vs PR-1 set kernel, same battery
 TARGET_GREEDY_SPEEDUP = 5.0   # cursor greedy vs from-scratch set-kernel greedy
+TARGET_NUMPY_SPEEDUP = 3.0    # numpy batch vs bitset on the *dense* battery
 
 _DEFAULT_JSON = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_kernel.json"
@@ -74,15 +89,23 @@ _DEFAULT_JSON = os.path.join(
 
 
 def _workloads(quick: bool):
-    """Yield ``(name, graph, construct, fault_size, samples, is_target)``."""
+    """Yield ``(name, graph, construct, fault_size, samples, is_target,
+    is_np_target)``.
+
+    ``is_target`` marks the bitset-vs-sets gate instance, ``is_np_target``
+    the numpy-vs-bitset gate instance: the *dense* circulant (offsets
+    1,2,3,5), where batched vectorised level advances amortise best.  In
+    quick mode one smoke instance carries both gates.
+    """
     if quick:
-        yield ("hypercube-16", generators.hypercube_graph(4), kernel_routing, 2, 8, False)
+        yield ("hypercube-16", generators.hypercube_graph(4), kernel_routing, 2, 8, False, False)
         yield (
             "clique-kernel-16",
             generators.cycle_graph(16),
             clique_augmented_kernel_routing,
             1,
             8,
+            False,
             False,
         )
         # The smoke gate instance: large enough for stable timings.
@@ -93,15 +116,17 @@ def _workloads(quick: bool):
             2,
             12,
             True,
+            True,
         )
         return
-    yield ("hypercube-64", generators.hypercube_graph(6), kernel_routing, 3, 30, False)
+    yield ("hypercube-64", generators.hypercube_graph(6), kernel_routing, 3, 30, False, False)
     yield (
         "random-regular-100",
         generators.random_regular_graph(4, 100, seed=7),
         kernel_routing,
         3,
         30,
+        False,
         False,
     )
     yield (
@@ -111,6 +136,7 @@ def _workloads(quick: bool):
         1,
         30,
         False,
+        False,
     )
     yield (
         "circulant-200",
@@ -119,7 +145,85 @@ def _workloads(quick: bool):
         3,
         40,
         True,
+        False,
     )
+    yield (
+        "circulant-200-dense",
+        generators.circulant_graph(200, [1, 2, 3, 5]),
+        kernel_routing,
+        3,
+        40,
+        False,
+        True,
+    )
+
+
+def _best_of(fn, repeats: int = 3):
+    """Best-of-``repeats`` wall time of ``fn()`` (noise-robust gate timing)."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _hub_routing(n: int = 2000, hub_count: int = 5):
+    """A directly-built hub-and-spoke workload far above paper-construction
+    sizes.
+
+    ``hub_count`` hub nodes form a clique; every other node attaches to one
+    hub.  The (partial) routing carries spoke<->hub and hub<->hub routes
+    only — about ``2n`` arcs, surviving diameter 3 — so index construction
+    stays cheap at ``n=2000`` while the evaluation tensors are full-size.
+    """
+    graph = Graph(name=f"hub-{n}")
+    for node in range(n):
+        graph.add_node(node)
+    for a in range(hub_count):
+        for b in range(a + 1, hub_count):
+            graph.add_edge(a, b)
+    for node in range(hub_count, n):
+        graph.add_edge(node, node % hub_count)
+    routing = Routing(graph, bidirectional=False)
+    for a in range(hub_count):
+        for b in range(hub_count):
+            if a != b:
+                routing.set_route(a, b, [a, b])
+    for node in range(hub_count, n):
+        hub = node % hub_count
+        routing.set_route(node, hub, [node, hub])
+        routing.set_route(hub, node, [hub, node])
+    return graph, routing
+
+
+def _bench_hub_battery(samples: int = 20, fault_size: int = 3):
+    """Time the 2000-node hub battery on both backends; assert equal values."""
+    graph, routing = _hub_routing()
+    battery = list(
+        random_fault_sets(range(5, graph.number_of_nodes()), fault_size, samples, seed=23)
+    )
+    bitset_index = RouteIndex(graph, routing, backend="bitset")
+    numpy_index = RouteIndex(graph, routing, backend="numpy")
+    bitset_index.surviving_diameters(battery[:1])  # warm both kernels
+    numpy_index.surviving_diameters(battery[:1])
+    bitset_s, bitset_values = _best_of(
+        lambda: bitset_index.surviving_diameters(battery)
+    )
+    numpy_s, numpy_values = _best_of(
+        lambda: numpy_index.surviving_diameters(battery)
+    )
+    assert bitset_values == numpy_values, "hub-2000 backends diverged"
+    return {
+        "n": graph.number_of_nodes(),
+        "arcs": 2 * (graph.number_of_nodes() - 5) + 20,
+        "fault_size": fault_size,
+        "battery": len(battery),
+        "bitset_s": round(bitset_s, 4),
+        "numpy_s": round(numpy_s, 4),
+        "numpy_vs_bitset": round(bitset_s / numpy_s, 2) if numpy_s else None,
+    }
 
 
 def _greedy_set_kernel_baseline(graph, routing, size, candidate_limit, seed, index):
@@ -190,9 +294,14 @@ def run(quick: bool, workers: int, json_path: str) -> int:
     rows: List[dict] = []
     json_workloads: List[dict] = []
     target_speedups: List[float] = []
+    numpy_speedups: List[float] = []
+    have_numpy = numpy_available()
     smoke_gate_ok = True
+    numpy_smoke_ok = True
     target_entry = None
-    for name, graph, construct, fault_size, samples, is_target in _workloads(quick):
+    for name, graph, construct, fault_size, samples, is_target, is_np_target in _workloads(
+        quick
+    ):
         result = construct(graph)
         battery = list(
             random_fault_sets(graph.nodes(), fault_size, samples, seed=13)
@@ -205,7 +314,7 @@ def run(quick: bool, workers: int, json_path: str) -> int:
         ]
         naive_seconds = time.perf_counter() - start
 
-        index = RouteIndex(graph, result.routing)
+        index = RouteIndex(graph, result.routing, backend="bitset")
         # Warm the lazy set-kernel structures before the timer so both
         # kernels are measured evaluation-only (the bitset structures are
         # built in the constructor above, also untimed).
@@ -221,6 +330,35 @@ def run(quick: bool, workers: int, json_path: str) -> int:
         start = time.perf_counter()
         bitset = [diam for _, diam in engine.evaluate(battery)]
         bitset_seconds = time.perf_counter() - start
+
+        numpy_seconds = None
+        numpy_ratio = None
+        if have_numpy:
+            np_index = RouteIndex(graph, result.routing, backend="numpy")
+            np_index.surviving_diameters(battery[:1])  # build + warm the kernel
+            if is_np_target:
+                # Gate timing: best-of-3 on both sides so the ratio reflects
+                # kernels, not scheduler noise on a shared box.
+                numpy_seconds, numpy_values = _best_of(
+                    lambda: np_index.surviving_diameters(battery)
+                )
+                bitset_best, _ = _best_of(
+                    lambda: index.surviving_diameters(battery)
+                )
+                numpy_ratio = (
+                    bitset_best / numpy_seconds if numpy_seconds else float("inf")
+                )
+                numpy_speedups.append(numpy_ratio)
+                if quick and numpy_seconds > bitset_best:
+                    numpy_smoke_ok = False
+            else:
+                start = time.perf_counter()
+                numpy_values = np_index.surviving_diameters(battery)
+                numpy_seconds = time.perf_counter() - start
+                numpy_ratio = (
+                    bitset_seconds / numpy_seconds if numpy_seconds else float("inf")
+                )
+            assert numpy_values == bitset, f"numpy backend diverged on {name}"
 
         pool_engine = CampaignEngine(graph, result.routing, workers=workers)
         start = time.perf_counter()
@@ -247,9 +385,15 @@ def run(quick: bool, workers: int, json_path: str) -> int:
                 "naive_s": round(naive_seconds, 3),
                 "sets_s": round(set_seconds, 3),
                 "bitset_s": round(bitset_seconds, 3),
+                "numpy_s": (
+                    round(numpy_seconds, 3) if numpy_seconds is not None else "-"
+                ),
                 f"parallel_s(w={workers})": round(parallel_seconds, 3),
                 "vs_naive": f"{vs_naive:.1f}x",
                 "vs_sets": f"{vs_sets:.1f}x",
+                "np_vs_bitset": (
+                    f"{numpy_ratio:.1f}x" if numpy_ratio is not None else "-"
+                ),
             }
         )
         json_workloads.append(
@@ -261,18 +405,28 @@ def run(quick: bool, workers: int, json_path: str) -> int:
                 "naive_s": round(naive_seconds, 4),
                 "set_kernel_s": round(set_seconds, 4),
                 "bitset_s": round(bitset_seconds, 4),
+                "numpy_s": (
+                    round(numpy_seconds, 4) if numpy_seconds is not None else None
+                ),
+                "numpy_vs_bitset": (
+                    round(numpy_ratio, 2) if numpy_ratio is not None else None
+                ),
                 "parallel_s": round(parallel_seconds, 4),
                 "parallel_workers": workers,
                 "bitset_vs_naive": round(vs_naive, 2),
                 "bitset_vs_sets": round(vs_sets, 2),
                 "is_target": is_target,
+                "is_np_target": is_np_target,
             }
         )
 
     print(
         format_table(
             rows,
-            caption="Campaign engine throughput: naive vs set kernel vs bitset vs parallel",
+            caption=(
+                "Campaign engine throughput: naive vs set kernel vs bitset "
+                "vs numpy vs parallel"
+            ),
         )
     )
 
@@ -308,15 +462,29 @@ def run(quick: bool, workers: int, json_path: str) -> int:
             f"-> {serialization['speedup']}x"
         )
 
+    # 2000-node smoke battery: numpy-backend scale check (full mode only —
+    # index construction at n=2000 is too slow for the CI smoke run).
+    hub_entry = None
+    if not quick and have_numpy:
+        hub_entry = _bench_hub_battery()
+        print(
+            f"hub-2000 battery ({hub_entry['battery']} sets, "
+            f"|F|={hub_entry['fault_size']}): bitset {hub_entry['bitset_s']}s, "
+            f"numpy {hub_entry['numpy_s']}s -> {hub_entry['numpy_vs_bitset']}x"
+        )
+
     payload = {
         "generated_by": "benchmarks/bench_campaign_engine.py",
         "mode": "quick" if quick else "full",
+        "numpy_available": have_numpy,
         "workloads": json_workloads,
         "greedy_adversary": greedy_entry,
         "worker_serialization": serialization,
+        "hub_2000": hub_entry,
         "targets": {
             "bitset_vs_sets_target": TARGET_BITSET_SPEEDUP,
             "greedy_cursor_target": TARGET_GREEDY_SPEEDUP,
+            "numpy_vs_bitset_target": TARGET_NUMPY_SPEEDUP,
         },
     }
     with open(json_path, "w") as handle:
@@ -331,9 +499,20 @@ def run(quick: bool, workers: int, json_path: str) -> int:
                 "on the smoke instance"
             )
             return 1
+        if not numpy_smoke_ok:
+            print(
+                "quick mode: FAIL — numpy backend slower than the bitset "
+                "kernel on the smoke instance"
+            )
+            return 1
+        numpy_note = (
+            "numpy >= bitset on the smoke instance"
+            if have_numpy
+            else "numpy gate skipped (numpy not installed)"
+        )
         print(
             "quick mode: equivalence checked, bitset >= set kernel on the smoke "
-            "instance; speedup targets not enforced"
+            f"instance, {numpy_note}; speedup targets not enforced"
         )
         return 0
 
@@ -348,7 +527,18 @@ def run(quick: bool, workers: int, json_path: str) -> int:
         f"greedy adversary cursor speedup: {greedy_entry['speedup']:.1f}x "
         f"(target >= {TARGET_GREEDY_SPEEDUP:.0f}x) -> {'PASS' if greedy_ok else 'FAIL'}"
     )
-    return 0 if (battery_ok and greedy_ok) else 1
+    if have_numpy:
+        worst_np = min(numpy_speedups)
+        numpy_ok = worst_np >= TARGET_NUMPY_SPEEDUP
+        print(
+            f"dense 200-node battery numpy-vs-bitset speedup: {worst_np:.1f}x "
+            f"(target >= {TARGET_NUMPY_SPEEDUP:.0f}x) -> "
+            f"{'PASS' if numpy_ok else 'FAIL'}"
+        )
+    else:
+        numpy_ok = True
+        print("numpy gate skipped (numpy not installed)")
+    return 0 if (battery_ok and greedy_ok and numpy_ok) else 1
 
 
 def main(argv=None) -> int:

@@ -279,7 +279,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     graph, result = _build(args)
     sizes = _parse_sizes(args.sizes)
     engine = CampaignEngine(
-        graph, result.routing, workers=args.workers, chunk_size=args.chunk_size
+        graph,
+        result.routing,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        backend=args.eval_backend,
     )
     campaigns = engine.sweep_fault_sizes(
         sizes, samples=args.samples, seed=args.seed, bound=args.bound
@@ -320,6 +324,7 @@ def _run_scenario_campaigns(args: argparse.Namespace) -> int:
         bound=args.bound,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        backend=args.eval_backend,
     )
     bound_note = f", bound={args.bound:g}" if args.bound is not None else ""
     print(
@@ -391,6 +396,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
             store=store,
             skip_inapplicable=skip_inapplicable,
             skipped=skipped,
+            backend=args.eval_backend,
         )
     finally:
         if store is not None:
@@ -592,6 +598,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub_campaign.add_argument(
         "--chunk-size", type=int, default=32, help="fault sets per shard"
     )
+    sub_campaign.add_argument(
+        "--eval-backend",
+        choices=["bitset", "numpy", "auto"],
+        default=None,
+        help=(
+            "diameter evaluation backend: 'bitset' (pure Python), 'numpy' "
+            "(packed-uint64 batteries; falls back to bitset without numpy) "
+            "or 'auto'; default from REPRO_EVAL_BACKEND, values are "
+            "identical either way"
+        ),
+    )
     sub_campaign.set_defaults(handler=_cmd_campaign)
 
     sub_grid = subparsers.add_parser(
@@ -639,6 +656,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub_grid.add_argument(
         "--chunk-size", type=int, default=32, help="fault sets per shard"
+    )
+    sub_grid.add_argument(
+        "--eval-backend",
+        choices=["bitset", "numpy", "auto"],
+        default=None,
+        help=(
+            "diameter evaluation backend (bitset | numpy | auto); rows are "
+            "byte-identical across backends"
+        ),
     )
     sub_grid.add_argument(
         "--store",

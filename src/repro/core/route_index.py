@@ -65,6 +65,7 @@ being rebuilt per worker.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
@@ -85,32 +86,102 @@ _NO_PAIRS: FrozenSet[IdPair] = frozenset()
 #: batched all-sources propagation below the threshold, per-source frontier
 #: BFS above it.  Override per index via the ``density_threshold`` constructor
 #: argument or globally via the ``REPRO_BFS_DENSITY_THRESHOLD`` environment
-#: variable (the constructor argument wins).
+#: variable (the constructor argument wins).  The value ``"auto"`` (either
+#: place) calibrates the factor from observed per-strategy timings at build
+#: time — see :meth:`RouteIndex.calibrate_density_threshold`.
 DEFAULT_DENSITY_THRESHOLD = 8
+
+#: Sentinel selecting timing-based calibration of the density factor.
+DENSITY_THRESHOLD_AUTO = "auto"
 
 #: Strategy labels reported by :meth:`RouteIndex.preferred_strategy`.
 STRATEGY_BATCHED = "batched"
 STRATEGY_PER_SOURCE = "per-source"
 
+#: Evaluation backends: ``"bitset"`` is the pure-Python big-int kernel,
+#: ``"numpy"`` the packed-uint64 batched kernel (requires numpy; silently
+#: falls back to bitset where it is absent), ``"auto"`` picks numpy when it
+#: is importable.  Select per index via the ``backend`` constructor argument
+#: or globally via the ``REPRO_EVAL_BACKEND`` environment variable (the
+#: constructor argument wins; ``REPRO_NO_NUMPY=1`` force-disables numpy
+#: everywhere).  Every backend returns identical values.
+EVAL_BACKEND_BITSET = "bitset"
+EVAL_BACKEND_NUMPY = "numpy"
+EVAL_BACKEND_AUTO = "auto"
+_EVAL_BACKENDS = (EVAL_BACKEND_BITSET, EVAL_BACKEND_NUMPY, EVAL_BACKEND_AUTO)
 
-def _resolve_density_threshold(value: Optional[int]) -> int:
-    """Resolve the density factor: explicit arg > env override > default."""
+
+def _resolve_density_threshold(
+    value: Optional[Union[int, str]],
+) -> Union[int, str]:
+    """Resolve the density factor: explicit arg > env override > default.
+
+    Returns either a validated integer factor or the ``"auto"`` sentinel
+    (timing-based calibration, applied by the constructor after the bitset
+    structures exist).  Resolution happens **once**, at index construction:
+    the resolved value travels with the index (including its pickled and
+    :meth:`RouteIndex.slim` forms), so worker processes evaluate with the
+    parent's factor no matter what their own environment says.
+    """
     if value is not None:
+        if isinstance(value, str):
+            if value != DENSITY_THRESHOLD_AUTO:
+                raise ValueError(
+                    f"density_threshold must be an integer or 'auto', got {value!r}"
+                )
+            return value
         if value < 1:
             raise ValueError("density_threshold must be at least 1")
         return value
     env = os.environ.get("REPRO_BFS_DENSITY_THRESHOLD")
     if env:
+        if env.strip().lower() == DENSITY_THRESHOLD_AUTO:
+            return DENSITY_THRESHOLD_AUTO
         try:
             parsed = int(env)
         except ValueError:
             raise ValueError(
-                f"REPRO_BFS_DENSITY_THRESHOLD must be an integer, got {env!r}"
+                f"REPRO_BFS_DENSITY_THRESHOLD must be an integer or 'auto', "
+                f"got {env!r}"
             ) from None
         if parsed < 1:
             raise ValueError("REPRO_BFS_DENSITY_THRESHOLD must be at least 1")
         return parsed
     return DEFAULT_DENSITY_THRESHOLD
+
+
+def _resolve_eval_backend(value: Optional[str]) -> str:
+    """Resolve the evaluation backend: explicit arg > env override > default.
+
+    ``"auto"`` resolves to ``"numpy"`` when numpy is importable (and not
+    disabled via ``REPRO_NO_NUMPY``), else ``"bitset"``.  An explicit
+    ``"numpy"`` is kept as-is even where numpy is absent: evaluation falls
+    back to the bitset kernel per process (see
+    :attr:`RouteIndex.eval_backend`), so an index built and shipped with the
+    numpy backend still evaluates correctly on a worker without numpy.
+    """
+    if value is None:
+        value = os.environ.get("REPRO_EVAL_BACKEND") or EVAL_BACKEND_BITSET
+    value = value.strip().lower()
+    if value not in _EVAL_BACKENDS:
+        raise ValueError(
+            f"unknown eval backend {value!r}; expected one of {_EVAL_BACKENDS}"
+        )
+    if value == EVAL_BACKEND_AUTO:
+        from repro.core.np_kernel import numpy_available
+
+        return EVAL_BACKEND_NUMPY if numpy_available() else EVAL_BACKEND_BITSET
+    return value
+
+
+def _mask_ids(mask: int) -> List[int]:
+    """The set bits of ``mask`` as an ascending id list."""
+    ids: List[int] = []
+    while mask:
+        bit = mask & -mask
+        ids.append(bit.bit_length() - 1)
+        mask ^= bit
+    return ids
 
 
 class RouteIndex:
@@ -135,12 +206,25 @@ class RouteIndex:
         self,
         graph: Graph,
         routing: AnyRouting,
-        density_threshold: Optional[int] = None,
+        density_threshold: Optional[Union[int, str]] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.graph = graph
         self.routing = routing
         # Factor k of the "k * arcs <= n^2" batched-vs-per-source BFS switch.
-        self._density_threshold = _resolve_density_threshold(density_threshold)
+        # Resolved exactly once, here in the constructing process; "auto"
+        # defers to a timing calibration after the bitset structures exist.
+        resolved_threshold = _resolve_density_threshold(density_threshold)
+        self._density_threshold = (
+            DEFAULT_DENSITY_THRESHOLD
+            if resolved_threshold == DENSITY_THRESHOLD_AUTO
+            else resolved_threshold
+        )
+        # Evaluation backend ("bitset" or "numpy"), resolved once likewise.
+        self._backend = _resolve_eval_backend(backend)
+        # Lazily built numpy kernel; never pickled (workers rebuild it from
+        # the shipped bitset rows on first use).
+        self._np_kernel = None
         self._nodes: Tuple[Node, ...] = tuple(graph.nodes())
         self._node_set: FrozenSet[Node] = frozenset(self._nodes)
         self._id_of: Dict[Node, int] = {
@@ -200,6 +284,9 @@ class RouteIndex:
                     kill = kill_rows[id_of[node]]
                     kill[sid] = kill.get(sid, 0) | target_bit
 
+        if resolved_threshold == DENSITY_THRESHOLD_AUTO:
+            self.calibrate_density_threshold()
+
     # ------------------------------------------------------------------
     # Pickling (worker shipping)
     # ------------------------------------------------------------------
@@ -208,6 +295,9 @@ class RouteIndex:
         # The lazy set-kernel cache is redundant with the routing; dropping it
         # keeps the pickled payload small when shipping the index to workers.
         state["_set_kernel"] = None
+        # The numpy kernel holds process-local scratch tensors and is cheap
+        # to rebuild from the bitset rows; receivers rebuild it lazily.
+        state["_np_kernel"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -244,6 +334,82 @@ class RouteIndex:
     @property
     def density_threshold(self) -> int:
         """The factor ``k`` of the ``k * arcs <= n^2`` BFS strategy switch."""
+        return self._density_threshold
+
+    @property
+    def backend(self) -> str:
+        """The backend resolved at construction (``"bitset"`` or ``"numpy"``)."""
+        return self._backend
+
+    @property
+    def eval_backend(self) -> str:
+        """The backend evaluations actually use **in this process**.
+
+        Equals :attr:`backend` except when the numpy backend was selected
+        but numpy is unavailable here (not installed, or disabled via
+        ``REPRO_NO_NUMPY``) — then evaluations silently fall back to the
+        pure-Python bitset kernel.  Values are identical either way.
+        """
+        if self._backend == EVAL_BACKEND_NUMPY:
+            from repro.core.np_kernel import numpy_available
+
+            if numpy_available():
+                return EVAL_BACKEND_NUMPY
+        return EVAL_BACKEND_BITSET
+
+    def _ensure_np_kernel(self):
+        """Build (once per process) and return the numpy kernel, or ``None``."""
+        kernel = self._np_kernel
+        if kernel is None:
+            from repro.core.np_kernel import NumpyKernel, numpy_available
+
+            if not numpy_available():
+                return None
+            kernel = self._np_kernel = NumpyKernel(self)
+        return kernel
+
+    def calibrate_density_threshold(
+        self, faults: Iterable[Node] = (), repeats: int = 3
+    ) -> int:
+        """Set the density factor from observed per-strategy timings.
+
+        Runs both BFS strategies ``repeats`` times on the surviving rows of
+        ``faults`` (best-of timing, to shrug off scheduler noise) and sets
+        the factor to the break-even point ``k* = (total^2 / arcs) * (T_b /
+        T_p)``: with it, the ``k * arcs <= total^2`` switch picks the
+        batched strategy exactly when it was observed to be the faster one
+        on this workload.  The result is clamped to ``[1, 1024]`` and
+        returned.  Calibration is a performance knob only — every strategy
+        returns identical values — but it is timing-based and therefore
+        machine-dependent, so it runs only when explicitly requested
+        (``density_threshold="auto"`` or this method).
+        """
+        import time as _time
+
+        fault_mask = self._fault_mask(self._check_faults(faults))
+        rows = self._surviving_rows(fault_mask)
+        alive = self._full_mask & ~fault_mask
+        total = alive.bit_count()
+        arcs = 0
+        for row in rows:
+            arcs += row.bit_count()
+        if total < 2 or arcs == 0:
+            return self._density_threshold
+        best_batched = best_per_source = float("inf")
+        for _ in range(max(1, repeats)):
+            start = _time.perf_counter()
+            _batched_diameter(rows, alive, total, None)
+            best_batched = min(best_batched, _time.perf_counter() - start)
+            start = _time.perf_counter()
+            _per_source_diameter(rows, alive, None)
+            best_per_source = min(
+                best_per_source, _time.perf_counter() - start
+            )
+        if best_per_source <= 0 or best_batched <= 0:
+            return self._density_threshold
+        ratio = (total * total) / arcs
+        factor = round(ratio * (best_batched / best_per_source))
+        self._density_threshold = max(1, min(1024, factor))
         return self._density_threshold
 
     @property
@@ -296,6 +462,7 @@ class RouteIndex:
         clone.graph = None
         clone.routing = None
         clone._set_kernel = None
+        clone._np_kernel = None  # rebuilt lazily in the receiving process
         clone._node_pool = self.node_pool  # materialise before shipping
         return clone
 
@@ -396,7 +563,7 @@ class RouteIndex:
         self,
         faults: Iterable[Node],
         cap: Optional[float] = None,
-        kernel: str = "bitset",
+        kernel: Optional[str] = None,
     ) -> float:
         """Return the diameter of ``R(G, rho)/F`` (``inf`` if disconnected).
 
@@ -409,22 +576,75 @@ class RouteIndex:
             and any return value compares against ``cap`` exactly like the
             true diameter does).
         kernel:
-            ``"bitset"`` (default) uses the big-int kernel; ``"sets"`` runs
-            the historical PR-1 set-based kernel, kept for equivalence
-            testing and benchmarking.  Both return identical values.
+            ``None`` (default) follows the index's resolved backend
+            (:attr:`eval_backend`).  An explicit ``"bitset"`` forces the
+            big-int kernel, ``"numpy"`` the packed-uint64 kernel (raising
+            where numpy is unavailable), and ``"sets"`` the historical PR-1
+            set-based kernel, kept for equivalence testing and
+            benchmarking.  All kernels return identical values.
         """
         fault_set = self._check_faults(faults)
         if kernel == "sets":
             if cap is not None:
                 raise ValueError("cap is only supported by the bitset kernel")
             return _succ_diameter(self._set_surviving_succ(fault_set))
-        if kernel != "bitset":
+        if kernel is None:
+            kernel = self.eval_backend
+        if kernel == EVAL_BACKEND_NUMPY:
+            np_kernel = self._ensure_np_kernel()
+            if np_kernel is None:
+                raise ValueError(
+                    "the numpy kernel was requested but numpy is unavailable "
+                    "(not installed, or disabled via REPRO_NO_NUMPY)"
+                )
+            ids = sorted(self._id_of[node] for node in fault_set)
+            return np_kernel.diameters([ids], cap=cap)[0]
+        if kernel != EVAL_BACKEND_BITSET:
             raise ValueError(f"unknown kernel {kernel!r}")
         fault_mask = self._fault_mask(fault_set)
         rows = self._surviving_rows(fault_mask)
         return _rows_diameter(
             rows, self._full_mask & ~fault_mask, cap, self._density_threshold
         )
+
+    #: Battery entries evaluated per numpy-kernel call: bounds the scratch
+    #: tensors to a fixed width so arbitrarily large batteries stream through
+    #: the same preallocated buffers.
+    _NP_BATCH = 64
+
+    def surviving_diameters(
+        self,
+        fault_sets: Iterable[Iterable[Node]],
+        cap: Optional[float] = None,
+    ) -> List[float]:
+        """Surviving diameters for a whole battery of fault sets, in order.
+
+        The batch entry point the campaign engine and the suite workers
+        evaluate their shards through.  On the numpy backend the battery
+        advances **together** — one packed reach tensor, one vectorised BFS
+        level advance for all entries — which is where the backend's speedup
+        comes from; on the bitset backend this is exactly a loop of
+        :meth:`surviving_diameter` calls.  ``cap`` applies to every entry
+        (same semantics as in :meth:`surviving_diameter`).
+        """
+        batch = list(fault_sets)
+        if self.eval_backend == EVAL_BACKEND_NUMPY:
+            np_kernel = self._ensure_np_kernel()
+            if np_kernel is not None:
+                id_of = self._id_of
+                id_lists = [
+                    sorted(id_of[node] for node in self._check_faults(fs))
+                    for fs in batch
+                ]
+                out: List[float] = []
+                for start in range(0, len(id_lists), self._NP_BATCH):
+                    out.extend(
+                        np_kernel.diameters(
+                            id_lists[start : start + self._NP_BATCH], cap=cap
+                        )
+                    )
+                return out
+        return [self.surviving_diameter(fs, cap=cap) for fs in batch]
 
     def surviving_diameter_at_most(
         self, faults: Iterable[Node], bound: float
@@ -526,7 +746,16 @@ class EvalCursor:
     parent, so one cursor can seed many trial evaluations.
     """
 
-    __slots__ = ("_index", "_fault_mask", "_rows", "_alive", "_diameter", "_unreached")
+    __slots__ = (
+        "_index",
+        "_fault_mask",
+        "_rows",
+        "_alive",
+        "_diameter",
+        "_unreached",
+        "_lower_bound",
+        "_capped_unreached",
+    )
 
     def __init__(self, index: RouteIndex, fault_mask: int, rows: List[int]) -> None:
         self._index = index
@@ -536,6 +765,18 @@ class EvalCursor:
         self._diameter: Optional[float] = None
         # (source bit, unreached mask) witnessing a disconnection, when known.
         self._unreached: Optional[Tuple[int, int]] = None
+        # Proven lower bound on the diameter.  A capped evaluation that
+        # exceeds its cap without finding a disconnection cannot memoise an
+        # exact diameter, but it *does* prove ``diameter >= floor(cap) + 1``
+        # — remembered here so later calls with a cap (or bound) below the
+        # failed one short-circuit instead of repeating the BFS.
+        self._lower_bound: float = 0
+        # (source bit, unreached mask, lb): every node of the mask is at
+        # distance >= lb from the source.  The per-source witness behind
+        # ``_lower_bound``; ``with_added`` propagates it to derived cursors
+        # (removing arcs only increases distances), so a failing bound check
+        # transfers to children without running a single BFS.
+        self._capped_unreached: Optional[Tuple[int, int, int]] = None
 
     @property
     def faults(self) -> FrozenSet[Node]:
@@ -556,12 +797,22 @@ class EvalCursor:
     def diameter(self, cap: Optional[float] = None) -> float:
         """Return the surviving diameter (memoised; ``cap`` as in the index)."""
         if self._diameter is None:
-            value, witness = _rows_diameter_witness(
-                self._rows, self._alive, cap, self._index._density_threshold
-            )
+            if cap is not None and cap < self._lower_bound:
+                # A previous capped evaluation already proved the diameter
+                # exceeds this cap; no BFS needed.
+                return INFINITY
+            value, witness, capped = self._evaluate(cap)
             if cap is not None and value == INFINITY and witness is None:
                 # Cap exceeded without a disconnection witness: the exact
-                # value is unknown, so do not memoise it.
+                # value is unknown, so do not memoise it — but the failed
+                # cap is a proven lower bound, so remember that instead.
+                bound = math.floor(cap) + 1
+                if capped is not None and capped[2] > bound:
+                    bound = capped[2]
+                if bound > self._lower_bound:
+                    self._lower_bound = bound
+                if capped is not None:
+                    self._capped_unreached = capped
                 return INFINITY
             self._diameter = value
             self._unreached = witness
@@ -575,7 +826,27 @@ class EvalCursor:
             return True
         if self._diameter is not None:
             return self._diameter <= bound
+        if bound < self._lower_bound:
+            # diameter >= _lower_bound > bound, proven by an earlier capped
+            # evaluation (possibly inherited from a parent cursor).
+            return False
         return self.diameter(cap=bound) <= bound
+
+    def _evaluate(
+        self, cap: Optional[float]
+    ) -> Tuple[float, Optional[Tuple[int, int]], Optional[Tuple[int, int, int]]]:
+        """One diameter evaluation through the index's resolved backend."""
+        index = self._index
+        if index.eval_backend == EVAL_BACKEND_NUMPY:
+            kernel = index._ensure_np_kernel()
+            if kernel is not None:
+                value, witness, capped = kernel.diameter_witness(
+                    _mask_ids(self._fault_mask), cap
+                )
+                return value, witness, capped
+        return _rows_diameter_witness(
+            self._rows, self._alive, cap, index._density_threshold
+        )
 
     def with_added(self, node: Node) -> "EvalCursor":
         """Return the cursor for ``F | {node}`` via a delta update.
@@ -583,6 +854,11 @@ class EvalCursor:
         Only the surviving predecessors of ``node`` and the pairs routed
         through it are touched; every other row is shared with the parent by
         value (rows are immutable ints).
+
+        The returned cursor is always a distinct object, even when ``node``
+        is already faulty (it then shares the parent's rows and memoised
+        state): callers may memoise further results on it without mutating
+        the parent.
         """
         index = self._index
         nid = index._id_of.get(node)
@@ -592,7 +868,14 @@ class EvalCursor:
             )
         bit = 1 << nid
         if self._fault_mask & bit:
-            return self
+            # Same fault set, but hand back a distinct cursor so memoising
+            # on the child never aliases into the parent.
+            twin = EvalCursor(index, self._fault_mask, self._rows)
+            twin._diameter = self._diameter
+            twin._unreached = self._unreached
+            twin._lower_bound = self._lower_bound
+            twin._capped_unreached = self._capped_unreached
+            return twin
         fault_mask = self._fault_mask | bit
         rows = list(self._rows)
         not_bit = ~bit
@@ -626,6 +909,15 @@ class EvalCursor:
             if source_bit != bit and unreached & not_bit:
                 child._diameter = INFINITY
                 child._unreached = (source_bit, unreached & not_bit)
+        # The capped witness transfers by the same monotonicity: nodes at
+        # distance >= lb from the source stay at least that far away once
+        # more arcs are removed, so the child inherits the lower bound.
+        if self._capped_unreached is not None:
+            source_bit, unreached, lb = self._capped_unreached
+            if source_bit != bit and unreached & not_bit:
+                if lb > child._lower_bound:
+                    child._lower_bound = lb
+                child._capped_unreached = (source_bit, unreached & not_bit, lb)
         return child
 
 
@@ -636,7 +928,7 @@ def _rows_diameter(
     threshold: int = DEFAULT_DENSITY_THRESHOLD,
 ) -> float:
     """Diameter of the bitset digraph (``inf`` when > ``cap``, see below)."""
-    value, _witness = _rows_diameter_witness(rows, alive, cap, threshold)
+    value, _witness, _capped = _rows_diameter_witness(rows, alive, cap, threshold)
     return value
 
 
@@ -645,7 +937,7 @@ def _rows_diameter_witness(
     alive: int,
     cap: Optional[float] = None,
     threshold: int = DEFAULT_DENSITY_THRESHOLD,
-) -> Tuple[float, Optional[Tuple[int, int]]]:
+) -> Tuple[float, Optional[Tuple[int, int]], Optional[Tuple[int, int, int]]]:
     """Diameter of the digraph given by bitset rows.
 
     Matches the conventions of :func:`repro.graphs.traversal.diameter`:
@@ -654,9 +946,12 @@ def _rows_diameter_witness(
     proven to exceed the cap (a finite return value is always exact).
 
     The second component witnesses a disconnection when one was found: a
-    source's bit and the mask of nodes it cannot reach (``None`` when the
-    graph is connected within the cap, or when the cap was exceeded without
-    proving a disconnection).
+    source's bit and the mask of nodes it cannot reach.  The third component
+    is the *capped witness* ``(source bit, unreached mask, lb)`` produced
+    when the cap was exceeded without proving a disconnection: every node of
+    the mask is at distance at least ``lb`` from the source.  At most one of
+    the two witnesses is non-``None``; both are ``None`` when the graph is
+    connected within the cap.
 
     Two strategies cover the two shapes surviving route graphs come in.
     Sparse graphs use *batched propagation*: every node's reachable set is a
@@ -667,10 +962,10 @@ def _rows_diameter_witness(
     exploits that early exit.  Both return identical values.
     """
     if not alive:
-        return INFINITY, None
+        return INFINITY, None, None
     total = alive.bit_count()
     if total == 1:
-        return 0, None
+        return 0, None, None
     arcs = 0
     for row in rows:
         arcs += row.bit_count()
@@ -681,7 +976,7 @@ def _rows_diameter_witness(
 
 def _batched_diameter(
     rows: List[int], alive: int, total: int, cap: Optional[float]
-) -> Tuple[float, Optional[Tuple[int, int]]]:
+) -> Tuple[float, Optional[Tuple[int, int]], Optional[Tuple[int, int, int]]]:
     """All-sources reachability propagation (one ``|=`` per arc per level)."""
     ids: List[int] = []
     remaining = alive
@@ -707,9 +1002,18 @@ def _batched_diameter(
         for node in ids:
             complete &= reach[node]
         if complete == alive:
-            return level, None
+            return level, None, None
         if cap is not None and level >= cap:
-            return INFINITY, None
+            # reach covers distance <= level, so any unreached node is at
+            # distance >= level + 1 from its source: a capped witness.
+            for node in ids:
+                if reach[node] != alive:
+                    return (
+                        INFINITY,
+                        None,
+                        (1 << node, alive & ~reach[node], level + 1),
+                    )
+            return INFINITY, None, None  # pragma: no cover - incomplete above
         advanced: List[int] = [0] * len(rows)
         changed = False
         for node in ids:
@@ -722,14 +1026,14 @@ def _batched_diameter(
         if not changed:
             for node in ids:
                 if reach[node] != alive:
-                    return INFINITY, (1 << node, alive & ~reach[node])
+                    return INFINITY, (1 << node, alive & ~reach[node]), None
         reach = advanced
         level += 1
 
 
 def _per_source_diameter(
     rows: List[int], alive: int, cap: Optional[float]
-) -> Tuple[float, Optional[Tuple[int, int]]]:
+) -> Tuple[float, Optional[Tuple[int, int]], Optional[Tuple[int, int, int]]]:
     """Per-source frontier BFS with early completion exit (dense graphs)."""
     worst = 0
     sources = alive
@@ -747,14 +1051,20 @@ def _per_source_diameter(
                 frontier ^= fbit
             frontier = reach & ~visited
             if not frontier:
-                return INFINITY, (source_bit, alive & ~visited)
+                return INFINITY, (source_bit, alive & ~visited), None
             eccentricity += 1
             if cap is not None and eccentricity > cap:
-                return INFINITY, None
+                # visited covers distance <= eccentricity - 1: the unvisited
+                # nodes sit at distance >= eccentricity, a capped witness.
+                return (
+                    INFINITY,
+                    None,
+                    (source_bit, alive & ~visited, eccentricity),
+                )
             visited |= frontier
         if eccentricity > worst:
             worst = eccentricity
-    return worst, None
+    return worst, None, None
 
 
 def _succ_diameter(succ: Dict[Node, Set[Node]]) -> float:

@@ -76,6 +76,13 @@ class _SuiteTask:
     ``fault_size``), ``"random-p"`` (binomial per-node failures with
     probability ``p``) or ``"exhaustive"`` (combinations offsets
     ``start .. start + count`` at ``fault_size``).
+
+    ``density_threshold`` and ``backend`` carry the **parent-resolved**
+    index tunables.  Workers rebuilding a scenario construct their index
+    from these values instead of consulting their own environment — worker
+    processes whose environment diverges from the parent's (or from each
+    other's) would otherwise silently evaluate with different strategies.
+    ``None`` preserves the historical per-process resolution.
     """
 
     spec: str
@@ -87,6 +94,8 @@ class _SuiteTask:
     start: int = 0
     seed: int = 0
     bound: Optional[float] = None
+    density_threshold: Optional[int] = None
+    backend: Optional[str] = None
 
     def materialise(self, pool: Sequence) -> Tuple[FaultSet, ...]:
         """Regenerate this task's fault sets from the canonical node pool."""
@@ -223,38 +232,59 @@ def _init_suite_worker(payload: Optional[Dict[str, Tuple[RouteIndex, str]]]) -> 
         _SCENARIO_CACHE.update(payload)
 
 
-def _cache_workload(spec: str, value: Tuple[RouteIndex, str]) -> None:
-    if spec not in _SCENARIO_CACHE and len(_SCENARIO_CACHE) >= _SCENARIO_CACHE_LIMIT:
+def _cache_workload(key: str, value: Tuple[RouteIndex, str]) -> None:
+    if key not in _SCENARIO_CACHE and len(_SCENARIO_CACHE) >= _SCENARIO_CACHE_LIMIT:
         _SCENARIO_CACHE.pop(next(iter(_SCENARIO_CACHE)))
-    _SCENARIO_CACHE[spec] = value
+    _SCENARIO_CACHE[key] = value
 
 
-def _scenario_workload(spec: str) -> Tuple[RouteIndex, str]:
-    cached = _SCENARIO_CACHE.get(spec)
+def _workload_key(
+    spec: str, density_threshold: Optional[int], backend: Optional[str]
+) -> str:
+    """Cache key of one (scenario, resolved index tunables) workload.
+
+    The tunables are part of the key so a parent-broadcast slim index (built
+    with the parent's resolved values) is never conflated with a worker-side
+    rebuild under different values.
+    """
+    return f"{spec}\x00{density_threshold}\x00{backend}"
+
+
+def _scenario_workload(
+    spec: str,
+    density_threshold: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Tuple[RouteIndex, str]:
+    key = _workload_key(spec, density_threshold, backend)
+    cached = _SCENARIO_CACHE.get(key)
     if cached is None:
         from repro.scenarios.spec import parse_scenario
 
         graph, result = parse_scenario(spec).build()
-        cached = (RouteIndex(graph, result.routing), result.fingerprint())
-        _cache_workload(spec, cached)
+        cached = (
+            RouteIndex(
+                graph,
+                result.routing,
+                density_threshold=density_threshold,
+                backend=backend,
+            ),
+            result.fingerprint(),
+        )
+        _cache_workload(key, cached)
     return cached
 
 
 def _eval_suite_task(task: _SuiteTask):
     """Evaluate one shard; returns (campaign_key, fingerprint, outcomes)."""
-    index, fingerprint = _scenario_workload(task.spec)
+    index, fingerprint = _scenario_workload(
+        task.spec, task.density_threshold, task.backend
+    )
     fault_sets = task.materialise(index.node_pool)
     if task.bound is not None:
-        outcomes = [
-            (fault_set, index.surviving_diameter(fault_set, cap=task.bound))
-            for fault_set in fault_sets
-        ]
+        values = index.surviving_diameters(fault_sets, cap=task.bound)
     else:
-        outcomes = [
-            (fault_set, index.surviving_diameter(fault_set))
-            for fault_set in fault_sets
-        ]
-    return task.campaign_key, fingerprint, outcomes
+        values = index.surviving_diameters(fault_sets)
+    return task.campaign_key, fingerprint, list(zip(fault_sets, values))
 
 
 # ----------------------------------------------------------------------
@@ -294,8 +324,13 @@ def _expand_tasks(
     node_counts: Optional[Sequence[Optional[int]]] = None,
     skip: Iterable[Tuple[int, int]] = (),
     drop: Iterable[int] = (),
+    tunables: Optional[Sequence[Optional[Tuple[int, str]]]] = None,
 ) -> Tuple[List[_SuiteTask], List[Tuple[Tuple[int, int], int]]]:
     """Flatten the suite into shard tasks plus per-campaign metadata.
+
+    ``tunables[i]`` optionally carries scenario ``i``'s parent-resolved
+    ``(density_threshold, backend)`` pair; it is stamped onto every task of
+    that scenario so workers evaluate with exactly the parent's resolution.
 
     Returns ``(tasks, campaigns)`` where ``campaigns[j] = (campaign_key,
     fault_size)`` in row order.  Task seeds hash the campaign's *identity*
@@ -329,6 +364,12 @@ def _expand_tasks(
         if scenario_index in dropped:
             continue
         node_count = node_counts[scenario_index] if node_counts else None
+        scenario_tunables = (
+            tunables[scenario_index] if tunables is not None else None
+        )
+        density_threshold, backend = (
+            scenario_tunables if scenario_tunables is not None else (None, None)
+        )
         for plan_index, (mode, fault_size, p, total) in enumerate(
             _campaign_plans(scenario, samples, node_count)
         ):
@@ -352,6 +393,8 @@ def _expand_tasks(
                         start=start,
                         seed=shard_seed(seed, tag, shard_index),
                         bound=bound,
+                        density_threshold=density_threshold,
+                        backend=backend,
                     )
                 )
     return tasks, campaigns
@@ -430,6 +473,8 @@ def run_scenario_suite(
     share_index: bool = True,
     skip_inapplicable: Union[bool, Iterable[Union[str, int]]] = False,
     skipped: Optional[List[Tuple[Scenario, str]]] = None,
+    density_threshold: Optional[Union[int, str]] = None,
+    backend: Optional[str] = None,
 ) -> List[ScenarioRow]:
     """Run campaigns for every scenario and return one row per campaign.
 
@@ -484,6 +529,13 @@ def run_scenario_suite(
         where not every strategy applies everywhere.  Graph construction
         itself is never forgiven: a malformed graph axis raises
         regardless.
+    density_threshold, backend:
+        Index tunables (see :class:`~repro.core.route_index.RouteIndex`).
+        Whatever they resolve to — explicit argument, environment variable
+        or default — is resolved **once, in the parent** and stamped onto
+        every shard task, so workers never consult their own environment:
+        a pool whose processes see divergent ``REPRO_*`` variables still
+        evaluates every shard with the parent's strategy.
     skipped:
         Optional list the suite appends ``(scenario, reason)`` pairs to for
         every scenario dropped under ``skip_inapplicable`` (in suite
@@ -529,7 +581,9 @@ def run_scenario_suite(
     else:
         may_skip = set(skip_inapplicable)
 
-    built: Dict[int, Tuple[Scenario, ConstructionResult, int, int, str]] = {}
+    built: Dict[
+        int, Tuple[Scenario, ConstructionResult, int, int, str, Tuple[int, str]]
+    ] = {}
     dropped: Dict[int, str] = {}
     payload: Optional[Dict[str, Tuple[RouteIndex, str]]] = (
         {} if workers > 1 and share_index else None
@@ -558,16 +612,27 @@ def run_scenario_suite(
             if skipped is not None:
                 skipped.append((scenario, str(exc)))
             continue
-        index = RouteIndex(graph, result.routing)
-        _cache_workload(scenario.canonical(), (index, result.fingerprint()))
+        index = RouteIndex(
+            graph,
+            result.routing,
+            density_threshold=density_threshold,
+            backend=backend,
+        )
+        # The parent's resolved tunables travel with every task and key the
+        # worker-side cache, so shared slim indexes and worker rebuilds
+        # agree with the parent no matter what the workers' environment says.
+        resolved = (index.density_threshold, index.backend)
+        key = _workload_key(scenario.canonical(), *resolved)
+        _cache_workload(key, (index, result.fingerprint()))
         if payload is not None:
-            payload[scenario.canonical()] = (index.slim(), result.fingerprint())
+            payload[key] = (index.slim(), result.fingerprint())
         built[scenario_index] = (
             scenario,
             result,
             graph.number_of_nodes(),
             graph.number_of_edges(),
             index.preferred_strategy(),
+            resolved,
         )
 
     # A partially-complete scenario is rebuilt for its remaining campaigns;
@@ -602,6 +667,10 @@ def run_scenario_suite(
         else:
             node_counts.append(None)
 
+    tunables: List[Optional[Tuple[int, str]]] = [
+        built[scenario_index][5] if scenario_index in built else None
+        for scenario_index in range(len(scenario_list))
+    ]
     tasks, campaigns = _expand_tasks(
         scenario_list,
         samples,
@@ -611,6 +680,7 @@ def run_scenario_suite(
         node_counts=node_counts,
         skip=completed,
         drop=dropped,
+        tunables=tunables,
     )
     fault_sizes = dict(campaigns)
 
@@ -622,7 +692,9 @@ def run_scenario_suite(
     computed: Dict[Tuple[int, int], ScenarioRow] = {}
 
     def _finalise(campaign_key: Tuple[int, int], outcomes: List) -> None:
-        scenario, result, nodes, edges, strategy = built[campaign_key[0]]
+        scenario, result, nodes, edges, strategy, _tunables = built[
+            campaign_key[0]
+        ]
         if bound is not None:
             campaign: CampaignRow = aggregate_decisions(
                 fault_sizes[campaign_key], bound, outcomes

@@ -151,10 +151,15 @@ class TestEvalCursor:
             faults.add(node)
             assert cursor.diameter() == index.surviving_diameter(faults)
 
-    def test_with_added_existing_fault_is_identity(self, indexed_routing):
+    def test_with_added_existing_fault_returns_distinct_cursor(self, indexed_routing):
+        # Regression: with_added on an already-faulty node used to return
+        # ``self``, so memoising on the "child" mutated the parent cursor.
         graph, routing, index = indexed_routing
         cursor = index.cursor({4})
-        assert cursor.with_added(4) is cursor
+        twin = cursor.with_added(4)
+        assert twin is not cursor
+        assert twin.faults == cursor.faults
+        assert twin.diameter() == cursor.diameter()
 
     def test_with_added_unknown_node_rejected(self, indexed_routing):
         graph, routing, index = indexed_routing

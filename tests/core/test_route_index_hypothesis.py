@@ -1,16 +1,20 @@
-"""Property-based equivalence: bitset kernel vs set kernel vs naive path.
+"""Property-based equivalence: bitset vs sets vs numpy kernels vs naive path.
 
 For random graphs, routings (single routes and multiroutings) and fault
 sets, the :class:`~repro.core.route_index.RouteIndex` evaluation must
 reproduce the naive computation *node for node*: the same surviving route
-graph (same node set, same arc set) and the same diameter — through both
-the bitset kernel (the default) and the historical set-based kernel, which
-must agree with each other value-for-value.  The bounded decision API must
+graph (same node set, same arc set) and the same diameter — through the
+bitset kernel (the default), the historical set-based kernel, and (when
+numpy is installed) the packed-uint64 numpy backend, all of which must
+agree with each other value-for-value.  The bounded decision API must
 satisfy ``surviving_diameter_at_most(F, b) <=> surviving_diameter(F) <= b``
 for every bound, and delta-derived cursors must equal from-scratch
-evaluations.  This is the contract that lets every campaign, battery and
-sweep in the library ride the fast paths without changing any observable
-result.
+evaluations — on every backend.  This is the contract that lets every
+campaign, battery and sweep in the library ride the fast paths without
+changing any observable result.
+
+Without numpy the suite still runs: the numpy legs are skipped (the other
+three stay enforced), which is exactly the no-numpy CI configuration.
 """
 
 import random as _random
@@ -28,9 +32,14 @@ from repro.core import (
     surviving_diameter_at_most,
     surviving_route_graph,
 )
+from repro.core.np_kernel import numpy_available
 from repro.core.routing import MultiRouting, Routing
 from repro.graphs import generators
 from repro.graphs.traversal import shortest_path
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not available"
+)
 
 SETTINGS = settings(
     max_examples=30,
@@ -137,13 +146,19 @@ class TestIndexedEquivalence:
 
     @SETTINGS
     @given(graph_routing_faults())
-    def test_bitset_set_and_naive_kernels_agree(self, case):
-        """Three-way equivalence: bitset kernel == set kernel == naive path."""
+    def test_all_kernels_agree(self, case):
+        """Four-way equivalence: bitset == sets == numpy kernel == naive path.
+
+        The numpy leg silently degrades to three-way where numpy is not
+        installed (the dedicated numpy suite below is skipped explicitly).
+        """
         graph, routing, faults = case
         index = RouteIndex(graph, routing)
         naive = surviving_diameter(graph, routing, faults)
         assert index.surviving_diameter(faults, kernel="bitset") == naive
         assert index.surviving_diameter(faults, kernel="sets") == naive
+        if numpy_available():
+            assert index.surviving_diameter(faults, kernel="numpy") == naive
 
 
 class TestBoundedDecision:
@@ -220,3 +235,79 @@ class TestCursorEquivalence:
             cursor = cursor.with_added(node)
             grown.add(node)
             assert cursor.diameter() == surviving_diameter(graph, routing, grown)
+
+
+@requires_numpy
+class TestNumpyBackendEquivalence:
+    """The numpy backend must be observationally identical to the bitset one.
+
+    Exercised through the same random graph/routing/fault generator as the
+    bitset equivalence above — including multiroutings, whose killed-arc
+    resolution is the trickiest part of the packed kernel — so every shape
+    of surviving route graph crosses both kernels.
+    """
+
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_numpy_index_matches_naive(self, case):
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing, backend="numpy")
+        assert index.eval_backend == "numpy"
+        assert index.surviving_diameter(faults) == surviving_diameter(
+            graph, routing, faults
+        )
+
+    @SETTINGS
+    @given(graph_routing_faults(), st.integers(min_value=0, max_value=14))
+    def test_numpy_capped_evaluation_is_exact_within_the_cap(self, case, cap):
+        graph, routing, faults = case
+        index = RouteIndex(graph, routing, backend="numpy")
+        exact = surviving_diameter(graph, routing, faults)
+        capped = index.surviving_diameter(faults, cap=cap)
+        if exact <= cap:
+            assert capped == exact
+        else:
+            assert capped > cap
+
+    @SETTINGS
+    @given(graph_routing_faults(), st.integers(min_value=0, max_value=14))
+    def test_numpy_bounded_decisions_match_bitset(self, case, bound):
+        graph, routing, faults = case
+        np_index = RouteIndex(graph, routing, backend="numpy")
+        bs_index = RouteIndex(graph, routing, backend="bitset")
+        assert np_index.surviving_diameter_at_most(
+            faults, bound
+        ) == bs_index.surviving_diameter_at_most(faults, bound)
+
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_numpy_batch_matches_bitset_batch(self, case):
+        """The batch API returns identical values (and types) per backend."""
+        graph, routing, faults = case
+        np_index = RouteIndex(graph, routing, backend="numpy")
+        bs_index = RouteIndex(graph, routing, backend="bitset")
+        ordered = sorted(faults, key=repr)
+        battery = [frozenset(ordered[:k]) for k in range(len(ordered) + 1)]
+        np_values = np_index.surviving_diameters(battery)
+        bs_values = bs_index.surviving_diameters(battery)
+        assert np_values == bs_values
+        assert [type(v) for v in np_values] == [type(v) for v in bs_values]
+        assert np_index.surviving_diameters(
+            battery, cap=2
+        ) == bs_index.surviving_diameters(battery, cap=2)
+
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_numpy_cursor_chain_matches_bitset(self, case):
+        """with_added chains agree across backends, caps and bounds included."""
+        graph, routing, faults = case
+        np_cursor = RouteIndex(graph, routing, backend="numpy").cursor(())
+        bs_cursor = RouteIndex(graph, routing, backend="bitset").cursor(())
+        for position, node in enumerate(sorted(faults, key=repr)):
+            np_cursor = np_cursor.with_added(node)
+            bs_cursor = bs_cursor.with_added(node)
+            bound = position % 4
+            assert np_cursor.diameter_at_most(bound) == bs_cursor.diameter_at_most(
+                bound
+            )
+            assert np_cursor.diameter() == bs_cursor.diameter()

@@ -65,6 +65,38 @@ class TestDensityThreshold:
             ).diameter()
 
 
+class TestAutoCalibration:
+    def test_auto_threshold_calibrates_to_clamped_integer(self, workload):
+        graph, routing = workload
+        index = RouteIndex(graph, routing, density_threshold="auto")
+        assert isinstance(index.density_threshold, int)
+        assert 1 <= index.density_threshold <= 1024
+
+    def test_auto_via_env(self, workload, monkeypatch):
+        graph, routing = workload
+        monkeypatch.setenv("REPRO_BFS_DENSITY_THRESHOLD", "auto")
+        index = RouteIndex(graph, routing)
+        assert isinstance(index.density_threshold, int)
+        assert 1 <= index.density_threshold <= 1024
+
+    def test_calibration_never_changes_values(self, workload):
+        """Calibration is a timing knob; evaluation results are invariant."""
+        graph, routing = workload
+        reference = RouteIndex(graph, routing)
+        calibrated = RouteIndex(graph, routing, density_threshold="auto")
+        for fault_set in random_fault_sets(graph.nodes(), 2, 8, seed=7):
+            assert calibrated.surviving_diameter(
+                fault_set
+            ) == reference.surviving_diameter(fault_set)
+
+    def test_explicit_recalibration_returns_new_threshold(self, workload):
+        graph, routing = workload
+        index = RouteIndex(graph, routing)
+        returned = index.calibrate_density_threshold(repeats=1)
+        assert returned == index.density_threshold
+        assert 1 <= returned <= 1024
+
+
 class TestPreferredStrategy:
     def test_extremes_select_both_strategies(self, workload):
         graph, routing = workload
