@@ -1,6 +1,6 @@
 """Grid-sweep benchmark: shared worker payloads + resumable result stores.
 
-Three claims are measured and enforced:
+Four claims are measured and enforced:
 
 1. **Shared slim-index payloads keep parallel suites correct (and cheap).**
    The same grid suite is run with ``share_index=True`` (the parent
@@ -10,14 +10,21 @@ Three claims are measured and enforced:
    the payload is an optimisation, never a semantic change — and both wall
    times are recorded so regressions in either path show up in the JSON.
 
-2. **Resumed grid campaigns recompute nothing that was stored.**  A grid
+2. **Supervised dispatch is free on the clean path.**  The same suite runs
+   through the :class:`~repro.runtime.Supervisor` (timeouts, retry budgets,
+   dead-worker detection armed) and through the bare ``pool.imap`` baseline
+   (``supervised=False``).  Rows must be identical and the supervised best
+   time must stay within 5% of the baseline (or a small absolute delta on
+   quick runs, where timer noise exceeds 5%).
+
+3. **Resumed grid campaigns recompute nothing that was stored.**  A grid
    sweep is persisted to a JSONL result store, the store is truncated
    mid-row (simulating a kill), and the sweep is resumed.  The gate checks
    that (a) the resumed store is byte-identical to the uninterrupted one,
    (b) the resumed run evaluated strictly fewer shard tasks than the full
    run, and (c) the rendered scaling report matches exactly.
 
-3. **Split strategy-comparison runs merge losslessly.**  One
+4. **Split strategy-comparison runs merge losslessly.**  One
    ``kernel|circular`` grid is swept whole, then again split per strategy
    into two separate stores which are merged with
    :func:`~repro.results.store.merge_result_stores`.  Battery seeds hash
@@ -115,6 +122,68 @@ def _bench_shared_payload(quick: bool) -> dict:
         "rebuild_s": round(rebuild_seconds, 4),
         "speedup": round(speedup, 2),
         "rows_identical": identical,
+    }
+
+
+def _overhead_workload(quick: bool):
+    """Return ``(grid_spec, samples, workers, repeats)`` for the gate."""
+    if quick:
+        return ("circulant:n=40..44,offsets=1+2/kernel/sizes:2", 8, 2, 3)
+    return ("circulant:n=96..104,offsets=1+2/kernel/sizes:2,4", 24, 4, 3)
+
+
+def _bench_supervisor_overhead(quick: bool) -> dict:
+    """Clean-path cost of supervised dispatch vs the bare ``pool.imap``.
+
+    The supervisor's sliding window, deadlines and liveness polling must be
+    invisible when nothing fails: the gate takes the best of ``repeats``
+    runs each way (damping scheduler noise), requires identical rows, and
+    requires the supervised best within 5% of the unsupervised best — or
+    within a small absolute delta, since quick-mode runs are short enough
+    for timer noise to exceed 5%.
+    """
+    grid_spec, samples, workers, repeats = _overhead_workload(quick)
+    scenarios = expand_grids([grid_spec])
+
+    def timed(supervised: bool):
+        best = float("inf")
+        rows = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            rows = run_scenario_suite(
+                scenarios,
+                samples=samples,
+                seed=11,
+                workers=workers,
+                supervised=supervised,
+            )
+            best = min(best, time.perf_counter() - start)
+        return best, rows
+
+    supervised_s, supervised_rows = timed(True)
+    plain_s, plain_rows = timed(False)
+    identical = [row.as_row() for row in supervised_rows] == [
+        row.as_row() for row in plain_rows
+    ]
+    overhead = supervised_s / plain_s - 1 if plain_s else 0.0
+    within_gate = overhead < 0.05 or (supervised_s - plain_s) < 0.25
+    print(
+        f"\nsupervisor overhead gate [{grid_spec}]: supervised "
+        f"{supervised_s:.3f}s vs bare pool {plain_s:.3f}s -> "
+        f"{overhead:+.1%} (best of {repeats}; rows "
+        f"{'identical' if identical else 'DIVERGE'}, gate "
+        f"{'ok' if within_gate else 'EXCEEDED'})"
+    )
+    return {
+        "grid": grid_spec,
+        "samples": samples,
+        "workers": workers,
+        "repeats": repeats,
+        "supervised_s": round(supervised_s, 4),
+        "unsupervised_s": round(plain_s, 4),
+        "overhead": round(overhead, 4),
+        "rows_identical": identical,
+        "within_gate": within_gate,
     }
 
 
@@ -285,6 +354,7 @@ def _bench_strategy_merge(quick: bool) -> dict:
 
 def run(quick: bool, json_path: str) -> int:
     payload = _bench_shared_payload(quick)
+    overhead = _bench_supervisor_overhead(quick)
     resume = _bench_resume(quick)
     merge = _bench_strategy_merge(quick)
 
@@ -292,6 +362,7 @@ def run(quick: bool, json_path: str) -> int:
         "generated_by": "benchmarks/bench_grid.py",
         "mode": "quick" if quick else "full",
         "shared_payload": payload,
+        "supervisor_overhead": overhead,
         "resume": resume,
         "strategy_merge": merge,
     }
@@ -303,6 +374,13 @@ def run(quick: bool, json_path: str) -> int:
     failures = []
     if not payload["rows_identical"]:
         failures.append("shared-payload rows diverge from per-worker rebuild rows")
+    if not overhead["rows_identical"]:
+        failures.append("supervised rows diverge from bare-pool rows")
+    if not overhead["within_gate"]:
+        failures.append(
+            f"supervisor clean-path overhead {overhead['overhead']:+.1%} "
+            "exceeds the 5% gate"
+        )
     if not resume["store_byte_identical"]:
         failures.append("resumed store is not byte-identical to the full run")
     if not resume["report_identical"]:
@@ -320,7 +398,8 @@ def run(quick: bool, json_path: str) -> int:
             print(f"FAIL — {failure}")
         return 1
     print(
-        f"PASS — payload rows identical ({payload['speedup']:.2f}x), resume "
+        f"PASS — payload rows identical ({payload['speedup']:.2f}x), "
+        f"supervisor overhead {overhead['overhead']:+.1%}, resume "
         f"skipped {resume['full_tasks'] - resume['resumed_tasks']} of "
         f"{resume['full_tasks']} tasks with byte-identical store + report, "
         f"split strategy runs merged to the combined run's table"

@@ -111,6 +111,55 @@ def _render_cell(value: object) -> str:
     return _render_scalar(value)
 
 
+#: Cell annotation per status-row disposition (see
+#: :data:`repro.results.records.STATUS_DISPOSITIONS`).
+_STATUS_LABELS = {"inapplicable": "n/a", "failed": "failed"}
+
+
+def _status_annotations(frame, comparison: bool) -> Dict[Tuple, str]:
+    """Map pivot cell coordinates to status labels for ``kind="status"`` rows.
+
+    Keys are ``((family, n), cell)`` with ``cell`` matching the pivot's
+    column values — ``(strategy, t)`` tuples under the comparison layout,
+    bare ``t`` otherwise.  ``failed`` outranks ``n/a`` when both land on
+    one cell.
+    """
+    names = set(frame.column_names)
+    if "kind" not in names or not len(frame):
+        return {}
+    from repro.results.records import effective_strategy
+
+    none_column = (None,) * len(frame)
+
+    def column(name):
+        return frame.column(name) if name in names else none_column
+
+    annotations: Dict[Tuple, str] = {}
+    for kind, disposition, family, size, strategy, scheme, t in zip(
+        column("kind"),
+        column("disposition"),
+        column("family"),
+        column("n"),
+        column("strategy"),
+        column("scheme"),
+        column("t"),
+    ):
+        if kind != "status":
+            continue
+        label = _STATUS_LABELS.get(disposition, str(disposition))
+        if comparison:
+            effective = effective_strategy(
+                {"strategy": strategy, "scheme": scheme}
+            )
+            cell = (effective if effective is not None else "unspecified", t)
+        else:
+            cell = t
+        key = ((family, size), cell)
+        if key not in annotations or label == "failed":
+            annotations[key] = label
+    return annotations
+
+
 def _comparison_strategies(frame) -> List[str]:
     """Return the distinct effective strategies of a frame (sorted).
 
@@ -166,6 +215,13 @@ def scaling_table(frame) -> Tuple[List[Dict[str, object]], List[str], str]:
     kernel-vs-circular tables come out of the same pivot.  The strategy of
     a row is the *effective* one: the scheme actually built when the
     scenario asked for ``auto``.
+
+    ``kind="status"`` rows carry no statistics but still shape the table:
+    they contribute their ``(family, n)`` row and column coordinates, and
+    any cell left empty where a status row lands is annotated ``n/a``
+    (scenario inapplicable, dropped under ``--skip-inapplicable``) or
+    ``failed`` (campaign quarantined by the supervisor) — distinguishing
+    both from ``-``, a cell that simply was not swept.
     """
     kinds = set(frame.column("kind")) if len(frame) else set()
     decision = "decision" in kinds
@@ -223,6 +279,19 @@ def scaling_table(frame) -> Tuple[List[Dict[str, object]], List[str], str]:
     else:
         pivoted, cells = frame.pivot(("family", "n"), "t", value_column, folds)
         labels = {cell: f"t={cell}" for cell in cells}
+    # Status rows have no value, so their cells pivoted to None; fill the
+    # ones a status row explains.  Cells with partial data keep their
+    # (partial) aggregate — the fold already reflects what did run.
+    annotations = _status_annotations(frame, comparison)
+    if annotations:
+        for entry in pivoted:
+            for cell in cells:
+                if entry[cell] is None:
+                    label = annotations.get(
+                        ((entry["family"], entry["n"]), cell)
+                    )
+                    if label is not None:
+                        entry[cell] = label
     pivoted.sort(
         key=lambda row: (
             str(row["family"]),
@@ -321,7 +390,23 @@ def render_scaling_report(
     lines.append("")
     lines.append(render_markdown_table(rows, columns))
     lines.append("")
-    lines.append(f"Campaign rows: {len(frame)}")
+    footer = f"Campaign rows: {len(frame)}"
+    names = set(frame.column_names)
+    if "kind" in names and "disposition" in names and len(frame):
+        counts: Dict[object, int] = {}
+        for kind, disposition in zip(
+            frame.column("kind"), frame.column("disposition")
+        ):
+            if kind == "status":
+                counts[disposition] = counts.get(disposition, 0) + 1
+        parts = []
+        if counts.get("failed"):
+            parts.append(f"{counts['failed']} failed")
+        if counts.get("inapplicable"):
+            parts.append(f"{counts['inapplicable']} not applicable")
+        if parts:
+            footer += " (" + ", ".join(parts) + ")"
+    lines.append(footer)
     return "\n".join(lines)
 
 

@@ -33,6 +33,9 @@ driven without writing Python:
   routing strategies — one grid sweeping ``kernel|circular``, or merged
   single-strategy stores — renders the strategy-comparison layout
   (column groups = strategy × ``t``);
+* ``python -m repro salvage results.jsonl`` repairs a store torn by a
+  writer killed mid-append: the truncated tail moves into the
+  ``.quarantine`` sidecar and the sweep resumes from the last complete row;
 * ``python -m repro graphs`` / ``python -m repro scenarios``
   list the registered graph families and the scenario/grid grammar
   (``repro scenarios --family hyper`` filters the listing).
@@ -56,10 +59,17 @@ from repro.core.statistics import concentrator_load_share, routing_statistics
 from repro.core.builder import available_strategies
 from repro.exceptions import ReproError
 from repro.faults import CampaignEngine
+from repro.faults.simulation import CampaignStatus
 from repro.graphs.graph import Graph
 from repro.graphs.registry import GRAPH_FAMILIES, parse_graph_spec
 from repro.network import NetworkSimulator, XorEncryptionService
-from repro.results import ResultStore, merge_result_stores, result_frame
+from repro.results import (
+    FSYNC_POLICIES,
+    ResultStore,
+    merge_result_stores,
+    result_frame,
+)
+from repro.runtime import SupervisorPolicy
 from repro.scenarios import (
     FAULT_KINDS,
     parse_grid,
@@ -377,12 +387,17 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     store = None
     if args.store:
         if args.resume:
-            store = ResultStore.open(args.store, run)
+            store = ResultStore.open(args.store, run, fsync=args.fsync)
         else:
-            store = ResultStore.create(args.store, run)
+            store = ResultStore.create(args.store, run, fsync=args.fsync)
     elif args.resume:
         raise ValueError("--resume needs --store (the JSONL file to resume)")
 
+    policy = SupervisorPolicy(
+        task_timeout=args.task_timeout,
+        max_retries=args.retries,
+        strict=args.strict,
+    )
     skipped: List = []
     try:
         already = len(store) if store is not None else 0
@@ -397,6 +412,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
             skip_inapplicable=skip_inapplicable,
             skipped=skipped,
             backend=args.eval_backend,
+            policy=policy,
         )
     finally:
         if store is not None:
@@ -449,15 +465,51 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         print()
         print(report)
 
+    # Quarantined campaigns (retry budget exhausted under the supervisor)
+    # come back as status rows: report them and fail the run, but only
+    # after the table and report above — partial sweeps stay inspectable,
+    # and the store keeps the failed rows so `repro report` annotates them.
+    failed = [row for row in rows if isinstance(row.campaign, CampaignStatus)]
+    for row in failed:
+        print(
+            f"campaign failed (quarantined): {row.scenario} at "
+            f"|F|={row.campaign.fault_size} — {row.campaign.reason}",
+            file=info,
+        )
+    exit_code = 1 if failed else 0
     if args.bound is not None:
-        violated = [row for row in rows if not row.campaign.holds]
+        violated = [
+            row
+            for row in rows
+            if not isinstance(row.campaign, CampaignStatus)
+            and not row.campaign.holds
+        ]
         for row in violated:
             print(
                 f"bound violated: {row.scenario} at |F|={row.campaign.fault_size} "
                 f"({row.campaign.violations} violations)",
                 file=info,
             )
-        return 1 if violated else 0
+        if violated:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_salvage(args: argparse.Namespace) -> int:
+    """Run ``repro salvage``: repair a torn result store in place.
+
+    A writer killed mid-append can leave a truncated final line.  Resuming
+    with ``repro grid --resume`` already quarantines it automatically;
+    ``repro salvage`` does the same repair explicitly — useful before
+    inspecting a store from a crashed machine — and reports what moved
+    into the ``<path>.quarantine`` sidecar.
+    """
+    store, sidecar = ResultStore.salvage(args.path)
+    print(f"result store: {args.path} ({len(store)} complete rows)")
+    if sidecar is None:
+        print("store is clean; nothing quarantined")
+    else:
+        print(f"torn tail quarantined into {sidecar}")
     return 0
 
 
@@ -687,6 +739,45 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub_grid.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per shard task; a task over budget is "
+            "retried on a rebuilt pool and quarantined once --retries is "
+            "exhausted (default: no timeout)"
+        ),
+    )
+    sub_grid.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help=(
+            "retry budget per shard task before its campaign is "
+            "quarantined as a failed row (default: 2; retries recompute "
+            "byte-identical outcomes)"
+        ),
+    )
+    sub_grid.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "fail fast on the first exhausted task instead of quarantining "
+            "its campaign as a failed row"
+        ),
+    )
+    sub_grid.add_argument(
+        "--fsync",
+        choices=FSYNC_POLICIES,
+        default=None,
+        help=(
+            "store durability policy: never (default), close (one fsync "
+            "at the end) or always (fsync per appended row); also via "
+            "REPRO_STORE_FSYNC"
+        ),
+    )
+    sub_grid.add_argument(
         "--report",
         default=None,
         metavar="PATH",
@@ -742,6 +833,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report to this file ('-' for stdout)",
     )
     sub_report.set_defaults(handler=_cmd_report)
+
+    sub_salvage = subparsers.add_parser(
+        "salvage",
+        help="repair a torn result store (quarantine the truncated tail)",
+        epilog=(
+            "examples:\n"
+            "  repro salvage results.jsonl\n"
+            "moves any truncated final line (a writer killed mid-append)\n"
+            "into results.jsonl.quarantine and truncates the store back to\n"
+            "its last complete row; `repro grid --resume` then continues\n"
+            "the sweep from exactly that row."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub_salvage.add_argument("path", metavar="PATH", help="JSONL result store to repair")
+    sub_salvage.set_defaults(handler=_cmd_salvage)
 
     sub_graphs = subparsers.add_parser("graphs", help="list available graph families")
     sub_graphs.set_defaults(handler=_cmd_graphs)

@@ -55,6 +55,7 @@ from repro.faults.simulation import (
     aggregate_outcomes,
 )
 from repro.graphs.graph import Graph
+from repro.runtime import Supervisor, SupervisorPolicy, chaos_point, shutdown_pool
 
 Node = Hashable
 AnyRouting = Union[Routing, MultiRouting]
@@ -199,6 +200,7 @@ def _init_worker(index: RouteIndex) -> None:
 def _evaluate_shard(shard: _Shard) -> List[Outcome]:
     index = _WORKER_INDEX
     assert index is not None, "worker pool was not initialised"
+    chaos_point("task", f"shard:start={shard.start},size={shard.fault_size}")
     fault_sets = shard.materialise(index.node_pool)
     # One batched call per shard: the numpy backend evaluates the whole
     # battery slice in a handful of vectorised level advances, and the
@@ -217,13 +219,16 @@ def _evaluate_shard_capped(task: Tuple[_Shard, float]) -> List[Outcome]:
     shard, bound = task
     index = _WORKER_INDEX
     assert index is not None, "worker pool was not initialised"
+    chaos_point("task", f"shard:start={shard.start},size={shard.fault_size}")
     fault_sets = shard.materialise(index.node_pool)
     return list(zip(fault_sets, index.surviving_diameters(fault_sets, cap=bound)))
 
 
 def _shutdown_pool(pool) -> None:
-    pool.terminate()
-    pool.join()
+    # Hardened teardown: terminate, join each worker with a deadline, and
+    # escalate to SIGKILL for workers that ignore SIGTERM (satellite of the
+    # supervision layer — an interrupted run never leaves zombie workers).
+    shutdown_pool(pool)
 
 
 class CampaignEngine:
@@ -249,6 +254,18 @@ class CampaignEngine:
         with the slim index to every worker: workers never consult their own
         environment, so a pool whose processes see divergent environment
         variables still evaluates every shard identically.
+    policy:
+        Optional :class:`~repro.runtime.SupervisorPolicy` tuning the
+        supervised dispatch (task timeouts, retry budget, pool rebuilds).
+        The engine always runs its supervisor **strict**: a campaign
+        aggregate with missing outcomes would be silently wrong, so a shard
+        that exhausts its retry budget raises
+        :class:`~repro.runtime.TaskFailedError` rather than being
+        quarantined (the suite layer quarantines whole campaigns instead).
+    supervised:
+        ``False`` restores the bare ``pool.imap`` dispatch with no
+        timeouts, retries or crash recovery — the benchmark baseline for
+        the supervisor's overhead gate.
     """
 
     def __init__(
@@ -260,6 +277,8 @@ class CampaignEngine:
         index: Optional[RouteIndex] = None,
         density_threshold: Optional[Union[int, str]] = None,
         backend: Optional[str] = None,
+        policy: Optional[SupervisorPolicy] = None,
+        supervised: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -276,6 +295,12 @@ class CampaignEngine:
         self._index = index
         self._density_threshold = density_threshold
         self._backend = backend
+        # Aggregates cannot tolerate holes: dispatch is always fail-fast at
+        # the shard level, whatever the caller's quarantine preference.
+        self._policy = dataclasses.replace(
+            policy if policy is not None else SupervisorPolicy(), strict=True
+        )
+        self.supervised = supervised
         self._pool = None
         self._pool_finalizer = None
 
@@ -365,6 +390,41 @@ class CampaignEngine:
             )
         return self._pool
 
+    def _rebuild_pool(self):
+        """Tear down a broken/wedged pool and start a fresh one.
+
+        Called by the supervisor after a task timeout or a pool-machinery
+        failure; the fresh pool re-ships the slim index through its
+        initializer exactly like the first one did.
+        """
+        self.close()
+        return self._ensure_pool()
+
+    def _supervisor(self, worker_fn, local_fn) -> Supervisor:
+        return Supervisor(
+            worker_fn,
+            ensure_pool=self._ensure_pool,
+            rebuild_pool=self._rebuild_pool,
+            local_fn=local_fn,
+            policy=self._policy,
+            workers=self.workers,
+        )
+
+    def _local_shard(self, shard: _Shard) -> List[Outcome]:
+        """In-process equivalent of :func:`_evaluate_shard` (degraded mode)."""
+        index = self.index
+        fault_sets = shard.materialise(index.node_pool)
+        return list(zip(fault_sets, index.surviving_diameters(fault_sets)))
+
+    def _local_shard_capped(self, task: Tuple[_Shard, float]) -> List[Outcome]:
+        """In-process equivalent of :func:`_evaluate_shard_capped`."""
+        shard, bound = task
+        index = self.index
+        fault_sets = shard.materialise(index.node_pool)
+        return list(
+            zip(fault_sets, index.surviving_diameters(fault_sets, cap=bound))
+        )
+
     def close(self) -> None:
         """Terminate the worker pool (no-op when none was started)."""
         if self._pool is not None:
@@ -388,7 +448,14 @@ class CampaignEngine:
                 fault_sets = shard.materialise(pool)
                 yield from zip(fault_sets, index.surviving_diameters(fault_sets))
             return
-        for outcomes in self._ensure_pool().imap(_evaluate_shard, shards):
+        if not self.supervised:
+            for outcomes in self._ensure_pool().imap(_evaluate_shard, shards):
+                yield from outcomes
+            return
+        supervisor = self._supervisor(_evaluate_shard, self._local_shard)
+        # Strict policy: the supervisor raises instead of yielding
+        # FailedTask, so every result here is a real outcome list.
+        for _shard, outcomes in supervisor.run(shards):
             yield from outcomes
 
     def _evaluate_shards_capped(
@@ -413,7 +480,16 @@ class CampaignEngine:
                 )
             return
         tasks = ((shard, bound) for shard in shards)
-        for outcomes in self._ensure_pool().imap(_evaluate_shard_capped, tasks):
+        if not self.supervised:
+            for outcomes in self._ensure_pool().imap(
+                _evaluate_shard_capped, tasks
+            ):
+                yield from outcomes
+            return
+        supervisor = self._supervisor(
+            _evaluate_shard_capped, self._local_shard_capped
+        )
+        for _task, outcomes in supervisor.run(tasks):
             yield from outcomes
 
     # ------------------------------------------------------------------
@@ -479,6 +555,31 @@ class CampaignEngine:
                     if capped > bound:
                         return (
                             index.surviving_diameter(fault_set),
+                            fault_set,
+                            evaluated,
+                            False,
+                        )
+                    if capped > worst:
+                        worst = capped
+                        worst_set = fault_set
+            return worst, worst_set, evaluated, True
+
+        if self.supervised:
+            # The supervisor's sliding window matches the legacy dispatch
+            # (workers * 4 shards in flight, results in submission order),
+            # so abandoning the generator on the first violation leaves at
+            # most one window of in-flight shards behind — exactly the old
+            # early-exit cost — while gaining timeouts and crash recovery.
+            supervisor = self._supervisor(
+                _evaluate_shard_capped, self._local_shard_capped
+            )
+            tasks = ((shard, bound) for shard in shards)
+            for _task, outcomes in supervisor.run(tasks):
+                for fault_set, capped in outcomes:
+                    evaluated += 1
+                    if capped > bound:
+                        return (
+                            self.index.surviving_diameter(fault_set),
                             fault_set,
                             evaluated,
                             False,

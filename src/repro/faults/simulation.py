@@ -252,6 +252,62 @@ class DecisionCampaignResult:
         )
 
 
+@dataclasses.dataclass
+class CampaignStatus:
+    """A campaign that produced no aggregate, and why.
+
+    Recorded as a ``kind="status"`` row so sweeps distinguish *not
+    applicable* (the scenario cannot exist under these parameters and was
+    dropped under ``--skip-inapplicable``), *failed* (the campaign's task
+    exhausted its retry budget and was quarantined by the supervisor) and
+    plain *not run* (no row at all).  ``holds`` is ``False`` so status rows
+    never count as satisfied bounds, but they carry no statistics —
+    reports annotate the corresponding cells instead of aggregating them.
+    """
+
+    disposition: str
+    reason: str
+    fault_size: int = 0
+    samples: int = 0
+
+    @property
+    def holds(self) -> bool:
+        """A campaign with no aggregate never certifies a bound."""
+        return False
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the status as a flat dict (one table row)."""
+        return {
+            "faults": self.fault_size,
+            "samples": self.samples,
+            "status": self.disposition,
+            "reason": self.reason,
+        }
+
+    def record(self, **extra: object) -> Dict[str, object]:
+        """Return the unified result record this view summarises."""
+        record: Dict[str, object] = {
+            "source": "suite",
+            "kind": "status",
+            "disposition": self.disposition,
+            "reason": self.reason,
+            "faults": self.fault_size,
+            "samples": self.samples,
+        }
+        record.update(extra)
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "CampaignStatus":
+        """Rebuild the view from a unified result record."""
+        return cls(
+            disposition=record["disposition"],
+            reason=record.get("reason") or "",
+            fault_size=record.get("faults") or 0,
+            samples=record.get("samples") or 0,
+        )
+
+
 def aggregate_outcomes(
     fault_size: int, outcomes: Iterable[Tuple[FaultSet, float]]
 ) -> CampaignResult:

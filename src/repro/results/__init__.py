@@ -16,6 +16,7 @@ from repro.results.frame import AGGREGATIONS, COLUMN_KINDS, Column, ResultFrame
 from repro.results.records import (
     RECORD_KINDS,
     RESULT_COLUMNS,
+    STATUS_DISPOSITIONS,
     decode_fault_set,
     effective_strategy,
     encode_fault_set,
@@ -25,6 +26,8 @@ from repro.results.records import (
     view_from_record,
 )
 from repro.results.store import (
+    FSYNC_ENV,
+    FSYNC_POLICIES,
     STORE_FORMAT_VERSION,
     ResultStore,
     ResultStoreError,
@@ -35,8 +38,11 @@ __all__ = [
     "AGGREGATIONS",
     "COLUMN_KINDS",
     "Column",
+    "FSYNC_ENV",
+    "FSYNC_POLICIES",
     "RECORD_KINDS",
     "RESULT_COLUMNS",
+    "STATUS_DISPOSITIONS",
     "ResultFrame",
     "ResultStore",
     "ResultStoreError",

@@ -22,14 +22,25 @@ from typing import Iterable, Mapping, Optional, Tuple
 
 from repro.results.frame import Column, ResultFrame
 
-#: ``kind`` values a record may carry.
-RECORD_KINDS = ("exact", "decision")
+#: ``kind`` values a record may carry.  ``status`` rows describe campaigns
+#: that produced no aggregate: ``disposition`` says why.
+RECORD_KINDS = ("exact", "decision", "status")
+
+#: ``disposition`` values a ``status`` record may carry: ``inapplicable``
+#: (the scenario cannot be built under these parameters and was dropped
+#: under ``--skip-inapplicable``) or ``failed`` (the campaign's task was
+#: quarantined after exhausting its retry budget).
+STATUS_DISPOSITIONS = ("inapplicable", "failed")
 
 #: The unified experiment-record schema (one row per campaign aggregate).
 RESULT_COLUMNS: Tuple[Column, ...] = (
     # Provenance: which layer produced the row.
     Column("source", "str"),      # "campaign" | "suite" | "experiment"
-    Column("kind", "str"),        # "exact" | "decision"
+    Column("kind", "str"),        # "exact" | "decision" | "status"
+    # Status rows only: why no aggregate exists, and the human-readable
+    # reason (a build error or the final task failure).
+    Column("disposition", "str"),  # "inapplicable" | "failed"
+    Column("reason", "str"),
     # Workload identification (suite/grid rows; None on bare campaigns).
     Column("scenario", "str"),    # canonical scenario string
     Column("family", "str"),      # graph family name (scenario prefix)
@@ -137,14 +148,21 @@ def view_from_record(record: Mapping[str, object]):
     """Reconstruct the typed campaign view a record was emitted from.
 
     ``kind`` selects between :class:`~repro.faults.simulation.CampaignResult`
-    (``"exact"``) and :class:`~repro.faults.simulation
-    .DecisionCampaignResult` (``"decision"``).
+    (``"exact"``), :class:`~repro.faults.simulation.DecisionCampaignResult`
+    (``"decision"``) and :class:`~repro.faults.simulation.CampaignStatus`
+    (``"status"`` — a campaign with no aggregate; see ``disposition``).
     """
-    from repro.faults.simulation import CampaignResult, DecisionCampaignResult
+    from repro.faults.simulation import (
+        CampaignResult,
+        CampaignStatus,
+        DecisionCampaignResult,
+    )
 
     kind = record.get("kind")
     if kind == "exact":
         return CampaignResult.from_record(record)
     if kind == "decision":
         return DecisionCampaignResult.from_record(record)
+    if kind == "status":
+        return CampaignStatus.from_record(record)
     raise ValueError(f"record kind {kind!r} is not one of {RECORD_KINDS}")

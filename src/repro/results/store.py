@@ -25,6 +25,16 @@ every table rendered from it.
 Because rows are appended in deterministic campaign order, a resumed file
 is byte-for-byte identical to the file an uninterrupted run writes.
 
+Writes are **crash-safe**: every line is a single ``os.write`` of one
+complete ``bytes`` object to an ``O_APPEND`` descriptor, so a killed writer
+can tear at most the final line — never interleave or lose earlier rows —
+and an optional fsync policy (``fsync="never"|"close"|"always"``, or the
+``REPRO_STORE_FSYNC`` environment variable) trades throughput for
+power-failure durability.  When resuming does find a torn tail, the torn
+bytes are preserved in a ``<path>.quarantine`` sidecar before the store is
+truncated — nothing is silently destroyed — and :meth:`ResultStore.salvage`
+performs the same repair explicitly (the ``repro salvage`` command).
+
 Beyond the primary key index every store maintains a **secondary index by
 ``(family, n, strategy)``** — one comparison-table cell block per group —
 and :func:`merge_result_stores` recombines several stores (e.g. the
@@ -37,11 +47,12 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, IO, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
 from repro.results.frame import Column, ResultFrame
 from repro.results.records import RESULT_COLUMNS, effective_strategy
+from repro.runtime.chaos import chaos_point
 
 #: Format identifier embedded in every manifest this module writes.
 #: Version history:
@@ -51,7 +62,18 @@ from repro.results.records import RESULT_COLUMNS, effective_strategy
 #:     occurrence + plan) and records carry ``strategy``.  Version-1 stores
 #:     hold rows the new seed scheme can never reproduce, so resuming or
 #:     merging them must refuse loudly instead of silently mixing schemes.
-STORE_FORMAT_VERSION = 2
+#: 3 — PR 7: records carry ``disposition``/``reason`` and stores hold
+#:     ``kind="status"`` rows for inapplicable and failed campaigns, so a
+#:     version-2 store resumed under the new schema would re-drop scenarios
+#:     it already recorded and corrupt byte-identity; refuse instead.
+STORE_FORMAT_VERSION = 3
+
+#: Recognised fsync policies: ``never`` (default — the OS decides when
+#: bytes hit the platter), ``close`` (one fsync when the store closes),
+#: ``always`` (fsync after every appended row).
+FSYNC_POLICIES = ("never", "close", "always")
+#: Environment variable supplying the default fsync policy.
+FSYNC_ENV = "REPRO_STORE_FSYNC"
 
 
 class ResultStoreError(ReproError):
@@ -89,17 +111,41 @@ class ResultStore:
         path: str,
         run: Mapping[str, object],
         columns: Sequence[Column] = RESULT_COLUMNS,
+        fsync: Optional[str] = None,
     ) -> None:
         self.path = path
         self.run: Dict[str, object] = dict(run)
         self.frame = ResultFrame(columns)
+        if fsync is None:
+            fsync = os.environ.get(FSYNC_ENV) or "never"
+        if fsync not in FSYNC_POLICIES:
+            raise ResultStoreError(
+                f"unknown fsync policy {fsync!r}; choose from {FSYNC_POLICIES}"
+            )
+        self.fsync = fsync
         self._keys: Dict[str, int] = {}
         #: Secondary index: ``(family, n, strategy) -> row keys`` in append
         #: order, so reports and merges can address one comparison cell's
         #: campaigns directly (the strategy is the *effective* one — the
         #: scheme actually built when the scenario asked for ``auto``).
         self._groups: Dict[Tuple[object, object, object], List[str]] = {}
-        self._handle: Optional[IO[str]] = None
+        self._fd: Optional[int] = None
+
+    def _write_line(self, text: str) -> None:
+        """Persist one complete line with a single ``os.write``.
+
+        A whole line in one syscall means a crash can only ever tear the
+        *final* line of the file (POSIX ``O_APPEND`` writes are atomic with
+        respect to the offset), which is exactly the damage
+        :meth:`_read_existing` and :meth:`salvage` know how to repair.
+        """
+        data = (text + "\n").encode("utf-8")
+        view = memoryview(data)
+        while view:
+            written = os.write(self._fd, view)
+            view = view[written:]
+        if self.fsync == "always":
+            os.fsync(self._fd)
 
     # ------------------------------------------------------------------
     # Opening
@@ -110,12 +156,14 @@ class ResultStore:
         path: str,
         run: Mapping[str, object],
         columns: Sequence[Column],
+        fsync: Optional[str] = None,
     ) -> "ResultStore":
         """Write a new manifest at ``path`` (overwriting whatever is there)."""
-        store = cls(path, run, columns)
-        store._handle = open(path, "w", encoding="utf-8")
-        store._handle.write(_dump_line(_manifest_document(run, columns)) + "\n")
-        store._handle.flush()
+        store = cls(path, run, columns, fsync=fsync)
+        store._fd = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC | os.O_APPEND, 0o666
+        )
+        store._write_line(_dump_line(_manifest_document(run, columns)))
         return store
 
     @classmethod
@@ -124,13 +172,14 @@ class ResultStore:
         path: str,
         run: Mapping[str, object],
         columns: Sequence[Column] = RESULT_COLUMNS,
+        fsync: Optional[str] = None,
     ) -> "ResultStore":
         """Start a fresh store at ``path`` (error if the file exists)."""
         if os.path.exists(path):
             raise ResultStoreError(
                 f"result store {path!r} already exists; resume it or remove it"
             )
-        return cls._start_fresh(path, run, columns)
+        return cls._start_fresh(path, run, columns, fsync=fsync)
 
     @classmethod
     def open(
@@ -138,19 +187,21 @@ class ResultStore:
         path: str,
         run: Mapping[str, object],
         columns: Sequence[Column] = RESULT_COLUMNS,
+        fsync: Optional[str] = None,
     ) -> "ResultStore":
         """Resume the store at ``path``, creating it when missing.
 
         An existing file must carry a manifest whose run parameters equal
         ``run`` — resuming a store written by a different run is refused.
-        A truncated final line (killed writer) is discarded; every complete
-        row is loaded and its key marked as done.  A zero-byte file — or
-        one holding only a prefix of this run's manifest line, the telltale
-        of a writer killed before its first flush completed — is a fresh
-        store, not a parse error.
+        A truncated final line (killed writer) is quarantined into the
+        ``<path>.quarantine`` sidecar; every complete row is loaded and its
+        key marked as done.  A zero-byte file — or one holding only a
+        prefix of this run's manifest line, the telltale of a writer killed
+        before its first flush completed — is a fresh store, not a parse
+        error.
         """
         if not os.path.exists(path) or os.path.getsize(path) == 0:
-            return cls._start_fresh(path, run, columns)
+            return cls._start_fresh(path, run, columns, fsync=fsync)
         # A newline-less file that is a strict prefix of this run's manifest
         # line is a write killed before the first flush completed: start
         # fresh.  Reading one character past the manifest length bounds the
@@ -161,13 +212,13 @@ class ResultStore:
         with open(path, "r", encoding="utf-8") as handle:
             prefix = handle.read(len(manifest_line) + 1)
         if "\n" not in prefix and manifest_line.startswith(prefix):
-            return cls._start_fresh(path, run, columns)
-        store = cls(path, run, columns)
+            return cls._start_fresh(path, run, columns, fsync=fsync)
+        store = cls(path, run, columns, fsync=fsync)
         keep_bytes = store._read_existing(expected_run=run)
-        # Drop a truncated trailing line before appending anything new.
-        with open(path, "r+", encoding="utf-8") as handle:
-            handle.truncate(keep_bytes)
-        store._handle = open(path, "a", encoding="utf-8")
+        # Preserve a truncated trailing line in the quarantine sidecar (a
+        # torn tail is evidence of a crash, not garbage) before appending.
+        cls._quarantine_tail(path, keep_bytes)
+        store._fd = os.open(path, os.O_WRONLY | os.O_APPEND)
         return store
 
     @classmethod
@@ -180,6 +231,51 @@ class ResultStore:
         store = cls(path, run={}, columns=columns)
         store._read_existing(expected_run=None)
         return store
+
+    @staticmethod
+    def _quarantine_tail(path: str, keep_bytes: int) -> Optional[str]:
+        """Move any bytes past ``keep_bytes`` into the quarantine sidecar.
+
+        Returns the sidecar path when torn bytes were preserved, ``None``
+        when the file was already clean.  The sidecar is append-only raw
+        bytes — repeated crashes accumulate their evidence rather than
+        overwriting it.
+        """
+        size = os.path.getsize(path)
+        if size <= keep_bytes:
+            return None
+        sidecar = path + ".quarantine"
+        with open(path, "rb") as handle:
+            handle.seek(keep_bytes)
+            torn = handle.read()
+        with open(sidecar, "ab") as out:
+            out.write(torn)
+            if not torn.endswith(b"\n"):
+                out.write(b"\n")
+        with open(path, "r+b") as handle:
+            handle.truncate(keep_bytes)
+        return sidecar
+
+    @classmethod
+    def salvage(
+        cls, path: str, columns: Sequence[Column] = RESULT_COLUMNS
+    ) -> Tuple["ResultStore", Optional[str]]:
+        """Repair a torn store in place and report what was quarantined.
+
+        Loads every complete row (run parameters are taken from the stored
+        manifest, not checked), moves any torn tail into the
+        ``<path>.quarantine`` sidecar, truncates the store back to its last
+        complete line, and returns ``(store, sidecar)`` where ``sidecar``
+        is ``None`` when the store was already clean.  The returned store
+        is read-only; resume it with :meth:`open` to continue the sweep.
+        This is the ``repro salvage`` command.
+        """
+        if not os.path.exists(path):
+            raise ResultStoreError(f"result store {path!r} does not exist")
+        store = cls(path, run={}, columns=columns)
+        keep_bytes = store._read_existing(expected_run=None)
+        sidecar = cls._quarantine_tail(path, keep_bytes)
+        return store, sidecar
 
     def _read_existing(self, expected_run: Optional[Mapping[str, object]]) -> int:
         """Load manifest and rows from disk; return the clean byte length."""
@@ -300,23 +396,29 @@ class ResultStore:
     # ------------------------------------------------------------------
     def append(self, key: str, record: Mapping[str, object]) -> None:
         """Record one keyed row: append to the frame and persist the line."""
-        if self._handle is None:
+        if self._fd is None:
             raise ResultStoreError(
                 f"result store {self.path!r} is read-only (opened with load())"
             )
         if key in self._keys:
             raise ResultStoreError(f"key {key!r} is already recorded")
         row = self._index_row(key, record)
-        self._handle.write(
-            _dump_line({"kind": "row", "key": key, "record": row}) + "\n"
-        )
-        self._handle.flush()
+        line = _dump_line({"kind": "row", "key": key, "record": row})
+        if chaos_point("append", key) == "torn":
+            # Chaos harness: emulate a writer killed mid-``write`` — half a
+            # line hits the file and the process dies without cleanup.
+            data = line.encode("utf-8")
+            os.write(self._fd, data[: max(1, len(data) // 2)])
+            os._exit(23)
+        self._write_line(line)
 
     def close(self) -> None:
         """Close the underlying file (reads keep working)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._fd is not None:
+            if self.fsync in ("close", "always"):
+                os.fsync(self._fd)
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "ResultStore":
         return self

@@ -56,13 +56,21 @@ from repro.faults.engine import DEFAULT_CHUNK_SIZE, _combinations_slice, shard_s
 from repro.faults.models import FaultSet
 from repro.faults.simulation import (
     CampaignResult,
+    CampaignStatus,
     DecisionCampaignResult,
     aggregate_decisions,
     aggregate_outcomes,
 )
+from repro.runtime import (
+    FailedTask,
+    Supervisor,
+    SupervisorPolicy,
+    chaos_point,
+    shutdown_pool,
+)
 from repro.scenarios.spec import Scenario, as_scenarios
 
-CampaignRow = Union[CampaignResult, DecisionCampaignResult]
+CampaignRow = Union[CampaignResult, DecisionCampaignResult, CampaignStatus]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -141,11 +149,11 @@ class ScenarioRow:
     """
 
     scenario: str
-    scheme: str
+    scheme: Optional[str]
     nodes: int
     edges: int
     t: int
-    fingerprint: str
+    fingerprint: Optional[str]
     campaign: CampaignRow
 
     def as_row(self) -> Dict[str, object]:
@@ -158,7 +166,8 @@ class ScenarioRow:
             "t": self.t,
         }
         row.update(self.campaign.as_row())
-        row["fingerprint"] = self.fingerprint[:12]
+        if self.fingerprint is not None:
+            row["fingerprint"] = self.fingerprint[:12]
         return row
 
     def record(self) -> Dict[str, object]:
@@ -276,6 +285,9 @@ def _scenario_workload(
 
 def _eval_suite_task(task: _SuiteTask):
     """Evaluate one shard; returns (campaign_key, fingerprint, outcomes)."""
+    chaos_point(
+        "task", f"{task.spec}#{task.campaign_key[1]}:start={task.start}"
+    )
     index, fingerprint = _scenario_workload(
         task.spec, task.density_threshold, task.backend
     )
@@ -475,6 +487,8 @@ def run_scenario_suite(
     skipped: Optional[List[Tuple[Scenario, str]]] = None,
     density_threshold: Optional[Union[int, str]] = None,
     backend: Optional[str] = None,
+    policy: Optional[SupervisorPolicy] = None,
+    supervised: bool = True,
 ) -> List[ScenarioRow]:
     """Run campaigns for every scenario and return one row per campaign.
 
@@ -522,9 +536,11 @@ def run_scenario_suite(
         must be treated differently per occurrence (so one suite can mix
         strategy-axis scenarios, which skip, with explicitly requested
         ones, which still fail loudly).  Dropped
-        scenarios contribute no rows and no store records; because
-        construction is deterministic, a resumed run drops exactly the
-        same scenarios, so stores stay byte-exact.  This is how
+        scenarios contribute no campaign rows; with a store attached each
+        of their campaign keys records an ``inapplicable`` status row
+        (see ``skipped`` below), and because construction is
+        deterministic a resumed run drops exactly the same scenarios, so
+        stores stay byte-exact.  This is how
         strategy-axis grids sweep ``kernel|circular`` across families
         where not every strategy applies everywhere.  Graph construction
         itself is never forgiven: a malformed graph axis raises
@@ -539,7 +555,27 @@ def run_scenario_suite(
     skipped:
         Optional list the suite appends ``(scenario, reason)`` pairs to for
         every scenario dropped under ``skip_inapplicable`` (in suite
-        order), so callers can surface what the table will not show.
+        order), so callers can surface what the table will not show.  With
+        a store attached the drop is also recorded: every campaign key of a
+        dropped scenario gets a ``kind="status"`` row with
+        ``disposition="inapplicable"``, so reports can annotate "not
+        applicable" (status row) vs "not run" (no row at all) — and a
+        resumed run re-drops from the stored rows without rebuilding the
+        scenario.
+    policy:
+        Optional :class:`~repro.runtime.SupervisorPolicy` tuning the
+        supervised dispatch: per-task wall-clock timeouts, bounded retry
+        with backoff, dead-worker pool rebuilds and in-process degradation.
+        Tasks are pure functions of their descriptors (seeds travel inside
+        them), so retries recompute byte-identical outcomes — a recovered
+        run's store equals an undisturbed run's.  A campaign whose task
+        exhausts the retry budget is **quarantined**: recorded as a
+        ``disposition="failed"`` status row (and returned as such) instead
+        of aborting the sweep.  ``policy.strict`` restores fail-fast.
+    supervised:
+        ``False`` restores the bare ``pool.imap`` dispatch with no
+        timeouts, retries or recovery — the benchmark baseline for the
+        supervisor's clean-path overhead gate.
 
     Raises
     ------
@@ -558,13 +594,27 @@ def run_scenario_suite(
         return []
 
     # Resume bookkeeping: a campaign is complete when its content-addressed
-    # key is already recorded in the store.
+    # key is already recorded in the store.  Stored ``inapplicable`` status
+    # rows instead classify their whole scenario as dropped-by-record: the
+    # resumed run honours the stored decision without rebuilding the
+    # scenario (and without consulting ``skip_inapplicable`` again).
+    # Stored ``failed`` rows count as completed — a quarantined campaign is
+    # never silently retried; delete the store to re-run it.
     keys = suite_row_keys(scenario_list)
     completed: set = set()
+    stored_dropped: Dict[int, str] = {}
     if store is not None:
         for scenario_index, scenario_keys in enumerate(keys):
             for plan_index, key in enumerate(scenario_keys):
-                if key in store:
+                if key not in store:
+                    continue
+                record = store.get(key)
+                if (
+                    record.get("kind") == "status"
+                    and record.get("disposition") == "inapplicable"
+                ):
+                    stored_dropped[scenario_index] = record.get("reason") or ""
+                else:
                     completed.add((scenario_index, plan_index))
 
     # Parent-side builds: row metadata + the reference fingerprints worker
@@ -588,7 +638,62 @@ def run_scenario_suite(
     payload: Optional[Dict[str, Tuple[RouteIndex, str]]] = (
         {} if workers > 1 and share_index else None
     )
+
+    def _record_inapplicable(
+        scenario_index: int,
+        scenario: Scenario,
+        reason: str,
+        nodes: int,
+        edges: int,
+    ) -> None:
+        """Append an ``inapplicable`` status row per missing campaign key.
+
+        Appends happen here, in build-loop scenario order and before any
+        campaign row is dispatched, so an uninterrupted store and a resumed
+        one lay out identical bytes (a resumed run appends only the keys a
+        crash left missing, in the same order).
+        """
+        if store is None:
+            return
+        for plan_index, (_mode, fault_size, _p, _total) in enumerate(
+            _campaign_plans(scenario, samples, nodes)
+        ):
+            key = keys[scenario_index][plan_index]
+            if key in store:
+                continue
+            row = ScenarioRow(
+                scenario=scenario.canonical(),
+                scheme=None,
+                nodes=nodes,
+                edges=edges,
+                t=scenario.t,
+                fingerprint=None,
+                campaign=CampaignStatus(
+                    disposition="inapplicable",
+                    reason=reason,
+                    fault_size=fault_size,
+                ),
+            )
+            store.append(key, row.record())
+
     for scenario_index, scenario in enumerate(scenario_list):
+        if scenario_index in stored_dropped:
+            # The store already ruled this scenario inapplicable; honour
+            # the record without rebuilding (a crash may have interrupted
+            # the status appends mid-scenario, so complete them).
+            reason = stored_dropped[scenario_index]
+            dropped[scenario_index] = reason
+            if skipped is not None:
+                skipped.append((scenario, reason))
+            first = store.get(keys[scenario_index][0])
+            _record_inapplicable(
+                scenario_index,
+                scenario,
+                reason,
+                first.get("n") or 0,
+                first.get("m") or 0,
+            )
+            continue
         if all(
             (scenario_index, plan_index) in completed
             for plan_index in range(len(keys[scenario_index]))
@@ -611,6 +716,13 @@ def run_scenario_suite(
             dropped[scenario_index] = str(exc)
             if skipped is not None:
                 skipped.append((scenario, str(exc)))
+            _record_inapplicable(
+                scenario_index,
+                scenario,
+                str(exc),
+                graph.number_of_nodes(),
+                graph.number_of_edges(),
+            )
             continue
         index = RouteIndex(
             graph,
@@ -690,18 +802,30 @@ def run_scenario_suite(
     # row is aggregated and (when a store is attached) persisted, keeping
     # the store valid for resumption at every instant of the run.
     computed: Dict[Tuple[int, int], ScenarioRow] = {}
+    failed_reasons: Dict[Tuple[int, int], str] = {}
 
     def _finalise(campaign_key: Tuple[int, int], outcomes: List) -> None:
         scenario, result, nodes, edges, strategy, _tunables = built[
             campaign_key[0]
         ]
-        if bound is not None:
-            campaign: CampaignRow = aggregate_decisions(
+        # A quarantined campaign is checked first: its collected outcomes
+        # (if any shards did finish) are partial and must not feed an
+        # aggregate.  The row still carries the real construction metadata
+        # — the scenario built fine; only its evaluation failed.
+        if campaign_key in failed_reasons:
+            campaign: CampaignRow = CampaignStatus(
+                disposition="failed",
+                reason=failed_reasons[campaign_key],
+                fault_size=fault_sizes[campaign_key],
+            )
+        elif bound is not None:
+            campaign = aggregate_decisions(
                 fault_sizes[campaign_key], bound, outcomes
             )
+            campaign.bfs_strategy = strategy
         else:
             campaign = aggregate_outcomes(fault_sizes[campaign_key], outcomes)
-        campaign.bfs_strategy = strategy
+            campaign.bfs_strategy = strategy
         row = ScenarioRow(
             scenario=scenario.canonical(),
             scheme=result.scheme,
@@ -715,28 +839,60 @@ def run_scenario_suite(
         if store is not None:
             store.append(keys[campaign_key[0]][campaign_key[1]], row.record())
 
-    pool = None
-    try:
-        if workers == 1:
-            results_iter = map(_eval_suite_task, tasks)
-        else:
+    pool_state: Dict[str, object] = {"pool": None}
+
+    def _ensure_suite_pool():
+        if pool_state["pool"] is None:
             import multiprocessing
 
-            pool = multiprocessing.Pool(
+            pool_state["pool"] = multiprocessing.Pool(
                 workers, initializer=_init_suite_worker, initargs=(payload,)
             )
-            results_iter = pool.imap(_eval_suite_task, tasks)
+        return pool_state["pool"]
+
+    def _rebuild_suite_pool():
+        shutdown_pool(pool_state["pool"])
+        pool_state["pool"] = None
+        return _ensure_suite_pool()
+
+    try:
+        if supervised:
+            supervisor = Supervisor(
+                _eval_suite_task,
+                ensure_pool=_ensure_suite_pool if workers > 1 else None,
+                rebuild_pool=_rebuild_suite_pool if workers > 1 else None,
+                local_fn=_eval_suite_task,
+                policy=policy if policy is not None else SupervisorPolicy(),
+                workers=workers,
+            )
+            pairs = supervisor.run(tasks)
+        elif workers == 1:
+            pairs = ((task, _eval_suite_task(task)) for task in tasks)
+        else:
+            results_iter = _ensure_suite_pool().imap(_eval_suite_task, tasks)
+            pairs = (
+                (task, result) for result, task in zip(results_iter, tasks)
+            )
         current_key: Optional[Tuple[int, int]] = None
         current_outcomes: List = []
-        for (campaign_key, fingerprint, outcomes), task in zip(results_iter, tasks):
-            reference = built[campaign_key[0]][1].fingerprint()
-            if fingerprint != reference:
-                raise RuntimeError(
-                    f"worker rebuilt scenario {task.spec!r} with fingerprint "
-                    f"{fingerprint[:12]}... but the parent built "
-                    f"{reference[:12]}...; the construction pipeline is "
-                    "nondeterministic"
-                )
+        for task, result in pairs:
+            campaign_key = task.campaign_key
+            if isinstance(result, FailedTask):
+                # One failed shard quarantines its whole campaign: the
+                # aggregate would be incomplete either way.  The first
+                # failure's reason is the one recorded.
+                failed_reasons.setdefault(campaign_key, result.reason)
+                outcomes: List = []
+            else:
+                _result_key, fingerprint, outcomes = result
+                reference = built[campaign_key[0]][1].fingerprint()
+                if fingerprint != reference:
+                    raise RuntimeError(
+                        f"worker rebuilt scenario {task.spec!r} with "
+                        f"fingerprint {fingerprint[:12]}... but the parent "
+                        f"built {reference[:12]}...; the construction "
+                        "pipeline is nondeterministic"
+                    )
             if campaign_key != current_key:
                 if current_key is not None:
                     _finalise(current_key, current_outcomes)
@@ -746,9 +902,8 @@ def run_scenario_suite(
         if current_key is not None:
             _finalise(current_key, current_outcomes)
     finally:
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+        shutdown_pool(pool_state["pool"])
+        pool_state["pool"] = None
 
     # Assemble the rows in campaign order: stored rows for completed
     # campaigns, freshly computed rows for the rest.

@@ -172,6 +172,100 @@ class TestScalingTable:
         assert columns == ["family", "n", "t=1", "t=2"]
 
 
+class TestStatusAnnotations:
+    def test_inapplicable_cell_annotated_na(self):
+        frame = result_frame(
+            [
+                {"kind": "exact", "family": "hypercube", "n": 8, "t": 1,
+                 "worst_diam": 3.0},
+                {"kind": "status", "disposition": "inapplicable",
+                 "reason": "no separating set", "family": "hypercube",
+                 "n": 8, "t": 2},
+            ]
+        )
+        rows, columns, _metric = scaling_table(frame)
+        assert columns == ["family", "n", "t=1", "t=2"]
+        assert rows[0]["t=1"] == (3.0, 3.0)
+        assert rows[0]["t=2"] == "n/a"
+
+    def test_failed_cell_annotated_failed(self):
+        frame = result_frame(
+            [
+                {"kind": "exact", "family": "torus", "n": 12, "t": 1,
+                 "worst_diam": 5.0},
+                {"kind": "status", "disposition": "failed",
+                 "reason": "task timed out", "family": "torus", "n": 16,
+                 "t": 1},
+            ]
+        )
+        rows, _columns, _metric = scaling_table(frame)
+        assert rows[0]["t=1"] == (5.0, 5.0)
+        assert rows[1] == {"family": "torus", "n": 16, "t=1": "failed"}
+
+    def test_status_only_strategy_still_shapes_comparison_columns(self):
+        # A strategy swept but inapplicable everywhere must still appear
+        # as a column group, annotated, not silently vanish.
+        frame = result_frame(
+            [
+                {"kind": "exact", "family": "hypercube", "n": 8,
+                 "strategy": "kernel", "t": 1, "worst_diam": 3.0},
+                {"kind": "status", "disposition": "inapplicable",
+                 "reason": "does not apply", "family": "hypercube", "n": 8,
+                 "strategy": "circular", "t": 1},
+            ]
+        )
+        rows, columns, _metric = scaling_table(frame)
+        assert columns == ["family", "n", "circular t=1", "kernel t=1"]
+        assert rows[0]["circular t=1"] == "n/a"
+        assert rows[0]["kernel t=1"] == (3.0, 3.0)
+
+    def test_partial_cell_keeps_its_aggregate(self):
+        # One campaign of the cell failed, one succeeded: the fold over
+        # what ran wins over the annotation.
+        frame = result_frame(
+            [
+                {"kind": "exact", "family": "torus", "n": 12, "t": 1,
+                 "worst_diam": 5.0},
+                {"kind": "status", "disposition": "failed",
+                 "reason": "boom", "family": "torus", "n": 12, "t": 1},
+            ]
+        )
+        rows, _columns, _metric = scaling_table(frame)
+        assert rows[0]["t=1"] == (5.0, 5.0)
+
+    def test_failed_outranks_inapplicable_on_shared_cell(self):
+        frame = result_frame(
+            [
+                {"kind": "status", "disposition": "inapplicable",
+                 "reason": "n/a", "family": "torus", "n": 12, "t": 1},
+                {"kind": "status", "disposition": "failed",
+                 "reason": "boom", "family": "torus", "n": 12, "t": 1},
+            ]
+        )
+        rows, _columns, _metric = scaling_table(frame)
+        assert rows[0]["t=1"] == "failed"
+
+    def test_report_footer_counts_status_rows(self):
+        frame = result_frame(
+            [
+                {"kind": "exact", "family": "torus", "n": 12, "t": 1,
+                 "worst_diam": 5.0},
+                {"kind": "status", "disposition": "failed",
+                 "reason": "boom", "family": "torus", "n": 16, "t": 1},
+                {"kind": "status", "disposition": "inapplicable",
+                 "reason": "nope", "family": "torus", "n": 20, "t": 1},
+            ]
+        )
+        report = render_scaling_report(frame)
+        assert "Campaign rows: 3 (1 failed, 1 not applicable)" in report
+
+    def test_clean_frame_footer_unchanged(self):
+        report = render_scaling_report(_exact_frame())
+        assert "Campaign rows: 5" in report
+        assert "failed" not in report
+        assert "not applicable" not in report
+
+
 class TestRenderers:
     def test_markdown_table_shape(self):
         rows, columns, _ = scaling_table(_exact_frame())

@@ -152,7 +152,7 @@ class TestOpenResume:
             store.append("a", {"name": "a", "value": 1.0})
         lines = path.read_text().splitlines(keepends=True)
         manifest = json.loads(lines[0])
-        assert manifest["format"] == 2
+        assert manifest["format"] == 3
         manifest["format"] = 1
         path.write_text(
             json.dumps(manifest, sort_keys=True, separators=(",", ":"))
@@ -163,6 +163,38 @@ class TestOpenResume:
             ResultStore.open(str(path), RUN, COLUMNS)
         with pytest.raises(ResultStoreError, match="has format 1"):
             ResultStore.load(str(path), COLUMNS)
+
+    def test_torn_tail_is_quarantined_not_destroyed(self, tmp_path):
+        # Resume must preserve the torn bytes in the sidecar — evidence of
+        # the crash — instead of silently truncating them away.
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": 1.0})
+            store.append("b", {"name": "b", "value": 2.0})
+        lines = path.read_text().splitlines(keepends=True)
+        torn = lines[2][: len(lines[2]) // 2]
+        path.write_text(lines[0] + lines[1] + torn)
+        ResultStore.open(str(path), RUN, COLUMNS).close()
+        sidecar = tmp_path / "out.jsonl.quarantine"
+        assert sidecar.read_text() == torn + "\n"
+
+    def test_repeated_crashes_accumulate_in_sidecar(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": 1.0})
+        base = path.read_text()
+        for fragment in ("first torn tail", "second torn tail"):
+            path.write_text(base + fragment)
+            ResultStore.open(str(path), RUN, COLUMNS).close()
+        sidecar = tmp_path / "out.jsonl.quarantine"
+        assert sidecar.read_text() == "first torn tail\nsecond torn tail\n"
+
+    def test_clean_resume_writes_no_sidecar(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": 1.0})
+        ResultStore.open(str(path), RUN, COLUMNS).close()
+        assert not (tmp_path / "out.jsonl.quarantine").exists()
 
     def test_missing_manifest_raises(self, tmp_path):
         path = tmp_path / "out.jsonl"
@@ -179,6 +211,75 @@ class TestOpenResume:
             handle.write(line + "\n")
         with pytest.raises(ResultStoreError, match="twice"):
             ResultStore.open(str(path), RUN, COLUMNS)
+
+
+class TestSalvage:
+    def test_salvage_repairs_torn_tail_and_reports_sidecar(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": 1.0})
+            store.append("b", {"name": "b", "value": 2.0})
+        lines = path.read_text().splitlines(keepends=True)
+        clean = lines[0] + lines[1]
+        path.write_text(clean + lines[2][: len(lines[2]) // 2])
+        store, sidecar = ResultStore.salvage(str(path), COLUMNS)
+        assert sidecar == str(path) + ".quarantine"
+        assert store.keys() == ("a",)
+        assert path.read_text() == clean
+        # The salvaged store resumes normally afterwards.
+        with ResultStore.open(str(path), RUN, COLUMNS) as resumed:
+            resumed.append("b", {"name": "b", "value": 2.0})
+        assert path.read_text() == "".join(lines)
+
+    def test_salvage_clean_store_returns_no_sidecar(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with make_store(path) as store:
+            store.append("a", {"name": "a", "value": 1.0})
+        before = path.read_text()
+        store, sidecar = ResultStore.salvage(str(path), COLUMNS)
+        assert sidecar is None
+        assert store.keys() == ("a",)
+        assert path.read_text() == before
+
+    def test_salvage_is_read_only(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        make_store(path).close()
+        store, _ = ResultStore.salvage(str(path), COLUMNS)
+        with pytest.raises(ResultStoreError, match="read-only"):
+            store.append("x", {"name": "x"})
+
+    def test_salvage_missing_file(self, tmp_path):
+        with pytest.raises(ResultStoreError, match="does not exist"):
+            ResultStore.salvage(str(tmp_path / "nope.jsonl"), COLUMNS)
+
+
+class TestFsyncPolicy:
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(ResultStoreError, match="fsync policy"):
+            ResultStore.create(
+                str(tmp_path / "out.jsonl"), RUN, COLUMNS, fsync="sometimes"
+            )
+
+    def test_policy_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_FSYNC", "close")
+        store = make_store(tmp_path / "out.jsonl")
+        assert store.fsync == "close"
+        store.close()
+
+    def test_explicit_policy_overrides_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_FSYNC", "close")
+        store = ResultStore.create(
+            str(tmp_path / "out.jsonl"), RUN, COLUMNS, fsync="always"
+        )
+        assert store.fsync == "always"
+        store.close()
+
+    def test_always_policy_writes_rows_durably(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with ResultStore.create(str(path), RUN, COLUMNS, fsync="always") as store:
+            store.append("a", {"name": "a", "value": 1.0})
+            # Visible on disk before close: the line plus its newline.
+            assert path.read_text().endswith('"value":1.0}}\n')
 
 
 #: Schema exercising the (family, n, strategy) secondary index and merging.

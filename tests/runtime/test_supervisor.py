@@ -1,0 +1,288 @@
+"""Unit tests for the supervised pool dispatcher and hardened shutdown.
+
+Worker functions live at module level so the fork start method can pickle
+them by reference.  Cross-process coordination (fail exactly N times, die
+exactly once) uses ``O_CREAT | O_EXCL`` marker files in a shared temporary
+directory — the same once-only idiom the chaos ledger uses.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.runtime import (
+    FailedTask,
+    Supervisor,
+    SupervisorPolicy,
+    TaskFailedError,
+    shutdown_pool,
+)
+
+#: Fast-retry policy shared by most tests (no real sleeping).
+FAST = SupervisorPolicy(backoff_base=0.001, backoff_max=0.002)
+
+
+def _claim(directory, name):
+    """Atomically claim a marker file; True when this call got it."""
+    try:
+        fd = os.open(
+            os.path.join(directory, name),
+            os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+        )
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _square(task):
+    return task * task
+
+
+def _flaky(task):
+    """Fail ``fails`` times across all processes, then succeed."""
+    value, fails, directory = task
+    for attempt in range(fails):
+        if _claim(directory, f"flaky-{value}-{attempt}"):
+            raise RuntimeError(f"transient failure {attempt} for {value}")
+    return value * value
+
+
+def _poison(task):
+    raise ValueError(f"poisoned task {task}")
+
+
+def _suicide_once(task):
+    """SIGKILL the executing worker the first time this task value runs."""
+    value, directory = task
+    if _claim(directory, f"suicide-{value}"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * value
+
+
+def _hang_forever(task):
+    value = task[0] if isinstance(task, tuple) else task
+    if value == "hang":
+        time.sleep(600)
+    return value
+
+
+def _ignore_sigterm():
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+
+def _sleep_forever(_task):
+    time.sleep(600)
+
+
+class _PoolHarness:
+    """ensure/rebuild callbacks over a real multiprocessing.Pool."""
+
+    def __init__(self, workers=2, initializer=None):
+        self.workers = workers
+        self.initializer = initializer
+        self.pool = None
+
+    def ensure(self):
+        if self.pool is None:
+            self.pool = multiprocessing.Pool(
+                self.workers, initializer=self.initializer
+            )
+        return self.pool
+
+    def rebuild(self):
+        shutdown_pool(self.pool, grace=2.0)
+        self.pool = None
+        return self.ensure()
+
+    def close(self):
+        shutdown_pool(self.pool, grace=2.0)
+        self.pool = None
+
+
+@pytest.fixture
+def harness():
+    h = _PoolHarness()
+    yield h
+    h.close()
+
+
+def run_supervised(supervisor, tasks):
+    return list(supervisor.run(tasks))
+
+
+class TestLocalPath:
+    def test_results_in_order(self):
+        sup = Supervisor(_square, policy=FAST, workers=1)
+        assert run_supervised(sup, [3, 1, 4]) == [(3, 9), (1, 1), (4, 16)]
+        assert sup.stats["tasks"] == 3
+        assert sup.stats["retries"] == 0
+
+    def test_retry_until_success(self, tmp_path):
+        sup = Supervisor(_flaky, policy=FAST, workers=1)
+        tasks = [(5, 2, str(tmp_path))]
+        assert run_supervised(sup, tasks) == [(tasks[0], 25)]
+        assert sup.stats["retries"] == 2
+        assert sup.stats["quarantined"] == 0
+
+    def test_quarantine_after_budget(self):
+        sup = Supervisor(
+            _poison, policy=SupervisorPolicy(max_retries=1, backoff_base=0.001)
+        )
+        ((task, result),) = run_supervised(sup, ["bad"])
+        assert isinstance(result, FailedTask)
+        assert result.attempts == 2
+        assert "poisoned task bad" in result.reason
+        assert sup.stats["quarantined"] == 1
+
+    def test_strict_restores_fail_fast(self):
+        sup = Supervisor(
+            _poison,
+            policy=SupervisorPolicy(
+                max_retries=0, strict=True, backoff_base=0.001
+            ),
+        )
+        with pytest.raises(TaskFailedError, match="poisoned task"):
+            run_supervised(sup, ["bad"])
+
+    def test_backoff_is_bounded(self):
+        policy = SupervisorPolicy(
+            backoff_base=0.1, backoff_factor=10.0, backoff_max=0.5
+        )
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.5)
+        assert policy.backoff(9) == pytest.approx(0.5)
+
+
+class TestPooledPath:
+    def test_clean_run_preserves_order(self, harness):
+        sup = Supervisor(
+            _square,
+            ensure_pool=harness.ensure,
+            rebuild_pool=harness.rebuild,
+            policy=FAST,
+            workers=2,
+        )
+        tasks = list(range(20))
+        assert run_supervised(sup, tasks) == [(t, t * t) for t in tasks]
+        assert sup.stats["rebuilds"] == 0
+        assert sup.stats["degraded"] == 0
+
+    def test_task_exception_retries_in_worker(self, harness, tmp_path):
+        sup = Supervisor(
+            _flaky,
+            ensure_pool=harness.ensure,
+            rebuild_pool=harness.rebuild,
+            policy=FAST,
+            workers=2,
+        )
+        tasks = [(v, 1 if v == 3 else 0, str(tmp_path)) for v in range(6)]
+        assert run_supervised(sup, tasks) == [(t, t[0] * t[0]) for t in tasks]
+        assert sup.stats["retries"] == 1
+
+    def test_worker_sigkill_recovers_and_completes(self, harness, tmp_path):
+        sup = Supervisor(
+            _suicide_once,
+            ensure_pool=harness.ensure,
+            rebuild_pool=harness.rebuild,
+            policy=FAST,
+            workers=2,
+        )
+        tasks = [(v, str(tmp_path)) for v in range(6)]
+        # Only task value 2 kills its worker (and only once).
+        for value, _ in tasks:
+            if value != 2:
+                _claim(str(tmp_path), f"suicide-{value}")
+        assert run_supervised(sup, tasks) == [(t, t[0] * t[0]) for t in tasks]
+        assert sup.stats["worker_deaths"] >= 1
+
+    def test_timeout_quarantines_and_rest_completes(self, harness):
+        sup = Supervisor(
+            _hang_forever,
+            ensure_pool=harness.ensure,
+            rebuild_pool=harness.rebuild,
+            policy=SupervisorPolicy(
+                task_timeout=0.4, max_retries=0, backoff_base=0.001
+            ),
+            workers=2,
+        )
+        results = run_supervised(sup, ["a", "hang", "b"])
+        assert results[0] == ("a", "a")
+        assert results[2] == ("b", "b")
+        task, failed = results[1]
+        assert task == "hang"
+        assert isinstance(failed, FailedTask)
+        assert "timed out" in failed.reason
+        assert sup.stats["timeouts"] == 1
+        assert sup.stats["rebuilds"] >= 1
+
+    def test_unbuildable_pool_degrades_to_inprocess(self):
+        def broken_pool():
+            raise OSError("no forks today")
+
+        sup = Supervisor(
+            _square, ensure_pool=broken_pool, policy=FAST, workers=2
+        )
+        assert run_supervised(sup, [2, 3]) == [(2, 4), (3, 9)]
+        assert sup.stats["degraded"] == 1
+
+    def test_degradation_disabled_raises(self):
+        def broken_pool():
+            raise OSError("no forks today")
+
+        sup = Supervisor(
+            _square,
+            ensure_pool=broken_pool,
+            policy=SupervisorPolicy(fallback_inprocess=False),
+            workers=2,
+        )
+        with pytest.raises(TaskFailedError, match="could not be rebuilt"):
+            run_supervised(sup, [2, 3])
+
+    def test_degraded_mode_uses_local_fn(self):
+        def broken_pool():
+            raise OSError("no forks today")
+
+        sup = Supervisor(
+            _poison,
+            ensure_pool=broken_pool,
+            local_fn=_square,
+            policy=FAST,
+            workers=2,
+        )
+        assert run_supervised(sup, [4]) == [(4, 16)]
+
+
+class TestShutdownPool:
+    def test_none_is_a_no_op(self):
+        shutdown_pool(None)
+
+    def test_duck_typed_pool_without_workers(self):
+        class FakePool:
+            def __init__(self):
+                self.calls = []
+
+            def terminate(self):
+                self.calls.append("terminate")
+
+            def join(self):
+                self.calls.append("join")
+
+        fake = FakePool()
+        shutdown_pool(fake)
+        assert fake.calls == ["terminate", "join"]
+
+    def test_escalates_to_kill_on_sigterm_immune_workers(self):
+        pool = multiprocessing.Pool(1, initializer=_ignore_sigterm)
+        pool.apply_async(_sleep_forever, (None,))
+        time.sleep(0.3)  # let the worker start sleeping
+        workers = list(pool._pool)
+        start = time.monotonic()
+        shutdown_pool(pool, grace=1.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 10.0
+        for process in workers:
+            assert not process.is_alive()

@@ -20,6 +20,7 @@ PUBLIC_SUBPACKAGES = [
     "repro.network",
     "repro.analysis",
     "repro.results",
+    "repro.runtime",
     "repro.scenarios",
     "repro.serialization",
     "repro.cli",
