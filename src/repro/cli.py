@@ -296,7 +296,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         backend=args.eval_backend,
     )
     campaigns = engine.sweep_fault_sizes(
-        sizes, samples=args.samples, seed=args.seed, bound=args.bound
+        sizes,
+        samples=args.samples,
+        seed=args.seed,
+        bound=args.bound,
+        greedy=args.greedy,
+        candidate_limit=args.candidate_limit,
     )
     print(result.describe())
     print()
@@ -335,6 +340,8 @@ def _run_scenario_campaigns(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         backend=args.eval_backend,
+        greedy=args.greedy,
+        candidate_limit=args.candidate_limit,
     )
     bound_note = f", bound={args.bound:g}" if args.bound is not None else ""
     print(
@@ -382,7 +389,13 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         raise ValueError("the grid expanded to no scenarios")
 
     run = suite_manifest(
-        scenarios, args.samples, args.seed, args.bound, args.chunk_size
+        scenarios,
+        args.samples,
+        args.seed,
+        args.bound,
+        args.chunk_size,
+        greedy=args.greedy,
+        candidate_limit=args.candidate_limit,
     )
     store = None
     if args.store:
@@ -413,6 +426,8 @@ def _cmd_grid(args: argparse.Namespace) -> int:
             skipped=skipped,
             backend=args.eval_backend,
             policy=policy,
+            greedy=args.greedy,
+            candidate_limit=args.candidate_limit,
         )
     finally:
         if store is not None:
@@ -661,6 +676,25 @@ def build_parser() -> argparse.ArgumentParser:
             "identical either way"
         ),
     )
+    sub_campaign.add_argument(
+        "--greedy",
+        action="store_true",
+        help=(
+            "augment each battery with one adversarially-grown fault set "
+            "per size (batched greedy search); the row's worst case then "
+            "reflects a sampled and adversarial battery"
+        ),
+    )
+    sub_campaign.add_argument(
+        "--candidate-limit",
+        type=int,
+        default=40,
+        metavar="K",
+        help=(
+            "greedy adversary candidate budget per round (with --greedy; "
+            "default: 40)"
+        ),
+    )
     sub_campaign.set_defaults(handler=_cmd_campaign)
 
     sub_grid = subparsers.add_parser(
@@ -716,6 +750,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "diameter evaluation backend (bitset | numpy | auto); rows are "
             "byte-identical across backends"
+        ),
+    )
+    sub_grid.add_argument(
+        "--greedy",
+        action="store_true",
+        help=(
+            "augment every sizes-model campaign with one adversarially-"
+            "grown fault set (batched greedy search); recorded in the "
+            "store manifest, so greedy and non-greedy stores never mix"
+        ),
+    )
+    sub_grid.add_argument(
+        "--candidate-limit",
+        type=int,
+        default=40,
+        metavar="K",
+        help=(
+            "greedy adversary candidate budget per round (with --greedy; "
+            "default: 40)"
         ),
     )
     sub_grid.add_argument(

@@ -172,30 +172,50 @@ class NumpyKernel:
             self.arc_of = {
                 (int(src_all[a]), int(tgt_all[a])): a for a in range(self.arcs)
             }
-        self._scratch_B = -1
+        self._scratch_cache = {}
+        self._scratch_bytes = 0
         self._last_level = 0
 
     # ------------------------------------------------------------------
     # Scratch management
     # ------------------------------------------------------------------
+
+    #: Total bytes of cached scratch tensors kept co-resident.  Candidate
+    #: rounds alternate a handful of widths (full chunks, the remainder
+    #: chunk, the phase-2 survivor batch, single probes): reallocating the
+    #: tensors on every width change re-faults megabytes of fresh pages per
+    #: kernel call, so widths are cached side by side up to this budget.
+    #: One oversize battery width (large ``n``) flushes the cache and lives
+    #: alone, reproducing the old single-slot behaviour.
+    _SCRATCH_CACHE_BYTES = 32 * 1024 * 1024
+
     def _scratch(self, B: int):
         """Preallocated work tensors for a battery of width ``B``."""
-        if self._scratch_B != B:
+        tensors = self._scratch_cache.get(B)
+        if tensors is None:
             n, w = self.n, self.w
-            self._reach = np.zeros((n + 1, B, w), dtype=np.uint64)
-            self._upd = np.zeros((n + 1, B, w), dtype=np.uint64)
-            self._expected = np.zeros((n + 1, B, w), dtype=np.uint64)
-            self._G = np.zeros((self.gather_tgt.size, B, w), dtype=np.uint64)
-            self._contrib_s = np.zeros(
-                (self.small.size, B, w), dtype=np.uint64
+            tensors = (
+                np.zeros((n + 1, B, w), dtype=np.uint64),
+                np.zeros((n + 1, B, w), dtype=np.uint64),
+                np.zeros((n + 1, B, w), dtype=np.uint64),
+                np.zeros((self.gather_tgt.size, B, w), dtype=np.uint64),
+                np.zeros((self.small.size, B, w), dtype=np.uint64),
+                np.zeros((n + 1, B, w), dtype=np.uint64),
+                np.zeros((B, w), dtype=np.uint64),
             )
-            self._X = np.zeros((n + 1, B, w), dtype=np.uint64)
-            self._red = np.zeros((B, w), dtype=np.uint64)
-            self._scratch_B = B
-        return (
+            size = sum(t.nbytes for t in tensors)
+            if self._scratch_bytes + size > self._SCRATCH_CACHE_BYTES:
+                self._scratch_cache.clear()
+                self._scratch_bytes = 0
+            self._scratch_cache[B] = tensors
+            self._scratch_bytes += size
+        # Witness extraction reads the evaluation's tensors back through
+        # these attributes (and ``_bfs`` re-binds reach/upd after swaps).
+        (
             self._reach, self._upd, self._expected, self._G,
             self._contrib_s, self._X, self._red,
-        )
+        ) = tensors
+        return tensors
 
     # ------------------------------------------------------------------
     # Killed-arc resolution
@@ -285,14 +305,168 @@ class NumpyKernel:
         the graph is connected within the cap.
         """
         values, stuck = self._evaluate([list(fault_ids)], cap)
-        value = values[0]
+        return self._witness_triple(values[0], stuck, 0, cap)
+
+    def batch_witnesses(
+        self,
+        fault_lists: Sequence[Sequence[int]],
+        cap: Optional[float] = None,
+    ) -> List[Tuple[float, Optional[Tuple[int, int]], Optional[Tuple[int, int, int]]]]:
+        """Batched evaluation returning a witness triple **per entry**.
+
+        Same contract as :meth:`diameter_witness`, but the whole battery
+        advances through one packed reach tensor — this is the entry point
+        ``EvalCursor.batch_with_added`` evaluates candidate fault sets
+        through.  Witnesses are extracted immediately, before any later call
+        reuses the scratch tensors.
+        """
+        values, stuck = self._evaluate(fault_lists, cap)
+        return [
+            self._witness_triple(value, stuck, entry, cap)
+            for entry, value in enumerate(values)
+        ]
+
+    def candidate_witnesses(
+        self,
+        base_ids: Sequence[int],
+        cand_ids: Sequence[int],
+        cap: Optional[float] = None,
+    ) -> List[Tuple[float, Optional[Tuple[int, int]], Optional[Tuple[int, int, int]]]]:
+        """Witness triples for ``base | {c}``, one lane per candidate ``c``.
+
+        Semantically identical to :meth:`batch_witnesses` over the expanded
+        fault lists (``-1`` marks a lane evaluating the bare base set), but
+        the per-lane setup — alive masks, expected tensor, level-1 reach,
+        killed-arc slots — is derived once from the shared base instead of
+        rebuilt per lane.  This is the greedy adversary's candidate-round
+        entry point, where every lane differs from the base by one node.
+
+        Multiroutings fall back to the generic path: their killed arcs
+        depend on the whole fault mask, so there is no base/candidate
+        factorisation to exploit.
+        """
+        base = sorted(base_ids)
+        if self.index._multi:
+            return self.batch_witnesses(
+                [sorted(base + [c]) if c >= 0 else list(base) for c in cand_ids],
+                cap,
+            )
+        B = len(cand_ids)
+        if B == 0:
+            return []
+        n, w = self.n, self.w
+        reach, upd, expected, G, contrib_s, X, red = self._scratch(B)
+        cand = np.asarray(cand_ids, dtype=np.int64)
+        lanes = np.arange(B, dtype=np.int64)
+        has = cand >= 0
+        # Alive masks: the base row once, candidate bits cleared per lane.
+        base_alive = np.ones(n, dtype=bool)
+        if base:
+            base_alive[base] = False
+        alive = np.repeat(base_alive[None, :], B, axis=0)
+        alive[lanes[has], cand[has]] = False
+        base_arr = self.full_arr.copy()
+        for v in base:
+            base_arr[v >> 6] &= ~(_U1 << np.uint64(v & 63))
+        cand_arr = np.broadcast_to(base_arr, (B, w)).copy()
+        np.bitwise_and.at(
+            cand_arr,
+            (lanes[has], cand[has] >> 6),
+            ~(_U1 << (cand[has] & 63).astype(np.uint64)),
+        )
+        np.copyto(expected[:n], cand_arr[None, :, :])
+        expected[n] = 0
+        if base:
+            expected[base] = 0
+        expected[cand[has], lanes[has]] = 0
+        # Level-1 template: base self-rows with the base faults' kill masks
+        # applied once; the expected AND below re-applies the row/column
+        # masking per lane, so the template never needs per-lane copies.
+        tmpl = self.base_self
+        if base:
+            tmpl = tmpl.copy()
+            for v in base:
+                k = self.kill_rows_np.get(v)
+                if k is not None:
+                    tmpl[k[0]] &= k[1]
+        np.copyto(reach[:n], tmpl[:, None, :])
+        reach[n] = 0
+        np.bitwise_and(reach, expected, out=reach)
+        # Per-lane delta: only the candidate's own kill masks.
+        for b, c in enumerate(cand_ids):
+            if c >= 0:
+                k = self.kill_rows_np.get(c)
+                if k is not None:
+                    reach[k[0], b] &= k[1]
+        dead_all, dead_s, dead_b = self._candidate_dead_slots(
+            base, cand_ids, base_alive, alive
+        )
+        values, stuck = self._bfs(
+            B, cap, alive.sum(axis=1), dead_s, dead_b,
+            reach, upd, expected, G, contrib_s, X, red,
+            dead_all=dead_all,
+        )
+        return [
+            self._witness_triple(value, stuck, entry, cap)
+            for entry, value in enumerate(values)
+        ]
+
+    def _candidate_dead_slots(self, base, cand_ids, base_alive, alive):
+        """:meth:`_dead_slots` factorised for candidate lanes.
+
+        Base-killed arcs are dead in *every* lane, so they come back as an
+        unpaired slot array (``dead_all``, zeroed across the whole batch in
+        one assignment) instead of being tiled per lane; only each
+        candidate's own arcs need ``(slot, lane)`` pairs.  Extra slots the
+        generic per-lane aliveness filter would have dropped (an endpoint
+        that happens to be some lane's candidate, or a candidate arc
+        touching a base fault) are harmless: their source or target rows
+        are zero in those lanes, so zeroing the gather slot is a no-op.
+        """
+        base_ka = [
+            self.kill_arcs[v] for v in base if v in self.kill_arcs
+        ]
+        empty = np.empty(0, np.int64)
+        dead_all = empty
+        if base_ka:
+            bka = np.concatenate(base_ka)
+            sel = base_alive[self.src_all[bka]] & base_alive[self.tgt_all[bka]]
+            dead_all = bka[sel]
+        parts_a, parts_b = [], []
+        for b, c in enumerate(cand_ids):
+            if c >= 0:
+                ka = self.kill_arcs.get(c)
+                if ka is not None:
+                    parts_a.append(ka)
+                    parts_b.append(np.full(ka.size, b, dtype=np.int64))
+        if parts_a:
+            dead_a = np.concatenate(parts_a)
+            dead_b = np.concatenate(parts_b)
+            sel = (
+                alive[dead_b, self.src_all[dead_a]]
+                & alive[dead_b, self.tgt_all[dead_a]]
+            )
+            dead_a, dead_b = dead_a[sel], dead_b[sel]
+        else:
+            dead_a = dead_b = empty
+        def to_slot(arcs):
+            slot = self.arc_slot[arcs]
+            # Hub arcs live after the pad block (negative encoding).
+            return np.where(slot >= 0, slot, self.hub_off + (-slot - 1))
+
+        return to_slot(dead_all), to_slot(dead_a), dead_b
+
+    def _witness_triple(
+        self, value: float, stuck, entry: int, cap: Optional[float]
+    ) -> Tuple[float, Optional[Tuple[int, int]], Optional[Tuple[int, int, int]]]:
+        """Classify one evaluated entry into ``(value, witness, capped)``."""
         if value != INFINITY:
             return value, None, None
-        extracted = self._extract_unreached()
+        extracted = self._extract_unreached(entry)
         if extracted is None:  # pragma: no cover - inf implies a witness
             return value, None, None
         source_bit, unreached = extracted
-        if stuck[0]:
+        if stuck[entry]:
             return value, (source_bit, unreached), None
         if cap is None:  # pragma: no cover - no cap means stuck or finite
             return value, None, None
@@ -300,13 +474,13 @@ class NumpyKernel:
         # so every unreached node sits at distance >= _last_level + 1.
         return value, None, (source_bit, unreached, self._last_level + 1)
 
-    def _extract_unreached(self) -> Optional[Tuple[int, int]]:
-        """First alive source of entry 0 that has not reached everything."""
+    def _extract_unreached(self, entry: int = 0) -> Optional[Tuple[int, int]]:
+        """First alive source of ``entry`` that has not reached everything."""
         reach, _upd, expected = self._reach, self._upd, self._expected
         for row in range(self.n):
-            if (reach[row, 0] != expected[row, 0]).any():
-                have = int.from_bytes(reach[row, 0].tobytes(), "little")
-                want = int.from_bytes(expected[row, 0].tobytes(), "little")
+            if (reach[row, entry] != expected[row, entry]).any():
+                have = int.from_bytes(reach[row, entry].tobytes(), "little")
+                want = int.from_bytes(expected[row, entry].tobytes(), "little")
                 if have == 0:
                     continue  # faulty row (expected is zero too)
                 return 1 << row, want & ~have
@@ -366,8 +540,25 @@ class NumpyKernel:
                 (src, dead_b, (tgts >> 6).astype(np.int64)),
                 ~(_U1 << (tgts & 63).astype(np.uint64)),
             )
+        return self._bfs(
+            B, cap, alive.sum(axis=1), dead_s, dead_b,
+            reach, upd, expected, G, contrib_s, X, red,
+        )
+
+    def _bfs(
+        self, B, cap, n_alive, dead_s, dead_b,
+        reach, upd, expected, G, contrib_s, X, red,
+        dead_all=None,
+    ):
+        """Advance prepared reach tensors level by level.
+
+        The shared back half of :meth:`_evaluate` and
+        :meth:`candidate_witnesses`: both build the level-1 state (their
+        setup differs), then run this loop.  Returns ``(values, was_stuck)``
+        with the same contract as the monolithic evaluation always had.
+        """
+        w = self.w
         out = np.full(B, INFINITY, dtype=float)
-        n_alive = alive.sum(axis=1)
         # Entries with one alive node have diameter 0, empty entries inf;
         # both are fixed points the loop below never re-touches.
         settled = n_alive <= 1
@@ -388,6 +579,10 @@ class NumpyKernel:
             if cap is not None and level >= cap:
                 break
             Gv = np.take(reach, self.gather_tgt, axis=0, out=G)
+            if dead_all is not None and dead_all.size:
+                # Slots killed in every lane (a candidate batch's shared
+                # base faults): one unpaired assignment for the batch.
+                Gv[dead_all] = 0
             if dead_s.size:
                 Gv[dead_s, dead_b] = 0
             np.bitwise_or.reduce(

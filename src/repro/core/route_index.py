@@ -612,6 +612,14 @@ class RouteIndex:
     #: the same preallocated buffers.
     _NP_BATCH = 64
 
+    #: Candidate-batch width for :meth:`EvalCursor.batch_with_added` (the
+    #: greedy adversary's rounds).  Narrower than :attr:`_NP_BATCH`: a
+    #: candidate round's gather tensor is hot for only 2-3 BFS levels, so
+    #: keeping it cache-resident beats amortising Python overhead further —
+    #: 16 lanes × 4 words is the measured sweet spot on dense ~200-node
+    #: instances.
+    _NP_CANDIDATE_BATCH = 16
+
     def surviving_diameters(
         self,
         fault_sets: Iterable[Iterable[Node]],
@@ -674,6 +682,27 @@ class RouteIndex:
         fault_mask = self._fault_mask(self._check_faults(faults))
         rows = self._surviving_rows(fault_mask)
         return EvalCursor(self, fault_mask, rows)
+
+    def candidate_diameters(
+        self,
+        base_faults: Iterable[Node],
+        candidates: Iterable[Node],
+        cap: Optional[float] = None,
+    ) -> List[float]:
+        """Surviving diameters of ``F | {v}`` for every candidate ``v``.
+
+        The index-level face of :meth:`EvalCursor.batch_with_added`: one
+        shared cursor for ``base_faults`` seeds a delta update per
+        candidate, and the whole candidate round is evaluated as a single
+        batch (one packed reach tensor on the numpy backend).  ``cap``
+        follows the :meth:`surviving_diameter` contract — finite values are
+        exact, ``inf`` means disconnected or proven above the cap.
+        """
+        cursor = self.cursor(base_faults)
+        return [
+            value
+            for _child, value in cursor.batch_with_added(candidates, cap=cap)
+        ]
 
     # ------------------------------------------------------------------
     # Historical set-based kernel (equivalence/benchmark reference)
@@ -750,17 +779,29 @@ class EvalCursor:
         "_index",
         "_fault_mask",
         "_rows",
+        "_pending_rows",
         "_alive",
         "_diameter",
         "_unreached",
         "_lower_bound",
         "_capped_unreached",
+        "_sibling_bounds",
     )
 
-    def __init__(self, index: RouteIndex, fault_mask: int, rows: List[int]) -> None:
+    def __init__(
+        self, index: RouteIndex, fault_mask: int, rows: Optional[List[int]]
+    ) -> None:
         self._index = index
         self._fault_mask = fault_mask
+        # Masked adjacency rows, or ``None`` for a cursor whose rows have
+        # not been derived yet.  :meth:`with_added` hands out lazy children
+        # (``_pending_rows`` holds the parent cursor and the added node id)
+        # because the numpy kernel evaluates from the fault mask alone: a
+        # candidate cursor that loses its greedy round never pays the
+        # row-delta cost.  ``_materialise_rows`` resolves the chain on first
+        # access (bitset evaluation, digraph export, or deriving onward).
         self._rows = rows
+        self._pending_rows: Optional[Tuple["EvalCursor", int]] = None
         self._alive = index._full_mask & ~fault_mask
         self._diameter: Optional[float] = None
         # (source bit, unreached mask) witnessing a disconnection, when known.
@@ -777,6 +818,17 @@ class EvalCursor:
         # (removing arcs only increases distances), so a failing bound check
         # transfers to children without running a single BFS.
         self._capped_unreached: Optional[Tuple[int, int, int]] = None
+        # node id -> (source bit, unreached mask, lb): capped witnesses
+        # learned for *sibling* fault sets ``F | {u}`` (one entry per
+        # candidate ``u`` some batch evaluated from this cursor).  A bound
+        # for ``F | {u}`` says nothing about ``F`` itself or about another
+        # sibling ``F | {w}``, so it cannot live in ``_capped_unreached`` —
+        # but it transfers to any *descendant* that re-adds ``u``:
+        # ``with_added(v)`` hands the (bit-filtered) store down, and applies
+        # the entry for ``v`` directly to the child.  This is what carries a
+        # bound learned in one greedy round to the next round's candidates
+        # instead of discarding it with the losing sibling cursor.
+        self._sibling_bounds: Optional[Dict[int, Tuple[int, int, int]]] = None
 
     @property
     def faults(self) -> FrozenSet[Node]:
@@ -790,9 +842,56 @@ class EvalCursor:
             remaining ^= bit
         return frozenset(result)
 
+    def _materialise_rows(self) -> List[int]:
+        """Resolve (and cache) the cursor's masked adjacency rows.
+
+        Lazy cursors hold ``(parent, nid)`` instead of rows; the chain backs
+        up to the nearest materialised ancestor (bounded by the derivation
+        depth, e.g. the greedy fault-set size) and applies each delta on the
+        way down.
+        """
+        rows = self._rows
+        if rows is None:
+            parent, nid = self._pending_rows
+            rows = self._derive_rows(parent._materialise_rows(), nid)
+            self._rows = rows
+            self._pending_rows = None
+        return rows
+
+    def _derive_rows(self, parent_rows: List[int], nid: int) -> List[int]:
+        """Parent rows with node ``nid`` (newly faulty) masked out."""
+        index = self._index
+        bit = 1 << nid
+        rows = list(parent_rows)
+        rows[nid] = 0
+        if not index._multi:
+            # Kill masks cover every arc v affects, including arcs into v
+            # (v lies on its own routes), in one AND per indexed source.
+            for sid, mask in index._kill_rows[nid].items():
+                rows[sid] &= ~mask
+        else:
+            not_bit = ~bit
+            fault_mask = self._fault_mask
+            # Drop v as a target of its surviving predecessors (the parent's
+            # alive mask is this cursor's with v restored)...
+            preds = index._base_preds[nid] & (self._alive | bit)
+            while preds:
+                pbit = preds & -preds
+                rows[pbit.bit_length() - 1] &= not_bit
+                preds ^= pbit
+            # ... and kill the arcs of pairs all of whose routes now die.
+            multi_routes = index._pair_routes
+            for sid, tid in index._pairs_through.get(nid, _NO_PAIRS):
+                if (fault_mask >> sid) & 1 or (fault_mask >> tid) & 1:
+                    continue
+                if any(mask & fault_mask == 0 for mask in multi_routes[(sid, tid)]):
+                    continue
+                rows[sid] &= ~(1 << tid)
+        return rows
+
     def surviving_route_graph(self) -> DiGraph:
         """Materialise ``R(G, rho)/F`` for the cursor's fault set."""
-        return self._index._build_digraph(self._rows, self._alive)
+        return self._index._build_digraph(self._materialise_rows(), self._alive)
 
     def diameter(self, cap: Optional[float] = None) -> float:
         """Return the surviving diameter (memoised; ``cap`` as in the index)."""
@@ -845,7 +944,7 @@ class EvalCursor:
                 )
                 return value, witness, capped
         return _rows_diameter_witness(
-            self._rows, self._alive, cap, index._density_threshold
+            self._materialise_rows(), self._alive, cap, index._density_threshold
         )
 
     def with_added(self, node: Node) -> "EvalCursor":
@@ -853,7 +952,10 @@ class EvalCursor:
 
         Only the surviving predecessors of ``node`` and the pairs routed
         through it are touched; every other row is shared with the parent by
-        value (rows are immutable ints).
+        value (rows are immutable ints).  The delta itself is *deferred*:
+        the child records ``(parent, node)`` and derives its rows on first
+        access, so candidates evaluated purely through the numpy kernel
+        (which reads the fault mask, not the rows) never pay for it.
 
         The returned cursor is always a distinct object, even when ``node``
         is already faulty (it then shares the parent's rows and memoised
@@ -871,36 +973,24 @@ class EvalCursor:
             # Same fault set, but hand back a distinct cursor so memoising
             # on the child never aliases into the parent.
             twin = EvalCursor(index, self._fault_mask, self._rows)
+            twin._pending_rows = self._pending_rows
             twin._diameter = self._diameter
             twin._unreached = self._unreached
             twin._lower_bound = self._lower_bound
             twin._capped_unreached = self._capped_unreached
+            if self._sibling_bounds:
+                # Same fault set, so every sibling bound applies verbatim —
+                # but copy the store so memoising on the twin never mutates
+                # the parent.
+                twin._sibling_bounds = dict(self._sibling_bounds)
             return twin
         fault_mask = self._fault_mask | bit
-        rows = list(self._rows)
         not_bit = ~bit
-        rows[nid] = 0
-        if not index._multi:
-            # Kill masks cover every arc v affects, including arcs into v
-            # (v lies on its own routes), in one AND per indexed source.
-            for sid, mask in index._kill_rows[nid].items():
-                rows[sid] &= ~mask
-        else:
-            # Drop v as a target of its surviving predecessors...
-            preds = index._base_preds[nid] & self._alive
-            while preds:
-                pbit = preds & -preds
-                rows[pbit.bit_length() - 1] &= not_bit
-                preds ^= pbit
-            # ... and kill the arcs of pairs all of whose routes now die.
-            multi_routes = index._pair_routes
-            for sid, tid in index._pairs_through.get(nid, _NO_PAIRS):
-                if (fault_mask >> sid) & 1 or (fault_mask >> tid) & 1:
-                    continue
-                if any(mask & fault_mask == 0 for mask in multi_routes[(sid, tid)]):
-                    continue
-                rows[sid] &= ~(1 << tid)
-        child = EvalCursor(index, fault_mask, rows)
+        # Rows stay lazy: the delta update is deferred until something
+        # actually reads them (see ``_materialise_rows``), so a candidate
+        # evaluated purely through the numpy kernel never derives its rows.
+        child = EvalCursor(index, fault_mask, None)
+        child._pending_rows = (self, nid)
         # Removing arcs can only shrink reachability: if the parent is
         # disconnected by a missing target other than v (from a source other
         # than v), the child is disconnected too — no BFS needed.
@@ -918,7 +1008,143 @@ class EvalCursor:
                 if lb > child._lower_bound:
                     child._lower_bound = lb
                 child._capped_unreached = (source_bit, unreached & not_bit, lb)
+        if self._sibling_bounds:
+            # A bound learned for ``F | {node}`` by an earlier batch from
+            # this cursor is a bound on exactly the child's fault set.
+            own = self._sibling_bounds.get(nid)
+            if own is not None:
+                source_bit, unreached, lb = own
+                if lb > child._lower_bound:
+                    child._lower_bound = lb
+                if (
+                    child._capped_unreached is None
+                    or lb > child._capped_unreached[2]
+                ):
+                    child._capped_unreached = (source_bit, unreached, lb)
+            # Bounds for the other siblings ``F | {u}`` transfer to the
+            # child's own candidates ``F | {node} | {u}`` by monotonicity
+            # (the child only removes more arcs), provided the witness
+            # survives ``node``'s removal.
+            inherited: Optional[Dict[int, Tuple[int, int, int]]] = None
+            for uid, (source_bit, unreached, lb) in self._sibling_bounds.items():
+                if uid == nid or source_bit == bit:
+                    continue
+                filtered = unreached & not_bit
+                if filtered:
+                    if inherited is None:
+                        inherited = {}
+                    inherited[uid] = (source_bit, filtered, lb)
+            child._sibling_bounds = inherited
         return child
+
+    def batch_with_added(
+        self, nodes: Iterable[Node], cap: Optional[float] = None
+    ) -> List[Tuple["EvalCursor", float]]:
+        """Evaluate ``F | {v}`` for every candidate ``v``, in one batch.
+
+        Returns ``[(child cursor, value), ...]`` in candidate order, where
+        ``value`` follows the :meth:`diameter` contract for ``cap``: a
+        finite value is always the exact surviving diameter, and ``inf``
+        means disconnected *or* proven to exceed the cap.  This is the
+        batched candidate-evaluation layer of the greedy adversary.
+
+        On the numpy backend all candidates advance through one packed
+        ``(k, B)`` uint64 reach tensor (one vectorised BFS for the whole
+        round, with ``cap`` aborting hopeless lanes early); the bitset
+        backend runs the equivalent loop over :meth:`with_added` children —
+        both share this cursor's masked rows, so per-candidate setup is the
+        usual delta update either way and the returned values are
+        byte-identical across backends.
+
+        Capped evaluations that fail leave their lower bound behind
+        **twice**: on the child cursor itself, and in this cursor's sibling
+        store, where later :meth:`with_added` derivations (e.g. the next
+        greedy round's candidates) pick it up instead of re-proving it.
+        Memoised children (a prior exact diameter, or a lower bound already
+        above ``cap``) skip their BFS lane entirely.
+        """
+        index = self._index
+        node_list = list(nodes)
+        if index.eval_backend == EVAL_BACKEND_NUMPY:
+            kernel = index._ensure_np_kernel()
+            if kernel is not None:
+                children = [self.with_added(node) for node in node_list]
+                self._np_batch_evaluate(children, cap, kernel)
+                for node, child in zip(node_list, children):
+                    self._note_sibling_bound(node, child)
+                return [
+                    (child, child.diameter(cap=cap)) for child in children
+                ]
+        results: List[Tuple["EvalCursor", float]] = []
+        for node in node_list:
+            child = self.with_added(node)
+            value = child.diameter(cap=cap)
+            self._note_sibling_bound(node, child)
+            results.append((child, value))
+        return results
+
+    def _note_sibling_bound(self, node: Node, child: "EvalCursor") -> None:
+        """Record a capped bound learned for ``F | {node}`` on this cursor."""
+        capped = child._capped_unreached
+        if capped is None or child._fault_mask == self._fault_mask:
+            return
+        nid = self._index._id_of[node]
+        store = self._sibling_bounds
+        if store is None:
+            store = self._sibling_bounds = {}
+        known = store.get(nid)
+        if known is None or capped[2] > known[2]:
+            store[nid] = capped
+
+    def _np_batch_evaluate(
+        self, children: List["EvalCursor"], cap: Optional[float], kernel
+    ) -> None:
+        """Memoise diameters/bounds onto ``children`` via one numpy batch.
+
+        Children whose answer is already memoised (an exact diameter, or a
+        lower bound proving the cap unreachable) contribute no BFS lane.
+        The rest stream through :meth:`NumpyKernel.candidate_witnesses` in
+        :attr:`RouteIndex._NP_CANDIDATE_BATCH`-wide chunks — every child
+        differs from this cursor by at most one node (``with_added``
+        built them), so the kernel derives the per-lane setup once from
+        the shared base — and each entry's result is memoised exactly as
+        :meth:`diameter` would have.
+        """
+        pending = [
+            child
+            for child in children
+            if child._diameter is None
+            and not (cap is not None and cap < child._lower_bound)
+        ]
+        step = RouteIndex._NP_CANDIDATE_BATCH
+        base_mask = self._fault_mask
+        base_ids = _mask_ids(base_mask)
+        for start in range(0, len(pending), step):
+            chunk = pending[start : start + step]
+            # A child's delta from the base is one bit (or none, for a
+            # twin of the base set): -1 marks the bare-base lane.
+            triples = kernel.candidate_witnesses(
+                base_ids,
+                [
+                    (child._fault_mask & ~base_mask).bit_length() - 1
+                    for child in chunk
+                ],
+                cap,
+            )
+            for child, (value, witness, capped) in zip(chunk, triples):
+                if cap is not None and value == INFINITY and witness is None:
+                    # Cap exceeded without a disconnection: remember the
+                    # proven lower bound, not the (unknown) exact value.
+                    bound = math.floor(cap) + 1
+                    if capped is not None and capped[2] > bound:
+                        bound = capped[2]
+                    if bound > child._lower_bound:
+                        child._lower_bound = bound
+                    if capped is not None:
+                        child._capped_unreached = capped
+                else:
+                    child._diameter = value
+                    child._unreached = witness
 
 
 def _rows_diameter(

@@ -120,6 +120,7 @@ def check_tolerance(
     seed: Optional[int] = 0,
     index=None,
     workers: int = 1,
+    candidate_limit: int = 40,
 ) -> ToleranceReport:
     """Check whether ``routing`` is ``(diameter_bound, max_faults)``-tolerant.
 
@@ -137,7 +138,8 @@ def check_tolerance(
     offsets), so they shard across the worker pool like random batteries do.
     ``index`` is reused when given (it also accelerates the greedy
     adversarial battery generation); with ``workers > 1`` the engine ships
-    its pre-built index to the pool.
+    its pre-built index to the pool.  ``candidate_limit`` is the greedy
+    adversary's per-round candidate budget (combined battery path only).
     """
     from repro.faults.engine import CampaignEngine
 
@@ -165,6 +167,7 @@ def check_tolerance(
             concentrator=concentrator,
             seed=seed,
             index=engine.index,
+            candidate_limit=candidate_limit,
         )
     else:
         fault_sets = list(fault_sets)
@@ -188,13 +191,15 @@ def verify_construction(
     exhaustive_limit: int = 20000,
     seed: Optional[int] = 0,
     workers: int = 1,
+    candidate_limit: int = 40,
 ) -> ToleranceReport:
     """Check a construction against its own recorded guarantee.
 
     Uses the guarantee stored in ``result.guarantee`` (e.g. ``(4, t)`` for the
     tri-circular routing) and the construction's concentrator to aim the
     targeted fault sets at the right structures.  ``workers`` shards the
-    battery evaluation across a process pool.
+    battery evaluation across a process pool; ``candidate_limit`` tunes the
+    greedy adversary inside the combined battery.
     """
     return check_tolerance(
         result.graph,
@@ -206,6 +211,7 @@ def verify_construction(
         concentrator=result.concentrator,
         seed=seed,
         workers=workers,
+        candidate_limit=candidate_limit,
     )
 
 

@@ -20,6 +20,7 @@ import itertools
 import random as _random
 from typing import Callable, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Union
 
+from repro.core.route_index import EVAL_BACKEND_NUMPY
 from repro.core.routing import MultiRouting, Routing
 from repro.faults.models import FaultSet
 from repro.graphs.graph import Graph
@@ -152,6 +153,120 @@ def targeted_fault_sets(
 # ----------------------------------------------------------------------
 # Greedy adversarial search
 # ----------------------------------------------------------------------
+def _select_round(candidates, trials, incumbent):
+    """Fold exact ``(node, cursor, diameter)`` trials into the round's choice.
+
+    This is the greedy selection rule both evaluation paths share: the
+    first candidate realising the largest *finite* diameter wins while it
+    strictly improves the incumbent (or when nothing disconnects); otherwise
+    the first disconnecting candidate wins; otherwise the round is a dead
+    end.  Returns ``(chosen node or None, cursor, incumbent)``.
+    """
+    inf = float("inf")
+    best_node = best_cursor = None
+    best_finite = -1.0
+    inf_node = inf_cursor = None
+    for node, (trial, diam) in zip(candidates, trials):
+        if diam == inf:
+            if inf_node is None:
+                inf_node, inf_cursor = node, trial
+        elif diam > best_finite:
+            best_finite, best_node, best_cursor = diam, node, trial
+    if best_node is not None and (best_finite > incumbent or inf_node is None):
+        return best_node, best_cursor, best_finite
+    if inf_node is not None:
+        return inf_node, inf_cursor, inf
+    return None, None, incumbent
+
+
+def _sequential_round(cursor, candidates, incumbent):
+    """Reference evaluation: one uncapped cursor evaluation per candidate."""
+    trials = []
+    for node in candidates:
+        trial = cursor.with_added(node)
+        trials.append((trial, trial.diameter()))
+    return _select_round(candidates, trials, incumbent)
+
+
+def _batched_round(cursor, candidates, incumbent):
+    """Batched evaluation with incumbent-cap pruning.
+
+    Phase 1 evaluates every candidate in one batch capped at the incumbent
+    diameter: candidates proven unable to matter at this cap abort their
+    BFS lanes early, and finite results are exact.  Phase 2 re-evaluates
+    only the survivors (``inf`` at the cap: disconnected, or better than
+    the incumbent) uncapped, again as one batch.  Every candidate therefore
+    ends up with its *exact* uncapped diameter — a capped ``inf`` is either
+    a true ``inf`` or a finite value strictly above the cap, and every
+    value at or below the cap is returned exactly — so feeding the merged
+    results through the shared selection rule provably reproduces the
+    sequential choice (same first-max finite candidate, same first
+    disconnecting candidate, byte-identical fault sets).
+
+    The cap is only applied on the vectorised backend, where capped lanes
+    abort as whole BFS levels.  The bitset loop gains nothing from a cap
+    that most candidates sit below, and would pay twice for every capped
+    survivor — so it batches uncapped (phase 2 then finds its answers
+    already memoised).  Either way the selection sees the same exact
+    values, so the choice of backend never changes the picked fault set.
+    """
+    inf = float("inf")
+    cap = None if incumbent == inf else incumbent
+    if cap is not None and cursor._index.eval_backend != EVAL_BACKEND_NUMPY:
+        cap = None
+    trials = cursor.batch_with_added(candidates, cap=cap)
+    if cap is not None:
+        survivors = [
+            node
+            for node, (_trial, value) in zip(candidates, trials)
+            if value == inf
+        ]
+        if survivors:
+            exact = dict(
+                zip(survivors, cursor.batch_with_added(survivors, cap=None))
+            )
+            trials = [
+                exact.get(node, trial)
+                for node, trial in zip(candidates, trials)
+            ]
+    return _select_round(candidates, trials, incumbent)
+
+
+def _greedy_rounds(
+    index,
+    node_order: Sequence[Node],
+    size: int,
+    candidate_limit: int,
+    rng: _random.Random,
+    batched: bool,
+) -> Set[Node]:
+    """Run the greedy growth loop over an index; returns the fault set."""
+    faults: Set[Node] = set()
+    cursor = index.cursor(())
+    incumbent = cursor.diameter()
+    for _ in range(size):
+        remaining = [node for node in node_order if node not in faults]
+        if not remaining:
+            break
+        if len(remaining) > candidate_limit:
+            candidates = rng.sample(remaining, candidate_limit)
+        else:
+            candidates = remaining
+        if batched:
+            chosen, chosen_cursor, incumbent = _batched_round(
+                cursor, candidates, incumbent
+            )
+        else:
+            chosen, chosen_cursor, incumbent = _sequential_round(
+                cursor, candidates, incumbent
+            )
+        if chosen is None:
+            break
+        cursor = chosen_cursor
+        faults.add(chosen)
+    return faults
+
+
 def greedy_adversarial_fault_set(
     graph: Graph,
     routing: AnyRouting,
@@ -159,6 +274,7 @@ def greedy_adversarial_fault_set(
     candidate_limit: int = 40,
     seed: RandomLike = None,
     index=None,
+    batched: bool = True,
 ) -> FaultSet:
     """Grow a fault set greedily, maximising the surviving diameter at each step.
 
@@ -179,41 +295,46 @@ def greedy_adversarial_fault_set(
     the rows indexed under that candidate, so the ``size * candidate_limit``
     prefix-sharing evaluations never rebuild the surviving graph from
     scratch.
+
+    With ``batched`` (the default) each round is evaluated through
+    :meth:`~repro.core.route_index.EvalCursor.batch_with_added` with
+    incumbent-cap pruning — on the numpy backend the whole candidate round
+    advances as one packed BFS tensor.  The result is provably
+    byte-identical to ``batched=False`` (the sequential reference path, one
+    uncapped evaluation per candidate), which the hypothesis equivalence
+    suite enforces across backends, caps and seeds.
     """
     rng = _rng(seed)
     if index is None:
         from repro.core.route_index import RouteIndex
 
         index = RouteIndex(graph, routing)
-    faults: Set[Node] = set()
-    cursor = index.cursor(())
-    incumbent = cursor.diameter()
-    for _ in range(size):
-        remaining = [node for node in graph.nodes() if node not in faults]
-        if not remaining:
-            break
-        if len(remaining) > candidate_limit:
-            candidates = rng.sample(remaining, candidate_limit)
-        else:
-            candidates = remaining
-        best_node = best_cursor = None
-        best_finite = -1.0
-        inf_node = inf_cursor = None
-        for node in candidates:
-            trial = cursor.with_added(node)
-            diam = trial.diameter()
-            if diam == float("inf"):
-                if inf_node is None:
-                    inf_node, inf_cursor = node, trial
-            elif diam > best_finite:
-                best_finite, best_node, best_cursor = diam, node, trial
-        if best_node is not None and (best_finite > incumbent or inf_node is None):
-            chosen, cursor, incumbent = best_node, best_cursor, best_finite
-        elif inf_node is not None:
-            chosen, cursor, incumbent = inf_node, inf_cursor, float("inf")
-        else:
-            break
-        faults.add(chosen)
+    faults = _greedy_rounds(
+        index, list(graph.nodes()), size, candidate_limit, rng, batched
+    )
+    return FaultSet(faults, description="greedy adversarial")
+
+
+def greedy_fault_set_from_index(
+    index,
+    size: int,
+    candidate_limit: int = 40,
+    seed: RandomLike = None,
+    batched: bool = True,
+) -> FaultSet:
+    """Greedy adversarial search driven by a :class:`RouteIndex` alone.
+
+    Identical search to :func:`greedy_adversarial_fault_set` but drawing
+    candidates from ``index.node_pool`` (the index's canonical sorted node
+    pool) instead of a graph's insertion order — the entry point for engine
+    and suite workers, whose slim indexes carry no graph object.  Because
+    the pool and the shard seeds are deterministic, every worker grows the
+    same fault set for the same ``(size, candidate_limit, seed)``.
+    """
+    rng = _rng(seed)
+    faults = _greedy_rounds(
+        index, list(index.node_pool), size, candidate_limit, rng, batched
+    )
     return FaultSet(faults, description="greedy adversarial")
 
 
@@ -226,13 +347,16 @@ def combined_fault_sets(
     seed: RandomLike = None,
     include_greedy: bool = True,
     index=None,
+    candidate_limit: int = 40,
+    batched: bool = True,
 ) -> List[FaultSet]:
     """Return a deduplicated battery of fault sets mixing all strategies.
 
     This is the default adversary used by the benchmarks when exhaustive
     enumeration is too expensive: targeted sets, random sets, and one greedy
     adversarial set, all of exactly ``size`` faults (plus the empty set as a
-    baseline).
+    baseline).  ``candidate_limit`` and ``batched`` tune the greedy search
+    (see :func:`greedy_adversarial_fault_set`).
     """
     battery: List[FaultSet] = [FaultSet((), description="no faults")]
     seen: Set[frozenset] = {frozenset()}
@@ -248,5 +372,15 @@ def combined_fault_sets(
     for fault_set in random_fault_sets(graph.nodes(), size, random_count, seed=seed):
         push(fault_set)
     if include_greedy and size > 0:
-        push(greedy_adversarial_fault_set(graph, routing, size, seed=seed, index=index))
+        push(
+            greedy_adversarial_fault_set(
+                graph,
+                routing,
+                size,
+                candidate_limit=candidate_limit,
+                seed=seed,
+                index=index,
+                batched=batched,
+            )
+        )
     return battery

@@ -647,6 +647,36 @@ class CampaignEngine:
         """Return ``(fault_set, surviving_diameter)`` rows for the battery."""
         return list(self.evaluate(fault_sets))
 
+    # ------------------------------------------------------------------
+    # Greedy adversarial search
+    # ------------------------------------------------------------------
+    def adversarial_worst_case(
+        self,
+        fault_size: int,
+        candidate_limit: int = 40,
+        seed: RandomLike = None,
+        batched: bool = True,
+    ) -> Tuple[float, FaultSet]:
+        """Greedy adversarial fault set of ``fault_size`` and its diameter.
+
+        Runs :func:`repro.faults.adversary.greedy_fault_set_from_index`
+        over the engine's pre-built index: each greedy round evaluates its
+        candidate batch through ``EvalCursor.batch_with_added`` with
+        incumbent-cap pruning (one packed BFS tensor per round on the numpy
+        backend).  Returns ``(surviving_diameter, fault_set)`` — a heuristic
+        lower bound on the true worst case at this size.
+        """
+        from repro.faults.adversary import greedy_fault_set_from_index
+
+        fault_set = greedy_fault_set_from_index(
+            self.index,
+            fault_size,
+            candidate_limit=candidate_limit,
+            seed=seed,
+            batched=batched,
+        )
+        return self.index.surviving_diameter(fault_set.nodes()), fault_set
+
     def run_campaign(
         self,
         fault_size: int,
@@ -655,6 +685,8 @@ class CampaignEngine:
         fault_sets: Optional[Iterable[FaultSet]] = None,
         bound: Optional[float] = None,
         frame=None,
+        greedy: bool = False,
+        candidate_limit: int = 40,
     ) -> CampaignRow:
         """Run one campaign at ``fault_size`` and aggregate the outcomes.
 
@@ -672,10 +704,19 @@ class CampaignEngine:
         evaluation when diameters exceed the bound, and all a tolerance
         table needs.
 
+        With ``greedy`` the battery additionally includes one greedy
+        adversarial fault set of ``fault_size`` (candidate rounds capped at
+        ``candidate_limit``, evaluated through the batched candidate layer;
+        deterministically seeded from the campaign seed), so the aggregate's
+        worst-case columns reflect an adversarial probe and not just random
+        sampling.  The tunables are stamped onto the result record
+        (``backend`` always; ``candidate_limit`` when the greedy probe ran).
+
         ``frame`` may name a :class:`~repro.results.frame.ResultFrame` built
         over the unified record schema; the campaign's record is appended to
         it (the returned view and the frame row are interconvertible).
         """
+        greedy_seed: RandomLike = seed
         if fault_sets is not None:
             shards = self._explicit_shards(fault_sets)
         elif isinstance(seed, _random.Random):
@@ -689,6 +730,18 @@ class CampaignEngine:
             shards = self._random_shards(
                 fault_size, samples, base, tag=f"size={fault_size}"
             )
+            greedy_seed = shard_seed(base, f"greedy:size={fault_size}", 0)
+        run_greedy = greedy and fault_size > 0
+        if run_greedy:
+            from repro.faults.adversary import greedy_fault_set_from_index
+
+            greedy_set = greedy_fault_set_from_index(
+                self.index,
+                fault_size,
+                candidate_limit=candidate_limit,
+                seed=greedy_seed,
+            )
+            shards = itertools.chain(shards, self._explicit_shards([greedy_set]))
         strategy = self.index.preferred_strategy()
         if bound is not None:
             result: CampaignRow = aggregate_decisions(
@@ -697,6 +750,8 @@ class CampaignEngine:
         else:
             result = aggregate_outcomes(fault_size, self._evaluate_shards(shards))
         result.bfs_strategy = strategy
+        result.eval_backend = self.index.eval_backend
+        result.candidate_limit = candidate_limit if run_greedy else None
         if frame is not None:
             frame.append(result.record())
         return result
@@ -708,6 +763,8 @@ class CampaignEngine:
         seed: RandomLike = None,
         bound: Optional[float] = None,
         frame=None,
+        greedy: bool = False,
+        candidate_limit: int = 40,
     ) -> List[CampaignRow]:
         """Run one campaign per fault-set size and return the results in order.
 
@@ -715,13 +772,20 @@ class CampaignEngine:
         each size's battery is independent of the others (and of the worker
         count); a shared :class:`random.Random` instance is threaded through
         sequentially as before.  ``bound`` selects the streaming-decision
-        path per campaign (see :meth:`run_campaign`); ``frame`` collects one
-        unified record per campaign.
+        path per campaign, and ``greedy``/``candidate_limit`` add a greedy
+        adversarial probe per size (see :meth:`run_campaign`); ``frame``
+        collects one unified record per campaign.
         """
         if isinstance(seed, _random.Random):
             return [
                 self.run_campaign(
-                    size, samples=samples, seed=seed, bound=bound, frame=frame
+                    size,
+                    samples=samples,
+                    seed=seed,
+                    bound=bound,
+                    frame=frame,
+                    greedy=greedy,
+                    candidate_limit=candidate_limit,
                 )
                 for size in sizes
             ]
@@ -735,6 +799,8 @@ class CampaignEngine:
                 seed=shard_seed(base, f"sweep:{position}", size),
                 bound=bound,
                 frame=frame,
+                greedy=greedy,
+                candidate_limit=candidate_limit,
             )
             for position, size in enumerate(sizes)
         ]

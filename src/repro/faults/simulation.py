@@ -60,6 +60,12 @@ class CampaignResult:
     faults_min: Optional[int] = None
     faults_mean: Optional[float] = None
     faults_max: Optional[int] = None
+    #: Resolved evaluation backend ("bitset" / "numpy") the campaign ran on,
+    #: and the greedy adversary's candidate budget when a greedy probe was
+    #: part of the battery (``None`` otherwise) — the adversary tunables,
+    #: recorded so stored rows carry their evaluation provenance.
+    eval_backend: Optional[str] = None
+    candidate_limit: Optional[int] = None
 
     @property
     def variable_fault_sizes(self) -> bool:
@@ -114,6 +120,8 @@ class CampaignResult:
                 else self.max_diameter
             ),
             "bfs": self.bfs_strategy,
+            "backend": self.eval_backend,
+            "candidate_limit": self.candidate_limit,
             "worst_faults": encode_fault_set(self.worst_fault_set),
         }
         record.update(extra)
@@ -138,6 +146,8 @@ class CampaignResult:
             faults_min=record.get("faults_min"),
             faults_mean=record.get("faults_mean"),
             faults_max=record.get("faults_max"),
+            eval_backend=record.get("backend"),
+            candidate_limit=record.get("candidate_limit"),
         )
 
 
@@ -166,6 +176,9 @@ class DecisionCampaignResult:
     faults_min: Optional[int] = None
     faults_mean: Optional[float] = None
     faults_max: Optional[int] = None
+    #: Adversary tunables (see :attr:`CampaignResult.eval_backend`).
+    eval_backend: Optional[str] = None
+    candidate_limit: Optional[int] = None
 
     @property
     def holds(self) -> bool:
@@ -225,6 +238,8 @@ class DecisionCampaignResult:
             "pass_rate": self.pass_fraction,
             "worst_diam": self.worst_diameter,
             "bfs": self.bfs_strategy,
+            "backend": self.eval_backend,
+            "candidate_limit": self.candidate_limit,
             "worst_faults": encode_fault_set(self.first_violation),
         }
         record.update(extra)
@@ -249,6 +264,8 @@ class DecisionCampaignResult:
             faults_min=record.get("faults_min"),
             faults_mean=record.get("faults_mean"),
             faults_max=record.get("faults_max"),
+            eval_backend=record.get("backend"),
+            candidate_limit=record.get("candidate_limit"),
         )
 
 
@@ -415,6 +432,8 @@ def run_campaign(
     index=None,
     bound: Optional[float] = None,
     frame=None,
+    greedy: bool = False,
+    candidate_limit: int = 40,
 ):
     """Inject ``samples`` random fault sets of the given size and summarise.
 
@@ -445,6 +464,8 @@ def run_campaign(
         fault_sets=fault_sets,
         bound=bound,
         frame=frame,
+        greedy=greedy,
+        candidate_limit=candidate_limit,
     )
 
 
@@ -458,15 +479,25 @@ def sweep_fault_sizes(
     index=None,
     bound: Optional[float] = None,
     frame=None,
+    greedy: bool = False,
+    candidate_limit: int = 40,
 ) -> List:
     """Run one campaign per fault-set size and return the results in order.
 
-    ``bound`` selects the streaming-decision path (see :func:`run_campaign`);
-    ``frame`` collects one unified record per campaign.
+    ``bound`` selects the streaming-decision path and ``greedy``/
+    ``candidate_limit`` add a greedy adversarial probe per size (see
+    :func:`run_campaign`); ``frame`` collects one unified record per
+    campaign.
     """
     from repro.faults.engine import CampaignEngine
 
     engine = CampaignEngine(graph, routing, workers=workers, index=index)
     return engine.sweep_fault_sizes(
-        sizes, samples=samples, seed=seed, bound=bound, frame=frame
+        sizes,
+        samples=samples,
+        seed=seed,
+        bound=bound,
+        frame=frame,
+        greedy=greedy,
+        candidate_limit=candidate_limit,
     )

@@ -40,7 +40,11 @@ Beyond the primary key index every store maintains a **secondary index by
 and :func:`merge_result_stores` recombines several stores (e.g. the
 per-strategy halves of a split comparison sweep) into one read-only store,
 refusing key collisions whose records disagree: a fingerprint mismatch
-means the stores were built against different constructions.
+means the stores were built against different constructions.  The merge
+streams: each input file is scanned once for keys and byte offsets, and
+records are seek-read straight into the merged frame, so transient memory
+scales with the number of stores and keys rather than the sum of their
+row payloads.
 """
 
 from __future__ import annotations
@@ -66,7 +70,12 @@ from repro.runtime.chaos import chaos_point
 #:     ``kind="status"`` rows for inapplicable and failed campaigns, so a
 #:     version-2 store resumed under the new schema would re-drop scenarios
 #:     it already recorded and corrupt byte-identity; refuse instead.
-STORE_FORMAT_VERSION = 3
+#: 4 — PR 8: records carry ``backend``/``candidate_limit`` (the resolved
+#:     eval backend and the greedy adversary's candidate budget) and suite
+#:     manifests carry the greedy-probe parameters, so every written row's
+#:     bytes changed; resuming a version-3 store would break byte-identity
+#:     on the very first appended row.
+STORE_FORMAT_VERSION = 4
 
 #: Recognised fsync policies: ``never`` (default — the OS decides when
 #: bytes hit the platter), ``close`` (one fsync when the store closes),
@@ -457,10 +466,87 @@ def _merge_runs(runs: Sequence[Mapping[str, object]]) -> Dict[str, object]:
     return merged
 
 
+def _scan_store(path: str) -> Tuple[Dict[str, object], List[Tuple[str, int, int]]]:
+    """One sequential pass over a store file without retaining its records.
+
+    Validates the manifest exactly as :meth:`ResultStore._read_existing`
+    does (kind, format version, per-store duplicate keys, corrupt middle
+    lines; a torn final line is tolerated) but keeps only the run manifest
+    and a ``(key, byte_offset, byte_length)`` entry per complete row — the
+    record payloads stay on disk until the merge emits or compares them.
+    """
+    if not os.path.exists(path):
+        raise ResultStoreError(f"result store {path!r} does not exist")
+    entries: List[Tuple[str, int, int]] = []
+    seen: set = set()
+    with open(path, "rb") as handle:
+        manifest_line = handle.readline()
+        if not manifest_line.endswith(b"\n"):
+            raise ResultStoreError(
+                f"result store {path!r} has no complete manifest line"
+            )
+        try:
+            manifest = json.loads(manifest_line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ResultStoreError(
+                f"result store {path!r} has a corrupt manifest: {exc}"
+            ) from None
+        if manifest.get("kind") != "manifest":
+            raise ResultStoreError(
+                f"result store {path!r} does not start with a manifest line"
+            )
+        if manifest.get("format") != STORE_FORMAT_VERSION:
+            raise ResultStoreError(
+                f"result store {path!r} has format "
+                f"{manifest.get('format')!r}; this library writes "
+                f"{STORE_FORMAT_VERSION}"
+            )
+        offset = len(manifest_line)
+        position = 1
+        while True:
+            line = handle.readline()
+            if not line:
+                break
+            position += 1
+            if not line.endswith(b"\n"):
+                break  # torn tail: a writer killed mid-append
+            try:
+                document = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                if not handle.readline():
+                    break  # malformed *final* line: the newline survived
+                raise ResultStoreError(
+                    f"result store {path!r} line {position} is corrupt"
+                ) from None
+            if document.get("kind") != "row":
+                raise ResultStoreError(
+                    f"result store {path!r} line {position} is not a row"
+                )
+            key = document.get("key")
+            if not isinstance(key, str):
+                raise ResultStoreError(
+                    f"result store {path!r} line {position} has no key"
+                )
+            if key in seen:
+                raise ResultStoreError(
+                    f"result store {path!r} records key {key!r} twice"
+                )
+            seen.add(key)
+            entries.append((key, offset, len(line)))
+            offset += len(line)
+    return dict(manifest.get("run", {})), entries
+
+
+def _read_record(handle, offset: int, length: int) -> Dict[str, object]:
+    """Seek-read one row line and return its record payload."""
+    handle.seek(offset)
+    return json.loads(handle.read(length).decode("utf-8")).get("record", {})
+
+
 def merge_result_stores(
     paths: Sequence[str], columns: Sequence[Column] = RESULT_COLUMNS
 ) -> ResultStore:
-    """Load several stores and merge their rows into one read-only store.
+    """Stream several stores' rows into one read-only merged store.
 
     Rows are keyed by the same content addresses the stores use
     (``scenario#plan``), so slices of one logical sweep — e.g. the
@@ -472,40 +558,63 @@ def merge_result_stores(
     error rather than a pick-one merge.  The merged manifest unions the
     scenario lists and keeps only the campaign parameters all stores agree
     on (see :func:`_merge_runs`).
+
+    The merge is **streaming**: instead of materialising every input store
+    as its own in-memory frame (the historical implementation peaked at
+    roughly twice the total row bytes), :func:`_scan_store` makes one
+    sequential pass per file keeping only ``(key, offset, length)``
+    entries, and the emission pass seek-reads each record exactly once,
+    straight into the merged frame.  Duplicate keys — normally a small
+    overlap between slices — are the only records read twice (once to
+    emit from their first store, once to compare against each later
+    occurrence), so transient memory is one record plus the key index, not
+    the sum of the input stores.  Rows keep first-seen order: stores in
+    input order, each store's rows in file order.
     """
     if not paths:
         raise ResultStoreError("no result stores to merge")
-    stores = [ResultStore.load(path, columns) for path in paths]
+    scans = [_scan_store(path) for path in paths]
     merged = ResultStore(
-        "+".join(paths), _merge_runs([store.run for store in stores]), columns
+        "+".join(paths), _merge_runs([run for run, _ in scans]), columns
     )
-    origin: Dict[str, str] = {}
-    for store in stores:
-        for key in store.keys():
-            record = store.get(key)
-            if key not in merged._keys:
-                merged._index_row(key, record)
-                origin[key] = store.path
-                continue
-            existing = merged.get(key)
-            if existing.get("fingerprint") != record.get("fingerprint"):
-                raise ResultStoreError(
-                    f"stores {origin[key]!r} and {store.path!r} both record "
-                    f"key {key!r} but against different routings "
-                    f"(fingerprints {str(existing.get('fingerprint'))[:12]}... "
-                    f"vs {str(record.get('fingerprint'))[:12]}...); they "
-                    "belong to different constructions and cannot be merged"
-                )
-            if existing != record:
-                differing = sorted(
-                    name
-                    for name in set(existing) | set(record)
-                    if existing.get(name) != record.get(name)
-                )
-                raise ResultStoreError(
-                    f"stores {origin[key]!r} and {store.path!r} both record "
-                    f"key {key!r} with the same fingerprint but differing "
-                    f"values in {differing}; they were produced by different "
-                    "campaign parameters and cannot be merged"
-                )
+    origin: Dict[str, int] = {}  # key -> index of the store that emitted it
+    for index, (_, entries) in enumerate(scans):
+        for key, _, _ in entries:
+            origin.setdefault(key, index)
+    for index, (path, (_, entries)) in enumerate(zip(paths, scans)):
+        with open(path, "rb") as handle:
+            for key, offset, length in entries:
+                record = _read_record(handle, offset, length)
+                if origin[key] == index:
+                    merged._index_row(key, record)
+                    continue
+                # Coerce the duplicate through a scratch frame so the
+                # comparison sees the same typed values the merged frame
+                # holds (duplicates are rare: only overlapping slices).
+                scratch = ResultFrame(columns)
+                candidate = scratch.row(scratch.append(record))
+                existing = merged.get(key)
+                if existing.get("fingerprint") != candidate.get("fingerprint"):
+                    raise ResultStoreError(
+                        f"stores {paths[origin[key]]!r} and {path!r} both "
+                        f"record key {key!r} but against different routings "
+                        f"(fingerprints "
+                        f"{str(existing.get('fingerprint'))[:12]}... "
+                        f"vs {str(candidate.get('fingerprint'))[:12]}...); "
+                        "they belong to different constructions and cannot "
+                        "be merged"
+                    )
+                if existing != candidate:
+                    differing = sorted(
+                        name
+                        for name in set(existing) | set(candidate)
+                        if existing.get(name) != candidate.get(name)
+                    )
+                    raise ResultStoreError(
+                        f"stores {paths[origin[key]]!r} and {path!r} both "
+                        f"record key {key!r} with the same fingerprint but "
+                        f"differing values in {differing}; they were "
+                        "produced by different campaign parameters and "
+                        "cannot be merged"
+                    )
     return merged

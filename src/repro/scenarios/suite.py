@@ -82,8 +82,10 @@ class _SuiteTask:
     ``shard_index`` and generated locally by whichever process runs them.
     ``mode`` selects the generator: ``"random"`` (uniform sets of
     ``fault_size``), ``"random-p"`` (binomial per-node failures with
-    probability ``p``) or ``"exhaustive"`` (combinations offsets
-    ``start .. start + count`` at ``fault_size``).
+    probability ``p``), ``"exhaustive"`` (combinations offsets
+    ``start .. start + count`` at ``fault_size``) or ``"greedy"`` (one
+    adversarially-grown set of ``fault_size`` via the batched greedy
+    search, with ``candidate_limit`` candidates per round).
 
     ``density_threshold`` and ``backend`` carry the **parent-resolved**
     index tunables.  Workers rebuilding a scenario construct their index
@@ -104,6 +106,7 @@ class _SuiteTask:
     bound: Optional[float] = None
     density_threshold: Optional[int] = None
     backend: Optional[str] = None
+    candidate_limit: int = 0
 
     def materialise(self, pool: Sequence) -> Tuple[FaultSet, ...]:
         """Regenerate this task's fault sets from the canonical node pool."""
@@ -291,7 +294,19 @@ def _eval_suite_task(task: _SuiteTask):
     index, fingerprint = _scenario_workload(
         task.spec, task.density_threshold, task.backend
     )
-    fault_sets = task.materialise(index.node_pool)
+    if task.mode == "greedy":
+        from repro.faults.adversary import greedy_fault_set_from_index
+
+        fault_sets: Tuple[FaultSet, ...] = (
+            greedy_fault_set_from_index(
+                index,
+                task.fault_size,
+                candidate_limit=task.candidate_limit,
+                seed=task.seed,
+            ),
+        )
+    else:
+        fault_sets = task.materialise(index.node_pool)
     if task.bound is not None:
         values = index.surviving_diameters(fault_sets, cap=task.bound)
     else:
@@ -337,12 +352,21 @@ def _expand_tasks(
     skip: Iterable[Tuple[int, int]] = (),
     drop: Iterable[int] = (),
     tunables: Optional[Sequence[Optional[Tuple[int, str]]]] = None,
+    greedy: bool = False,
+    candidate_limit: int = 40,
 ) -> Tuple[List[_SuiteTask], List[Tuple[Tuple[int, int], int]]]:
     """Flatten the suite into shard tasks plus per-campaign metadata.
 
     ``tunables[i]`` optionally carries scenario ``i``'s parent-resolved
     ``(density_threshold, backend)`` pair; it is stamped onto every task of
     that scenario so workers evaluate with exactly the parent's resolution.
+
+    With ``greedy`` set, every ``random`` (sizes-model) campaign of
+    positive fault size gains one trailing ``"greedy"`` task: a single
+    adversarially-grown fault set of the same size, folded into the same
+    campaign row as an extra battery member.  The greedy task rides the
+    campaign's identity tag (its seed never depends on suite position), so
+    greedy-augmented rows stay byte-identical across splits and resumes.
 
     Returns ``(tasks, campaigns)`` where ``campaigns[j] = (campaign_key,
     fault_size)`` in row order.  Task seeds hash the campaign's *identity*
@@ -409,6 +433,26 @@ def _expand_tasks(
                         backend=backend,
                     )
                 )
+            if greedy and mode == "random" and fault_size > 0:
+                # The greedy probe folds into the same campaign row, so it
+                # must stay contiguous with the campaign's random shards.
+                # ``start=total`` keeps its chaos/task tag distinct from
+                # every random shard of the campaign.
+                tasks.append(
+                    _SuiteTask(
+                        spec=spec,
+                        campaign_key=campaign_key,
+                        mode="greedy",
+                        fault_size=fault_size,
+                        count=1,
+                        start=total,
+                        seed=shard_seed(seed, tag + "|greedy", 0),
+                        bound=bound,
+                        density_threshold=density_threshold,
+                        backend=backend,
+                        candidate_limit=candidate_limit,
+                    )
+                )
     return tasks, campaigns
 
 
@@ -454,12 +498,18 @@ def suite_manifest(
     seed: int,
     bound: Optional[float] = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    greedy: bool = False,
+    candidate_limit: int = 40,
 ) -> Dict[str, object]:
     """Return the result-store run manifest for a suite invocation.
 
     Two invocations produce the same rows iff they share this manifest,
     which is exactly the condition :meth:`~repro.results.store.ResultStore
-    .open` enforces before resuming.
+    .open` enforces before resuming.  The greedy-probe parameters are part
+    of the manifest because a greedy-augmented battery folds one extra
+    fault set into every sizes-model row — resuming a non-greedy store
+    under ``greedy`` (or with a different candidate budget) would change
+    rows already recorded.
     """
     return {
         "experiment": "scenario-suite",
@@ -468,6 +518,8 @@ def suite_manifest(
         "seed": seed,
         "bound": bound,
         "chunk_size": chunk_size,
+        "greedy": greedy,
+        "candidate_limit": candidate_limit if greedy else None,
     }
 
 
@@ -489,6 +541,8 @@ def run_scenario_suite(
     backend: Optional[str] = None,
     policy: Optional[SupervisorPolicy] = None,
     supervised: bool = True,
+    greedy: bool = False,
+    candidate_limit: int = 40,
 ) -> List[ScenarioRow]:
     """Run campaigns for every scenario and return one row per campaign.
 
@@ -576,6 +630,17 @@ def run_scenario_suite(
         ``False`` restores the bare ``pool.imap`` dispatch with no
         timeouts, retries or recovery — the benchmark baseline for the
         supervisor's clean-path overhead gate.
+    greedy, candidate_limit:
+        With ``greedy`` set, every sizes-model campaign of positive fault
+        size additionally evaluates one adversarially-grown fault set of
+        the same size (the batched greedy search of
+        :func:`~repro.faults.adversary.greedy_fault_set_from_index`, with
+        ``candidate_limit`` candidates per round), folded into the same
+        row as an extra battery member — so ``worst_diam`` reflects a
+        sampled *and* adversarial battery.  Rows then carry the candidate
+        budget in their ``candidate_limit`` column.  The store manifest
+        records both parameters: a greedy store and a non-greedy store
+        hold different rows and never resume one another.
 
     Raises
     ------
@@ -793,6 +858,8 @@ def run_scenario_suite(
         skip=completed,
         drop=dropped,
         tunables=tunables,
+        greedy=greedy,
+        candidate_limit=candidate_limit,
     )
     fault_sizes = dict(campaigns)
 
@@ -805,7 +872,7 @@ def run_scenario_suite(
     failed_reasons: Dict[Tuple[int, int], str] = {}
 
     def _finalise(campaign_key: Tuple[int, int], outcomes: List) -> None:
-        scenario, result, nodes, edges, strategy, _tunables = built[
+        scenario, result, nodes, edges, strategy, resolved = built[
             campaign_key[0]
         ]
         # A quarantined campaign is checked first: its collected outcomes
@@ -826,6 +893,17 @@ def run_scenario_suite(
         else:
             campaign = aggregate_outcomes(fault_sizes[campaign_key], outcomes)
             campaign.bfs_strategy = strategy
+        if campaign_key not in failed_reasons:
+            # Provenance columns: the parent-resolved eval backend, and the
+            # greedy candidate budget when this row's battery carried an
+            # adversarial probe.
+            campaign.eval_backend = resolved[1]
+            if (
+                greedy
+                and scenario.faults.kind == "sizes"
+                and fault_sizes[campaign_key] > 0
+            ):
+                campaign.candidate_limit = candidate_limit
         row = ScenarioRow(
             scenario=scenario.canonical(),
             scheme=result.scheme,

@@ -311,3 +311,122 @@ class TestNumpyBackendEquivalence:
                 bound
             )
             assert np_cursor.diameter() == bs_cursor.diameter()
+
+
+class TestBatchedCandidateEquivalence:
+    """The batched candidate API must equal per-candidate evaluation exactly.
+
+    ``batch_with_added`` (and its wrapper ``candidate_diameters``) is the
+    substrate of the batched greedy adversary; these properties pin it to
+    the one-at-a-time ground truth on every backend, capped and uncapped.
+    A capped batch may legitimately return ``inf`` for values above the
+    cap, but finite values must be exact.
+    """
+
+    def _backends(self):
+        return ("bitset", "numpy") if numpy_available() else ("bitset",)
+
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_batch_with_added_matches_with_added(self, case):
+        graph, routing, faults = case
+        candidates = [n for n in sorted(graph.nodes(), key=repr) if n not in faults]
+        for backend in self._backends():
+            index = RouteIndex(graph, routing, backend=backend)
+            cursor = index.cursor(faults)
+            trials = cursor.batch_with_added(candidates)
+            reference = index.cursor(faults)
+            for node, (child, value) in zip(candidates, trials):
+                assert value == reference.with_added(node).diameter()
+                assert child.diameter() == value
+
+    @SETTINGS
+    @given(graph_routing_faults(), st.integers(min_value=0, max_value=14))
+    def test_capped_batch_finite_values_are_exact(self, case, cap):
+        graph, routing, faults = case
+        candidates = [n for n in sorted(graph.nodes(), key=repr) if n not in faults]
+        inf = float("inf")
+        for backend in self._backends():
+            index = RouteIndex(graph, routing, backend=backend)
+            trials = index.cursor(faults).batch_with_added(candidates, cap=cap)
+            reference = index.cursor(faults)
+            for node, (_child, value) in zip(candidates, trials):
+                exact = reference.with_added(node).diameter()
+                if exact <= cap:
+                    assert value == exact
+                elif value != inf:
+                    # Above-cap values may come back exact from memoisation.
+                    assert value == exact
+
+    @SETTINGS
+    @given(graph_routing_faults())
+    def test_candidate_diameters_matches_from_scratch(self, case):
+        graph, routing, faults = case
+        candidates = [n for n in sorted(graph.nodes(), key=repr) if n not in faults]
+        for backend in self._backends():
+            index = RouteIndex(graph, routing, backend=backend)
+            values = index.candidate_diameters(faults, candidates)
+            for node, value in zip(candidates, values):
+                assert value == surviving_diameter(
+                    graph, routing, set(faults) | {node}
+                )
+
+
+class TestBatchedGreedyEquivalence:
+    """Batched greedy must be byte-identical to the sequential adversary.
+
+    The cap-pruned two-phase batch round, the sibling-bound memoisation and
+    the numpy tensor path are all pure accelerations: for every graph,
+    routing, seed, candidate budget and backend the chosen fault set — not
+    just its diameter — must equal the sequential greedy's choice.
+    """
+
+    @SETTINGS
+    @given(
+        graph_routing_faults(),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_batched_equals_sequential_across_backends(
+        self, case, size, candidate_limit, seed
+    ):
+        from repro.faults.adversary import greedy_adversarial_fault_set
+
+        graph, routing, _faults = case
+        backends = ("bitset", "numpy") if numpy_available() else ("bitset",)
+        picks = []
+        for backend in backends:
+            for batched in (False, True):
+                index = RouteIndex(graph, routing, backend=backend)
+                fault_set = greedy_adversarial_fault_set(
+                    graph,
+                    routing,
+                    size,
+                    candidate_limit=candidate_limit,
+                    seed=seed,
+                    index=index,
+                    batched=batched,
+                )
+                picks.append(tuple(sorted(fault_set, key=repr)))
+        assert len(set(picks)) == 1
+
+    @SETTINGS
+    @given(
+        graph_routing_faults(),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_index_greedy_equals_sequential(self, case, size, seed):
+        """The index-only entry point agrees with its own sequential path."""
+        from repro.faults.adversary import greedy_fault_set_from_index
+
+        graph, routing, _faults = case
+        index = RouteIndex(graph, routing)
+        batched = greedy_fault_set_from_index(
+            index, size, candidate_limit=4, seed=seed, batched=True
+        )
+        sequential = greedy_fault_set_from_index(
+            index, size, candidate_limit=4, seed=seed, batched=False
+        )
+        assert sorted(batched, key=repr) == sorted(sequential, key=repr)

@@ -168,3 +168,74 @@ class TestCombinedBattery:
         graph, result = cycle_routing
         battery = combined_fault_sets(graph, result.routing, 1, include_greedy=False, seed=1)
         assert all(fs.description != "greedy adversarial" for fs in battery)
+
+
+class TestBatchedGreedy:
+    """The batched greedy path must reproduce the sequential one exactly."""
+
+    def test_batched_matches_sequential(self, cycle_routing):
+        graph, result = cycle_routing
+        for seed in (0, 3, 11):
+            batched = greedy_adversarial_fault_set(
+                graph, result.routing, 3, seed=seed, batched=True
+            )
+            sequential = greedy_adversarial_fault_set(
+                graph, result.routing, 3, seed=seed, batched=False
+            )
+            assert batched.nodes() == sequential.nodes()
+
+    def test_batched_matches_sequential_under_candidate_limit(self, cycle_routing):
+        graph, result = cycle_routing
+        for limit in (2, 4, 7):
+            batched = greedy_adversarial_fault_set(
+                graph, result.routing, 2, candidate_limit=limit, seed=9, batched=True
+            )
+            sequential = greedy_adversarial_fault_set(
+                graph, result.routing, 2, candidate_limit=limit, seed=9, batched=False
+            )
+            assert batched.nodes() == sequential.nodes()
+
+    def test_index_entry_point_matches_graph_entry_point_diameter(self, cycle_routing):
+        """greedy_fault_set_from_index walks the repr-sorted node pool, so
+        its picks may differ from the graph-order walk — but both must be
+        valid greedy sets of the requested size."""
+        from repro.core import RouteIndex
+        from repro.faults.adversary import greedy_fault_set_from_index
+
+        graph, result = cycle_routing
+        index = RouteIndex(graph, result.routing)
+        fault_set = greedy_fault_set_from_index(index, 2, seed=4)
+        assert len(fault_set) == 2
+        assert fault_set.nodes() <= frozenset(graph.nodes())
+
+    def test_index_entry_point_batched_matches_sequential(self, cycle_routing):
+        from repro.core import RouteIndex
+        from repro.faults.adversary import greedy_fault_set_from_index
+
+        graph, result = cycle_routing
+        index = RouteIndex(graph, result.routing)
+        for seed in (1, 6):
+            assert greedy_fault_set_from_index(
+                index, 3, seed=seed, batched=True
+            ).nodes() == greedy_fault_set_from_index(
+                index, 3, seed=seed, batched=False
+            ).nodes()
+
+    def test_combined_battery_candidate_limit_passthrough(self, cycle_routing):
+        """candidate_limit reaches the greedy member of the combined battery."""
+        graph, result = cycle_routing
+        full = combined_fault_sets(graph, result.routing, 2, seed=2)
+        limited = combined_fault_sets(
+            graph, result.routing, 2, seed=2, candidate_limit=1
+        )
+        # Non-greedy members are identical; only the greedy pick may move.
+        greedy_full = [fs for fs in full if fs.description == "greedy adversarial"]
+        greedy_limited = [
+            fs for fs in limited if fs.description == "greedy adversarial"
+        ]
+        assert len(greedy_full) <= 1 and len(greedy_limited) <= 1
+        rest_full = [fs.nodes() for fs in full if fs.description != "greedy adversarial"]
+        rest_limited = [
+            fs.nodes() for fs in limited if fs.description != "greedy adversarial"
+        ]
+        assert rest_full == rest_limited

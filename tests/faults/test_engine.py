@@ -347,3 +347,71 @@ class TestEngineSemantics:
             frozenset({2}),
         ]
         assert all(diameter >= 1 for _, diameter in profile)
+
+
+class TestGreedyAugmentation:
+    def test_adversarial_worst_case_returns_exact_diameter(self, workload):
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing)
+        diameter, fault_set = engine.adversarial_worst_case(2, seed=0)
+        assert len(fault_set) == 2
+        assert diameter == engine.index.surviving_diameter(fault_set.nodes())
+
+    def test_greedy_campaign_adds_one_battery_member(self, workload):
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing)
+        plain = engine.run_campaign(2, samples=8, seed=4)
+        augmented = engine.run_campaign(2, samples=8, seed=4, greedy=True)
+        assert plain.samples == 8
+        assert augmented.samples == 9
+        # The adversarial probe can only worsen (or match) the worst case.
+        assert augmented.max_diameter >= plain.max_diameter
+
+    def test_greedy_campaign_stamps_provenance_columns(self, workload):
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing)
+        augmented = engine.run_campaign(
+            2, samples=5, seed=1, greedy=True, candidate_limit=7
+        )
+        plain = engine.run_campaign(2, samples=5, seed=1)
+        assert augmented.candidate_limit == 7
+        assert plain.candidate_limit is None
+        assert augmented.eval_backend == engine.index.eval_backend
+        record = augmented.record()
+        assert record["candidate_limit"] == 7
+        assert record["backend"] == engine.index.eval_backend
+
+    def test_greedy_campaign_deterministic_across_workers(self, workload):
+        graph, routing = workload
+        sequential = CampaignEngine(graph, routing).run_campaign(
+            2, samples=10, seed=6, greedy=True
+        )
+        parallel = CampaignEngine(graph, routing, workers=2).run_campaign(
+            2, samples=10, seed=6, greedy=True
+        )
+        assert sequential.as_row() == parallel.as_row()
+        assert sequential.worst_fault_set == parallel.worst_fault_set
+
+    def test_greedy_sweep_passthrough(self, workload):
+        graph, routing = workload
+        engine = CampaignEngine(graph, routing)
+        campaigns = engine.sweep_fault_sizes(
+            [0, 2], samples=5, seed=3, greedy=True, candidate_limit=5
+        )
+        # Size 0 has no greedy probe (nothing to grow); size 2 does.
+        assert campaigns[0].samples == 5
+        assert campaigns[0].candidate_limit is None
+        assert campaigns[1].samples == 6
+        assert campaigns[1].candidate_limit == 5
+
+    def test_greedy_round_trips_through_record(self, workload):
+        graph, routing = workload
+        from repro.faults import CampaignResult
+
+        campaign = CampaignEngine(graph, routing).run_campaign(
+            2, samples=5, seed=2, greedy=True
+        )
+        restored = CampaignResult.from_record(campaign.record())
+        assert restored == campaign
+        assert restored.candidate_limit == campaign.candidate_limit
+        assert restored.eval_backend == campaign.eval_backend

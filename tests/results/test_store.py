@@ -152,7 +152,7 @@ class TestOpenResume:
             store.append("a", {"name": "a", "value": 1.0})
         lines = path.read_text().splitlines(keepends=True)
         manifest = json.loads(lines[0])
-        assert manifest["format"] == 3
+        assert manifest["format"] == 4
         manifest["format"] = 1
         path.write_text(
             json.dumps(manifest, sort_keys=True, separators=(",", ":"))
@@ -451,3 +451,66 @@ class TestLoad:
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(ResultStoreError, match="does not exist"):
             ResultStore.load(str(tmp_path / "nope.jsonl"), COLUMNS)
+
+
+class TestStreamingMerge:
+    """Properties specific to the streaming (scan + seek-read) merge."""
+
+    def _row(self, key, value, fingerprint="f" * 8):
+        return (
+            key,
+            {"family": "cycle", "n": 10, "strategy": "kernel",
+             "fingerprint": fingerprint, "value": value},
+        )
+
+    def test_merge_tolerates_torn_tail(self, tmp_path):
+        # Merging a crashed (torn-tail) store keeps its complete rows, the
+        # same forgiveness ResultStore.load extends.
+        path = tmp_path / "a.jsonl"
+        _group_store(path, [self._row("k#0", 1.0), self._row("k#1", 2.0)])
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text(lines[0] + lines[1] + lines[2][: len(lines[2]) // 2])
+        merged = merge_result_stores([str(path)], GROUP_COLUMNS)
+        assert merged.keys() == ("k#0",)
+
+    def test_merge_conflict_names_first_origin_store(self, tmp_path):
+        # With three stores sharing a key, a conflict in the last one is
+        # attributed to the *first* store that recorded the key.
+        _group_store(tmp_path / "a.jsonl", [self._row("k#0", 1.0)])
+        _group_store(tmp_path / "b.jsonl", [self._row("k#0", 1.0)])
+        _group_store(tmp_path / "c.jsonl", [self._row("k#0", 9.0)])
+        paths = [str(tmp_path / name) for name in ("a.jsonl", "b.jsonl", "c.jsonl")]
+        with pytest.raises(ResultStoreError, match="a.jsonl.*c.jsonl"):
+            merge_result_stores(paths, GROUP_COLUMNS)
+
+    def test_merge_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        _group_store(path, [self._row("k#0", 1.0)])
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0] + "\n{broken\n" + lines[1] + "\n")
+        with pytest.raises(ResultStoreError, match="corrupt"):
+            merge_result_stores([str(path)], GROUP_COLUMNS)
+
+    def test_merge_peak_memory_stays_below_input_payload(self, tmp_path):
+        # The point of streaming: merging two fully-overlapping stores must
+        # not materialise both as frames.  Peak allocation stays well under
+        # the total input bytes (the historical implementation loaded every
+        # store plus the merged copy — over twice the payload).
+        import tracemalloc
+
+        blob = "x" * 20_000
+        rows = [
+            (f"k#{i}", {"family": "cycle", "n": 10, "strategy": "kernel",
+                        "fingerprint": "f" * 8, "scheme": blob + str(i)})
+            for i in range(80)
+        ]
+        for name in ("a.jsonl", "b.jsonl"):
+            _group_store(tmp_path / name, rows)
+        paths = [str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")]
+        total_bytes = sum(__import__("os").path.getsize(p) for p in paths)
+        tracemalloc.start()
+        merged = merge_result_stores(paths, GROUP_COLUMNS)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(merged) == 80
+        assert peak < 0.75 * total_bytes

@@ -540,3 +540,89 @@ class TestScenarioCache:
         suite_module._cache_workload("spec-x", (None, "fp"))
         suite_module._reset_worker_cache()
         assert suite_module._SCENARIO_CACHE == {}
+
+
+class TestGreedyProbe:
+    def test_greedy_adds_one_sample_per_sizes_campaign(self):
+        plain = run_scenario_suite(SMALL_SCENARIOS, samples=6, seed=0)
+        augmented = run_scenario_suite(
+            SMALL_SCENARIOS, samples=6, seed=0, greedy=True
+        )
+        for before, after in zip(plain, augmented):
+            is_sizes_probe = (
+                "sizes:" in before.scenario and before.campaign.fault_size > 0
+            )
+            if is_sizes_probe:
+                assert after.campaign.samples == before.campaign.samples + 1
+            else:
+                # exhaustive / random-p campaigns are untouched by --greedy.
+                assert after.campaign.samples == before.campaign.samples
+
+    def test_greedy_rows_carry_candidate_limit(self):
+        rows = run_scenario_suite(
+            ["hypercube:d=3/kernel/sizes:1,2"], samples=4, seed=2,
+            greedy=True, candidate_limit=6,
+        )
+        for row in rows:
+            record = row.record()
+            assert record["candidate_limit"] == 6
+            assert record["backend"] in ("bitset", "numpy")
+        plain = run_scenario_suite(
+            ["hypercube:d=3/kernel/sizes:1,2"], samples=4, seed=2
+        )
+        for row in plain:
+            assert row.record()["candidate_limit"] is None
+
+    def test_greedy_worst_at_least_sampled_worst(self):
+        plain = run_scenario_suite(
+            ["circulant:n=12,offsets=1+2/kernel/sizes:2"], samples=5, seed=1
+        )
+        augmented = run_scenario_suite(
+            ["circulant:n=12,offsets=1+2/kernel/sizes:2"], samples=5, seed=1,
+            greedy=True,
+        )
+        assert (
+            augmented[0].campaign.max_diameter >= plain[0].campaign.max_diameter
+        )
+
+    def test_greedy_rows_deterministic_across_workers(self):
+        kwargs = dict(samples=6, seed=5, greedy=True, candidate_limit=5)
+        sequential = _rows(SMALL_SCENARIOS, **kwargs)
+        parallel = _rows(SMALL_SCENARIOS, workers=2, **kwargs)
+        assert sequential == parallel
+
+    def test_greedy_store_resume_is_byte_identical(self, tmp_path):
+        from repro.results import ResultStore
+        from repro.scenarios.suite import suite_manifest
+
+        scenarios = ["hypercube:d=3/kernel/sizes:1,2"]
+        run = suite_manifest(scenarios, 4, 3, greedy=True, candidate_limit=6)
+        full_path = tmp_path / "full.jsonl"
+        with ResultStore.open(str(full_path), run) as store:
+            run_scenario_suite(
+                scenarios, samples=4, seed=3, store=store,
+                greedy=True, candidate_limit=6,
+            )
+        # Truncate to the manifest plus the first row and resume.
+        resumed_path = tmp_path / "resumed.jsonl"
+        lines = full_path.read_text().splitlines(keepends=True)
+        resumed_path.write_text("".join(lines[:2]))
+        with ResultStore.open(str(resumed_path), run) as store:
+            run_scenario_suite(
+                scenarios, samples=4, seed=3, store=store,
+                greedy=True, candidate_limit=6,
+            )
+        assert resumed_path.read_text() == full_path.read_text()
+
+    def test_greedy_manifest_parameters_gate_resume(self, tmp_path):
+        from repro.results import ResultStore, ResultStoreError
+        from repro.scenarios.suite import suite_manifest
+
+        scenarios = ["hypercube:d=3/kernel/sizes:1"]
+        greedy_run = suite_manifest(scenarios, 4, 0, greedy=True)
+        plain_run = suite_manifest(scenarios, 4, 0)
+        assert greedy_run != plain_run
+        path = tmp_path / "store.jsonl"
+        ResultStore.open(str(path), greedy_run).close()
+        with pytest.raises(ResultStoreError, match="different .*run"):
+            ResultStore.open(str(path), plain_run)
