@@ -1,20 +1,24 @@
 #!/usr/bin/env python3
-"""Offline computation, installable tables: the deployment workflow.
+"""Offline computation, installable tables: the serving-layer deployment.
 
 The paper's premise is that routing tables are computed *once*, with as much
 offline effort as needed, and then installed on the network.  This example
-plays through that workflow end to end:
+plays through that workflow end to end against the compiled serving layer:
 
-1. an "offline planner" builds the strongest routing for the target network
-   and audits it (guarantee verification + table statistics + concentrator
-   load share);
-2. the construction is exported to JSON — the install artifact a deployment
-   system would ship to the nodes;
-3. an "operator" process loads the artifact *without access to the planner's
-   code path*, binds it to the live network, re-verifies the guarantee
-   independently, and runs traffic over it with failures injected;
-4. finally the per-node forwarding-table sizes are reported, since that is the
-   memory each router must dedicate to the scheme.
+1. an "offline planner" builds the strongest routing for the target network,
+   audits it (guarantee verification + table statistics), and **compiles** it
+   into a serving artifact — flat next-hop tables versioned on the routing
+   fingerprint (`repro compile` does the same from the shell);
+2. a "server operator" loads the artifact from disk *without access to the
+   planner's code path* — the load verifies the payload checksum and the
+   expected fingerprint — and exposes it over the asyncio JSON-lines
+   protocol (`repro serve`);
+3. "clients" connect with the thin :class:`repro.serving.ServingClient` and
+   query next hops, full routes and the surviving diameter;
+4. the operator **fails a node live**: one incremental delta on the server
+   (no recompilation, no restart), a generation bump, and every following
+   query answers for the degraded network — then the node is restored and
+   service returns to the fault-free tables.
 
 Run with::
 
@@ -23,29 +27,24 @@ Run with::
 
 from __future__ import annotations
 
+import asyncio
 import os
 import tempfile
 
 from repro.analysis import format_table
-from repro.core import (
-    build_routing,
-    per_node_table_sizes,
-    routing_statistics,
-    concentrator_load_share,
-    verify_construction,
-)
+from repro.core import build_routing, routing_statistics, verify_construction
 from repro.graphs import generators
-from repro.network import NetworkSimulator, ChecksumService
-from repro.serialization import (
-    construction_from_dict,
-    construction_to_dict,
-    load_json,
-    save_json,
+from repro.serving import (
+    RoutingTableServer,
+    ServingClient,
+    ServingEngine,
+    compile_routing_artifact,
+    load_artifact,
 )
 
 
-def plan_and_export(path: str) -> None:
-    """The offline planner: build, audit, export."""
+def plan_and_compile(path: str) -> str:
+    """The offline planner: build, audit, compile.  Returns the fingerprint."""
     graph = generators.circulant_graph(18, [1, 2])
     result = build_routing(graph, strategy="kernel+clique")
     print("--- offline planner ---")
@@ -56,61 +55,94 @@ def plan_and_export(path: str) -> None:
     print()
     print(f"verification        : {report}")
     print(format_table([stats.as_row()], caption="route-table statistics"))
-    print(f"concentrator share  : {concentrator_load_share(result.routing, result.concentrator):.0%}")
 
-    save_json(construction_to_dict(result), path)
-    print(f"\ninstall artifact written to {path} ({os.path.getsize(path)} bytes)")
+    artifact = compile_routing_artifact(graph, result.routing, scheme=result.scheme)
+    artifact.save(path)
+    print(f"\n{artifact.describe()}")
+    print(f"serving artifact written to {path} ({os.path.getsize(path)} bytes)")
+    return artifact.fingerprint
 
 
-def load_and_operate(path: str) -> None:
-    """The operator: load the artifact, re-verify, run traffic with failures."""
-    print("\n--- operator ---")
-    document = load_json(path)
-    result = construction_from_dict(document)
-    print(f"loaded scheme       : {result.scheme}, guarantee {result.guarantee}")
-    print(f"routes loaded       : {len(result.routing)}")
+async def serve_and_query(path: str, fingerprint: str) -> None:
+    """The operator + clients: load (verified), serve, query, fail, re-query."""
+    print("\n--- server operator ---")
+    # The load checks the payload checksum unconditionally and refuses the
+    # artifact unless it was compiled from the expected routing (this is
+    # what `repro serve --artifact ... --graph ...` does).
+    artifact = load_artifact(path, expect_fingerprint=fingerprint)
+    engine = ServingEngine(artifact)
+    server = RoutingTableServer(engine)
+    await server.start()
+    host, port = server.address
+    print(f"loaded + verified   : {artifact.describe()}")
+    print(f"serving on          : {host}:{port}")
 
-    # Independent re-verification from the artifact alone.
-    report = verify_construction(result)
-    print(f"re-verification     : {report}")
+    print("\n--- clients ---")
+    async with await ServingClient.connect(host, port) as client:
+        info = await client.info()
+        print(f"server info         : n={info['n']}, scheme={info['scheme']!r}, "
+              f"backend={info['backend']}")
 
-    # Run traffic with a concentrator member failed.
-    graph = result.graph
-    simulator = NetworkSimulator(graph, result.routing, service=ChecksumService())
-    victim = result.concentrator[0]
-    simulator.fail_node(victim)
-    rows = []
-    nodes = [node for node in graph.nodes() if node != victim]
-    for origin, destination in zip(nodes[:6], reversed(nodes[-6:])):
-        if origin == destination:
-            continue
-        receipt = simulator.send(origin, destination, f"{origin}->{destination}")
-        rows.append(
-            {
-                "from": origin,
-                "to": destination,
-                "delivered": "yes" if receipt.delivered else "NO",
-                "route_segments": receipt.routes_used,
-            }
-        )
-    print(format_table(rows, caption=f"traffic with concentrator node {victim!r} failed"))
+        probes = [(0, 9), (3, 12), (17, 5), (8, 2)]
+        rows = []
+        for source, target in probes:
+            hop = await client.next_hop(source, target)
+            route = await client.route(source, target)
+            rows.append({
+                "pair": f"{source}->{target}",
+                "next hop": hop,
+                "route": "-".join(str(n) for n in route) if route else "(none)",
+            })
+        print(format_table(rows, caption="fault-free forwarding queries"))
+        diameter = await client.diameter()
+        print(f"surviving diameter  : {diameter:g} (generation "
+              f"{client.last_generation})")
 
-    # Per-node forwarding table sizes (the memory cost of the scheme).
-    sizes = per_node_table_sizes(result.routing)
-    largest = sorted(sizes.items(), key=lambda item: -item[1])[:5]
-    print(
-        format_table(
-            [{"node": node, "stored_routes": count} for node, count in largest],
-            caption="largest per-node forwarding tables",
-        )
-    )
+        # --- live fault injection: one delta, no restart -------------
+        victim = 9
+        generation = await client.fail(victim)
+        print(f"\nnode {victim} failed       : generation "
+              f"{client.last_generation - 1} -> {generation}")
+        rows = []
+        for source, target in probes:
+            hop = await client.next_hop(source, target)
+            reachable = await client.reachable(source, target)
+            rows.append({
+                "pair": f"{source}->{target}",
+                "next hop": "(no route)" if hop is None else hop,
+                "reachable": "yes" if reachable else "NO",
+            })
+        print(format_table(rows, caption=f"queries with node {victim} failed"))
+        degraded = await client.diameter()
+        note = "disconnected" if degraded == float("inf") else f"{degraded:g}"
+        print(f"degraded diameter   : {note}")
+
+        # Batched queries answer against one consistent snapshot.
+        nodes = [node for node in range(18) if node != victim]
+        pairs = [(s, d) for s in nodes[:6] for d in nodes[-6:] if s != d]
+        hops = await client.batch_next_hop(pairs)
+        served = sum(1 for hop in hops if hop is not None)
+        print(f"batch of {len(pairs)} queries  : {served} routed, "
+              f"{len(pairs) - served} without a surviving route")
+
+        # --- restore: the flap lands back on the cached fault state --
+        await client.restore(victim)
+        restored = await client.diameter()
+        print(f"node {victim} restored     : diameter back to {restored:g} "
+              f"(generation {client.last_generation})")
+
+    stats = engine.stats()
+    print(f"\nengine stats        : {stats['queries']} queries, "
+          f"{stats['cursor_lru_hits']} cursor-cache hits, "
+          f"generation {stats['generation']}")
+    await server.stop()
 
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as workdir:
-        artifact = os.path.join(workdir, "routing-install.json")
-        plan_and_export(artifact)
-        load_and_operate(artifact)
+        path = os.path.join(workdir, "routing.repart")
+        fingerprint = plan_and_compile(path)
+        asyncio.run(serve_and_query(path, fingerprint))
 
 
 if __name__ == "__main__":

@@ -36,6 +36,15 @@ driven without writing Python:
 * ``python -m repro salvage results.jsonl`` repairs a store torn by a
   writer killed mid-append: the truncated tail moves into the
   ``.quarantine`` sidecar and the sweep resumes from the last complete row;
+* ``python -m repro compile --graph cycle:24 --strategy auto --output r.repart``
+  builds a routing and lowers it into a compiled serving artifact (flat
+  next-hop tables, versioned on the routing fingerprint);
+* ``python -m repro serve --artifact r.repart --port 7411``
+  serves a compiled artifact over the JSON-lines protocol (asyncio, live
+  ``fail``/``restore`` fault updates); with ``--graph`` the server rebuilds
+  the construction and **refuses** an artifact whose compiled fingerprint
+  does not match it (``--expect-fingerprint`` checks against an explicit
+  value instead);
 * ``python -m repro graphs`` / ``python -m repro scenarios``
   list the registered graph families and the scenario/grid grammar
   (``repro scenarios --family hyper`` filters the listing).
@@ -510,6 +519,94 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Run ``repro compile``: build a routing and write its serving artifact."""
+    from repro.serving import compile_routing_artifact
+
+    graph, result = _build(args)
+    artifact = compile_routing_artifact(
+        graph,
+        result.routing,
+        scheme=result.scheme,
+        backend=args.eval_backend,
+    )
+    artifact.save(args.output)
+    print(result.describe())
+    print()
+    print(artifact.describe())
+    print(f"artifact written to {args.output}")
+    print(f"fingerprint: {artifact.fingerprint}")
+    return 0
+
+
+def _load_serve_artifact(args: argparse.Namespace):
+    """Resolve ``repro serve`` inputs into a verified artifact."""
+    from repro.serving import compile_routing_artifact, load_artifact
+
+    if args.artifact:
+        expected = args.expect_fingerprint
+        if args.graph:
+            # Rebuild the construction and hold the artifact to its
+            # fingerprint: serving a stale artifact for a graph would
+            # silently answer for a different routing.
+            _graph, result = _build(args)
+            expected = result.routing.fingerprint()
+        return load_artifact(args.artifact, expect_fingerprint=expected)
+    if not args.graph:
+        raise ValueError("one of --artifact or --graph is required")
+    graph, result = _build(args)
+    return compile_routing_artifact(
+        graph, result.routing, scheme=result.scheme, backend=args.eval_backend
+    )
+
+
+async def _serve_async(args: argparse.Namespace, artifact) -> int:
+    import asyncio
+
+    from repro.serving import RoutingTableServer, ServingClient, ServingEngine
+
+    engine = ServingEngine(
+        artifact, backend=args.eval_backend, cursor_lru=args.cursor_lru
+    )
+    server = RoutingTableServer(engine, host=args.host, port=args.port)
+    await server.start()
+    host, port = server.address
+    print(artifact.describe())
+    print(f"serving on {host}:{port} (backend: {engine.index.eval_backend})")
+    if args.probe:
+        # Self-check mode (CI smoke): one client round trip, then exit.
+        client = await ServingClient.connect(host, port)
+        async with client:
+            assert await client.ping() == "pong"
+            info = await client.info()
+            diameter = await client.diameter()
+        await server.stop()
+        print(
+            f"probe ok: fingerprint {info['fingerprint'][:12]}…, "
+            f"fault-free diameter {diameter:g}"
+        )
+        return 0
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run ``repro serve``: expose an artifact over the JSON-lines protocol."""
+    import asyncio
+
+    artifact = _load_serve_artifact(args)
+    try:
+        return asyncio.run(_serve_async(args, artifact))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("\nserver stopped")
+        return 0
+
+
 def _cmd_salvage(args: argparse.Namespace) -> int:
     """Run ``repro salvage``: repair a torn result store in place.
 
@@ -902,6 +999,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub_salvage.add_argument("path", metavar="PATH", help="JSONL result store to repair")
     sub_salvage.set_defaults(handler=_cmd_salvage)
+
+    sub_compile = subparsers.add_parser(
+        "compile",
+        help="compile a routing into a serving artifact (flat next-hop tables)",
+        epilog=(
+            "examples:\n"
+            "  repro compile --graph hypercube:d=5 --strategy kernel \\\n"
+            "                --output hyper5.repart\n"
+            "the artifact holds flat next-hop/route tables plus the packed\n"
+            "evaluation state, versioned on the routing fingerprint; serve it\n"
+            "with `repro serve --artifact hyper5.repart`."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_common(sub_compile)
+    sub_compile.add_argument(
+        "--output", required=True, metavar="PATH",
+        help="write the compiled artifact to this file",
+    )
+    sub_compile.add_argument(
+        "--eval-backend",
+        choices=["bitset", "numpy", "auto"],
+        default=None,
+        help="evaluation backend recorded in the artifact (default: env/auto)",
+    )
+    sub_compile.set_defaults(handler=_cmd_compile)
+
+    sub_serve = subparsers.add_parser(
+        "serve",
+        help="serve a compiled routing artifact (asyncio JSON-lines protocol)",
+        epilog=(
+            "examples:\n"
+            "  repro serve --artifact hyper5.repart --port 7411\n"
+            "  repro serve --graph cycle:24 --strategy auto    # compile in-process\n"
+            "  repro serve --artifact hyper5.repart --graph hypercube:d=5 \\\n"
+            "              --strategy kernel    # verify fingerprint, then serve\n"
+            "with both --artifact and --graph the construction is rebuilt and\n"
+            "the artifact is refused unless its compiled fingerprint matches;\n"
+            "--expect-fingerprint checks against an explicit value instead.\n"
+            "--probe starts the server, runs one self-query round trip and\n"
+            "exits (CI smoke)."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_common(sub_serve, graph_required=False)
+    sub_serve.add_argument(
+        "--artifact", default=None, metavar="PATH",
+        help="compiled artifact to serve (from `repro compile`)",
+    )
+    sub_serve.add_argument(
+        "--expect-fingerprint", default=None, metavar="SHA256",
+        help="refuse the artifact unless its compiled fingerprint equals this",
+    )
+    sub_serve.add_argument("--host", default="127.0.0.1")
+    sub_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    sub_serve.add_argument(
+        "--eval-backend",
+        choices=["bitset", "numpy", "auto"],
+        default=None,
+        help="override the artifact's evaluation backend for this server",
+    )
+    sub_serve.add_argument(
+        "--cursor-lru", type=int, default=128, metavar="N",
+        help="hot fault-set cursor cache size (default: 128)",
+    )
+    sub_serve.add_argument(
+        "--probe",
+        action="store_true",
+        help="start, self-query once (ping/info/diameter), then exit",
+    )
+    sub_serve.set_defaults(handler=_cmd_serve)
 
     sub_graphs = subparsers.add_parser("graphs", help="list available graph families")
     sub_graphs.set_defaults(handler=_cmd_graphs)

@@ -445,6 +445,96 @@ class RouteIndex:
             return STRATEGY_BATCHED
         return STRATEGY_PER_SOURCE
 
+    # ------------------------------------------------------------------
+    # Artifact export (serving layer)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Return the index's evaluation state as plain Python structures.
+
+        The export hook behind :mod:`repro.serving.artifact`: everything the
+        evaluation surface needs — node labels in id order, the base
+        adjacency/predecessor rows, the per-node kill masks (or the
+        multirouting pair tables) and the resolved tunables — as ints,
+        tuples, lists and dicts only, so a compiler can lay the state out in
+        any on-disk format without touching the graph or routing objects.
+        :meth:`from_state` reconstructs an evaluation-equivalent index from
+        the returned mapping.
+        """
+        state: Dict[str, object] = {
+            "nodes": tuple(self._nodes),
+            "multi": self._multi,
+            "base_rows": list(self._base_rows),
+            "base_preds": list(self._base_preds),
+            "density_threshold": self._density_threshold,
+            "backend": self._backend,
+        }
+        if self._multi:
+            # Insertion order of ``_pair_routes`` is part of the identity
+            # (parallel routes are tried in stored order); keep it.
+            state["pair_routes"] = {
+                pair: tuple(masks) for pair, masks in self._pair_routes.items()
+            }
+        else:
+            state["kill_rows"] = [dict(kill) for kill in self._kill_rows]
+        return state
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, object], backend: Optional[str] = None
+    ) -> "RouteIndex":
+        """Rebuild an evaluation-only index from :meth:`export_state` output.
+
+        The result is equivalent to :meth:`slim`'s graph-free form: the whole
+        evaluation surface works (diameters, cursors, batches, every
+        backend), while :meth:`matches` is always ``False`` and the lazy set
+        kernel is unavailable.  ``backend`` overrides the exported backend
+        (resolved in *this* process, e.g. to honour a server's
+        ``--eval-backend`` flag against an artifact compiled elsewhere).
+        """
+        index = object.__new__(cls)
+        index.graph = None
+        index.routing = None
+        index._density_threshold = int(state["density_threshold"])
+        index._backend = (
+            _resolve_eval_backend(backend)
+            if backend is not None
+            else str(state["backend"])
+        )
+        index._np_kernel = None
+        index._set_kernel = None
+        nodes = tuple(state["nodes"])
+        index._nodes = nodes
+        index._node_set = frozenset(nodes)
+        index._id_of = {node: position for position, node in enumerate(nodes)}
+        n = len(nodes)
+        index._n = n
+        index._full_mask = (1 << n) - 1
+        index._base_rows = [int(row) for row in state["base_rows"]]
+        index._base_preds = [int(row) for row in state["base_preds"]]
+        index._multi = bool(state["multi"])
+        if index._multi:
+            index._kill_rows = []
+            index._pair_routes = {
+                (int(sid), int(tid)): tuple(int(mask) for mask in masks)
+                for (sid, tid), masks in state["pair_routes"].items()
+            }
+            pairs_through: Dict[int, Set[IdPair]] = {}
+            for pair, masks in index._pair_routes.items():
+                through = 0
+                for mask in masks:
+                    through |= mask
+                for nid in _mask_ids(through):
+                    pairs_through.setdefault(nid, set()).add(pair)
+            index._pairs_through = pairs_through
+        else:
+            index._kill_rows = [
+                {int(sid): int(mask) for sid, mask in kill.items()}
+                for kill in state["kill_rows"]
+            ]
+            index._pairs_through = {}
+            index._pair_routes = {}
+        return index
+
     def slim(self) -> "RouteIndex":
         """Return an evaluation-only copy without the graph and routing.
 
@@ -786,6 +876,8 @@ class EvalCursor:
         "_lower_bound",
         "_capped_unreached",
         "_sibling_bounds",
+        "_fault_ids",
+        "_faults_view",
     )
 
     def __init__(
@@ -829,18 +921,31 @@ class EvalCursor:
         # bound learned in one greedy round to the next round's candidates
         # instead of discarding it with the losing sibling cursor.
         self._sibling_bounds: Optional[Dict[int, Tuple[int, int, int]]] = None
+        # Lazily computed views of the fault mask, cached because serving
+        # workloads fire many identical queries at one cursor: the sorted
+        # fault-id list every numpy evaluation needs, and the label
+        # frozenset the ``faults`` property hands out.  Rebuilding either
+        # per query is pure allocation churn — the mask never changes.
+        self._fault_ids: Optional[List[int]] = None
+        self._faults_view: Optional[FrozenSet[Node]] = None
 
     @property
     def faults(self) -> FrozenSet[Node]:
-        """The cursor's fault set, in original node labels."""
-        nodes = self._index._nodes
-        result = set()
-        remaining = self._fault_mask
-        while remaining:
-            bit = remaining & -remaining
-            result.add(nodes[bit.bit_length() - 1])
-            remaining ^= bit
-        return frozenset(result)
+        """The cursor's fault set, in original node labels (cached)."""
+        view = self._faults_view
+        if view is None:
+            nodes = self._index._nodes
+            view = self._faults_view = frozenset(
+                nodes[nid] for nid in self._fault_id_list()
+            )
+        return view
+
+    def _fault_id_list(self) -> List[int]:
+        """The cursor's fault ids, ascending — computed once per cursor."""
+        ids = self._fault_ids
+        if ids is None:
+            ids = self._fault_ids = _mask_ids(self._fault_mask)
+        return ids
 
     def _materialise_rows(self) -> List[int]:
         """Resolve (and cache) the cursor's masked adjacency rows.
@@ -940,7 +1045,7 @@ class EvalCursor:
             kernel = index._ensure_np_kernel()
             if kernel is not None:
                 value, witness, capped = kernel.diameter_witness(
-                    _mask_ids(self._fault_mask), cap
+                    self._fault_id_list(), cap
                 )
                 return value, witness, capped
         return _rows_diameter_witness(
@@ -978,6 +1083,8 @@ class EvalCursor:
             twin._unreached = self._unreached
             twin._lower_bound = self._lower_bound
             twin._capped_unreached = self._capped_unreached
+            twin._fault_ids = self._fault_ids
+            twin._faults_view = self._faults_view
             if self._sibling_bounds:
                 # Same fault set, so every sibling bound applies verbatim —
                 # but copy the store so memoising on the twin never mutates

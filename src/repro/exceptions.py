@@ -66,6 +66,19 @@ class FaultModelError(ReproError):
     """Errors in fault-set specification (e.g. faulting a missing node)."""
 
 
+class ServingError(ReproError):
+    """Errors raised by the compiled routing-table serving layer."""
+
+
+class ArtifactError(ServingError):
+    """A compiled routing artifact cannot be written, read or trusted.
+
+    Raised on malformed files, format-version mismatches, payload checksum
+    failures (tampering or torn writes) and routing-fingerprint mismatches
+    between an artifact and the construction it claims to serve.
+    """
+
+
 class SimulationError(ReproError):
     """Errors raised by the discrete-event network simulator."""
 

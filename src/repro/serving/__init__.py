@@ -1,0 +1,31 @@
+"""Compiled routing-table serving layer.
+
+The offline pipeline builds a routing once, with as much effort as needed;
+this package turns the result into something that can *serve*: a compact,
+immutable, versioned artifact of flat next-hop tables (:mod:`.artifact`), a
+query engine answering next-hop / route / reachability / surviving-diameter
+queries against it at memory-bandwidth speed with incremental live fault
+updates (:mod:`.engine`), and an asyncio front end multiplexing concurrent
+clients over one engine (:mod:`.server`, :mod:`.client`).
+"""
+
+from repro.serving.artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    RoutingArtifact,
+    compile_routing_artifact,
+    load_artifact,
+)
+from repro.serving.client import ServingClient
+from repro.serving.engine import EngineView, ServingEngine
+from repro.serving.server import RoutingTableServer
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "RoutingArtifact",
+    "compile_routing_artifact",
+    "load_artifact",
+    "ServingEngine",
+    "EngineView",
+    "RoutingTableServer",
+    "ServingClient",
+]

@@ -460,3 +460,77 @@ class TestReportCommand:
     def test_report_missing_store(self, capsys):
         assert main(["report", "--store", "/nonexistent/rows.jsonl"]) == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestServingCommands:
+    def _compiled(self, tmp_path, capsys):
+        target = str(tmp_path / "routing.repart")
+        code = main(
+            ["compile", "--graph", "circulant:12,1,2", "--strategy", "kernel",
+             "--output", target]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        return target, output
+
+    def test_compile_writes_artifact(self, tmp_path, capsys):
+        target, output = self._compiled(tmp_path, capsys)
+        assert "fingerprint" in output
+        from repro.serving import load_artifact
+
+        artifact = load_artifact(target)
+        assert artifact.n == 12
+        assert artifact.scheme == "kernel"
+
+    def test_serve_probe_from_artifact(self, tmp_path, capsys):
+        target, _ = self._compiled(tmp_path, capsys)
+        assert main(["serve", "--artifact", target, "--probe"]) == 0
+        output = capsys.readouterr().out
+        assert "serving on" in output
+        assert "probe ok" in output
+
+    def test_serve_probe_compiling_in_process(self, capsys):
+        code = main(
+            ["serve", "--graph", "circulant:10,1,2", "--strategy", "kernel",
+             "--probe"]
+        )
+        assert code == 0
+        assert "probe ok" in capsys.readouterr().out
+
+    def test_serve_refuses_fingerprint_mismatch(self, tmp_path, capsys):
+        target, _ = self._compiled(tmp_path, capsys)
+        code = main(
+            ["serve", "--artifact", target,
+             "--expect-fingerprint", "0" * 64, "--probe"]
+        )
+        assert code == 2
+        assert "fingerprint" in capsys.readouterr().err
+
+    def test_serve_refuses_artifact_for_different_graph(self, tmp_path, capsys):
+        # Rebuilding from --graph pins the expected fingerprint: serving a
+        # stale artifact against a changed network must fail loudly.
+        target, _ = self._compiled(tmp_path, capsys)
+        code = main(
+            ["serve", "--artifact", target, "--graph", "cycle:8",
+             "--strategy", "kernel", "--probe"]
+        )
+        assert code == 2
+        assert "fingerprint" in capsys.readouterr().err
+
+    def test_serve_accepts_matching_expectation(self, tmp_path, capsys):
+        target, output = self._compiled(tmp_path, capsys)
+        fingerprint = next(
+            line.split()[-1]
+            for line in output.splitlines()
+            if line.startswith("fingerprint:")
+        )
+        code = main(
+            ["serve", "--artifact", target,
+             "--expect-fingerprint", fingerprint, "--probe"]
+        )
+        assert code == 0
+        assert "probe ok" in capsys.readouterr().out
+
+    def test_serve_without_graph_or_artifact(self, capsys):
+        assert main(["serve", "--probe"]) == 2
+        assert "error" in capsys.readouterr().err

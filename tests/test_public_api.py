@@ -23,6 +23,7 @@ PUBLIC_SUBPACKAGES = [
     "repro.runtime",
     "repro.scenarios",
     "repro.serialization",
+    "repro.serving",
     "repro.cli",
 ]
 
@@ -82,6 +83,8 @@ class TestConstructionRegistry:
         assert issubclass(exceptions.ConstructionError, exceptions.RoutingError)
         assert issubclass(exceptions.PropertyNotSatisfiedError, exceptions.ConstructionError)
         assert issubclass(exceptions.FaultModelError, exceptions.ReproError)
+        assert issubclass(exceptions.ServingError, exceptions.ReproError)
+        assert issubclass(exceptions.ArtifactError, exceptions.ServingError)
         assert issubclass(exceptions.SimulationError, exceptions.ReproError)
         assert issubclass(exceptions.DeliveryError, exceptions.SimulationError)
         assert issubclass(exceptions.NodeNotFoundError, KeyError)
