@@ -1,0 +1,495 @@
+"""Traffic-engine benchmark: the slotted event engine under a message storm.
+
+Four claims are measured; the first two are enforced as CI gates:
+
+1. **The slotted engine sustains >= 1e5 processed events/sec** on the
+   200-node battery workload (uniform traffic over a circulant kernel
+   routing, endpoint services on, every hop a scheduled event).  The rate
+   counts *engine-processed events* — injects, endpoint-service steps,
+   link-hop arrivals — against wall clock for the whole run.
+
+2. **The event-driven engine beats the legacy per-hop loop >= 5x** on the
+   same workload.  The baseline is a faithful port of the pre-refactor
+   simulator (float-keyed binary-heap queue, ``lambda: None`` placeholder
+   events, an ``events.run()`` after every hop, a fresh BFS plan per
+   message); the engine runs the identical message list through the
+   slotted queue with per-origin plan caching.  Both deliver the same
+   messages over the same routing.
+
+3. **Null-model parity** (correctness leg, hard failure): with unlimited
+   link capacity and zero queueing the engine's receipts match the legacy
+   loop's exactly — delivered flag, routes used, hop counts, failure
+   reasons — and delivered latency obeys the serial cost model
+   ``hops * hop_latency + 2 * segments * service.cost`` in exact ticks.
+   (The legacy loop's *latency* numbers are not compared: its mid-send
+   queue drains overlapped adjacent endpoint steps and mis-clocked
+   failure receipts — the bugs this refactor fixed.)
+
+4. **Determinism** (correctness leg, hard failure): two fresh
+   ``run_traffic`` invocations of the battery produce identical result
+   records, byte-for-byte as JSON.  (Cross-process / hash-seed identity
+   is pinned by the ``traffic-smoke`` CI job and the test suite.)
+
+Results are persisted to ``BENCH_traffic.json`` at the repo root.
+
+Run directly (no pytest needed)::
+
+    python benchmarks/bench_traffic.py          # full battery (200 nodes)
+    python benchmarks/bench_traffic.py --quick  # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import heapq
+import itertools
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # allow running as a plain script from anywhere
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.core import build_routing
+from repro.core.routing import MultiRouting
+from repro.core.surviving import surviving_route_graph
+from repro.exceptions import DeliveryError, SimulationError
+from repro.graphs import generators
+from repro.graphs.traversal import bfs_tree
+from repro.network import (
+    LinkSpec,
+    NetworkSimulator,
+    NullService,
+    Workload,
+    XorEncryptionService,
+    run_traffic,
+)
+from repro.network.messages import Message
+from repro.network.node import NetworkNode
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_DEFAULT_JSON = os.path.join(_REPO_ROOT, "BENCH_traffic.json")
+
+#: The battery network: the same 200-node circulant the serving and
+#: scenario benchmarks stress.
+_BATTERY_N = 200
+
+
+# ----------------------------------------------------------------------
+# Legacy baseline: a faithful port of the pre-refactor per-hop loop
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(order=True)
+class _LegacyEvent:
+    time: float
+    sequence: int
+    callback: object = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+
+class _LegacyEventQueue:
+    """The old float-keyed binary-heap queue (O(n) length scans and all)."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, delay, callback):
+        event = _LegacyEvent(self.now + delay, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self):
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.processed += 1
+            event.callback()
+
+
+class _LegacySimulator:
+    """The pre-refactor simulator: placeholder events, run() per hop, no caches."""
+
+    def __init__(self, graph, routing, service, hop_latency=0.1):
+        self.graph = graph
+        self.routing = routing
+        self.service = service
+        self.hop_latency = hop_latency
+        self.events = _LegacyEventQueue()
+        self.nodes = {node: NetworkNode(node) for node in graph.nodes()}
+        self._surviving_cache = None
+
+    def fail_nodes(self, node_ids):
+        for node_id in node_ids:
+            self.nodes[node_id].fail()
+        self._surviving_cache = None
+
+    def failed_nodes(self):
+        return [node_id for node_id, node in self.nodes.items() if not node.alive]
+
+    def surviving_graph(self):
+        if self._surviving_cache is None:
+            self._surviving_cache = surviving_route_graph(
+                self.graph, self.routing, self.failed_nodes()
+            )
+        return self._surviving_cache
+
+    def plan_route_sequence(self, origin, destination):
+        surviving = self.surviving_graph()
+        if not surviving.has_node(origin):
+            raise DeliveryError(f"origin {origin!r} is failed or unknown")
+        if not surviving.has_node(destination):
+            raise DeliveryError(f"destination {destination!r} is failed or unknown")
+        if origin == destination:
+            return []
+        parents = bfs_tree(surviving, origin)  # a fresh BFS per message
+        if destination not in parents:
+            raise DeliveryError(
+                f"no sequence of surviving routes connects {origin!r} to {destination!r}"
+            )
+        chain = [destination]
+        while chain[-1] != origin:
+            chain.append(parents[chain[-1]])
+        chain.reverse()
+        return list(zip(chain, chain[1:]))
+
+    def _segment_path(self, source, target):
+        failed = set(self.failed_nodes())
+        if isinstance(self.routing, MultiRouting):
+            for path in self.routing.get_routes(source, target):
+                if not any(node in failed for node in path):
+                    return tuple(path)
+            raise DeliveryError(f"all parallel routes {source!r}->{target!r} are faulty")
+        path = self.routing.get_route(source, target)
+        if path is None or any(node in failed for node in path):
+            raise DeliveryError(f"route {source!r}->{target!r} is missing or faulty")
+        return tuple(path)
+
+    def send(self, origin, destination, payload):
+        message = Message(origin=origin, final_destination=destination, payload=payload)
+        message.trace.append(origin)
+        try:
+            plan = self.plan_route_sequence(origin, destination)
+        except DeliveryError as exc:
+            return (False, 0, 0, str(exc))
+        hops = 0
+        current_payload = payload
+        try:
+            for segment_source, segment_target in plan:
+                path = self._segment_path(segment_source, segment_target)
+                wire_payload = self.service.on_send(
+                    current_payload, segment_source, segment_target
+                )
+                self.events.schedule(self.service.cost, lambda: None)
+                message.payload = wire_payload
+                message.attach_route(path)
+                hops += self._run_segment(message)
+                current_payload = self.service.on_receive(
+                    wire_payload, segment_source, segment_target
+                )
+                self.events.schedule(self.service.cost, lambda: None)
+            self.events.run()
+        except (SimulationError, DeliveryError) as exc:
+            return (False, message.route_counter, hops, str(exc))
+        self.nodes[destination].deliver(message, current_payload)
+        return (True, message.route_counter, hops, "")
+
+    def _run_segment(self, message):
+        hops = 0
+        while True:
+            current = self.nodes[message.current_node]
+            next_node = current.forward(message)
+            if next_node is None:
+                return hops
+            self.events.schedule(self.hop_latency, lambda: None)
+            self.events.run()  # the per-hop drain the refactor removed
+            if not self.nodes[next_node].alive:
+                raise SimulationError(
+                    f"message {message.message_id} reached failed node {next_node!r}"
+                )
+            message.advance()
+            hops += 1
+
+
+# ----------------------------------------------------------------------
+# Batteries
+# ----------------------------------------------------------------------
+def _build_battery(n):
+    graph = generators.circulant_graph(n, [1, 2])
+    result = build_routing(graph, strategy="kernel")
+    return graph, result
+
+
+def _battery_workload(quick):
+    return Workload(
+        kind="uniform", messages=400 if quick else 2000, duration=500
+    )
+
+
+def _bench_engine_rate(quick):
+    """Gate 1: >= 1e5 processed events/sec on the battery workload.
+
+    The battery runs with link capacity on, so every hop is a scheduled
+    event through a transmission queue — the heaviest per-event load the
+    engine serves.
+    """
+    n = _BATTERY_N
+    graph, result = _build_battery(n)
+    workload = _battery_workload(quick)
+    simulator = NetworkSimulator(
+        graph,
+        result.routing,
+        service=XorEncryptionService(),
+        hop_latency=0.1,
+        link=LinkSpec(capacity=8),
+    )
+    delivered = 0
+
+    def _count(receipt):
+        nonlocal delivered
+        delivered += receipt.delivered
+
+    injected = 0
+    for tick, origin, destination in workload.injections(graph.nodes(), 13):
+        simulator.inject(origin, destination, None, delay=tick, on_complete=_count)
+        injected += 1
+    start = time.perf_counter()
+    simulator.events.run()
+    elapsed = time.perf_counter() - start
+    events = simulator.events.processed
+    rate = events / elapsed if elapsed else float("inf")
+    within_gate = rate >= 1e5
+    print(
+        f"engine-rate gate [circulant n={n}, {workload.messages} messages, "
+        f"capacity=8]: {events:,} events in {elapsed:.3f}s -> "
+        f"{rate:,.0f} events/s "
+        f"({delivered}/{injected} delivered; gate "
+        f"{'ok' if within_gate else 'MISSED'})"
+    )
+    return {
+        "n": n,
+        "messages": workload.messages,
+        "events": events,
+        "engine_s": round(elapsed, 4),
+        "events_per_sec": round(rate),
+        "delivered": delivered,
+        "injected": injected,
+        "within_gate": within_gate,
+    }
+
+
+def _bench_vs_legacy(quick):
+    """Gate 2: the event engine >= 5x the legacy per-hop loop.
+
+    Always the full 2000-message battery: the engine's plan cache (one BFS
+    per origin instead of one per message) needs a steady-state message
+    volume to show, and the legacy loop still finishes in under a second.
+    """
+    n = _BATTERY_N
+    graph, result = _build_battery(n)
+    workload = _battery_workload(quick=False)
+    nodes = graph.nodes()
+    static_faults = [nodes[n // 4], nodes[(3 * n) // 4]]
+    pairs = [
+        (origin, destination)
+        for _tick, origin, destination in workload.injections(nodes, 13)
+    ]
+
+    # Null service on both sides: the gate measures the delivery engine,
+    # not the (identical) endpoint crypto work.
+    legacy = _LegacySimulator(graph, result.routing, NullService(), hop_latency=0.1)
+    legacy.fail_nodes(static_faults)
+    start = time.perf_counter()
+    legacy_outcomes = [legacy.send(o, d, None) for o, d in pairs]
+    legacy_seconds = time.perf_counter() - start
+
+    engine = NetworkSimulator(
+        graph, result.routing, service=NullService(), hop_latency=0.1
+    )
+    engine.fail_nodes(static_faults)
+    receipts = [None] * len(pairs)
+    for index, (origin, destination) in enumerate(pairs):
+        engine.inject(
+            origin,
+            destination,
+            None,
+            on_complete=lambda receipt, index=index: receipts.__setitem__(
+                index, receipt
+            ),
+        )
+    start = time.perf_counter()
+    engine.events.run()
+    engine_seconds = time.perf_counter() - start
+
+    engine_outcomes = [
+        (r.delivered, r.routes_used, r.hops, r.failure_reason) for r in receipts
+    ]
+    identical = engine_outcomes == legacy_outcomes
+    speedup = legacy_seconds / engine_seconds if engine_seconds else float("inf")
+    within_gate = speedup >= 5.0 and identical
+    print(
+        f"legacy gate [circulant n={n}, {len(pairs)} messages, "
+        f"{len(static_faults)} static faults]: per-hop loop "
+        f"{legacy_seconds:.3f}s vs event engine {engine_seconds:.3f}s -> "
+        f"{speedup:.1f}x (outcomes "
+        f"{'identical' if identical else 'DIVERGE'}, gate "
+        f"{'ok' if within_gate else 'MISSED'})"
+    )
+    return {
+        "n": n,
+        "messages": len(pairs),
+        "static_faults": len(static_faults),
+        "legacy_s": round(legacy_seconds, 4),
+        "engine_s": round(engine_seconds, 4),
+        "speedup": round(speedup, 2),
+        "outcomes_identical": identical,
+        "within_gate": within_gate,
+    }
+
+
+def _bench_null_model_parity(quick):
+    """Leg 3: null-link receipts match the legacy loop field-for-field."""
+    n = 40 if quick else 60
+    graph, result = _build_battery(n)
+    nodes = graph.nodes()
+    static_faults = [nodes[3], nodes[n // 2]]
+    service = XorEncryptionService()
+    workload = Workload(kind="uniform", messages=100 if quick else 300, duration=50)
+    pairs = [
+        (origin, destination)
+        for _tick, origin, destination in workload.injections(nodes, 5)
+    ]
+
+    legacy = _LegacySimulator(graph, result.routing, service, hop_latency=0.1)
+    legacy.fail_nodes(static_faults)
+    legacy_outcomes = [legacy.send(o, d, None) for o, d in pairs]
+
+    engine = NetworkSimulator(graph, result.routing, service=service, hop_latency=0.1)
+    engine.fail_nodes(static_faults)
+    engine_receipts = [engine.send(o, d, None) for o, d in pairs]
+
+    mismatches = 0
+    serial_violations = 0
+    for (delivered, routes, hops, reason), receipt in zip(
+        legacy_outcomes, engine_receipts
+    ):
+        if (receipt.delivered, receipt.routes_used, receipt.hops,
+                receipt.failure_reason) != (delivered, routes, hops, reason):
+            mismatches += 1
+        if receipt.delivered and receipt.latency_ticks != (
+            receipt.hops * engine.hop_ticks
+            + 2 * receipt.routes_used * engine.service_ticks
+        ):
+            serial_violations += 1
+    ok = mismatches == 0 and serial_violations == 0
+    delivered_count = sum(1 for r in engine_receipts if r.delivered)
+    print(
+        f"null-model parity [circulant n={n}, {len(pairs)} messages]: "
+        f"{mismatches} receipt mismatches, {serial_violations} serial-latency "
+        f"violations ({delivered_count} delivered, "
+        f"{len(pairs) - delivered_count} failed; {'ok' if ok else 'FAIL'})"
+    )
+    return {
+        "n": n,
+        "messages": len(pairs),
+        "delivered": delivered_count,
+        "receipt_mismatches": mismatches,
+        "serial_latency_violations": serial_violations,
+        "ok": ok,
+    }
+
+
+def _bench_determinism(quick):
+    """Leg 4: two fresh battery runs emit byte-identical result records."""
+    n = 64 if quick else _BATTERY_N
+    workload = Workload(kind="hotspot", messages=200 if quick else 600,
+                        duration=200, hotspots=3)
+    records = []
+    for _ in range(2):
+        graph, result = _build_battery(n)
+        outcome = run_traffic(
+            graph,
+            result.routing,
+            workload,
+            seed=99,
+            hop_latency=0.1,
+            fingerprint=result.fingerprint(),
+        )
+        records.append(json.dumps(outcome.record(), sort_keys=True))
+    identical = records[0] == records[1]
+    print(
+        f"determinism [circulant n={n}, hotspot workload]: two fresh runs "
+        f"{'byte-identical' if identical else 'DIVERGE'}"
+    )
+    return {"n": n, "runs": 2, "byte_identical": identical}
+
+
+def run(quick, json_path):
+    engine_rate = _bench_engine_rate(quick)
+    legacy = _bench_vs_legacy(quick)
+    parity = _bench_null_model_parity(quick)
+    determinism = _bench_determinism(quick)
+
+    document = {
+        "generated_by": "benchmarks/bench_traffic.py",
+        "mode": "quick" if quick else "full",
+        "engine_rate": engine_rate,
+        "vs_legacy": legacy,
+        "null_model_parity": parity,
+        "determinism": determinism,
+    }
+    with open(json_path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"\nresults written to {json_path}")
+
+    failures = []
+    if not engine_rate["within_gate"]:
+        failures.append(
+            f"engine rate {engine_rate['events_per_sec']:,} events/s misses "
+            f"the 1e5 gate"
+        )
+    if not legacy["outcomes_identical"]:
+        failures.append("engine outcomes diverge from the legacy per-hop loop")
+    if not legacy["within_gate"]:
+        failures.append(f"engine speedup {legacy['speedup']:.1f}x misses the 5x gate")
+    if not parity["ok"]:
+        failures.append("null-model receipts diverge from the legacy loop")
+    if not determinism["byte_identical"]:
+        failures.append("repeated runs are not byte-identical")
+    if failures:
+        for failure in failures:
+            print(f"FAIL — {failure}")
+        return 1
+    print(
+        f"PASS — {engine_rate['events_per_sec']:,} events/s, "
+        f"{legacy['speedup']:.1f}x over the legacy loop, null-model parity "
+        f"and determinism verified"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small instances (CI smoke run)"
+    )
+    parser.add_argument(
+        "--json",
+        default=_DEFAULT_JSON,
+        help="path of the machine-readable results file (default: repo-root "
+        "BENCH_traffic.json)",
+    )
+    args = parser.parse_args(argv)
+    return run(args.quick, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,9 @@ from repro.analysis.reporting import (
     render_csv_table,
     render_markdown_table,
     render_scaling_report,
+    render_traffic_report,
     scaling_table,
+    traffic_table,
 )
 
 __all__ = [
@@ -46,5 +48,7 @@ __all__ = [
     "render_csv_table",
     "render_markdown_table",
     "render_scaling_report",
+    "render_traffic_report",
     "scaling_table",
+    "traffic_table",
 ]

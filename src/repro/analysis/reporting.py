@@ -310,6 +310,95 @@ def scaling_table(frame) -> Tuple[List[Dict[str, object]], List[str], str]:
     return rows, columns, metric
 
 
+#: Columns of the traffic report, in render order.
+_TRAFFIC_COLUMNS = (
+    "scenario",
+    "strategy",
+    "workload",
+    "injected",
+    "delivered",
+    "drop_rate",
+    "throughput",
+    "mean_latency",
+    "p99_latency",
+    "max_queue_depth",
+)
+
+
+def _is_traffic_frame(frame) -> bool:
+    """Whether a frame holds only ``kind="traffic"`` rows (traffic layout)."""
+    if "kind" not in frame.column_names or not len(frame):
+        return False
+    return set(frame.column("kind")) == {"traffic"}
+
+
+def traffic_table(frame) -> Tuple[List[Dict[str, object]], List[str]]:
+    """Flatten a traffic frame into the per-run metric table.
+
+    One row per stored traffic run, sorted by ``(scenario, strategy,
+    workload)`` so merged stores render deterministically; cells are the
+    load/latency metrics the event-driven simulator measured.
+    """
+    names = set(frame.column_names)
+    none_column = (None,) * len(frame)
+
+    def column(name):
+        return frame.column(name) if name in names else none_column
+
+    rows: List[Dict[str, object]] = []
+    for values in zip(*(column(name) for name in _TRAFFIC_COLUMNS)):
+        rows.append(dict(zip(_TRAFFIC_COLUMNS, values)))
+    rows.sort(
+        key=lambda row: (
+            str(row["scenario"]),
+            str(row["strategy"]),
+            str(row["workload"]),
+        )
+    )
+    return rows, list(_TRAFFIC_COLUMNS)
+
+
+def render_traffic_report(
+    frame,
+    run: Optional[Mapping[str, object]] = None,
+    fmt: str = "markdown",
+) -> str:
+    """Render the traffic report (markdown or CSV) for a traffic frame.
+
+    Same determinism contract as :func:`render_scaling_report`: a pure
+    function of ``(frame, run)``, byte-identical across machines, hash
+    seeds and resumptions.
+    """
+    if fmt not in ("markdown", "csv"):
+        raise ValueError(f"unknown report format {fmt!r}; use markdown or csv")
+    rows, columns = traffic_table(frame)
+    if fmt == "csv":
+        return render_csv_table(rows, columns)
+    lines: List[str] = ["# Traffic report", ""]
+    if run:
+        details = [
+            f"{key}={run[key]}"
+            for key in ("workload", "seed", "hop_latency", "link", "service")
+            if run.get(key) is not None
+        ]
+        if details:
+            lines.append("Parameters: " + ", ".join(details))
+            lines.append("")
+        faults = run.get("faults")
+        if faults:
+            lines.append("Fault schedule: " + ", ".join(str(f) for f in faults))
+            lines.append("")
+    lines.append(
+        "Cells: per-run load metrics (latencies in simulated time units, "
+        "throughput in delivered messages per unit)."
+    )
+    lines.append("")
+    lines.append(render_markdown_table(rows, columns))
+    lines.append("")
+    lines.append(f"Traffic rows: {len(frame)}")
+    return "\n".join(lines)
+
+
 def render_markdown_table(
     rows: Sequence[Mapping[str, object]],
     columns: Sequence[str],
@@ -359,6 +448,11 @@ def render_scaling_report(
     """
     if fmt not in ("markdown", "csv"):
         raise ValueError(f"unknown report format {fmt!r}; use markdown or csv")
+    if _is_traffic_frame(frame):
+        # Stores written by ``repro traffic`` hold only traffic rows; the
+        # scaling pivot has nothing to show for them, so ``repro report``
+        # transparently renders the traffic layout instead.
+        return render_traffic_report(frame, run, fmt=fmt)
     rows, columns, metric = scaling_table(frame)
     if fmt == "csv":
         return render_csv_table(rows, columns)

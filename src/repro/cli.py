@@ -11,6 +11,14 @@ driven without writing Python:
   prints the routing-table statistics (lengths, stretch, load);
 * ``python -m repro simulate --graph cycle:16 --faults 3,7 --messages 5``
   runs the network simulator over the routing with the given failed nodes;
+* ``python -m repro traffic 'circulant:n=24,offsets=1+2/kernel' --workload
+  hotspot --capacity 2 --buffer 16 --fail 40:3 --store traffic.jsonl``
+  drives a traffic workload (uniform pairs, hotspot, or gossip rounds)
+  through the event-driven simulator — per-edge link capacities, bounded
+  buffers and a timed fail/repair schedule — and reports throughput, mean
+  and p99 latency, drop rate and the deepest link queue; several specs
+  compare strategies under the identical load, and ``--store`` persists
+  one ``kind="traffic"`` row per spec for ``repro report``;
 * ``python -m repro campaign --graph circulant:24,1,2 --sizes 1,2,3 --samples 100``
   runs indexed Monte-Carlo fault campaigns (one per fault-set size) through
   the :class:`~repro.faults.engine.CampaignEngine`, optionally sharded over
@@ -71,7 +79,19 @@ from repro.faults import CampaignEngine
 from repro.faults.simulation import CampaignStatus
 from repro.graphs.graph import Graph
 from repro.graphs.registry import GRAPH_FAMILIES, parse_graph_spec
-from repro.network import NetworkSimulator, XorEncryptionService
+from repro.network import (
+    DEFAULT_RESOLUTION,
+    WORKLOAD_KINDS,
+    ChecksumService,
+    FaultEvent,
+    LinkSpec,
+    NetworkSimulator,
+    NullService,
+    Workload,
+    XorEncryptionService,
+    run_traffic,
+    traffic_manifest,
+)
 from repro.results import (
     FSYNC_POLICIES,
     ResultStore,
@@ -661,6 +681,135 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault_schedule(
+    fail_specs: Sequence[str], repair_specs: Sequence[str], graph: Graph
+) -> List[FaultEvent]:
+    """Parse ``--fail``/``--repair TICK:NODE`` flags into a fault schedule.
+
+    The schedule is sorted by tick (fail before repair on ties) so the
+    resulting event order — and therefore the run — is independent of the
+    order the flags appeared on the command line.
+    """
+    labels = {str(node): node for node in graph.nodes()}
+    events: List[FaultEvent] = []
+    for action, specs in (("fail", fail_specs), ("repair", repair_specs)):
+        for spec in specs:
+            tick_text, sep, node_text = spec.partition(":")
+            if not sep:
+                raise ValueError(
+                    f"fault schedule entries are TICK:NODE (e.g. --{action} 40:3), "
+                    f"got {spec!r}"
+                )
+            tick = int(tick_text)
+            node_text = node_text.strip()
+            if node_text not in labels:
+                raise ValueError(f"node {node_text!r} is not in the graph")
+            events.append(FaultEvent(tick, action, labels[node_text]))
+    events.sort(key=lambda event: (event.tick, event.action, str(event.node)))
+    return events
+
+
+_TRAFFIC_SERVICES = {
+    "null": NullService,
+    "xor": XorEncryptionService,
+    "checksum": ChecksumService,
+}
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    """Run ``repro traffic``: drive workloads over routings, report + store."""
+    from repro.results.records import scenario_family, scenario_strategy
+    from repro.scenarios.spec import DEFAULT_FAULT_MODEL
+
+    workload = Workload(
+        kind=args.workload,
+        messages=args.messages,
+        duration=args.duration,
+        hotspots=args.hotspots,
+        hot_fraction=args.hot_fraction,
+        rounds=args.rounds,
+        interval=args.interval,
+    )
+    if args.capacity is None and args.buffer is not None:
+        raise ValueError("--buffer needs --capacity (nothing queues on unlimited links)")
+    link = None
+    if args.capacity is not None or args.link_latency is not None:
+        link = LinkSpec(
+            latency=args.link_latency, capacity=args.capacity, buffer=args.buffer
+        )
+    service = _TRAFFIC_SERVICES[args.service]()
+    scenarios = [parse_scenario(spec) for spec in args.spec]
+    for scenario in scenarios:
+        if scenario.faults != DEFAULT_FAULT_MODEL:
+            raise ValueError(
+                "traffic runs take timed --fail/--repair schedules; drop the "
+                f"fault-model segment from {scenario.canonical()!r}"
+            )
+    raw_schedule = [f"fail@{spec}" for spec in args.fail] + [
+        f"repair@{spec}" for spec in args.repair
+    ]
+    run = traffic_manifest(
+        [scenario.canonical() for scenario in scenarios],
+        workload,
+        args.seed,
+        args.hop_latency,
+        args.resolution,
+        link,
+        args.service,
+        faults=sorted(raw_schedule),
+    )
+    store = None
+    if args.store:
+        store = ResultStore.create(args.store, run, fsync=args.fsync)
+    results = []
+    try:
+        for scenario in scenarios:
+            graph, result = scenario.build()
+            faults = _parse_fault_schedule(args.fail, args.repair, graph)
+            canonical = scenario.canonical()
+            outcome = run_traffic(
+                graph,
+                result.routing,
+                workload,
+                seed=args.seed,
+                service=service,
+                hop_latency=args.hop_latency,
+                resolution=args.resolution,
+                link=link,
+                faults=faults,
+                scenario=canonical,
+                family=scenario_family(canonical),
+                strategy=scenario_strategy(canonical),
+                scheme=result.scheme,
+                t=result.t,
+                fingerprint=result.fingerprint(),
+            )
+            results.append(outcome)
+            if store is not None:
+                store.append(
+                    f"{canonical}#{workload.canonical()}", outcome.record()
+                )
+    finally:
+        if store is not None:
+            store.close()
+
+    link_note = link.describe() if link is not None else "null"
+    fault_note = f", {len(raw_schedule)} timed faults" if raw_schedule else ""
+    print(
+        format_table(
+            [outcome.as_row() for outcome in results],
+            caption=(
+                f"Traffic [{workload.canonical()}]: {len(results)} runs "
+                f"(link={link_note}, service={args.service}, seed={args.seed}"
+                f"{fault_note})"
+            ),
+        )
+    )
+    if args.store:
+        print(f"\nresult store: {args.store} ({len(results)} rows recorded)")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -726,6 +875,104 @@ def build_parser() -> argparse.ArgumentParser:
     sub_simulate.add_argument("--messages", type=int, default=5)
     sub_simulate.add_argument("--seed", type=int, default=0)
     sub_simulate.set_defaults(handler=_cmd_simulate)
+
+    sub_traffic = subparsers.add_parser(
+        "traffic",
+        help="drive traffic workloads over routings (throughput, latency, drops)",
+    )
+    sub_traffic.add_argument(
+        "spec",
+        nargs="+",
+        help=(
+            "scenario spec(s) <graph>/<strategy>[/t=N]; several specs run the "
+            "identical workload for side-by-side comparison"
+        ),
+    )
+    sub_traffic.add_argument(
+        "--workload",
+        default="uniform",
+        choices=WORKLOAD_KINDS,
+        help="workload generator (default: uniform pairs)",
+    )
+    sub_traffic.add_argument(
+        "--messages", type=int, default=200, help="injections (uniform/hotspot)"
+    )
+    sub_traffic.add_argument(
+        "--duration", type=int, default=100, help="injection window in ticks"
+    )
+    sub_traffic.add_argument(
+        "--hotspots", type=int, default=1, help="hot destination count (hotspot)"
+    )
+    sub_traffic.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.8,
+        help="fraction of hotspot traffic aimed at the hot set",
+    )
+    sub_traffic.add_argument(
+        "--rounds", type=int, default=4, help="gossip rounds (every node sends once)"
+    )
+    sub_traffic.add_argument(
+        "--interval", type=int, default=10, help="ticks between gossip rounds"
+    )
+    sub_traffic.add_argument(
+        "--hop-latency", type=float, default=0.1, help="time units per link traversal"
+    )
+    sub_traffic.add_argument(
+        "--resolution",
+        type=int,
+        default=DEFAULT_RESOLUTION,
+        help="engine ticks per time unit",
+    )
+    sub_traffic.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="link departures per tick (default: unlimited — the null model)",
+    )
+    sub_traffic.add_argument(
+        "--buffer",
+        type=int,
+        default=None,
+        help="bounded link queue; arrivals beyond it are dropped",
+    )
+    sub_traffic.add_argument(
+        "--link-latency",
+        type=int,
+        default=None,
+        help="propagation ticks per hop (default: quantised --hop-latency)",
+    )
+    sub_traffic.add_argument(
+        "--service",
+        default="null",
+        choices=sorted(_TRAFFIC_SERVICES),
+        help="endpoint service applied per route segment",
+    )
+    sub_traffic.add_argument("--seed", type=int, default=0)
+    sub_traffic.add_argument(
+        "--fail",
+        action="append",
+        default=[],
+        metavar="TICK:NODE",
+        help="fail NODE at TICK (repeatable)",
+    )
+    sub_traffic.add_argument(
+        "--repair",
+        action="append",
+        default=[],
+        metavar="TICK:NODE",
+        help="repair NODE at TICK (repeatable)",
+    )
+    sub_traffic.add_argument(
+        "--store", default=None, help="persist one traffic row per spec (JSONL)"
+    )
+    sub_traffic.add_argument(
+        "--fsync",
+        choices=FSYNC_POLICIES,
+        default=None,
+        help="store fsync policy (default: never, or REPRO_STORE_FSYNC)",
+    )
+    sub_traffic.set_defaults(handler=_cmd_traffic)
 
     sub_campaign = subparsers.add_parser(
         "campaign",

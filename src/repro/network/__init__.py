@@ -1,6 +1,7 @@
 """Discrete-event network simulator running the fixed routings under faults."""
 
-from repro.network.events import EventQueue
+from repro.network.events import Event, EventQueue
+from repro.network.links import Link, LinkSpec, LinkStats
 from repro.network.messages import DeliveryReceipt, Message
 from repro.network.node import NetworkNode, NodeStats
 from repro.network.services import (
@@ -10,7 +11,20 @@ from repro.network.services import (
     StackedService,
     XorEncryptionService,
 )
-from repro.network.simulator import NetworkSimulator, SimulatorStats
+from repro.network.simulator import (
+    DEFAULT_RESOLUTION,
+    NetworkSimulator,
+    SimulatorStats,
+)
+from repro.network.traffic import (
+    FAULT_ACTIONS,
+    WORKLOAD_KINDS,
+    FaultEvent,
+    TrafficResult,
+    Workload,
+    run_traffic,
+    traffic_manifest,
+)
 from repro.network.broadcast import (
     BroadcastResult,
     broadcast_rounds_from_all,
@@ -19,7 +33,11 @@ from repro.network.broadcast import (
 )
 
 __all__ = [
+    "Event",
     "EventQueue",
+    "Link",
+    "LinkSpec",
+    "LinkStats",
     "DeliveryReceipt",
     "Message",
     "NetworkNode",
@@ -29,8 +47,16 @@ __all__ = [
     "NullService",
     "StackedService",
     "XorEncryptionService",
+    "DEFAULT_RESOLUTION",
     "NetworkSimulator",
     "SimulatorStats",
+    "FAULT_ACTIONS",
+    "WORKLOAD_KINDS",
+    "FaultEvent",
+    "TrafficResult",
+    "Workload",
+    "run_traffic",
+    "traffic_manifest",
     "BroadcastResult",
     "broadcast_rounds_from_all",
     "counter_limit_suffices",

@@ -44,6 +44,10 @@ class Message:
         messages whose counter exceeds the diameter bound.
     trace:
         Every node the message has visited, across all segments (diagnostics).
+    injected_tick, finished_tick:
+        Engine ticks at which the delivery started / completed (``None``
+        until the event-driven simulator processes the message); their
+        difference is the receipt's exact ``latency_ticks``.
     """
 
     origin: Node
@@ -56,6 +60,8 @@ class Message:
     route_counter: int = 0
     message_id: int = dataclasses.field(default_factory=lambda: next(_message_ids))
     trace: List[Node] = dataclasses.field(default_factory=list)
+    injected_tick: Optional[int] = None
+    finished_tick: Optional[int] = None
 
     def attach_route(self, route: Sequence[Node]) -> None:
         """Attach a new source route and reset the hop pointer.
@@ -107,7 +113,13 @@ class Message:
 
 @dataclasses.dataclass
 class DeliveryReceipt:
-    """Summary of a completed (or failed) end-to-end delivery."""
+    """Summary of a completed (or failed) end-to-end delivery.
+
+    ``latency`` is simulated time units (``latency_ticks / resolution``);
+    ``latency_ticks`` is the exact integer the event engine measured for
+    *this message* — failure receipts report the ticks the message itself
+    consumed, never the global clock drift of unrelated pending events.
+    """
 
     message: Message
     delivered: bool
@@ -115,6 +127,7 @@ class DeliveryReceipt:
     hops: int
     latency: float
     failure_reason: str = ""
+    latency_ticks: Optional[int] = None
 
     def __repr__(self) -> str:
         status = "delivered" if self.delivered else f"FAILED ({self.failure_reason})"

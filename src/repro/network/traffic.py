@@ -1,0 +1,395 @@
+"""Traffic workloads over routings: load, congestion and latency metrics.
+
+The campaign layers measure *structure* (surviving diameters); this module
+measures *behaviour*: what throughput, queueing latency and drop rate a
+constructed routing actually sustains when a workload of messages flows
+over it — optionally through capacity-limited links and under a timed
+fault schedule that fails and repairs nodes mid-run.
+
+Three workload generators cover the usual traffic shapes:
+
+* ``uniform`` — message pairs drawn uniformly at random, injection times
+  uniform over a window (the baseline load of the paper's model);
+* ``hotspot`` — a fraction of the traffic converges on a small set of hot
+  destinations (the concentrator-stress case);
+* ``gossip`` — synchronous rounds in which **every** node sends to a
+  random peer, à la the uniform-gossip model (a broadcast-storm burst per
+  round).
+
+Workloads are pure functions of ``(spec, node list, seed)``: the RNG is
+seeded from the canonical workload string, never from object identity or
+hash randomisation, so the same seed reproduces byte-identical result rows
+across processes and ``PYTHONHASHSEED`` values.
+
+:func:`run_traffic` drives one workload through the event-driven
+:class:`~repro.network.simulator.NetworkSimulator` and folds the receipts
+into a :class:`TrafficResult` — a thin view over the unified result-record
+schema (``kind="traffic"``), so traffic rows persist through the ordinary
+:class:`~repro.results.store.ResultStore` and render through
+``repro report``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import SimulationError
+from repro.network.links import LinkSpec
+from repro.network.messages import DeliveryReceipt
+from repro.network.services import EndpointService
+from repro.network.simulator import DEFAULT_RESOLUTION, NetworkSimulator
+
+Node = Hashable
+
+#: Workload generator kinds understood by :class:`Workload`.
+WORKLOAD_KINDS = ("uniform", "hotspot", "gossip")
+
+#: Actions a timed fault event may take.
+FAULT_ACTIONS = ("fail", "repair")
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """One traffic workload spec (deterministic given a seed).
+
+    ``messages`` / ``duration`` shape ``uniform`` and ``hotspot`` loads
+    (how many injections, over how many ticks); ``rounds`` / ``interval``
+    shape ``gossip`` (every node sends once per round, rounds spaced
+    ``interval`` ticks apart — ``messages`` and ``duration`` are derived).
+    """
+
+    kind: str = "uniform"
+    messages: int = 200
+    duration: int = 100
+    hotspots: int = 1
+    hot_fraction: float = 0.8
+    rounds: int = 4
+    interval: int = 10
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; expected one of {WORKLOAD_KINDS}"
+            )
+        if self.messages < 1:
+            raise ValueError("workload needs at least one message")
+        if self.duration < 1:
+            raise ValueError("workload duration must be at least one tick")
+        if self.hotspots < 1:
+            raise ValueError("hotspot workloads need at least one hot node")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must lie in [0, 1]")
+        if self.rounds < 1:
+            raise ValueError("gossip workloads need at least one round")
+        if self.interval < 1:
+            raise ValueError("gossip round interval must be at least one tick")
+
+    def canonical(self) -> str:
+        """Render the workload compactly (seeds the generator RNG)."""
+        if self.kind == "gossip":
+            return f"gossip:rounds={self.rounds},interval={self.interval}"
+        if self.kind == "hotspot":
+            return (
+                f"hotspot:messages={self.messages},duration={self.duration},"
+                f"hotspots={self.hotspots},hot_fraction={format(self.hot_fraction, 'g')}"
+            )
+        return f"uniform:messages={self.messages},duration={self.duration}"
+
+    def injections(
+        self, nodes: Sequence[Node], seed: int
+    ) -> List[Tuple[int, Node, Node]]:
+        """Return the ``(tick, origin, destination)`` injection list.
+
+        Deterministic across processes: the RNG is seeded from the
+        canonical workload string and ``seed`` (string seeding hashes via
+        SHA-512, independent of ``PYTHONHASHSEED``), and nodes are drawn
+        from the caller's ordered node list.
+        """
+        if len(nodes) < 2:
+            raise ValueError("traffic needs at least two nodes")
+        rng = random.Random(f"{self.canonical()}|seed={seed}")
+        out: List[Tuple[int, Node, Node]] = []
+        if self.kind == "gossip":
+            for round_index in range(self.rounds):
+                tick = round_index * self.interval
+                for node in nodes:
+                    peer = rng.choice(nodes)
+                    while peer == node:
+                        peer = rng.choice(nodes)
+                    out.append((tick, node, peer))
+            return out
+        if self.kind == "hotspot":
+            hot = rng.sample(list(nodes), min(self.hotspots, len(nodes)))
+            for _ in range(self.messages):
+                if rng.random() < self.hot_fraction:
+                    destination = rng.choice(hot)
+                else:
+                    destination = rng.choice(nodes)
+                origin = rng.choice(nodes)
+                while origin == destination:
+                    origin = rng.choice(nodes)
+                out.append((rng.randrange(self.duration), origin, destination))
+            return out
+        for _ in range(self.messages):
+            origin, destination = rng.sample(list(nodes), 2)
+            out.append((rng.randrange(self.duration), origin, destination))
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault action: fail or repair ``node`` at ``tick``.
+
+    At its tick the action applies *before* any message event on the same
+    tick (fault events are scheduled ahead of the workload), so a message
+    arriving at a node the very tick it fails is dropped.
+    """
+
+    tick: int
+    action: str
+    node: Node
+
+    def __post_init__(self) -> None:
+        if self.tick < 0:
+            raise ValueError("fault events cannot be scheduled in the past")
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected one of {FAULT_ACTIONS}"
+            )
+
+    def canonical(self) -> str:
+        return f"{self.action}@{self.tick}:{self.node!r}"
+
+
+@dataclasses.dataclass
+class TrafficResult:
+    """Aggregate metrics of one traffic run (a ``kind="traffic"`` record).
+
+    ``duration`` is the observed makespan in ticks (last event processed);
+    latencies are in time units (``ticks / resolution``); ``throughput``
+    is delivered messages per time unit.  ``receipts`` carries the
+    per-message outcomes for callers that want them — it is not part of
+    the persisted record.
+    """
+
+    scenario: Optional[str]
+    family: Optional[str]
+    strategy: Optional[str]
+    scheme: Optional[str]
+    nodes: Optional[int]
+    edges: Optional[int]
+    t: Optional[int]
+    fingerprint: Optional[str]
+    workload: str
+    duration: int
+    injected: int
+    delivered: int
+    dropped: int
+    throughput: float
+    mean_latency: Optional[float]
+    p99_latency: Optional[float]
+    drop_rate: float
+    max_queue_depth: int
+    receipts: Optional[List[DeliveryReceipt]] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    def as_row(self) -> Dict[str, object]:
+        """Return a flat dict for table rendering."""
+        return {
+            "scenario": self.scenario,
+            "workload": self.workload,
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "drop_rate": round(self.drop_rate, 4),
+            "throughput": round(self.throughput, 3),
+            "mean_latency": (
+                round(self.mean_latency, 3) if self.mean_latency is not None else "-"
+            ),
+            "p99_latency": (
+                round(self.p99_latency, 3) if self.p99_latency is not None else "-"
+            ),
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+    def record(self) -> Dict[str, object]:
+        """Return the unified result record for this run."""
+        return {
+            "source": "traffic",
+            "kind": "traffic",
+            "scenario": self.scenario,
+            "family": self.family,
+            "strategy": self.strategy,
+            "scheme": self.scheme,
+            "n": self.nodes,
+            "m": self.edges,
+            "t": self.t,
+            "fingerprint": self.fingerprint,
+            "workload": self.workload,
+            "duration": self.duration,
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "throughput": self.throughput,
+            "mean_latency": self.mean_latency,
+            "p99_latency": self.p99_latency,
+            "drop_rate": self.drop_rate,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "TrafficResult":
+        """Rebuild the result view from a stored record."""
+        return cls(
+            scenario=record.get("scenario"),
+            family=record.get("family"),
+            strategy=record.get("strategy"),
+            scheme=record.get("scheme"),
+            nodes=record.get("n"),
+            edges=record.get("m"),
+            t=record.get("t"),
+            fingerprint=record.get("fingerprint"),
+            workload=record["workload"],
+            duration=record["duration"],
+            injected=record["injected"],
+            delivered=record["delivered"],
+            dropped=record["dropped"],
+            throughput=record["throughput"],
+            mean_latency=record.get("mean_latency"),
+            p99_latency=record.get("p99_latency"),
+            drop_rate=record["drop_rate"],
+            max_queue_depth=record["max_queue_depth"],
+        )
+
+
+def percentile_nearest_rank(sorted_values: Sequence[int], fraction: float) -> int:
+    """Return the nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of no values")
+    rank = max(1, -(-len(sorted_values) * fraction // 1))
+    return sorted_values[int(rank) - 1]
+
+
+def run_traffic(
+    graph,
+    routing,
+    workload: Workload,
+    *,
+    seed: int = 0,
+    service: Optional[EndpointService] = None,
+    hop_latency: float = 0.1,
+    resolution: int = DEFAULT_RESOLUTION,
+    link: Optional[LinkSpec] = None,
+    faults: Sequence[FaultEvent] = (),
+    scenario: Optional[str] = None,
+    family: Optional[str] = None,
+    strategy: Optional[str] = None,
+    scheme: Optional[str] = None,
+    t: Optional[int] = None,
+    fingerprint: Optional[str] = None,
+) -> TrafficResult:
+    """Run one workload over a routing and return its aggregate metrics.
+
+    Fault events are scheduled ahead of the workload so a fail/repair at
+    tick ``T`` applies before any message event on ``T``; every message is
+    planned against the fault set at its own start tick.  The run is a
+    deterministic function of all arguments — receipts, engine event
+    counts and the returned record are identical across processes.
+    """
+    simulator = NetworkSimulator(
+        graph,
+        routing,
+        service=service,
+        hop_latency=hop_latency,
+        resolution=resolution,
+        link=link,
+    )
+    node_list = list(graph.nodes())
+    unknown = [fault.node for fault in faults if fault.node not in simulator.nodes]
+    if unknown:
+        raise SimulationError(f"fault schedule names unknown nodes: {unknown!r}")
+    for fault in faults:
+        action = (
+            simulator.fail_node if fault.action == "fail" else simulator.repair_node
+        )
+        simulator.events.schedule(
+            fault.tick, lambda act=action, node=fault.node: act(node), kind="fault"
+        )
+    receipts: List[DeliveryReceipt] = []
+    injections = workload.injections(node_list, seed)
+    for tick, origin, destination in injections:
+        simulator.inject(
+            origin, destination, payload=len(receipts), delay=tick,
+            on_complete=receipts.append,
+        )
+    simulator.events.run()
+
+    injected = len(injections)
+    delivered = [receipt for receipt in receipts if receipt.delivered]
+    dropped = injected - len(delivered)
+    latencies = sorted(receipt.latency_ticks for receipt in delivered)
+    makespan = simulator.events.now
+    if delivered:
+        mean_latency = (sum(latencies) / len(latencies)) / resolution
+        p99_latency = percentile_nearest_rank(latencies, 0.99) / resolution
+    else:
+        mean_latency = None
+        p99_latency = None
+    elapsed = makespan / resolution
+    throughput = len(delivered) / elapsed if elapsed > 0 else float(len(delivered))
+    return TrafficResult(
+        scenario=scenario,
+        family=family,
+        strategy=strategy,
+        scheme=scheme,
+        nodes=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        t=t,
+        fingerprint=fingerprint,
+        workload=workload.canonical(),
+        duration=makespan,
+        injected=injected,
+        delivered=len(delivered),
+        dropped=dropped,
+        throughput=throughput,
+        mean_latency=mean_latency,
+        p99_latency=p99_latency,
+        drop_rate=dropped / injected if injected else 0.0,
+        max_queue_depth=simulator.max_queue_depth(),
+        receipts=receipts,
+    )
+
+
+def traffic_manifest(
+    scenarios: Sequence[str],
+    workload: Workload,
+    seed: int,
+    hop_latency: float,
+    resolution: int,
+    link: Optional[LinkSpec],
+    service: str,
+    faults: Sequence[object] = (),
+) -> Dict[str, object]:
+    """Return the result-store run manifest for a traffic invocation.
+
+    Two invocations produce the same rows iff they share this manifest —
+    the same determinism contract the scenario suites use.  ``faults``
+    entries may be :class:`FaultEvent` instances or raw schedule strings.
+    """
+    return {
+        "experiment": "traffic",
+        "scenarios": list(scenarios),
+        "workload": workload.canonical(),
+        "seed": seed,
+        "hop_latency": hop_latency,
+        "resolution": resolution,
+        "link": link.describe() if link is not None else "null",
+        "service": service,
+        "faults": [
+            fault.canonical() if isinstance(fault, FaultEvent) else str(fault)
+            for fault in faults
+        ],
+    }

@@ -23,8 +23,10 @@ from typing import Iterable, Mapping, Optional, Tuple
 from repro.results.frame import Column, ResultFrame
 
 #: ``kind`` values a record may carry.  ``status`` rows describe campaigns
-#: that produced no aggregate: ``disposition`` says why.
-RECORD_KINDS = ("exact", "decision", "status")
+#: that produced no aggregate: ``disposition`` says why.  ``traffic`` rows
+#: describe one workload run over the event-driven simulator (throughput /
+#: latency / drop metrics instead of diameters).
+RECORD_KINDS = ("exact", "decision", "status", "traffic")
 
 #: ``disposition`` values a ``status`` record may carry: ``inapplicable``
 #: (the scenario cannot be built under these parameters and was dropped
@@ -80,6 +82,20 @@ RESULT_COLUMNS: Tuple[Column, ...] = (
     # Witness fault set (worst set / first violation), encoded with
     # :func:`repro.serialization.encode_node` per node.
     Column("worst_faults", "json"),
+    # Traffic rows (kind="traffic"): one workload run over the event-driven
+    # simulator.  ``workload`` is the canonical workload string;
+    # ``duration`` the observed makespan in engine ticks; latencies are in
+    # simulated time units and ``throughput`` delivered messages per unit.
+    Column("workload", "str"),
+    Column("duration", "int"),
+    Column("injected", "int"),
+    Column("delivered", "int"),
+    Column("dropped", "int"),
+    Column("throughput", "float"),
+    Column("mean_latency", "float"),
+    Column("p99_latency", "float"),
+    Column("drop_rate", "float"),
+    Column("max_queue_depth", "int"),
 )
 
 
@@ -154,8 +170,9 @@ def view_from_record(record: Mapping[str, object]):
 
     ``kind`` selects between :class:`~repro.faults.simulation.CampaignResult`
     (``"exact"``), :class:`~repro.faults.simulation.DecisionCampaignResult`
-    (``"decision"``) and :class:`~repro.faults.simulation.CampaignStatus`
-    (``"status"`` — a campaign with no aggregate; see ``disposition``).
+    (``"decision"``), :class:`~repro.faults.simulation.CampaignStatus`
+    (``"status"`` — a campaign with no aggregate; see ``disposition``) and
+    :class:`~repro.network.traffic.TrafficResult` (``"traffic"``).
     """
     from repro.faults.simulation import (
         CampaignResult,
@@ -164,6 +181,10 @@ def view_from_record(record: Mapping[str, object]):
     )
 
     kind = record.get("kind")
+    if kind == "traffic":
+        from repro.network.traffic import TrafficResult
+
+        return TrafficResult.from_record(record)
     if kind == "exact":
         return CampaignResult.from_record(record)
     if kind == "decision":

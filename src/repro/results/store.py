@@ -75,7 +75,13 @@ from repro.runtime.chaos import chaos_point
 #:     manifests carry the greedy-probe parameters, so every written row's
 #:     bytes changed; resuming a version-3 store would break byte-identity
 #:     on the very first appended row.
-STORE_FORMAT_VERSION = 4
+#: 5 — PR 10: records carry the traffic columns (``workload``/``duration``/
+#:     ``injected``/``delivered``/``dropped``/``throughput``/
+#:     ``mean_latency``/``p99_latency``/``drop_rate``/``max_queue_depth``)
+#:     and ``kind="traffic"`` rows persist event-driven workload runs.
+#:     Rows are written fully coerced, so the new columns change every
+#:     row's bytes; resuming a version-4 store would break byte-identity.
+STORE_FORMAT_VERSION = 5
 
 #: Recognised fsync policies: ``never`` (default — the OS decides when
 #: bytes hit the platter), ``close`` (one fsync when the store closes),

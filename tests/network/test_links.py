@@ -1,0 +1,152 @@
+"""Unit tests for the link/flow layer (capacity, buffers, queueing, drops)."""
+
+import pytest
+
+from repro.core import build_routing
+from repro.graphs import generators
+from repro.network import Link, LinkSpec, NetworkSimulator
+
+
+class TestLinkSpec:
+    def test_defaults_are_the_null_model(self):
+        spec = LinkSpec()
+        assert spec.latency is None
+        assert spec.capacity is None
+        assert spec.buffer is None
+        assert spec.describe() == "null"
+
+    def test_describe_lists_set_fields(self):
+        assert LinkSpec(capacity=2).describe() == "capacity=2"
+        assert (
+            LinkSpec(latency=5, capacity=2, buffer=16).describe()
+            == "capacity=2,buffer=16,latency=5"
+        )
+
+    def test_buffer_without_capacity_rejected(self):
+        with pytest.raises(ValueError, match="needs a capacity"):
+            LinkSpec(buffer=4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency": -1},
+            {"latency": 0.5},
+            {"capacity": 0},
+            {"capacity": -2},
+            {"capacity": 1.5},
+            {"capacity": 1, "buffer": -1},
+            {"capacity": 1, "buffer": 2.5},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkSpec(**kwargs)
+
+    def test_zero_buffer_is_legal(self):
+        # A zero buffer drops everything that cannot depart instantly —
+        # extreme, but a valid corner of the model.
+        spec = LinkSpec(capacity=1, buffer=0)
+        assert spec.buffer == 0
+
+
+class TestLinkReservation:
+    def test_null_capacity_departs_instantly(self):
+        link = Link("a", "b", latency=3)
+        assert link.reserve(now=7) == 7
+        assert link.reserve(now=7) == 7
+        assert link.stats.entered == 2
+        assert link.stats.max_queue_depth == 0
+
+    def test_capacity_serialises_departures(self):
+        # capacity=2: two messages depart per tick, later arrivals queue.
+        link = Link("a", "b", latency=1, capacity=2)
+        assert [link.reserve(0) for _ in range(5)] == [0, 0, 1, 1, 2]
+        assert link.stats.queue_wait_ticks == (1 - 0) + (1 - 0) + (2 - 0)
+
+    def test_slot_cursor_follows_time_forward(self):
+        link = Link("a", "b", latency=1, capacity=1)
+        assert link.reserve(0) == 0
+        assert link.reserve(0) == 1
+        # Time moved past the backlog: a fresh arrival gets a fresh slot.
+        assert link.reserve(5) == 5
+
+    def test_bounded_buffer_drops_when_full(self):
+        # The bound counts everything not yet departed, including the
+        # message holding this tick's transmission slot.
+        link = Link("a", "b", latency=1, capacity=1, buffer=2)
+        assert link.reserve(0) == 0
+        assert link.reserve(0) == 1
+        assert link.reserve(0) is None
+        assert link.stats.dropped == 1
+        assert link.stats.entered == 2
+
+    def test_queue_drains_as_time_passes(self):
+        link = Link("a", "b", latency=1, capacity=1, buffer=1)
+        assert link.reserve(0) == 0
+        assert link.reserve(0) is None
+        # By tick 2 the earlier departure has left the queue entirely.
+        assert link.queue_depth(2) == 0
+        assert link.reserve(2) == 2
+
+    def test_max_queue_depth_high_water_mark(self):
+        link = Link("a", "b", latency=1, capacity=1)
+        for _ in range(4):
+            link.reserve(0)
+        assert link.stats.max_queue_depth == 4
+        link.queue_depth(100)
+        # Draining the queue must not lower the high-water mark.
+        assert link.stats.max_queue_depth == 4
+
+
+class TestLinksThroughTheSimulator:
+    @pytest.fixture(scope="class")
+    def network(self):
+        graph = generators.circulant_graph(12, [1, 2])
+        result = build_routing(graph, strategy="kernel")
+        return graph, result.routing
+
+    def test_congestion_adds_queueing_delay(self, network):
+        graph, routing = network
+        nodes = graph.nodes()
+        free = NetworkSimulator(graph, routing, hop_latency=0.1)
+        tight = NetworkSimulator(
+            graph, routing, hop_latency=0.1, link=LinkSpec(capacity=1)
+        )
+        for simulator in (free, tight):
+            for _ in range(6):
+                simulator.inject(nodes[0], nodes[6], "x")
+        free.events.run()
+        tight.events.run()
+        assert tight.stats.messages_delivered == 6
+        # Serialising the shared first link must cost strictly more ticks.
+        assert (
+            tight.stats.total_latency_ticks > free.stats.total_latency_ticks
+        )
+        assert tight.max_queue_depth() > 0
+
+    def test_full_buffers_surface_as_failed_deliveries(self, network):
+        graph, routing = network
+        nodes = graph.nodes()
+        simulator = NetworkSimulator(
+            graph, routing, hop_latency=0.1, link=LinkSpec(capacity=1, buffer=0)
+        )
+        receipts = []
+        for _ in range(8):
+            simulator.inject(
+                nodes[0], nodes[6], "x", on_complete=receipts.append
+            )
+        simulator.events.run()
+        dropped = [r for r in receipts if not r.delivered]
+        assert dropped
+        assert all("buffer full" in r.failure_reason for r in dropped)
+        assert simulator.dropped_at_links() == len(dropped)
+
+    def test_link_latency_overrides_hop_ticks(self, network):
+        graph, routing = network
+        nodes = graph.nodes()
+        slow = NetworkSimulator(
+            graph, routing, hop_latency=0.1, link=LinkSpec(latency=50, capacity=1)
+        )
+        receipt = slow.send(nodes[0], nodes[2], "x")
+        assert receipt.delivered
+        assert receipt.latency_ticks == receipt.hops * 50

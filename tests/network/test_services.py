@@ -153,11 +153,17 @@ class TestServicesThroughTheSimulator:
         receipt = priced.send(nodes[0], nodes[5], "x")
         assert receipt.routes_used == baseline.routes_used
         assert baseline.latency == pytest.approx(0.0)
-        # Each segment charges a send and a receive, but segment i's receive
-        # processing overlaps segment i+1's send, so the serial chain is
-        # (routes_used + 1) endpoint invocations long.
+        # Each segment charges a send and a receive at its endpoints, and
+        # segments run strictly one after another, so the serial chain is
+        # 2 * routes_used endpoint invocations long.  (The old per-hop loop
+        # overlapped segment i's receive with segment i+1's send — an
+        # artifact of draining the queue mid-send, fixed by the event
+        # engine.)
         assert receipt.latency == pytest.approx(
-            XorEncryptionService.cost * (receipt.routes_used + 1)
+            2 * receipt.routes_used * XorEncryptionService.cost
+        )
+        assert receipt.latency_ticks == (
+            2 * receipt.routes_used * priced.service_ticks
         )
 
     def test_tampering_in_transit_fails_delivery(self, simulated_network):

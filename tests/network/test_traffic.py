@@ -1,0 +1,318 @@
+"""Tests for traffic workloads, timed faults, and traffic result records."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.core import build_routing
+from repro.graphs import generators
+from repro.network import (
+    FaultEvent,
+    LinkSpec,
+    NetworkSimulator,
+    TrafficResult,
+    Workload,
+    run_traffic,
+    traffic_manifest,
+)
+from repro.network.traffic import percentile_nearest_rank
+from repro.results.records import view_from_record
+
+
+@pytest.fixture(scope="module")
+def network():
+    graph = generators.circulant_graph(16, [1, 2])
+    result = build_routing(graph, strategy="kernel")
+    return graph, result.routing
+
+
+class TestWorkloadSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            Workload(kind="storm")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"messages": 0},
+            {"duration": 0},
+            {"hotspots": 0},
+            {"hot_fraction": 1.5},
+            {"rounds": 0},
+            {"interval": 0},
+        ],
+    )
+    def test_invalid_shapes_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Workload(**kwargs)
+
+    def test_canonical_strings(self):
+        assert (
+            Workload(kind="uniform", messages=50, duration=20).canonical()
+            == "uniform:messages=50,duration=20"
+        )
+        assert (
+            Workload(kind="hotspot", messages=50, duration=20,
+                     hotspots=2, hot_fraction=0.75).canonical()
+            == "hotspot:messages=50,duration=20,hotspots=2,hot_fraction=0.75"
+        )
+        assert (
+            Workload(kind="gossip", rounds=3, interval=5).canonical()
+            == "gossip:rounds=3,interval=5"
+        )
+
+
+class TestWorkloadGenerators:
+    def test_uniform_shape(self):
+        nodes = list(range(10))
+        workload = Workload(kind="uniform", messages=40, duration=25)
+        injections = workload.injections(nodes, seed=3)
+        assert len(injections) == 40
+        for tick, origin, destination in injections:
+            assert 0 <= tick < 25
+            assert origin in nodes and destination in nodes
+            assert origin != destination
+
+    def test_hotspot_concentrates_destinations(self):
+        nodes = list(range(20))
+        workload = Workload(
+            kind="hotspot", messages=300, duration=50, hotspots=2, hot_fraction=0.9
+        )
+        injections = workload.injections(nodes, seed=1)
+        counts = {}
+        for _tick, _origin, destination in injections:
+            counts[destination] = counts.get(destination, 0) + 1
+        top_two = sum(sorted(counts.values())[-2:])
+        assert top_two >= 0.7 * len(injections)
+
+    def test_gossip_round_structure(self):
+        nodes = list(range(8))
+        workload = Workload(kind="gossip", rounds=3, interval=10)
+        injections = workload.injections(nodes, seed=0)
+        assert len(injections) == 3 * len(nodes)
+        for round_index in range(3):
+            round_slice = injections[
+                round_index * len(nodes):(round_index + 1) * len(nodes)
+            ]
+            assert all(t == round_index * 10 for t, _o, _d in round_slice)
+            # Every node speaks exactly once per round, never to itself.
+            assert [o for _t, o, _d in round_slice] == nodes
+            assert all(o != d for _t, o, d in round_slice)
+
+    def test_same_seed_same_injections(self):
+        nodes = list(range(12))
+        workload = Workload(kind="hotspot", messages=60, duration=30)
+        assert workload.injections(nodes, 5) == workload.injections(nodes, 5)
+        assert workload.injections(nodes, 5) != workload.injections(nodes, 6)
+
+    def test_two_nodes_minimum(self):
+        with pytest.raises(ValueError, match="at least two nodes"):
+            Workload().injections([1], seed=0)
+
+
+class TestFaultEvents:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="in the past"):
+            FaultEvent(tick=-1, action="fail", node=0)
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultEvent(tick=0, action="explode", node=0)
+
+    def test_canonical(self):
+        assert FaultEvent(10, "fail", 3).canonical() == "fail@10:3"
+
+    def test_unknown_node_in_schedule_rejected(self, network):
+        graph, routing = network
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError, match="unknown nodes"):
+            run_traffic(
+                graph, routing, Workload(messages=5, duration=5),
+                faults=[FaultEvent(0, "fail", "nope")],
+            )
+
+    def test_mid_run_failure_kills_in_flight_messages(self, network):
+        graph, routing = network
+        nodes = graph.nodes()
+        workload = Workload(kind="uniform", messages=80, duration=60)
+        clean = run_traffic(graph, routing, workload, seed=4)
+        assert clean.delivered == clean.injected
+        # Fail a node a third of the way in and never repair it: traffic
+        # planned through (or addressed to) it must start failing.
+        faulty = run_traffic(
+            graph, routing, workload, seed=4,
+            faults=[FaultEvent(20, "fail", nodes[3])],
+        )
+        assert faulty.injected == clean.injected
+        assert faulty.delivered < clean.delivered
+        assert faulty.drop_rate > 0
+        reasons = [
+            r.failure_reason for r in faulty.receipts if not r.delivered
+        ]
+        assert reasons
+        assert all(str(nodes[3]) in reason for reason in reasons)
+
+    def test_repair_restores_delivery(self, network):
+        graph, routing = network
+        nodes = graph.nodes()
+        workload = Workload(kind="uniform", messages=80, duration=60)
+        dead = run_traffic(
+            graph, routing, workload, seed=4,
+            faults=[FaultEvent(0, "fail", nodes[3])],
+        )
+        healed = run_traffic(
+            graph, routing, workload, seed=4,
+            faults=[FaultEvent(0, "fail", nodes[3]),
+                    FaultEvent(10, "repair", nodes[3])],
+        )
+        assert healed.delivered > dead.delivered
+
+    def test_fault_applies_before_same_tick_traffic(self, network):
+        graph, routing = network
+        nodes = graph.nodes()
+        # All injections land on tick 0, the very tick the origin fails:
+        # fault events are scheduled ahead of the workload, so its messages
+        # must already see a failed origin.
+        workload = Workload(kind="uniform", messages=30, duration=1)
+        injections = workload.injections(list(nodes), seed=2)
+        origin = injections[0][1]
+        result = run_traffic(
+            graph, routing, workload, seed=2,
+            faults=[FaultEvent(0, "fail", origin)],
+        )
+        reasons = [
+            r.failure_reason for r in result.receipts if not r.delivered
+        ]
+        assert any(
+            f"origin {origin!r} is failed" in reason for reason in reasons
+        )
+
+
+class TestTrafficMetrics:
+    def test_percentile_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile_nearest_rank(values, 0.99) == 99
+        assert percentile_nearest_rank(values, 0.5) == 50
+        assert percentile_nearest_rank([7], 0.99) == 7
+        with pytest.raises(ValueError):
+            percentile_nearest_rank([], 0.5)
+
+    def test_lossless_run_statistics(self, network):
+        graph, routing = network
+        workload = Workload(kind="uniform", messages=50, duration=40)
+        result = run_traffic(graph, routing, workload, seed=9)
+        assert result.injected == 50
+        assert result.delivered == 50
+        assert result.dropped == 0
+        assert result.drop_rate == 0.0
+        assert result.max_queue_depth == 0
+        assert result.throughput > 0
+        assert result.mean_latency is not None
+        assert result.mean_latency <= result.p99_latency
+
+    def test_congestion_shows_in_the_metrics(self, network):
+        graph, routing = network
+        workload = Workload(kind="hotspot", messages=150, duration=30,
+                            hotspots=1, hot_fraction=1.0)
+        free = run_traffic(graph, routing, workload, seed=2)
+        tight = run_traffic(
+            graph, routing, workload, seed=2, link=LinkSpec(capacity=1, buffer=4)
+        )
+        assert tight.max_queue_depth > 0
+        assert tight.dropped > 0
+        assert tight.drop_rate > free.drop_rate
+        assert all(
+            "buffer full" in r.failure_reason
+            for r in tight.receipts if not r.delivered
+        )
+
+    def test_record_round_trips_through_view_from_record(self, network):
+        graph, routing = network
+        result = run_traffic(
+            graph, routing, Workload(messages=20, duration=10), seed=1,
+            scenario="circulant:n=16,offsets=1+2/kernel",
+            family="circulant", strategy="kernel", t=2,
+        )
+        record = result.record()
+        assert record["kind"] == "traffic"
+        view = view_from_record(record)
+        assert isinstance(view, TrafficResult)
+        # The receipts are a run-time extra, never persisted.
+        assert view.receipts is None
+        assert view == dataclasses_replace_without_receipts(result)
+
+    def test_manifest_covers_all_determinism_inputs(self):
+        manifest = traffic_manifest(
+            ["spec/kernel"], Workload(messages=10, duration=5), seed=3,
+            hop_latency=0.1, resolution=100,
+            link=LinkSpec(capacity=2), service="xor",
+            faults=[FaultEvent(5, "fail", 1), "repair@9:1"],
+        )
+        assert manifest["experiment"] == "traffic"
+        assert manifest["workload"] == "uniform:messages=10,duration=5"
+        assert manifest["link"] == "capacity=2"
+        assert manifest["faults"] == ["fail@5:1", "repair@9:1"]
+
+
+def dataclasses_replace_without_receipts(result):
+    import dataclasses
+
+    return dataclasses.replace(result, receipts=None)
+
+
+class TestDeterminism:
+    def test_two_fresh_runs_identical_records(self, network):
+        graph, routing = network
+        workload = Workload(kind="hotspot", messages=60, duration=30)
+        faults = [FaultEvent(8, "fail", graph.nodes()[5]),
+                  FaultEvent(20, "repair", graph.nodes()[5])]
+        records = []
+        for _ in range(2):
+            g = generators.circulant_graph(16, [1, 2])
+            r = build_routing(g, strategy="kernel")
+            records.append(
+                json.dumps(
+                    run_traffic(g, r.routing, workload, seed=11,
+                                faults=faults).record(),
+                    sort_keys=True,
+                )
+            )
+        assert records[0] == records[1]
+
+    def test_byte_identical_across_hash_seeds(self, tmp_path):
+        # Same seed, different PYTHONHASHSEED -> byte-identical records
+        # (workload RNGs are string-seeded; node order is insertion order).
+        script = textwrap.dedent(
+            """
+            import json, sys
+            from repro.core import build_routing
+            from repro.graphs import generators
+            from repro.network import FaultEvent, LinkSpec, Workload, run_traffic
+
+            graph = generators.circulant_graph(16, [1, 2])
+            result = build_routing(graph, strategy="kernel")
+            traffic = run_traffic(
+                graph,
+                result.routing,
+                Workload(kind="hotspot", messages=60, duration=30),
+                seed=11,
+                link=LinkSpec(capacity=2, buffer=8),
+                faults=[FaultEvent(8, "fail", graph.nodes()[5])],
+            )
+            sys.stdout.write(json.dumps(traffic.record(), sort_keys=True))
+            """
+        )
+        outputs = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            src_dir = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+            env["PYTHONPATH"] = os.path.abspath(src_dir)
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]

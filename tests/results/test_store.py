@@ -152,7 +152,9 @@ class TestOpenResume:
             store.append("a", {"name": "a", "value": 1.0})
         lines = path.read_text().splitlines(keepends=True)
         manifest = json.loads(lines[0])
-        assert manifest["format"] == 4
+        from repro.results.store import STORE_FORMAT_VERSION
+
+        assert manifest["format"] == STORE_FORMAT_VERSION
         manifest["format"] = 1
         path.write_text(
             json.dumps(manifest, sort_keys=True, separators=(",", ":"))

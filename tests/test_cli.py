@@ -534,3 +534,75 @@ class TestServingCommands:
     def test_serve_without_graph_or_artifact(self, capsys):
         assert main(["serve", "--probe"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestTrafficCommand:
+    SPEC = "circulant:n=16,offsets=1+2/kernel"
+
+    def test_traffic_table_output(self, capsys):
+        code = main(
+            ["traffic", self.SPEC,
+             "--workload", "uniform", "--messages", "40",
+             "--duration", "30", "--seed", "5"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Traffic [uniform:messages=40,duration=30]" in output
+        for column in ("throughput", "p99_latency", "drop_rate", "max_queue_depth"):
+            assert column in output
+        assert self.SPEC in output
+
+    def test_traffic_store_holds_traffic_records(self, tmp_path, capsys):
+        target = str(tmp_path / "traffic.jsonl")
+        code = main(
+            ["traffic", self.SPEC,
+             "--messages", "20", "--duration", "10",
+             "--fail", "4:3", "--repair", "8:3",
+             "--store", target]
+        )
+        assert code == 0
+        assert "result store" in capsys.readouterr().out
+        lines = [
+            json.loads(line)
+            for line in open(target, encoding="utf-8")
+            if line.strip()
+        ]
+        header, rows = lines[0], lines[1:]
+        assert header["run"]["experiment"] == "traffic"
+        assert header["run"]["faults"] == ["fail@4:3", "repair@8:3"]
+        assert len(rows) == 1
+        assert rows[0]["record"]["kind"] == "traffic"
+        assert rows[0]["record"]["injected"] == 20
+
+    def test_traffic_refuses_fault_model_segment(self, capsys):
+        # Timed --fail/--repair schedules replace the static fault-model
+        # segment; specs carrying one must be rejected, not silently ignored.
+        code = main(
+            ["traffic", self.SPEC + "/sizes:1", "--messages", "5"]
+        )
+        assert code == 2
+        assert "fault-model segment" in capsys.readouterr().err
+
+    def test_traffic_buffer_requires_capacity(self, capsys):
+        code = main(
+            ["traffic", self.SPEC, "--messages", "5", "--buffer", "4"]
+        )
+        assert code == 2
+        assert "--buffer needs --capacity" in capsys.readouterr().err
+
+    def test_traffic_congested_link_flags(self, capsys):
+        code = main(
+            ["traffic", self.SPEC,
+             "--workload", "hotspot", "--messages", "80",
+             "--duration", "20", "--capacity", "1", "--buffer", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "link=capacity=1,buffer=2" in output
+
+    def test_traffic_bad_fault_spec(self, capsys):
+        code = main(
+            ["traffic", self.SPEC, "--messages", "5", "--fail", "nope"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
